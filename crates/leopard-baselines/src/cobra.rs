@@ -1,0 +1,582 @@
+//! A reimplementation of Cobra's core verification algorithm (OSDI'20),
+//! the state-of-the-art baseline of §VI-E / Fig. 14.
+//!
+//! Cobra checks *serializability only*, of key-value histories whose
+//! writes carry unique values. It builds a **polygraph**:
+//!
+//! * known edges — per-client session order and wr edges from
+//!   unique-value matching;
+//! * constraints — binary choices whose resolution is unknown:
+//!   * `ww {a→b | b→a}` for two writers of the same key,
+//!   * `wr-choice {w'→w | r→w'}` for a read of `w`'s version of a key
+//!     that `w'` also wrote (`w'` happened either before the version the
+//!     read saw, or after the read).
+//!
+//! Verification searches for an orientation of all constraints that keeps
+//! the graph acyclic: a **pruning** pass forces choices whose alternative
+//! would close a cycle (one reachability query each — the super-linear
+//! cost driver), then **backtracking** covers whatever remains (real
+//! Cobra hands this to an SMT solver).
+//!
+//! With `fence_every = Some(n)`, a fence closes an epoch every `n`
+//! transactions; constraints touching transactions two epochs back are
+//! resolved eagerly with a whole-graph traverse and those transactions are
+//! dropped — Cobra's garbage collection, trading the traverse for bounded
+//! memory (Fig. 14(b)).
+
+use crate::history::TxnRecord;
+use leopard_core::fxhash::{FxHashMap, FxHashSet};
+use leopard_core::{Key, TxnId, Value};
+
+/// Cobra configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct CobraConfig {
+    /// Insert a fence every `Some(n)` transactions (Cobra's GC); `None`
+    /// disables garbage collection ("Cobra w/o GC").
+    pub fence_every: Option<u64>,
+    /// Backtracking budget (node expansions) before reporting `Unknown`.
+    pub search_budget: u64,
+}
+
+impl Default for CobraConfig {
+    fn default() -> CobraConfig {
+        CobraConfig {
+            fence_every: Some(20),
+            search_budget: 1_000_000,
+        }
+    }
+}
+
+/// Verdict of a Cobra run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CobraVerdict {
+    /// An acyclic orientation exists: the history is serializable.
+    Serializable,
+    /// No acyclic orientation exists: serializability violation.
+    Violation {
+        /// A witness description.
+        witness: String,
+    },
+    /// The search budget ran out before a decision.
+    Unknown,
+}
+
+/// Outcome plus cost metrics.
+#[derive(Debug)]
+pub struct CobraOutcome {
+    /// The verdict.
+    pub verdict: CobraVerdict,
+    /// Peak number of live graph nodes (memory metric of Fig. 14(b)/(d)).
+    pub peak_nodes: usize,
+    /// Peak number of live constraints (memory metric component).
+    pub peak_constraints: usize,
+    /// Total reachability-node visits (machine-independent cost metric
+    /// exhibiting the super-linear growth of Fig. 14(a)/(c)).
+    pub visited: u64,
+    /// Constraints that still needed backtracking after pruning.
+    pub residual_constraints: usize,
+}
+
+/// A binary ordering choice: either `options[0]` or `options[1]` must be
+/// an edge. An option with destination `TxnId::INITIAL` is infeasible; an
+/// option with source `TxnId::INITIAL` is vacuously satisfied.
+#[derive(Debug, Clone, Copy)]
+struct Constraint {
+    options: [(TxnId, TxnId); 2],
+}
+
+#[derive(Debug, Default)]
+struct Graph {
+    out: FxHashMap<TxnId, FxHashSet<TxnId>>,
+}
+
+impl Graph {
+    fn add_node(&mut self, n: TxnId) {
+        self.out.entry(n).or_default();
+    }
+
+    fn contains(&self, n: TxnId) -> bool {
+        self.out.contains_key(&n)
+    }
+
+    fn add_edge(&mut self, a: TxnId, b: TxnId) {
+        if a != b && a != TxnId::INITIAL && b != TxnId::INITIAL {
+            self.out.entry(a).or_default().insert(b);
+        }
+    }
+
+    fn remove_edge(&mut self, a: TxnId, b: TxnId) {
+        if let Some(s) = self.out.get_mut(&a) {
+            s.remove(&b);
+        }
+    }
+
+    fn reachable(&self, from: TxnId, to: TxnId, visited: &mut u64) -> bool {
+        if from == to {
+            return true;
+        }
+        let mut stack = vec![from];
+        let mut seen: FxHashSet<TxnId> = FxHashSet::default();
+        seen.insert(from);
+        while let Some(n) = stack.pop() {
+            *visited += 1;
+            if let Some(succs) = self.out.get(&n) {
+                for &s in succs {
+                    if s == to {
+                        return true;
+                    }
+                    if seen.insert(s) {
+                        stack.push(s);
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    fn remove_node(&mut self, n: TxnId) {
+        self.out.remove(&n);
+        for succs in self.out.values_mut() {
+            succs.remove(&n);
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.out.len()
+    }
+}
+
+/// The Cobra-style verifier. Feed committed transactions in commit order
+/// (see [`crate::history::collect_committed`]), then call
+/// [`CobraVerifier::finish`].
+#[derive(Debug)]
+pub struct CobraVerifier {
+    cfg: CobraConfig,
+    graph: Graph,
+    /// value -> writer, for wr matching (unique-value assumption).
+    writer_of: FxHashMap<(Key, Value), TxnId>,
+    /// key -> all writers so far.
+    writers: FxHashMap<Key, Vec<TxnId>>,
+    /// key -> (reader, writer whose version it saw).
+    reads: FxHashMap<Key, Vec<(TxnId, TxnId)>>,
+    /// last committed txn per client (session order edges).
+    sessions: FxHashMap<leopard_core::ClientId, TxnId>,
+    constraints: Vec<Constraint>,
+    seen_txns: u64,
+    peak_nodes: usize,
+    peak_constraints: usize,
+    visited: u64,
+    violation: Option<String>,
+    epochs: Vec<Vec<TxnId>>,
+    current_epoch: Vec<TxnId>,
+}
+
+impl CobraVerifier {
+    /// New verifier.
+    #[must_use]
+    pub fn new(cfg: CobraConfig) -> CobraVerifier {
+        CobraVerifier {
+            cfg,
+            graph: Graph::default(),
+            writer_of: FxHashMap::default(),
+            writers: FxHashMap::default(),
+            reads: FxHashMap::default(),
+            sessions: FxHashMap::default(),
+            constraints: Vec::new(),
+            seen_txns: 0,
+            peak_nodes: 0,
+            peak_constraints: 0,
+            visited: 0,
+            violation: None,
+            epochs: Vec::new(),
+            current_epoch: Vec::new(),
+        }
+    }
+
+    /// Registers the initial database state.
+    pub fn preload(&mut self, key: Key, value: Value) {
+        self.writer_of.insert((key, value), TxnId::INITIAL);
+    }
+
+    /// Adds one committed transaction.
+    pub fn add_txn(&mut self, txn: &TxnRecord) {
+        self.seen_txns += 1;
+        self.graph.add_node(txn.id);
+        self.current_epoch.push(txn.id);
+
+        // Session order: per-client transactions are serialized by the
+        // client itself.
+        if let Some(prev) = self.sessions.insert(txn.client, txn.id) {
+            self.graph.add_edge(prev, txn.id);
+        }
+
+        // wr edges by unique-value matching, plus wr-choice constraints
+        // against every other writer of the key.
+        for &(k, v) in &txn.reads {
+            let Some(&w) = self.writer_of.get(&(k, v)) else {
+                self.violation = Some(format!(
+                    "read of value never written: {k}={v} by {}",
+                    txn.id
+                ));
+                continue;
+            };
+            self.graph.add_edge(w, txn.id);
+            for &other in self.writers.get(&k).into_iter().flatten() {
+                if other != w && other != txn.id {
+                    // `other` wrote k either before the version the read
+                    // saw, or after the read itself.
+                    self.constraints.push(Constraint {
+                        options: [(other, w), (txn.id, other)],
+                    });
+                }
+            }
+            self.reads.entry(k).or_default().push((txn.id, w));
+        }
+
+        // ww constraints against earlier writers, wr-choice constraints
+        // against earlier reads of this key.
+        for &(k, v) in &txn.writes {
+            for &(reader, w) in self.reads.get(&k).into_iter().flatten() {
+                if txn.id != w && txn.id != reader {
+                    self.constraints.push(Constraint {
+                        options: [(txn.id, w), (reader, txn.id)],
+                    });
+                }
+            }
+            let ws = self.writers.entry(k).or_default();
+            for &earlier in ws.iter() {
+                if earlier != txn.id {
+                    self.constraints.push(Constraint {
+                        options: [(earlier, txn.id), (txn.id, earlier)],
+                    });
+                }
+            }
+            ws.push(txn.id);
+            self.writer_of.insert((k, v), txn.id);
+        }
+        self.peak_constraints = self.peak_constraints.max(self.constraints.len());
+
+        // Fence-based garbage collection.
+        if let Some(every) = self.cfg.fence_every {
+            if self.seen_txns.is_multiple_of(every) {
+                self.fence();
+            }
+        }
+        self.peak_nodes = self.peak_nodes.max(self.graph.len());
+    }
+
+    /// Tries to orient one constraint right now. Returns `Some(edge)` for a
+    /// forced choice, `None` when still open or vacuous; records a
+    /// violation when neither option is feasible.
+    fn resolve(&mut self, c: Constraint) -> Option<(TxnId, TxnId)> {
+        let feasible = |g: &Graph, (a, b): (TxnId, TxnId), visited: &mut u64| -> Option<bool> {
+            if b == TxnId::INITIAL {
+                return Some(false); // nothing precedes the initial state
+            }
+            if a == TxnId::INITIAL {
+                return None; // vacuously satisfied, no edge needed
+            }
+            Some(!g.reachable(b, a, visited))
+        };
+        let f0 = feasible(&self.graph, c.options[0], &mut self.visited);
+        let f1 = feasible(&self.graph, c.options[1], &mut self.visited);
+        match (f0, f1) {
+            // An INITIAL-source option satisfies the constraint for free.
+            (None, _) | (_, None) => None,
+            (Some(false), Some(false)) => {
+                self.violation = Some(format!(
+                    "constraint {{{}→{} | {}→{}}} has no acyclic option",
+                    c.options[0].0, c.options[0].1, c.options[1].0, c.options[1].1
+                ));
+                None
+            }
+            (Some(true), Some(false)) => Some(c.options[0]),
+            (Some(false), Some(true)) => Some(c.options[1]),
+            (Some(true), Some(true)) => {
+                // Still open: keep for later.
+                self.constraints.push(c);
+                None
+            }
+        }
+    }
+
+    /// Epoch boundary: resolve constraints touching transactions two
+    /// epochs back (one graph traverse each), then drop those
+    /// transactions.
+    fn fence(&mut self) {
+        self.epochs.push(std::mem::take(&mut self.current_epoch));
+        if self.epochs.len() < 3 {
+            return;
+        }
+        let frozen: Vec<TxnId> = self.epochs.remove(0);
+        let frozen_set: FxHashSet<TxnId> = frozen.iter().copied().collect();
+        let (touching, rest): (Vec<_>, Vec<_>) =
+            std::mem::take(&mut self.constraints).into_iter().partition(|c| {
+                c.options.iter().any(|(a, b)| {
+                    frozen_set.contains(a) || frozen_set.contains(b)
+                })
+            });
+        self.constraints = rest;
+        for c in touching {
+            // One reachability pass per constraint — the fence's cost.
+            // Choices pruning cannot force stay open; once their frozen
+            // endpoints are dropped they are treated as satisfied (a real
+            // Cobra fence transaction adds edges that make every frozen
+            // choice forced, which our trace-only reconstruction lacks).
+            if let Some(edge) = self.resolve(c) {
+                self.graph.add_edge(edge.0, edge.1);
+            }
+        }
+        for id in frozen {
+            self.graph.remove_node(id);
+            self.reads.values_mut().for_each(|v| v.retain(|(r, _)| *r != id));
+            self.writers.values_mut().for_each(|v| v.retain(|w| *w != id));
+        }
+        self.reads.retain(|_, v| !v.is_empty());
+        self.writers.retain(|_, v| !v.is_empty());
+    }
+
+    /// Resolves every remaining constraint and returns the outcome.
+    #[must_use]
+    pub fn finish(mut self) -> CobraOutcome {
+        // Pruning passes: repeat until no constraint gets forced, because
+        // each forced edge can force others.
+        loop {
+            if self.violation.is_some() {
+                break;
+            }
+            let pending = std::mem::take(&mut self.constraints);
+            let before_open = pending.len();
+            let mut forced_any = false;
+            for c in pending {
+                // Skip constraints touching GC'd transactions: their
+                // ordering was baked in (or given up on) at the fence.
+                if c.options.iter().any(|(a, b)| {
+                    (!self.graph.contains(*a) && *a != TxnId::INITIAL)
+                        || (!self.graph.contains(*b) && *b != TxnId::INITIAL)
+                }) {
+                    continue;
+                }
+                if let Some(edge) = self.resolve(c) {
+                    self.graph.add_edge(edge.0, edge.1);
+                    forced_any = true;
+                }
+            }
+            if self.violation.is_some() || !forced_any || self.constraints.len() == before_open {
+                break;
+            }
+        }
+        if let Some(witness) = self.violation.take() {
+            return CobraOutcome {
+                verdict: CobraVerdict::Violation { witness },
+                peak_nodes: self.peak_nodes,
+                peak_constraints: self.peak_constraints,
+                visited: self.visited,
+                residual_constraints: self.constraints.len(),
+            };
+        }
+        let open = std::mem::take(&mut self.constraints);
+        let residual = open.len();
+        let mut budget = self.cfg.search_budget;
+        let decided = self.backtrack(&open, 0, &mut budget);
+        let verdict = match decided {
+            Some(true) => CobraVerdict::Serializable,
+            Some(false) => CobraVerdict::Violation {
+                witness: "no acyclic constraint orientation exists".to_string(),
+            },
+            None => CobraVerdict::Unknown,
+        };
+        CobraOutcome {
+            verdict,
+            peak_nodes: self.peak_nodes,
+            peak_constraints: self.peak_constraints,
+            visited: self.visited,
+            residual_constraints: residual,
+        }
+    }
+
+    /// `Some(true)` = satisfiable, `Some(false)` = unsatisfiable,
+    /// `None` = budget exhausted.
+    fn backtrack(&mut self, open: &[Constraint], idx: usize, budget: &mut u64) -> Option<bool> {
+        if *budget == 0 {
+            return None;
+        }
+        *budget -= 1;
+        let Some(c) = open.get(idx) else {
+            return Some(true);
+        };
+        let mut exhausted = false;
+        for (a, b) in c.options {
+            if b == TxnId::INITIAL {
+                continue;
+            }
+            if a == TxnId::INITIAL {
+                // Vacuously satisfied: no edge needed.
+                match self.backtrack(open, idx + 1, budget) {
+                    Some(true) => return Some(true),
+                    Some(false) => continue,
+                    None => exhausted = true,
+                }
+                continue;
+            }
+            if !self.graph.reachable(b, a, &mut self.visited) {
+                let fresh = !self
+                    .graph
+                    .out
+                    .get(&a)
+                    .is_some_and(|s| s.contains(&b));
+                self.graph.add_edge(a, b);
+                match self.backtrack(open, idx + 1, budget) {
+                    Some(true) => return Some(true),
+                    Some(false) => {}
+                    None => exhausted = true,
+                }
+                if fresh {
+                    self.graph.remove_edge(a, b);
+                }
+            }
+        }
+        if exhausted {
+            None
+        } else {
+            Some(false)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::collect_committed;
+    use leopard_core::TraceBuilder;
+
+    fn verify(
+        traces: Vec<leopard_core::Trace>,
+        preload: &[(u64, u64)],
+        cfg: CobraConfig,
+    ) -> CobraOutcome {
+        let mut v = CobraVerifier::new(cfg);
+        for &(k, val) in preload {
+            v.preload(Key(k), Value(val));
+        }
+        for txn in collect_committed(&traces) {
+            v.add_txn(&txn);
+        }
+        v.finish()
+    }
+
+    #[test]
+    fn serial_history_is_serializable() {
+        let mut b = TraceBuilder::new();
+        b.write(10, 11, 0, 1, vec![(1, 5)]);
+        b.commit(12, 13, 0, 1);
+        b.read(20, 21, 0, 2, vec![(1, 5)]);
+        b.commit(22, 23, 0, 2);
+        let out = verify(b.build_sorted(), &[(1, 0)], CobraConfig::default());
+        assert_eq!(out.verdict, CobraVerdict::Serializable);
+    }
+
+    #[test]
+    fn write_skew_is_a_violation() {
+        let mut b = TraceBuilder::new();
+        b.read(0, 2, 0, 1, vec![(1, 0)]);
+        b.read(1, 3, 1, 2, vec![(2, 0)]);
+        b.write(10, 12, 0, 1, vec![(2, 5)]);
+        b.write(11, 13, 1, 2, vec![(1, 6)]);
+        b.commit(20, 22, 0, 1);
+        b.commit(21, 23, 1, 2);
+        let out = verify(b.build_sorted(), &[(1, 0), (2, 0)], CobraConfig::default());
+        assert!(
+            matches!(out.verdict, CobraVerdict::Violation { .. }),
+            "got {:?}",
+            out.verdict
+        );
+    }
+
+    #[test]
+    fn blind_writes_alone_are_serializable() {
+        let mut b = TraceBuilder::new();
+        b.write(10, 12, 0, 1, vec![(1, 5)]);
+        b.write(11, 13, 1, 2, vec![(1, 6)]);
+        b.commit(20, 22, 0, 1);
+        b.commit(21, 23, 1, 2);
+        let out = verify(b.build_sorted(), &[(1, 0)], CobraConfig::default());
+        assert_eq!(out.verdict, CobraVerdict::Serializable);
+    }
+
+    #[test]
+    fn read_of_unwritten_value_is_flagged() {
+        let mut b = TraceBuilder::new();
+        b.read(10, 11, 0, 1, vec![(1, 99)]);
+        b.commit(12, 13, 0, 1);
+        let out = verify(b.build_sorted(), &[(1, 0)], CobraConfig::default());
+        assert!(matches!(out.verdict, CobraVerdict::Violation { .. }));
+    }
+
+    #[test]
+    fn stale_read_after_fresh_read_is_flagged() {
+        let mut b = TraceBuilder::new();
+        b.write(10, 11, 0, 1, vec![(1, 5)]);
+        b.commit(12, 13, 0, 1);
+        b.write(20, 21, 0, 2, vec![(1, 6)]);
+        b.commit(22, 23, 0, 2);
+        b.read(30, 31, 1, 3, vec![(1, 6)]);
+        b.commit(32, 33, 1, 3);
+        b.read(40, 41, 1, 4, vec![(1, 5)]);
+        b.commit(42, 43, 1, 4);
+        let out = verify(b.build_sorted(), &[(1, 0)], CobraConfig::default());
+        assert!(
+            matches!(out.verdict, CobraVerdict::Violation { .. }),
+            "got {:?}",
+            out.verdict
+        );
+    }
+
+    #[test]
+    fn fences_bound_the_graph() {
+        let build = || {
+            let mut b = TraceBuilder::new();
+            for i in 0..120u64 {
+                let ts = 10 + i * 10;
+                b.read(ts, ts + 1, 0, i + 1, vec![(1, i)]);
+                b.write(ts + 2, ts + 3, 0, i + 1, vec![(1, i + 1)]);
+                b.commit(ts + 4, ts + 5, 0, i + 1);
+            }
+            b.build_sorted()
+        };
+        let with_gc = verify(build(), &[(1, 0)], CobraConfig::default());
+        let without_gc = verify(
+            build(),
+            &[(1, 0)],
+            CobraConfig {
+                fence_every: None,
+                ..CobraConfig::default()
+            },
+        );
+        assert_eq!(with_gc.verdict, CobraVerdict::Serializable);
+        assert_eq!(without_gc.verdict, CobraVerdict::Serializable);
+        assert!(
+            with_gc.peak_nodes < without_gc.peak_nodes / 2,
+            "gc {} vs no-gc {}",
+            with_gc.peak_nodes,
+            without_gc.peak_nodes
+        );
+    }
+
+    #[test]
+    fn multi_client_interleaving_is_serializable() {
+        // Two clients alternating reads/writes over two keys, all serial
+        // in wall-clock order.
+        let mut b = TraceBuilder::new();
+        for (txn, i) in (1u64..).zip(0..20u64) {
+            let ts = 10 + i * 20;
+            let client = (i % 2) as u32;
+            let key = 1 + (i % 2);
+            b.read(ts, ts + 1, client, txn, vec![(key, if i < 2 { 0 } else { 100 + i - 2 })]);
+            b.write(ts + 2, ts + 3, client, txn, vec![(key, 100 + i)]);
+            b.commit(ts + 4, ts + 5, client, txn);
+        }
+        let out = verify(b.build_sorted(), &[(1, 0), (2, 0)], CobraConfig::default());
+        assert_eq!(out.verdict, CobraVerdict::Serializable);
+    }
+}

@@ -1,0 +1,291 @@
+//! The naive cycle-searching verifier (the "cycle searching" baseline of
+//! Fig. 11).
+//!
+//! Builds the full dependency graph as transactions commit and, after
+//! *every* commit, runs a depth-first search over the graph to look for a
+//! cycle through the new transaction. No garbage collection, no
+//! mechanism mirroring: this is the textbook approach whose cost grows
+//! super-linearly with history length.
+
+use leopard_core::fxhash::{FxHashMap, FxHashSet};
+use leopard_core::{Key, OpKind, Trace, TxnId, Value};
+
+/// Result of a cycle-search run.
+#[derive(Debug, Default)]
+pub struct CycleSearchOutcome {
+    /// Dependency cycles found (each as the list of transactions).
+    pub cycles: Vec<Vec<TxnId>>,
+    /// Committed transactions in the graph.
+    pub nodes: usize,
+    /// Dependency edges in the graph.
+    pub edges: usize,
+    /// Total nodes visited across all searches — a machine-independent
+    /// cost metric demonstrating the super-linear growth.
+    pub visited: u64,
+}
+
+#[derive(Debug, Default)]
+struct OpenTxn {
+    reads: Vec<(Key, usize)>,
+    writes: Vec<(Key, Value)>,
+    own: FxHashMap<Key, Value>,
+}
+
+/// The naive verifier.
+#[derive(Debug, Default)]
+pub struct CycleSearchVerifier {
+    open: FxHashMap<TxnId, OpenTxn>,
+    /// Committed versions per key, in commit order; each with its readers.
+    versions: FxHashMap<Key, Vec<(Value, TxnId, Vec<TxnId>)>>,
+    out: FxHashMap<TxnId, FxHashSet<TxnId>>,
+    edges: usize,
+    outcome: CycleSearchOutcome,
+}
+
+impl CycleSearchVerifier {
+    /// New empty verifier.
+    #[must_use]
+    pub fn new() -> CycleSearchVerifier {
+        CycleSearchVerifier::default()
+    }
+
+    /// Preloads the initial value of a key (version 0, no writer node).
+    pub fn preload(&mut self, key: Key, value: Value) {
+        self.versions
+            .entry(key)
+            .or_default()
+            .push((value, TxnId::INITIAL, Vec::new()));
+    }
+
+    /// Processes one trace (sorted stream).
+    pub fn process(&mut self, trace: &Trace) {
+        match &trace.op {
+            OpKind::Read(set) | OpKind::LockedRead(set) => {
+                let open = self.open.entry(trace.txn).or_default();
+                for &(k, v) in set {
+                    if open.own.contains_key(&k) {
+                        continue;
+                    }
+                    // Match against the latest version carrying the value:
+                    // the naive approach assumes commit order is version
+                    // order and values identify versions.
+                    if let Some(list) = self.versions.get(&k) {
+                        if let Some(idx) = list.iter().rposition(|(val, _, _)| *val == v) {
+                            open.reads.push((k, idx));
+                        }
+                    }
+                }
+            }
+            OpKind::Write(set) => {
+                let open = self.open.entry(trace.txn).or_default();
+                for &(k, v) in set {
+                    open.own.insert(k, v);
+                    open.writes.push((k, v));
+                }
+            }
+            OpKind::Abort => {
+                self.open.remove(&trace.txn);
+            }
+            OpKind::Commit => {
+                let Some(open) = self.open.remove(&trace.txn) else {
+                    return;
+                };
+                self.commit_txn(trace.txn, open);
+            }
+        }
+    }
+
+    fn commit_txn(&mut self, id: TxnId, open: OpenTxn) {
+        self.out.entry(id).or_default();
+        let mut new_edges: Vec<(TxnId, TxnId)> = Vec::new();
+        // wr edges and reader registration.
+        for (k, idx) in &open.reads {
+            if let Some(list) = self.versions.get_mut(k) {
+                if let Some((_, writer, readers)) = list.get_mut(*idx) {
+                    if *writer != TxnId::INITIAL {
+                        new_edges.push((*writer, id));
+                    }
+                    readers.push(id);
+                }
+                // rw edge to the direct successor if it already exists.
+                if let Some((_, succ, _)) = list.get(idx + 1) {
+                    if *succ != TxnId::INITIAL {
+                        new_edges.push((id, *succ));
+                    }
+                }
+            }
+        }
+        // ww edges and rw edges from the predecessor's readers.
+        let mut dedup_keys: Vec<(Key, Value)> = Vec::new();
+        for &(k, v) in &open.writes {
+            if let Some(pos) = dedup_keys.iter().position(|(dk, _)| *dk == k) {
+                dedup_keys[pos] = (k, v);
+            } else {
+                dedup_keys.push((k, v));
+            }
+        }
+        for (k, v) in dedup_keys {
+            let list = self.versions.entry(k).or_default();
+            if let Some((_, prev, readers)) = list.last() {
+                if *prev != TxnId::INITIAL && *prev != id {
+                    new_edges.push((*prev, id));
+                }
+                for r in readers {
+                    if *r != id {
+                        new_edges.push((*r, id));
+                    }
+                }
+            }
+            list.push((v, id, Vec::new()));
+        }
+        for (from, to) in new_edges {
+            if from == to {
+                continue;
+            }
+            if self.out.entry(from).or_default().insert(to) {
+                self.edges += 1;
+            }
+        }
+        // Full whole-graph cycle search after every commit — the naive
+        // approach's defining cost: O(V + E) per transaction.
+        if let Some(cycle) = self.search_cycle() {
+            self.outcome.cycles.push(cycle);
+        }
+    }
+
+    /// Whole-graph DFS cycle detection (iterative three-colour marking).
+    fn search_cycle(&mut self) -> Option<Vec<TxnId>> {
+        const GRAY: u8 = 1;
+        const BLACK: u8 = 2;
+        enum Ev {
+            Enter(TxnId),
+            Exit(TxnId),
+        }
+        let mut color: FxHashMap<TxnId, u8> = FxHashMap::default();
+        let mut path: Vec<TxnId> = Vec::new();
+        let roots: Vec<TxnId> = self.out.keys().copied().collect();
+        for root in roots {
+            if color.contains_key(&root) {
+                continue;
+            }
+            let mut stack = vec![Ev::Enter(root)];
+            while let Some(ev) = stack.pop() {
+                match ev {
+                    Ev::Enter(n) => {
+                        if color.contains_key(&n) {
+                            continue;
+                        }
+                        self.outcome.visited += 1;
+                        color.insert(n, GRAY);
+                        path.push(n);
+                        stack.push(Ev::Exit(n));
+                        for &next in self.out.get(&n).into_iter().flatten() {
+                            match color.get(&next) {
+                                Some(&GRAY) => {
+                                    let start = path
+                                        .iter()
+                                        .position(|&p| p == next)
+                                        .expect("gray nodes are on the path");
+                                    let mut cycle = path[start..].to_vec();
+                                    cycle.push(next);
+                                    return Some(cycle);
+                                }
+                                Some(_) => {}
+                                None => stack.push(Ev::Enter(next)),
+                            }
+                        }
+                    }
+                    Ev::Exit(n) => {
+                        color.insert(n, BLACK);
+                        path.pop();
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Finishes, returning the accumulated outcome.
+    #[must_use]
+    pub fn finish(mut self) -> CycleSearchOutcome {
+        self.outcome.nodes = self.out.len();
+        self.outcome.edges = self.edges;
+        self.outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leopard_core::TraceBuilder;
+
+    fn run(traces: Vec<Trace>, preload: &[(u64, u64)]) -> CycleSearchOutcome {
+        let mut v = CycleSearchVerifier::new();
+        for &(k, val) in preload {
+            v.preload(Key(k), Value(val));
+        }
+        for t in &traces {
+            v.process(t);
+        }
+        v.finish()
+    }
+
+    #[test]
+    fn serial_history_has_no_cycle() {
+        let mut b = TraceBuilder::new();
+        b.write(10, 11, 0, 1, vec![(1, 5)]);
+        b.commit(12, 13, 0, 1);
+        b.read(20, 21, 1, 2, vec![(1, 5)]);
+        b.commit(22, 23, 1, 2);
+        let out = run(b.build_sorted(), &[(1, 0)]);
+        assert!(out.cycles.is_empty());
+        assert_eq!(out.nodes, 2);
+        assert!(out.edges >= 1);
+    }
+
+    #[test]
+    fn write_skew_forms_a_cycle() {
+        // t1 reads k1 writes k2; t2 reads k2 writes k1; both commit.
+        // rw(t1->t2) and rw(t2->t1) close a cycle.
+        let mut b = TraceBuilder::new();
+        b.read(0, 2, 0, 1, vec![(1, 0)]);
+        b.read(1, 3, 1, 2, vec![(2, 0)]);
+        b.write(10, 12, 0, 1, vec![(2, 5)]);
+        b.write(11, 13, 1, 2, vec![(1, 6)]);
+        b.commit(20, 22, 0, 1);
+        b.commit(21, 23, 1, 2);
+        let out = run(b.build_sorted(), &[(1, 0), (2, 0)]);
+        assert_eq!(out.cycles.len(), 1, "write skew must close a cycle");
+    }
+
+    #[test]
+    fn aborted_transactions_contribute_nothing() {
+        let mut b = TraceBuilder::new();
+        b.write(10, 11, 0, 1, vec![(1, 5)]);
+        b.abort(12, 13, 0, 1);
+        let out = run(b.build_sorted(), &[(1, 0)]);
+        assert_eq!(out.nodes, 0);
+    }
+
+    #[test]
+    fn visited_grows_with_chain_length() {
+        // A long serial chain: each search walks the whole suffix, so
+        // total visited grows super-linearly.
+        let mut b = TraceBuilder::new();
+        let n = 100u64;
+        for i in 0..n {
+            let ts = 10 + i * 10;
+            b.read(ts, ts + 1, 0, i + 1, vec![(1, i)]);
+            b.write(ts + 2, ts + 3, 0, i + 1, vec![(1, i + 1)]);
+            b.commit(ts + 4, ts + 5, 0, i + 1);
+        }
+        let out = run(b.build_sorted(), &[(1, 0)]);
+        assert!(out.cycles.is_empty());
+        assert!(
+            out.visited as usize > out.nodes * 2,
+            "visited {} should exceed nodes {}",
+            out.visited,
+            out.nodes
+        );
+    }
+}

@@ -1,0 +1,141 @@
+//! Shared history model for the baseline verifiers: a sorted trace stream
+//! folded into per-transaction records.
+//!
+//! Cobra and the naive cycle-searching verifier both reason about whole
+//! committed transactions rather than individual operations, so they first
+//! assemble the trace stream into [`TxnRecord`]s.
+
+use leopard_core::fxhash::FxHashMap;
+use leopard_core::{ClientId, Interval, Key, OpKind, Trace, TxnId, Value};
+
+/// One committed transaction reassembled from its traces.
+#[derive(Debug, Clone)]
+pub struct TxnRecord {
+    /// Transaction id.
+    pub id: TxnId,
+    /// The client that ran it (Cobra uses per-client session order).
+    pub client: ClientId,
+    /// Every (key, value) the transaction read, first observation wins.
+    pub reads: Vec<(Key, Value)>,
+    /// Every (key, value) the transaction finally wrote (last write per
+    /// key wins, as that is the installed version).
+    pub writes: Vec<(Key, Value)>,
+    /// Interval of the first operation.
+    pub start: Interval,
+    /// Interval of the commit operation.
+    pub commit: Interval,
+}
+
+/// Folds a trace stream into committed transactions, in commit order.
+/// Aborted and unterminated transactions are dropped (they install
+/// nothing).
+#[must_use]
+pub fn collect_committed(traces: &[Trace]) -> Vec<TxnRecord> {
+    struct Partial {
+        client: ClientId,
+        reads: Vec<(Key, Value)>,
+        writes: FxHashMap<Key, Value>,
+        write_order: Vec<Key>,
+        start: Interval,
+    }
+    let mut open: FxHashMap<TxnId, Partial> = FxHashMap::default();
+    let mut done = Vec::new();
+    for t in traces {
+        let partial = open.entry(t.txn).or_insert_with(|| Partial {
+            client: t.client,
+            reads: Vec::new(),
+            writes: FxHashMap::default(),
+            write_order: Vec::new(),
+            start: t.interval,
+        });
+        match &t.op {
+            OpKind::Read(set) | OpKind::LockedRead(set) => {
+                for &(k, v) in set {
+                    // Only external reads matter for dependencies; skip
+                    // observations of our own earlier writes.
+                    if !partial.writes.contains_key(&k)
+                        && !partial.reads.iter().any(|(rk, _)| *rk == k)
+                    {
+                        partial.reads.push((k, v));
+                    }
+                }
+            }
+            OpKind::Write(set) => {
+                for &(k, v) in set {
+                    if partial.writes.insert(k, v).is_none() {
+                        partial.write_order.push(k);
+                    }
+                }
+            }
+            OpKind::Commit => {
+                let p = open.remove(&t.txn).expect("entry created above");
+                done.push(TxnRecord {
+                    id: t.txn,
+                    client: p.client,
+                    reads: p.reads,
+                    writes: p
+                        .write_order
+                        .iter()
+                        .map(|k| (*k, p.writes[k]))
+                        .collect(),
+                    start: p.start,
+                    commit: t.interval,
+                });
+            }
+            OpKind::Abort => {
+                open.remove(&t.txn);
+            }
+        }
+    }
+    done
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leopard_core::TraceBuilder;
+
+    #[test]
+    fn folds_commits_and_drops_aborts() {
+        let mut b = TraceBuilder::new();
+        b.write(10, 11, 0, 1, vec![(1, 5)]);
+        b.commit(12, 13, 0, 1);
+        b.write(14, 15, 0, 2, vec![(1, 6)]);
+        b.abort(16, 17, 0, 2);
+        b.read(20, 21, 1, 3, vec![(1, 5)]);
+        b.commit(22, 23, 1, 3);
+        let recs = collect_committed(&b.build_sorted());
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].id, TxnId(1));
+        assert_eq!(recs[0].writes, vec![(Key(1), Value(5))]);
+        assert_eq!(recs[1].reads, vec![(Key(1), Value(5))]);
+    }
+
+    #[test]
+    fn last_write_per_key_wins() {
+        let mut b = TraceBuilder::new();
+        b.write(10, 11, 0, 1, vec![(1, 5)]);
+        b.write(12, 13, 0, 1, vec![(1, 9)]);
+        b.commit(14, 15, 0, 1);
+        let recs = collect_committed(&b.build_sorted());
+        assert_eq!(recs[0].writes, vec![(Key(1), Value(9))]);
+    }
+
+    #[test]
+    fn own_write_reads_are_not_external_reads() {
+        let mut b = TraceBuilder::new();
+        b.write(10, 11, 0, 1, vec![(1, 5)]);
+        b.read(12, 13, 0, 1, vec![(1, 5)]);
+        b.commit(14, 15, 0, 1);
+        let recs = collect_committed(&b.build_sorted());
+        assert!(recs[0].reads.is_empty());
+    }
+
+    #[test]
+    fn unterminated_transactions_are_dropped() {
+        let mut b = TraceBuilder::new();
+        b.write(10, 11, 0, 1, vec![(1, 5)]);
+        let recs = collect_committed(&b.build_sorted());
+        assert!(recs.is_empty());
+    }
+}

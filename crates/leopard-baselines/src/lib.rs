@@ -1,0 +1,23 @@
+//! # leopard-baselines: the comparison systems of the evaluation
+//!
+//! Reimplementations of the baselines the Leopard paper measures against:
+//!
+//! * [`naive_sort`] — the single-global-buffer trace sorter (Fig. 10);
+//! * [`cycle_search`] — the dependency-graph + full-cycle-search verifier
+//!   (Fig. 11);
+//! * [`cobra`] — Cobra's polygraph verifier with fence-transaction
+//!   garbage collection and a no-GC variant (Fig. 14, §VI-E);
+//! * [`history`] — the shared trace-stream → committed-transaction fold.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cobra;
+pub mod cycle_search;
+pub mod history;
+pub mod naive_sort;
+
+pub use cobra::{CobraConfig, CobraOutcome, CobraVerdict, CobraVerifier};
+pub use cycle_search::{CycleSearchOutcome, CycleSearchVerifier};
+pub use history::{collect_committed, TxnRecord};
+pub use naive_sort::{NaiveSortStats, NaiveSorter};

@@ -1,0 +1,125 @@
+//! The naive trace sorter of Fig. 10: one global buffer that accumulates
+//! *all* traces from every client and sorts them synchronously.
+//!
+//! Contrasted with the two-level pipeline, its memory footprint is the
+//! whole backlog and its dispatch latency includes a full heap sort of
+//! everything collected so far.
+
+use leopard_core::{Timestamp, Trace};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Statistics of a naive sorting run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NaiveSortStats {
+    /// Traces processed.
+    pub dispatched: u64,
+    /// Peak buffered traces — with the naive approach, everything.
+    pub max_buffered: usize,
+}
+
+/// The naive sorter: buffer everything, heap-sort, dispatch.
+#[derive(Debug, Default)]
+pub struct NaiveSorter {
+    buffer: Vec<Trace>,
+    stats: NaiveSortStats,
+}
+
+#[derive(Debug)]
+struct ByTsBef(Trace, u64);
+
+impl ByTsBef {
+    fn key(&self) -> (Timestamp, Timestamp, u64) {
+        (self.0.ts_bef(), self.0.ts_aft(), self.1)
+    }
+}
+impl PartialEq for ByTsBef {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+impl Eq for ByTsBef {}
+impl PartialOrd for ByTsBef {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for ByTsBef {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key().cmp(&other.key())
+    }
+}
+
+impl NaiveSorter {
+    /// New empty sorter.
+    #[must_use]
+    pub fn new() -> NaiveSorter {
+        NaiveSorter::default()
+    }
+
+    /// Buffers one trace (no dispatch happens until `dispatch_all`).
+    pub fn push(&mut self, trace: Trace) {
+        self.buffer.push(trace);
+        self.stats.max_buffered = self.stats.max_buffered.max(self.buffer.len());
+    }
+
+    /// Buffers a whole client stream.
+    pub fn push_stream(&mut self, traces: impl IntoIterator<Item = Trace>) {
+        for t in traces {
+            self.push(t);
+        }
+    }
+
+    /// Sorts everything collected and dispatches it in `ts_bef` order.
+    pub fn dispatch_all(&mut self, mut sink: impl FnMut(Trace)) -> NaiveSortStats {
+        let mut heap: BinaryHeap<Reverse<ByTsBef>> = BinaryHeap::with_capacity(self.buffer.len());
+        for (i, t) in self.buffer.drain(..).enumerate() {
+            heap.push(Reverse(ByTsBef(t, i as u64)));
+        }
+        while let Some(Reverse(ByTsBef(t, _))) = heap.pop() {
+            self.stats.dispatched += 1;
+            sink(t);
+        }
+        self.stats
+    }
+
+    /// Current statistics.
+    #[must_use]
+    pub fn stats(&self) -> NaiveSortStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leopard_core::TraceBuilder;
+
+    #[test]
+    fn dispatches_sorted() {
+        let mut b = TraceBuilder::new();
+        b.commit(30, 31, 0, 1);
+        b.commit(10, 11, 1, 2);
+        b.commit(20, 21, 2, 3);
+        let mut sorter = NaiveSorter::new();
+        sorter.push_stream(b.build());
+        let mut out = Vec::new();
+        let stats = sorter.dispatch_all(|t| out.push(t));
+        assert_eq!(stats.dispatched, 3);
+        assert_eq!(stats.max_buffered, 3);
+        let ts: Vec<u64> = out.iter().map(|t| t.ts_bef().0).collect();
+        assert_eq!(ts, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn buffers_everything_before_dispatch() {
+        let mut sorter = NaiveSorter::new();
+        let mut b = TraceBuilder::new();
+        for i in 0..100 {
+            b.commit(i, i + 1, 0, i);
+        }
+        sorter.push_stream(b.build());
+        assert_eq!(sorter.stats().max_buffered, 100);
+        assert_eq!(sorter.stats().dispatched, 0);
+    }
+}

@@ -1,0 +1,71 @@
+//! Criterion ablations of the design choices DESIGN.md calls out:
+//!
+//! * minimal candidate version set (Theorem 2) on/off,
+//! * cross-mechanism dependency transfer (§V-A) on/off,
+//! * verifier garbage collection on/off,
+//! * pipeline optimizations on/off (also covered by Fig. 10).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use leopard_bench::{collect_run, fork_clones, leopard_cfg, CollectedRun};
+use leopard_core::{IsolationLevel, Verifier, VerifierConfig};
+use leopard_workloads::{BlindW, BlindWVariant};
+use std::hint::black_box;
+
+fn verify_with(run: &CollectedRun, cfg: VerifierConfig) -> u64 {
+    let mut v = Verifier::new(cfg);
+    for &(k, val) in &run.preload {
+        v.preload(k, val);
+    }
+    for t in &run.merged {
+        v.process(t);
+    }
+    v.finish().counters.committed
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(15);
+    let g = BlindW::new(BlindWVariant::ReadWriteRange);
+    let run = collect_run(
+        &g,
+        fork_clones(&g, 8),
+        IsolationLevel::Serializable,
+        250,
+        31,
+    );
+
+    let base = leopard_cfg(IsolationLevel::Serializable);
+
+    let variants: Vec<(&str, VerifierConfig)> = vec![
+        ("baseline", base),
+        ("no_minimal_candidate_set", {
+            let mut c = base;
+            c.minimal_candidate_set = false;
+            c
+        }),
+        ("no_dep_transfer", {
+            let mut c = base;
+            c.dep_transfer = false;
+            c
+        }),
+        ("no_gc", {
+            let mut c = base;
+            c.gc = false;
+            c
+        }),
+        ("gc_every_64", {
+            let mut c = base;
+            c.gc_every = 64;
+            c
+        }),
+    ];
+    for (name, cfg) in variants {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &run, |b, r| {
+            b.iter(|| black_box(verify_with(r, cfg)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Criterion comparison of verifiers on identical histories: Leopard's
+//! mechanism-mirrored verification vs the naive cycle searcher vs the
+//! Cobra polygraph (the Fig. 11 / Fig. 14 comparison as a
+//! micro-benchmark).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use leopard_baselines::{collect_committed, CobraConfig, CobraVerifier, CycleSearchVerifier};
+use leopard_bench::{collect_run, fork_clones, leopard_cfg, CollectedRun};
+use leopard_core::{IsolationLevel, Verifier};
+use leopard_workloads::{BlindW, BlindWVariant};
+use std::hint::black_box;
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("verifier_comparison");
+    group.sample_size(10);
+    let g = BlindW::new(BlindWVariant::ReadWrite);
+    let run: CollectedRun = collect_run(
+        &g,
+        fork_clones(&g, 8),
+        IsolationLevel::Serializable,
+        150,
+        77,
+    );
+
+    group.bench_with_input(BenchmarkId::new("leopard", "blindw-rw"), &run, |b, r| {
+        b.iter(|| {
+            let mut v = Verifier::new(leopard_cfg(IsolationLevel::Serializable));
+            for &(k, val) in &r.preload {
+                v.preload(k, val);
+            }
+            for t in &r.merged {
+                v.process(t);
+            }
+            black_box(v.finish().counters.committed)
+        });
+    });
+
+    group.bench_with_input(
+        BenchmarkId::new("cycle_search", "blindw-rw"),
+        &run,
+        |b, r| {
+            b.iter(|| {
+                let mut v = CycleSearchVerifier::new();
+                for &(k, val) in &r.preload {
+                    v.preload(k, val);
+                }
+                for t in &r.merged {
+                    v.process(t);
+                }
+                black_box(v.finish().nodes)
+            });
+        },
+    );
+
+    for (name, fence) in [("cobra_gc", Some(20u64)), ("cobra_no_gc", None)] {
+        group.bench_with_input(BenchmarkId::new(name, "blindw-rw"), &run, |b, r| {
+            b.iter(|| {
+                let mut v = CobraVerifier::new(CobraConfig {
+                    fence_every: fence,
+                    search_budget: 1_000_000,
+                });
+                for &(k, val) in &r.preload {
+                    v.preload(k, val);
+                }
+                for t in collect_committed(&r.merged) {
+                    v.add_txn(&t);
+                }
+                black_box(v.finish().peak_nodes)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

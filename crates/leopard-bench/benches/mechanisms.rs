@@ -1,0 +1,93 @@
+//! Criterion micro-benchmarks of the four verification mechanisms'
+//! building blocks: candidate-set classification (CR), lock-pair order
+//! resolution (ME), FUW order resolution, and certifier edge insertion
+//! (SC).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use leopard_core::verify::{DepGraph, LockTable, VersionStore};
+use leopard_core::{CertifierRule, DepKind, Interval, Key, Timestamp, TxnId, Value};
+use std::hint::black_box;
+
+fn iv(lo: u64, hi: u64) -> Interval {
+    Interval::new(Timestamp(lo), Timestamp(hi))
+}
+
+/// CR: candidate version set over chains of various lengths.
+fn bench_candidate_set(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cr_candidate_set");
+    for &chain in &[4usize, 16, 64] {
+        let mut store = VersionStore::default();
+        store.preload(Key(1), Value(0));
+        for i in 0..chain as u64 {
+            let base = 10 + i * 20;
+            store.install(Key(1), Value(i + 1), TxnId(i + 1), iv(base, base + 5), iv(base, base + 5));
+            store.commit(TxnId(i + 1), &[Key(1)], iv(base + 6, base + 12));
+        }
+        let snapshot = iv(10 + chain as u64 * 10, 10 + chain as u64 * 10 + 4);
+        group.bench_with_input(BenchmarkId::from_parameter(chain), &store, |b, s| {
+            b.iter(|| {
+                black_box(s.check_read(Key(1), Value(chain as u64 / 2), &snapshot, true))
+            });
+        });
+    }
+    group.finish();
+}
+
+/// ME: release-time pair checking against a populated lock table.
+fn bench_lock_pairs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("me_lock_pairs");
+    for &contenders in &[2usize, 8, 32] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(contenders),
+            &contenders,
+            |b, &n| {
+                b.iter(|| {
+                    let mut lt = LockTable::default();
+                    let mut out = Vec::new();
+                    for i in 0..n as u64 {
+                        let base = i * 100;
+                        lt.acquire(Key(1), TxnId(i + 1), iv(base, base + 10));
+                        lt.release_txn(TxnId(i + 1), &[Key(1)], iv(base + 20, base + 30), &mut out);
+                    }
+                    black_box(out.len())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// SC: certifier edge insertion under the three rules.
+fn bench_certifier(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sc_edge_insert");
+    let rules = [
+        ("ssi", CertifierRule::SsiDangerousStructure),
+        ("mvto", CertifierRule::MvtoTimestampOrder),
+        ("cycle", CertifierRule::AcyclicGraph),
+    ];
+    for (name, rule) in rules {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut g = DepGraph::default();
+                // A 512-node chain: every insert runs the rule.
+                for i in 0..512u64 {
+                    let base = i * 100;
+                    g.add_node(TxnId(i + 1), iv(base, base + 5), iv(base + 50, base + 60));
+                }
+                for i in 1..512u64 {
+                    black_box(g.add_edge(TxnId(i), TxnId(i + 1), DepKind::Ww, Some(rule)));
+                }
+                black_box(g.edge_count())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_candidate_set,
+    bench_lock_pairs,
+    bench_certifier
+);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Criterion micro-benchmarks for the two-level pipeline (§IV-C):
+//! dispatch throughput of the optimized pipeline, the unoptimized
+//! variant, and the naive global sorter, over synthetic multi-client
+//! streams.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use leopard_baselines::NaiveSorter;
+use leopard_core::{
+    ClientId, Interval, OpKind, PipelineConfig, Timestamp, Trace, TwoLevelPipeline, TxnId,
+};
+use std::hint::black_box;
+
+/// Interleaved per-client streams with mild timing skew.
+fn make_streams(clients: usize, per_client: usize) -> Vec<Vec<Trace>> {
+    (0..clients)
+        .map(|c| {
+            (0..per_client)
+                .map(|i| {
+                    // Client c runs at a slightly different rate.
+                    let ts = (i as u64) * (100 + c as u64 * 7) + c as u64;
+                    Trace::new(
+                        Interval::new(Timestamp(ts), Timestamp(ts + 50)),
+                        ClientId(c as u32),
+                        TxnId((c * per_client + i) as u64),
+                        OpKind::Commit,
+                    )
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn run_two_level(streams: &[Vec<Trace>], cfg: PipelineConfig) -> u64 {
+    let mut p = TwoLevelPipeline::new(streams.len(), cfg);
+    let mut cursors = vec![0usize; streams.len()];
+    let mut out = 0u64;
+    let mut sink = Vec::new();
+    loop {
+        let mut pushed = false;
+        for (i, s) in streams.iter().enumerate() {
+            let to = (cursors[i] + 128).min(s.len());
+            for t in &s[cursors[i]..to] {
+                p.push(i, t.clone()).expect("monotone");
+                pushed = true;
+            }
+            cursors[i] = to;
+            if to == s.len() {
+                let _ = p.close(i);
+            }
+        }
+        p.drain_available(&mut sink);
+        out += sink.drain(..).count() as u64;
+        if !pushed {
+            break;
+        }
+    }
+    out
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline_dispatch");
+    for &n in &[10_000usize, 40_000] {
+        let streams = make_streams(8, n / 8);
+        let total = streams.iter().map(Vec::len).sum::<usize>() as u64;
+        group.throughput(Throughput::Elements(total));
+        group.bench_with_input(BenchmarkId::new("two_level_opt", n), &streams, |b, s| {
+            b.iter(|| black_box(run_two_level(s, PipelineConfig::default())));
+        });
+        group.bench_with_input(BenchmarkId::new("two_level_no_opt", n), &streams, |b, s| {
+            b.iter(|| black_box(run_two_level(s, PipelineConfig::without_optimizations())));
+        });
+        group.bench_with_input(BenchmarkId::new("naive_sort", n), &streams, |b, s| {
+            b.iter(|| {
+                let mut sorter = NaiveSorter::new();
+                for stream in s {
+                    sorter.push_stream(stream.iter().cloned());
+                }
+                let mut n = 0u64;
+                sorter.dispatch_all(|_| n += 1);
+                black_box(n)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion end-to-end verification throughput (Fig. 11's metric as a
+//! micro-benchmark): traces per second through the mechanism-mirrored
+//! verifier on pre-collected BlindW histories.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use leopard_bench::{collect_run, fork_clones, leopard_cfg, CollectedRun};
+use leopard_core::{IsolationLevel, Verifier};
+use leopard_workloads::{BlindW, BlindWVariant, WorkloadGen};
+use std::hint::black_box;
+
+fn verify(run: &CollectedRun) -> usize {
+    let mut v = Verifier::new(leopard_cfg(IsolationLevel::Serializable));
+    for &(k, val) in &run.preload {
+        v.preload(k, val);
+    }
+    for t in &run.merged {
+        v.process(t);
+    }
+    let out = v.finish();
+    assert!(out.report.is_clean());
+    out.counters.traces as usize
+}
+
+fn bench_verification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("verify_end_to_end");
+    group.sample_size(20);
+    for variant in [
+        BlindWVariant::WriteOnly,
+        BlindWVariant::ReadWrite,
+        BlindWVariant::ReadWriteRange,
+    ] {
+        let g = BlindW::new(variant);
+        let run = collect_run(
+            &g,
+            fork_clones(&g, 8),
+            IsolationLevel::Serializable,
+            500,
+            99,
+        );
+        group.throughput(Throughput::Elements(run.merged.len() as u64));
+        group.bench_with_input(BenchmarkId::new("leopard", g.name()), &run, |b, r| {
+            b.iter(|| black_box(verify(r)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_verification);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Fig. 1 — Isolation-level implementations in commercial DBMSs.
+//!
+//! Prints the mechanism catalog Leopard uses to configure its verifier.
+
+use leopard_bench::{header, row};
+use leopard_core::catalog;
+
+fn main() {
+    println!("# Fig. 1 — Isolation Level Implementations in DBMSs\n");
+    header(&["DBMS", "Concurrency Control", "IL", "ME", "CR", "FUW", "SC"]);
+    for profile in catalog() {
+        for (level, m) in &profile.levels {
+            row(&[
+                profile.name.to_string(),
+                profile.concurrency_control.to_string(),
+                level.to_string(),
+                tick(m.mutual_exclusion),
+                match m.consistent_read {
+                    Some(leopard_core::SnapshotLevel::Transaction) => "✓ (txn)".to_string(),
+                    Some(leopard_core::SnapshotLevel::Statement) => "✓ (stmt)".to_string(),
+                    None => String::new(),
+                },
+                tick(m.first_updater_wins),
+                match m.certifier {
+                    Some(c) => format!("✓ ({c:?})"),
+                    None => String::new(),
+                },
+            ]);
+        }
+    }
+}
+
+fn tick(b: bool) -> String {
+    if b {
+        "✓".to_string()
+    } else {
+        String::new()
+    }
+}

@@ -1,0 +1,80 @@
+//! Fig. 4 — Overlapping ratio β in YCSB-A (§IV-B).
+//!
+//! Runs YCSB-A on the substrate engine and reports the fraction of
+//! conflicting operation pairs whose trace intervals overlap (β), sweeping
+//! the Zipf skew θ, the thread scale, and the read/write ratio. The
+//! paper's shape: β rises with contention (θ, threads) and stays small
+//! (single-digit percent).
+
+use leopard_bench::{collect_run_cfg, fork_clones, header, leopard_cfg, row, verify_collected};
+use leopard_core::IsolationLevel;
+use leopard_db::DbConfig;
+use leopard_workloads::{RunLimit, YcsbA};
+use std::time::Duration;
+
+fn beta_for(records: u64, theta: f64, threads: usize, read_ratio: f64, txns: u64) -> (f64, u64) {
+    let g = YcsbA::new(records, theta).with_read_ratio(read_ratio);
+    // Simulated per-op latency gives trace intervals realistic widths
+    // (client-server round trips), which is where overlap comes from.
+    let cfg = DbConfig {
+        op_latency: Duration::from_micros(100),
+        ..DbConfig::at(IsolationLevel::Serializable)
+    };
+    let run = collect_run_cfg(
+        &g,
+        fork_clones(&g, threads),
+        cfg,
+        RunLimit::Txns(txns),
+        42,
+    );
+    let (outcome, _) = verify_collected(&run, leopard_cfg(IsolationLevel::Serializable));
+    assert!(
+        outcome.report.is_clean(),
+        "clean engine must verify clean: {}",
+        outcome.report
+    );
+    let c = outcome.stats.combined();
+    (c.beta(), c.total())
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let records: u64 = if quick { 10_000 } else { 100_000 };
+    let txns: u64 = if quick { 1_000 } else { 5_000 };
+
+    println!("# Fig. 4 — Overlapping ratio β in YCSB-A");
+    println!("(records = {records}, transactions per client = {txns})\n");
+
+    println!("## (a) varying skew θ (24 threads, 50% reads)");
+    header(&["θ", "β", "conflicting pairs"]);
+    for theta in [0.1, 0.3, 0.5, 0.7, 0.9, 0.99] {
+        let (beta, total) = beta_for(records, theta, 24, 0.5, txns);
+        row(&[
+            format!("{theta}"),
+            format!("{:.5}", beta),
+            total.to_string(),
+        ]);
+    }
+
+    println!("\n## (b) varying thread scale (θ = 0.9, 50% reads)");
+    header(&["threads", "β", "conflicting pairs"]);
+    for threads in [4usize, 8, 16, 24, 32] {
+        let (beta, total) = beta_for(records, 0.9, threads, 0.5, txns);
+        row(&[
+            threads.to_string(),
+            format!("{:.5}", beta),
+            total.to_string(),
+        ]);
+    }
+
+    println!("\n## (c) varying read ratio (θ = 0.9, 24 threads)");
+    header(&["read ratio", "β", "conflicting pairs"]);
+    for ratio in [0.0, 0.25, 0.5, 0.75, 0.95] {
+        let (beta, total) = beta_for(records, 0.9, 24, ratio, txns);
+        row(&[
+            format!("{ratio}"),
+            format!("{:.5}", beta),
+            total.to_string(),
+        ]);
+    }
+}

@@ -1,0 +1,154 @@
+//! Fig. 10 — Two-level pipeline performance (§VI-A).
+//!
+//! Compares trace sorting/dispatching between:
+//! * **Leopard** — the two-level pipeline with both §IV-C optimizations,
+//! * **w/o Opt** — Algorithm 1 verbatim (fetch everything, no bound),
+//! * **naive** — one global buffer collecting and sorting all traces.
+//!
+//! Reports peak buffered traces (the memory metric of Fig. 10(a)) and the
+//! dispatch wall time (Fig. 10(b)) as the transaction scale grows, for
+//! TPC-C, SmallBank and BlindW-RW+.
+
+use leopard_baselines::NaiveSorter;
+use leopard_bench::{collect_run, fmt_dur, header, row, CollectedRun};
+use leopard_core::{IsolationLevel, PipelineConfig, Trace, TwoLevelPipeline};
+use leopard_workloads::{BlindW, BlindWVariant, SmallBank, TpcC, WorkloadGen};
+use std::time::{Duration, Instant};
+
+/// Streams per-client traces into a pipeline in *time-windowed* batches
+/// (emulating the 0.5 s batching of §VI-C: every round delivers the
+/// traces each client produced during one wall-clock window), draining
+/// between rounds. Returns the peak **global buffer** occupancy — the
+/// structure the §IV-C optimizations bound — the dispatch wall time, and
+/// the dispatched count.
+fn run_pipeline(per_client: &[Vec<Trace>], cfg: PipelineConfig) -> (usize, Duration, u64) {
+    let mut pipeline = TwoLevelPipeline::new(per_client.len(), cfg);
+    let mut cursors = vec![0usize; per_client.len()];
+    let hi = per_client
+        .iter()
+        .filter_map(|s| s.last().map(|t| t.ts_bef().0))
+        .max()
+        .unwrap_or(0);
+    let lo = per_client
+        .iter()
+        .filter_map(|s| s.first().map(|t| t.ts_bef().0))
+        .min()
+        .unwrap_or(0);
+    let window = ((hi - lo) / 100).max(1);
+    let mut out = Vec::new();
+    let start = Instant::now();
+    let mut window_end = lo;
+    loop {
+        window_end += window;
+        let mut remaining = false;
+        for (i, stream) in per_client.iter().enumerate() {
+            while cursors[i] < stream.len() && stream[cursors[i]].ts_bef().0 <= window_end {
+                pipeline
+                    .push(i, stream[cursors[i]].clone())
+                    .expect("monotone per client");
+                cursors[i] += 1;
+            }
+            if cursors[i] >= stream.len() {
+                pipeline.close(i).expect("valid client");
+            } else {
+                remaining = true;
+            }
+        }
+        pipeline.drain_available(&mut out);
+        if !remaining {
+            break;
+        }
+    }
+    pipeline.drain_available(&mut out);
+    let elapsed = start.elapsed();
+    let stats = pipeline.stats();
+    assert!(pipeline.is_exhausted(), "pipeline must drain fully");
+    assert!(out.windows(2).all(|w| w[0].ts_bef() <= w[1].ts_bef()));
+    (stats.max_global, elapsed, stats.dispatched)
+}
+
+fn run_naive(per_client: &[Vec<Trace>]) -> (usize, Duration, u64) {
+    let mut sorter = NaiveSorter::new();
+    let start = Instant::now();
+    for stream in per_client {
+        sorter.push_stream(stream.iter().cloned());
+    }
+    let mut n = 0u64;
+    let stats = sorter.dispatch_all(|_| n += 1);
+    (stats.max_buffered, start.elapsed(), n)
+}
+
+fn bench_workload(name: &str, make: &dyn Fn() -> Vec<Box<dyn WorkloadGen>>, proto: &dyn WorkloadGen, scales: &[u64]) {
+    println!("\n## {name}");
+    header(&[
+        "txns",
+        "traces",
+        "Leopard peak buf",
+        "w/o Opt peak buf",
+        "naive peak buf",
+        "Leopard time",
+        "w/o Opt time",
+        "naive time",
+    ]);
+    for &scale in scales {
+        let threads = 8;
+        let run: CollectedRun = collect_run(
+            proto,
+            make(),
+            IsolationLevel::Serializable,
+            scale / threads as u64,
+            7,
+        );
+        let per_client = &run.output.per_client;
+        let (opt_mem, opt_time, n1) = run_pipeline(per_client, PipelineConfig::default());
+        let (noopt_mem, noopt_time, n2) =
+            run_pipeline(per_client, PipelineConfig::without_optimizations());
+        let (naive_mem, naive_time, n3) = run_naive(per_client);
+        assert_eq!(n1, n2);
+        assert_eq!(n2, n3);
+        row(&[
+            scale.to_string(),
+            n1.to_string(),
+            opt_mem.to_string(),
+            noopt_mem.to_string(),
+            naive_mem.to_string(),
+            fmt_dur(opt_time),
+            fmt_dur(noopt_time),
+            fmt_dur(naive_time),
+        ]);
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let scales: Vec<u64> = if quick {
+        vec![2_000, 8_000]
+    } else {
+        vec![10_000, 40_000, 100_000, 200_000]
+    };
+    println!("# Fig. 10 — Two-level pipeline vs naive sorting (8 clients)");
+
+    let tpcc = TpcC::new(2);
+    bench_workload(
+        "TPC-C",
+        &|| (0..8).map(|_| Box::new(tpcc.for_client()) as _).collect(),
+        &tpcc,
+        &scales,
+    );
+
+    let smallbank = SmallBank::new(1_000);
+    bench_workload(
+        "SmallBank",
+        &|| leopard_bench::fork_clones(&smallbank, 8),
+        &smallbank,
+        &scales,
+    );
+
+    let blindw = BlindW::new(BlindWVariant::ReadWriteRange);
+    bench_workload(
+        "BlindW-RW+",
+        &|| leopard_bench::fork_clones(&blindw, 8),
+        &blindw,
+        &scales,
+    );
+}

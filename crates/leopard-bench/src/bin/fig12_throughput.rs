@@ -1,0 +1,80 @@
+//! Fig. 12 — Workload throughput vs Leopard throughput (§VI-C).
+//!
+//! Runs SmallBank and TPC-C continuously for a fixed wall-clock window,
+//! then measures how fast Leopard can verify the produced trace stream.
+//! Leopard "catches up" when its verification throughput (committed
+//! transactions per second of verification time) is at least the DBMS's
+//! commit throughput — with the gap largest on complex workloads (TPC-C),
+//! whose per-transaction execution cost dwarfs verification cost.
+
+use leopard_bench::{collect_run_for, header, leopard_cfg, row, verify_collected};
+use leopard_core::IsolationLevel;
+use leopard_workloads::{SmallBank, TpcC, WorkloadGen};
+use std::time::Duration;
+
+/// Builds the prototype generator and one generator per client for a
+/// given scale factor.
+type MakeWorkload = dyn Fn(u64) -> (Box<dyn WorkloadGen>, Vec<Box<dyn WorkloadGen>>);
+
+fn bench(name: &str, scales: &[u64], make: &MakeWorkload, secs: u64) {
+    println!("\n## {name}");
+    header(&[
+        "scale factor",
+        "DBMS tput (txn/s)",
+        "Leopard tput (txn/s)",
+        "ratio",
+        "committed",
+    ]);
+    for &scale in scales {
+        let (proto, gens) = make(scale);
+        let run = collect_run_for(
+            proto.as_ref(),
+            gens,
+            IsolationLevel::Serializable,
+            Duration::from_secs(secs),
+            3,
+        );
+        let (outcome, verify_time) = verify_collected(&run, leopard_cfg(IsolationLevel::Serializable));
+        assert!(outcome.report.is_clean(), "{}", outcome.report);
+        let dbms_tput = run.output.stats.throughput();
+        let leopard_tput = outcome.counters.committed as f64 / verify_time.as_secs_f64();
+        row(&[
+            scale.to_string(),
+            format!("{dbms_tput:.0}"),
+            format!("{leopard_tput:.0}"),
+            format!("{:.1}x", leopard_tput / dbms_tput.max(1.0)),
+            outcome.counters.committed.to_string(),
+        ]);
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let secs = if quick { 1 } else { 5 };
+    let threads = 8usize;
+
+    println!("# Fig. 12 — DBMS throughput vs Leopard verification throughput ({threads} clients, {secs}s runs)");
+
+    bench(
+        "(a) SmallBank (scale factor = accounts/1000)",
+        &[1, 2, 4, 8],
+        &move |scale| {
+            let g = SmallBank::new(scale * 1_000);
+            let gens = leopard_bench::fork_clones(&g, threads);
+            (Box::new(g) as Box<dyn WorkloadGen>, gens)
+        },
+        secs,
+    );
+
+    bench(
+        "(b) TPC-C (scale factor = warehouses)",
+        &[1, 2, 4, 8],
+        &move |scale| {
+            let g = TpcC::new(scale);
+            let gens: Vec<Box<dyn WorkloadGen>> =
+                (0..threads).map(|_| Box::new(g.for_client()) as _).collect();
+            (Box::new(g) as Box<dyn WorkloadGen>, gens)
+        },
+        secs,
+    );
+}

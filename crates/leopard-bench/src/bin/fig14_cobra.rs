@@ -1,0 +1,115 @@
+//! Fig. 14 — Comparison with Cobra on efficiency (§VI-E).
+//!
+//! BlindW-RW histories verified by Leopard, Cobra (fence every 20 txns)
+//! and Cobra w/o GC. Reports verification wall time and the retained-state
+//! footprint (graph nodes + constraints for Cobra; mirrored entries for
+//! Leopard), sweeping transaction scale and thread scale.
+//!
+//! Expected shape: Leopard linear time / flat memory; Cobra super-linear
+//! time; Cobra w/o GC worst memory.
+
+use leopard_baselines::{collect_committed, CobraConfig, CobraVerifier};
+use leopard_bench::{collect_run, fmt_dur, fork_clones, header, leopard_cfg, row, verify_collected, CollectedRun};
+use leopard_core::IsolationLevel;
+use leopard_workloads::{BlindW, BlindWVariant};
+use std::time::{Duration, Instant};
+
+struct CobraCell {
+    time: Duration,
+    peak_state: usize,
+    ok: bool,
+}
+
+fn run_cobra(run: &CollectedRun, fence: Option<u64>) -> CobraCell {
+    let mut v = CobraVerifier::new(CobraConfig {
+        fence_every: fence,
+        search_budget: 2_000_000,
+    });
+    for &(k, val) in &run.preload {
+        v.preload(k, val);
+    }
+    let txns = collect_committed(&run.merged);
+    let start = Instant::now();
+    for t in &txns {
+        v.add_txn(t);
+    }
+    let out = v.finish();
+    CobraCell {
+        time: start.elapsed(),
+        peak_state: out.peak_nodes + out.peak_constraints,
+        ok: matches!(out.verdict, leopard_baselines::CobraVerdict::Serializable),
+    }
+}
+
+fn measure(txns_total: u64, threads: usize) -> Vec<String> {
+    let g = BlindW::new(BlindWVariant::ReadWrite);
+    let run = collect_run(
+        &g,
+        fork_clones(&g, threads),
+        IsolationLevel::Serializable,
+        txns_total / threads as u64,
+        23,
+    );
+    let (outcome, leopard_time) = verify_collected(&run, leopard_cfg(IsolationLevel::Serializable));
+    assert!(outcome.report.is_clean(), "{}", outcome.report);
+    let leopard_mem = outcome.counters.peak_footprint;
+
+    let cobra = run_cobra(&run, Some(20));
+    let cobra_nogc = run_cobra(&run, None);
+    assert!(cobra.ok, "Cobra must accept a clean serializable history");
+    assert!(cobra_nogc.ok, "Cobra w/o GC must accept a clean history");
+
+    vec![
+        fmt_dur(leopard_time),
+        fmt_dur(cobra.time),
+        fmt_dur(cobra_nogc.time),
+        leopard_mem.to_string(),
+        cobra.peak_state.to_string(),
+        cobra_nogc.peak_state.to_string(),
+    ]
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+
+    println!("# Fig. 14 — Leopard vs Cobra on BlindW-RW");
+    println!("(state = retained entries: Leopard mirrored structures; Cobra graph nodes + constraints)\n");
+
+    println!("## (a,b) varying transaction scale (8 threads)");
+    header(&[
+        "txns",
+        "Leopard time",
+        "Cobra time",
+        "Cobra w/o GC time",
+        "Leopard state",
+        "Cobra state",
+        "Cobra w/o GC state",
+    ]);
+    let scales: &[u64] = if quick {
+        &[500, 1_000, 2_000]
+    } else {
+        &[500, 1_000, 2_000, 4_000]
+    };
+    for &scale in scales {
+        let mut cells = vec![scale.to_string()];
+        cells.extend(measure(scale, 8));
+        row(&cells);
+    }
+
+    println!("\n## (c,d) varying thread scale (2K txns)");
+    header(&[
+        "threads",
+        "Leopard time",
+        "Cobra time",
+        "Cobra w/o GC time",
+        "Leopard state",
+        "Cobra state",
+        "Cobra w/o GC state",
+    ]);
+    let total = if quick { 1_000 } else { 2_000 };
+    for &threads in &[4usize, 8, 16, 32] {
+        let mut cells = vec![threads.to_string()];
+        cells.extend(measure(total, threads));
+        row(&cells);
+    }
+}

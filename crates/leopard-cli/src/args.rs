@@ -1,0 +1,278 @@
+//! Hand-rolled argument parsing for the `leopard` CLI.
+
+use leopard_core::IsolationLevel;
+use leopard_db::FaultKind;
+use std::fmt;
+
+/// Usage text.
+pub const USAGE: &str = "\
+leopard — black-box isolation-level verification
+
+USAGE:
+  leopard record [OPTIONS]      run a workload, write a capture file
+  leopard verify <FILE> [OPTS]  audit a capture file
+  leopard catalog               print the DBMS mechanism catalog (Fig. 1)
+  leopard help                  show this message
+
+record options:
+  --workload <smallbank|tpcc|ycsb|blindw-w|blindw-rw|blindw-rw+>  (default smallbank)
+  --level <rc|rr|si|sr>         isolation level of the engine (default sr)
+  --threads <N>                 client threads (default 4)
+  --txns <N>                    transactions per client (default 500)
+  --scale <N>                   workload scale factor (default 1)
+  --fault <dirty-read|stale-snapshot|skip-lock|lost-update|skip-certifier>
+  --fault-prob <0..1>           fault probability (default 0.05)
+  --seed <N>                    RNG seed (default 42)
+  --out <FILE>                  capture path (default capture.jsonl)
+
+verify options:
+  --level <rc|rr|si|sr>         level the DBMS promised (default sr)
+  --skew-bound <NANOS>          clock synchronisation error bound (default 0)
+  --no-gc                       disable verifier garbage collection";
+
+/// A parsed command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `leopard record ...`
+    Record(RecordConfig),
+    /// `leopard verify ...`
+    Verify(VerifyConfig),
+    /// `leopard catalog`
+    Catalog,
+    /// `leopard help`
+    Help,
+}
+
+/// Configuration of `leopard record`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecordConfig {
+    /// Workload name.
+    pub workload: String,
+    /// Engine isolation level.
+    pub level: IsolationLevel,
+    /// Client threads.
+    pub threads: usize,
+    /// Transactions per client.
+    pub txns: u64,
+    /// Scale factor (accounts ×1000, warehouses, records ×1000, ...).
+    pub scale: u64,
+    /// Injected fault, if any.
+    pub fault: Option<FaultKind>,
+    /// Fault probability.
+    pub fault_prob: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Output capture path.
+    pub out: String,
+}
+
+impl Default for RecordConfig {
+    fn default() -> Self {
+        RecordConfig {
+            workload: "smallbank".to_string(),
+            level: IsolationLevel::Serializable,
+            threads: 4,
+            txns: 500,
+            scale: 1,
+            fault: None,
+            fault_prob: 0.05,
+            seed: 42,
+            out: "capture.jsonl".to_string(),
+        }
+    }
+}
+
+/// Configuration of `leopard verify`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerifyConfig {
+    /// Capture file to audit.
+    pub file: String,
+    /// The isolation level the DBMS promised.
+    pub level: IsolationLevel,
+    /// Clock-skew bound (ns).
+    pub skew_bound: u64,
+    /// Disable garbage collection (keeps everything; for debugging).
+    pub no_gc: bool,
+}
+
+/// Parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn parse_level(s: &str) -> Result<IsolationLevel, ParseError> {
+    match s.to_ascii_lowercase().as_str() {
+        "rc" | "read-committed" => Ok(IsolationLevel::ReadCommitted),
+        "rr" | "repeatable-read" => Ok(IsolationLevel::RepeatableRead),
+        "si" | "snapshot-isolation" => Ok(IsolationLevel::SnapshotIsolation),
+        "sr" | "serializable" => Ok(IsolationLevel::Serializable),
+        other => Err(ParseError(format!("unknown isolation level `{other}`"))),
+    }
+}
+
+fn parse_fault(s: &str) -> Result<FaultKind, ParseError> {
+    match s.to_ascii_lowercase().as_str() {
+        "dirty-read" => Ok(FaultKind::DirtyRead),
+        "stale-snapshot" => Ok(FaultKind::StaleSnapshot),
+        "skip-lock" => Ok(FaultKind::SkipLock),
+        "lost-update" => Ok(FaultKind::AllowLostUpdate),
+        "skip-certifier" => Ok(FaultKind::SkipCertifier),
+        "first-write-no-lock" => Ok(FaultKind::FirstWriteNoLock),
+        "phantom-extra-version" => Ok(FaultKind::PhantomExtraVersion),
+        other => Err(ParseError(format!("unknown fault `{other}`"))),
+    }
+}
+
+fn want<T: std::str::FromStr>(flag: &str, value: Option<&String>) -> Result<T, ParseError> {
+    let v = value.ok_or_else(|| ParseError(format!("{flag} needs a value")))?;
+    v.parse()
+        .map_err(|_| ParseError(format!("invalid value `{v}` for {flag}")))
+}
+
+/// Parses `argv` (without the program name).
+pub fn parse_args(argv: &[String]) -> Result<Command, ParseError> {
+    let Some(cmd) = argv.first() else {
+        return Ok(Command::Help);
+    };
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "catalog" => Ok(Command::Catalog),
+        "record" => {
+            let mut cfg = RecordConfig::default();
+            let mut it = argv[1..].iter();
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--workload" => {
+                        cfg.workload = want::<String>(flag, it.next())?;
+                    }
+                    "--level" => cfg.level = parse_level(&want::<String>(flag, it.next())?)?,
+                    "--threads" => cfg.threads = want(flag, it.next())?,
+                    "--txns" => cfg.txns = want(flag, it.next())?,
+                    "--scale" => cfg.scale = want(flag, it.next())?,
+                    "--fault" => cfg.fault = Some(parse_fault(&want::<String>(flag, it.next())?)?),
+                    "--fault-prob" => cfg.fault_prob = want(flag, it.next())?,
+                    "--seed" => cfg.seed = want(flag, it.next())?,
+                    "--out" => cfg.out = want::<String>(flag, it.next())?,
+                    other => return Err(ParseError(format!("unknown flag `{other}`"))),
+                }
+            }
+            if cfg.threads == 0 {
+                return Err(ParseError("--threads must be at least 1".to_string()));
+            }
+            Ok(Command::Record(cfg))
+        }
+        "verify" => {
+            let mut file = None;
+            let mut cfg = VerifyConfig {
+                file: String::new(),
+                level: IsolationLevel::Serializable,
+                skew_bound: 0,
+                no_gc: false,
+            };
+            let mut it = argv[1..].iter();
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--level" => cfg.level = parse_level(&want::<String>(arg, it.next())?)?,
+                    "--skew-bound" => cfg.skew_bound = want(arg, it.next())?,
+                    "--no-gc" => cfg.no_gc = true,
+                    flag if flag.starts_with("--") => {
+                        return Err(ParseError(format!("unknown flag `{flag}`")))
+                    }
+                    path => {
+                        if file.replace(path.to_string()).is_some() {
+                            return Err(ParseError("more than one capture file given".into()));
+                        }
+                    }
+                }
+            }
+            cfg.file = file.ok_or_else(|| ParseError("verify needs a capture file".into()))?;
+            Ok(Command::Verify(cfg))
+        }
+        other => Err(ParseError(format!("unknown command `{other}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn empty_argv_is_help() {
+        assert_eq!(parse_args(&[]), Ok(Command::Help));
+    }
+
+    #[test]
+    fn record_defaults_and_overrides() {
+        let cmd = parse_args(&args(
+            "record --workload tpcc --level rc --threads 8 --txns 100 --fault skip-lock --out t.jsonl",
+        ))
+        .unwrap();
+        let Command::Record(cfg) = cmd else {
+            panic!()
+        };
+        assert_eq!(cfg.workload, "tpcc");
+        assert_eq!(cfg.level, IsolationLevel::ReadCommitted);
+        assert_eq!(cfg.threads, 8);
+        assert_eq!(cfg.txns, 100);
+        assert_eq!(cfg.fault, Some(FaultKind::SkipLock));
+        assert_eq!(cfg.out, "t.jsonl");
+    }
+
+    #[test]
+    fn verify_requires_a_file() {
+        assert!(parse_args(&args("verify --level sr")).is_err());
+        let cmd = parse_args(&args("verify cap.jsonl --level si --skew-bound 500")).unwrap();
+        let Command::Verify(cfg) = cmd else { panic!() };
+        assert_eq!(cfg.file, "cap.jsonl");
+        assert_eq!(cfg.level, IsolationLevel::SnapshotIsolation);
+        assert_eq!(cfg.skew_bound, 500);
+    }
+
+    #[test]
+    fn bad_flags_are_rejected_with_context() {
+        let err = parse_args(&args("record --bogus 3")).unwrap_err();
+        assert!(err.0.contains("--bogus"));
+        let err = parse_args(&args("record --threads zero")).unwrap_err();
+        assert!(err.0.contains("zero"));
+        let err = parse_args(&args("record --threads 0")).unwrap_err();
+        assert!(err.0.contains("at least 1"));
+        let err = parse_args(&args("frobnicate")).unwrap_err();
+        assert!(err.0.contains("frobnicate"));
+    }
+
+    #[test]
+    fn all_levels_and_faults_parse() {
+        for (s, l) in [
+            ("rc", IsolationLevel::ReadCommitted),
+            ("rr", IsolationLevel::RepeatableRead),
+            ("si", IsolationLevel::SnapshotIsolation),
+            ("sr", IsolationLevel::Serializable),
+        ] {
+            assert_eq!(parse_level(s).unwrap(), l);
+        }
+        for s in [
+            "dirty-read",
+            "stale-snapshot",
+            "skip-lock",
+            "lost-update",
+            "skip-certifier",
+            "first-write-no-lock",
+            "phantom-extra-version",
+        ] {
+            assert!(parse_fault(s).is_ok(), "{s}");
+        }
+        assert!(parse_level("chaos").is_err());
+        assert!(parse_fault("chaos").is_err());
+    }
+}

@@ -1,0 +1,38 @@
+//! Library backing the `leopard` command-line tool.
+//!
+//! Three subcommands:
+//!
+//! * `record` — run a bundled workload against the bundled engine (with
+//!   optional fault injection) and write a capture file;
+//! * `verify` — audit a capture file at a chosen isolation level or DBMS
+//!   profile;
+//! * `catalog` — print the Fig. 1 mechanism catalog.
+//!
+//! Argument parsing is hand-rolled (`--key value` pairs) to stay inside
+//! the approved dependency set.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod args;
+pub mod commands;
+
+pub use args::{parse_args, Command, ParseError};
+
+/// Entry point shared by the binary and the tests. Returns the process
+/// exit code.
+pub fn run(argv: &[String], out: &mut dyn std::io::Write) -> i32 {
+    match parse_args(argv) {
+        Ok(Command::Record(cfg)) => commands::record(&cfg, out),
+        Ok(Command::Verify(cfg)) => commands::verify(&cfg, out),
+        Ok(Command::Catalog) => commands::catalog(out),
+        Ok(Command::Help) => {
+            let _ = writeln!(out, "{}", args::USAGE);
+            0
+        }
+        Err(e) => {
+            let _ = writeln!(out, "error: {e}\n\n{}", args::USAGE);
+            2
+        }
+    }
+}

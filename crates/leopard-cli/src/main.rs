@@ -1,0 +1,7 @@
+//! The `leopard` command-line tool. See `leopard help`.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdout = std::io::stdout();
+    std::process::exit(leopard_cli::run(&argv, &mut stdout));
+}

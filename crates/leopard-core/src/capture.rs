@@ -1,0 +1,263 @@
+//! Trace capture files: streaming JSONL persistence for offline audits.
+//!
+//! A capture file holds one JSON object per line: a header describing the
+//! initial database state, followed by every trace in dispatch order.
+//! This is the hand-off format between a production trace collector and
+//! an offline Leopard audit — the whole input the verifier ever needs.
+
+use crate::trace::Trace;
+use crate::types::{Key, Value};
+use serde::{Deserialize, Serialize};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+
+/// First line of a capture file.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CaptureHeader {
+    /// Format version, for forward compatibility.
+    pub version: u32,
+    /// Free-form description of the workload / DBMS under test.
+    pub description: String,
+    /// Initial database contents (what `Verifier::preload` needs).
+    pub preload: Vec<(Key, Value)>,
+}
+
+/// Current capture format version.
+pub const CAPTURE_VERSION: u32 = 1;
+
+/// Errors from reading or writing capture files.
+#[derive(Debug)]
+pub enum CaptureError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A line was not valid JSON for the expected record type.
+    Format {
+        /// 1-based line number.
+        line: usize,
+        /// Parser message.
+        message: String,
+    },
+    /// The file is empty or starts with something other than a header.
+    MissingHeader,
+    /// The header's version is not supported.
+    UnsupportedVersion(u32),
+}
+
+impl std::fmt::Display for CaptureError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CaptureError::Io(e) => write!(f, "capture i/o error: {e}"),
+            CaptureError::Format { line, message } => {
+                write!(f, "capture format error at line {line}: {message}")
+            }
+            CaptureError::MissingHeader => f.write_str("capture file has no header line"),
+            CaptureError::UnsupportedVersion(v) => {
+                write!(f, "unsupported capture version {v} (supported: {CAPTURE_VERSION})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CaptureError {}
+
+impl From<std::io::Error> for CaptureError {
+    fn from(e: std::io::Error) -> Self {
+        CaptureError::Io(e)
+    }
+}
+
+/// Streaming writer: header first, then one trace per line.
+#[derive(Debug)]
+pub struct CaptureWriter<W: Write> {
+    out: BufWriter<W>,
+    traces_written: u64,
+}
+
+impl<W: Write> CaptureWriter<W> {
+    /// Creates a writer and emits the header line.
+    pub fn new(sink: W, header: &CaptureHeader) -> Result<CaptureWriter<W>, CaptureError> {
+        let mut out = BufWriter::new(sink);
+        serde_json::to_writer(&mut out, header)
+            .map_err(|e| CaptureError::Format { line: 1, message: e.to_string() })?;
+        out.write_all(b"\n")?;
+        Ok(CaptureWriter {
+            out,
+            traces_written: 0,
+        })
+    }
+
+    /// Appends one trace.
+    pub fn write(&mut self, trace: &Trace) -> Result<(), CaptureError> {
+        serde_json::to_writer(&mut self.out, trace).map_err(|e| CaptureError::Format {
+            line: self.traces_written as usize + 2,
+            message: e.to_string(),
+        })?;
+        self.out.write_all(b"\n")?;
+        self.traces_written += 1;
+        Ok(())
+    }
+
+    /// Flushes and returns the number of traces written.
+    pub fn finish(mut self) -> Result<u64, CaptureError> {
+        self.out.flush()?;
+        Ok(self.traces_written)
+    }
+}
+
+/// Streaming reader: yields traces one by one after parsing the header.
+#[derive(Debug)]
+pub struct CaptureReader<R: Read> {
+    input: BufReader<R>,
+    header: CaptureHeader,
+    line: usize,
+    buf: String,
+}
+
+impl<R: Read> CaptureReader<R> {
+    /// Opens a capture stream, parsing and validating the header.
+    pub fn new(source: R) -> Result<CaptureReader<R>, CaptureError> {
+        let mut input = BufReader::new(source);
+        let mut first = String::new();
+        if input.read_line(&mut first)? == 0 {
+            return Err(CaptureError::MissingHeader);
+        }
+        let header: CaptureHeader =
+            serde_json::from_str(first.trim_end()).map_err(|e| CaptureError::Format {
+                line: 1,
+                message: e.to_string(),
+            })?;
+        if header.version != CAPTURE_VERSION {
+            return Err(CaptureError::UnsupportedVersion(header.version));
+        }
+        Ok(CaptureReader {
+            input,
+            header,
+            line: 1,
+            buf: String::new(),
+        })
+    }
+
+    /// The capture header.
+    #[must_use]
+    pub fn header(&self) -> &CaptureHeader {
+        &self.header
+    }
+
+    /// Reads the next trace; `Ok(None)` at end of file.
+    pub fn next_trace(&mut self) -> Result<Option<Trace>, CaptureError> {
+        loop {
+            self.buf.clear();
+            if self.input.read_line(&mut self.buf)? == 0 {
+                return Ok(None);
+            }
+            self.line += 1;
+            let line = self.buf.trim_end();
+            if line.is_empty() {
+                continue; // tolerate trailing newlines
+            }
+            return serde_json::from_str(line)
+                .map(Some)
+                .map_err(|e| CaptureError::Format {
+                    line: self.line,
+                    message: e.to_string(),
+                });
+        }
+    }
+}
+
+impl<R: Read> Iterator for CaptureReader<R> {
+    type Item = Result<Trace, CaptureError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_trace().transpose()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceBuilder;
+
+    fn sample_header() -> CaptureHeader {
+        CaptureHeader {
+            version: CAPTURE_VERSION,
+            description: "unit test".to_string(),
+            preload: vec![(Key(1), Value(0)), (Key(2), Value(0))],
+        }
+    }
+
+    fn sample_traces() -> Vec<Trace> {
+        let mut b = TraceBuilder::new();
+        b.write(10, 12, 0, 1, vec![(1, 5)]);
+        b.commit(13, 15, 0, 1);
+        b.read(20, 22, 1, 2, vec![(1, 5)]);
+        b.commit(23, 25, 1, 2);
+        b.build_sorted()
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let traces = sample_traces();
+        let mut bytes = Vec::new();
+        let mut w = CaptureWriter::new(&mut bytes, &sample_header()).unwrap();
+        for t in &traces {
+            w.write(t).unwrap();
+        }
+        assert_eq!(w.finish().unwrap(), 4);
+
+        let mut r = CaptureReader::new(bytes.as_slice()).unwrap();
+        assert_eq!(r.header(), &sample_header());
+        let back: Vec<Trace> = (&mut r).map(|t| t.unwrap()).collect();
+        assert_eq!(back, traces);
+    }
+
+    #[test]
+    fn missing_header_is_reported() {
+        let err = CaptureReader::new(&b""[..]).unwrap_err();
+        assert!(matches!(err, CaptureError::MissingHeader));
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let header = CaptureHeader {
+            version: 99,
+            ..sample_header()
+        };
+        let mut bytes = Vec::new();
+        CaptureWriter::new(&mut bytes, &header).unwrap().finish().unwrap();
+        let err = CaptureReader::new(bytes.as_slice()).unwrap_err();
+        assert!(matches!(err, CaptureError::UnsupportedVersion(99)));
+    }
+
+    #[test]
+    fn corrupt_line_reports_its_number() {
+        let mut bytes = Vec::new();
+        let mut w = CaptureWriter::new(&mut bytes, &sample_header()).unwrap();
+        w.write(&sample_traces()[0]).unwrap();
+        w.finish().unwrap();
+        bytes.extend_from_slice(b"{not json}\n");
+        let mut r = CaptureReader::new(bytes.as_slice()).unwrap();
+        assert!(r.next_trace().unwrap().is_some());
+        match r.next_trace() {
+            Err(CaptureError::Format { line, .. }) => assert_eq!(line, 3),
+            other => panic!("expected format error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trailing_blank_lines_are_tolerated() {
+        let mut bytes = Vec::new();
+        let mut w = CaptureWriter::new(&mut bytes, &sample_header()).unwrap();
+        w.write(&sample_traces()[0]).unwrap();
+        w.finish().unwrap();
+        bytes.extend_from_slice(b"\n\n");
+        let mut r = CaptureReader::new(bytes.as_slice()).unwrap();
+        assert!(r.next_trace().unwrap().is_some());
+        assert!(r.next_trace().unwrap().is_none());
+    }
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert!(CaptureError::MissingHeader.to_string().contains("header"));
+        assert!(CaptureError::UnsupportedVersion(7).to_string().contains('7'));
+    }
+}

@@ -1,0 +1,333 @@
+//! Isolation levels, mechanism sets, and the commercial-DBMS catalog
+//! (Fig. 1 of the paper).
+//!
+//! The key observation of the paper (§II-B) is that every isolation level
+//! of every commercial DBMS the authors investigated is assembled from four
+//! mechanisms: consistent read (CR), mutual exclusion (ME), first updater
+//! wins (FUW) and a serialization certifier (SC). Verifying an isolation
+//! level therefore reduces to verifying the mechanisms that implement it,
+//! which is what [`MechanismSet`] configures.
+
+use crate::report::Mechanism;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// ANSI-style isolation levels plus snapshot isolation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IsolationLevel {
+    /// Read committed (RC).
+    ReadCommitted,
+    /// Repeatable read (RR).
+    RepeatableRead,
+    /// Snapshot isolation (SI).
+    SnapshotIsolation,
+    /// Serializable (SR).
+    Serializable,
+}
+
+impl fmt::Display for IsolationLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            IsolationLevel::ReadCommitted => "RC",
+            IsolationLevel::RepeatableRead => "RR",
+            IsolationLevel::SnapshotIsolation => "SI",
+            IsolationLevel::Serializable => "SR",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Whether consistent reads take their snapshot once per transaction or
+/// once per statement (§II-B, §V-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SnapshotLevel {
+    /// One snapshot at the first operation of the transaction
+    /// (RR / SI / SR in MVCC systems).
+    Transaction,
+    /// A fresh snapshot at the start of every operation (RC).
+    Statement,
+}
+
+/// The certifier rule the DBMS uses for its serializable level (§V-D).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CertifierRule {
+    /// PostgreSQL-style serializable snapshot isolation: abort on a
+    /// dangerous structure of two consecutive rw antidependencies among
+    /// concurrent transactions.
+    SsiDangerousStructure,
+    /// CockroachDB-style multi-version timestamp ordering: no dependency
+    /// may point from a newer-timestamped transaction to an older one.
+    MvtoTimestampOrder,
+    /// Plain conflict serializability: no cycle in the dependency graph.
+    /// Detected incrementally; this is also what lock-only (2PL) systems
+    /// guarantee, so it doubles as a cross-check for ME.
+    AcyclicGraph,
+}
+
+/// Which mechanisms a DBMS's isolation level is built from, and how.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MechanismSet {
+    /// Consistent read, with its snapshot granularity. `None` disables the
+    /// CR check (pure-2PL systems such as SQLite serializable).
+    pub consistent_read: Option<SnapshotLevel>,
+    /// Mutual exclusion via write locks.
+    pub mutual_exclusion: bool,
+    /// First updater wins.
+    pub first_updater_wins: bool,
+    /// Serialization certifier rule, if any.
+    pub certifier: Option<CertifierRule>,
+}
+
+impl MechanismSet {
+    /// PostgreSQL-style assembly for a given level (the paper's default
+    /// subject, Fig. 1 first row).
+    #[must_use]
+    pub fn postgres(level: IsolationLevel) -> MechanismSet {
+        match level {
+            IsolationLevel::ReadCommitted => MechanismSet {
+                consistent_read: Some(SnapshotLevel::Statement),
+                mutual_exclusion: true,
+                first_updater_wins: false,
+                certifier: None,
+            },
+            // PostgreSQL's "repeatable read" level is in fact snapshot
+            // isolation; both get transaction snapshots + FUW.
+            IsolationLevel::RepeatableRead | IsolationLevel::SnapshotIsolation => MechanismSet {
+                consistent_read: Some(SnapshotLevel::Transaction),
+                mutual_exclusion: true,
+                first_updater_wins: true,
+                certifier: None,
+            },
+            IsolationLevel::Serializable => MechanismSet {
+                consistent_read: Some(SnapshotLevel::Transaction),
+                mutual_exclusion: true,
+                first_updater_wins: true,
+                certifier: Some(CertifierRule::SsiDangerousStructure),
+            },
+        }
+    }
+
+    /// The mechanisms to verify, as report tags.
+    #[must_use]
+    pub fn active_mechanisms(&self) -> Vec<Mechanism> {
+        let mut v = Vec::with_capacity(4);
+        if self.consistent_read.is_some() {
+            v.push(Mechanism::ConsistentRead);
+        }
+        if self.mutual_exclusion {
+            v.push(Mechanism::MutualExclusion);
+        }
+        if self.first_updater_wins {
+            v.push(Mechanism::FirstUpdaterWins);
+        }
+        if self.certifier.is_some() {
+            v.push(Mechanism::SerializationCertifier);
+        }
+        v
+    }
+}
+
+/// One row of the paper's Fig. 1: a DBMS, the concurrency control it uses,
+/// and the mechanism assembly of each isolation level it offers.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DbmsProfile {
+    /// Product name.
+    pub name: &'static str,
+    /// Concurrency-control protocols the product combines.
+    pub concurrency_control: &'static str,
+    /// Isolation levels and their mechanism sets.
+    pub levels: Vec<(IsolationLevel, MechanismSet)>,
+}
+
+impl DbmsProfile {
+    /// Looks up the mechanism set for one isolation level.
+    #[must_use]
+    pub fn mechanisms_for(&self, level: IsolationLevel) -> Option<MechanismSet> {
+        self.levels
+            .iter()
+            .find(|(l, _)| *l == level)
+            .map(|(_, m)| *m)
+    }
+}
+
+fn set(
+    cr: Option<SnapshotLevel>,
+    me: bool,
+    fuw: bool,
+    sc: Option<CertifierRule>,
+) -> MechanismSet {
+    MechanismSet {
+        consistent_read: cr,
+        mutual_exclusion: me,
+        first_updater_wins: fuw,
+        certifier: sc,
+    }
+}
+
+/// The catalog of Fig. 1: isolation-level implementations of the commercial
+/// DBMSs the paper investigated.
+#[must_use]
+pub fn catalog() -> Vec<DbmsProfile> {
+    use CertifierRule::*;
+    use IsolationLevel::*;
+    use SnapshotLevel::*;
+    vec![
+        DbmsProfile {
+            name: "PostgreSQL / openGauss",
+            concurrency_control: "2PL+MVCC+SSI",
+            levels: vec![
+                (
+                    Serializable,
+                    set(Some(Transaction), true, true, Some(SsiDangerousStructure)),
+                ),
+                (SnapshotIsolation, set(Some(Transaction), true, true, None)),
+                (RepeatableRead, set(Some(Transaction), true, true, None)),
+                (ReadCommitted, set(Some(Statement), true, false, None)),
+            ],
+        },
+        DbmsProfile {
+            name: "InnoDB / Aurora / PolarDB / SQL Server",
+            concurrency_control: "2PL+MVCC",
+            levels: vec![
+                (Serializable, set(Some(Transaction), true, false, None)),
+                (RepeatableRead, set(Some(Transaction), true, false, None)),
+                (ReadCommitted, set(Some(Statement), true, false, None)),
+            ],
+        },
+        DbmsProfile {
+            name: "TiDB (pessimistic)",
+            concurrency_control: "2PL+MVCC",
+            levels: vec![
+                (RepeatableRead, set(Some(Transaction), true, false, None)),
+                (ReadCommitted, set(Some(Statement), true, false, None)),
+            ],
+        },
+        DbmsProfile {
+            name: "TiDB (Percolator)",
+            concurrency_control: "Percolator",
+            levels: vec![(
+                SnapshotIsolation,
+                set(Some(Transaction), false, false, Some(AcyclicGraph)),
+            )],
+        },
+        DbmsProfile {
+            name: "RocksDB (pessimistic)",
+            concurrency_control: "2PL+MVCC",
+            levels: vec![(Serializable, set(Some(Transaction), true, false, None))],
+        },
+        DbmsProfile {
+            name: "RocksDB (optimistic)",
+            concurrency_control: "OCC+MVCC",
+            levels: vec![(
+                Serializable,
+                set(Some(Transaction), false, false, Some(AcyclicGraph)),
+            )],
+        },
+        DbmsProfile {
+            name: "SQLite",
+            concurrency_control: "2PL",
+            levels: vec![(Serializable, set(None, true, false, None))],
+        },
+        DbmsProfile {
+            name: "FoundationDB",
+            concurrency_control: "OCC+MVCC",
+            levels: vec![(
+                Serializable,
+                set(Some(Transaction), false, false, Some(AcyclicGraph)),
+            )],
+        },
+        DbmsProfile {
+            name: "SingleStore",
+            concurrency_control: "2PL+MVCC",
+            levels: vec![(ReadCommitted, set(Some(Statement), true, false, None))],
+        },
+        DbmsProfile {
+            name: "CockroachDB",
+            concurrency_control: "TO+MVCC",
+            levels: vec![(
+                Serializable,
+                set(Some(Transaction), false, false, Some(MvtoTimestampOrder)),
+            )],
+        },
+        DbmsProfile {
+            name: "Spanner",
+            concurrency_control: "2PL+MVCC",
+            levels: vec![(Serializable, set(Some(Transaction), true, false, None))],
+        },
+        DbmsProfile {
+            name: "YugabyteDB",
+            concurrency_control: "2PL+MVCC",
+            levels: vec![
+                (
+                    Serializable,
+                    set(Some(Transaction), true, true, Some(SsiDangerousStructure)),
+                ),
+                (RepeatableRead, set(Some(Transaction), true, true, None)),
+                (ReadCommitted, set(Some(Statement), true, false, None)),
+            ],
+        },
+        DbmsProfile {
+            name: "Oracle / NuoDB / SAP HANA",
+            concurrency_control: "2PL+MVCC",
+            levels: vec![
+                (SnapshotIsolation, set(Some(Transaction), true, true, None)),
+                (ReadCommitted, set(Some(Statement), true, false, None)),
+            ],
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn postgres_serializable_uses_all_four() {
+        let m = MechanismSet::postgres(IsolationLevel::Serializable);
+        assert_eq!(m.active_mechanisms().len(), 4);
+        assert_eq!(m.certifier, Some(CertifierRule::SsiDangerousStructure));
+    }
+
+    #[test]
+    fn postgres_rc_is_statement_level_no_fuw() {
+        let m = MechanismSet::postgres(IsolationLevel::ReadCommitted);
+        assert_eq!(m.consistent_read, Some(SnapshotLevel::Statement));
+        assert!(!m.first_updater_wins);
+        assert!(m.certifier.is_none());
+    }
+
+    #[test]
+    fn postgres_rr_equals_si() {
+        assert_eq!(
+            MechanismSet::postgres(IsolationLevel::RepeatableRead),
+            MechanismSet::postgres(IsolationLevel::SnapshotIsolation)
+        );
+    }
+
+    #[test]
+    fn catalog_matches_figure_1_highlights() {
+        let cat = catalog();
+        let pg = cat.iter().find(|p| p.name.starts_with("PostgreSQL")).unwrap();
+        let sr = pg.mechanisms_for(IsolationLevel::Serializable).unwrap();
+        assert_eq!(sr.active_mechanisms().len(), 4);
+
+        let crdb = cat.iter().find(|p| p.name == "CockroachDB").unwrap();
+        let sr = crdb.mechanisms_for(IsolationLevel::Serializable).unwrap();
+        assert!(!sr.mutual_exclusion);
+        assert_eq!(sr.certifier, Some(CertifierRule::MvtoTimestampOrder));
+
+        let sqlite = cat.iter().find(|p| p.name == "SQLite").unwrap();
+        let sr = sqlite.mechanisms_for(IsolationLevel::Serializable).unwrap();
+        assert!(sr.consistent_read.is_none());
+        assert!(sr.mutual_exclusion);
+    }
+
+    #[test]
+    fn mechanisms_for_missing_level_is_none() {
+        let cat = catalog();
+        let sqlite = cat.iter().find(|p| p.name == "SQLite").unwrap();
+        assert!(sqlite
+            .mechanisms_for(IsolationLevel::ReadCommitted)
+            .is_none());
+    }
+}

@@ -1,0 +1,171 @@
+//! The assembled online verifier: Fig. 2 of the paper as one object.
+//!
+//! [`OnlineLeopard`] owns the whole Tracer→Verifier chain: client threads
+//! record into [`ClientHandle`]s; a background thread drains the channels
+//! through the two-level pipeline and feeds the mechanism-mirrored
+//! verifier as traces become dispatchable. Dropping the last handle closes
+//! a client's stream; [`OnlineLeopard::finish`] joins the verifier thread
+//! and returns the outcome.
+//!
+//! ```
+//! use leopard_core::online::OnlineLeopard;
+//! use leopard_core::{
+//!     IsolationLevel, Key, OpKind, Trace, TxnId, Value, VerifierConfig,
+//!     Interval, Timestamp, ClientId,
+//! };
+//!
+//! let (leopard, mut handles) = OnlineLeopard::start(
+//!     1,
+//!     VerifierConfig::for_level(IsolationLevel::Serializable),
+//!     vec![(Key(1), Value(0))],
+//! );
+//! let handle = handles.remove(0);
+//! let iv = |lo, hi| Interval::new(Timestamp(lo), Timestamp(hi));
+//! handle.record(Trace::new(iv(10, 12), ClientId(0), TxnId(1), OpKind::Write(vec![(Key(1), Value(7))])));
+//! handle.record(Trace::new(iv(13, 15), ClientId(0), TxnId(1), OpKind::Commit));
+//! drop(handle); // close the stream
+//! let outcome = leopard.finish();
+//! assert!(outcome.report.is_clean());
+//! ```
+
+use crate::pipeline::{ChannelTracer, ClientHandle, PipelineConfig, PipelineStats};
+use crate::types::{Key, Value};
+use crate::verify::{Verifier, VerifierConfig, VerifyOutcome};
+
+/// A running Tracer→Verifier chain.
+#[derive(Debug)]
+pub struct OnlineLeopard {
+    worker: std::thread::JoinHandle<(VerifyOutcome, PipelineStats)>,
+}
+
+impl OnlineLeopard {
+    /// Starts the chain for `clients` trace producers with the default
+    /// pipeline configuration, returning one handle per client.
+    #[must_use]
+    pub fn start(
+        clients: usize,
+        cfg: VerifierConfig,
+        preload: Vec<(Key, Value)>,
+    ) -> (OnlineLeopard, Vec<ClientHandle>) {
+        OnlineLeopard::start_with(clients, cfg, PipelineConfig::default(), preload)
+    }
+
+    /// Starts the chain with an explicit pipeline configuration.
+    #[must_use]
+    pub fn start_with(
+        clients: usize,
+        cfg: VerifierConfig,
+        pipeline: PipelineConfig,
+        preload: Vec<(Key, Value)>,
+    ) -> (OnlineLeopard, Vec<ClientHandle>) {
+        let (mut tracer, handles) = ChannelTracer::new(clients, pipeline);
+        let worker = std::thread::spawn(move || {
+            let mut verifier = Verifier::new(cfg);
+            for (k, v) in preload {
+                verifier.preload(k, v);
+            }
+            let mut batch = Vec::new();
+            loop {
+                let live = tracer.poll(&mut batch);
+                for trace in batch.drain(..) {
+                    verifier.process(&trace);
+                }
+                if !live {
+                    break;
+                }
+                std::thread::yield_now();
+            }
+            (verifier.finish(), tracer.stats())
+        });
+        (OnlineLeopard { worker }, handles)
+    }
+
+    /// Waits for every client stream to close and every trace to be
+    /// verified, then returns the outcome.
+    ///
+    /// Call only after all [`ClientHandle`]s have been dropped, or the
+    /// verifier thread will wait forever.
+    #[must_use]
+    pub fn finish(self) -> VerifyOutcome {
+        self.finish_with_stats().0
+    }
+
+    /// Like [`OnlineLeopard::finish`], also returning pipeline statistics.
+    #[must_use]
+    pub fn finish_with_stats(self) -> (VerifyOutcome, PipelineStats) {
+        self.worker.join().expect("verifier thread panicked")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::IsolationLevel;
+    use crate::trace::{OpKind, Trace};
+    use crate::types::{ClientId, Timestamp, TxnId};
+    use crate::Interval;
+
+    fn iv(lo: u64, hi: u64) -> Interval {
+        Interval::new(Timestamp(lo), Timestamp(hi))
+    }
+
+    #[test]
+    fn multi_client_online_verification() {
+        let (leopard, handles) = OnlineLeopard::start(
+            4,
+            VerifierConfig::for_level(IsolationLevel::Serializable),
+            (0..16).map(|k| (Key(k), Value(0))).collect(),
+        );
+        let mut joins = Vec::new();
+        for (c, handle) in handles.into_iter().enumerate() {
+            joins.push(std::thread::spawn(move || {
+                // Each client writes its own key range serially.
+                for i in 0..50u64 {
+                    let txn = TxnId((c as u64) * 1000 + i + 1);
+                    let base = i * 100 + c as u64 * 3;
+                    let key = Key(c as u64 * 4 + (i % 4));
+                    handle.record(Trace::new(
+                        iv(base + 1, base + 2),
+                        ClientId(c as u32),
+                        txn,
+                        OpKind::Write(vec![(key, Value(1_000_000 + txn.0))]),
+                    ));
+                    handle.record(Trace::new(
+                        iv(base + 3, base + 4),
+                        ClientId(c as u32),
+                        txn,
+                        OpKind::Commit,
+                    ));
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        let (outcome, stats) = leopard.finish_with_stats();
+        assert_eq!(stats.dispatched, 4 * 50 * 2);
+        assert_eq!(outcome.counters.committed, 200);
+        assert!(outcome.report.is_clean(), "{}", outcome.report);
+    }
+
+    #[test]
+    fn violations_surface_through_the_chain() {
+        let (leopard, mut handles) = OnlineLeopard::start(
+            1,
+            VerifierConfig::for_level(IsolationLevel::Serializable),
+            vec![(Key(1), Value(0))],
+        );
+        let handle = handles.remove(0);
+        // A dirty read: observes a value that was never committed.
+        handle.record(Trace::new(
+            iv(10, 12),
+            ClientId(0),
+            TxnId(1),
+            OpKind::Read(vec![(Key(1), Value(99))]),
+        ));
+        handle.record(Trace::new(iv(13, 15), ClientId(0), TxnId(1), OpKind::Commit));
+        drop(handle);
+        let outcome = leopard.finish();
+        assert_eq!(outcome.report.violations.len(), 1);
+    }
+}

@@ -1,0 +1,200 @@
+//! Multi-threaded front end for the two-level pipeline.
+//!
+//! Worker threads hold a [`ClientHandle`] each and record traces without
+//! any cross-thread coordination (an unbounded MPSC channel per client —
+//! the paper's "local buffers asynchronously buffer traces from each
+//! client"). The collector side drains the channels into the deterministic
+//! [`TwoLevelPipeline`](super::TwoLevelPipeline) and dispatches.
+
+use super::{PipelineConfig, PipelineError, PipelineStats, TwoLevelPipeline};
+use crate::trace::Trace;
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+
+/// The client-thread side: cheap, cloneable-per-client trace sink.
+#[derive(Debug)]
+pub struct ClientHandle {
+    sender: Sender<Trace>,
+}
+
+impl ClientHandle {
+    /// Records one trace. Never blocks.
+    ///
+    /// Dropping the handle closes the client's stream.
+    pub fn record(&self, trace: Trace) {
+        // A send error means the collector has shut down; traces recorded
+        // after that are intentionally discarded.
+        let _ = self.sender.send(trace);
+    }
+}
+
+/// The collector side: owns the per-client channels and the pipeline.
+#[derive(Debug)]
+pub struct ChannelTracer {
+    receivers: Vec<Receiver<Trace>>,
+    disconnected: Vec<bool>,
+    pipeline: TwoLevelPipeline,
+    errors: Vec<PipelineError>,
+}
+
+impl ChannelTracer {
+    /// Creates a tracer for `n_clients` worker threads, returning the
+    /// handles to distribute to them.
+    #[must_use]
+    pub fn new(n_clients: usize, cfg: PipelineConfig) -> (ChannelTracer, Vec<ClientHandle>) {
+        let mut receivers = Vec::with_capacity(n_clients);
+        let mut handles = Vec::with_capacity(n_clients);
+        for _ in 0..n_clients {
+            let (tx, rx) = unbounded();
+            receivers.push(rx);
+            handles.push(ClientHandle { sender: tx });
+        }
+        let tracer = ChannelTracer {
+            disconnected: vec![false; n_clients],
+            receivers,
+            pipeline: TwoLevelPipeline::new(n_clients, cfg),
+            errors: Vec::new(),
+        };
+        (tracer, handles)
+    }
+
+    /// Drains every client channel into the local buffers, then dispatches
+    /// every provable trace into `out`. Returns `true` while more traces
+    /// may still arrive (some client handle is still alive or undrained).
+    pub fn poll(&mut self, out: &mut Vec<Trace>) -> bool {
+        for (i, rx) in self.receivers.iter().enumerate() {
+            if self.disconnected[i] {
+                continue;
+            }
+            loop {
+                match rx.try_recv() {
+                    Ok(trace) => {
+                        // Client threads time operations with a monotonic
+                        // clock, so per-client order normally holds; a
+                        // stepping clock would break it. Close the broken
+                        // stream and record the error instead of taking
+                        // the verification thread down.
+                        if let Err(e) = self.pipeline.push(i, trace) {
+                            self.errors.push(e);
+                            self.disconnected[i] = true;
+                            self.pipeline.close(i).expect("valid client index");
+                            break;
+                        }
+                    }
+                    Err(TryRecvError::Empty) => break,
+                    Err(TryRecvError::Disconnected) => {
+                        self.disconnected[i] = true;
+                        self.pipeline.close(i).expect("valid client index");
+                        break;
+                    }
+                }
+            }
+        }
+        self.pipeline.drain_available(out);
+        !self.pipeline.is_exhausted() || self.disconnected.iter().any(|d| !d)
+    }
+
+    /// Runs `poll` until every client has disconnected and every buffered
+    /// trace has been dispatched, yielding them to `sink` in order.
+    pub fn run_to_completion(mut self, mut sink: impl FnMut(Trace)) -> PipelineStats {
+        let mut batch = Vec::new();
+        loop {
+            let live = self.poll(&mut batch);
+            for t in batch.drain(..) {
+                sink(t);
+            }
+            if !live {
+                // `poll` only reports dead once every client disconnected
+                // and the pipeline drained.
+                debug_assert!(self.pipeline.is_exhausted());
+                return self.pipeline.stats();
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// Stream errors encountered so far (e.g. a client whose timestamps
+    /// went backwards; its stream was closed at the offending trace).
+    #[must_use]
+    pub fn errors(&self) -> &[PipelineError] {
+        &self.errors
+    }
+
+    /// Occupancy/progress counters of the underlying pipeline.
+    #[must_use]
+    pub fn stats(&self) -> PipelineStats {
+        self.pipeline.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::OpKind;
+    use crate::types::{ClientId, Timestamp, TxnId};
+    use crate::Interval;
+    use std::thread;
+
+    fn t(client: u32, lo: u64) -> Trace {
+        Trace::new(
+            Interval::new(Timestamp(lo), Timestamp(lo + 1)),
+            ClientId(client),
+            TxnId(lo),
+            OpKind::Commit,
+        )
+    }
+
+    #[test]
+    fn threads_stream_in_sorted_out() {
+        let (tracer, handles) = ChannelTracer::new(4, PipelineConfig::default());
+        let mut joins = Vec::new();
+        for (c, handle) in handles.into_iter().enumerate() {
+            joins.push(thread::spawn(move || {
+                for i in 0..250u64 {
+                    // Distinct ts per client: ts = i * 4 + client.
+                    handle.record(t(c as u32, i * 4 + c as u64));
+                }
+                // handle dropped here -> stream closed
+            }));
+        }
+        let mut out = Vec::new();
+        let stats = tracer.run_to_completion(|trace| out.push(trace));
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert_eq!(out.len(), 1000);
+        assert_eq!(stats.dispatched, 1000);
+        assert!(out.windows(2).all(|w| w[0].ts_bef() <= w[1].ts_bef()));
+    }
+
+    #[test]
+    fn non_monotonic_client_stream_is_closed_not_fatal() {
+        let (mut tracer, handles) = ChannelTracer::new(2, PipelineConfig::default());
+        handles[0].record(t(0, 100));
+        handles[0].record(t(0, 50)); // clock stepped backwards
+        handles[0].record(t(0, 200)); // discarded: stream already closed
+        handles[1].record(t(1, 10));
+        drop(handles);
+        let mut out = Vec::new();
+        while tracer.poll(&mut out) {}
+        assert_eq!(tracer.errors().len(), 1);
+        assert!(matches!(
+            tracer.errors()[0],
+            crate::pipeline::PipelineError::NonMonotonicClient { client: 0, .. }
+        ));
+        // The healthy client's trace and the pre-error trace still flow.
+        let ts: Vec<u64> = out.iter().map(|t| t.ts_bef().0).collect();
+        assert_eq!(ts, vec![10, 100]);
+    }
+
+    #[test]
+    fn poll_reports_liveness() {
+        let (mut tracer, handles) = ChannelTracer::new(1, PipelineConfig::default());
+        let mut out = Vec::new();
+        assert!(tracer.poll(&mut out), "client still connected");
+        handles[0].record(t(0, 1));
+        drop(handles);
+        // Poll until fully drained.
+        while tracer.poll(&mut out) {}
+        assert_eq!(out.len(), 1);
+    }
+}

@@ -1,0 +1,593 @@
+//! The two-level pipeline that sorts massive streaming traces online
+//! (§IV-C, Algorithm 1 of the paper).
+//!
+//! Each client appends traces — in increasing `ts_bef` order — to its own
+//! *local buffer*. A *global buffer* (min-heap keyed on `ts_bef`) fetches
+//! traces from the local buffers and dispatches them to the verifier once
+//! the *watermark* proves no smaller-timestamped trace can still arrive.
+//!
+//! Theorem 1 (dispatch order) is enforced structurally: a trace leaves the
+//! heap only when its `ts_bef` is at or below the minimum possible
+//! `ts_bef` of every trace not yet in the heap, which is tracked per
+//! client as "head of its local buffer, else the last timestamp it was
+//! seen at, else +∞ once closed".
+//!
+//! The two §IV-C optimizations are independently switchable so the paper's
+//! `w/o Opt` baseline (Fig. 10) shares this exact code path:
+//!
+//! * **prefer-smallest fetch** — fetch only from the local buffer whose
+//!   head timestamp currently blocks the watermark, instead of draining
+//!   every buffer each round;
+//! * **bounded global buffer** — stop fetching once the heap holds enough
+//!   dispatchable traces, keeping in-rate equal to out-rate and the heap
+//!   size stable.
+
+mod channel;
+
+pub use channel::{ChannelTracer, ClientHandle};
+
+use crate::trace::Trace;
+use crate::types::Timestamp;
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Pipeline tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PipelineConfig {
+    /// Optimization (a): fetch from the local buffer with the smallest
+    /// head timestamp first, rather than draining all buffers each round.
+    pub prefer_smallest: bool,
+    /// Optimization (b): keep fetch and dispatch rates matched by moving
+    /// at most `fetch_batch` traces per fetch step instead of draining
+    /// the pinning buffer completely.
+    pub bound_global: bool,
+    /// Maximum traces moved from one local buffer per fetch step when
+    /// `bound_global` is set.
+    pub fetch_batch: usize,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> PipelineConfig {
+        PipelineConfig {
+            prefer_smallest: true,
+            bound_global: true,
+            fetch_batch: 256,
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// The paper's `w/o Opt` configuration: Algorithm 1 verbatim, fetching
+    /// every local buffer fully each round with no size bound.
+    #[must_use]
+    pub fn without_optimizations() -> PipelineConfig {
+        PipelineConfig {
+            prefer_smallest: false,
+            bound_global: false,
+            ..PipelineConfig::default()
+        }
+    }
+}
+
+/// Errors surfaced by the pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PipelineError {
+    /// A client pushed a trace whose `ts_bef` went backwards. Per-client
+    /// monotonicity is the precondition of Theorem 1.
+    NonMonotonicClient {
+        /// Index of the offending local buffer.
+        client: usize,
+        /// Timestamp the client was last seen at.
+        last: Timestamp,
+        /// The regressing timestamp that was pushed.
+        pushed: Timestamp,
+    },
+    /// A push or close referenced a client index that does not exist.
+    UnknownClient(usize),
+    /// A push arrived after the client was closed.
+    ClientClosed(usize),
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::NonMonotonicClient {
+                client,
+                last,
+                pushed,
+            } => write!(
+                f,
+                "client {client} pushed ts_bef {pushed} after {last}: traces must be \
+                 pushed in increasing ts_bef order"
+            ),
+            PipelineError::UnknownClient(c) => write!(f, "unknown client index {c}"),
+            PipelineError::ClientClosed(c) => write!(f, "client {c} already closed"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+/// Occupancy and progress counters of one pipeline run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PipelineStats {
+    /// Traces dispatched so far.
+    pub dispatched: u64,
+    /// Traces fetched from local buffers into the global heap so far.
+    pub fetched: u64,
+    /// Fetch rounds executed.
+    pub rounds: u64,
+    /// Maximum size the global heap ever reached.
+    pub max_global: usize,
+    /// Maximum total occupancy of all local buffers.
+    pub max_local_total: usize,
+    /// Maximum of (heap + local buffers): the pipeline's peak footprint
+    /// in buffered traces (Fig. 10(a)'s memory metric).
+    pub max_total_buffered: usize,
+}
+
+#[derive(Debug)]
+struct HeapEntry {
+    trace: Trace,
+    seq: u64,
+}
+
+impl HeapEntry {
+    fn key(&self) -> (Timestamp, Timestamp, u64) {
+        (self.trace.ts_bef(), self.trace.ts_aft(), self.seq)
+    }
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key().cmp(&other.key())
+    }
+}
+
+#[derive(Debug)]
+struct LocalBuffer {
+    queue: VecDeque<Trace>,
+    /// Lower bound on the `ts_bef` of any trace this client may still
+    /// produce: the last timestamp seen from it.
+    last_seen: Timestamp,
+    closed: bool,
+    local_total: usize,
+}
+
+impl LocalBuffer {
+    /// Minimum `ts_bef` any not-yet-fetched trace of this client can have;
+    /// `None` means "no further traces" (closed and drained).
+    fn lower_bound(&self) -> Option<Timestamp> {
+        if let Some(front) = self.queue.front() {
+            Some(front.ts_bef())
+        } else if self.closed {
+            None
+        } else {
+            Some(self.last_seen)
+        }
+    }
+}
+
+/// The two-level pipeline: local buffers + watermarked global min-heap.
+///
+/// This is a single-owner deterministic structure; multi-threaded trace
+/// collection wraps it via [`ChannelTracer`].
+#[derive(Debug)]
+pub struct TwoLevelPipeline {
+    locals: Vec<LocalBuffer>,
+    heap: BinaryHeap<Reverse<HeapEntry>>,
+    cfg: PipelineConfig,
+    stats: PipelineStats,
+    seq: u64,
+    local_total: usize,
+    last_dispatched: Timestamp,
+}
+
+impl TwoLevelPipeline {
+    /// Creates a pipeline for `n_clients` trace-producing clients.
+    #[must_use]
+    pub fn new(n_clients: usize, cfg: PipelineConfig) -> TwoLevelPipeline {
+        TwoLevelPipeline {
+            locals: (0..n_clients)
+                .map(|_| LocalBuffer {
+                    queue: VecDeque::new(),
+                    last_seen: Timestamp::ZERO,
+                    closed: false,
+                    local_total: 0,
+                })
+                .collect(),
+            heap: BinaryHeap::new(),
+            cfg,
+            stats: PipelineStats::default(),
+            seq: 0,
+            local_total: 0,
+            last_dispatched: Timestamp::ZERO,
+        }
+    }
+
+    /// Number of clients the pipeline was created with.
+    #[must_use]
+    pub fn clients(&self) -> usize {
+        self.locals.len()
+    }
+
+    /// Appends a trace to `client`'s local buffer. Traces must arrive in
+    /// non-decreasing `ts_bef` order per client (Theorem 1 precondition).
+    pub fn push(&mut self, client: usize, trace: Trace) -> Result<(), PipelineError> {
+        let local = self
+            .locals
+            .get_mut(client)
+            .ok_or(PipelineError::UnknownClient(client))?;
+        if local.closed {
+            return Err(PipelineError::ClientClosed(client));
+        }
+        if trace.ts_bef() < local.last_seen {
+            return Err(PipelineError::NonMonotonicClient {
+                client,
+                last: local.last_seen,
+                pushed: trace.ts_bef(),
+            });
+        }
+        local.last_seen = trace.ts_bef();
+        local.queue.push_back(trace);
+        local.local_total += 1;
+        self.local_total += 1;
+        self.stats.max_local_total = self.stats.max_local_total.max(self.local_total);
+        self.note_footprint();
+        Ok(())
+    }
+
+    /// Declares that `client` will produce no further traces.
+    pub fn close(&mut self, client: usize) -> Result<(), PipelineError> {
+        let local = self
+            .locals
+            .get_mut(client)
+            .ok_or(PipelineError::UnknownClient(client))?;
+        local.closed = true;
+        Ok(())
+    }
+
+    /// The current watermark: the smallest `ts_bef` any not-yet-fetched
+    /// trace can have, or `None` when every client is closed and drained
+    /// (in which case everything in the heap is dispatchable).
+    #[must_use]
+    pub fn watermark(&self) -> Option<Timestamp> {
+        self.locals.iter().filter_map(LocalBuffer::lower_bound).min()
+    }
+
+    /// Tries to dispatch the next trace in global `ts_bef` order.
+    ///
+    /// Returns `None` when no trace can currently be *proven* next — either
+    /// the pipeline is empty, or an open client with an empty buffer pins
+    /// the watermark (more pushes or a `close` are needed).
+    pub fn try_dispatch(&mut self) -> Option<Trace> {
+        loop {
+            if self.heap_top_dispatchable() {
+                let Reverse(entry) = self.heap.pop().expect("checked non-empty");
+                self.stats.dispatched += 1;
+                debug_assert!(
+                    entry.trace.ts_bef() >= self.last_dispatched,
+                    "Theorem 1 violated: dispatch went backwards"
+                );
+                self.last_dispatched = entry.trace.ts_bef();
+                return Some(entry.trace);
+            }
+            if !self.fetch_round() {
+                return None;
+            }
+        }
+    }
+
+    /// Dispatches every currently provable trace into `out`.
+    pub fn drain_available(&mut self, out: &mut Vec<Trace>) {
+        while let Some(t) = self.try_dispatch() {
+            out.push(t);
+        }
+    }
+
+    /// `true` when every client is closed and every buffer (local and
+    /// global) is empty.
+    #[must_use]
+    pub fn is_exhausted(&self) -> bool {
+        self.heap.is_empty()
+            && self
+                .locals
+                .iter()
+                .all(|l| l.closed && l.queue.is_empty())
+    }
+
+    /// Progress and occupancy counters.
+    #[must_use]
+    pub fn stats(&self) -> PipelineStats {
+        self.stats
+    }
+
+    /// Current global heap occupancy.
+    #[must_use]
+    pub fn global_len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Current total local buffer occupancy.
+    #[must_use]
+    pub fn local_len(&self) -> usize {
+        self.local_total
+    }
+
+    fn heap_top_dispatchable(&self) -> bool {
+        match self.heap.peek() {
+            None => false,
+            Some(Reverse(top)) => match self.watermark() {
+                None => true,
+                Some(w) => top.trace.ts_bef() <= w,
+            },
+        }
+    }
+
+    /// One fetch round (stage (b) of Algorithm 1). Returns `false` when no
+    /// trace could be moved, i.e. the caller must wait for more pushes.
+    fn fetch_round(&mut self) -> bool {
+        self.stats.rounds += 1;
+        let moved = if self.cfg.prefer_smallest {
+            self.fetch_preferring_smallest()
+        } else {
+            self.fetch_all_locals()
+        };
+        moved > 0
+    }
+
+    /// Optimized fetch: move traces only from the buffer that *pins the
+    /// watermark*, a batch at a time, and only while that helps dispatch.
+    ///
+    /// Fetching from any other buffer cannot raise the watermark, so it
+    /// would only inflate the heap with traces that are not yet provably
+    /// next — this is precisely how the optimized pipeline keeps the
+    /// global buffer small on skewed clients (Fig. 10(a)). If the
+    /// watermark is pinned by an open client with an empty buffer, no
+    /// fetch can help: the dispatcher must wait for that client.
+    fn fetch_preferring_smallest(&mut self) -> usize {
+        let mut moved = 0;
+        loop {
+            if self.heap_top_dispatchable() {
+                break;
+            }
+            // The client with the smallest lower bound pins the watermark.
+            let pin = self
+                .locals
+                .iter()
+                .enumerate()
+                .filter_map(|(i, l)| l.lower_bound().map(|b| (b, l.queue.is_empty(), i)))
+                .min();
+            let Some((_, empty, idx)) = pin else {
+                break; // every client closed and drained
+            };
+            if empty {
+                break; // pinned by a silent open client: wait for pushes
+            }
+            let batch = if self.cfg.bound_global {
+                self.cfg.fetch_batch
+            } else {
+                usize::MAX
+            };
+            let n = self.move_from_local(idx, batch);
+            moved += n;
+            if n == 0 {
+                break;
+            }
+        }
+        moved
+    }
+
+    /// Unoptimized fetch: drain every local buffer completely into the
+    /// global heap (Algorithm 1 lines 4–5, verbatim).
+    fn fetch_all_locals(&mut self) -> usize {
+        let mut moved = 0;
+        for idx in 0..self.locals.len() {
+            moved += self.move_from_local(idx, usize::MAX);
+        }
+        moved
+    }
+
+    fn move_from_local(&mut self, idx: usize, limit: usize) -> usize {
+        let mut n = 0;
+        while n < limit {
+            let Some(trace) = self.locals[idx].queue.pop_front() else {
+                break;
+            };
+            self.locals[idx].local_total -= 1;
+            self.local_total -= 1;
+            self.seq += 1;
+            self.heap.push(Reverse(HeapEntry {
+                trace,
+                seq: self.seq,
+            }));
+            n += 1;
+        }
+        self.stats.fetched += n as u64;
+        self.stats.max_global = self.stats.max_global.max(self.heap.len());
+        self.note_footprint();
+        n
+    }
+
+    fn note_footprint(&mut self) {
+        let total = self.heap.len() + self.local_total;
+        self.stats.max_total_buffered = self.stats.max_total_buffered.max(total);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{OpKind, Trace};
+    use crate::types::{ClientId, TxnId};
+    use crate::Interval;
+
+    fn t(client: u32, lo: u64, hi: u64) -> Trace {
+        Trace::new(
+            Interval::new(Timestamp(lo), Timestamp(hi)),
+            ClientId(client),
+            TxnId(u64::from(client) * 1000 + lo),
+            OpKind::Commit,
+        )
+    }
+
+    fn run_to_completion(p: &mut TwoLevelPipeline) -> Vec<Trace> {
+        let mut out = Vec::new();
+        p.drain_available(&mut out);
+        assert!(p.is_exhausted(), "pipeline left traces behind");
+        out
+    }
+
+    #[test]
+    fn dispatches_in_ts_bef_order_across_clients() {
+        let mut p = TwoLevelPipeline::new(2, PipelineConfig::default());
+        // Fig. 5's example: interleaved odd/even timestamps on two clients.
+        for ts in [1u64, 3, 5, 7, 9, 11] {
+            p.push(0, t(0, ts, ts + 1)).unwrap();
+        }
+        for ts in [2u64, 4, 6, 8, 10, 12] {
+            p.push(1, t(1, ts, ts + 1)).unwrap();
+        }
+        p.close(0).unwrap();
+        p.close(1).unwrap();
+        let out = run_to_completion(&mut p);
+        let times: Vec<u64> = out.iter().map(|t| t.ts_bef().0).collect();
+        assert_eq!(times, vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12]);
+    }
+
+    #[test]
+    fn waits_for_slow_open_client() {
+        let mut p = TwoLevelPipeline::new(2, PipelineConfig::default());
+        p.push(0, t(0, 10, 11)).unwrap();
+        // Client 1 is open and silent: nothing may be dispatched because a
+        // trace with ts_bef < 10 could still arrive from it.
+        assert_eq!(p.try_dispatch(), None);
+        p.push(1, t(1, 5, 6)).unwrap();
+        // Now 5 is provably first (client 0's bound is 10, client 1's is 5).
+        let first = p.try_dispatch().unwrap();
+        assert_eq!(first.ts_bef(), Timestamp(5));
+        // 10 still can't go: client 1's bound is its last seen ts (5).
+        assert_eq!(p.try_dispatch(), None);
+        p.close(1).unwrap();
+        assert_eq!(p.try_dispatch().unwrap().ts_bef(), Timestamp(10));
+    }
+
+    #[test]
+    fn rejects_non_monotonic_push() {
+        let mut p = TwoLevelPipeline::new(1, PipelineConfig::default());
+        p.push(0, t(0, 10, 11)).unwrap();
+        let err = p.push(0, t(0, 9, 12)).unwrap_err();
+        assert!(matches!(err, PipelineError::NonMonotonicClient { .. }));
+    }
+
+    #[test]
+    fn rejects_unknown_and_closed_clients() {
+        let mut p = TwoLevelPipeline::new(1, PipelineConfig::default());
+        assert!(matches!(
+            p.push(3, t(0, 1, 2)),
+            Err(PipelineError::UnknownClient(3))
+        ));
+        p.close(0).unwrap();
+        assert!(matches!(
+            p.push(0, t(0, 1, 2)),
+            Err(PipelineError::ClientClosed(0))
+        ));
+    }
+
+    #[test]
+    fn equal_timestamps_are_dispatched_stably() {
+        let mut p = TwoLevelPipeline::new(2, PipelineConfig::default());
+        p.push(0, t(0, 5, 6)).unwrap();
+        p.push(1, t(1, 5, 6)).unwrap();
+        p.close(0).unwrap();
+        p.close(1).unwrap();
+        let out = run_to_completion(&mut p);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].ts_bef(), out[1].ts_bef());
+    }
+
+    #[test]
+    fn optimized_keeps_heap_smaller_on_skewed_clients() {
+        // Client 0 runs far behind client 1; the unoptimized pipeline
+        // accumulates all of client 1's traces in the heap while waiting.
+        let make_pushes = |p: &mut TwoLevelPipeline| {
+            for i in 0..500u64 {
+                p.push(1, t(1, 10_000 + i, 10_001 + i)).unwrap();
+            }
+            for i in 0..5u64 {
+                p.push(0, t(0, i, i + 1)).unwrap();
+            }
+            p.close(0).unwrap();
+            p.close(1).unwrap();
+        };
+
+        let mut opt = TwoLevelPipeline::new(2, PipelineConfig::default());
+        make_pushes(&mut opt);
+        let out_opt = run_to_completion(&mut opt);
+
+        let mut noopt = TwoLevelPipeline::new(2, PipelineConfig::without_optimizations());
+        make_pushes(&mut noopt);
+        let out_noopt = run_to_completion(&mut noopt);
+
+        assert_eq!(out_opt.len(), out_noopt.len());
+        assert!(
+            opt.stats().max_global < noopt.stats().max_global,
+            "optimized heap {} should be smaller than unoptimized {}",
+            opt.stats().max_global,
+            noopt.stats().max_global
+        );
+    }
+
+    #[test]
+    fn incremental_push_dispatch_cycles() {
+        let mut p = TwoLevelPipeline::new(2, PipelineConfig::default());
+        let mut out = Vec::new();
+        let mut next = [0u64, 0u64];
+        // Interleave pushes and drains in small batches, like the 0.5 s
+        // batching of §VI-C.
+        for round in 0..50 {
+            for (c, n) in next.iter_mut().enumerate() {
+                for _ in 0..3 {
+                    *n += 1 + (round as u64 % 3);
+                    let ts = *n * 2 + c as u64;
+                    p.push(c, t(c as u32, ts, ts + 1)).unwrap();
+                }
+            }
+            p.drain_available(&mut out);
+        }
+        p.close(0).unwrap();
+        p.close(1).unwrap();
+        p.drain_available(&mut out);
+        assert!(p.is_exhausted());
+        assert_eq!(out.len(), 300);
+        assert!(out.windows(2).all(|w| w[0].ts_bef() <= w[1].ts_bef()));
+    }
+
+    #[test]
+    fn stats_track_progress() {
+        let mut p = TwoLevelPipeline::new(1, PipelineConfig::default());
+        for i in 0..10u64 {
+            p.push(0, t(0, i, i + 1)).unwrap();
+        }
+        p.close(0).unwrap();
+        let out = run_to_completion(&mut p);
+        let s = p.stats();
+        assert_eq!(out.len(), 10);
+        assert_eq!(s.dispatched, 10);
+        assert_eq!(s.fetched, 10);
+        assert!(s.max_total_buffered >= 10);
+        assert!(s.rounds >= 1);
+    }
+}

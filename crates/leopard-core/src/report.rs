@@ -1,0 +1,218 @@
+//! Bug descriptors: the verifier's output (§V of the paper).
+//!
+//! Each violation names the mechanism that was broken, the transactions and
+//! record involved, and the time intervals that prove the violation, so a
+//! report is independently checkable against the raw trace file.
+
+use crate::interval::Interval;
+use crate::types::{Key, TxnId, Value};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which of the four implementation mechanisms was violated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Mechanism {
+    /// Consistent read (CR).
+    ConsistentRead,
+    /// Mutual exclusion (ME).
+    MutualExclusion,
+    /// First updater wins (FUW).
+    FirstUpdaterWins,
+    /// Serialization certifier (SC).
+    SerializationCertifier,
+}
+
+impl fmt::Display for Mechanism {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Mechanism::ConsistentRead => "CR",
+            Mechanism::MutualExclusion => "ME",
+            Mechanism::FirstUpdaterWins => "FUW",
+            Mechanism::SerializationCertifier => "SC",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One concrete violation with its evidence.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Violation {
+    /// A read observed a value no candidate version could have produced:
+    /// either a version that should be invisible, a lost version, or a
+    /// value that was never written.
+    ConsistentRead {
+        /// The reading transaction.
+        reader: TxnId,
+        /// The record that was read.
+        key: Key,
+        /// The value the read observed.
+        observed: Value,
+        /// The snapshot generation time interval of the read.
+        snapshot: Interval,
+        /// Values of the candidate version set the read was allowed to see.
+        candidates: Vec<Value>,
+    },
+    /// Two conflicting locks were certainly held at the same time
+    /// (every feasible order of the lock operations is incompatible).
+    MutualExclusion {
+        /// The record both transactions locked.
+        key: Key,
+        /// First lock holder and its acquire/release intervals.
+        first: (TxnId, Interval, Interval),
+        /// Second lock holder and its acquire/release intervals.
+        second: (TxnId, Interval, Interval),
+    },
+    /// Two committed transactions certainly updated the same record
+    /// concurrently — a lost update the first-updater-wins rule must have
+    /// prevented.
+    FirstUpdaterWins {
+        /// The record both transactions updated.
+        key: Key,
+        /// First writer: id, snapshot interval, commit interval.
+        first: (TxnId, Interval, Interval),
+        /// Second writer: id, snapshot interval, commit interval.
+        second: (TxnId, Interval, Interval),
+    },
+    /// The dependency graph contains a pattern the DBMS's certifier is
+    /// supposed to prohibit (e.g. a dependency cycle, or SSI's dangerous
+    /// structure of two consecutive rw edges among concurrent transactions).
+    SerializationCertifier {
+        /// Human-readable name of the prohibited pattern that matched.
+        pattern: String,
+        /// The transactions forming the pattern, in pattern order.
+        txns: Vec<TxnId>,
+    },
+}
+
+impl Violation {
+    /// The mechanism this violation belongs to.
+    #[must_use]
+    pub fn mechanism(&self) -> Mechanism {
+        match self {
+            Violation::ConsistentRead { .. } => Mechanism::ConsistentRead,
+            Violation::MutualExclusion { .. } => Mechanism::MutualExclusion,
+            Violation::FirstUpdaterWins { .. } => Mechanism::FirstUpdaterWins,
+            Violation::SerializationCertifier { .. } => Mechanism::SerializationCertifier,
+        }
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::ConsistentRead {
+                reader,
+                key,
+                observed,
+                snapshot,
+                candidates,
+            } => write!(
+                f,
+                "[CR] {reader} read {key}={observed} with snapshot {snapshot}, \
+                 but candidate versions were {candidates:?}"
+            ),
+            Violation::MutualExclusion { key, first, second } => write!(
+                f,
+                "[ME] incompatible locks on {key}: {} held {}..{} and {} held {}..{}",
+                first.0, first.1, first.2, second.0, second.1, second.2
+            ),
+            Violation::FirstUpdaterWins { key, first, second } => write!(
+                f,
+                "[FUW] lost update on {key}: {} (snapshot {}, commit {}) and \
+                 {} (snapshot {}, commit {}) are certainly concurrent",
+                first.0, first.1, first.2, second.0, second.1, second.2
+            ),
+            Violation::SerializationCertifier { pattern, txns } => {
+                write!(f, "[SC] prohibited pattern `{pattern}` over {txns:?}")
+            }
+        }
+    }
+}
+
+/// The verifier's accumulated findings: the paper's "bug descriptor".
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct BugReport {
+    /// All violations found, in detection order.
+    pub violations: Vec<Violation>,
+}
+
+impl BugReport {
+    /// `true` iff no violation was found.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Number of violations of one mechanism.
+    #[must_use]
+    pub fn count(&self, mechanism: Mechanism) -> usize {
+        self.violations
+            .iter()
+            .filter(|v| v.mechanism() == mechanism)
+            .count()
+    }
+}
+
+impl fmt::Display for BugReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            return writeln!(f, "no isolation violations found");
+        }
+        writeln!(f, "{} violation(s):", self.violations.len())?;
+        for v in &self.violations {
+            writeln!(f, "  {v}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Timestamp;
+
+    fn iv(lo: u64, hi: u64) -> Interval {
+        Interval::new(Timestamp(lo), Timestamp(hi))
+    }
+
+    #[test]
+    fn mechanism_classification() {
+        let v = Violation::ConsistentRead {
+            reader: TxnId(1),
+            key: Key(2),
+            observed: Value(3),
+            snapshot: iv(0, 1),
+            candidates: vec![Value(9)],
+        };
+        assert_eq!(v.mechanism(), Mechanism::ConsistentRead);
+        let v = Violation::SerializationCertifier {
+            pattern: "cycle".into(),
+            txns: vec![TxnId(1), TxnId(2)],
+        };
+        assert_eq!(v.mechanism(), Mechanism::SerializationCertifier);
+    }
+
+    #[test]
+    fn report_counting() {
+        let mut r = BugReport::default();
+        assert!(r.is_clean());
+        r.violations.push(Violation::MutualExclusion {
+            key: Key(1),
+            first: (TxnId(1), iv(0, 1), iv(2, 3)),
+            second: (TxnId(2), iv(0, 1), iv(2, 3)),
+        });
+        assert!(!r.is_clean());
+        assert_eq!(r.count(Mechanism::MutualExclusion), 1);
+        assert_eq!(r.count(Mechanism::ConsistentRead), 0);
+    }
+
+    #[test]
+    fn display_mentions_mechanism_tag() {
+        let v = Violation::FirstUpdaterWins {
+            key: Key(4),
+            first: (TxnId(1), iv(0, 1), iv(4, 5)),
+            second: (TxnId(2), iv(2, 3), iv(6, 7)),
+        };
+        assert!(v.to_string().starts_with("[FUW]"));
+    }
+}

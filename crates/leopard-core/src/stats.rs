@@ -1,0 +1,201 @@
+//! Dependency-deduction accounting (§IV-B and §VI-D of the paper).
+//!
+//! The paper measures `β = B / A`, where `A` is the number of conflicting
+//! operation pairs (potential dependencies) and `B` the number of those
+//! whose trace intervals overlap, making the dependency *uncertain* from
+//! the raw trace alone. §VI-D further splits `B` into the overlapping pairs
+//! the mechanism-mirrored verification still manages to deduce and the ones
+//! that remain uncertain.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Kind of transaction dependency (§II-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DepKind {
+    /// Direct write dependency: `t_n` installs the direct successor of a
+    /// version `t_m` installed.
+    Ww,
+    /// Direct read dependency: `t_n` reads a version `t_m` installed.
+    Wr,
+    /// Direct anti-dependency: `t_n` installs the direct successor of a
+    /// version `t_m` read.
+    Rw,
+}
+
+impl fmt::Display for DepKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DepKind::Ww => "ww",
+            DepKind::Wr => "wr",
+            DepKind::Rw => "rw",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Per-dependency-kind tallies.
+///
+/// Note: `wr` pairs are tallied when the read check runs, so reads issued
+/// by transactions that later abort are included — β is an
+/// *operation-pair* ratio (as in §IV-B), not a committed-dependency count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DepCounts {
+    /// Conflicting pairs whose intervals did **not** overlap: the
+    /// dependency is directly readable from the trace (Fig. 3(a)).
+    pub certain: u64,
+    /// Overlapping pairs the mechanism verification nevertheless resolved
+    /// (the "deduced" share of β in Fig. 13).
+    pub deduced: u64,
+    /// Overlapping pairs that stayed unresolved (the "uncertain" share).
+    pub uncertain: u64,
+}
+
+impl DepCounts {
+    /// Total number of conflicting pairs observed (the paper's `A`).
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.certain + self.deduced + self.uncertain
+    }
+
+    /// Number of overlapping pairs (the paper's `B`).
+    #[must_use]
+    pub fn overlapping(&self) -> u64 {
+        self.deduced + self.uncertain
+    }
+
+    /// `β = B / A`; zero when nothing was observed.
+    #[must_use]
+    pub fn beta(&self) -> f64 {
+        let a = self.total();
+        if a == 0 {
+            0.0
+        } else {
+            self.overlapping() as f64 / a as f64
+        }
+    }
+
+    /// Share of overlapping pairs that was deduced; 1.0 when there were no
+    /// overlapping pairs at all.
+    #[must_use]
+    pub fn deduction_rate(&self) -> f64 {
+        let b = self.overlapping();
+        if b == 0 {
+            1.0
+        } else {
+            self.deduced as f64 / b as f64
+        }
+    }
+
+    fn merge(&mut self, other: &DepCounts) {
+        self.certain += other.certain;
+        self.deduced += other.deduced;
+        self.uncertain += other.uncertain;
+    }
+}
+
+/// Full deduction statistics for one verification run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeductionStats {
+    /// Write-write pairs.
+    pub ww: DepCounts,
+    /// Write-read pairs.
+    pub wr: DepCounts,
+    /// Read-write pairs (always derived, counted for completeness).
+    pub rw: DepCounts,
+}
+
+impl DeductionStats {
+    /// Tallies for one dependency kind.
+    #[must_use]
+    pub fn of(&self, kind: DepKind) -> &DepCounts {
+        match kind {
+            DepKind::Ww => &self.ww,
+            DepKind::Wr => &self.wr,
+            DepKind::Rw => &self.rw,
+        }
+    }
+
+    /// Mutable tallies for one dependency kind.
+    pub fn of_mut(&mut self, kind: DepKind) -> &mut DepCounts {
+        match kind {
+            DepKind::Ww => &mut self.ww,
+            DepKind::Wr => &mut self.wr,
+            DepKind::Rw => &mut self.rw,
+        }
+    }
+
+    /// All kinds combined.
+    #[must_use]
+    pub fn combined(&self) -> DepCounts {
+        let mut c = DepCounts::default();
+        c.merge(&self.ww);
+        c.merge(&self.wr);
+        c.merge(&self.rw);
+        c
+    }
+}
+
+impl fmt::Display for DeductionStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = self.combined();
+        write!(
+            f,
+            "deps: total={} overlap={} (β={:.5}) deduced={} uncertain={}",
+            c.total(),
+            c.overlapping(),
+            c.beta(),
+            c.deduced,
+            c.uncertain
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn beta_of_empty_is_zero() {
+        assert_eq!(DepCounts::default().beta(), 0.0);
+    }
+
+    #[test]
+    fn beta_counts_overlapping_share() {
+        let c = DepCounts {
+            certain: 90,
+            deduced: 6,
+            uncertain: 4,
+        };
+        assert_eq!(c.total(), 100);
+        assert_eq!(c.overlapping(), 10);
+        assert!((c.beta() - 0.10).abs() < 1e-12);
+        assert!((c.deduction_rate() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deduction_rate_without_overlap_is_one() {
+        let c = DepCounts {
+            certain: 5,
+            ..Default::default()
+        };
+        assert_eq!(c.deduction_rate(), 1.0);
+    }
+
+    #[test]
+    fn combined_merges_all_kinds() {
+        let mut s = DeductionStats::default();
+        s.of_mut(DepKind::Ww).certain = 1;
+        s.of_mut(DepKind::Wr).deduced = 2;
+        s.of_mut(DepKind::Rw).uncertain = 3;
+        let c = s.combined();
+        assert_eq!(c.total(), 6);
+        assert_eq!(s.of(DepKind::Wr).deduced, 2);
+    }
+
+    #[test]
+    fn display_contains_beta() {
+        let s = DeductionStats::default();
+        assert!(s.to_string().contains("β=0.00000"));
+    }
+}

@@ -1,0 +1,254 @@
+//! Interval-based traces (§IV-A of the paper).
+//!
+//! A trace records one database operation as observed from the client:
+//! the timestamps taken immediately before and after the call, the
+//! operation kind, and the data it touched. Collecting traces requires no
+//! change to application logic and no access to the DBMS — this is what
+//! makes Leopard black-box.
+
+use crate::interval::Interval;
+use crate::types::{ClientId, Key, TxnId, Value};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The payload of a traced operation:
+/// `r_t(rs)`, `w_t(ws)`, `c_t` or `a_t` in the paper's notation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OpKind {
+    /// A read with its read set: each element is the (key, value) pair the
+    /// operation observed. Range reads produce multi-element read sets.
+    Read(Vec<(Key, Value)>),
+    /// A locking read (`SELECT ... FOR UPDATE`): observes the latest
+    /// committed values and acquires exclusive locks, without installing
+    /// versions. Needed to reproduce lock-compatibility bugs such as
+    /// §VI-F Bug 3.
+    LockedRead(Vec<(Key, Value)>),
+    /// A write with its write set: each element is the (key, value) pair
+    /// the operation installed (a new version per key).
+    Write(Vec<(Key, Value)>),
+    /// Transaction commit: installs all versions the transaction created.
+    Commit,
+    /// Transaction abort: discards all versions the transaction created.
+    Abort,
+}
+
+impl OpKind {
+    /// `true` for `Commit` and `Abort`.
+    #[must_use]
+    pub fn is_terminal(&self) -> bool {
+        matches!(self, OpKind::Commit | OpKind::Abort)
+    }
+
+    /// Short tag used in diagnostics.
+    #[must_use]
+    pub fn tag(&self) -> &'static str {
+        match self {
+            OpKind::Read(_) => "r",
+            OpKind::LockedRead(_) => "rl",
+            OpKind::Write(_) => "w",
+            OpKind::Commit => "c",
+            OpKind::Abort => "a",
+        }
+    }
+}
+
+/// One interval-based trace:
+/// `T = {ts_bef, ts_aft, r_t(rs) | w_t(ws) | a_t | c_t}` (§IV-A).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    /// The execution time interval `(ts_bef, ts_aft)` of the operation.
+    pub interval: Interval,
+    /// The client connection that issued the operation.
+    pub client: ClientId,
+    /// The transaction the operation belongs to.
+    pub txn: TxnId,
+    /// What the operation did.
+    pub op: OpKind,
+}
+
+impl Trace {
+    /// Convenience constructor.
+    #[must_use]
+    pub fn new(interval: Interval, client: ClientId, txn: TxnId, op: OpKind) -> Trace {
+        Trace {
+            interval,
+            client,
+            txn,
+            op,
+        }
+    }
+
+    /// `ts_bef`, the sort key of the two-level pipeline (§IV-C).
+    #[must_use]
+    pub fn ts_bef(&self) -> crate::types::Timestamp {
+        self.interval.lo
+    }
+
+    /// `ts_aft`.
+    #[must_use]
+    pub fn ts_aft(&self) -> crate::types::Timestamp {
+        self.interval.hi
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}{}{} @{}",
+            self.op.tag(),
+            self.txn,
+            match &self.op {
+                OpKind::Read(set) | OpKind::LockedRead(set) | OpKind::Write(set) => {
+                    let items: Vec<String> =
+                        set.iter().map(|(k, v)| format!("{k}={v}")).collect();
+                    format!("({})", items.join(","))
+                }
+                _ => String::new(),
+            },
+            self.interval
+        )
+    }
+}
+
+/// Builder producing well-formed trace streams for tests and examples.
+///
+/// Guarantees per-client monotonically increasing `ts_bef`, which is the
+/// precondition of the two-level pipeline's Theorem 1.
+#[derive(Debug, Default)]
+pub struct TraceBuilder {
+    traces: Vec<Trace>,
+}
+
+impl TraceBuilder {
+    /// New empty builder.
+    #[must_use]
+    pub fn new() -> TraceBuilder {
+        TraceBuilder::default()
+    }
+
+    /// Appends a read trace.
+    pub fn read(
+        &mut self,
+        lo: u64,
+        hi: u64,
+        client: u32,
+        txn: u64,
+        set: Vec<(u64, u64)>,
+    ) -> &mut Self {
+        self.push(lo, hi, client, txn, OpKind::Read(tuple_set(set)))
+    }
+
+    /// Appends a write trace.
+    pub fn write(
+        &mut self,
+        lo: u64,
+        hi: u64,
+        client: u32,
+        txn: u64,
+        set: Vec<(u64, u64)>,
+    ) -> &mut Self {
+        self.push(lo, hi, client, txn, OpKind::Write(tuple_set(set)))
+    }
+
+    /// Appends a commit trace.
+    pub fn commit(&mut self, lo: u64, hi: u64, client: u32, txn: u64) -> &mut Self {
+        self.push(lo, hi, client, txn, OpKind::Commit)
+    }
+
+    /// Appends an abort trace.
+    pub fn abort(&mut self, lo: u64, hi: u64, client: u32, txn: u64) -> &mut Self {
+        self.push(lo, hi, client, txn, OpKind::Abort)
+    }
+
+    fn push(&mut self, lo: u64, hi: u64, client: u32, txn: u64, op: OpKind) -> &mut Self {
+        self.traces.push(Trace::new(
+            Interval::new(crate::types::Timestamp(lo), crate::types::Timestamp(hi)),
+            ClientId(client),
+            TxnId(txn),
+            op,
+        ));
+        self
+    }
+
+    /// Finishes the builder, returning traces sorted by `ts_bef` — the
+    /// order in which the pipeline would dispatch them.
+    #[must_use]
+    pub fn build_sorted(mut self) -> Vec<Trace> {
+        self.traces
+            .sort_by_key(|t| (t.ts_bef(), t.ts_aft(), t.txn));
+        self.traces
+    }
+
+    /// Finishes the builder in insertion order.
+    #[must_use]
+    pub fn build(self) -> Vec<Trace> {
+        self.traces
+    }
+}
+
+fn tuple_set(set: Vec<(u64, u64)>) -> Vec<(Key, Value)> {
+    set.into_iter().map(|(k, v)| (Key(k), Value(v))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Timestamp;
+
+    #[test]
+    fn terminal_classification() {
+        assert!(OpKind::Commit.is_terminal());
+        assert!(OpKind::Abort.is_terminal());
+        assert!(!OpKind::Read(vec![]).is_terminal());
+        assert!(!OpKind::Write(vec![]).is_terminal());
+    }
+
+    #[test]
+    fn builder_sorts_by_ts_bef() {
+        let mut b = TraceBuilder::new();
+        b.write(10, 12, 0, 1, vec![(1, 1)]);
+        b.write(2, 4, 1, 2, vec![(1, 2)]);
+        b.commit(20, 21, 0, 1);
+        let traces = b.build_sorted();
+        assert_eq!(traces[0].txn, TxnId(2));
+        assert_eq!(traces[1].txn, TxnId(1));
+        assert_eq!(traces[2].op, OpKind::Commit);
+    }
+
+    #[test]
+    fn trace_accessors() {
+        let t = Trace::new(
+            Interval::new(Timestamp(3), Timestamp(8)),
+            ClientId(1),
+            TxnId(2),
+            OpKind::Commit,
+        );
+        assert_eq!(t.ts_bef(), Timestamp(3));
+        assert_eq!(t.ts_aft(), Timestamp(8));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let t = Trace::new(
+            Interval::new(Timestamp(1), Timestamp(2)),
+            ClientId(0),
+            TxnId(7),
+            OpKind::Write(vec![(Key(3), Value(9))]),
+        );
+        assert_eq!(t.to_string(), "wt7(k3=v9) @(1, 2)");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let t = Trace::new(
+            Interval::new(Timestamp(1), Timestamp(2)),
+            ClientId(0),
+            TxnId(7),
+            OpKind::Read(vec![(Key(3), Value(9)), (Key(4), Value(0))]),
+        );
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Trace = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+    }
+}

@@ -1,0 +1,129 @@
+//! Fundamental identifier and value types shared across the Leopard stack.
+//!
+//! Everything Leopard observes is *client-side*: transactions are identified
+//! by the id the client assigned, records by their key, and versions only by
+//! the value that was read or written. There is deliberately no notion of an
+//! internal DBMS version id — deducing version identity from values is part
+//! of the black-box game (see `verify::consistent_read`).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A point in time, in nanoseconds on a monotonic clock shared by all
+/// clients (the paper's clock-synchronisation assumption, §IV-A).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Timestamp(pub u64);
+
+impl Timestamp {
+    /// The zero timestamp; used for preloaded initial versions.
+    pub const ZERO: Timestamp = Timestamp(0);
+    /// The maximum representable timestamp.
+    pub const MAX: Timestamp = Timestamp(u64::MAX);
+
+    /// Saturating addition of a nanosecond delta.
+    #[must_use]
+    pub fn saturating_add(self, delta: u64) -> Timestamp {
+        Timestamp(self.0.saturating_add(delta))
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}ns", self.0)
+    }
+}
+
+/// A transaction identifier assigned by the client that ran it.
+///
+/// `TxnId(0)` is reserved for the *initial transaction* that installed the
+/// preloaded database state before any traced activity.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct TxnId(pub u64);
+
+impl TxnId {
+    /// The virtual transaction that installed the initial database state.
+    pub const INITIAL: TxnId = TxnId(0);
+}
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Identifier of one client connection (one trace-producing stream).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct ClientId(pub u32);
+
+impl fmt::Display for ClientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// A record key. Workloads that are naturally relational (TPC-C, SmallBank)
+/// map their composite keys into this space; see `leopard-workloads`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Key(pub u64);
+
+impl fmt::Display for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "k{}", self.0)
+    }
+}
+
+/// The value observed by a read or produced by a write.
+///
+/// Version identity is deduced by matching values, so workloads that write
+/// unique values (BlindW) make every dependency deducible, while workloads
+/// with duplicate writes (SmallBank `amalgamate`) leave residual uncertainty
+/// — exactly the effect Fig. 13 of the paper measures.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Value(pub u64);
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timestamp_ordering_is_numeric() {
+        assert!(Timestamp(1) < Timestamp(2));
+        assert!(Timestamp::ZERO < Timestamp::MAX);
+    }
+
+    #[test]
+    fn timestamp_saturating_add_saturates() {
+        assert_eq!(Timestamp::MAX.saturating_add(1), Timestamp::MAX);
+        assert_eq!(Timestamp(1).saturating_add(2), Timestamp(3));
+    }
+
+    #[test]
+    fn initial_txn_is_zero() {
+        assert_eq!(TxnId::INITIAL, TxnId(0));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(TxnId(7).to_string(), "t7");
+        assert_eq!(ClientId(3).to_string(), "c3");
+        assert_eq!(Key(9).to_string(), "k9");
+        assert_eq!(Value(5).to_string(), "v5");
+        assert_eq!(Timestamp(12).to_string(), "12ns");
+    }
+}

@@ -1,0 +1,418 @@
+//! The dependency graph and serialization-certifier checks
+//! (§V-D, Definition 4, Theorem 5 of the paper).
+//!
+//! Rather than searching the whole graph for cycles (the naive baseline of
+//! Fig. 11), Leopard mirrors the *certifier* the DBMS itself runs:
+//!
+//! * **SSI** (PostgreSQL): a dangerous structure — two consecutive rw
+//!   antidependencies whose endpoints were certainly concurrent — must
+//!   have been aborted; finding one among committed transactions is a bug.
+//!   Cost: O(degree) per edge.
+//! * **MVTO** (CockroachDB): no dependency may point from a transaction
+//!   that certainly started later to one that started earlier. Cost: O(1)
+//!   per edge.
+//! * **Acyclic** (generic conflict serializability): an incremental
+//!   reachability check on edge insertion, used for OCC-style certifiers
+//!   and as ground truth in tests.
+
+use crate::catalog::CertifierRule;
+use crate::fxhash::{FxHashMap, FxHashSet};
+use crate::interval::Interval;
+use crate::stats::DepKind;
+use crate::types::{Timestamp, TxnId};
+
+/// One committed transaction in the graph.
+#[derive(Debug)]
+struct Node {
+    /// Snapshot-generation interval (first operation).
+    snapshot: Interval,
+    /// Commit interval.
+    commit: Interval,
+    /// Outgoing edges with the kinds that connect the pair.
+    out: FxHashMap<TxnId, u8>,
+    /// Number of incoming edges (for Definition 4 pruning).
+    in_degree: usize,
+    /// An incoming rw edge from a certainly-concurrent transaction.
+    in_rw_concurrent: Option<TxnId>,
+    /// An outgoing rw edge to a certainly-concurrent transaction.
+    out_rw_concurrent: Option<TxnId>,
+}
+
+const fn kind_bit(kind: DepKind) -> u8 {
+    match kind {
+        DepKind::Ww => 1,
+        DepKind::Wr => 2,
+        DepKind::Rw => 4,
+    }
+}
+
+/// A certifier-rule match: the SC violation to report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CertifierViolation {
+    /// Name of the prohibited pattern.
+    pub pattern: &'static str,
+    /// Transactions forming the pattern, in pattern order.
+    pub txns: Vec<TxnId>,
+}
+
+/// The mirrored dependency graph.
+#[derive(Debug, Default)]
+pub struct DepGraph {
+    nodes: FxHashMap<TxnId, Node>,
+    edge_count: usize,
+}
+
+impl DepGraph {
+    /// Registers a committed transaction.
+    pub fn add_node(&mut self, txn: TxnId, snapshot: Interval, commit: Interval) {
+        self.nodes.entry(txn).or_insert(Node {
+            snapshot,
+            commit,
+            out: FxHashMap::default(),
+            in_degree: 0,
+            in_rw_concurrent: None,
+            out_rw_concurrent: None,
+        });
+    }
+
+    /// `true` if `txn` is (still) present.
+    #[must_use]
+    pub fn contains(&self, txn: TxnId) -> bool {
+        self.nodes.contains_key(&txn)
+    }
+
+    /// Adds a dependency edge and runs the certifier rule on it.
+    ///
+    /// Edges whose endpoints have been garbage-collected are ignored:
+    /// Theorem 5 guarantees a pruned transaction cannot take part in any
+    /// future prohibited pattern. Returns a violation if the new edge
+    /// completes one.
+    pub fn add_edge(
+        &mut self,
+        from: TxnId,
+        to: TxnId,
+        kind: DepKind,
+        rule: Option<CertifierRule>,
+    ) -> Option<CertifierViolation> {
+        if from == to || !self.nodes.contains_key(&from) || !self.nodes.contains_key(&to) {
+            return None;
+        }
+        let bit = kind_bit(kind);
+        let was_new_pair;
+        {
+            let from_node = self.nodes.get_mut(&from).expect("checked");
+            let entry = from_node.out.entry(to).or_insert(0);
+            if *entry & bit != 0 {
+                return None; // duplicate edge of the same kind
+            }
+            was_new_pair = *entry == 0;
+            *entry |= bit;
+        }
+        if was_new_pair {
+            self.edge_count += 1;
+            self.nodes.get_mut(&to).expect("checked").in_degree += 1;
+        }
+        match rule {
+            None => None,
+            Some(CertifierRule::SsiDangerousStructure) => self.check_ssi(from, to, kind),
+            Some(CertifierRule::MvtoTimestampOrder) => self.check_mvto(from, to),
+            Some(CertifierRule::AcyclicGraph) => self.check_cycle(from, to),
+        }
+    }
+
+    /// SSI rule: after adding rw(a→b) between certainly-concurrent
+    /// transactions, a pivot with both an incoming and an outgoing
+    /// concurrent rw edge is a dangerous structure PostgreSQL must have
+    /// aborted (§V-D).
+    fn check_ssi(&mut self, from: TxnId, to: TxnId, kind: DepKind) -> Option<CertifierViolation> {
+        if kind != DepKind::Rw {
+            return None;
+        }
+        if !self.certainly_concurrent(from, to) {
+            return None;
+        }
+        {
+            let f = self.nodes.get_mut(&from).expect("endpoint exists");
+            f.out_rw_concurrent = Some(to);
+        }
+        {
+            let t = self.nodes.get_mut(&to).expect("endpoint exists");
+            t.in_rw_concurrent = Some(from);
+        }
+        // Either endpoint may have become the pivot.
+        for pivot in [from, to] {
+            let node = &self.nodes[&pivot];
+            if let (Some(inn), Some(out)) = (node.in_rw_concurrent, node.out_rw_concurrent) {
+                if inn != pivot && out != pivot {
+                    return Some(CertifierViolation {
+                        pattern: "ssi-dangerous-structure",
+                        txns: vec![inn, pivot, out],
+                    });
+                }
+            }
+        }
+        None
+    }
+
+    /// MVTO rule: a dependency from a transaction that certainly started
+    /// later to one that started earlier can never be produced by
+    /// timestamp ordering.
+    fn check_mvto(&self, from: TxnId, to: TxnId) -> Option<CertifierViolation> {
+        let f = &self.nodes[&from];
+        let t = &self.nodes[&to];
+        if t.snapshot.certainly_before(&f.snapshot) {
+            Some(CertifierViolation {
+                pattern: "mvto-newer-to-older",
+                txns: vec![from, to],
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Generic conflict-serializability: the new edge `from → to` closes a
+    /// cycle iff `from` is reachable from `to`.
+    fn check_cycle(&self, from: TxnId, to: TxnId) -> Option<CertifierViolation> {
+        let mut stack = vec![to];
+        let mut seen: FxHashSet<TxnId> = FxHashSet::default();
+        let mut parent: FxHashMap<TxnId, TxnId> = FxHashMap::default();
+        seen.insert(to);
+        while let Some(n) = stack.pop() {
+            if n == from {
+                // Reconstruct the cycle: from -> to -> ... -> from.
+                let mut path = vec![from];
+                let mut cur = from;
+                while cur != to {
+                    cur = parent[&cur];
+                    path.push(cur);
+                }
+                path.reverse();
+                return Some(CertifierViolation {
+                    pattern: "dependency-cycle",
+                    txns: path,
+                });
+            }
+            if let Some(node) = self.nodes.get(&n) {
+                for &next in node.out.keys() {
+                    if seen.insert(next) {
+                        parent.insert(next, n);
+                        stack.push(next);
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// `true` when the execution spans of the two transactions certainly
+    /// overlapped: each one's snapshot was certainly taken before the
+    /// other's commit.
+    #[must_use]
+    pub fn certainly_concurrent(&self, a: TxnId, b: TxnId) -> bool {
+        let (Some(na), Some(nb)) = (self.nodes.get(&a), self.nodes.get(&b)) else {
+            return false;
+        };
+        na.snapshot.certainly_before(&nb.commit) && nb.snapshot.certainly_before(&na.commit)
+    }
+
+    /// Garbage-collects transactions per Definition 4: in-degree zero and
+    /// terminal timestamp at or before `horizon` (the earliest snapshot
+    /// generation timestamp of any unverified trace). Pruning cascades.
+    /// Returns the number of nodes removed.
+    pub fn prune(&mut self, horizon: Timestamp) -> usize {
+        let mut removed = 0;
+        loop {
+            let garbage: Vec<TxnId> = self
+                .nodes
+                .iter()
+                .filter(|(_, n)| n.in_degree == 0 && n.commit.hi <= horizon)
+                .map(|(id, _)| *id)
+                .collect();
+            if garbage.is_empty() {
+                return removed;
+            }
+            for id in garbage {
+                let node = self.nodes.remove(&id).expect("listed above");
+                self.edge_count -= node.out.len();
+                for succ in node.out.keys() {
+                    if let Some(s) = self.nodes.get_mut(succ) {
+                        s.in_degree -= 1;
+                    }
+                }
+                removed += 1;
+            }
+        }
+    }
+
+    /// Number of live nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of live edges (distinct ordered pairs).
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Iterates the edges for inspection (tests, baselines).
+    pub fn edges(&self) -> impl Iterator<Item = (TxnId, TxnId, u8)> + '_ {
+        self.nodes
+            .iter()
+            .flat_map(|(from, n)| n.out.iter().map(move |(to, kinds)| (*from, *to, *kinds)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(lo: u64, hi: u64) -> Interval {
+        Interval::new(Timestamp(lo), Timestamp(hi))
+    }
+
+    fn graph3() -> DepGraph {
+        let mut g = DepGraph::default();
+        // Three certainly-concurrent transactions.
+        g.add_node(TxnId(1), iv(0, 1), iv(100, 101));
+        g.add_node(TxnId(2), iv(2, 3), iv(102, 103));
+        g.add_node(TxnId(3), iv(4, 5), iv(104, 105));
+        g
+    }
+
+    #[test]
+    fn duplicate_edges_are_ignored() {
+        let mut g = graph3();
+        assert!(g
+            .add_edge(TxnId(1), TxnId(2), DepKind::Ww, None)
+            .is_none());
+        g.add_edge(TxnId(1), TxnId(2), DepKind::Ww, None);
+        assert_eq!(g.edge_count(), 1);
+        // Different kind on the same pair is recorded but not double-counted.
+        g.add_edge(TxnId(1), TxnId(2), DepKind::Wr, None);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn cycle_rule_detects_two_cycle() {
+        let mut g = graph3();
+        assert!(g
+            .add_edge(TxnId(1), TxnId(2), DepKind::Ww, Some(CertifierRule::AcyclicGraph))
+            .is_none());
+        let v = g
+            .add_edge(TxnId(2), TxnId(1), DepKind::Rw, Some(CertifierRule::AcyclicGraph))
+            .expect("cycle expected");
+        assert_eq!(v.pattern, "dependency-cycle");
+        assert!(v.txns.contains(&TxnId(1)) && v.txns.contains(&TxnId(2)));
+    }
+
+    #[test]
+    fn cycle_rule_detects_three_cycle() {
+        let mut g = graph3();
+        let rule = Some(CertifierRule::AcyclicGraph);
+        assert!(g.add_edge(TxnId(1), TxnId(2), DepKind::Ww, rule).is_none());
+        assert!(g.add_edge(TxnId(2), TxnId(3), DepKind::Wr, rule).is_none());
+        let v = g.add_edge(TxnId(3), TxnId(1), DepKind::Rw, rule).unwrap();
+        assert_eq!(v.txns.len(), 3);
+    }
+
+    #[test]
+    fn ssi_rule_flags_dangerous_structure() {
+        let mut g = graph3();
+        let rule = Some(CertifierRule::SsiDangerousStructure);
+        // t1 -rw-> t2 -rw-> t3, all certainly concurrent: pivot is t2.
+        assert!(g.add_edge(TxnId(1), TxnId(2), DepKind::Rw, rule).is_none());
+        let v = g.add_edge(TxnId(2), TxnId(3), DepKind::Rw, rule).unwrap();
+        assert_eq!(v.pattern, "ssi-dangerous-structure");
+        assert_eq!(v.txns, vec![TxnId(1), TxnId(2), TxnId(3)]);
+    }
+
+    #[test]
+    fn ssi_rule_ignores_serial_rw_chains() {
+        let mut g = DepGraph::default();
+        // t2 certainly after t1, t3 certainly after t2: no concurrency.
+        g.add_node(TxnId(1), iv(0, 1), iv(2, 3));
+        g.add_node(TxnId(2), iv(10, 11), iv(12, 13));
+        g.add_node(TxnId(3), iv(20, 21), iv(22, 23));
+        let rule = Some(CertifierRule::SsiDangerousStructure);
+        assert!(g.add_edge(TxnId(1), TxnId(2), DepKind::Rw, rule).is_none());
+        assert!(g.add_edge(TxnId(2), TxnId(3), DepKind::Rw, rule).is_none());
+    }
+
+    #[test]
+    fn ssi_rule_ignores_ww_wr_edges() {
+        let mut g = graph3();
+        let rule = Some(CertifierRule::SsiDangerousStructure);
+        assert!(g.add_edge(TxnId(1), TxnId(2), DepKind::Ww, rule).is_none());
+        assert!(g.add_edge(TxnId(2), TxnId(3), DepKind::Wr, rule).is_none());
+    }
+
+    #[test]
+    fn mvto_rule_flags_newer_to_older() {
+        let mut g = DepGraph::default();
+        g.add_node(TxnId(1), iv(0, 1), iv(50, 51));
+        g.add_node(TxnId(2), iv(10, 11), iv(52, 53));
+        let rule = Some(CertifierRule::MvtoTimestampOrder);
+        // old -> new is fine.
+        assert!(g.add_edge(TxnId(1), TxnId(2), DepKind::Ww, rule).is_none());
+        // new -> old is prohibited.
+        let v = g.add_edge(TxnId(2), TxnId(1), DepKind::Rw, rule).unwrap();
+        assert_eq!(v.pattern, "mvto-newer-to-older");
+    }
+
+    #[test]
+    fn mvto_rule_tolerates_uncertain_start_order() {
+        let mut g = DepGraph::default();
+        g.add_node(TxnId(1), iv(0, 10), iv(50, 51));
+        g.add_node(TxnId(2), iv(5, 15), iv(52, 53));
+        let rule = Some(CertifierRule::MvtoTimestampOrder);
+        assert!(g.add_edge(TxnId(2), TxnId(1), DepKind::Rw, rule).is_none());
+    }
+
+    #[test]
+    fn prune_respects_definition_4() {
+        let mut g = graph3();
+        g.add_edge(TxnId(1), TxnId(2), DepKind::Ww, None);
+        g.add_edge(TxnId(2), TxnId(3), DepKind::Ww, None);
+        // Horizon below t1's commit end: nothing prunable.
+        assert_eq!(g.prune(Timestamp(50)), 0);
+        // Horizon covers t1 and t2's commits: t1 (in-degree 0) goes first,
+        // which drops t2's in-degree to 0, so t2 cascades; t3's commit end
+        // (105) is above the horizon and survives.
+        assert_eq!(g.prune(Timestamp(104)), 2);
+        assert!(g.contains(TxnId(3)));
+        assert_eq!(g.node_count(), 1);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn edges_to_pruned_nodes_are_ignored() {
+        let mut g = graph3();
+        g.prune(Timestamp(u64::MAX));
+        assert_eq!(g.node_count(), 0);
+        assert!(g
+            .add_edge(TxnId(1), TxnId(2), DepKind::Ww, Some(CertifierRule::AcyclicGraph))
+            .is_none());
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn certainly_concurrent_requires_span_overlap() {
+        let g = graph3();
+        assert!(g.certainly_concurrent(TxnId(1), TxnId(2)));
+        let mut g2 = DepGraph::default();
+        g2.add_node(TxnId(1), iv(0, 1), iv(2, 3));
+        g2.add_node(TxnId(2), iv(10, 11), iv(12, 13));
+        assert!(!g2.certainly_concurrent(TxnId(1), TxnId(2)));
+    }
+
+    #[test]
+    fn self_edges_are_ignored() {
+        let mut g = graph3();
+        assert!(g
+            .add_edge(TxnId(1), TxnId(1), DepKind::Ww, Some(CertifierRule::AcyclicGraph))
+            .is_none());
+        assert_eq!(g.edge_count(), 0);
+    }
+}

@@ -1,0 +1,1176 @@
+//! Mechanism-mirrored verification (§V, Algorithm 2 of the paper).
+//!
+//! The [`Verifier`] consumes the trace stream the two-level pipeline
+//! dispatches (sorted by `ts_bef`) and mirrors the internal state a DBMS's
+//! concurrency control would have built: the ordered version chains, the
+//! lock table, and the dependency graph. Each mirrored structure checks
+//! its own mechanism — consistent read, mutual exclusion, first updater
+//! wins and the serialization certifier — and the dependencies one
+//! mechanism deduces feed the others (§V-A last paragraph).
+//!
+//! Checks that depend on information that may still be in flight are
+//! deferred to the precise point where the sorted stream guarantees
+//! completeness: a read with snapshot interval `S` is checked once the
+//! stream position passes `S.ts_aft`, because any commit trace arriving
+//! later starts after `S` and is a *future version* by definition.
+
+mod depgraph;
+mod lock_table;
+mod txn_table;
+mod version_store;
+
+pub use depgraph::{CertifierViolation, DepGraph};
+pub use lock_table::{LockCheck, LockEntry, LockTable};
+pub use txn_table::{MatchedRead, TxnInfo, TxnOutcome, TxnTable};
+pub use version_store::{ReadMatch, RecordVersions, VersionClass, VersionEntry, VersionStore, VersionUid};
+
+use crate::catalog::{IsolationLevel, MechanismSet, SnapshotLevel};
+use crate::interval::{resolve_exclusive_pair, Interval, PairOrder};
+use crate::report::{BugReport, Violation};
+use crate::stats::{DeductionStats, DepKind};
+use crate::trace::{OpKind, Trace};
+use crate::types::{Key, Timestamp, TxnId, Value};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Verifier configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct VerifierConfig {
+    /// Which mechanisms to verify, and how (from the DBMS profile).
+    pub mechanisms: MechanismSet,
+    /// Run periodic garbage collection (versions, locks, graph, table).
+    pub gc: bool,
+    /// GC period in processed traces.
+    pub gc_every: u64,
+    /// Cross-mechanism dependency transfer (§V-A): rw derivation from
+    /// wr+ww. Disabling it is the `abl_dep_transfer` ablation.
+    pub dep_transfer: bool,
+    /// Use the Theorem-2 minimal candidate version set. Disabling it is
+    /// the `abl_candidate_set` ablation (garbage versions stay candidates,
+    /// so stale reads go undetected and matches get more ambiguous).
+    pub minimal_candidate_set: bool,
+    /// Maximum clock-synchronisation error between any two clients, in
+    /// nanoseconds (the paper's §IV-A NTP assumption made explicit).
+    ///
+    /// Every trace interval is widened by this bound on ingestion, so a
+    /// timestamp that is off by at most `clock_skew_bound` can never turn
+    /// a legal execution into a reported violation — at the cost of more
+    /// uncertain (overlapping) dependencies. Zero assumes perfect sync.
+    pub clock_skew_bound: u64,
+}
+
+impl VerifierConfig {
+    /// Configuration mirroring PostgreSQL at `level` (the paper's default
+    /// subject).
+    #[must_use]
+    pub fn for_level(level: IsolationLevel) -> VerifierConfig {
+        VerifierConfig::for_mechanisms(MechanismSet::postgres(level))
+    }
+
+    /// Configuration for an explicit mechanism assembly (from
+    /// [`crate::catalog::catalog`] or hand-built).
+    #[must_use]
+    pub fn for_mechanisms(mechanisms: MechanismSet) -> VerifierConfig {
+        VerifierConfig {
+            mechanisms,
+            gc: true,
+            gc_every: 512,
+            dep_transfer: true,
+            minimal_candidate_set: true,
+            clock_skew_bound: 0,
+        }
+    }
+}
+
+/// Live memory footprint of the verifier's mirrored structures, in number
+/// of retained entries (the Fig. 10(a)/14(b) memory metric).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Footprint {
+    /// Mirrored record versions.
+    pub versions: usize,
+    /// Mirrored lock entries.
+    pub locks: usize,
+    /// Dependency-graph nodes.
+    pub graph_nodes: usize,
+    /// Dependency-graph edges.
+    pub graph_edges: usize,
+    /// Tracked transactions.
+    pub txns: usize,
+    /// Deferred read checks.
+    pub pending_checks: usize,
+}
+
+impl Footprint {
+    /// Total retained entries.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.versions + self.locks + self.graph_nodes + self.graph_edges + self.txns
+            + self.pending_checks
+    }
+}
+
+/// Counters summarising one verification run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VerifyCounters {
+    /// Traces processed.
+    pub traces: u64,
+    /// Transactions committed.
+    pub committed: u64,
+    /// Transactions aborted.
+    pub aborted: u64,
+    /// Peak footprint observed at GC points.
+    pub peak_footprint: usize,
+}
+
+/// Result of a finished verification run.
+#[derive(Debug)]
+pub struct VerifyOutcome {
+    /// All violations found.
+    pub report: BugReport,
+    /// Dependency-deduction statistics (β accounting).
+    pub stats: DeductionStats,
+    /// Run counters.
+    pub counters: VerifyCounters,
+}
+
+/// A deferred consistent-read check (due once the stream passes
+/// `snapshot.hi`).
+#[derive(Debug)]
+struct PendingRead {
+    due: Timestamp,
+    seq: u64,
+    reader: TxnId,
+    key: Key,
+    observed: Value,
+    snapshot: Interval,
+    read_op: Interval,
+}
+
+impl PendingRead {
+    fn key(&self) -> (Timestamp, u64) {
+        (self.due, self.seq)
+    }
+}
+impl PartialEq for PendingRead {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+impl Eq for PendingRead {}
+impl PartialOrd for PendingRead {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for PendingRead {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key().cmp(&other.key())
+    }
+}
+
+/// The mechanism-mirrored verifier.
+#[derive(Debug)]
+pub struct Verifier {
+    cfg: VerifierConfig,
+    txns: TxnTable,
+    versions: VersionStore,
+    locks: LockTable,
+    graph: DepGraph,
+    report: BugReport,
+    stats: DeductionStats,
+    pending_reads: BinaryHeap<Reverse<PendingRead>>,
+    pending_seq: u64,
+    stream_pos: Timestamp,
+    counters: VerifyCounters,
+    // Scratch buffers reused across traces to avoid per-trace allocation.
+    scratch_lock_checks: Vec<(Key, LockCheck)>,
+}
+
+impl Verifier {
+    /// Creates a verifier.
+    #[must_use]
+    pub fn new(cfg: VerifierConfig) -> Verifier {
+        Verifier {
+            cfg,
+            txns: TxnTable::default(),
+            versions: VersionStore::default(),
+            locks: LockTable::default(),
+            graph: DepGraph::default(),
+            report: BugReport::default(),
+            stats: DeductionStats::default(),
+            pending_reads: BinaryHeap::new(),
+            pending_seq: 0,
+            stream_pos: Timestamp::ZERO,
+            counters: VerifyCounters::default(),
+            scratch_lock_checks: Vec::new(),
+        }
+    }
+
+    /// Installs the initial database state: reads may observe these values
+    /// before the first traced write commits.
+    pub fn preload(&mut self, key: Key, value: Value) {
+        self.versions.preload(key, value);
+    }
+
+    /// Processes one dispatched trace. Traces must arrive in
+    /// non-decreasing `ts_bef` order (the pipeline guarantees this).
+    pub fn process(&mut self, trace: &Trace) {
+        // Clock-skew tolerance: widen the interval so bounded
+        // synchronisation error cannot fabricate a "certain" order. Only
+        // the interval is adjusted; the operation payload is borrowed.
+        let interval = if self.cfg.clock_skew_bound > 0 {
+            let eps = self.cfg.clock_skew_bound;
+            Interval::new(
+                Timestamp(trace.interval.lo.0.saturating_sub(eps)),
+                trace.interval.hi.saturating_add(eps),
+            )
+        } else {
+            trace.interval
+        };
+        self.stream_pos = self.stream_pos.max(interval.lo);
+        self.flush_pending_reads(self.stream_pos);
+        let me = self.cfg.mechanisms.mutual_exclusion;
+        let cr = self.cfg.mechanisms.consistent_read;
+
+        match &trace.op {
+            OpKind::Read(set) => {
+                self.txns.observe(trace.txn, trace.client, interval);
+                for &(key, value) in set {
+                    self.handle_read_element(trace.txn, interval, key, value, cr, false);
+                }
+            }
+            OpKind::LockedRead(set) => {
+                self.txns.observe(trace.txn, trace.client, interval);
+                for &(key, value) in set {
+                    if me {
+                        self.locks.acquire(key, trace.txn, interval);
+                        let info = self.txns.get_mut(trace.txn).expect("observed above");
+                        if !info.locked_read_keys.contains(&key) {
+                            info.locked_read_keys.push(key);
+                        }
+                    }
+                    // A locking read always observes the latest committed
+                    // state: statement-level snapshot semantics.
+                    self.handle_read_element(trace.txn, interval, key, value, cr, true);
+                }
+            }
+            OpKind::Write(set) => {
+                self.txns.observe(trace.txn, trace.client, interval);
+                let snapshot = self.txns.get(trace.txn).expect("observed").first_op;
+                for &(key, value) in set {
+                    self.versions
+                        .install(key, value, trace.txn, interval, snapshot);
+                    if me {
+                        self.locks.acquire(key, trace.txn, interval);
+                    }
+                    let info = self.txns.get_mut(trace.txn).expect("observed");
+                    if info.own_writes.insert(key, value).is_none() {
+                        info.write_keys.push(key);
+                    }
+                }
+            }
+            OpKind::Commit => {
+                self.txns.observe(trace.txn, trace.client, interval);
+                self.handle_commit(trace.txn, interval);
+            }
+            OpKind::Abort => {
+                self.txns.observe(trace.txn, trace.client, interval);
+                self.handle_abort(trace.txn, interval);
+            }
+        }
+
+        self.counters.traces += 1;
+        if self.cfg.gc && self.counters.traces.is_multiple_of(self.cfg.gc_every) {
+            self.collect_garbage();
+        }
+    }
+
+    /// Flushes every remaining deferred check and returns the outcome.
+    #[must_use]
+    pub fn finish(mut self) -> VerifyOutcome {
+        self.flush_pending_reads(Timestamp::MAX);
+        self.counters.peak_footprint = self.counters.peak_footprint.max(self.footprint().total());
+        VerifyOutcome {
+            report: self.report,
+            stats: self.stats,
+            counters: self.counters,
+        }
+    }
+
+    /// The violations found so far.
+    #[must_use]
+    pub fn report(&self) -> &BugReport {
+        &self.report
+    }
+
+    /// Dependency-deduction statistics so far.
+    #[must_use]
+    pub fn stats(&self) -> &DeductionStats {
+        &self.stats
+    }
+
+    /// Current memory footprint of the mirrored structures.
+    #[must_use]
+    pub fn footprint(&self) -> Footprint {
+        Footprint {
+            versions: self.versions.version_count(),
+            locks: self.locks.lock_count(),
+            graph_nodes: self.graph.node_count(),
+            graph_edges: self.graph.edge_count(),
+            txns: self.txns.len(),
+            pending_checks: self.pending_reads.len(),
+        }
+    }
+
+    /// Run counters so far.
+    #[must_use]
+    pub fn counters(&self) -> VerifyCounters {
+        self.counters
+    }
+
+    /// Read access to the mirrored dependency graph (tests, baselines).
+    #[must_use]
+    pub fn graph(&self) -> &DepGraph {
+        &self.graph
+    }
+
+    /// Read access to the mirrored version store (tests, diagnostics).
+    #[must_use]
+    pub fn versions(&self) -> &VersionStore {
+        &self.versions
+    }
+
+    // ----- consistent read ------------------------------------------------
+
+    fn handle_read_element(
+        &mut self,
+        txn: TxnId,
+        op_interval: Interval,
+        key: Key,
+        observed: Value,
+        cr: Option<SnapshotLevel>,
+        force_statement: bool,
+    ) {
+        let Some(level) = cr else { return };
+        let info = self.txns.get(txn).expect("observed");
+
+        // Case 1 (§V-A): the operation sees changes made by earlier
+        // operations within the same transaction.
+        if let Some(&own) = info.own_writes.get(&key) {
+            if own != observed {
+                self.report.violations.push(Violation::ConsistentRead {
+                    reader: txn,
+                    key,
+                    observed,
+                    snapshot: op_interval,
+                    candidates: vec![own],
+                });
+            }
+            return;
+        }
+
+        let snapshot = match (level, force_statement) {
+            (SnapshotLevel::Transaction, false) => info.first_op,
+            _ => op_interval,
+        };
+        // Defer until the stream position passes the snapshot's after
+        // timestamp: beyond that point every commit that could possibly
+        // overlap the snapshot interval has been dispatched.
+        self.pending_seq += 1;
+        let check = PendingRead {
+            due: snapshot.hi,
+            seq: self.pending_seq,
+            reader: txn,
+            key,
+            observed,
+            snapshot,
+            read_op: op_interval,
+        };
+        if check.due <= self.stream_pos {
+            self.run_read_check(&check);
+        } else {
+            self.pending_reads.push(Reverse(check));
+        }
+    }
+
+    fn flush_pending_reads(&mut self, up_to: Timestamp) {
+        while let Some(Reverse(front)) = self.pending_reads.peek() {
+            if front.due > up_to {
+                return;
+            }
+            let Reverse(check) = self.pending_reads.pop().expect("peeked");
+            self.run_read_check(&check);
+        }
+    }
+
+    fn run_read_check(&mut self, check: &PendingRead) {
+        match self.versions.check_read(
+            check.key,
+            check.observed,
+            &check.snapshot,
+            self.cfg.minimal_candidate_set,
+        ) {
+            ReadMatch::OwnWrite => {}
+            ReadMatch::Unique {
+                writer,
+                uid,
+                interval_certain,
+            } => {
+                if interval_certain {
+                    self.stats.wr.certain += 1;
+                } else {
+                    self.stats.wr.deduced += 1;
+                }
+                if let Some(info) = self.txns.get_mut(check.reader) {
+                    let matched = MatchedRead {
+                        key: check.key,
+                        uid,
+                        writer,
+                        read_op: check.read_op,
+                        interval_certain,
+                    };
+                    match info.outcome {
+                        // Reader still running: buffer until its commit.
+                        None => info.matched_reads.push(matched),
+                        // Commit already processed (possible only with
+                        // degenerate zero-width intervals): emit directly.
+                        Some(TxnOutcome::Committed(_)) => self.emit_matched_read(check.reader, &matched),
+                        Some(TxnOutcome::Aborted(_)) => {}
+                    }
+                }
+            }
+            ReadMatch::Ambiguous { .. } => {
+                self.stats.wr.uncertain += 1;
+            }
+            ReadMatch::Violation { candidates } => {
+                self.report.violations.push(Violation::ConsistentRead {
+                    reader: check.reader,
+                    key: check.key,
+                    observed: check.observed,
+                    snapshot: check.snapshot,
+                    candidates,
+                });
+            }
+        }
+    }
+
+    /// Installs the wr edge and (with dependency transfer on) derives the
+    /// rw edge to the already-committed direct successor, for a committed
+    /// reader.
+    fn emit_matched_read(&mut self, reader: TxnId, m: &MatchedRead) {
+        self.versions.add_reader(m.key, m.uid, reader, m.read_op);
+        if m.writer != TxnId::INITIAL {
+            self.add_dep(m.writer, reader, DepKind::Wr);
+        }
+        if self.cfg.dep_transfer {
+            if let Some(succ) = self.versions.committed_successor(m.key, m.uid) {
+                let succ_txn = succ.txn;
+                let certain = m.read_op.certainly_before(&succ.install);
+                if certain {
+                    self.stats.rw.certain += 1;
+                } else {
+                    self.stats.rw.deduced += 1;
+                }
+                self.add_dep(reader, succ_txn, DepKind::Rw);
+            }
+        }
+    }
+
+    // ----- commit / abort ---------------------------------------------------
+
+    fn handle_commit(&mut self, txn: TxnId, commit: Interval) {
+        let info = self.txns.get_mut(txn).expect("observed");
+        if info.outcome.is_some() {
+            return; // duplicate terminal trace: ignore
+        }
+        info.outcome = Some(TxnOutcome::Committed(commit));
+        let snapshot = info.first_op;
+        let write_keys = info.write_keys.clone();
+        let locked_read_keys = info.locked_read_keys.clone();
+        let matched_reads = std::mem::take(&mut info.matched_reads);
+        self.counters.committed += 1;
+
+        // Mutual exclusion: release all locks, checking pairs (§V-B).
+        if self.cfg.mechanisms.mutual_exclusion {
+            let mut checks = std::mem::take(&mut self.scratch_lock_checks);
+            checks.clear();
+            let mut all_keys = write_keys.clone();
+            all_keys.extend_from_slice(&locked_read_keys);
+            self.locks.release_txn(txn, &all_keys, commit, &mut checks);
+            for (key, check) in checks.drain(..) {
+                if let LockCheck::Violation { own_acquire, other } = check {
+                    self.report.violations.push(Violation::MutualExclusion {
+                        key,
+                        first: (txn, own_acquire, commit),
+                        second: other,
+                    });
+                }
+                // Orders are re-derived during version adjacency below;
+                // nothing else to do here.
+            }
+            self.scratch_lock_checks = checks;
+        }
+
+        // Install versions: they become visible within the commit interval.
+        self.versions.commit(txn, &write_keys, commit);
+
+        // Serialization certifier: node plus the dependencies this commit
+        // completes.
+        self.graph.add_node(txn, snapshot, commit);
+
+        // wr edges (and derived rw edges) from this transaction's reads.
+        for m in &matched_reads {
+            self.emit_matched_read(txn, m);
+        }
+
+        // FUW + ww adjacency per written key.
+        for &key in &write_keys {
+            if self.cfg.mechanisms.first_updater_wins {
+                self.check_fuw(txn, key, snapshot, commit);
+            }
+            self.settle_version_order(txn, key);
+            self.link_version_adjacency(txn, key);
+        }
+    }
+
+    /// Moves `txn`'s freshly committed version to its mechanism-resolved
+    /// position in `key`'s chain.
+    ///
+    /// The chain is kept in install-interval order, but for overlapping
+    /// installs that order is only a guess; when ME (lock spans) or FUW
+    /// (snapshot-commit spans) proves the opposite order for an adjacent
+    /// pair, the entries are swapped. Without this, rw antidependencies
+    /// derived from "readers of the predecessor" could point backwards in
+    /// time and fabricate certifier violations.
+    fn settle_version_order(&mut self, txn: TxnId, key: Key) {
+        let me_spans = self.cfg.mechanisms.mutual_exclusion;
+        let fuw_spans = self.cfg.mechanisms.first_updater_wins;
+        if !me_spans && !fuw_spans {
+            return; // no mechanism resolves overlapping orders
+        }
+        loop {
+            let Some((pred, me_entry, succ)) = self.versions.committed_neighbors(key, txn) else {
+                return;
+            };
+            let my_uid = me_entry.uid;
+            let my_install = me_entry.install;
+            let my_snapshot = me_entry.writer_snapshot;
+            let my_commit = me_entry.visibility.expect("committed");
+            let resolve_with = |other: &VersionEntry| {
+                let other_commit = other.visibility.expect("committed neighbour");
+                if me_spans {
+                    resolve_exclusive_pair(&my_install, &my_commit, &other.install, &other_commit)
+                } else {
+                    resolve_exclusive_pair(
+                        &my_snapshot,
+                        &my_commit,
+                        &other.writer_snapshot,
+                        &other_commit,
+                    )
+                }
+            };
+            // Does the resolved order contradict the chain order?
+            let mut swap_with = None;
+            if let Some(p) = pred {
+                if p.txn != TxnId::INITIAL
+                    && my_install.overlaps(&p.install)
+                    && resolve_with(p) == PairOrder::FirstThenSecond
+                {
+                    // I certainly precede my chain predecessor: swap.
+                    swap_with = Some(p.uid);
+                }
+            }
+            if swap_with.is_none() {
+                if let Some(s) = succ {
+                    if my_install.overlaps(&s.install)
+                        && resolve_with(s) == PairOrder::SecondThenFirst
+                    {
+                        // My chain successor certainly precedes me: swap.
+                        swap_with = Some(s.uid);
+                    }
+                }
+            }
+            match swap_with {
+                Some(other_uid) => {
+                    self.versions.swap_entries(key, my_uid, other_uid);
+                }
+                None => return,
+            }
+        }
+    }
+
+    fn handle_abort(&mut self, txn: TxnId, abort: Interval) {
+        let info = self.txns.get_mut(txn).expect("observed");
+        if info.outcome.is_some() {
+            return;
+        }
+        info.outcome = Some(TxnOutcome::Aborted(abort));
+        let write_keys = info.write_keys.clone();
+        let locked_read_keys = info.locked_read_keys.clone();
+        info.matched_reads.clear();
+        self.counters.aborted += 1;
+
+        // Locks were held regardless of the outcome: ME violations between
+        // an aborted and any other transaction are still bugs.
+        if self.cfg.mechanisms.mutual_exclusion {
+            let mut checks = std::mem::take(&mut self.scratch_lock_checks);
+            checks.clear();
+            let mut all_keys = write_keys.clone();
+            all_keys.extend_from_slice(&locked_read_keys);
+            self.locks.release_txn(txn, &all_keys, abort, &mut checks);
+            for (key, check) in checks.drain(..) {
+                if let LockCheck::Violation { own_acquire, other } = check {
+                    self.report.violations.push(Violation::MutualExclusion {
+                        key,
+                        first: (txn, own_acquire, abort),
+                        second: other,
+                    });
+                }
+            }
+            self.scratch_lock_checks = checks;
+        }
+
+        // Aborted versions are discarded (§II-A).
+        self.versions.abort(txn, &write_keys);
+    }
+
+    /// First-updater-wins (§V-C, Alg. 2): for every other committed writer
+    /// of `key`, either a serial order is deducible (ww) or the two
+    /// updates were certainly concurrent — a lost update.
+    fn check_fuw(&mut self, txn: TxnId, key: Key, snapshot: Interval, commit: Interval) {
+        let mut violations = Vec::new();
+        for other in self.versions.committed_others(key, txn) {
+            let other_commit = other.visibility.expect("committed_others filters");
+            match resolve_exclusive_pair(&snapshot, &commit, &other.writer_snapshot, &other_commit)
+            {
+                PairOrder::CertainlyConcurrent => violations.push((
+                    other.txn,
+                    other.writer_snapshot,
+                    other_commit,
+                )),
+                // Serial orders: the ww dependency is recorded by version
+                // adjacency (link_version_adjacency); pairwise resolutions
+                // beyond adjacency are implied transitively.
+                PairOrder::FirstThenSecond | PairOrder::SecondThenFirst => {}
+            }
+        }
+        for (other_txn, other_snapshot, other_commit) in violations {
+            self.report.violations.push(Violation::FirstUpdaterWins {
+                key,
+                first: (txn, snapshot, commit),
+                second: (other_txn, other_snapshot, other_commit),
+            });
+        }
+    }
+
+    /// Emits ww edges between `txn`'s freshly committed version on `key`
+    /// and its committed neighbours, plus rw edges from the predecessor's
+    /// readers (Fig. 9 derivation).
+    fn link_version_adjacency(&mut self, txn: TxnId, key: Key) {
+        struct Planned {
+            from: TxnId,
+            to: TxnId,
+            kind: DepKind,
+            bucket: u8, // 0 certain, 1 deduced, 2 uncertain (no edge)
+        }
+        let mut planned: Vec<Planned> = Vec::new();
+        {
+            let Some((pred, me_entry, succ)) = self.versions.committed_neighbors(key, txn) else {
+                return;
+            };
+            let my_install = me_entry.install;
+            let my_commit = me_entry.visibility.expect("committed");
+            let my_snapshot = me_entry.writer_snapshot;
+            let plan_pair = |other: &VersionEntry, other_is_pred: bool| -> Planned {
+                let other_commit = other.visibility.expect("committed neighbour");
+                let overlap = my_install.overlaps(&other.install);
+                let (from, to, bucket);
+                if !overlap {
+                    // Installation order is certain.
+                    if other_is_pred {
+                        from = other.txn;
+                        to = txn;
+                    } else {
+                        from = txn;
+                        to = other.txn;
+                    }
+                    bucket = 0;
+                } else if self.cfg.mechanisms.mutual_exclusion {
+                    // Locks pin the order: hold span is install..commit.
+                    match resolve_exclusive_pair(
+                        &my_install,
+                        &my_commit,
+                        &other.install,
+                        &other_commit,
+                    ) {
+                        PairOrder::FirstThenSecond => {
+                            from = txn;
+                            to = other.txn;
+                            bucket = 1;
+                        }
+                        PairOrder::SecondThenFirst => {
+                            from = other.txn;
+                            to = txn;
+                            bucket = 1;
+                        }
+                        // Certain concurrency was already reported by the
+                        // ME lock check; no order is deducible.
+                        PairOrder::CertainlyConcurrent => {
+                            from = txn;
+                            to = other.txn;
+                            bucket = 2;
+                        }
+                    }
+                } else if self.cfg.mechanisms.first_updater_wins {
+                    // FUW pins the order via snapshot..commit spans.
+                    match resolve_exclusive_pair(
+                        &my_snapshot,
+                        &my_commit,
+                        &other.writer_snapshot,
+                        &other_commit,
+                    ) {
+                        PairOrder::FirstThenSecond => {
+                            from = txn;
+                            to = other.txn;
+                            bucket = 1;
+                        }
+                        PairOrder::SecondThenFirst => {
+                            from = other.txn;
+                            to = txn;
+                            bucket = 1;
+                        }
+                        PairOrder::CertainlyConcurrent => {
+                            from = txn;
+                            to = other.txn;
+                            bucket = 2;
+                        }
+                    }
+                } else {
+                    // No mechanism resolves overlapping blind writes
+                    // (e.g. pure OCC): the dependency stays uncertain.
+                    from = txn;
+                    to = other.txn;
+                    bucket = 2;
+                }
+                Planned {
+                    from,
+                    to,
+                    kind: DepKind::Ww,
+                    bucket,
+                }
+            };
+            if let Some(pred) = pred {
+                if pred.txn != TxnId::INITIAL {
+                    planned.push(plan_pair(pred, true));
+                } else {
+                    planned.push(Planned {
+                        from: TxnId::INITIAL,
+                        to: txn,
+                        kind: DepKind::Ww,
+                        bucket: 3, // initial: no edge, no stats
+                    });
+                }
+                // rw edges: readers of the direct predecessor antidepend on
+                // this writer (Fig. 9).
+                if self.cfg.dep_transfer {
+                    for &(reader, read_op) in &pred.readers {
+                        if reader == txn {
+                            continue;
+                        }
+                        let certain = read_op.certainly_before(&my_install);
+                        planned.push(Planned {
+                            from: reader,
+                            to: txn,
+                            kind: DepKind::Rw,
+                            bucket: u8::from(!certain),
+                        });
+                    }
+                }
+            }
+            if let Some(succ) = succ {
+                // Out-of-order commit: this version's successor committed
+                // first, so the pair was never linked.
+                planned.push(plan_pair(succ, false));
+            }
+        }
+        for p in planned {
+            match (p.kind, p.bucket) {
+                (DepKind::Ww, 0) => self.stats.ww.certain += 1,
+                (DepKind::Ww, 1) => self.stats.ww.deduced += 1,
+                (DepKind::Ww, 2) => {
+                    self.stats.ww.uncertain += 1;
+                    continue; // no edge for unresolved pairs
+                }
+                (DepKind::Ww, _) => {
+                    continue; // initial-state predecessor: nothing to add
+                }
+                (DepKind::Rw, 0) => self.stats.rw.certain += 1,
+                (DepKind::Rw, _) => self.stats.rw.deduced += 1,
+                (DepKind::Wr, _) => unreachable!("wr edges are planned elsewhere"),
+            }
+            self.add_dep(p.from, p.to, p.kind);
+        }
+    }
+
+    /// Adds a dependency edge and reports any certifier-rule match.
+    fn add_dep(&mut self, from: TxnId, to: TxnId, kind: DepKind) {
+        let rule = self.cfg.mechanisms.certifier;
+        if let Some(v) = self.graph.add_edge(from, to, kind, rule) {
+            self.report
+                .violations
+                .push(Violation::SerializationCertifier {
+                    pattern: v.pattern.to_string(),
+                    txns: v.txns,
+                });
+        }
+    }
+
+    /// Periodic pruning of structures no active transaction can still
+    /// conflict with (§V complexity-analysis paragraphs; Definition 4).
+    fn collect_garbage(&mut self) {
+        self.counters.peak_footprint = self.counters.peak_footprint.max(self.footprint().total());
+        let mut low = self
+            .txns
+            .earliest_active_snapshot()
+            .unwrap_or(self.stream_pos)
+            .min(self.stream_pos);
+        if let Some(pending_low) = self
+            .pending_reads
+            .iter()
+            .map(|Reverse(p)| p.snapshot.lo)
+            .min()
+        {
+            low = low.min(pending_low);
+        }
+        self.versions.prune(low);
+        self.locks.prune(low);
+        self.graph.prune(low);
+        self.txns.prune(low);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceBuilder;
+
+    fn verify_all(cfg: VerifierConfig, preload: &[(u64, u64)], traces: Vec<Trace>) -> VerifyOutcome {
+        let mut v = Verifier::new(cfg);
+        for &(k, val) in preload {
+            v.preload(Key(k), Value(val));
+        }
+        for t in &traces {
+            v.process(t);
+        }
+        v.finish()
+    }
+
+    fn sr_cfg() -> VerifierConfig {
+        VerifierConfig::for_level(IsolationLevel::Serializable)
+    }
+
+    #[test]
+    fn clean_serial_history_is_clean() {
+        let mut b = TraceBuilder::new();
+        // t1 writes k1=10 and commits; t2 reads 10 and commits.
+        b.write(10, 12, 0, 1, vec![(1, 10)]);
+        b.commit(13, 15, 0, 1);
+        b.read(20, 22, 1, 2, vec![(1, 10)]);
+        b.commit(23, 25, 1, 2);
+        let out = verify_all(sr_cfg(), &[(1, 0)], b.build_sorted());
+        assert!(out.report.is_clean(), "{}", out.report);
+        assert_eq!(out.counters.committed, 2);
+        assert_eq!(out.stats.wr.certain, 1);
+    }
+
+    #[test]
+    fn dirty_read_is_cr_violation() {
+        let mut b = TraceBuilder::new();
+        // t1 writes k1=10 but has not committed; t2 reads 10: dirty read.
+        b.write(10, 12, 0, 1, vec![(1, 10)]);
+        b.read(20, 22, 1, 2, vec![(1, 10)]);
+        b.commit(23, 25, 1, 2);
+        b.commit(30, 32, 0, 1);
+        let out = verify_all(sr_cfg(), &[(1, 0)], b.build_sorted());
+        assert_eq!(out.report.count(crate::report::Mechanism::ConsistentRead), 1);
+    }
+
+    #[test]
+    fn stale_read_is_cr_violation() {
+        let mut b = TraceBuilder::new();
+        // k1 is updated to 10 and committed long before t2's snapshot, yet
+        // t2 reads the initial 0.
+        b.write(10, 12, 0, 1, vec![(1, 10)]);
+        b.commit(13, 15, 0, 1);
+        b.read(100, 102, 1, 2, vec![(1, 0)]);
+        b.commit(103, 105, 1, 2);
+        let out = verify_all(sr_cfg(), &[(1, 0)], b.build_sorted());
+        assert_eq!(out.report.count(crate::report::Mechanism::ConsistentRead), 1);
+    }
+
+    #[test]
+    fn read_own_write_is_fine_and_mismatch_is_violation() {
+        let mut b = TraceBuilder::new();
+        b.write(10, 12, 0, 1, vec![(1, 7)]);
+        b.read(13, 15, 0, 1, vec![(1, 7)]); // own write: fine
+        b.commit(16, 18, 0, 1);
+        let out = verify_all(sr_cfg(), &[(1, 0)], b.build_sorted());
+        assert!(out.report.is_clean(), "{}", out.report);
+
+        let mut b = TraceBuilder::new();
+        b.write(10, 12, 0, 1, vec![(1, 7)]);
+        b.read(13, 15, 0, 1, vec![(1, 0)]); // lost own update
+        b.commit(16, 18, 0, 1);
+        let out = verify_all(sr_cfg(), &[(1, 0)], b.build_sorted());
+        assert_eq!(out.report.count(crate::report::Mechanism::ConsistentRead), 1);
+    }
+
+    #[test]
+    fn repeatable_read_violation_under_txn_snapshot() {
+        // t2 reads k1 twice; between the reads t1 commits an update and the
+        // second read observes it. Legal at RC (statement snapshots),
+        // a CR violation at RR/SI (transaction snapshot).
+        let history = |b: &mut TraceBuilder| {
+            b.read(10, 12, 1, 2, vec![(1, 0)]);
+            b.write(20, 22, 0, 1, vec![(1, 9)]);
+            b.commit(23, 25, 0, 1);
+            b.read(30, 32, 1, 2, vec![(1, 9)]);
+            b.commit(33, 35, 1, 2);
+        };
+        let mut b = TraceBuilder::new();
+        history(&mut b);
+        let out = verify_all(
+            VerifierConfig::for_level(IsolationLevel::RepeatableRead),
+            &[(1, 0)],
+            b.build_sorted(),
+        );
+        assert_eq!(out.report.count(crate::report::Mechanism::ConsistentRead), 1);
+
+        let mut b = TraceBuilder::new();
+        history(&mut b);
+        let out = verify_all(
+            VerifierConfig::for_level(IsolationLevel::ReadCommitted),
+            &[(1, 0)],
+            b.build_sorted(),
+        );
+        assert!(out.report.is_clean(), "{}", out.report);
+    }
+
+    #[test]
+    fn certainly_concurrent_write_locks_are_me_violation() {
+        let mut b = TraceBuilder::new();
+        // Two transactions hold the write lock on k1 at the same time.
+        b.write(0, 10, 0, 1, vec![(1, 5)]);
+        b.write(1, 9, 1, 2, vec![(1, 6)]);
+        b.commit(11, 20, 0, 1);
+        b.commit(12, 21, 1, 2);
+        let out = verify_all(sr_cfg(), &[(1, 0)], b.build_sorted());
+        assert_eq!(
+            out.report.count(crate::report::Mechanism::MutualExclusion),
+            1
+        );
+    }
+
+    #[test]
+    fn lost_update_is_fuw_violation_without_me_noise() {
+        // Two certainly-concurrent committed updates of the same record,
+        // with lock checking off (an MVCC-FUW system like Percolator).
+        let mut cfg = VerifierConfig::for_mechanisms(MechanismSet {
+            consistent_read: Some(SnapshotLevel::Transaction),
+            mutual_exclusion: false,
+            first_updater_wins: true,
+            certifier: None,
+        });
+        cfg.gc = false;
+        let mut b = TraceBuilder::new();
+        // Both snapshots happen before either commit: certainly concurrent.
+        b.read(0, 2, 0, 1, vec![(1, 0)]);
+        b.read(1, 3, 1, 2, vec![(1, 0)]);
+        b.write(10, 12, 0, 1, vec![(1, 5)]);
+        b.write(11, 13, 1, 2, vec![(1, 6)]);
+        b.commit(20, 22, 0, 1);
+        b.commit(21, 23, 1, 2);
+        let out = verify_all(cfg, &[(1, 0)], b.build_sorted());
+        assert!(out
+            .report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::FirstUpdaterWins { .. })));
+    }
+
+    #[test]
+    fn write_skew_triggers_ssi_dangerous_structure() {
+        // Classic write skew: t1 reads k1 writes k2, t2 reads k2 writes k1,
+        // both concurrent, both commit. rw(t1->t2) and rw(t2->t1): each
+        // transaction is a pivot with concurrent in+out rw edges.
+        let mut b = TraceBuilder::new();
+        b.read(0, 2, 0, 1, vec![(1, 0)]);
+        b.read(1, 3, 1, 2, vec![(2, 0)]);
+        b.write(10, 12, 0, 1, vec![(2, 5)]);
+        b.write(11, 13, 1, 2, vec![(1, 6)]);
+        b.commit(20, 22, 0, 1);
+        b.commit(21, 23, 1, 2);
+        let out = verify_all(sr_cfg(), &[(1, 0), (2, 0)], b.build_sorted());
+        assert!(
+            out.report
+                .violations
+                .iter()
+                .any(|v| matches!(v, Violation::SerializationCertifier { .. })),
+            "{}",
+            out.report
+        );
+    }
+
+    #[test]
+    fn write_skew_is_legal_at_snapshot_isolation() {
+        let mut b = TraceBuilder::new();
+        b.read(0, 2, 0, 1, vec![(1, 0)]);
+        b.read(1, 3, 1, 2, vec![(2, 0)]);
+        b.write(10, 12, 0, 1, vec![(2, 5)]);
+        b.write(11, 13, 1, 2, vec![(1, 6)]);
+        b.commit(20, 22, 0, 1);
+        b.commit(21, 23, 1, 2);
+        let out = verify_all(
+            VerifierConfig::for_level(IsolationLevel::SnapshotIsolation),
+            &[(1, 0), (2, 0)],
+            b.build_sorted(),
+        );
+        assert!(out.report.is_clean(), "{}", out.report);
+    }
+
+    #[test]
+    fn ww_dependencies_deduced_for_serial_writers() {
+        let mut b = TraceBuilder::new();
+        b.write(10, 12, 0, 1, vec![(1, 5)]);
+        b.commit(13, 15, 0, 1);
+        b.write(20, 22, 1, 2, vec![(1, 6)]);
+        b.commit(23, 25, 1, 2);
+        let out = verify_all(sr_cfg(), &[(1, 0)], b.build_sorted());
+        assert!(out.report.is_clean());
+        assert_eq!(out.stats.ww.certain, 1);
+    }
+
+    #[test]
+    fn overlapping_blind_writes_deduced_via_me() {
+        // Install intervals overlap, but lock order resolves: t1 released
+        // (committed) before t2's commit started.
+        let mut b = TraceBuilder::new();
+        b.write(10, 20, 0, 1, vec![(1, 5)]);
+        b.write(15, 40, 1, 2, vec![(1, 6)]);
+        b.commit(21, 30, 0, 1);
+        b.commit(41, 50, 1, 2);
+        let out = verify_all(sr_cfg(), &[(1, 0)], b.build_sorted());
+        assert!(out.report.is_clean(), "{}", out.report);
+        assert_eq!(out.stats.ww.deduced, 1);
+        assert_eq!(out.stats.ww.uncertain, 0);
+    }
+
+    #[test]
+    fn overlapping_blind_writes_uncertain_without_me_or_fuw() {
+        let mut cfg = VerifierConfig::for_mechanisms(MechanismSet {
+            consistent_read: Some(SnapshotLevel::Transaction),
+            mutual_exclusion: false,
+            first_updater_wins: false,
+            certifier: None,
+        });
+        cfg.gc = false;
+        let mut b = TraceBuilder::new();
+        b.write(10, 20, 0, 1, vec![(1, 5)]);
+        b.write(15, 40, 1, 2, vec![(1, 6)]);
+        b.commit(21, 30, 0, 1);
+        b.commit(41, 50, 1, 2);
+        let out = verify_all(cfg, &[(1, 0)], b.build_sorted());
+        assert_eq!(out.stats.ww.uncertain, 1);
+    }
+
+    #[test]
+    fn aborted_transactions_leave_no_trace_in_graph() {
+        let mut b = TraceBuilder::new();
+        b.write(10, 12, 0, 1, vec![(1, 5)]);
+        b.abort(13, 15, 0, 1);
+        b.read(20, 22, 1, 2, vec![(1, 0)]); // must still see initial value
+        b.commit(23, 25, 1, 2);
+        let out = verify_all(sr_cfg(), &[(1, 0)], b.build_sorted());
+        assert!(out.report.is_clean(), "{}", out.report);
+        assert_eq!(out.counters.aborted, 1);
+    }
+
+    #[test]
+    fn reading_aborted_write_is_violation() {
+        let mut b = TraceBuilder::new();
+        b.write(10, 12, 0, 1, vec![(1, 5)]);
+        b.abort(13, 15, 0, 1);
+        b.read(20, 22, 1, 2, vec![(1, 5)]); // observes discarded version
+        b.commit(23, 25, 1, 2);
+        let out = verify_all(sr_cfg(), &[(1, 0)], b.build_sorted());
+        assert_eq!(out.report.count(crate::report::Mechanism::ConsistentRead), 1);
+    }
+
+    #[test]
+    fn gc_keeps_verification_correct() {
+        // Long serial chain with aggressive GC; every read checks out and
+        // footprint stays bounded.
+        let mut cfg = sr_cfg();
+        cfg.gc_every = 8;
+        let mut v = Verifier::new(cfg);
+        v.preload(Key(1), Value(0));
+        let mut ts = 10u64;
+        for i in 0..200u64 {
+            let txn = i + 1;
+            let expect = if i == 0 { 0 } else { i };
+            let mut b = TraceBuilder::new();
+            b.read(ts, ts + 2, 0, txn, vec![(1, expect)]);
+            b.write(ts + 3, ts + 5, 0, txn, vec![(1, i + 1)]);
+            b.commit(ts + 6, ts + 8, 0, txn);
+            for t in b.build_sorted() {
+                v.process(&t);
+            }
+            ts += 10;
+        }
+        let fp = v.footprint();
+        assert!(fp.versions < 20, "versions not pruned: {fp:?}");
+        assert!(fp.graph_nodes < 20, "graph not pruned: {fp:?}");
+        let out = v.finish();
+        assert!(out.report.is_clean(), "{}", out.report);
+        assert_eq!(out.counters.committed, 200);
+    }
+
+    #[test]
+    fn locked_read_conflicts_with_write_lock() {
+        // Bug 3 shape (§VI-F): a FOR UPDATE read overlapping a held write
+        // lock on the same record.
+        let mut b = TraceBuilder::new();
+        b.write(0, 10, 0, 1, vec![(1, 5)]);
+        let mut traces = b.build_sorted();
+        traces.push(Trace::new(
+            Interval::new(Timestamp(1), Timestamp(9)),
+            crate::types::ClientId(1),
+            TxnId(2),
+            OpKind::LockedRead(vec![(Key(1), Value(0))]),
+        ));
+        let mut b = TraceBuilder::new();
+        b.commit(11, 20, 0, 1);
+        b.commit(12, 21, 1, 2);
+        traces.extend(b.build_sorted());
+        traces.sort_by_key(|t| t.ts_bef());
+        let out = verify_all(sr_cfg(), &[(1, 0)], traces);
+        assert_eq!(
+            out.report.count(crate::report::Mechanism::MutualExclusion),
+            1
+        );
+    }
+
+    #[test]
+    fn finish_flushes_pending_reads() {
+        let mut v = Verifier::new(sr_cfg());
+        v.preload(Key(1), Value(0));
+        let mut b = TraceBuilder::new();
+        b.read(10, 12, 0, 1, vec![(1, 99)]); // bad read, check deferred
+        for t in b.build_sorted() {
+            v.process(&t);
+        }
+        // No later trace arrived to trigger the flush; finish must.
+        let out = v.finish();
+        assert_eq!(out.report.count(crate::report::Mechanism::ConsistentRead), 1);
+    }
+}

@@ -1,0 +1,147 @@
+//! Clocks stamping the `ts_bef`/`ts_aft` of every traced operation.
+//!
+//! All clients of one database share one clock, mirroring the paper's
+//! clock-synchronisation assumption (§IV-A). A configurable skew wrapper
+//! lets experiments study what bounded synchronisation error does to the
+//! verifier.
+
+use leopard_core::Timestamp;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotonic nanosecond clock shared by every client thread.
+pub trait Clock: Send + Sync {
+    /// Current time. Must be monotonically non-decreasing per caller.
+    fn now(&self) -> Timestamp;
+}
+
+/// Wall-clock time from a process-wide monotonic origin.
+///
+/// Timestamps start at 1 so that `Timestamp::ZERO` stays reserved for the
+/// preloaded initial database state.
+#[derive(Debug)]
+pub struct WallClock {
+    origin: Instant,
+}
+
+impl WallClock {
+    /// A clock whose origin is "now".
+    #[must_use]
+    pub fn new() -> WallClock {
+        WallClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        WallClock::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now(&self) -> Timestamp {
+        Timestamp(self.origin.elapsed().as_nanos() as u64 + 1)
+    }
+}
+
+/// A deterministic logical clock: every call advances time by a fixed
+/// step. Used by tests and reproducible experiments.
+#[derive(Debug)]
+pub struct SimClock {
+    counter: AtomicU64,
+    step: u64,
+}
+
+impl SimClock {
+    /// A clock ticking `step` "nanoseconds" per call.
+    #[must_use]
+    pub fn new(step: u64) -> SimClock {
+        SimClock {
+            counter: AtomicU64::new(0),
+            step: step.max(1),
+        }
+    }
+}
+
+impl Clock for SimClock {
+    fn now(&self) -> Timestamp {
+        Timestamp(self.counter.fetch_add(self.step, Ordering::Relaxed) + self.step)
+    }
+}
+
+/// Adds a constant per-instance offset to an underlying clock, modelling a
+/// client machine whose NTP-synchronised clock is off by a bounded skew.
+#[derive(Debug)]
+pub struct SkewedClock<C> {
+    inner: C,
+    /// Signed skew in nanoseconds.
+    skew: i64,
+}
+
+impl<C: Clock> SkewedClock<C> {
+    /// Wraps `inner`, offsetting every reading by `skew` nanoseconds.
+    #[must_use]
+    pub fn new(inner: C, skew: i64) -> SkewedClock<C> {
+        SkewedClock { inner, skew }
+    }
+}
+
+impl<C: Clock> Clock for SkewedClock<C> {
+    fn now(&self) -> Timestamp {
+        let t = self.inner.now().0 as i64 + self.skew;
+        Timestamp(t.max(1) as u64)
+    }
+}
+
+impl<C: Clock + ?Sized> Clock for std::sync::Arc<C> {
+    fn now(&self) -> Timestamp {
+        (**self).now()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn wall_clock_is_monotonic_and_positive() {
+        let c = WallClock::new();
+        let a = c.now();
+        let b = c.now();
+        assert!(a.0 >= 1);
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn sim_clock_ticks_deterministically() {
+        let c = SimClock::new(10);
+        assert_eq!(c.now(), Timestamp(10));
+        assert_eq!(c.now(), Timestamp(20));
+        assert_eq!(c.now(), Timestamp(30));
+    }
+
+    #[test]
+    fn sim_clock_step_zero_is_clamped() {
+        let c = SimClock::new(0);
+        assert_eq!(c.now(), Timestamp(1));
+        assert_eq!(c.now(), Timestamp(2));
+    }
+
+    #[test]
+    fn skewed_clock_offsets_readings() {
+        let c = SkewedClock::new(SimClock::new(10), 5);
+        assert_eq!(c.now(), Timestamp(15));
+        let c = SkewedClock::new(SimClock::new(10), -100);
+        // Clamped at 1: never produces the reserved zero timestamp.
+        assert_eq!(c.now(), Timestamp(1));
+    }
+
+    #[test]
+    fn arc_clock_delegates() {
+        let c: Arc<SimClock> = Arc::new(SimClock::new(1));
+        assert_eq!(c.now(), Timestamp(1));
+    }
+}

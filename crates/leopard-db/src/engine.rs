@@ -1,0 +1,920 @@
+//! The transactional engine: MVCC snapshots, strict 2PL write locks,
+//! first-updater-wins, and an SSI-style certifier, assembled per
+//! isolation level exactly as the paper's Fig. 1 describes for
+//! PostgreSQL-class systems.
+//!
+//! | level | snapshot    | locks | FUW | certifier |
+//! |-------|-------------|-------|-----|-----------|
+//! | RC    | statement   | yes   | no  | no        |
+//! | RR/SI | transaction | yes   | yes | no        |
+//! | SR    | transaction | yes   | yes | SSI       |
+//!
+//! The engine is deliberately honest rather than fast: correctness of the
+//! mechanisms is what the verifier is being tested against. Faults
+//! injected through [`FaultPlan`](crate::faults::FaultPlan) switch off one
+//! mechanism at a precise point to reproduce real bug classes.
+
+use crate::faults::{FaultKind, FaultPlan};
+use crate::storage::{Record, Storage, StoredVersion};
+use crate::txn::{AbortReason, TxnMeta, TxnState};
+use leopard_core::fxhash::FxHashMap;
+use leopard_core::{IsolationLevel, Key, TxnId, Value};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct DbConfig {
+    /// Isolation level all sessions run at.
+    pub isolation: IsolationLevel,
+    /// How long a writer waits for a record lock before aborting
+    /// (deadlock avoidance by timeout).
+    pub lock_wait: Duration,
+    /// Poll interval while waiting for a lock.
+    pub lock_retry: Duration,
+    /// How many versions behind a `StaleSnapshot` fault serves reads.
+    pub stale_snapshot_lag: u64,
+    /// Simulated per-operation latency (query execution + round trip of a
+    /// real client-server DBMS). Zero disables it. Experiments that study
+    /// interval overlap (Fig. 4, Fig. 13) enable this so trace intervals
+    /// have realistic widths; the actual sleep is jittered ±50 %.
+    pub op_latency: Duration,
+}
+
+impl Default for DbConfig {
+    fn default() -> DbConfig {
+        DbConfig {
+            isolation: IsolationLevel::Serializable,
+            lock_wait: Duration::from_millis(10),
+            lock_retry: Duration::from_micros(20),
+            stale_snapshot_lag: 2,
+            op_latency: Duration::ZERO,
+        }
+    }
+}
+
+impl DbConfig {
+    /// Default configuration at `level`.
+    #[must_use]
+    pub fn at(level: IsolationLevel) -> DbConfig {
+        DbConfig {
+            isolation: level,
+            ..DbConfig::default()
+        }
+    }
+
+    fn statement_snapshots(&self) -> bool {
+        self.isolation == IsolationLevel::ReadCommitted
+    }
+
+    fn first_updater_wins(&self) -> bool {
+        !self.statement_snapshots()
+    }
+
+    fn ssi(&self) -> bool {
+        self.isolation == IsolationLevel::Serializable
+    }
+}
+
+/// The shared database.
+#[derive(Debug)]
+pub struct Database {
+    cfg: DbConfig,
+    faults: FaultPlan,
+    storage: Storage,
+    commit_counter: AtomicU64,
+    txn_counter: AtomicU64,
+    /// Active transactions, for min-snapshot computation.
+    active: Mutex<FxHashMap<TxnId, Arc<TxnMeta>>>,
+    commits_since_prune: AtomicU64,
+}
+
+/// How often (in commits) the engine prunes unreachable versions.
+const PRUNE_PERIOD: u64 = 256;
+
+impl Database {
+    /// Creates a database with no faults.
+    #[must_use]
+    pub fn new(cfg: DbConfig) -> Arc<Database> {
+        Database::with_faults(cfg, FaultPlan::none())
+    }
+
+    /// Creates a database that misbehaves per `faults`.
+    #[must_use]
+    pub fn with_faults(cfg: DbConfig, faults: FaultPlan) -> Arc<Database> {
+        Arc::new(Database {
+            cfg,
+            faults,
+            storage: Storage::default(),
+            commit_counter: AtomicU64::new(0),
+            // TxnId(0) is reserved for the initial state.
+            txn_counter: AtomicU64::new(1),
+            active: Mutex::new(FxHashMap::default()),
+            commits_since_prune: AtomicU64::new(0),
+        })
+    }
+
+    /// Installs the initial value of `key` (commit sequence 0).
+    pub fn preload(&self, key: Key, value: Value) {
+        self.storage.with(|map| {
+            let rec = map.entry(key).or_default();
+            rec.versions.clear();
+            rec.versions.push(StoredVersion {
+                value,
+                commit_seq: 0,
+                writer: TxnId::INITIAL,
+                writer_meta: None,
+            });
+        });
+    }
+
+    /// Opens a session (one client connection).
+    #[must_use]
+    pub fn session(self: &Arc<Self>) -> Session {
+        Session {
+            db: Arc::clone(self),
+            current: None,
+        }
+    }
+
+    /// The engine's configuration.
+    #[must_use]
+    pub fn config(&self) -> &DbConfig {
+        &self.cfg
+    }
+
+    /// The fault plan (for inspecting `fired_count` in tests).
+    #[must_use]
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// Current global commit sequence.
+    #[must_use]
+    pub fn commit_seq(&self) -> u64 {
+        self.commit_counter.load(Ordering::Acquire)
+    }
+
+    fn min_active_snapshot(&self) -> u64 {
+        let active = self.active.lock();
+        active
+            .values()
+            .map(|m| m.snapshot_seq.load(Ordering::Acquire))
+            .filter(|&s| s != crate::txn::SNAPSHOT_UNSET)
+            .min()
+            .unwrap_or_else(|| self.commit_seq())
+    }
+}
+
+/// Per-transaction session state.
+#[derive(Debug)]
+struct ActiveTxn {
+    meta: Arc<TxnMeta>,
+    /// Keys with a pending write by this transaction.
+    writes: Vec<Key>,
+    /// Keys locked by this transaction (superset of `writes` unless a
+    /// fault skipped a lock; also contains locking-read keys).
+    locks: Vec<Key>,
+    /// Own uncommitted values, for read-your-writes.
+    own: FxHashMap<Key, Value>,
+}
+
+/// A client connection. Not `Sync`: one session per thread.
+#[derive(Debug)]
+pub struct Session {
+    db: Arc<Database>,
+    current: Option<ActiveTxn>,
+}
+
+impl Session {
+    /// Begins a transaction, returning its id. Any running transaction is
+    /// aborted first.
+    pub fn begin(&mut self) -> TxnId {
+        if self.current.is_some() {
+            self.rollback();
+        }
+        let id = TxnId(self.db.txn_counter.fetch_add(1, Ordering::Relaxed));
+        let meta = Arc::new(TxnMeta::new(id));
+        self.db.active.lock().insert(id, Arc::clone(&meta));
+        self.current = Some(ActiveTxn {
+            meta,
+            writes: Vec::new(),
+            locks: Vec::new(),
+            own: FxHashMap::default(),
+        });
+        id
+    }
+
+    /// Id of the running transaction, if any.
+    #[must_use]
+    pub fn txn_id(&self) -> Option<TxnId> {
+        self.current.as_ref().map(|t| t.meta.id)
+    }
+
+    /// Reads `key` under the session's isolation level.
+    ///
+    /// On `Err` the transaction has been aborted.
+    pub fn read(&mut self, key: Key) -> Result<Option<Value>, AbortReason> {
+        self.simulate_latency();
+        let snapshot = self.op_snapshot()?;
+        let txn = self.current.as_ref().expect("checked by op_snapshot");
+        if let Some(&own) = txn.own.get(&key) {
+            return Ok(Some(own));
+        }
+        let meta = Arc::clone(&txn.meta);
+        let my_id = meta.id;
+        let ssi = self.db.cfg.ssi();
+        let dirty = self.db.faults.fires(FaultKind::DirtyRead);
+        let (value, dangerous) = self.db.storage.with(|map| {
+            let Some(rec) = map.get_mut(&key) else {
+                return (None, false);
+            };
+            if ssi && !rec.readers.iter().any(|m| m.id == my_id) {
+                rec.readers.push(Arc::clone(&meta));
+            }
+            if dirty {
+                if let Some((_, v)) = rec.pending.iter().find(|(t, _)| *t != my_id) {
+                    return (Some(*v), false);
+                }
+            }
+            let dangerous = if ssi {
+                flag_stale_read(rec, snapshot, &meta)
+            } else {
+                false
+            };
+            (rec.visible_at(snapshot).map(|v| v.value), dangerous)
+        });
+        if dangerous {
+            self.abort_with(AbortReason::Certifier);
+            return Err(AbortReason::Certifier);
+        }
+        Ok(value)
+    }
+
+    /// Range read: up to `limit` records with keys in `[start, ...)`,
+    /// under the same visibility rules as [`Session::read`].
+    pub fn read_range(&mut self, start: Key, limit: usize) -> Result<Vec<(Key, Value)>, AbortReason> {
+        self.simulate_latency();
+        let snapshot = self.op_snapshot()?;
+        let txn = self.current.as_ref().expect("checked by op_snapshot");
+        let own: FxHashMap<Key, Value> = txn.own.clone();
+        let meta = Arc::clone(&txn.meta);
+        let my_id = meta.id;
+        let ssi = self.db.cfg.ssi();
+        let phantom = self.db.faults.fires(FaultKind::PhantomExtraVersion);
+        let mut dangerous = false;
+        let out = self.db.storage.with(|map| {
+            let mut out = Vec::with_capacity(limit);
+            let mut injected = false;
+            for (&key, rec) in map.range(start..) {
+                if out.len() >= limit {
+                    break;
+                }
+                // Reader registration needs &mut; collect keys first.
+                let value = own.get(&key).copied().or_else(|| {
+                    rec.visible_at(snapshot).map(|v| v.value)
+                });
+                if ssi {
+                    dangerous |= flag_stale_read_shared(rec, snapshot, &meta);
+                }
+                if let Some(v) = value {
+                    // Bug-4 analogue: also return the overwritten
+                    // predecessor version of this record.
+                    if phantom && !injected {
+                        if let Some(stale) = rec
+                            .versions
+                            .iter()
+                            .rev()
+                            .filter(|sv| sv.commit_seq <= snapshot)
+                            .nth(1)
+                        {
+                            out.push((key, stale.value));
+                            injected = true;
+                        }
+                    }
+                    out.push((key, v));
+                }
+            }
+            out
+        });
+        if ssi {
+            self.db.storage.with(|map| {
+                for (key, _) in &out {
+                    if let Some(rec) = map.get_mut(key) {
+                        if !rec.readers.iter().any(|m| m.id == my_id) {
+                            rec.readers.push(Arc::clone(&meta));
+                        }
+                    }
+                }
+            });
+        }
+        if dangerous {
+            self.abort_with(AbortReason::Certifier);
+            return Err(AbortReason::Certifier);
+        }
+        Ok(out)
+    }
+
+    /// Locking read (`SELECT ... FOR UPDATE`): acquires the exclusive
+    /// lock, then returns the latest committed value (a "current read").
+    pub fn read_for_update(&mut self, key: Key) -> Result<Option<Value>, AbortReason> {
+        self.simulate_latency();
+        self.op_snapshot()?;
+        // Bug-3 analogue (§VI-F): TiDB forgot the lock acquisition for a
+        // FOR UPDATE read through a join.
+        if !self.db.faults.fires(FaultKind::SkipLock) {
+            self.acquire_lock(key)?;
+            let txn = self.current.as_mut().expect("active after acquire");
+            if !txn.locks.contains(&key) {
+                txn.locks.push(key);
+            }
+        }
+        let txn = self.current.as_ref().expect("active");
+        if let Some(&own) = txn.own.get(&key) {
+            return Ok(Some(own));
+        }
+        Ok(self
+            .db
+            .storage
+            .with(|map| map.get(&key).and_then(|r| r.latest().map(|v| v.value))))
+    }
+
+    /// Writes `key := value`.
+    ///
+    /// Under 2PL this acquires the record's exclusive lock (bounded wait);
+    /// under FUW it aborts if a concurrent transaction committed an update
+    /// first. On `Err` the transaction has been aborted.
+    pub fn write(&mut self, key: Key, value: Value) -> Result<(), AbortReason> {
+        self.simulate_latency();
+        let snapshot = self.op_snapshot()?;
+        let my_id = self.current.as_ref().expect("active").meta.id;
+
+        // Fault hooks: skip the lock entirely, or (Bug 1) skip it when the
+        // "update does not modify the record".
+        let mut skip_lock = self.db.faults.fires(FaultKind::SkipLock);
+        if !skip_lock && self.db.faults.kind() == Some(FaultKind::FirstWriteNoLock) {
+            let unchanged = self.db.storage.with(|map| {
+                map.get(&key)
+                    .and_then(Record::latest)
+                    .is_some_and(|v| v.value == value)
+            });
+            if unchanged && self.db.faults.fires(FaultKind::FirstWriteNoLock) {
+                skip_lock = true;
+            }
+        }
+        if !skip_lock {
+            self.acquire_lock(key)?;
+            let txn = self.current.as_mut().expect("active");
+            if !txn.locks.contains(&key) {
+                txn.locks.push(key);
+            }
+        }
+
+        // First updater wins: a committed update newer than our snapshot
+        // means we lost the race (PostgreSQL's "could not serialize access
+        // due to concurrent update").
+        if self.db.cfg.first_updater_wins()
+            && !self.db.faults.fires(FaultKind::AllowLostUpdate)
+        {
+            let conflicting = self.db.storage.with(|map| {
+                map.get(&key)
+                    .and_then(Record::latest)
+                    .is_some_and(|v| v.commit_seq > snapshot)
+            });
+            if conflicting {
+                self.abort_with(AbortReason::FirstUpdaterWins);
+                return Err(AbortReason::FirstUpdaterWins);
+            }
+        }
+
+        let txn = self.current.as_mut().expect("active");
+        if txn.own.insert(key, value).is_none() {
+            txn.writes.push(key);
+        }
+        self.db.storage.with(|map| {
+            let rec = map.entry(key).or_default();
+            rec.pending.retain(|(t, _)| *t != my_id);
+            rec.pending.push((my_id, value));
+        });
+        Ok(())
+    }
+
+    /// Commits. On `Err` the transaction has been aborted instead
+    /// (certifier rejection).
+    pub fn commit(&mut self) -> Result<(), AbortReason> {
+        self.simulate_latency();
+        let Some(txn) = self.current.as_ref() else {
+            return Err(AbortReason::NotActive);
+        };
+        let meta = Arc::clone(&txn.meta);
+        let my_snapshot = meta.snapshot_seq.load(Ordering::Acquire);
+        let writes = txn.writes.clone();
+
+        // SSI certifier: mark rw antidependencies from every reader of
+        // every record we wrote; abort on a dangerous structure.
+        if self.db.cfg.ssi()
+            && !writes.is_empty()
+            && !self.db.faults.fires(FaultKind::SkipCertifier)
+        {
+            let rejected = self.db.storage.with(|map| {
+                for key in &writes {
+                    let Some(rec) = map.get_mut(key) else { continue };
+                    for reader in &rec.readers {
+                        if reader.id == meta.id {
+                            continue;
+                        }
+                        let concurrent = match reader.state() {
+                            TxnState::Active => true,
+                            TxnState::Committed => {
+                                reader.commit_seq.load(Ordering::Acquire) > my_snapshot
+                            }
+                            TxnState::Aborted => false,
+                        };
+                        if !concurrent {
+                            continue;
+                        }
+                        // rw: reader -> self.
+                        if reader.state() == TxnState::Committed
+                            && reader.in_rw.load(Ordering::Acquire)
+                        {
+                            // The committed reader is a pivot we can no
+                            // longer abort: reject this commit instead.
+                            return true;
+                        }
+                        reader.out_rw.store(true, Ordering::Release);
+                        meta.in_rw.store(true, Ordering::Release);
+                        if meta.out_rw.load(Ordering::Acquire) {
+                            return true; // self is the pivot
+                        }
+                    }
+                }
+                false
+            });
+            if rejected {
+                self.abort_with(AbortReason::Certifier);
+                return Err(AbortReason::Certifier);
+            }
+        }
+
+        // Install: assign the commit sequence and publish every pending
+        // version in one critical section, so no snapshot can ever observe
+        // a commit sequence whose versions are not yet visible.
+        let txn = self.current.take().expect("checked above");
+        self.db.storage.with(|map| {
+            let commit_seq = self.db.commit_counter.fetch_add(1, Ordering::AcqRel) + 1;
+            meta.commit_seq.store(commit_seq, Ordering::Release);
+            for key in &txn.writes {
+                let Some(rec) = map.get_mut(key) else { continue };
+                if let Some(pos) = rec.pending.iter().position(|(t, _)| *t == meta.id) {
+                    let (_, value) = rec.pending.remove(pos);
+                    rec.versions.push(StoredVersion {
+                        value,
+                        commit_seq,
+                        writer: meta.id,
+                        writer_meta: Some(Arc::clone(&meta)),
+                    });
+                }
+            }
+            for key in &txn.locks {
+                if let Some(rec) = map.get_mut(key) {
+                    if rec.lock == Some(meta.id) {
+                        rec.lock = None;
+                    }
+                }
+            }
+        });
+        meta.set_state(TxnState::Committed);
+        self.db.active.lock().remove(&meta.id);
+        self.maybe_prune();
+        Ok(())
+    }
+
+    /// Rolls the running transaction back (no-op without one).
+    pub fn rollback(&mut self) {
+        self.abort_with(AbortReason::NotActive);
+    }
+
+    fn abort_with(&mut self, _reason: AbortReason) {
+        let Some(txn) = self.current.take() else { return };
+        self.db.storage.with(|map| {
+            for key in &txn.writes {
+                if let Some(rec) = map.get_mut(key) {
+                    rec.pending.retain(|(t, _)| *t != txn.meta.id);
+                }
+            }
+            for key in &txn.locks {
+                if let Some(rec) = map.get_mut(key) {
+                    if rec.lock == Some(txn.meta.id) {
+                        rec.lock = None;
+                    }
+                }
+            }
+        });
+        txn.meta.set_state(TxnState::Aborted);
+        self.db.active.lock().remove(&txn.meta.id);
+    }
+
+    /// Sleeps for the configured simulated operation latency (±50 %
+    /// jitter), emulating the query-execution and round-trip time of a
+    /// real client-server DBMS.
+    fn simulate_latency(&self) {
+        let d = self.db.cfg.op_latency;
+        if !d.is_zero() {
+            use rand::Rng as _;
+            let nanos = d.as_nanos() as u64;
+            let jittered = rand::rng().random_range(nanos / 2..=nanos * 3 / 2);
+            std::thread::sleep(Duration::from_nanos(jittered));
+        }
+    }
+
+    /// Fixes the snapshot for the next operation and returns it.
+    fn op_snapshot(&mut self) -> Result<u64, AbortReason> {
+        let db = Arc::clone(&self.db);
+        let Some(txn) = self.current.as_mut() else {
+            return Err(AbortReason::NotActive);
+        };
+        let existing = txn.meta.snapshot_seq.load(Ordering::Acquire);
+        let mut seq = if db.cfg.statement_snapshots() || existing == crate::txn::SNAPSHOT_UNSET {
+            db.commit_seq()
+        } else {
+            existing
+        };
+        if existing == crate::txn::SNAPSHOT_UNSET || db.cfg.statement_snapshots() {
+            if db.faults.fires(FaultKind::StaleSnapshot) {
+                seq = seq.saturating_sub(db.cfg.stale_snapshot_lag);
+            }
+            txn.meta.snapshot_seq.store(seq, Ordering::Release);
+        }
+        Ok(seq)
+    }
+
+    /// Bounded-wait exclusive lock acquisition (2PL growing phase).
+    fn acquire_lock(&mut self, key: Key) -> Result<(), AbortReason> {
+        let my_id = self.current.as_ref().expect("active").meta.id;
+        let deadline = Instant::now() + self.db.cfg.lock_wait;
+        loop {
+            let acquired = self.db.storage.with(|map| {
+                let rec = map.entry(key).or_default();
+                match rec.lock {
+                    None => {
+                        rec.lock = Some(my_id);
+                        true
+                    }
+                    Some(holder) => holder == my_id,
+                }
+            });
+            if acquired {
+                return Ok(());
+            }
+            if Instant::now() >= deadline {
+                self.abort_with(AbortReason::LockTimeout);
+                return Err(AbortReason::LockTimeout);
+            }
+            std::thread::sleep(self.db.cfg.lock_retry);
+        }
+    }
+
+    fn maybe_prune(&self) {
+        let n = self.db.commits_since_prune.fetch_add(1, Ordering::Relaxed) + 1;
+        if !n.is_multiple_of(PRUNE_PERIOD) {
+            return;
+        }
+        let min_snapshot = self.db.min_active_snapshot();
+        self.db.storage.with(|map| {
+            for rec in map.values_mut() {
+                rec.prune_versions(min_snapshot);
+                rec.prune_readers(min_snapshot);
+            }
+        });
+    }
+}
+
+
+/// SSI bookkeeping for a read that observes a record with newer committed
+/// versions than its snapshot: the read has an rw antidependency on each
+/// such writer. Marks the flags and returns `true` when the structure is
+/// already dangerous (the writer is a committed pivot), in which case the
+/// reader must abort.
+fn flag_stale_read(rec: &mut Record, snapshot: u64, reader: &Arc<TxnMeta>) -> bool {
+    flag_stale_read_shared(rec, snapshot, reader)
+}
+
+/// Shared-reference variant used by range scans.
+fn flag_stale_read_shared(rec: &Record, snapshot: u64, reader: &Arc<TxnMeta>) -> bool {
+    use std::sync::atomic::Ordering as O;
+    let mut dangerous = false;
+    for newer in rec.versions.iter().rev() {
+        if newer.commit_seq <= snapshot {
+            break;
+        }
+        let Some(wm) = &newer.writer_meta else { continue };
+        if wm.id == reader.id {
+            continue;
+        }
+        // rw: reader -> writer (writer committed after reader's snapshot,
+        // so the pair is concurrent by construction).
+        reader.out_rw.store(true, O::Release);
+        wm.in_rw.store(true, O::Release);
+        if wm.out_rw.load(O::Acquire) {
+            // reader -> writer -> x with the pivot already committed: the
+            // only abortable participant is the reader.
+            dangerous = true;
+        }
+    }
+    dangerous
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        self.rollback();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db_at(level: IsolationLevel) -> Arc<Database> {
+        let db = Database::new(DbConfig::at(level));
+        for k in 0..10u64 {
+            db.preload(Key(k), Value(0));
+        }
+        db
+    }
+
+    #[test]
+    fn read_your_own_writes() {
+        let db = db_at(IsolationLevel::Serializable);
+        let mut s = db.session();
+        s.begin();
+        assert_eq!(s.read(Key(1)).unwrap(), Some(Value(0)));
+        s.write(Key(1), Value(7)).unwrap();
+        assert_eq!(s.read(Key(1)).unwrap(), Some(Value(7)));
+        s.commit().unwrap();
+    }
+
+    #[test]
+    fn committed_writes_become_visible() {
+        let db = db_at(IsolationLevel::Serializable);
+        let mut a = db.session();
+        a.begin();
+        a.write(Key(1), Value(7)).unwrap();
+        a.commit().unwrap();
+        let mut b = db.session();
+        b.begin();
+        assert_eq!(b.read(Key(1)).unwrap(), Some(Value(7)));
+        b.commit().unwrap();
+    }
+
+    #[test]
+    fn uncommitted_writes_are_invisible() {
+        let db = db_at(IsolationLevel::Serializable);
+        let mut a = db.session();
+        let mut b = db.session();
+        a.begin();
+        a.write(Key(1), Value(7)).unwrap();
+        b.begin();
+        assert_eq!(b.read(Key(1)).unwrap(), Some(Value(0)));
+        a.commit().unwrap();
+        b.rollback();
+    }
+
+    #[test]
+    fn transaction_snapshot_is_repeatable() {
+        let db = db_at(IsolationLevel::RepeatableRead);
+        let mut a = db.session();
+        a.begin();
+        assert_eq!(a.read(Key(1)).unwrap(), Some(Value(0)));
+        let mut b = db.session();
+        b.begin();
+        b.write(Key(1), Value(9)).unwrap();
+        b.commit().unwrap();
+        // a still sees its snapshot.
+        assert_eq!(a.read(Key(1)).unwrap(), Some(Value(0)));
+        a.rollback();
+    }
+
+    #[test]
+    fn statement_snapshot_sees_new_commits() {
+        let db = db_at(IsolationLevel::ReadCommitted);
+        let mut a = db.session();
+        a.begin();
+        assert_eq!(a.read(Key(1)).unwrap(), Some(Value(0)));
+        let mut b = db.session();
+        b.begin();
+        b.write(Key(1), Value(9)).unwrap();
+        b.commit().unwrap();
+        assert_eq!(a.read(Key(1)).unwrap(), Some(Value(9)));
+        a.rollback();
+    }
+
+    #[test]
+    fn write_conflict_times_out() {
+        let db = Database::new(DbConfig {
+            isolation: IsolationLevel::Serializable,
+            lock_wait: Duration::from_millis(2),
+            ..DbConfig::default()
+        });
+        db.preload(Key(1), Value(0));
+        let mut a = db.session();
+        let mut b = db.session();
+        a.begin();
+        a.write(Key(1), Value(1)).unwrap();
+        b.begin();
+        let err = b.write(Key(1), Value(2)).unwrap_err();
+        assert_eq!(err, AbortReason::LockTimeout);
+        a.commit().unwrap();
+        // b was auto-aborted.
+        assert!(b.txn_id().is_none());
+    }
+
+    #[test]
+    fn first_updater_wins_aborts_second() {
+        let db = db_at(IsolationLevel::SnapshotIsolation);
+        let mut a = db.session();
+        let mut b = db.session();
+        // Both take their snapshot first.
+        a.begin();
+        assert_eq!(a.read(Key(1)).unwrap(), Some(Value(0)));
+        b.begin();
+        assert_eq!(b.read(Key(1)).unwrap(), Some(Value(0)));
+        // a updates and commits.
+        a.write(Key(1), Value(1)).unwrap();
+        a.commit().unwrap();
+        // b's update must hit FUW.
+        let err = b.write(Key(1), Value(2)).unwrap_err();
+        assert_eq!(err, AbortReason::FirstUpdaterWins);
+    }
+
+    #[test]
+    fn read_committed_allows_lost_update_pattern() {
+        // At RC (no FUW), the second writer succeeds after the first
+        // commits — the classic lost-update hazard the level permits.
+        let db = db_at(IsolationLevel::ReadCommitted);
+        let mut a = db.session();
+        let mut b = db.session();
+        a.begin();
+        assert_eq!(a.read(Key(1)).unwrap(), Some(Value(0)));
+        b.begin();
+        assert_eq!(b.read(Key(1)).unwrap(), Some(Value(0)));
+        a.write(Key(1), Value(1)).unwrap();
+        a.commit().unwrap();
+        b.write(Key(1), Value(2)).unwrap();
+        b.commit().unwrap();
+        let mut c = db.session();
+        c.begin();
+        assert_eq!(c.read(Key(1)).unwrap(), Some(Value(2)));
+        c.rollback();
+    }
+
+    #[test]
+    fn ssi_aborts_write_skew() {
+        let db = db_at(IsolationLevel::Serializable);
+        let mut a = db.session();
+        let mut b = db.session();
+        a.begin();
+        b.begin();
+        assert_eq!(a.read(Key(1)).unwrap(), Some(Value(0)));
+        assert_eq!(b.read(Key(2)).unwrap(), Some(Value(0)));
+        a.write(Key(2), Value(5)).unwrap();
+        b.write(Key(1), Value(6)).unwrap();
+        a.commit().unwrap();
+        let err = b.commit().unwrap_err();
+        assert_eq!(err, AbortReason::Certifier);
+    }
+
+    #[test]
+    fn snapshot_isolation_permits_write_skew() {
+        let db = db_at(IsolationLevel::SnapshotIsolation);
+        let mut a = db.session();
+        let mut b = db.session();
+        a.begin();
+        b.begin();
+        assert_eq!(a.read(Key(1)).unwrap(), Some(Value(0)));
+        assert_eq!(b.read(Key(2)).unwrap(), Some(Value(0)));
+        a.write(Key(2), Value(5)).unwrap();
+        b.write(Key(1), Value(6)).unwrap();
+        a.commit().unwrap();
+        b.commit().unwrap(); // allowed at SI
+    }
+
+    #[test]
+    fn rollback_discards_writes_and_locks() {
+        let db = db_at(IsolationLevel::Serializable);
+        let mut a = db.session();
+        a.begin();
+        a.write(Key(1), Value(9)).unwrap();
+        a.rollback();
+        let mut b = db.session();
+        b.begin();
+        assert_eq!(b.read(Key(1)).unwrap(), Some(Value(0)));
+        // Lock is free again.
+        b.write(Key(1), Value(3)).unwrap();
+        b.commit().unwrap();
+    }
+
+    #[test]
+    fn range_read_returns_sorted_window() {
+        let db = db_at(IsolationLevel::Serializable);
+        let mut s = db.session();
+        s.begin();
+        let rows = s.read_range(Key(3), 4).unwrap();
+        let keys: Vec<u64> = rows.iter().map(|(k, _)| k.0).collect();
+        assert_eq!(keys, vec![3, 4, 5, 6]);
+        s.commit().unwrap();
+    }
+
+    #[test]
+    fn read_for_update_blocks_writers() {
+        let db = Database::new(DbConfig {
+            isolation: IsolationLevel::Serializable,
+            lock_wait: Duration::from_millis(2),
+            ..DbConfig::default()
+        });
+        db.preload(Key(1), Value(0));
+        let mut a = db.session();
+        let mut b = db.session();
+        a.begin();
+        assert_eq!(a.read_for_update(Key(1)).unwrap(), Some(Value(0)));
+        b.begin();
+        assert_eq!(b.write(Key(1), Value(2)).unwrap_err(), AbortReason::LockTimeout);
+        a.commit().unwrap();
+    }
+
+    #[test]
+    fn dirty_read_fault_leaks_pending_writes() {
+        let db = Database::with_faults(
+            DbConfig::at(IsolationLevel::ReadCommitted),
+            FaultPlan::always(FaultKind::DirtyRead),
+        );
+        db.preload(Key(1), Value(0));
+        let mut a = db.session();
+        let mut b = db.session();
+        a.begin();
+        a.write(Key(1), Value(7)).unwrap();
+        b.begin();
+        assert_eq!(b.read(Key(1)).unwrap(), Some(Value(7))); // dirty!
+        a.rollback();
+        b.rollback();
+        assert!(db.faults().fired_count() >= 1);
+    }
+
+    #[test]
+    fn lost_update_fault_lets_both_commit() {
+        let db = Database::with_faults(
+            DbConfig::at(IsolationLevel::SnapshotIsolation),
+            FaultPlan::always(FaultKind::AllowLostUpdate),
+        );
+        db.preload(Key(1), Value(0));
+        let mut a = db.session();
+        let mut b = db.session();
+        a.begin();
+        assert_eq!(a.read(Key(1)).unwrap(), Some(Value(0)));
+        b.begin();
+        assert_eq!(b.read(Key(1)).unwrap(), Some(Value(0)));
+        a.write(Key(1), Value(1)).unwrap();
+        a.commit().unwrap();
+        b.write(Key(1), Value(2)).unwrap(); // FUW skipped
+        b.commit().unwrap();
+    }
+
+    #[test]
+    fn skip_certifier_fault_lets_write_skew_commit() {
+        let db = Database::with_faults(
+            DbConfig::at(IsolationLevel::Serializable),
+            FaultPlan::always(FaultKind::SkipCertifier),
+        );
+        db.preload(Key(1), Value(0));
+        db.preload(Key(2), Value(0));
+        let mut a = db.session();
+        let mut b = db.session();
+        a.begin();
+        b.begin();
+        assert_eq!(a.read(Key(1)).unwrap(), Some(Value(0)));
+        assert_eq!(b.read(Key(2)).unwrap(), Some(Value(0)));
+        a.write(Key(2), Value(5)).unwrap();
+        b.write(Key(1), Value(6)).unwrap();
+        a.commit().unwrap();
+        b.commit().unwrap(); // certifier skipped: write skew committed
+    }
+
+    #[test]
+    fn version_pruning_keeps_reads_correct() {
+        let db = db_at(IsolationLevel::Serializable);
+        for i in 0..(2 * PRUNE_PERIOD + 10) {
+            let mut s = db.session();
+            s.begin();
+            s.write(Key(1), Value(i)).unwrap();
+            s.commit().unwrap();
+        }
+        let mut s = db.session();
+        s.begin();
+        assert_eq!(
+            s.read(Key(1)).unwrap(),
+            Some(Value(2 * PRUNE_PERIOD + 9))
+        );
+        s.commit().unwrap();
+    }
+}

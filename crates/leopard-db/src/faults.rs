@@ -1,0 +1,188 @@
+//! Fault injection: switching off one mechanism at a precise point.
+//!
+//! A real isolation bug *is* a mechanism violation somewhere inside the
+//! engine; injecting the violation at the mechanism boundary produces the
+//! identical client-visible symptom. Each fault below reproduces the class
+//! of one of the paper's §VI-F bug cases (or a classic textbook anomaly),
+//! so the test suite can demonstrate that Leopard flags them while a pure
+//! dependency-cycle checker does not.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// The mechanism violations the engine can be told to commit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A write skips lock acquisition (ME violation; generalises §VI-F
+    /// Bug 1, where TiDB forgot the lock for a no-op update).
+    SkipLock,
+    /// A write whose new value equals the current committed value skips
+    /// lock acquisition — §VI-F Bug 1 verbatim.
+    FirstWriteNoLock,
+    /// A read is served from a snapshot `k` commits behind the correct
+    /// one (CR violation; §VI-F Bug 2's non-linearizable read).
+    StaleSnapshot,
+    /// A read sees uncommitted versions of other transactions (dirty
+    /// read; CR violation).
+    DirtyRead,
+    /// The first-updater-wins check is skipped: concurrent updates both
+    /// commit (lost update; FUW violation).
+    AllowLostUpdate,
+    /// The serialization certifier is skipped: dangerous structures
+    /// commit (write skew; SC violation).
+    SkipCertifier,
+    /// A range read returns, in addition to the correct row, a stale
+    /// overwritten version of the same record — §VI-F Bug 4's
+    /// two-versions-for-one-key query.
+    PhantomExtraVersion,
+}
+
+/// When a fault fires.
+#[derive(Debug)]
+enum Trigger {
+    /// Never (fault disabled).
+    Never,
+    /// On every opportunity.
+    Always,
+    /// With probability `p` per opportunity (seeded, reproducible).
+    Probability(f64, Mutex<SmallRng>),
+    /// Exactly on the `n`-th opportunity (1-based), once.
+    Nth(u64),
+}
+
+/// A fault plan: at most one fault kind with its trigger.
+#[derive(Debug)]
+pub struct FaultPlan {
+    kind: Option<FaultKind>,
+    trigger: Trigger,
+    opportunities: AtomicU64,
+    fired: AtomicU64,
+}
+
+impl FaultPlan {
+    /// No faults: the engine behaves correctly.
+    #[must_use]
+    pub fn none() -> FaultPlan {
+        FaultPlan {
+            kind: None,
+            trigger: Trigger::Never,
+            opportunities: AtomicU64::new(0),
+            fired: AtomicU64::new(0),
+        }
+    }
+
+    /// Fault firing at every opportunity.
+    #[must_use]
+    pub fn always(kind: FaultKind) -> FaultPlan {
+        FaultPlan {
+            kind: Some(kind),
+            trigger: Trigger::Always,
+            opportunities: AtomicU64::new(0),
+            fired: AtomicU64::new(0),
+        }
+    }
+
+    /// Fault firing with probability `p` per opportunity.
+    #[must_use]
+    pub fn with_probability(kind: FaultKind, p: f64, seed: u64) -> FaultPlan {
+        FaultPlan {
+            kind: Some(kind),
+            trigger: Trigger::Probability(p.clamp(0.0, 1.0), Mutex::new(SmallRng::seed_from_u64(seed))),
+            opportunities: AtomicU64::new(0),
+            fired: AtomicU64::new(0),
+        }
+    }
+
+    /// Fault firing exactly once, on the `n`-th opportunity (1-based).
+    #[must_use]
+    pub fn on_nth(kind: FaultKind, n: u64) -> FaultPlan {
+        FaultPlan {
+            kind: Some(kind),
+            trigger: Trigger::Nth(n.max(1)),
+            opportunities: AtomicU64::new(0),
+            fired: AtomicU64::new(0),
+        }
+    }
+
+    /// Called by the engine at an opportunity for `kind`; `true` means
+    /// "misbehave now".
+    pub fn fires(&self, kind: FaultKind) -> bool {
+        if self.kind != Some(kind) {
+            return false;
+        }
+        let n = self.opportunities.fetch_add(1, Ordering::Relaxed) + 1;
+        let fire = match &self.trigger {
+            Trigger::Never => false,
+            Trigger::Always => true,
+            Trigger::Probability(p, rng) => rng.lock().expect("rng lock").random_bool(*p),
+            Trigger::Nth(target) => n == *target,
+        };
+        if fire {
+            self.fired.fetch_add(1, Ordering::Relaxed);
+        }
+        fire
+    }
+
+    /// How many times the fault actually fired.
+    #[must_use]
+    pub fn fired_count(&self) -> u64 {
+        self.fired.load(Ordering::Relaxed)
+    }
+
+    /// The configured fault kind, if any.
+    #[must_use]
+    pub fn kind(&self) -> Option<FaultKind> {
+        self.kind
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_fires() {
+        let p = FaultPlan::none();
+        assert!(!p.fires(FaultKind::SkipLock));
+        assert_eq!(p.fired_count(), 0);
+    }
+
+    #[test]
+    fn always_fires_only_for_its_kind() {
+        let p = FaultPlan::always(FaultKind::DirtyRead);
+        assert!(p.fires(FaultKind::DirtyRead));
+        assert!(!p.fires(FaultKind::SkipLock));
+        assert_eq!(p.fired_count(), 1);
+    }
+
+    #[test]
+    fn nth_fires_exactly_once() {
+        let p = FaultPlan::on_nth(FaultKind::StaleSnapshot, 3);
+        assert!(!p.fires(FaultKind::StaleSnapshot));
+        assert!(!p.fires(FaultKind::StaleSnapshot));
+        assert!(p.fires(FaultKind::StaleSnapshot));
+        assert!(!p.fires(FaultKind::StaleSnapshot));
+        assert_eq!(p.fired_count(), 1);
+    }
+
+    #[test]
+    fn probability_is_reproducible() {
+        let fires = |seed| {
+            let p = FaultPlan::with_probability(FaultKind::SkipLock, 0.5, seed);
+            (0..100)
+                .map(|_| p.fires(FaultKind::SkipLock))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(fires(42), fires(42));
+        let count = fires(42).iter().filter(|f| **f).count();
+        assert!(count > 20 && count < 80, "p=0.5 fired {count}/100");
+    }
+}

@@ -1,0 +1,47 @@
+//! # leopard-db: the DBMS-under-test substrate
+//!
+//! An in-memory multi-version transactional key-value engine built from
+//! exactly the four mechanisms the Leopard paper abstracts (§II-B):
+//! consistent read (MVCC snapshots, statement- or transaction-level),
+//! mutual exclusion (strict 2PL write locks), first updater wins, and an
+//! SSI-style serialization certifier. Isolation levels RC / RR / SI / SR
+//! are assembled from these mechanisms the way PostgreSQL assembles them
+//! (the paper's Fig. 1).
+//!
+//! Two extras make it a *verification target* rather than just a database:
+//!
+//! * [`faults`] — a fault-injection layer that disables one mechanism at a
+//!   precise point, reproducing the bug classes of the paper's §VI-F.
+//! * [`traced`] — a client-side wrapper that records the interval-based
+//!   traces (§IV-A) Leopard consumes, without touching the engine.
+//!
+//! ```
+//! use leopard_db::{Database, DbConfig, TracedSession, WallClock};
+//! use leopard_core::{ClientId, IsolationLevel, Key, Trace, Value};
+//! use std::sync::Arc;
+//!
+//! let db = Database::new(DbConfig::at(IsolationLevel::Serializable));
+//! db.preload(Key(1), Value(0));
+//! let clock = Arc::new(WallClock::new());
+//! let mut client = TracedSession::new(db.session(), clock, ClientId(0), Vec::<Trace>::new());
+//! client.begin();
+//! client.write(Key(1), Value(42)).unwrap();
+//! client.commit().unwrap();
+//! assert_eq!(client.sink_mut().len(), 2); // one write trace + one commit trace
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod clock;
+pub mod engine;
+pub mod faults;
+pub mod storage;
+pub mod traced;
+pub mod txn;
+
+pub use clock::{Clock, SimClock, SkewedClock, WallClock};
+pub use engine::{Database, DbConfig, Session};
+pub use faults::{FaultKind, FaultPlan};
+pub use traced::{TraceSink, TracedSession};
+pub use txn::{AbortReason, TxnMeta, TxnState};

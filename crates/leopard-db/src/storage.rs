@@ -1,0 +1,193 @@
+//! The multi-version record store underneath the engine.
+//!
+//! One global ordered map guarded by a `parking_lot::Mutex` keeps every
+//! record's committed version chain, pending (uncommitted) writes, the
+//! exclusive-lock holder, and the SIREAD-style reader list used by the
+//! SSI certifier. Operations hold the mutex only for their critical
+//! section; lock *waiting* happens outside it (see `engine`).
+
+use crate::txn::TxnMeta;
+use leopard_core::{Key, TxnId, Value};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// One committed version.
+#[derive(Debug, Clone)]
+pub struct StoredVersion {
+    /// The value.
+    pub value: Value,
+    /// Global commit sequence number at which it became visible
+    /// (0 = preloaded initial state).
+    pub commit_seq: u64,
+    /// The transaction that wrote it.
+    pub writer: TxnId,
+    /// Writer metadata, for SSI rw-flagging on reads that happen after
+    /// the writer committed (`None` for preloaded state).
+    pub writer_meta: Option<Arc<TxnMeta>>,
+}
+
+/// One record's state.
+#[derive(Debug, Default)]
+pub struct Record {
+    /// Committed versions in ascending `commit_seq` order.
+    pub versions: Vec<StoredVersion>,
+    /// Uncommitted writes. More than one entry can only exist when a
+    /// lock-skipping fault is active.
+    pub pending: Vec<(TxnId, Value)>,
+    /// Exclusive-lock holder, if any.
+    pub lock: Option<TxnId>,
+    /// Transactions that read this record (for SSI rw-antidependency
+    /// tracking). Pruned opportunistically.
+    pub readers: Vec<Arc<TxnMeta>>,
+}
+
+impl Record {
+    /// Latest committed version visible at `snapshot_seq`.
+    #[must_use]
+    pub fn visible_at(&self, snapshot_seq: u64) -> Option<&StoredVersion> {
+        self.versions
+            .iter()
+            .rev()
+            .find(|v| v.commit_seq <= snapshot_seq)
+    }
+
+    /// Latest committed version regardless of snapshot.
+    #[must_use]
+    pub fn latest(&self) -> Option<&StoredVersion> {
+        self.versions.last()
+    }
+
+    /// Drops versions no active snapshot can see: everything below
+    /// `min_snapshot` except the newest such version.
+    pub fn prune_versions(&mut self, min_snapshot: u64) {
+        if self.versions.len() <= 1 {
+            return;
+        }
+        // Index of the newest version with commit_seq <= min_snapshot.
+        let Some(keep_from) = self.versions.iter().rposition(|v| v.commit_seq <= min_snapshot)
+        else {
+            return;
+        };
+        if keep_from > 0 {
+            self.versions.drain(..keep_from);
+        }
+    }
+
+    /// Drops readers that can no longer be part of a dangerous structure:
+    /// terminated with `commit_seq` at or below `min_snapshot` (any future
+    /// writer's snapshot is newer, so the pair cannot be concurrent).
+    pub fn prune_readers(&mut self, min_snapshot: u64) {
+        self.readers.retain(|m| {
+            m.is_active() || m.commit_seq.load(std::sync::atomic::Ordering::Acquire) > min_snapshot
+        });
+    }
+}
+
+/// The record map.
+#[derive(Debug, Default)]
+pub struct Storage {
+    map: Mutex<BTreeMap<Key, Record>>,
+}
+
+impl Storage {
+    /// Runs `f` with exclusive access to the whole map.
+    pub fn with<R>(&self, f: impl FnOnce(&mut BTreeMap<Key, Record>) -> R) -> R {
+        let mut guard = self.map.lock();
+        f(&mut guard)
+    }
+
+    /// Number of records.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.lock().len()
+    }
+
+    /// `true` when no record exists.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(value: u64, seq: u64) -> StoredVersion {
+        StoredVersion {
+            value: Value(value),
+            commit_seq: seq,
+            writer: TxnId(seq),
+            writer_meta: None,
+        }
+    }
+
+    #[test]
+    fn visibility_respects_snapshot() {
+        let rec = Record {
+            versions: vec![v(1, 0), v(2, 5), v(3, 9)],
+            ..Default::default()
+        };
+        assert_eq!(rec.visible_at(0).unwrap().value, Value(1));
+        assert_eq!(rec.visible_at(5).unwrap().value, Value(2));
+        assert_eq!(rec.visible_at(8).unwrap().value, Value(2));
+        assert_eq!(rec.visible_at(100).unwrap().value, Value(3));
+        assert_eq!(rec.latest().unwrap().value, Value(3));
+    }
+
+    #[test]
+    fn prune_versions_keeps_pivot() {
+        let mut rec = Record {
+            versions: vec![v(1, 0), v(2, 5), v(3, 9), v(4, 20)],
+            ..Default::default()
+        };
+        rec.prune_versions(10);
+        let seqs: Vec<u64> = rec.versions.iter().map(|x| x.commit_seq).collect();
+        // Versions 0 and 5 are unreachable (9 is the newest <= 10).
+        assert_eq!(seqs, vec![9, 20]);
+        // Visibility at min_snapshot still works.
+        assert_eq!(rec.visible_at(10).unwrap().value, Value(3));
+    }
+
+    #[test]
+    fn prune_versions_never_empties() {
+        let mut rec = Record {
+            versions: vec![v(1, 3)],
+            ..Default::default()
+        };
+        rec.prune_versions(100);
+        assert_eq!(rec.versions.len(), 1);
+    }
+
+    #[test]
+    fn prune_readers_drops_old_terminated() {
+        use crate::txn::TxnState;
+        let active = Arc::new(TxnMeta::new(TxnId(1)));
+        let old = Arc::new(TxnMeta::new(TxnId(2)));
+        old.set_state(TxnState::Committed);
+        old.commit_seq.store(3, std::sync::atomic::Ordering::Release);
+        let recent = Arc::new(TxnMeta::new(TxnId(3)));
+        recent.set_state(TxnState::Committed);
+        recent
+            .commit_seq
+            .store(50, std::sync::atomic::Ordering::Release);
+        let mut rec = Record {
+            readers: vec![active.clone(), old, recent],
+            ..Default::default()
+        };
+        rec.prune_readers(10);
+        let ids: Vec<TxnId> = rec.readers.iter().map(|m| m.id).collect();
+        assert_eq!(ids, vec![TxnId(1), TxnId(3)]);
+    }
+
+    #[test]
+    fn storage_with_gives_exclusive_access() {
+        let s = Storage::default();
+        s.with(|m| {
+            m.entry(Key(1)).or_default().versions.push(v(7, 1));
+        });
+        assert_eq!(s.len(), 1);
+        assert!(!s.is_empty());
+    }
+}

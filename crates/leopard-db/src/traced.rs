@@ -1,0 +1,323 @@
+//! The client-side tracer: wraps a [`Session`](crate::engine::Session) and
+//! records an interval-based trace around every operation (§IV-A).
+//!
+//! This is the entire "instrumentation" Leopard needs — two clock reads
+//! per operation plus the operation's own arguments and results. Nothing
+//! inside the engine is touched, and the application logic (the workload)
+//! is unchanged.
+
+use crate::clock::Clock;
+use crate::engine::Session;
+use crate::txn::AbortReason;
+use leopard_core::{ClientId, Interval, Key, OpKind, Trace, TxnId, Value};
+
+/// Where traces go. Implemented for the pipeline's client handle, for
+/// plain vectors (offline collection), and for closures.
+pub trait TraceSink {
+    /// Records one trace.
+    fn record(&mut self, trace: Trace);
+}
+
+impl TraceSink for Vec<Trace> {
+    fn record(&mut self, trace: Trace) {
+        self.push(trace);
+    }
+}
+
+impl TraceSink for leopard_core::ClientHandle {
+    fn record(&mut self, trace: Trace) {
+        leopard_core::ClientHandle::record(self, trace);
+    }
+}
+
+impl<F: FnMut(Trace)> TraceSink for F {
+    fn record(&mut self, trace: Trace) {
+        self(trace);
+    }
+}
+
+/// A traced client connection.
+#[derive(Debug)]
+pub struct TracedSession<C, S> {
+    session: Session,
+    clock: C,
+    client: ClientId,
+    sink: S,
+    current: Option<TxnId>,
+}
+
+impl<C: Clock, S: TraceSink> TracedSession<C, S> {
+    /// Wraps `session` for `client`, stamping with `clock` and emitting
+    /// into `sink`.
+    pub fn new(session: Session, clock: C, client: ClientId, sink: S) -> Self {
+        TracedSession {
+            session,
+            clock,
+            client,
+            sink,
+            current: None,
+        }
+    }
+
+    /// The trace sink (e.g. to flush or inspect).
+    pub fn sink_mut(&mut self) -> &mut S {
+        &mut self.sink
+    }
+
+    /// Consumes the session, returning its sink (any running transaction
+    /// is rolled back untraced by the engine's drop guard).
+    pub fn into_parts(self) -> S {
+        self.sink
+    }
+
+    /// Begins a transaction. `BEGIN` itself is not traced (the paper
+    /// traces reads, writes and terminals only).
+    pub fn begin(&mut self) -> TxnId {
+        let id = self.session.begin();
+        self.current = Some(id);
+        id
+    }
+
+    /// Traced single read. On abort, emits the abort trace and returns
+    /// the reason.
+    pub fn read(&mut self, key: Key) -> Result<Option<Value>, AbortReason> {
+        let bef = self.clock.now();
+        let result = self.session.read(key);
+        let aft = self.clock.now();
+        let op = result
+            .as_ref()
+            .ok()
+            .and_then(|v| v.map(|v| OpKind::Read(vec![(key, v)])));
+        self.finish_op(bef, aft, result.as_ref().err().copied(), op);
+        result
+    }
+
+    /// Traced range read.
+    pub fn read_range(
+        &mut self,
+        start: Key,
+        limit: usize,
+    ) -> Result<Vec<(Key, Value)>, AbortReason> {
+        let bef = self.clock.now();
+        let result = self.session.read_range(start, limit);
+        let aft = self.clock.now();
+        let op = result
+            .as_ref()
+            .ok()
+            .filter(|rows| !rows.is_empty())
+            .map(|rows| OpKind::Read(rows.clone()));
+        self.finish_op(bef, aft, result.as_ref().err().copied(), op);
+        result
+    }
+
+    /// Traced locking read (`SELECT ... FOR UPDATE`).
+    pub fn read_for_update(&mut self, key: Key) -> Result<Option<Value>, AbortReason> {
+        let bef = self.clock.now();
+        let result = self.session.read_for_update(key);
+        let aft = self.clock.now();
+        let op = result
+            .as_ref()
+            .ok()
+            .and_then(|v| v.map(|v| OpKind::LockedRead(vec![(key, v)])));
+        self.finish_op(bef, aft, result.as_ref().err().copied(), op);
+        result
+    }
+
+    /// Traced write.
+    pub fn write(&mut self, key: Key, value: Value) -> Result<(), AbortReason> {
+        let bef = self.clock.now();
+        let result = self.session.write(key, value);
+        let aft = self.clock.now();
+        let op = result.is_ok().then(|| OpKind::Write(vec![(key, value)]));
+        self.finish_op(bef, aft, result.err(), op);
+        result
+    }
+
+    /// Traced multi-record write (one operation installing several
+    /// versions, like a multi-row `UPDATE`).
+    pub fn write_many(&mut self, set: &[(Key, Value)]) -> Result<(), AbortReason> {
+        let bef = self.clock.now();
+        let mut failed = None;
+        let mut written = Vec::with_capacity(set.len());
+        for &(k, v) in set {
+            match self.session.write(k, v) {
+                Ok(()) => written.push((k, v)),
+                Err(e) => {
+                    failed = Some(e);
+                    break;
+                }
+            }
+        }
+        let aft = self.clock.now();
+        let op = (failed.is_none() && !written.is_empty()).then_some(OpKind::Write(written));
+        self.finish_op(bef, aft, failed, op);
+        match failed {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Traced commit. On certifier rejection the transaction aborts and an
+    /// abort trace is emitted instead.
+    pub fn commit(&mut self) -> Result<(), AbortReason> {
+        let Some(txn) = self.current else {
+            return Err(AbortReason::NotActive);
+        };
+        let bef = self.clock.now();
+        let result = self.session.commit();
+        let aft = self.clock.now();
+        let kind = if result.is_ok() {
+            OpKind::Commit
+        } else {
+            OpKind::Abort
+        };
+        self.sink.record(Trace::new(
+            Interval::new(bef, aft),
+            self.client,
+            txn,
+            kind,
+        ));
+        self.current = None;
+        result
+    }
+
+    /// Traced rollback.
+    pub fn rollback(&mut self) {
+        let Some(txn) = self.current else { return };
+        let bef = self.clock.now();
+        self.session.rollback();
+        let aft = self.clock.now();
+        self.sink.record(Trace::new(
+            Interval::new(bef, aft),
+            self.client,
+            txn,
+            OpKind::Abort,
+        ));
+        self.current = None;
+    }
+
+    /// Emits the op trace (if the op did observable work) and, when the op
+    /// failed, the abort trace the engine's auto-abort implies.
+    fn finish_op(
+        &mut self,
+        bef: leopard_core::Timestamp,
+        aft: leopard_core::Timestamp,
+        error: Option<AbortReason>,
+        op: Option<OpKind>,
+    ) {
+        let Some(txn) = self.current else { return };
+        let interval = Interval::new(bef, aft);
+        if let Some(op) = op {
+            self.sink.record(Trace::new(interval, self.client, txn, op));
+        }
+        if error.is_some() {
+            // The engine auto-aborted within the same call.
+            self.sink
+                .record(Trace::new(interval, self.client, txn, OpKind::Abort));
+            self.current = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::SimClock;
+    use crate::engine::{Database, DbConfig};
+    use leopard_core::IsolationLevel;
+    use std::sync::Arc;
+
+    fn traced(
+        db: &Arc<Database>,
+        clock: Arc<SimClock>,
+        client: u32,
+    ) -> TracedSession<Arc<SimClock>, Vec<Trace>> {
+        TracedSession::new(db.session(), clock, ClientId(client), Vec::new())
+    }
+
+    #[test]
+    fn traces_cover_the_whole_transaction() {
+        let db = Database::new(DbConfig::at(IsolationLevel::Serializable));
+        db.preload(Key(1), Value(0));
+        let clock = Arc::new(SimClock::new(1));
+        let mut s = traced(&db, clock, 0);
+        s.begin();
+        assert_eq!(s.read(Key(1)).unwrap(), Some(Value(0)));
+        s.write(Key(1), Value(9)).unwrap();
+        s.commit().unwrap();
+        let traces = s.sink_mut().clone();
+        assert_eq!(traces.len(), 3);
+        assert!(matches!(traces[0].op, OpKind::Read(_)));
+        assert!(matches!(traces[1].op, OpKind::Write(_)));
+        assert_eq!(traces[2].op, OpKind::Commit);
+        // Monotone non-decreasing ts_bef, intervals well-formed.
+        assert!(traces.windows(2).all(|w| w[0].ts_bef() <= w[1].ts_bef()));
+        assert!(traces.iter().all(|t| t.ts_bef() <= t.ts_aft()));
+    }
+
+    #[test]
+    fn failed_op_emits_abort_trace() {
+        let db = Database::new(DbConfig {
+            isolation: IsolationLevel::Serializable,
+            lock_wait: std::time::Duration::from_millis(1),
+            ..DbConfig::default()
+        });
+        db.preload(Key(1), Value(0));
+        let clock = Arc::new(SimClock::new(1));
+        let mut a = traced(&db, clock.clone(), 0);
+        let mut b = traced(&db, clock, 1);
+        a.begin();
+        a.write(Key(1), Value(1)).unwrap();
+        b.begin();
+        assert!(b.write(Key(1), Value(2)).is_err());
+        let traces = b.sink_mut().clone();
+        assert_eq!(traces.len(), 1);
+        assert_eq!(traces[0].op, OpKind::Abort);
+        a.rollback();
+    }
+
+    #[test]
+    fn rollback_emits_abort() {
+        let db = Database::new(DbConfig::at(IsolationLevel::Serializable));
+        db.preload(Key(1), Value(0));
+        let clock = Arc::new(SimClock::new(1));
+        let mut s = traced(&db, clock, 0);
+        s.begin();
+        s.write(Key(1), Value(5)).unwrap();
+        s.rollback();
+        let traces = s.sink_mut().clone();
+        assert_eq!(traces.last().unwrap().op, OpKind::Abort);
+    }
+
+    #[test]
+    fn write_many_emits_single_trace() {
+        let db = Database::new(DbConfig::at(IsolationLevel::Serializable));
+        for k in 0..4u64 {
+            db.preload(Key(k), Value(0));
+        }
+        let clock = Arc::new(SimClock::new(1));
+        let mut s = traced(&db, clock, 0);
+        s.begin();
+        s.write_many(&[(Key(1), Value(5)), (Key(2), Value(6))]).unwrap();
+        s.commit().unwrap();
+        let traces = s.sink_mut().clone();
+        assert_eq!(traces.len(), 2);
+        match &traces[0].op {
+            OpKind::Write(set) => assert_eq!(set.len(), 2),
+            other => panic!("expected write, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn locking_read_traced_as_locked_read() {
+        let db = Database::new(DbConfig::at(IsolationLevel::Serializable));
+        db.preload(Key(1), Value(0));
+        let clock = Arc::new(SimClock::new(1));
+        let mut s = traced(&db, clock, 0);
+        s.begin();
+        assert_eq!(s.read_for_update(Key(1)).unwrap(), Some(Value(0)));
+        s.commit().unwrap();
+        let traces = s.sink_mut().clone();
+        assert!(matches!(traces[0].op, OpKind::LockedRead(_)));
+    }
+}

@@ -1,0 +1,135 @@
+//! Transaction metadata shared between sessions and the engine.
+
+use leopard_core::TxnId;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+
+/// Lifecycle state of a transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnState {
+    /// Running.
+    Active,
+    /// Commit succeeded.
+    Committed,
+    /// Rolled back (voluntarily or by the engine).
+    Aborted,
+}
+
+/// Why the engine aborted a transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbortReason {
+    /// Could not acquire a record lock within the configured wait budget
+    /// (deadlock avoidance by timeout).
+    LockTimeout,
+    /// A concurrent transaction updated the record first and committed:
+    /// first-updater-wins.
+    FirstUpdaterWins,
+    /// The serialization certifier found a dangerous structure involving
+    /// this transaction (SSI).
+    Certifier,
+    /// The client called an operation on a transaction that was already
+    /// terminated.
+    NotActive,
+}
+
+impl fmt::Display for AbortReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AbortReason::LockTimeout => "lock wait timeout",
+            AbortReason::FirstUpdaterWins => "concurrent update (first updater wins)",
+            AbortReason::Certifier => "serialization failure (certifier)",
+            AbortReason::NotActive => "transaction is not active",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for AbortReason {}
+
+/// Sentinel for "the transaction has not taken its snapshot yet".
+pub const SNAPSHOT_UNSET: u64 = u64::MAX;
+
+/// Shared, atomically updated metadata of one transaction. Referenced by
+/// the session that runs it and by per-record reader lists (for SSI).
+#[derive(Debug)]
+pub struct TxnMeta {
+    /// The transaction id the engine assigned.
+    pub id: TxnId,
+    /// Commit-sequence snapshot the transaction reads from
+    /// ([`SNAPSHOT_UNSET`] until the first operation fixes it).
+    pub snapshot_seq: AtomicU64,
+    state: AtomicU8,
+    /// Commit sequence assigned at commit (0 while not committed).
+    pub commit_seq: AtomicU64,
+    /// Some concurrent transaction has an rw antidependency on this one
+    /// (this transaction wrote what that one had read).
+    pub in_rw: AtomicBool,
+    /// This transaction has an rw antidependency on some concurrent one
+    /// (this transaction read what that one then wrote).
+    pub out_rw: AtomicBool,
+}
+
+impl TxnMeta {
+    /// Fresh active transaction metadata.
+    #[must_use]
+    pub fn new(id: TxnId) -> TxnMeta {
+        TxnMeta {
+            id,
+            snapshot_seq: AtomicU64::new(SNAPSHOT_UNSET),
+            state: AtomicU8::new(TxnState::Active as u8),
+            commit_seq: AtomicU64::new(0),
+            in_rw: AtomicBool::new(false),
+            out_rw: AtomicBool::new(false),
+        }
+    }
+
+    /// Current state.
+    #[must_use]
+    pub fn state(&self) -> TxnState {
+        match self.state.load(Ordering::Acquire) {
+            0 => TxnState::Active,
+            1 => TxnState::Committed,
+            _ => TxnState::Aborted,
+        }
+    }
+
+    /// Transitions to a terminal state.
+    pub fn set_state(&self, s: TxnState) {
+        self.state.store(s as u8, Ordering::Release);
+    }
+
+    /// `true` while running.
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        self.state() == TxnState::Active
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_meta_is_active() {
+        let m = TxnMeta::new(TxnId(1));
+        assert!(m.is_active());
+        assert_eq!(m.state(), TxnState::Active);
+        assert_eq!(m.commit_seq.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn state_transitions() {
+        let m = TxnMeta::new(TxnId(1));
+        m.set_state(TxnState::Committed);
+        assert_eq!(m.state(), TxnState::Committed);
+        assert!(!m.is_active());
+        m.set_state(TxnState::Aborted);
+        assert_eq!(m.state(), TxnState::Aborted);
+    }
+
+    #[test]
+    fn abort_reason_display() {
+        assert!(AbortReason::LockTimeout.to_string().contains("timeout"));
+        assert!(AbortReason::Certifier.to_string().contains("serialization"));
+    }
+}

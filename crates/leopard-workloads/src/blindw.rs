@@ -1,0 +1,202 @@
+//! BlindW: the key-value workload family Cobra introduced and the paper
+//! uses for quantitative sweeps (§VI, "Workload").
+//!
+//! A table of `table_size` keys (2 K by default), 8 operations per
+//! transaction, keys accessed uniformly. Three variants:
+//!
+//! * **BlindW-W** — 100 % blind-write transactions with uniquely written
+//!   values (hard for ww tracking: no read precedes a write).
+//! * **BlindW-RW** — an even mix of item-read transactions and blind-write
+//!   transactions.
+//! * **BlindW-RW+** — BlindW-RW with half of the item-reads replaced by
+//!   10-key range reads (more dependencies per trace).
+
+use crate::spec::{TxnStep, ValueRule, WorkloadGen};
+use leopard_core::{Key, Value};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Which BlindW variant to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlindWVariant {
+    /// 100 % blind writes.
+    WriteOnly,
+    /// 50 % read transactions / 50 % blind-write transactions.
+    ReadWrite,
+    /// ReadWrite with half the reads turned into 10-key range reads.
+    ReadWriteRange,
+}
+
+/// BlindW generator.
+#[derive(Debug, Clone)]
+pub struct BlindW {
+    variant: BlindWVariant,
+    table_size: u64,
+    ops_per_txn: usize,
+    range_len: usize,
+}
+
+impl BlindW {
+    /// Paper defaults: 2 K keys, 8 operations per transaction, 10-key
+    /// range reads.
+    #[must_use]
+    pub fn new(variant: BlindWVariant) -> BlindW {
+        BlindW {
+            variant,
+            table_size: 2_000,
+            ops_per_txn: 8,
+            range_len: 10,
+        }
+    }
+
+    /// Overrides the table size.
+    #[must_use]
+    pub fn with_table_size(mut self, n: u64) -> BlindW {
+        self.table_size = n.max(2);
+        self
+    }
+
+    /// Overrides the transaction length (Fig. 11(c)'s sweep parameter).
+    #[must_use]
+    pub fn with_ops_per_txn(mut self, n: usize) -> BlindW {
+        self.ops_per_txn = n.max(1);
+        self
+    }
+
+    /// Number of keys in the table.
+    #[must_use]
+    pub fn table_size(&self) -> u64 {
+        self.table_size
+    }
+
+    fn key(&self, rng: &mut SmallRng) -> Key {
+        Key(rng.random_range(0..self.table_size))
+    }
+}
+
+impl WorkloadGen for BlindW {
+    fn preload(&self) -> Vec<(Key, Value)> {
+        (0..self.table_size).map(|k| (Key(k), Value(k))).collect()
+    }
+
+    fn next_txn(&mut self, rng: &mut SmallRng) -> Vec<TxnStep> {
+        let write_txn = match self.variant {
+            BlindWVariant::WriteOnly => true,
+            BlindWVariant::ReadWrite | BlindWVariant::ReadWriteRange => rng.random_bool(0.5),
+        };
+        let mut steps = Vec::with_capacity(self.ops_per_txn);
+        if write_txn {
+            // Blind writes to distinct keys (a second write to the same key
+            // in one transaction would not be blind).
+            let mut used = Vec::with_capacity(self.ops_per_txn);
+            while used.len() < self.ops_per_txn.min(self.table_size as usize) {
+                let k = self.key(rng);
+                if !used.contains(&k) {
+                    used.push(k);
+                }
+            }
+            for k in used {
+                steps.push(TxnStep::Write(k, ValueRule::Unique));
+            }
+        } else {
+            for _ in 0..self.ops_per_txn {
+                let range = self.variant == BlindWVariant::ReadWriteRange && rng.random_bool(0.5);
+                if range {
+                    steps.push(TxnStep::RangeRead(self.key(rng), self.range_len));
+                } else {
+                    steps.push(TxnStep::Read(self.key(rng)));
+                }
+            }
+        }
+        steps
+    }
+
+    fn name(&self) -> &'static str {
+        match self.variant {
+            BlindWVariant::WriteOnly => "BlindW-W",
+            BlindWVariant::ReadWrite => "BlindW-RW",
+            BlindWVariant::ReadWriteRange => "BlindW-RW+",
+        }
+    }
+}
+
+/// The unique-value pool used by a BlindW family so that clones of a
+/// generator (one per client) never write duplicate values.
+impl BlindW {
+    /// Clones the generator for another client, sharing the unique-value
+    /// counter.
+    #[must_use]
+    pub fn for_client(&self) -> BlindW {
+        self.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn write_only_produces_only_unique_writes() {
+        let mut w = BlindW::new(BlindWVariant::WriteOnly);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let txn = w.next_txn(&mut rng);
+            assert_eq!(txn.len(), 8);
+            assert!(txn
+                .iter()
+                .all(|s| matches!(s, TxnStep::Write(_, ValueRule::Unique))));
+            // Distinct keys within the transaction.
+            let mut keys: Vec<&Key> = txn
+                .iter()
+                .map(|s| match s {
+                    TxnStep::Write(k, _) => k,
+                    _ => unreachable!(),
+                })
+                .collect();
+            keys.sort();
+            keys.dedup();
+            assert_eq!(keys.len(), 8);
+        }
+    }
+
+    #[test]
+    fn read_write_mixes_txn_kinds() {
+        let mut w = BlindW::new(BlindWVariant::ReadWrite);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut reads = 0;
+        let mut writes = 0;
+        for _ in 0..200 {
+            let txn = w.next_txn(&mut rng);
+            match &txn[0] {
+                TxnStep::Read(_) => reads += 1,
+                TxnStep::Write(..) => writes += 1,
+                other => panic!("unexpected step {other:?}"),
+            }
+        }
+        assert!(reads > 50 && writes > 50, "reads={reads} writes={writes}");
+    }
+
+    #[test]
+    fn range_variant_contains_range_reads() {
+        let mut w = BlindW::new(BlindWVariant::ReadWriteRange);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut saw_range = false;
+        for _ in 0..100 {
+            for s in w.next_txn(&mut rng) {
+                if matches!(s, TxnStep::RangeRead(_, 10)) {
+                    saw_range = true;
+                }
+            }
+        }
+        assert!(saw_range);
+    }
+
+    #[test]
+    fn preload_covers_the_table() {
+        let w = BlindW::new(BlindWVariant::WriteOnly).with_table_size(100);
+        assert_eq!(w.preload().len(), 100);
+        assert_eq!(w.table_size(), 100);
+    }
+
+}

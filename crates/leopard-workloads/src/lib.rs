@@ -1,0 +1,33 @@
+//! # leopard-workloads: benchmark workloads for the Leopard experiments
+//!
+//! The workload generators and the multi-threaded runner driving the
+//! `leopard-db` substrate — the reproduction's stand-in for OLTP-Bench:
+//!
+//! * [`ycsb`] — YCSB-A (Zipfian skew, configurable read ratio), used for
+//!   the overlap-ratio study of §IV-B / Fig. 4.
+//! * [`blindw`] — Cobra's BlindW family (-W, -RW, -RW+), the paper's
+//!   quantitatively controllable key-value workload.
+//! * [`smallbank`] — SmallBank with its duplicate-value `amalgamate`.
+//! * [`tpcc`] — a simplified TPC-C preserving the dependency structure.
+//! * [`runner`] — N client threads, traced sessions, per-client streams.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod blindw;
+pub mod runner;
+pub mod smallbank;
+pub mod spec;
+pub mod tpcc;
+pub mod ycsb;
+pub mod zipf;
+
+pub use blindw::{BlindW, BlindWVariant};
+pub use runner::{
+    execute_txn, preload_database, run_collect, run_with_sinks, RunLimit, RunOutput, RunStats,
+};
+pub use smallbank::SmallBank;
+pub use spec::{TxnStep, UniqueValues, ValueRule, WorkloadGen};
+pub use tpcc::TpcC;
+pub use ycsb::YcsbA;
+pub use zipf::Zipfian;

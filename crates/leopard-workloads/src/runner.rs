@@ -1,0 +1,298 @@
+//! The multi-threaded workload runner: N client threads executing a
+//! generator's transactions against the traced engine.
+//!
+//! This is the experiment harness's stand-in for OLTP-Bench: it runs the
+//! unmodified workload logic while the [`TracedSession`] records
+//! interval-based traces on the side.
+
+use crate::spec::{TxnStep, UniqueValues, ValueRule, WorkloadGen};
+use leopard_core::fxhash::FxHashMap;
+use leopard_core::{ClientId, Key, Trace, Value};
+use leopard_db::{AbortReason, Clock, Database, TraceSink, TracedSession, WallClock};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How long a client keeps issuing transactions.
+#[derive(Debug, Clone, Copy)]
+pub enum RunLimit {
+    /// A fixed number of transaction attempts per client.
+    Txns(u64),
+    /// Keep going until the wall-clock deadline.
+    Duration(Duration),
+}
+
+/// Per-run statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunStats {
+    /// Committed transactions across all clients.
+    pub committed: u64,
+    /// Aborted transactions across all clients.
+    pub aborted: u64,
+    /// Wall-clock time of the run.
+    pub wall: Duration,
+}
+
+impl RunStats {
+    /// Committed transactions per second.
+    #[must_use]
+    pub fn throughput(&self) -> f64 {
+        if self.wall.is_zero() {
+            0.0
+        } else {
+            self.committed as f64 / self.wall.as_secs_f64()
+        }
+    }
+}
+
+/// Result of a collecting run: per-client trace streams (each naturally
+/// sorted by `ts_bef`) plus statistics.
+#[derive(Debug)]
+pub struct RunOutput {
+    /// One trace stream per client, in client order.
+    pub per_client: Vec<Vec<Trace>>,
+    /// Run statistics.
+    pub stats: RunStats,
+}
+
+impl RunOutput {
+    /// All traces merged and sorted by `ts_bef` (what the pipeline would
+    /// dispatch).
+    #[must_use]
+    pub fn merged_sorted(&self) -> Vec<Trace> {
+        let mut all: Vec<Trace> = self.per_client.iter().flatten().cloned().collect();
+        all.sort_by_key(|t| (t.ts_bef(), t.ts_aft()));
+        all
+    }
+
+    /// Total number of traces.
+    #[must_use]
+    pub fn trace_count(&self) -> usize {
+        self.per_client.iter().map(Vec::len).sum()
+    }
+}
+
+/// Creates a database at `db`'s configuration preloaded with `gen`'s
+/// initial state, and returns the preload pairs (for `Verifier::preload`).
+pub fn preload_database(db: &Database, gen: &dyn WorkloadGen) -> Vec<(Key, Value)> {
+    let rows = gen.preload();
+    for &(k, v) in &rows {
+        db.preload(k, v);
+    }
+    rows
+}
+
+/// Runs `gens.len()` client threads against `db`, collecting each client's
+/// traces into a vector.
+pub fn run_collect(
+    db: &Arc<Database>,
+    gens: Vec<Box<dyn WorkloadGen>>,
+    limit: RunLimit,
+    seed: u64,
+) -> RunOutput {
+    let sinks: Vec<Vec<Trace>> = gens.iter().map(|_| Vec::new()).collect();
+    let (stats, sinks) = run_with_sinks(db, gens, sinks, limit, seed);
+    RunOutput {
+        per_client: sinks,
+        stats,
+    }
+}
+
+/// Runs client threads with caller-provided trace sinks (e.g. the
+/// pipeline's [`leopard_core::ClientHandle`]s for online verification).
+/// Returns the statistics and the sinks.
+pub fn run_with_sinks<S>(
+    db: &Arc<Database>,
+    gens: Vec<Box<dyn WorkloadGen>>,
+    sinks: Vec<S>,
+    limit: RunLimit,
+    seed: u64,
+) -> (RunStats, Vec<S>)
+where
+    S: TraceSink + Send + 'static,
+{
+    assert_eq!(gens.len(), sinks.len(), "one sink per client");
+    let clock = Arc::new(WallClock::new());
+    // One unique-value pool for the whole run: "uniquely written values"
+    // must hold across clients, not just within one.
+    let unique = UniqueValues::new();
+    let start = Instant::now();
+    let mut joins = Vec::with_capacity(gens.len());
+    for (i, (gen, sink)) in gens.into_iter().zip(sinks).enumerate() {
+        let db = Arc::clone(db);
+        let clock = Arc::clone(&clock);
+        let unique = unique.clone();
+        joins.push(std::thread::spawn(move || {
+            let session = TracedSession::new(db.session(), clock, ClientId(i as u32), sink);
+            run_client(gen, session, limit, seed.wrapping_add(i as u64), unique)
+        }));
+    }
+    let mut stats = RunStats::default();
+    let mut sinks = Vec::with_capacity(joins.len());
+    for j in joins {
+        let (s, sink) = j.join().expect("client thread panicked");
+        stats.committed += s.committed;
+        stats.aborted += s.aborted;
+        sinks.push(sink);
+    }
+    stats.wall = start.elapsed();
+    (stats, sinks)
+}
+
+fn run_client<C: Clock, S: TraceSink>(
+    mut gen: Box<dyn WorkloadGen>,
+    mut session: TracedSession<C, S>,
+    limit: RunLimit,
+    seed: u64,
+    unique: UniqueValues,
+) -> (RunStats, S) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut stats = RunStats::default();
+    let deadline = match limit {
+        RunLimit::Duration(d) => Some(Instant::now() + d),
+        RunLimit::Txns(_) => None,
+    };
+    let mut attempts = 0u64;
+    loop {
+        match limit {
+            RunLimit::Txns(n) if attempts >= n => break,
+            RunLimit::Duration(_) if Instant::now() >= deadline.expect("set above") => break,
+            _ => {}
+        }
+        attempts += 1;
+        let steps = gen.next_txn(&mut rng);
+        match execute_txn(&mut session, &steps, &unique) {
+            Ok(()) => stats.committed += 1,
+            Err(_) => stats.aborted += 1,
+        }
+    }
+    (stats, session.into_parts())
+}
+
+/// Executes one declarative transaction; the session has already traced
+/// and aborted on error.
+pub fn execute_txn<C: Clock, S: TraceSink>(
+    session: &mut TracedSession<C, S>,
+    steps: &[TxnStep],
+    unique: &UniqueValues,
+) -> Result<(), AbortReason> {
+    session.begin();
+    let mut read_vals: FxHashMap<Key, Value> = FxHashMap::default();
+    for step in steps {
+        match step {
+            TxnStep::Read(k) => {
+                if let Some(v) = session.read(*k)? {
+                    read_vals.insert(*k, v);
+                }
+            }
+            TxnStep::RangeRead(start, n) => {
+                for (k, v) in session.read_range(*start, *n)? {
+                    read_vals.insert(k, v);
+                }
+            }
+            TxnStep::LockedRead(k) => {
+                if let Some(v) = session.read_for_update(*k)? {
+                    read_vals.insert(*k, v);
+                }
+            }
+            TxnStep::Write(k, rule) => {
+                let value = match rule {
+                    ValueRule::Unique => unique.next(),
+                    ValueRule::Const(c) => Value(*c),
+                    ValueRule::AddToRead(src, delta) => {
+                        let base = match read_vals.get(src) {
+                            Some(v) => *v,
+                            // Robustness: read the dependency if the
+                            // generator forgot to.
+                            None => {
+                                let v = session.read(*src)?.unwrap_or(Value(0));
+                                read_vals.insert(*src, v);
+                                v
+                            }
+                        };
+                        Value(base.0.wrapping_add_signed(*delta))
+                    }
+                };
+                session.write(*k, value)?;
+                read_vals.insert(*k, value);
+            }
+        }
+    }
+    session.commit()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blindw::{BlindW, BlindWVariant};
+    use crate::smallbank::SmallBank;
+    use leopard_core::{IsolationLevel, OpKind};
+    use leopard_db::DbConfig;
+
+    fn forks<G: WorkloadGen + Clone + 'static>(g: &G, n: usize) -> Vec<Box<dyn WorkloadGen>> {
+        (0..n)
+            .map(|_| Box::new(g.clone()) as Box<dyn WorkloadGen>)
+            .collect()
+    }
+
+    #[test]
+    fn blindw_run_produces_per_client_sorted_traces() {
+        let gen = BlindW::new(BlindWVariant::ReadWrite).with_table_size(64);
+        let db = Database::new(DbConfig::at(IsolationLevel::Serializable));
+        preload_database(&db, &gen);
+        let out = run_collect(&db, forks(&gen, 4), RunLimit::Txns(50), 42);
+        assert_eq!(out.per_client.len(), 4);
+        assert_eq!(
+            out.stats.committed + out.stats.aborted,
+            200,
+            "every attempt resolves"
+        );
+        for stream in &out.per_client {
+            assert!(stream.windows(2).all(|w| w[0].ts_bef() <= w[1].ts_bef()));
+        }
+        assert!(out.trace_count() > 0);
+        // Every transaction terminates in the trace.
+        let merged = out.merged_sorted();
+        let terminals = merged
+            .iter()
+            .filter(|t| matches!(t.op, OpKind::Commit | OpKind::Abort))
+            .count() as u64;
+        assert_eq!(terminals, out.stats.committed + out.stats.aborted);
+    }
+
+    #[test]
+    fn smallbank_run_commits_transactions() {
+        let gen = SmallBank::new(32);
+        let db = Database::new(DbConfig::at(IsolationLevel::Serializable));
+        preload_database(&db, &gen);
+        let out = run_collect(&db, forks(&gen, 2), RunLimit::Txns(100), 7);
+        assert!(out.stats.committed > 0);
+    }
+
+    #[test]
+    fn duration_limit_stops_the_run() {
+        let gen = BlindW::new(BlindWVariant::WriteOnly).with_table_size(64);
+        let db = Database::new(DbConfig::at(IsolationLevel::Serializable));
+        preload_database(&db, &gen);
+        let start = Instant::now();
+        let out = run_collect(
+            &db,
+            forks(&gen, 2),
+            RunLimit::Duration(Duration::from_millis(50)),
+            1,
+        );
+        assert!(start.elapsed() < Duration::from_secs(5));
+        assert!(out.stats.committed > 0);
+    }
+
+    #[test]
+    fn throughput_is_positive() {
+        let s = RunStats {
+            committed: 100,
+            aborted: 0,
+            wall: Duration::from_secs(2),
+        };
+        assert!((s.throughput() - 50.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,232 @@
+//! SmallBank: the banking micro-benchmark of Alomari et al., used by the
+//! paper as a "complex application logic" workload (§VI).
+//!
+//! Each account has a savings and a checking balance. Six transaction
+//! types exercise read-modify-write chains; `amalgamate` zeroes balances
+//! with constant values, which is exactly why some of its dependencies
+//! stay uncertain in Fig. 13(a) — duplicate written values cannot be told
+//! apart in a candidate version set.
+
+use crate::spec::{TxnStep, ValueRule, WorkloadGen};
+use leopard_core::{Key, Value};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Initial balance of every savings/checking record.
+pub const INITIAL_BALANCE: u64 = 10_000;
+
+/// SmallBank generator.
+#[derive(Debug, Clone)]
+pub struct SmallBank {
+    accounts: u64,
+    /// Fraction of accounts forming the contended hotspot.
+    hotspot: f64,
+}
+
+impl SmallBank {
+    /// A bank with `accounts` accounts (paper scale factor 1 ≈ 1 000
+    /// per-warehouse accounts; pick the size to tune contention).
+    #[must_use]
+    pub fn new(accounts: u64) -> SmallBank {
+        SmallBank {
+            accounts: accounts.max(2),
+            hotspot: 0.25,
+        }
+    }
+
+    /// Key of account `a`'s savings balance.
+    #[must_use]
+    pub fn savings(a: u64) -> Key {
+        Key(2 * a)
+    }
+
+    /// Key of account `a`'s checking balance.
+    #[must_use]
+    pub fn checking(a: u64) -> Key {
+        Key(2 * a + 1)
+    }
+
+    /// Number of accounts.
+    #[must_use]
+    pub fn accounts(&self) -> u64 {
+        self.accounts
+    }
+
+    fn account(&self, rng: &mut SmallRng) -> u64 {
+        // 90 % of accesses hit the hotspot, as in the original benchmark's
+        // skewed configuration.
+        if rng.random_bool(0.9) {
+            let hot = ((self.accounts as f64 * self.hotspot) as u64).max(1);
+            rng.random_range(0..hot)
+        } else {
+            rng.random_range(0..self.accounts)
+        }
+    }
+
+    fn two_accounts(&self, rng: &mut SmallRng) -> (u64, u64) {
+        let a = self.account(rng);
+        let mut b = self.account(rng);
+        if b == a {
+            b = (a + 1) % self.accounts;
+        }
+        (a, b)
+    }
+}
+
+impl WorkloadGen for SmallBank {
+    fn preload(&self) -> Vec<(Key, Value)> {
+        (0..self.accounts)
+            .flat_map(|a| {
+                [
+                    (SmallBank::savings(a), Value(INITIAL_BALANCE)),
+                    (SmallBank::checking(a), Value(INITIAL_BALANCE)),
+                ]
+            })
+            .collect()
+    }
+
+    fn next_txn(&mut self, rng: &mut SmallRng) -> Vec<TxnStep> {
+        let a = self.account(rng);
+        let amount = rng.random_range(1..100) as i64;
+        match rng.random_range(0..6) {
+            // Balance: read both balances.
+            0 => vec![
+                TxnStep::Read(SmallBank::savings(a)),
+                TxnStep::Read(SmallBank::checking(a)),
+            ],
+            // DepositChecking: checking += amount.
+            1 => vec![
+                TxnStep::Read(SmallBank::checking(a)),
+                TxnStep::Write(
+                    SmallBank::checking(a),
+                    ValueRule::AddToRead(SmallBank::checking(a), amount),
+                ),
+            ],
+            // TransactSavings: savings += amount.
+            2 => vec![
+                TxnStep::Read(SmallBank::savings(a)),
+                TxnStep::Write(
+                    SmallBank::savings(a),
+                    ValueRule::AddToRead(SmallBank::savings(a), amount),
+                ),
+            ],
+            // Amalgamate(a, b): move everything from a to b; a's balances
+            // are zeroed with *constant* values (the duplicate-value case).
+            3 => {
+                let (a, b) = self.two_accounts(rng);
+                vec![
+                    TxnStep::Read(SmallBank::savings(a)),
+                    TxnStep::Read(SmallBank::checking(a)),
+                    TxnStep::Read(SmallBank::checking(b)),
+                    TxnStep::Write(SmallBank::savings(a), ValueRule::Const(0)),
+                    TxnStep::Write(SmallBank::checking(a), ValueRule::Const(0)),
+                    TxnStep::Write(
+                        SmallBank::checking(b),
+                        ValueRule::AddToRead(SmallBank::checking(b), amount),
+                    ),
+                ]
+            }
+            // WriteCheck: read both balances, checking -= amount.
+            4 => vec![
+                TxnStep::Read(SmallBank::savings(a)),
+                TxnStep::Read(SmallBank::checking(a)),
+                TxnStep::Write(
+                    SmallBank::checking(a),
+                    ValueRule::AddToRead(SmallBank::checking(a), -amount),
+                ),
+            ],
+            // SendPayment(a, b): checking a -= amount, checking b += amount.
+            _ => {
+                let (a, b) = self.two_accounts(rng);
+                vec![
+                    TxnStep::Read(SmallBank::checking(a)),
+                    TxnStep::Read(SmallBank::checking(b)),
+                    TxnStep::Write(
+                        SmallBank::checking(a),
+                        ValueRule::AddToRead(SmallBank::checking(a), -amount),
+                    ),
+                    TxnStep::Write(
+                        SmallBank::checking(b),
+                        ValueRule::AddToRead(SmallBank::checking(b), amount),
+                    ),
+                ]
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "SmallBank"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn preload_creates_two_keys_per_account() {
+        let w = SmallBank::new(10);
+        let preload = w.preload();
+        assert_eq!(preload.len(), 20);
+        assert!(preload.iter().all(|(_, v)| *v == Value(INITIAL_BALANCE)));
+    }
+
+    #[test]
+    fn savings_and_checking_keys_are_disjoint() {
+        for a in 0..100 {
+            assert_ne!(SmallBank::savings(a), SmallBank::checking(a));
+            assert_ne!(SmallBank::savings(a), SmallBank::checking(a + 1));
+            assert_ne!(SmallBank::savings(a + 1), SmallBank::checking(a));
+        }
+    }
+
+    #[test]
+    fn amalgamate_writes_constants() {
+        let mut w = SmallBank::new(100);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut saw_const = false;
+        for _ in 0..500 {
+            for s in w.next_txn(&mut rng) {
+                if matches!(s, TxnStep::Write(_, ValueRule::Const(0))) {
+                    saw_const = true;
+                }
+            }
+        }
+        assert!(saw_const, "amalgamate never generated");
+    }
+
+    #[test]
+    fn all_six_transaction_shapes_appear() {
+        let mut w = SmallBank::new(100);
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut lens = std::collections::BTreeSet::new();
+        for _ in 0..500 {
+            lens.insert(w.next_txn(&mut rng).len());
+        }
+        // Shapes have lengths 2 (balance/deposit/transact), 3 (write
+        // check), 4 (send payment) and 6 (amalgamate).
+        assert!(lens.contains(&2) && lens.contains(&3) && lens.contains(&4) && lens.contains(&6));
+    }
+
+    #[test]
+    fn writes_always_follow_a_read_of_the_same_key_or_constant() {
+        // Every AddToRead write must reference a key that an earlier step
+        // in the same transaction read.
+        let mut w = SmallBank::new(50);
+        let mut rng = SmallRng::seed_from_u64(11);
+        for _ in 0..500 {
+            let txn = w.next_txn(&mut rng);
+            let mut read_keys = Vec::new();
+            for s in &txn {
+                match s {
+                    TxnStep::Read(k) => read_keys.push(*k),
+                    TxnStep::Write(_, ValueRule::AddToRead(src, _)) => {
+                        assert!(read_keys.contains(src), "write depends on unread key");
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+}

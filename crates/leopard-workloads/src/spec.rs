@@ -1,0 +1,86 @@
+//! Workload specification: transactions as declarative step lists.
+//!
+//! Generators emit [`TxnStep`]s; the runner interprets them against a
+//! traced session. Keeping transactions declarative lets the same
+//! workload drive the live engine, the offline trace collector, and the
+//! property tests.
+
+use leopard_core::{Key, Value};
+use rand::rngs::SmallRng;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// How a write derives the value it installs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValueRule {
+    /// A globally unique value (BlindW's "uniquely written values").
+    Unique,
+    /// A constant (SmallBank's `amalgamate` zeroing balances — the source
+    /// of the duplicate-value uncertainty in Fig. 13(a)).
+    Const(u64),
+    /// The value read earlier in this transaction from `key`, plus a
+    /// wrapping delta (read-modify-write, e.g. balance updates).
+    AddToRead(Key, i64),
+}
+
+/// One operation of a declarative transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TxnStep {
+    /// Point read.
+    Read(Key),
+    /// Range read of up to `usize` records starting at `Key`.
+    RangeRead(Key, usize),
+    /// Locking read (`SELECT ... FOR UPDATE`).
+    LockedRead(Key),
+    /// Write with a derived value.
+    Write(Key, ValueRule),
+}
+
+/// Shared source of globally unique written values.
+#[derive(Debug, Clone, Default)]
+pub struct UniqueValues {
+    counter: Arc<AtomicU64>,
+}
+
+impl UniqueValues {
+    /// A fresh counter starting above the preload value range.
+    #[must_use]
+    pub fn new() -> UniqueValues {
+        UniqueValues {
+            counter: Arc::new(AtomicU64::new(1_000_000_000)),
+        }
+    }
+
+    /// Next unique value.
+    #[must_use]
+    pub fn next(&self) -> Value {
+        Value(self.counter.fetch_add(1, Ordering::Relaxed))
+    }
+}
+
+/// A transaction generator: one instance per client thread.
+pub trait WorkloadGen: Send {
+    /// Initial database contents. Called once, on one instance.
+    fn preload(&self) -> Vec<(Key, Value)>;
+
+    /// The next transaction this client should run.
+    fn next_txn(&mut self, rng: &mut SmallRng) -> Vec<TxnStep>;
+
+    /// Workload name for reports.
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unique_values_never_repeat() {
+        let u = UniqueValues::new();
+        let a = u.next();
+        let b = u.next();
+        assert_ne!(a, b);
+        let u2 = u.clone();
+        assert_ne!(u2.next(), b, "clones share the counter");
+    }
+}

@@ -1,0 +1,98 @@
+//! YCSB-A: the update-heavy cloud-serving benchmark used in §IV-B (Fig. 4)
+//! to measure the interval-overlap ratio β.
+//!
+//! Single-record transactions over a Zipfian-skewed key space; the read
+//! ratio, skew θ and thread count are the experiment's sweep parameters.
+
+use crate::spec::{TxnStep, ValueRule, WorkloadGen};
+use crate::zipf::Zipfian;
+use leopard_core::{Key, Value};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// YCSB-A generator.
+#[derive(Debug, Clone)]
+pub struct YcsbA {
+    zipf: Zipfian,
+    read_ratio: f64,
+}
+
+impl YcsbA {
+    /// YCSB-A over `records` keys with skew `theta` and a 50/50 read/update
+    /// mix.
+    #[must_use]
+    pub fn new(records: u64, theta: f64) -> YcsbA {
+        YcsbA {
+            zipf: Zipfian::scrambled(records, theta),
+            read_ratio: 0.5,
+        }
+    }
+
+    /// Overrides the read ratio (Fig. 4(c)'s sweep).
+    #[must_use]
+    pub fn with_read_ratio(mut self, r: f64) -> YcsbA {
+        self.read_ratio = r.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Number of records.
+    #[must_use]
+    pub fn records(&self) -> u64 {
+        self.zipf.items()
+    }
+}
+
+impl WorkloadGen for YcsbA {
+    fn preload(&self) -> Vec<(Key, Value)> {
+        (0..self.zipf.items()).map(|k| (Key(k), Value(k))).collect()
+    }
+
+    fn next_txn(&mut self, rng: &mut SmallRng) -> Vec<TxnStep> {
+        let key = Key(self.zipf.sample(rng));
+        if rng.random_bool(self.read_ratio) {
+            vec![TxnStep::Read(key)]
+        } else {
+            vec![TxnStep::Write(key, ValueRule::Unique)]
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "YCSB-A"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mix_follows_read_ratio() {
+        let mut w = YcsbA::new(1000, 0.5).with_read_ratio(0.8);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut reads = 0;
+        for _ in 0..1000 {
+            if matches!(w.next_txn(&mut rng)[0], TxnStep::Read(_)) {
+                reads += 1;
+            }
+        }
+        assert!((700..900).contains(&reads), "reads={reads}");
+    }
+
+    #[test]
+    fn single_op_transactions() {
+        let mut w = YcsbA::new(100, 0.9);
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..50 {
+            assert_eq!(w.next_txn(&mut rng).len(), 1);
+        }
+    }
+
+    #[test]
+    fn preload_matches_record_count() {
+        let w = YcsbA::new(123, 0.5);
+        assert_eq!(w.preload().len(), 123);
+        assert_eq!(w.records(), 123);
+        assert_eq!(w.name(), "YCSB-A");
+    }
+}

@@ -1,0 +1,151 @@
+//! Zipfian key sampling, the access-skew model of YCSB (§IV-B, Fig. 4).
+//!
+//! Implements the classic Gray et al. rejection-free Zipfian generator
+//! YCSB uses, plus the "scrambled" variant that spreads the hot ranks
+//! across the key space with a multiplicative hash.
+
+use rand::Rng;
+
+/// Zipfian distribution over `0..n` with skew parameter `theta`
+/// (`theta = 0` is uniform-ish; YCSB's default hot skew is `0.99`).
+#[derive(Debug, Clone)]
+pub struct Zipfian {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    scramble: bool,
+}
+
+fn zeta(n: u64, theta: f64) -> f64 {
+    (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+}
+
+impl Zipfian {
+    /// Unscrambled generator: rank 0 is the hottest key.
+    #[must_use]
+    pub fn new(n: u64, theta: f64) -> Zipfian {
+        assert!(n >= 2, "need at least two items");
+        assert!((0.0..1.0).contains(&theta), "theta must be in [0, 1)");
+        let zetan = zeta(n, theta);
+        let zeta2 = zeta(2, theta);
+        Zipfian {
+            n,
+            theta,
+            alpha: 1.0 / (1.0 - theta),
+            zetan,
+            eta: (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan),
+            scramble: false,
+        }
+    }
+
+    /// Scrambled generator: hot ranks are spread over the key space, as in
+    /// YCSB's `ScrambledZipfianGenerator`.
+    #[must_use]
+    pub fn scrambled(n: u64, theta: f64) -> Zipfian {
+        Zipfian {
+            scramble: true,
+            ..Zipfian::new(n, theta)
+        }
+    }
+
+    /// Number of items.
+    #[must_use]
+    pub fn items(&self) -> u64 {
+        self.n
+    }
+
+    /// Samples one item in `0..n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.random();
+        let uz = u * self.zetan;
+        let rank = if uz < 1.0 {
+            0
+        } else if uz < 1.0 + 0.5f64.powf(self.theta) {
+            1
+        } else {
+            ((self.n as f64) * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64
+        };
+        let rank = rank.min(self.n - 1);
+        if self.scramble {
+            // Fibonacci-style multiplicative hash keeps the marginal
+            // distribution Zipfian while decorrelating rank from key id
+            // (the +1 keeps rank 0 from fixing to key 0).
+            rank.wrapping_add(1)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                % self.n
+        } else {
+            rank
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn histogram(z: &Zipfian, samples: usize) -> Vec<u64> {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut h = vec![0u64; z.items() as usize];
+        for _ in 0..samples {
+            h[z.sample(&mut rng) as usize] += 1;
+        }
+        h
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let z = Zipfian::new(100, 0.99);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 100);
+        }
+    }
+
+    #[test]
+    fn high_theta_concentrates_on_rank_zero() {
+        let z = Zipfian::new(1000, 0.99);
+        let h = histogram(&z, 100_000);
+        // Rank 0 should take a large share under heavy skew: its
+        // theoretical probability is 1/ζ(1000, 0.99) ≈ 13 %.
+        assert!(h[0] > 10_000, "rank0 got {}", h[0]);
+        // And the head must dominate the tail.
+        let head: u64 = h[..10].iter().sum();
+        let tail: u64 = h[990..].iter().sum();
+        assert!(head > 20 * tail.max(1));
+    }
+
+    #[test]
+    fn low_theta_is_flatter() {
+        let z = Zipfian::new(1000, 0.1);
+        let h = histogram(&z, 100_000);
+        assert!(h[0] < 5_000, "theta=0.1 should be flat-ish, rank0={}", h[0]);
+    }
+
+    #[test]
+    fn ranks_are_monotone_in_popularity() {
+        let z = Zipfian::new(100, 0.9);
+        let h = histogram(&z, 200_000);
+        assert!(h[0] > h[10]);
+        assert!(h[10] > h[80]);
+    }
+
+    #[test]
+    fn scrambled_moves_the_hot_key() {
+        let z = Zipfian::scrambled(1000, 0.99);
+        let h = histogram(&z, 100_000);
+        let hottest = h.iter().enumerate().max_by_key(|(_, c)| **c).unwrap().0;
+        assert_ne!(hottest, 0, "scrambling should displace the hot key");
+        // Distribution is still skewed (theoretical max share ≈ 13 %).
+        assert!(*h.iter().max().unwrap() > 10_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "theta")]
+    fn rejects_theta_one() {
+        let _ = Zipfian::new(10, 1.0);
+    }
+}

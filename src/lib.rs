@@ -1,0 +1,2 @@
+//! Facade crate; see crates/*.
+pub use leopard_core::*;

@@ -1,0 +1,73 @@
+//! End-to-end soundness: clean engines must verify clean (no false
+//! positives) across every workload and isolation level.
+
+use leopard::{IsolationLevel, Verifier, VerifierConfig};
+use leopard_db::{Database, DbConfig};
+use leopard_workloads::{
+    preload_database, run_collect, BlindW, BlindWVariant, RunLimit, SmallBank, TpcC, WorkloadGen,
+    YcsbA,
+};
+
+fn verify_run(
+    gens: Vec<Box<dyn WorkloadGen>>,
+    proto: &dyn WorkloadGen,
+    level: IsolationLevel,
+    txns: u64,
+) -> leopard::VerifyOutcome {
+    let db = Database::new(DbConfig::at(level));
+    let preload = preload_database(&db, proto);
+    let out = run_collect(&db, gens, RunLimit::Txns(txns), 0xC0FFEE);
+    let mut verifier = Verifier::new(VerifierConfig::for_level(level));
+    for (k, v) in preload {
+        verifier.preload(k, v);
+    }
+    for t in out.merged_sorted() {
+        verifier.process(&t);
+    }
+    let outcome = verifier.finish();
+    assert_eq!(
+        outcome.counters.committed, out.stats.committed,
+        "verifier saw all commits"
+    );
+    outcome
+}
+
+fn clones<G: WorkloadGen + Clone + 'static>(g: &G, n: usize) -> Vec<Box<dyn WorkloadGen>> {
+    (0..n).map(|_| Box::new(g.clone()) as _).collect()
+}
+
+#[test]
+fn blindw_rw_clean_at_serializable() {
+    let g = BlindW::new(BlindWVariant::ReadWrite).with_table_size(256);
+    let out = verify_run(clones(&g, 8), &g, IsolationLevel::Serializable, 150);
+    assert!(out.report.is_clean(), "{}", out.report);
+}
+
+#[test]
+fn smallbank_clean_at_serializable() {
+    let g = SmallBank::new(64);
+    let out = verify_run(clones(&g, 8), &g, IsolationLevel::Serializable, 150);
+    assert!(out.report.is_clean(), "{}", out.report);
+}
+
+#[test]
+fn tpcc_clean_at_serializable() {
+    let g = TpcC::new(2);
+    let gens: Vec<Box<dyn WorkloadGen>> = (0..6).map(|_| Box::new(g.for_client()) as _).collect();
+    let out = verify_run(gens, &g, IsolationLevel::Serializable, 100);
+    assert!(out.report.is_clean(), "{}", out.report);
+}
+
+#[test]
+fn ycsb_clean_at_read_committed() {
+    let g = YcsbA::new(512, 0.9);
+    let out = verify_run(clones(&g, 8), &g, IsolationLevel::ReadCommitted, 400);
+    assert!(out.report.is_clean(), "{}", out.report);
+}
+
+#[test]
+fn smallbank_clean_at_snapshot_isolation() {
+    let g = SmallBank::new(64);
+    let out = verify_run(clones(&g, 8), &g, IsolationLevel::SnapshotIsolation, 150);
+    assert!(out.report.is_clean(), "{}", out.report);
+}

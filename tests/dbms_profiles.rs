@@ -1,0 +1,144 @@
+//! Verifier configurations driven by the Fig. 1 catalog: systems that are
+//! *not* PostgreSQL-shaped (no locks, different certifiers) still verify
+//! correctly from the same traces.
+
+use leopard::{
+    catalog, CertifierRule, IsolationLevel, Mechanism, MechanismSet, SnapshotLevel, TraceBuilder,
+    Verifier, VerifierConfig,
+};
+use leopard_core::{Key, Trace, Value};
+
+fn verify_with(m: MechanismSet, preload: &[(u64, u64)], traces: &[Trace]) -> leopard::BugReport {
+    let mut v = Verifier::new(VerifierConfig::for_mechanisms(m));
+    for &(k, val) in preload {
+        v.preload(Key(k), Value(val));
+    }
+    for t in traces {
+        v.process(t);
+    }
+    v.finish().report
+}
+
+fn write_skew() -> Vec<Trace> {
+    let mut b = TraceBuilder::new();
+    b.read(0, 2, 0, 1, vec![(1, 0)]);
+    b.read(1, 3, 1, 2, vec![(2, 0)]);
+    b.write(10, 12, 0, 1, vec![(2, 5)]);
+    b.write(11, 13, 1, 2, vec![(1, 6)]);
+    b.commit(20, 22, 0, 1);
+    b.commit(21, 23, 1, 2);
+    b.build_sorted()
+}
+
+#[test]
+fn occ_profile_flags_write_skew_as_cycle() {
+    // FoundationDB-style: OCC+MVCC, no locks, generic acyclicity certifier.
+    let fdb = catalog()
+        .into_iter()
+        .find(|p| p.name == "FoundationDB")
+        .unwrap();
+    let m = fdb.mechanisms_for(IsolationLevel::Serializable).unwrap();
+    assert!(!m.mutual_exclusion);
+    assert_eq!(m.certifier, Some(CertifierRule::AcyclicGraph));
+    let report = verify_with(m, &[(1, 0), (2, 0)], &write_skew());
+    assert!(
+        report.count(Mechanism::SerializationCertifier) > 0,
+        "write skew is a dependency cycle: {report}"
+    );
+}
+
+#[test]
+fn mvto_profile_flags_newer_to_older_dependency() {
+    // CockroachDB-style: timestamp ordering. A transaction that starts
+    // strictly later but is read *under* an older transaction's successor
+    // chain produces a newer→older dependency, which MVTO prohibits.
+    let crdb = catalog().into_iter().find(|p| p.name == "CockroachDB").unwrap();
+    let m = crdb.mechanisms_for(IsolationLevel::Serializable).unwrap();
+    assert_eq!(m.certifier, Some(CertifierRule::MvtoTimestampOrder));
+
+    // t1 (old) reads k1's initial version; t2 (newer) installs the direct
+    // successor while t1 is still running; t1 commits after t2.
+    // rw(t1 -> t2) points old -> new: fine. Then construct the reverse:
+    // t3 starts after t2 committed yet reads the version t2 overwrote —
+    // CR already flags that as a stale read; for a pure MVTO signal use
+    // ww: t4 starts certainly after t5 but installs the *predecessor*
+    // version. Simplest reliable trigger: reader-started-later with
+    // an rw edge backwards is impossible in clean traces, so check the
+    // rule directly on the graph level instead.
+    use leopard_core::verify::DepGraph;
+    use leopard_core::{DepKind, Interval, Timestamp, TxnId};
+    let iv = |lo: u64, hi: u64| Interval::new(Timestamp(lo), Timestamp(hi));
+    let mut g = DepGraph::default();
+    g.add_node(TxnId(1), iv(0, 1), iv(50, 51));
+    g.add_node(TxnId(2), iv(10, 11), iv(52, 53));
+    let v = g.add_edge(
+        TxnId(2),
+        TxnId(1),
+        DepKind::Rw,
+        Some(CertifierRule::MvtoTimestampOrder),
+    );
+    assert!(v.is_some(), "newer->older dependency must be prohibited");
+}
+
+#[test]
+fn sqlite_profile_checks_only_locks() {
+    // SQLite: pure 2PL, no MVCC — consistent-read checking is off, so a
+    // stale read is not CR-flagged, but concurrent lock holds still are.
+    let sqlite = catalog().into_iter().find(|p| p.name == "SQLite").unwrap();
+    let m = sqlite.mechanisms_for(IsolationLevel::Serializable).unwrap();
+    assert!(m.consistent_read.is_none());
+
+    // Stale read: no CR violation possible with CR off.
+    let mut b = TraceBuilder::new();
+    b.write(10, 12, 0, 1, vec![(1, 9)]);
+    b.commit(13, 15, 0, 1);
+    b.read(30, 32, 1, 2, vec![(1, 0)]); // stale, but unchecked
+    b.commit(33, 35, 1, 2);
+    let report = verify_with(m, &[(1, 0)], &b.build_sorted());
+    assert!(report.is_clean(), "{report}");
+
+    // Concurrent write locks: still an ME violation.
+    let mut b = TraceBuilder::new();
+    b.write(0, 10, 0, 1, vec![(1, 5)]);
+    b.write(1, 9, 1, 2, vec![(1, 6)]);
+    b.commit(11, 20, 0, 1);
+    b.commit(12, 21, 1, 2);
+    let report = verify_with(m, &[(1, 0)], &b.build_sorted());
+    assert!(report.count(Mechanism::MutualExclusion) > 0);
+}
+
+#[test]
+fn percolator_profile_has_no_lock_checking() {
+    let tidb = catalog()
+        .into_iter()
+        .find(|p| p.name == "TiDB (Percolator)")
+        .unwrap();
+    let m = tidb.mechanisms_for(IsolationLevel::SnapshotIsolation).unwrap();
+    assert!(!m.mutual_exclusion);
+    // Two writers whose lock spans would collide under 2PL: legal here,
+    // because the profile does not promise locks.
+    let mut b = TraceBuilder::new();
+    b.write(0, 10, 0, 1, vec![(1, 5)]);
+    b.write(1, 9, 1, 2, vec![(2, 6)]); // different keys: no FUW either
+    b.commit(11, 20, 0, 1);
+    b.commit(12, 21, 1, 2);
+    let report = verify_with(m, &[(1, 0), (2, 0)], &b.build_sorted());
+    assert!(report.is_clean(), "{report}");
+}
+
+#[test]
+fn statement_level_catalog_entries_accept_non_repeatable_reads() {
+    for name in ["SingleStore", "Oracle / NuoDB / SAP HANA"] {
+        let p = catalog().into_iter().find(|p| p.name == name).unwrap();
+        let m = p.mechanisms_for(IsolationLevel::ReadCommitted).unwrap();
+        assert_eq!(m.consistent_read, Some(SnapshotLevel::Statement));
+        let mut b = TraceBuilder::new();
+        b.read(10, 12, 1, 2, vec![(1, 0)]);
+        b.write(20, 22, 0, 1, vec![(1, 9)]);
+        b.commit(23, 25, 0, 1);
+        b.read(30, 32, 1, 2, vec![(1, 9)]);
+        b.commit(33, 35, 1, 2);
+        let report = verify_with(m, &[(1, 0)], &b.build_sorted());
+        assert!(report.is_clean(), "{name}: {report}");
+    }
+}

@@ -1,0 +1,238 @@
+//! The paper's worked examples (Figs. 3, 7, 8, 9) as end-to-end verifier
+//! tests, plus the behavioural effect of each ablation DESIGN.md lists.
+
+use leopard::{
+    IsolationLevel, Mechanism, PipelineConfig, TraceBuilder, Verifier, VerifierConfig,
+};
+use leopard_core::{Key, Trace, Value};
+
+fn verify(cfg: VerifierConfig, preload: &[(u64, u64)], traces: &[Trace]) -> leopard::VerifyOutcome {
+    let mut v = Verifier::new(cfg);
+    for &(k, val) in preload {
+        v.preload(Key(k), Value(val));
+    }
+    for t in traces {
+        v.process(t);
+    }
+    v.finish()
+}
+
+fn sr() -> VerifierConfig {
+    VerifierConfig::for_level(IsolationLevel::Serializable)
+}
+
+/// Fig. 3(a): non-overlapping conflicting writes — the ww dependency is
+/// directly readable from the trace.
+#[test]
+fn fig3a_disjoint_writes_are_certain() {
+    let mut b = TraceBuilder::new();
+    b.write(10, 12, 0, 1, vec![(1, 5)]);
+    b.commit(13, 15, 0, 1);
+    b.write(20, 22, 1, 2, vec![(1, 6)]);
+    b.commit(23, 25, 1, 2);
+    let out = verify(sr(), &[(1, 0)], &b.build_sorted());
+    assert!(out.report.is_clean());
+    assert_eq!(out.stats.ww.certain, 1);
+    assert_eq!(out.stats.ww.overlapping(), 0);
+}
+
+/// Fig. 7(a): both lock orders are incompatible — an ME violation.
+#[test]
+fn fig7a_incompatible_lock_orders() {
+    // t0 acquires (0,10), releases (11,20); t1 acquires (1,9),
+    // releases (12,21): each acquire certainly precedes both releases.
+    let mut b = TraceBuilder::new();
+    b.write(0, 10, 0, 1, vec![(1, 5)]);
+    b.write(1, 9, 1, 2, vec![(1, 6)]);
+    b.commit(11, 20, 0, 1);
+    b.commit(12, 21, 1, 2);
+    let out = verify(sr(), &[(1, 0)], &b.build_sorted());
+    assert!(out.report.count(Mechanism::MutualExclusion) >= 1);
+}
+
+/// Fig. 7(b): overlapped lock intervals where exactly one serialization
+/// is feasible — a ww dependency is deduced, no violation.
+#[test]
+fn fig7b_single_feasible_lock_order() {
+    let mut b = TraceBuilder::new();
+    b.write(0, 6, 0, 1, vec![(1, 5)]); // acquire (0,6)
+    b.write(5, 12, 1, 2, vec![(1, 6)]); // acquire (5,12): overlaps
+    b.commit(7, 8, 0, 1); // release (7,8)
+    b.commit(13, 15, 1, 2); // release (13,15)
+    let out = verify(sr(), &[(1, 0)], &b.build_sorted());
+    assert!(out.report.is_clean(), "{}", out.report);
+    assert_eq!(out.stats.ww.deduced, 1, "order deduced from lock exclusion");
+}
+
+/// Fig. 8(a): both orders of two committed updates imply concurrent
+/// versions — a lost update the FUW mechanism must have prevented.
+#[test]
+fn fig8a_fuw_violation() {
+    // Snapshot of each txn certainly precedes the other's commit.
+    let mut cfg = VerifierConfig::for_level(IsolationLevel::SnapshotIsolation);
+    cfg.mechanisms.mutual_exclusion = false; // isolate the FUW signal
+    let mut b = TraceBuilder::new();
+    b.read(0, 2, 0, 1, vec![(1, 0)]); // snapshot t1 (0,2)
+    b.read(1, 3, 1, 2, vec![(1, 0)]); // snapshot t2 (1,3)
+    b.write(10, 12, 0, 1, vec![(1, 5)]);
+    b.write(11, 13, 1, 2, vec![(1, 6)]);
+    b.commit(20, 22, 0, 1);
+    b.commit(21, 23, 1, 2);
+    let out = verify(cfg, &[(1, 0)], &b.build_sorted());
+    assert!(out.report.count(Mechanism::FirstUpdaterWins) >= 1);
+}
+
+/// Fig. 8(b): overlapped intervals with exactly one feasible serial
+/// order — a ww dependency is deduced instead.
+#[test]
+fn fig8b_fuw_deduces_order() {
+    let mut cfg = VerifierConfig::for_level(IsolationLevel::SnapshotIsolation);
+    cfg.mechanisms.mutual_exclusion = false;
+    let mut b = TraceBuilder::new();
+    // t1's whole span certainly precedes t2's snapshot... but overlapping
+    // install intervals force the FUW span resolution to decide.
+    b.write(10, 30, 0, 1, vec![(1, 5)]); // snapshot + install t1 (10,30)
+    b.commit(31, 35, 0, 1);
+    b.write(25, 50, 1, 2, vec![(1, 6)]); // t2 overlaps t1's install
+    b.commit(51, 55, 1, 2);
+    let out = verify(cfg, &[(1, 0)], &b.build_sorted());
+    assert!(out.report.is_clean(), "{}", out.report);
+    assert_eq!(out.stats.ww.deduced, 1);
+}
+
+/// Fig. 9: an rw antidependency is derived from a wr match plus the ww
+/// version order — the reader antidepends on the overwriting transaction.
+#[test]
+fn fig9_rw_derivation() {
+    let mut b = TraceBuilder::new();
+    b.write(10, 12, 0, 1, vec![(1, 5)]);
+    b.commit(13, 15, 0, 1);
+    b.read(20, 22, 1, 2, vec![(1, 5)]); // t2 reads t1's version
+    b.commit(23, 25, 1, 2);
+    b.write(30, 32, 2, 3, vec![(1, 7)]); // t3 overwrites it
+    b.commit(33, 35, 2, 3);
+    let out = verify(sr(), &[(1, 0)], &b.build_sorted());
+    assert!(out.report.is_clean());
+    assert_eq!(out.stats.rw.certain, 1, "rw(t2→t3) derived from wr+ww");
+}
+
+/// Ablation: with cross-mechanism dependency transfer off, no rw edges
+/// exist, so the SSI certifier cannot see write skew.
+#[test]
+fn ablation_dep_transfer_off_misses_write_skew() {
+    let skew = || {
+        let mut b = TraceBuilder::new();
+        b.read(0, 2, 0, 1, vec![(1, 0)]);
+        b.read(1, 3, 1, 2, vec![(2, 0)]);
+        b.write(10, 12, 0, 1, vec![(2, 5)]);
+        b.write(11, 13, 1, 2, vec![(1, 6)]);
+        b.commit(20, 22, 0, 1);
+        b.commit(21, 23, 1, 2);
+        b.build_sorted()
+    };
+    let with = verify(sr(), &[(1, 0), (2, 0)], &skew());
+    assert!(with.report.count(Mechanism::SerializationCertifier) > 0);
+
+    let mut cfg = sr();
+    cfg.dep_transfer = false;
+    let without = verify(cfg, &[(1, 0), (2, 0)], &skew());
+    assert_eq!(
+        without.report.count(Mechanism::SerializationCertifier),
+        0,
+        "without rw derivation the dangerous structure is invisible"
+    );
+}
+
+/// Ablation: the non-minimal candidate set admits garbage versions, so a
+/// stale read goes undetected (Theorem 2's strictness in action).
+#[test]
+fn ablation_candidate_set_minimality_matters() {
+    let stale = || {
+        let mut b = TraceBuilder::new();
+        b.write(10, 12, 0, 1, vec![(1, 9)]);
+        b.commit(13, 15, 0, 1);
+        b.read(100, 102, 1, 2, vec![(1, 0)]); // reads overwritten initial
+        b.commit(103, 105, 1, 2);
+        b.build_sorted()
+    };
+    let strict = verify(sr(), &[(1, 0)], &stale());
+    assert_eq!(strict.report.count(Mechanism::ConsistentRead), 1);
+
+    let mut cfg = sr();
+    cfg.minimal_candidate_set = false;
+    let loose = verify(cfg, &[(1, 0)], &stale());
+    assert_eq!(loose.report.count(Mechanism::ConsistentRead), 0);
+}
+
+/// Ablation: garbage collection does not change any verdict, only memory.
+#[test]
+fn ablation_gc_does_not_change_verdicts() {
+    use leopard_db::{Database, DbConfig};
+    use leopard_workloads::{preload_database, run_collect, RunLimit, SmallBank, WorkloadGen};
+    let g = SmallBank::new(64);
+    let db = Database::new(DbConfig::at(IsolationLevel::Serializable));
+    let preload = preload_database(&db, &g);
+    let gens: Vec<Box<dyn WorkloadGen>> = (0..4).map(|_| Box::new(g.clone()) as _).collect();
+    let run = run_collect(&db, gens, RunLimit::Txns(300), 17);
+    let traces = run.merged_sorted();
+    let pl: Vec<(u64, u64)> = preload.iter().map(|&(k, v)| (k.0, v.0)).collect();
+
+    let mut cfg_gc = sr();
+    cfg_gc.gc_every = 64;
+    let with_gc = verify(cfg_gc, &pl, &traces);
+    let mut cfg_nogc = sr();
+    cfg_nogc.gc = false;
+    let without_gc = verify(cfg_nogc, &pl, &traces);
+    assert_eq!(
+        with_gc.report.violations, without_gc.report.violations,
+        "GC must be invisible to verdicts"
+    );
+    assert_eq!(with_gc.counters.committed, without_gc.counters.committed);
+}
+
+/// Fig. 5's pipeline walk-through: two clients with interleaved odd/even
+/// timestamps dispatch in global order, round by round.
+#[test]
+fn fig5_pipeline_rounds() {
+    use leopard::TwoLevelPipeline;
+    use leopard_core::{ClientId, Interval, OpKind, Timestamp, TxnId};
+    let mut p = TwoLevelPipeline::new(2, PipelineConfig::default());
+    let t = |c: u32, ts: u64| {
+        Trace::new(
+            Interval::new(Timestamp(ts), Timestamp(ts + 1)),
+            ClientId(c),
+            TxnId(ts),
+            OpKind::Commit,
+        )
+    };
+    // Round 1 pushes {1,3,5,7} to client 0's buffer and {2,4,6,8} to 1's.
+    for ts in [1u64, 3, 5, 7] {
+        p.push(0, t(0, ts)).unwrap();
+    }
+    for ts in [2u64, 4, 6, 8] {
+        p.push(1, t(1, ts)).unwrap();
+    }
+    let mut out = Vec::new();
+    p.drain_available(&mut out);
+    // Everything up to the watermark (min of open clients' last-seen) may
+    // dispatch; with both clients still open, 7 and 8 wait.
+    let dispatched: Vec<u64> = out.iter().map(|t| t.ts_bef().0).collect();
+    assert_eq!(dispatched, vec![1, 2, 3, 4, 5, 6, 7]);
+    // Round 2: the clients push more, raising the watermark.
+    for ts in [9u64, 11] {
+        p.push(0, t(0, ts)).unwrap();
+    }
+    for ts in [10u64, 12] {
+        p.push(1, t(1, ts)).unwrap();
+    }
+    out.clear();
+    p.drain_available(&mut out);
+    let dispatched: Vec<u64> = out.iter().map(|t| t.ts_bef().0).collect();
+    assert_eq!(dispatched, vec![8, 9, 10, 11]);
+    p.close(0).unwrap();
+    p.close(1).unwrap();
+    out.clear();
+    p.drain_available(&mut out);
+    assert_eq!(out.len(), 1); // the final 12
+    assert!(p.is_exhausted());
+}
