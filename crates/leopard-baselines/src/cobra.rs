@@ -310,11 +310,12 @@ impl CobraVerifier {
         }
         let frozen: Vec<TxnId> = self.epochs.remove(0);
         let frozen_set: FxHashSet<TxnId> = frozen.iter().copied().collect();
-        let (touching, rest): (Vec<_>, Vec<_>) =
-            std::mem::take(&mut self.constraints).into_iter().partition(|c| {
-                c.options.iter().any(|(a, b)| {
-                    frozen_set.contains(a) || frozen_set.contains(b)
-                })
+        let (touching, rest): (Vec<_>, Vec<_>) = std::mem::take(&mut self.constraints)
+            .into_iter()
+            .partition(|c| {
+                c.options
+                    .iter()
+                    .any(|(a, b)| frozen_set.contains(a) || frozen_set.contains(b))
             });
         self.constraints = rest;
         for c in touching {
@@ -329,8 +330,12 @@ impl CobraVerifier {
         }
         for id in frozen {
             self.graph.remove_node(id);
-            self.reads.values_mut().for_each(|v| v.retain(|(r, _)| *r != id));
-            self.writers.values_mut().for_each(|v| v.retain(|w| *w != id));
+            self.reads
+                .values_mut()
+                .for_each(|v| v.retain(|(r, _)| *r != id));
+            self.writers
+                .values_mut()
+                .for_each(|v| v.retain(|w| *w != id));
         }
         self.reads.retain(|_, v| !v.is_empty());
         self.writers.retain(|_, v| !v.is_empty());
@@ -420,11 +425,7 @@ impl CobraVerifier {
                 continue;
             }
             if !self.graph.reachable(b, a, &mut self.visited) {
-                let fresh = !self
-                    .graph
-                    .out
-                    .get(&a)
-                    .is_some_and(|s| s.contains(&b));
+                let fresh = !self.graph.out.get(&a).is_some_and(|s| s.contains(&b));
                 self.graph.add_edge(a, b);
                 match self.backtrack(open, idx + 1, budget) {
                     Some(true) => return Some(true),
@@ -572,7 +573,13 @@ mod tests {
             let ts = 10 + i * 20;
             let client = (i % 2) as u32;
             let key = 1 + (i % 2);
-            b.read(ts, ts + 1, client, txn, vec![(key, if i < 2 { 0 } else { 100 + i - 2 })]);
+            b.read(
+                ts,
+                ts + 1,
+                client,
+                txn,
+                vec![(key, if i < 2 { 0 } else { 100 + i - 2 })],
+            );
             b.write(ts + 2, ts + 3, client, txn, vec![(key, 100 + i)]);
             b.commit(ts + 4, ts + 5, client, txn);
         }

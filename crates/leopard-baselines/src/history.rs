@@ -73,11 +73,7 @@ pub fn collect_committed(traces: &[Trace]) -> Vec<TxnRecord> {
                     id: t.txn,
                     client: p.client,
                     reads: p.reads,
-                    writes: p
-                        .write_order
-                        .iter()
-                        .map(|k| (*k, p.writes[k]))
-                        .collect(),
+                    writes: p.write_order.iter().map(|k| (*k, p.writes[k])).collect(),
                     start: p.start,
                     commit: t.interval,
                 });

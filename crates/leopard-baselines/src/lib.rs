@@ -9,7 +9,7 @@
 //!   garbage collection and a no-GC variant (Fig. 14, §VI-E);
 //! * [`history`] — the shared trace-stream → committed-transaction fold.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod cobra;

@@ -20,14 +20,18 @@ fn bench_candidate_set(c: &mut Criterion) {
         store.preload(Key(1), Value(0));
         for i in 0..chain as u64 {
             let base = 10 + i * 20;
-            store.install(Key(1), Value(i + 1), TxnId(i + 1), iv(base, base + 5), iv(base, base + 5));
+            store.install(
+                Key(1),
+                Value(i + 1),
+                TxnId(i + 1),
+                iv(base, base + 5),
+                iv(base, base + 5),
+            );
             store.commit(TxnId(i + 1), &[Key(1)], iv(base + 6, base + 12));
         }
         let snapshot = iv(10 + chain as u64 * 10, 10 + chain as u64 * 10 + 4);
         group.bench_with_input(BenchmarkId::from_parameter(chain), &store, |b, s| {
-            b.iter(|| {
-                black_box(s.check_read(Key(1), Value(chain as u64 / 2), &snapshot, true))
-            });
+            b.iter(|| black_box(s.check_read(Key(1), Value(chain as u64 / 2), &snapshot, true)));
         });
     }
     group.finish();

@@ -20,13 +20,7 @@ fn beta_for(records: u64, theta: f64, threads: usize, read_ratio: f64, txns: u64
         op_latency: Duration::from_micros(100),
         ..DbConfig::at(IsolationLevel::Serializable)
     };
-    let run = collect_run_cfg(
-        &g,
-        fork_clones(&g, threads),
-        cfg,
-        RunLimit::Txns(txns),
-        42,
-    );
+    let run = collect_run_cfg(&g, fork_clones(&g, threads), cfg, RunLimit::Txns(txns), 42);
     let (outcome, _) = verify_collected(&run, leopard_cfg(IsolationLevel::Serializable));
     assert!(
         outcome.report.is_clean(),

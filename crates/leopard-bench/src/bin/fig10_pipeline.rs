@@ -78,7 +78,12 @@ fn run_naive(per_client: &[Vec<Trace>]) -> (usize, Duration, u64) {
     (stats.max_buffered, start.elapsed(), n)
 }
 
-fn bench_workload(name: &str, make: &dyn Fn() -> Vec<Box<dyn WorkloadGen>>, proto: &dyn WorkloadGen, scales: &[u64]) {
+fn bench_workload(
+    name: &str,
+    make: &dyn Fn() -> Vec<Box<dyn WorkloadGen>>,
+    proto: &dyn WorkloadGen,
+    scales: &[u64],
+) {
     println!("\n## {name}");
     header(&[
         "txns",

@@ -11,7 +11,9 @@
 //! magnitude above.
 
 use leopard_baselines::CycleSearchVerifier;
-use leopard_bench::{collect_run, fmt_dur, fork_clones, header, leopard_cfg, row, verify_collected};
+use leopard_bench::{
+    collect_run, fmt_dur, fork_clones, header, leopard_cfg, row, verify_collected,
+};
 use leopard_core::{IsolationLevel, Key, Value};
 use leopard_workloads::{BlindW, BlindWVariant};
 use std::time::{Duration, Instant};
@@ -96,7 +98,14 @@ fn main() {
     println!("# Fig. 11 — Verification time on BlindW-RW+ (defaults: 24 threads, {base} txns, length 8)\n");
 
     println!("## (a) varying transaction scale");
-    header(&["txns", "Leopard", "cycle search", "DBMS runtime", "committed", "aborted"]);
+    header(&[
+        "txns",
+        "Leopard",
+        "cycle search",
+        "DBMS runtime",
+        "committed",
+        "aborted",
+    ]);
     let scales: &[u64] = if quick {
         &[1_000, 2_000, 4_000]
     } else {
@@ -108,14 +117,28 @@ fn main() {
     }
 
     println!("\n## (b) varying thread scale ({base} txns)");
-    header(&["threads", "Leopard", "cycle search", "DBMS runtime", "committed", "aborted"]);
+    header(&[
+        "threads",
+        "Leopard",
+        "cycle search",
+        "DBMS runtime",
+        "committed",
+        "aborted",
+    ]);
     for &threads in &[4usize, 8, 16, 24, 32] {
         let c = measure(base, threads, 8, cycle_cap);
         print_cell(threads.to_string(), &c);
     }
 
     println!("\n## (c) varying transaction length ({base} txns, 24 threads)");
-    header(&["length", "Leopard", "cycle search", "DBMS runtime", "committed", "aborted"]);
+    header(&[
+        "length",
+        "Leopard",
+        "cycle search",
+        "DBMS runtime",
+        "committed",
+        "aborted",
+    ]);
     for &len in &[2usize, 4, 8, 12, 16] {
         let c = measure(base, 24, len, cycle_cap);
         print_cell(len.to_string(), &c);

@@ -34,7 +34,8 @@ fn bench(name: &str, scales: &[u64], make: &MakeWorkload, secs: u64) {
             Duration::from_secs(secs),
             3,
         );
-        let (outcome, verify_time) = verify_collected(&run, leopard_cfg(IsolationLevel::Serializable));
+        let (outcome, verify_time) =
+            verify_collected(&run, leopard_cfg(IsolationLevel::Serializable));
         assert!(outcome.report.is_clean(), "{}", outcome.report);
         let dbms_tput = run.output.stats.throughput();
         let leopard_tput = outcome.counters.committed as f64 / verify_time.as_secs_f64();
@@ -71,8 +72,9 @@ fn main() {
         &[1, 2, 4, 8],
         &move |scale| {
             let g = TpcC::new(scale);
-            let gens: Vec<Box<dyn WorkloadGen>> =
-                (0..threads).map(|_| Box::new(g.for_client()) as _).collect();
+            let gens: Vec<Box<dyn WorkloadGen>> = (0..threads)
+                .map(|_| Box::new(g.for_client()) as _)
+                .collect();
             (Box::new(g) as Box<dyn WorkloadGen>, gens)
         },
         secs,

@@ -30,7 +30,13 @@ fn report(name: &str, run: &CollectedRun) {
     assert!(outcome.report.is_clean(), "{name}: {}", outcome.report);
     let stats: DeductionStats = outcome.stats;
     println!("\n## {name}");
-    header(&["dep", "total pairs", "β", "deduced share of β", "uncertain share of β"]);
+    header(&[
+        "dep",
+        "total pairs",
+        "β",
+        "deduced share of β",
+        "uncertain share of β",
+    ]);
     for kind in [DepKind::Ww, DepKind::Wr, DepKind::Rw] {
         let c = stats.of(kind);
         let b = c.overlapping();
@@ -65,7 +71,9 @@ fn main() {
     let txns: u64 = if quick { 500 } else { 4_000 };
     let threads = 16usize;
 
-    println!("# Fig. 13 — Deduced vs uncertain dependencies ({threads} clients, {txns} txns/client)");
+    println!(
+        "# Fig. 13 — Deduced vs uncertain dependencies ({threads} clients, {txns} txns/client)"
+    );
 
     let g = SmallBank::new(256);
     report(
@@ -74,8 +82,9 @@ fn main() {
     );
 
     let g = TpcC::new(1);
-    let gens: Vec<Box<dyn WorkloadGen>> =
-        (0..threads).map(|_| Box::new(g.for_client()) as _).collect();
+    let gens: Vec<Box<dyn WorkloadGen>> = (0..threads)
+        .map(|_| Box::new(g.for_client()) as _)
+        .collect();
     report("(b) TPC-C", &collect(&g, gens, txns));
 
     let g = BlindW::new(BlindWVariant::WriteOnly);

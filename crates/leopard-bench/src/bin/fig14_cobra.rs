@@ -9,7 +9,9 @@
 //! time; Cobra w/o GC worst memory.
 
 use leopard_baselines::{collect_committed, CobraConfig, CobraVerifier};
-use leopard_bench::{collect_run, fmt_dur, fork_clones, header, leopard_cfg, row, verify_collected, CollectedRun};
+use leopard_bench::{
+    collect_run, fmt_dur, fork_clones, header, leopard_cfg, row, verify_collected, CollectedRun,
+};
 use leopard_core::IsolationLevel;
 use leopard_workloads::{BlindW, BlindWVariant};
 use std::time::{Duration, Instant};

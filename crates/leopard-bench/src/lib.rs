@@ -28,7 +28,13 @@ pub fn collect_run(
     txns_per_client: u64,
     seed: u64,
 ) -> CollectedRun {
-    collect_run_cfg(proto, gens, DbConfig::at(level), RunLimit::Txns(txns_per_client), seed)
+    collect_run_cfg(
+        proto,
+        gens,
+        DbConfig::at(level),
+        RunLimit::Txns(txns_per_client),
+        seed,
+    )
 }
 
 /// Runs against a database with an explicit configuration (e.g. with

@@ -9,10 +9,11 @@ pub const USAGE: &str = "\
 leopard — black-box isolation-level verification
 
 USAGE:
-  leopard record [OPTIONS]      run a workload, write a capture file
-  leopard verify <FILE> [OPTS]  audit a capture file
-  leopard catalog               print the DBMS mechanism catalog (Fig. 1)
-  leopard help                  show this message
+  leopard record [OPTIONS]          run a workload, write a capture file
+  leopard verify <FILE> [OPTS]      audit a capture file
+  leopard lint-history <FILE> [OPTS]  preflight a capture file (H001-H006)
+  leopard catalog                   print the DBMS mechanism catalog (Fig. 1)
+  leopard help                      show this message
 
 record options:
   --workload <smallbank|tpcc|ycsb|blindw-w|blindw-rw|blindw-rw+>  (default smallbank)
@@ -28,7 +29,14 @@ record options:
 verify options:
   --level <rc|rr|si|sr>         level the DBMS promised (default sr)
   --skew-bound <NANOS>          clock synchronisation error bound (default 0)
-  --no-gc                       disable verifier garbage collection";
+  --no-gc                       disable verifier garbage collection
+  --skip-preflight              verify even if history preflight finds errors
+
+lint-history options:
+  --json                        emit the diagnostic report as JSON
+
+exit codes: 0 clean, 1 i/o error, 2 usage error, 3 violations /
+preflight errors found, 4 verify refused (history failed preflight)";
 
 /// A parsed command.
 #[derive(Debug, Clone, PartialEq)]
@@ -37,6 +45,8 @@ pub enum Command {
     Record(RecordConfig),
     /// `leopard verify ...`
     Verify(VerifyConfig),
+    /// `leopard lint-history ...`
+    LintHistory(LintHistoryConfig),
     /// `leopard catalog`
     Catalog,
     /// `leopard help`
@@ -93,6 +103,17 @@ pub struct VerifyConfig {
     pub skew_bound: u64,
     /// Disable garbage collection (keeps everything; for debugging).
     pub no_gc: bool,
+    /// Run the verifier even when history preflight reports errors.
+    pub skip_preflight: bool,
+}
+
+/// Configuration of `leopard lint-history`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LintHistoryConfig {
+    /// Capture file to analyze.
+    pub file: String,
+    /// Emit the report as JSON instead of human-readable text.
+    pub json: bool,
 }
 
 /// Parse failure.
@@ -175,6 +196,7 @@ pub fn parse_args(argv: &[String]) -> Result<Command, ParseError> {
                 level: IsolationLevel::Serializable,
                 skew_bound: 0,
                 no_gc: false,
+                skip_preflight: false,
             };
             let mut it = argv[1..].iter();
             while let Some(arg) = it.next() {
@@ -182,6 +204,7 @@ pub fn parse_args(argv: &[String]) -> Result<Command, ParseError> {
                     "--level" => cfg.level = parse_level(&want::<String>(arg, it.next())?)?,
                     "--skew-bound" => cfg.skew_bound = want(arg, it.next())?,
                     "--no-gc" => cfg.no_gc = true,
+                    "--skip-preflight" => cfg.skip_preflight = true,
                     flag if flag.starts_with("--") => {
                         return Err(ParseError(format!("unknown flag `{flag}`")))
                     }
@@ -194,6 +217,27 @@ pub fn parse_args(argv: &[String]) -> Result<Command, ParseError> {
             }
             cfg.file = file.ok_or_else(|| ParseError("verify needs a capture file".into()))?;
             Ok(Command::Verify(cfg))
+        }
+        "lint-history" => {
+            let mut file = None;
+            let mut json = false;
+            let mut it = argv[1..].iter();
+            for arg in &mut it {
+                match arg.as_str() {
+                    "--json" => json = true,
+                    flag if flag.starts_with("--") => {
+                        return Err(ParseError(format!("unknown flag `{flag}`")))
+                    }
+                    path => {
+                        if file.replace(path.to_string()).is_some() {
+                            return Err(ParseError("more than one capture file given".into()));
+                        }
+                    }
+                }
+            }
+            let file =
+                file.ok_or_else(|| ParseError("lint-history needs a capture file".into()))?;
+            Ok(Command::LintHistory(LintHistoryConfig { file, json }))
         }
         other => Err(ParseError(format!("unknown command `{other}`"))),
     }
@@ -218,9 +262,7 @@ mod tests {
             "record --workload tpcc --level rc --threads 8 --txns 100 --fault skip-lock --out t.jsonl",
         ))
         .unwrap();
-        let Command::Record(cfg) = cmd else {
-            panic!()
-        };
+        let Command::Record(cfg) = cmd else { panic!() };
         assert_eq!(cfg.workload, "tpcc");
         assert_eq!(cfg.level, IsolationLevel::ReadCommitted);
         assert_eq!(cfg.threads, 8);
@@ -237,6 +279,23 @@ mod tests {
         assert_eq!(cfg.file, "cap.jsonl");
         assert_eq!(cfg.level, IsolationLevel::SnapshotIsolation);
         assert_eq!(cfg.skew_bound, 500);
+        assert!(!cfg.skip_preflight);
+        let cmd = parse_args(&args("verify cap.jsonl --skip-preflight")).unwrap();
+        let Command::Verify(cfg) = cmd else { panic!() };
+        assert!(cfg.skip_preflight);
+    }
+
+    #[test]
+    fn lint_history_parses() {
+        assert!(parse_args(&args("lint-history")).is_err());
+        assert!(parse_args(&args("lint-history a.jsonl b.jsonl")).is_err());
+        assert!(parse_args(&args("lint-history a.jsonl --bogus")).is_err());
+        let cmd = parse_args(&args("lint-history cap.jsonl --json")).unwrap();
+        let Command::LintHistory(cfg) = cmd else {
+            panic!()
+        };
+        assert_eq!(cfg.file, "cap.jsonl");
+        assert!(cfg.json);
     }
 
     #[test]

@@ -1,8 +1,9 @@
 //! Implementations of the CLI subcommands.
 
-use crate::args::{RecordConfig, VerifyConfig};
+use crate::args::{LintHistoryConfig, RecordConfig, VerifyConfig};
 use leopard_core::{
-    CaptureHeader, CaptureReader, CaptureWriter, Verifier, VerifierConfig, CAPTURE_VERSION,
+    CaptureHeader, CaptureReader, CaptureWriter, PreflightAnalyzer, PreflightConfig,
+    PreflightReport, Verifier, VerifierConfig, CAPTURE_VERSION,
 };
 use leopard_db::{Database, DbConfig, FaultPlan};
 use leopard_workloads::{
@@ -109,8 +110,86 @@ pub fn record(cfg: &RecordConfig, out: &mut dyn Write) -> i32 {
     }
 }
 
+/// Streams a capture through the preflight analyzer. `Err` carries the
+/// process exit code for I/O or format failures.
+fn preflight_capture(path: &str, out: &mut dyn Write) -> Result<PreflightReport, i32> {
+    let file = match std::fs::File::open(path) {
+        Ok(f) => f,
+        Err(e) => {
+            let _ = writeln!(out, "error: cannot open {path}: {e}");
+            return Err(1);
+        }
+    };
+    let mut reader = match CaptureReader::new(file) {
+        Ok(r) => r,
+        Err(e) => {
+            let _ = writeln!(out, "error: {e}");
+            return Err(1);
+        }
+    };
+    let mut analyzer = PreflightAnalyzer::new(PreflightConfig::default());
+    for &(k, v) in &reader.header().preload.clone() {
+        analyzer.preload(k, v);
+    }
+    loop {
+        match reader.next_trace() {
+            Ok(Some(trace)) => analyzer.observe(&trace),
+            Ok(None) => break,
+            Err(e) => {
+                let _ = writeln!(out, "error: {e}");
+                return Err(1);
+            }
+        }
+    }
+    Ok(analyzer.finish())
+}
+
+/// `leopard lint-history`: run only the preflight analysis on a capture.
+pub fn lint_history(cfg: &LintHistoryConfig, out: &mut dyn Write) -> i32 {
+    let report = match preflight_capture(&cfg.file, out) {
+        Ok(r) => r,
+        Err(code) => return code,
+    };
+    if cfg.json {
+        match serde_json::to_string(&report) {
+            Ok(json) => {
+                let _ = writeln!(out, "{json}");
+            }
+            Err(e) => {
+                let _ = writeln!(out, "error: {e}");
+                return 1;
+            }
+        }
+    } else {
+        let _ = writeln!(out, "{report}");
+    }
+    if report.is_clean() {
+        0
+    } else {
+        3
+    }
+}
+
 /// `leopard verify`: audit a capture file.
 pub fn verify(cfg: &VerifyConfig, out: &mut dyn Write) -> i32 {
+    if cfg.skip_preflight {
+        let _ = writeln!(out, "preflight: skipped (--skip-preflight)");
+    } else {
+        let report = match preflight_capture(&cfg.file, out) {
+            Ok(r) => r,
+            Err(code) => return code,
+        };
+        let _ = writeln!(out, "{report}");
+        if report.has_errors() {
+            let _ = writeln!(
+                out,
+                "refusing to verify: the history failed preflight, so verification \
+                 verdicts would be untrustworthy (rerun with --skip-preflight to force)"
+            );
+            return 4;
+        }
+    }
+
     let file = match std::fs::File::open(&cfg.file) {
         Ok(f) => f,
         Err(e) => {
@@ -231,12 +310,25 @@ mod tests {
                 level: IsolationLevel::Serializable,
                 skew_bound: 0,
                 no_gc: false,
+                skip_preflight: false,
             },
             &mut out,
         );
         let text = String::from_utf8_lossy(&out);
         assert_eq!(code, 0, "{text}");
         assert!(text.contains("CLEAN"));
+
+        let mut out = Vec::new();
+        let code = lint_history(
+            &LintHistoryConfig {
+                file: path.clone(),
+                json: false,
+            },
+            &mut out,
+        );
+        let text = String::from_utf8_lossy(&out);
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("preflight: clean"));
         let _ = std::fs::remove_file(&path);
     }
 
@@ -270,6 +362,7 @@ mod tests {
                 level: IsolationLevel::RepeatableRead,
                 skew_bound: 0,
                 no_gc: false,
+                skip_preflight: false,
             },
             &mut out,
         );
@@ -288,10 +381,72 @@ mod tests {
                 level: IsolationLevel::Serializable,
                 skew_bound: 0,
                 no_gc: false,
+                skip_preflight: false,
             },
             &mut out,
         );
         assert_eq!(code, 1);
+    }
+
+    #[test]
+    fn verify_refuses_broken_history_unless_skipped() {
+        use leopard_core::{CaptureHeader, CaptureWriter, TraceBuilder, CAPTURE_VERSION};
+
+        // A history with a phantom read (H006): value 777 never written.
+        let mut b = TraceBuilder::new();
+        b.read(10, 12, 0, 1, vec![(1, 777)]);
+        b.commit(13, 15, 0, 1);
+        let header = CaptureHeader {
+            version: CAPTURE_VERSION,
+            description: "hand-built broken history".to_string(),
+            preload: vec![],
+        };
+        let path = tmp("broken");
+        let file = std::fs::File::create(&path).unwrap();
+        let mut writer = CaptureWriter::new(file, &header).unwrap();
+        for trace in b.build() {
+            writer.write(&trace).unwrap();
+        }
+        writer.finish().unwrap();
+
+        let base = VerifyConfig {
+            file: path.clone(),
+            level: IsolationLevel::Serializable,
+            skew_bound: 0,
+            no_gc: false,
+            skip_preflight: false,
+        };
+        let mut out = Vec::new();
+        let code = verify(&base, &mut out);
+        let text = String::from_utf8_lossy(&out);
+        assert_eq!(code, 4, "{text}");
+        assert!(text.contains("H006"));
+        assert!(text.contains("refusing to verify"));
+
+        let mut out = Vec::new();
+        let code = verify(
+            &VerifyConfig {
+                skip_preflight: true,
+                ..base
+            },
+            &mut out,
+        );
+        let text = String::from_utf8_lossy(&out);
+        assert_ne!(code, 4, "{text}");
+        assert!(text.contains("preflight: skipped"));
+
+        let mut out = Vec::new();
+        let code = lint_history(
+            &LintHistoryConfig {
+                file: path.clone(),
+                json: true,
+            },
+            &mut out,
+        );
+        let text = String::from_utf8_lossy(&out);
+        assert_eq!(code, 3, "{text}");
+        assert!(text.contains("\"H006\""));
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

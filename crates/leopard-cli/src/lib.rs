@@ -1,17 +1,19 @@
 //! Library backing the `leopard` command-line tool.
 //!
-//! Three subcommands:
+//! Four subcommands:
 //!
 //! * `record` — run a bundled workload against the bundled engine (with
 //!   optional fault injection) and write a capture file;
 //! * `verify` — audit a capture file at a chosen isolation level or DBMS
-//!   profile;
+//!   profile; a history preflight pass (H001–H006) runs first and refuses
+//!   error-severity histories with exit code 4 unless `--skip-preflight`;
+//! * `lint-history` — run only the preflight analysis, human or `--json`;
 //! * `catalog` — print the Fig. 1 mechanism catalog.
 //!
 //! Argument parsing is hand-rolled (`--key value` pairs) to stay inside
 //! the approved dependency set.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod args;
@@ -25,6 +27,7 @@ pub fn run(argv: &[String], out: &mut dyn std::io::Write) -> i32 {
     match parse_args(argv) {
         Ok(Command::Record(cfg)) => commands::record(&cfg, out),
         Ok(Command::Verify(cfg)) => commands::verify(&cfg, out),
+        Ok(Command::LintHistory(cfg)) => commands::lint_history(&cfg, out),
         Ok(Command::Catalog) => commands::catalog(out),
         Ok(Command::Help) => {
             let _ = writeln!(out, "{}", args::USAGE);

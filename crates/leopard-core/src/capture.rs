@@ -51,7 +51,10 @@ impl std::fmt::Display for CaptureError {
             }
             CaptureError::MissingHeader => f.write_str("capture file has no header line"),
             CaptureError::UnsupportedVersion(v) => {
-                write!(f, "unsupported capture version {v} (supported: {CAPTURE_VERSION})")
+                write!(
+                    f,
+                    "unsupported capture version {v} (supported: {CAPTURE_VERSION})"
+                )
             }
         }
     }
@@ -76,8 +79,10 @@ impl<W: Write> CaptureWriter<W> {
     /// Creates a writer and emits the header line.
     pub fn new(sink: W, header: &CaptureHeader) -> Result<CaptureWriter<W>, CaptureError> {
         let mut out = BufWriter::new(sink);
-        serde_json::to_writer(&mut out, header)
-            .map_err(|e| CaptureError::Format { line: 1, message: e.to_string() })?;
+        serde_json::to_writer(&mut out, header).map_err(|e| CaptureError::Format {
+            line: 1,
+            message: e.to_string(),
+        })?;
         out.write_all(b"\n")?;
         Ok(CaptureWriter {
             out,
@@ -223,7 +228,10 @@ mod tests {
             ..sample_header()
         };
         let mut bytes = Vec::new();
-        CaptureWriter::new(&mut bytes, &header).unwrap().finish().unwrap();
+        CaptureWriter::new(&mut bytes, &header)
+            .unwrap()
+            .finish()
+            .unwrap();
         let err = CaptureReader::new(bytes.as_slice()).unwrap_err();
         assert!(matches!(err, CaptureError::UnsupportedVersion(99)));
     }
@@ -258,6 +266,8 @@ mod tests {
     #[test]
     fn display_messages_are_informative() {
         assert!(CaptureError::MissingHeader.to_string().contains("header"));
-        assert!(CaptureError::UnsupportedVersion(7).to_string().contains('7'));
+        assert!(CaptureError::UnsupportedVersion(7)
+            .to_string()
+            .contains('7'));
     }
 }

@@ -150,12 +150,7 @@ impl DbmsProfile {
     }
 }
 
-fn set(
-    cr: Option<SnapshotLevel>,
-    me: bool,
-    fuw: bool,
-    sc: Option<CertifierRule>,
-) -> MechanismSet {
+fn set(cr: Option<SnapshotLevel>, me: bool, fuw: bool, sc: Option<CertifierRule>) -> MechanismSet {
     MechanismSet {
         consistent_read: cr,
         mutual_exclusion: me,
@@ -307,7 +302,10 @@ mod tests {
     #[test]
     fn catalog_matches_figure_1_highlights() {
         let cat = catalog();
-        let pg = cat.iter().find(|p| p.name.starts_with("PostgreSQL")).unwrap();
+        let pg = cat
+            .iter()
+            .find(|p| p.name.starts_with("PostgreSQL"))
+            .unwrap();
         let sr = pg.mechanisms_for(IsolationLevel::Serializable).unwrap();
         assert_eq!(sr.active_mechanisms().len(), 4);
 

@@ -45,7 +45,7 @@
 //! assert!(outcome.report.is_clean());
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod capture;
@@ -54,6 +54,7 @@ pub mod fxhash;
 pub mod interval;
 pub mod online;
 pub mod pipeline;
+pub mod preflight;
 pub mod report;
 pub mod stats;
 pub mod trace;
@@ -61,10 +62,15 @@ pub mod types;
 pub mod verify;
 
 pub use capture::{CaptureError, CaptureHeader, CaptureReader, CaptureWriter, CAPTURE_VERSION};
-pub use catalog::{catalog, CertifierRule, DbmsProfile, IsolationLevel, MechanismSet, SnapshotLevel};
+pub use catalog::{
+    catalog, CertifierRule, DbmsProfile, IsolationLevel, MechanismSet, SnapshotLevel,
+};
 pub use interval::{Interval, PairOrder};
 pub use online::OnlineLeopard;
 pub use pipeline::{ChannelTracer, ClientHandle, PipelineConfig, PipelineStats, TwoLevelPipeline};
+pub use preflight::{
+    DiagCode, Diagnostic, PreflightAnalyzer, PreflightConfig, PreflightReport, Severity,
+};
 pub use report::{BugReport, Mechanism, Violation};
 pub use stats::{DeductionStats, DepCounts, DepKind};
 pub use trace::{OpKind, Trace, TraceBuilder};

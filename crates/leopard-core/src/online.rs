@@ -163,7 +163,12 @@ mod tests {
             TxnId(1),
             OpKind::Read(vec![(Key(1), Value(99))]),
         ));
-        handle.record(Trace::new(iv(13, 15), ClientId(0), TxnId(1), OpKind::Commit));
+        handle.record(Trace::new(
+            iv(13, 15),
+            ClientId(0),
+            TxnId(1),
+            OpKind::Commit,
+        ));
         drop(handle);
         let outcome = leopard.finish();
         assert_eq!(outcome.report.violations.len(), 1);

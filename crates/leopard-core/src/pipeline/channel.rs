@@ -76,14 +76,20 @@ impl ChannelTracer {
                         if let Err(e) = self.pipeline.push(i, trace) {
                             self.errors.push(e);
                             self.disconnected[i] = true;
-                            self.pipeline.close(i).expect("valid client index");
+                            // Index is valid by construction (enumerate over
+                            // receivers); record defensively rather than panic.
+                            if let Err(e) = self.pipeline.close(i) {
+                                self.errors.push(e);
+                            }
                             break;
                         }
                     }
                     Err(TryRecvError::Empty) => break,
                     Err(TryRecvError::Disconnected) => {
                         self.disconnected[i] = true;
-                        self.pipeline.close(i).expect("valid client index");
+                        if let Err(e) = self.pipeline.close(i) {
+                            self.errors.push(e);
+                        }
                         break;
                     }
                 }

@@ -264,7 +264,10 @@ impl TwoLevelPipeline {
     /// (in which case everything in the heap is dispatchable).
     #[must_use]
     pub fn watermark(&self) -> Option<Timestamp> {
-        self.locals.iter().filter_map(LocalBuffer::lower_bound).min()
+        self.locals
+            .iter()
+            .filter_map(LocalBuffer::lower_bound)
+            .min()
     }
 
     /// Tries to dispatch the next trace in global `ts_bef` order.
@@ -275,7 +278,11 @@ impl TwoLevelPipeline {
     pub fn try_dispatch(&mut self) -> Option<Trace> {
         loop {
             if self.heap_top_dispatchable() {
-                let Reverse(entry) = self.heap.pop().expect("checked non-empty");
+                // `heap_top_dispatchable` returned true, so the heap is
+                // non-empty; degrade to "nothing provable" otherwise.
+                let Some(Reverse(entry)) = self.heap.pop() else {
+                    return None;
+                };
                 self.stats.dispatched += 1;
                 debug_assert!(
                     entry.trace.ts_bef() >= self.last_dispatched,
@@ -301,11 +308,7 @@ impl TwoLevelPipeline {
     /// global) is empty.
     #[must_use]
     pub fn is_exhausted(&self) -> bool {
-        self.heap.is_empty()
-            && self
-                .locals
-                .iter()
-                .all(|l| l.closed && l.queue.is_empty())
+        self.heap.is_empty() && self.locals.iter().all(|l| l.closed && l.queue.is_empty())
     }
 
     /// Progress and occupancy counters.

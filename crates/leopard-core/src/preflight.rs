@@ -1,0 +1,606 @@
+//! History preflight: static analysis of a captured history *before*
+//! verification (level 2 of the repo's static-analysis story).
+//!
+//! A verifier's verdict is only meaningful if its input history is
+//! well-formed: Elle is explicit that checkers silently mis-verify when the
+//! unique-writes assumption or session well-formedness is broken, and Vbox
+//! front-loads the same kind of validity checks before certifying. This
+//! module mirrors that discipline for Leopard. It streams over a capture and
+//! emits structured [`Diagnostic`]s, each tagged with a stable code:
+//!
+//! | Code | Severity | Meaning |
+//! |------|----------|---------|
+//! | H001 | error    | interval is inverted (`ts_bef > ts_aft`) |
+//! | H002 | error    | per-client `ts_bef` went backwards (Theorem 1 precondition) |
+//! | H003 | error/warning | duplicate terminal op (error) / transaction never terminated (warning) |
+//! | H004 | error    | operation observed after the transaction's commit/abort |
+//! | H005 | warning  | unique-writes assumption broken: same `(key, value)` installed twice |
+//! | H006 | error    | a read observed a `(key, value)` that nothing ever wrote or preloaded |
+//!
+//! Severity semantics: an **error** means verification verdicts on this
+//! history are untrustworthy (the capture pipeline or clock is broken); a
+//! **warning** means verdicts may be ambiguous (e.g. H005 arises legitimately
+//! from workloads that install constant values, like SmallBank's
+//! `amalgamate`, and merely widens candidate sets — the paper's Fig. 13
+//! deduction ambiguity).
+//!
+//! The analyzer follows the same streaming shape as [`crate::verify::Verifier`]:
+//! `preload` initial state, `observe` each trace in dispatch order, `finish`
+//! for the report. H006 is deferred to `finish` so that a write whose trace
+//! appears later in the stream (legal under interval overlap) still
+//! justifies an earlier read.
+
+use crate::fxhash::{FxHashMap, FxHashSet};
+use crate::trace::{OpKind, Trace};
+use crate::types::{ClientId, Key, Timestamp, TxnId, Value};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Stable diagnostic codes for history preflight findings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(clippy::upper_case_acronyms)]
+pub enum DiagCode {
+    /// Inverted interval: `ts_bef > ts_aft`.
+    H001,
+    /// Per-client timestamp monotonicity violated.
+    H002,
+    /// Duplicate or missing terminal operation.
+    H003,
+    /// Operation after the transaction terminated.
+    H004,
+    /// Unique-writes assumption broken.
+    H005,
+    /// Read observed a never-written value.
+    H006,
+}
+
+impl fmt::Display for DiagCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// How bad a diagnostic is for downstream verification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Severity {
+    /// Verification verdicts may be ambiguous but are not invalidated.
+    Warning,
+    /// Verification verdicts on this history cannot be trusted.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => f.write_str("warning"),
+            Severity::Error => f.write_str("error"),
+        }
+    }
+}
+
+/// One preflight finding.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Diagnostic {
+    /// Stable code (`H001`..`H006`).
+    pub code: DiagCode,
+    /// Whether verification can proceed meaningfully.
+    pub severity: Severity,
+    /// The transaction the offending trace belongs to.
+    pub txn: TxnId,
+    /// 1-based position of the offending trace in the dispatched stream
+    /// (line `op + 1` of a capture file, after the header).
+    pub op: usize,
+    /// Human-readable explanation with the concrete evidence.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}] op #{} {}: {}",
+            self.code, self.severity, self.op, self.txn, self.message
+        )
+    }
+}
+
+/// Tuning knobs for the preflight analyzer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PreflightConfig {
+    /// Stop recording after this many diagnostics (the stream is still
+    /// consumed; the report notes truncation). Guards against a hopelessly
+    /// broken capture producing one diagnostic per line.
+    pub max_diagnostics: usize,
+}
+
+impl Default for PreflightConfig {
+    fn default() -> PreflightConfig {
+        PreflightConfig {
+            max_diagnostics: 1000,
+        }
+    }
+}
+
+/// Outcome of a preflight pass.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PreflightReport {
+    /// Findings in stream order (H003-missing and H006 findings, which are
+    /// only decidable at end of stream, come last).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of traces analyzed.
+    pub traces: usize,
+    /// Number of distinct transactions observed.
+    pub txns: usize,
+    /// `true` if `max_diagnostics` was hit and findings were dropped.
+    pub truncated: bool,
+}
+
+impl PreflightReport {
+    /// `true` when no diagnostics of any severity were produced.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty() && !self.truncated
+    }
+
+    /// Number of error-severity diagnostics.
+    #[must_use]
+    pub fn error_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    /// Number of warning-severity diagnostics.
+    #[must_use]
+    pub fn warning_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+            .count()
+    }
+
+    /// `true` when the history is too broken for verification verdicts to
+    /// be trusted (any error-severity diagnostic).
+    #[must_use]
+    pub fn has_errors(&self) -> bool {
+        self.error_count() > 0
+    }
+
+    /// Diagnostics bearing a specific code.
+    pub fn with_code(&self, code: DiagCode) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(move |d| d.code == code)
+    }
+}
+
+impl fmt::Display for PreflightReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            return write!(
+                f,
+                "preflight: clean ({} traces, {} txns)",
+                self.traces, self.txns
+            );
+        }
+        writeln!(
+            f,
+            "preflight: {} error(s), {} warning(s) over {} traces, {} txns{}",
+            self.error_count(),
+            self.warning_count(),
+            self.traces,
+            self.txns,
+            if self.truncated { " (truncated)" } else { "" }
+        )?;
+        for d in &self.diagnostics {
+            writeln!(f, "  {d}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Per-transaction bookkeeping.
+#[derive(Debug)]
+struct TxnState {
+    /// Position of the terminal op, if one was seen, and whether it was a
+    /// commit (`true`) or abort.
+    terminal: Option<(usize, bool)>,
+}
+
+/// Streaming preflight analyzer. See the module docs for the checks.
+#[derive(Debug, Default)]
+pub struct PreflightAnalyzer {
+    config: PreflightConfig,
+    seq: usize,
+    dropped: bool,
+    diags: Vec<Diagnostic>,
+    /// Last `ts_bef` seen per client, with the position that set it.
+    client_clock: FxHashMap<ClientId, (Timestamp, usize)>,
+    txns: FxHashMap<TxnId, TxnState>,
+    /// `(key, value)` pairs installed by writes, with the installing txn.
+    installed: FxHashMap<(Key, Value), TxnId>,
+    /// Preloaded initial state.
+    preloaded: FxHashSet<(Key, Value)>,
+    /// Reads not yet justified by a write or preload; re-checked at finish.
+    pending_reads: Vec<(TxnId, usize, Key, Value)>,
+}
+
+impl PreflightAnalyzer {
+    /// New analyzer with the given configuration.
+    #[must_use]
+    pub fn new(config: PreflightConfig) -> PreflightAnalyzer {
+        PreflightAnalyzer {
+            config,
+            ..PreflightAnalyzer::default()
+        }
+    }
+
+    /// Registers one initial `(key, value)` pair (mirrors
+    /// [`crate::verify::Verifier::preload`]).
+    pub fn preload(&mut self, key: Key, value: Value) {
+        self.preloaded.insert((key, value));
+    }
+
+    fn emit(&mut self, code: DiagCode, severity: Severity, txn: TxnId, op: usize, message: String) {
+        if self.diags.len() >= self.config.max_diagnostics {
+            self.dropped = true;
+            return;
+        }
+        self.diags.push(Diagnostic {
+            code,
+            severity,
+            txn,
+            op,
+            message,
+        });
+    }
+
+    /// Analyzes the next trace of the dispatched stream.
+    pub fn observe(&mut self, trace: &Trace) {
+        self.seq += 1;
+        let seq = self.seq;
+        let txn = trace.txn;
+
+        // H001: interval sanity. `Interval::new` normalizes inverted bounds,
+        // but deserialized captures bypass it, so raw field order is checked.
+        if trace.interval.lo > trace.interval.hi {
+            self.emit(
+                DiagCode::H001,
+                Severity::Error,
+                txn,
+                seq,
+                format!(
+                    "inverted interval: ts_bef {} > ts_aft {}",
+                    trace.interval.lo.0, trace.interval.hi.0
+                ),
+            );
+        }
+
+        // H002: per-client ts_bef monotonicity (pipeline Theorem 1
+        // precondition — same comparison as `TwoLevelPipeline::push`).
+        match self.client_clock.get(&trace.client) {
+            Some(&(last, at)) if trace.ts_bef() < last => {
+                self.emit(
+                    DiagCode::H002,
+                    Severity::Error,
+                    txn,
+                    seq,
+                    format!(
+                        "client {} ts_bef {} went backwards (op #{at} had {})",
+                        trace.client.0,
+                        trace.ts_bef().0,
+                        last.0
+                    ),
+                );
+            }
+            _ => {
+                self.client_clock
+                    .insert(trace.client, (trace.ts_bef(), seq));
+            }
+        }
+
+        // H003 (duplicate) / H004 (op after terminal).
+        let state = self.txns.entry(txn).or_insert(TxnState { terminal: None });
+        match (&trace.op, state.terminal) {
+            (OpKind::Commit | OpKind::Abort, Some((at, was_commit))) => {
+                let dup = trace.op.tag();
+                let prev = if was_commit { "c" } else { "a" };
+                self.emit(
+                    DiagCode::H003,
+                    Severity::Error,
+                    txn,
+                    seq,
+                    format!(
+                        "duplicate terminal `{dup}` (already terminated with `{prev}` at op #{at})"
+                    ),
+                );
+            }
+            (OpKind::Commit, None) => state.terminal = Some((seq, true)),
+            (OpKind::Abort, None) => state.terminal = Some((seq, false)),
+            (_, Some((at, was_commit))) => {
+                let tag = trace.op.tag();
+                let prev = if was_commit { "commit" } else { "abort" };
+                self.emit(
+                    DiagCode::H004,
+                    Severity::Error,
+                    txn,
+                    seq,
+                    format!("`{tag}` operation after the transaction's {prev} (op #{at})"),
+                );
+            }
+            (_, None) => {}
+        }
+
+        // H005 (unique writes) / H006 (reads, deferred).
+        match &trace.op {
+            OpKind::Write(set) => {
+                for &(key, value) in set {
+                    if let Some(&owner) = self.installed.get(&(key, value)) {
+                        self.emit(
+                            DiagCode::H005,
+                            Severity::Warning,
+                            txn,
+                            seq,
+                            format!(
+                                "{key}={value} installed twice (first by {owner}); \
+                                 unique-writes assumption broken, deduction may be ambiguous"
+                            ),
+                        );
+                    } else {
+                        self.installed.insert((key, value), txn);
+                    }
+                }
+            }
+            OpKind::Read(set) | OpKind::LockedRead(set) => {
+                for &(key, value) in set {
+                    if !self.preloaded.contains(&(key, value))
+                        && !self.installed.contains_key(&(key, value))
+                    {
+                        self.pending_reads.push((txn, seq, key, value));
+                    }
+                }
+            }
+            OpKind::Commit | OpKind::Abort => {}
+        }
+    }
+
+    /// Ends the stream: settles deferred H006 checks and H003 missing
+    /// terminals, and returns the report.
+    #[must_use]
+    pub fn finish(mut self) -> PreflightReport {
+        // H006: a read is justified by any write anywhere in the stream or
+        // by preloaded state; anything else observed a phantom value.
+        let pending = std::mem::take(&mut self.pending_reads);
+        for (txn, seq, key, value) in pending {
+            if !self.installed.contains_key(&(key, value)) {
+                self.emit(
+                    DiagCode::H006,
+                    Severity::Error,
+                    txn,
+                    seq,
+                    format!(
+                        "read observed {key}={value}, which no write installed and \
+                         the preload does not contain"
+                    ),
+                );
+            }
+        }
+
+        // H003 (missing terminal): common in truncated captures; verdicts
+        // stay sound (open txns never install versions) but coverage drops,
+        // so this is a warning.
+        let mut open: Vec<TxnId> = self
+            .txns
+            .iter()
+            .filter(|(_, s)| s.terminal.is_none())
+            .map(|(&id, _)| id)
+            .collect();
+        open.sort_unstable();
+        for txn in open {
+            self.emit(
+                DiagCode::H003,
+                Severity::Warning,
+                txn,
+                self.seq,
+                "transaction never terminated (no commit/abort in the capture)".to_string(),
+            );
+        }
+
+        PreflightReport {
+            traces: self.seq,
+            txns: self.txns.len(),
+            truncated: self.dropped,
+            diagnostics: std::mem::take(&mut self.diags),
+        }
+    }
+
+    /// Convenience: runs a full pass over an in-memory history.
+    #[must_use]
+    pub fn analyze<'a>(
+        config: PreflightConfig,
+        preload: impl IntoIterator<Item = (Key, Value)>,
+        traces: impl IntoIterator<Item = &'a Trace>,
+    ) -> PreflightReport {
+        let mut analyzer = PreflightAnalyzer::new(config);
+        for (k, v) in preload {
+            analyzer.preload(k, v);
+        }
+        for t in traces {
+            analyzer.observe(t);
+        }
+        analyzer.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interval::Interval;
+    use crate::trace::TraceBuilder;
+
+    fn run(traces: &[Trace]) -> PreflightReport {
+        PreflightAnalyzer::analyze(PreflightConfig::default(), [(Key(1), Value(0))], traces)
+    }
+
+    fn codes(report: &PreflightReport) -> Vec<DiagCode> {
+        report.diagnostics.iter().map(|d| d.code).collect()
+    }
+
+    /// A well-formed two-txn history.
+    fn clean_history() -> Vec<Trace> {
+        let mut b = TraceBuilder::new();
+        b.write(10, 12, 0, 1, vec![(1, 42)]);
+        b.commit(13, 15, 0, 1);
+        b.read(20, 22, 1, 2, vec![(1, 42)]);
+        b.commit(23, 25, 1, 2);
+        b.build()
+    }
+
+    #[test]
+    fn clean_history_has_no_diagnostics() {
+        let report = run(&clean_history());
+        assert!(report.is_clean(), "unexpected: {report}");
+        assert_eq!(report.traces, 4);
+        assert_eq!(report.txns, 2);
+    }
+
+    #[test]
+    fn h001_inverted_interval() {
+        let mut traces = clean_history();
+        // Bypass Interval::new's normalization, as a malformed capture would.
+        traces[0].interval = Interval {
+            lo: Timestamp(12),
+            hi: Timestamp(10),
+        };
+        let report = run(&traces);
+        assert!(codes(&report).contains(&DiagCode::H001));
+        assert!(report.has_errors());
+    }
+
+    #[test]
+    fn h002_client_clock_goes_backwards() {
+        let mut b = TraceBuilder::new();
+        b.write(10, 12, 0, 1, vec![(1, 42)]);
+        b.commit(8, 9, 0, 1); // ts_bef jumped back on client 0
+        let report = run(&b.build());
+        let h002: Vec<_> = report.with_code(DiagCode::H002).collect();
+        assert_eq!(h002.len(), 1);
+        assert_eq!(h002[0].op, 2);
+        assert_eq!(h002[0].txn, TxnId(1));
+    }
+
+    #[test]
+    fn h003_duplicate_terminal_is_error() {
+        let mut b = TraceBuilder::new();
+        b.write(10, 12, 0, 1, vec![(1, 42)]);
+        b.commit(13, 15, 0, 1);
+        b.abort(16, 17, 0, 1);
+        let report = run(&b.build());
+        let h003: Vec<_> = report.with_code(DiagCode::H003).collect();
+        assert_eq!(h003.len(), 1);
+        assert_eq!(h003[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn h003_missing_terminal_is_warning() {
+        let mut b = TraceBuilder::new();
+        b.write(10, 12, 0, 1, vec![(1, 42)]);
+        let report = run(&b.build());
+        let h003: Vec<_> = report.with_code(DiagCode::H003).collect();
+        assert_eq!(h003.len(), 1);
+        assert_eq!(h003[0].severity, Severity::Warning);
+        assert!(
+            !report.has_errors(),
+            "missing terminal must not gate verify"
+        );
+    }
+
+    #[test]
+    fn h004_operation_after_commit() {
+        let mut b = TraceBuilder::new();
+        b.write(10, 12, 0, 1, vec![(1, 42)]);
+        b.commit(13, 15, 0, 1);
+        b.read(20, 22, 0, 1, vec![(1, 42)]);
+        let report = run(&b.build());
+        let h004: Vec<_> = report.with_code(DiagCode::H004).collect();
+        assert_eq!(h004.len(), 1);
+        assert_eq!(h004[0].op, 3);
+    }
+
+    #[test]
+    fn h005_duplicate_install_is_warning() {
+        let mut b = TraceBuilder::new();
+        b.write(10, 12, 0, 1, vec![(1, 42)]);
+        b.commit(13, 15, 0, 1);
+        b.write(20, 22, 1, 2, vec![(1, 42)]); // same (key, value) again
+        b.commit(23, 25, 1, 2);
+        let report = run(&b.build());
+        let h005: Vec<_> = report.with_code(DiagCode::H005).collect();
+        assert_eq!(h005.len(), 1);
+        assert_eq!(h005[0].severity, Severity::Warning);
+        assert_eq!(h005[0].txn, TxnId(2));
+        assert!(!report.has_errors());
+    }
+
+    #[test]
+    fn h006_read_of_phantom_value() {
+        let mut b = TraceBuilder::new();
+        b.read(20, 22, 1, 2, vec![(1, 777)]); // 777 never written or preloaded
+        b.commit(23, 25, 1, 2);
+        let report = run(&b.build());
+        let h006: Vec<_> = report.with_code(DiagCode::H006).collect();
+        assert_eq!(h006.len(), 1);
+        assert_eq!(h006[0].op, 1);
+        assert!(report.has_errors());
+    }
+
+    #[test]
+    fn h006_justified_by_later_overlapping_write() {
+        // The read's trace lands in the stream before the write's trace
+        // (overlapping intervals, smaller ts_bef) — still justified.
+        let mut b = TraceBuilder::new();
+        b.read(10, 30, 0, 1, vec![(1, 42)]);
+        b.write(11, 13, 1, 2, vec![(1, 42)]);
+        b.commit(14, 15, 1, 2);
+        b.commit(31, 32, 0, 1);
+        let report = run(&b.build());
+        assert!(codes(&report).is_empty(), "unexpected: {report}");
+    }
+
+    #[test]
+    fn preloaded_values_justify_reads() {
+        let mut b = TraceBuilder::new();
+        b.read(10, 12, 0, 1, vec![(1, 0)]); // preload has (k1, v0)
+        b.commit(13, 14, 0, 1);
+        let report = run(&b.build());
+        assert!(report.is_clean(), "unexpected: {report}");
+    }
+
+    #[test]
+    fn truncation_is_reported() {
+        let mut b = TraceBuilder::new();
+        for i in 0..10 {
+            // ten independent phantom reads
+            b.read(10 + i, 12 + i, 0, 1, vec![(90 + i, 900 + i)]);
+        }
+        b.commit(40, 41, 0, 1);
+        let report =
+            PreflightAnalyzer::analyze(PreflightConfig { max_diagnostics: 3 }, [], &b.build());
+        assert_eq!(report.diagnostics.len(), 3);
+        assert!(report.truncated);
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn diagnostics_serialize_to_json() {
+        let mut traces = clean_history();
+        traces[0].interval = Interval {
+            lo: Timestamp(12),
+            hi: Timestamp(10),
+        };
+        let report = run(&traces);
+        let json = serde_json::to_string(&report).expect("report serializes");
+        assert!(json.contains("\"H001\""), "json: {json}");
+        let back: PreflightReport = serde_json::from_str(&json).expect("round-trips");
+        assert_eq!(back.diagnostics, report.diagnostics);
+    }
+}

@@ -100,8 +100,7 @@ impl fmt::Display for Trace {
             self.txn,
             match &self.op {
                 OpKind::Read(set) | OpKind::LockedRead(set) | OpKind::Write(set) => {
-                    let items: Vec<String> =
-                        set.iter().map(|(k, v)| format!("{k}={v}")).collect();
+                    let items: Vec<String> = set.iter().map(|(k, v)| format!("{k}={v}")).collect();
                     format!("({})", items.join(","))
                 }
                 _ => String::new(),
@@ -175,8 +174,7 @@ impl TraceBuilder {
     /// order in which the pipeline would dispatch them.
     #[must_use]
     pub fn build_sorted(mut self) -> Vec<Trace> {
-        self.traces
-            .sort_by_key(|t| (t.ts_bef(), t.ts_aft(), t.txn));
+        self.traces.sort_by_key(|t| (t.ts_bef(), t.ts_aft(), t.txn));
         self.traces
     }
 

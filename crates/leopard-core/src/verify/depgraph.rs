@@ -100,7 +100,9 @@ impl DepGraph {
         let bit = kind_bit(kind);
         let was_new_pair;
         {
-            let from_node = self.nodes.get_mut(&from).expect("checked");
+            let Some(from_node) = self.nodes.get_mut(&from) else {
+                return None;
+            };
             let entry = from_node.out.entry(to).or_insert(0);
             if *entry & bit != 0 {
                 return None; // duplicate edge of the same kind
@@ -110,7 +112,9 @@ impl DepGraph {
         }
         if was_new_pair {
             self.edge_count += 1;
-            self.nodes.get_mut(&to).expect("checked").in_degree += 1;
+            if let Some(to_node) = self.nodes.get_mut(&to) {
+                to_node.in_degree += 1;
+            }
         }
         match rule {
             None => None,
@@ -131,12 +135,10 @@ impl DepGraph {
         if !self.certainly_concurrent(from, to) {
             return None;
         }
-        {
-            let f = self.nodes.get_mut(&from).expect("endpoint exists");
+        if let Some(f) = self.nodes.get_mut(&from) {
             f.out_rw_concurrent = Some(to);
         }
-        {
-            let t = self.nodes.get_mut(&to).expect("endpoint exists");
+        if let Some(t) = self.nodes.get_mut(&to) {
             t.in_rw_concurrent = Some(from);
         }
         // Either endpoint may have become the pivot.
@@ -232,7 +234,9 @@ impl DepGraph {
                 return removed;
             }
             for id in garbage {
-                let node = self.nodes.remove(&id).expect("listed above");
+                let Some(node) = self.nodes.remove(&id) else {
+                    continue;
+                };
                 self.edge_count -= node.out.len();
                 for succ in node.out.keys() {
                     if let Some(s) = self.nodes.get_mut(succ) {
@@ -284,9 +288,7 @@ mod tests {
     #[test]
     fn duplicate_edges_are_ignored() {
         let mut g = graph3();
-        assert!(g
-            .add_edge(TxnId(1), TxnId(2), DepKind::Ww, None)
-            .is_none());
+        assert!(g.add_edge(TxnId(1), TxnId(2), DepKind::Ww, None).is_none());
         g.add_edge(TxnId(1), TxnId(2), DepKind::Ww, None);
         assert_eq!(g.edge_count(), 1);
         // Different kind on the same pair is recorded but not double-counted.
@@ -298,10 +300,20 @@ mod tests {
     fn cycle_rule_detects_two_cycle() {
         let mut g = graph3();
         assert!(g
-            .add_edge(TxnId(1), TxnId(2), DepKind::Ww, Some(CertifierRule::AcyclicGraph))
+            .add_edge(
+                TxnId(1),
+                TxnId(2),
+                DepKind::Ww,
+                Some(CertifierRule::AcyclicGraph)
+            )
             .is_none());
         let v = g
-            .add_edge(TxnId(2), TxnId(1), DepKind::Rw, Some(CertifierRule::AcyclicGraph))
+            .add_edge(
+                TxnId(2),
+                TxnId(1),
+                DepKind::Rw,
+                Some(CertifierRule::AcyclicGraph),
+            )
             .expect("cycle expected");
         assert_eq!(v.pattern, "dependency-cycle");
         assert!(v.txns.contains(&TxnId(1)) && v.txns.contains(&TxnId(2)));
@@ -392,7 +404,12 @@ mod tests {
         g.prune(Timestamp(u64::MAX));
         assert_eq!(g.node_count(), 0);
         assert!(g
-            .add_edge(TxnId(1), TxnId(2), DepKind::Ww, Some(CertifierRule::AcyclicGraph))
+            .add_edge(
+                TxnId(1),
+                TxnId(2),
+                DepKind::Ww,
+                Some(CertifierRule::AcyclicGraph)
+            )
             .is_none());
         assert_eq!(g.edge_count(), 0);
     }
@@ -411,7 +428,12 @@ mod tests {
     fn self_edges_are_ignored() {
         let mut g = graph3();
         assert!(g
-            .add_edge(TxnId(1), TxnId(1), DepKind::Ww, Some(CertifierRule::AcyclicGraph))
+            .add_edge(
+                TxnId(1),
+                TxnId(1),
+                DepKind::Ww,
+                Some(CertifierRule::AcyclicGraph)
+            )
             .is_none());
         assert_eq!(g.edge_count(), 0);
     }

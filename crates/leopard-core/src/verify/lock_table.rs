@@ -67,10 +67,7 @@ impl LockTable {
     pub fn acquire(&mut self, key: Key, txn: TxnId, acquire: Interval) {
         self.dirty.insert(key);
         let entries = self.locks.entry(key).or_default();
-        if entries
-            .iter()
-            .any(|e| e.txn == txn && e.release.is_none())
-        {
+        if entries.iter().any(|e| e.txn == txn && e.release.is_none()) {
             return;
         }
         entries.push(LockEntry {
@@ -291,6 +288,8 @@ mod tests {
         lt.release_txn(TxnId(3), &[Key(1)], iv(23, 24), &mut out);
         // Pairs: (2 vs 1), (3 vs 1), (3 vs 2).
         assert_eq!(out.len(), 3);
-        assert!(out.iter().all(|(_, c)| matches!(c, LockCheck::Order { .. })));
+        assert!(out
+            .iter()
+            .all(|(_, c)| matches!(c, LockCheck::Order { .. })));
     }
 }

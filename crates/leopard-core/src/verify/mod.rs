@@ -22,7 +22,9 @@ mod version_store;
 pub use depgraph::{CertifierViolation, DepGraph};
 pub use lock_table::{LockCheck, LockEntry, LockTable};
 pub use txn_table::{MatchedRead, TxnInfo, TxnOutcome, TxnTable};
-pub use version_store::{ReadMatch, RecordVersions, VersionClass, VersionEntry, VersionStore, VersionUid};
+pub use version_store::{
+    ReadMatch, RecordVersions, VersionClass, VersionEntry, VersionStore, VersionUid,
+};
 
 use crate::catalog::{IsolationLevel, MechanismSet, SnapshotLevel};
 use crate::interval::{resolve_exclusive_pair, Interval, PairOrder};
@@ -104,7 +106,11 @@ impl Footprint {
     /// Total retained entries.
     #[must_use]
     pub fn total(&self) -> usize {
-        self.versions + self.locks + self.graph_nodes + self.graph_edges + self.txns
+        self.versions
+            + self.locks
+            + self.graph_nodes
+            + self.graph_edges
+            + self.txns
             + self.pending_checks
     }
 }
@@ -244,7 +250,7 @@ impl Verifier {
                 for &(key, value) in set {
                     if me {
                         self.locks.acquire(key, trace.txn, interval);
-                        let info = self.txns.get_mut(trace.txn).expect("observed above");
+                        let info = self.txns.observe(trace.txn, trace.client, interval);
                         if !info.locked_read_keys.contains(&key) {
                             info.locked_read_keys.push(key);
                         }
@@ -255,15 +261,17 @@ impl Verifier {
                 }
             }
             OpKind::Write(set) => {
-                self.txns.observe(trace.txn, trace.client, interval);
-                let snapshot = self.txns.get(trace.txn).expect("observed").first_op;
+                let snapshot = self
+                    .txns
+                    .observe(trace.txn, trace.client, interval)
+                    .first_op;
                 for &(key, value) in set {
                     self.versions
                         .install(key, value, trace.txn, interval, snapshot);
                     if me {
                         self.locks.acquire(key, trace.txn, interval);
                     }
-                    let info = self.txns.get_mut(trace.txn).expect("observed");
+                    let info = self.txns.observe(trace.txn, trace.client, interval);
                     if info.own_writes.insert(key, value).is_none() {
                         info.write_keys.push(key);
                     }
@@ -352,7 +360,9 @@ impl Verifier {
         force_statement: bool,
     ) {
         let Some(level) = cr else { return };
-        let info = self.txns.get(txn).expect("observed");
+        let Some(info) = self.txns.get(txn) else {
+            return;
+        };
 
         // Case 1 (§V-A): the operation sees changes made by earlier
         // operations within the same transaction.
@@ -394,12 +404,14 @@ impl Verifier {
     }
 
     fn flush_pending_reads(&mut self, up_to: Timestamp) {
-        while let Some(Reverse(front)) = self.pending_reads.peek() {
-            if front.due > up_to {
-                return;
+        while self
+            .pending_reads
+            .peek()
+            .is_some_and(|Reverse(front)| front.due <= up_to)
+        {
+            if let Some(Reverse(check)) = self.pending_reads.pop() {
+                self.run_read_check(&check);
             }
-            let Reverse(check) = self.pending_reads.pop().expect("peeked");
-            self.run_read_check(&check);
         }
     }
 
@@ -434,7 +446,9 @@ impl Verifier {
                         None => info.matched_reads.push(matched),
                         // Commit already processed (possible only with
                         // degenerate zero-width intervals): emit directly.
-                        Some(TxnOutcome::Committed(_)) => self.emit_matched_read(check.reader, &matched),
+                        Some(TxnOutcome::Committed(_)) => {
+                            self.emit_matched_read(check.reader, &matched)
+                        }
                         Some(TxnOutcome::Aborted(_)) => {}
                     }
                 }
@@ -479,7 +493,9 @@ impl Verifier {
     // ----- commit / abort ---------------------------------------------------
 
     fn handle_commit(&mut self, txn: TxnId, commit: Interval) {
-        let info = self.txns.get_mut(txn).expect("observed");
+        let Some(info) = self.txns.get_mut(txn) else {
+            return;
+        };
         if info.outcome.is_some() {
             return; // duplicate terminal trace: ignore
         }
@@ -555,10 +571,13 @@ impl Verifier {
             let my_uid = me_entry.uid;
             let my_install = me_entry.install;
             let my_snapshot = me_entry.writer_snapshot;
-            let my_commit = me_entry.visibility.expect("committed");
+            let Some(my_commit) = me_entry.visibility else {
+                return;
+            };
+            // An uncommitted neighbour resolves no order (`None`): no swap.
             let resolve_with = |other: &VersionEntry| {
-                let other_commit = other.visibility.expect("committed neighbour");
-                if me_spans {
+                let other_commit = other.visibility?;
+                Some(if me_spans {
                     resolve_exclusive_pair(&my_install, &my_commit, &other.install, &other_commit)
                 } else {
                     resolve_exclusive_pair(
@@ -567,14 +586,14 @@ impl Verifier {
                         &other.writer_snapshot,
                         &other_commit,
                     )
-                }
+                })
             };
             // Does the resolved order contradict the chain order?
             let mut swap_with = None;
             if let Some(p) = pred {
                 if p.txn != TxnId::INITIAL
                     && my_install.overlaps(&p.install)
-                    && resolve_with(p) == PairOrder::FirstThenSecond
+                    && resolve_with(p) == Some(PairOrder::FirstThenSecond)
                 {
                     // I certainly precede my chain predecessor: swap.
                     swap_with = Some(p.uid);
@@ -583,7 +602,7 @@ impl Verifier {
             if swap_with.is_none() {
                 if let Some(s) = succ {
                     if my_install.overlaps(&s.install)
-                        && resolve_with(s) == PairOrder::SecondThenFirst
+                        && resolve_with(s) == Some(PairOrder::SecondThenFirst)
                     {
                         // My chain successor certainly precedes me: swap.
                         swap_with = Some(s.uid);
@@ -600,7 +619,9 @@ impl Verifier {
     }
 
     fn handle_abort(&mut self, txn: TxnId, abort: Interval) {
-        let info = self.txns.get_mut(txn).expect("observed");
+        let Some(info) = self.txns.get_mut(txn) else {
+            return;
+        };
         if info.outcome.is_some() {
             return;
         }
@@ -640,14 +661,14 @@ impl Verifier {
     fn check_fuw(&mut self, txn: TxnId, key: Key, snapshot: Interval, commit: Interval) {
         let mut violations = Vec::new();
         for other in self.versions.committed_others(key, txn) {
-            let other_commit = other.visibility.expect("committed_others filters");
+            let Some(other_commit) = other.visibility else {
+                continue;
+            };
             match resolve_exclusive_pair(&snapshot, &commit, &other.writer_snapshot, &other_commit)
             {
-                PairOrder::CertainlyConcurrent => violations.push((
-                    other.txn,
-                    other.writer_snapshot,
-                    other_commit,
-                )),
+                PairOrder::CertainlyConcurrent => {
+                    violations.push((other.txn, other.writer_snapshot, other_commit))
+                }
                 // Serial orders: the ww dependency is recorded by version
                 // adjacency (link_version_adjacency); pairwise resolutions
                 // beyond adjacency are implied transitively.
@@ -679,10 +700,13 @@ impl Verifier {
                 return;
             };
             let my_install = me_entry.install;
-            let my_commit = me_entry.visibility.expect("committed");
+            let Some(my_commit) = me_entry.visibility else {
+                return;
+            };
             let my_snapshot = me_entry.writer_snapshot;
-            let plan_pair = |other: &VersionEntry, other_is_pred: bool| -> Planned {
-                let other_commit = other.visibility.expect("committed neighbour");
+            // `None` for an uncommitted neighbour: no ww edge to plan.
+            let plan_pair = |other: &VersionEntry, other_is_pred: bool| -> Option<Planned> {
+                let other_commit = other.visibility?;
                 let overlap = my_install.overlaps(&other.install);
                 let (from, to, bucket);
                 if !overlap {
@@ -752,16 +776,16 @@ impl Verifier {
                     to = other.txn;
                     bucket = 2;
                 }
-                Planned {
+                Some(Planned {
                     from,
                     to,
                     kind: DepKind::Ww,
                     bucket,
-                }
+                })
             };
             if let Some(pred) = pred {
                 if pred.txn != TxnId::INITIAL {
-                    planned.push(plan_pair(pred, true));
+                    planned.extend(plan_pair(pred, true));
                 } else {
                     planned.push(Planned {
                         from: TxnId::INITIAL,
@@ -790,7 +814,7 @@ impl Verifier {
             if let Some(succ) = succ {
                 // Out-of-order commit: this version's successor committed
                 // first, so the pair was never linked.
-                planned.push(plan_pair(succ, false));
+                planned.extend(plan_pair(succ, false));
             }
         }
         for p in planned {
@@ -854,7 +878,11 @@ mod tests {
     use super::*;
     use crate::trace::TraceBuilder;
 
-    fn verify_all(cfg: VerifierConfig, preload: &[(u64, u64)], traces: Vec<Trace>) -> VerifyOutcome {
+    fn verify_all(
+        cfg: VerifierConfig,
+        preload: &[(u64, u64)],
+        traces: Vec<Trace>,
+    ) -> VerifyOutcome {
         let mut v = Verifier::new(cfg);
         for &(k, val) in preload {
             v.preload(Key(k), Value(val));
@@ -892,7 +920,10 @@ mod tests {
         b.commit(23, 25, 1, 2);
         b.commit(30, 32, 0, 1);
         let out = verify_all(sr_cfg(), &[(1, 0)], b.build_sorted());
-        assert_eq!(out.report.count(crate::report::Mechanism::ConsistentRead), 1);
+        assert_eq!(
+            out.report.count(crate::report::Mechanism::ConsistentRead),
+            1
+        );
     }
 
     #[test]
@@ -905,7 +936,10 @@ mod tests {
         b.read(100, 102, 1, 2, vec![(1, 0)]);
         b.commit(103, 105, 1, 2);
         let out = verify_all(sr_cfg(), &[(1, 0)], b.build_sorted());
-        assert_eq!(out.report.count(crate::report::Mechanism::ConsistentRead), 1);
+        assert_eq!(
+            out.report.count(crate::report::Mechanism::ConsistentRead),
+            1
+        );
     }
 
     #[test]
@@ -922,7 +956,10 @@ mod tests {
         b.read(13, 15, 0, 1, vec![(1, 0)]); // lost own update
         b.commit(16, 18, 0, 1);
         let out = verify_all(sr_cfg(), &[(1, 0)], b.build_sorted());
-        assert_eq!(out.report.count(crate::report::Mechanism::ConsistentRead), 1);
+        assert_eq!(
+            out.report.count(crate::report::Mechanism::ConsistentRead),
+            1
+        );
     }
 
     #[test]
@@ -944,7 +981,10 @@ mod tests {
             &[(1, 0)],
             b.build_sorted(),
         );
-        assert_eq!(out.report.count(crate::report::Mechanism::ConsistentRead), 1);
+        assert_eq!(
+            out.report.count(crate::report::Mechanism::ConsistentRead),
+            1
+        );
 
         let mut b = TraceBuilder::new();
         history(&mut b);
@@ -1103,7 +1143,10 @@ mod tests {
         b.read(20, 22, 1, 2, vec![(1, 5)]); // observes discarded version
         b.commit(23, 25, 1, 2);
         let out = verify_all(sr_cfg(), &[(1, 0)], b.build_sorted());
-        assert_eq!(out.report.count(crate::report::Mechanism::ConsistentRead), 1);
+        assert_eq!(
+            out.report.count(crate::report::Mechanism::ConsistentRead),
+            1
+        );
     }
 
     #[test]
@@ -1171,6 +1214,9 @@ mod tests {
         }
         // No later trace arrived to trigger the flush; finish must.
         let out = v.finish();
-        assert_eq!(out.report.count(crate::report::Mechanism::ConsistentRead), 1);
+        assert_eq!(
+            out.report.count(crate::report::Mechanism::ConsistentRead),
+            1
+        );
     }
 }

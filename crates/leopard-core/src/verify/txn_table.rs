@@ -94,7 +94,12 @@ impl TxnTable {
     /// `first_interval` is the interval of the trace that caused the
     /// contact; for a new entry it becomes the snapshot-generation
     /// interval.
-    pub fn observe(&mut self, txn: TxnId, client: ClientId, first_interval: Interval) -> &mut TxnInfo {
+    pub fn observe(
+        &mut self,
+        txn: TxnId,
+        client: ClientId,
+        first_interval: Interval,
+    ) -> &mut TxnInfo {
         self.txns.entry(txn).or_insert_with(|| TxnInfo {
             client,
             first_op: first_interval,

@@ -101,7 +101,9 @@ impl RecordVersions {
         enum Rough {
             Future,
             Overlap,
-            Past,
+            /// Past version, carrying its (necessarily present) commit
+            /// interval so later passes need no re-lookup.
+            Past(Interval),
             Pending,
         }
         let rough: Vec<Rough> = self
@@ -113,7 +115,7 @@ impl RecordVersions {
                     if snapshot.certainly_before(&vis) {
                         Rough::Future
                     } else if vis.certainly_before(snapshot) {
-                        Rough::Past
+                        Rough::Past(vis)
                     } else {
                         Rough::Overlap
                     }
@@ -124,40 +126,30 @@ impl RecordVersions {
         // Pass 2: the pivot is the past version with the latest commit
         // after-timestamp; past versions overlapping it are pivot-overlaps,
         // the rest garbage.
-        let pivot_idx = self
-            .entries
+        let pivot = rough
             .iter()
-            .zip(&rough)
             .enumerate()
-            .filter(|(_, (_, r))| **r == Rough::Past)
-            .max_by_key(|(_, (e, _))| {
-                let vis = e.visibility.expect("past implies committed");
-                (vis.hi, vis.lo)
+            .filter_map(|(i, r)| match r {
+                Rough::Past(vis) => Some((i, *vis)),
+                _ => None,
             })
-            .map(|(i, _)| i);
+            .max_by_key(|&(_, vis)| (vis.hi, vis.lo));
 
-        self.entries
+        rough
             .iter()
-            .zip(&rough)
             .enumerate()
-            .map(|(i, (e, r))| match r {
+            .map(|(i, r)| match r {
                 Rough::Pending => VersionClass::Pending,
                 Rough::Future => VersionClass::Future,
                 Rough::Overlap => VersionClass::Overlap,
-                Rough::Past => {
-                    let p = pivot_idx.expect("a past version implies a pivot exists");
-                    if i == p {
-                        VersionClass::Pivot
-                    } else {
-                        let pivot_vis = self.entries[p].visibility.expect("pivot committed");
-                        let vis = e.visibility.expect("past implies committed");
-                        if vis.overlaps(&pivot_vis) {
-                            VersionClass::PivotOverlap
-                        } else {
-                            VersionClass::Garbage
-                        }
-                    }
-                }
+                Rough::Past(vis) => match pivot {
+                    Some((p, _)) if i == p => VersionClass::Pivot,
+                    Some((_, pivot_vis)) if vis.overlaps(&pivot_vis) => VersionClass::PivotOverlap,
+                    Some(_) => VersionClass::Garbage,
+                    // A past version exists, so a pivot was found above;
+                    // degrade to possibly-visible rather than panic.
+                    None => VersionClass::PivotOverlap,
+                },
             })
             .collect()
     }
@@ -213,15 +205,18 @@ impl VersionStore {
     pub fn preload(&mut self, key: Key, value: Value) {
         let uid = self.fresh_uid();
         self.total += 1;
-        self.records.entry(key).or_default().insert_sorted(VersionEntry {
-            uid,
-            value,
-            txn: TxnId::INITIAL,
-            install: Interval::GENESIS,
-            visibility: Some(Interval::GENESIS),
-            writer_snapshot: Interval::GENESIS,
-            readers: Vec::new(),
-        });
+        self.records
+            .entry(key)
+            .or_default()
+            .insert_sorted(VersionEntry {
+                uid,
+                value,
+                txn: TxnId::INITIAL,
+                install: Interval::GENESIS,
+                visibility: Some(Interval::GENESIS),
+                writer_snapshot: Interval::GENESIS,
+                readers: Vec::new(),
+            });
     }
 
     /// Mirrors a write: a pending version of `key` installed by `txn`
@@ -238,15 +233,18 @@ impl VersionStore {
         let uid = self.fresh_uid();
         self.total += 1;
         self.dirty.insert(key);
-        self.records.entry(key).or_default().insert_sorted(VersionEntry {
-            uid,
-            value,
-            txn,
-            install,
-            visibility: None,
-            writer_snapshot,
-            readers: Vec::new(),
-        });
+        self.records
+            .entry(key)
+            .or_default()
+            .insert_sorted(VersionEntry {
+                uid,
+                value,
+                txn,
+                install,
+                visibility: None,
+                writer_snapshot,
+                readers: Vec::new(),
+            });
         self.pending += 1;
         uid
     }
@@ -272,7 +270,8 @@ impl VersionStore {
         for key in keys {
             if let Some(rec) = self.records.get_mut(key) {
                 let before = rec.entries.len();
-                rec.entries.retain(|e| !(e.txn == txn && e.visibility.is_none()));
+                rec.entries
+                    .retain(|e| !(e.txn == txn && e.visibility.is_none()));
                 let removed = before - rec.entries.len();
                 self.pending -= removed;
                 self.total -= removed;
@@ -362,7 +361,11 @@ impl VersionStore {
     /// installation order, together with the version itself:
     /// `(predecessor, successor)`.
     #[must_use]
-    pub fn committed_adjacency(&self, key: Key, txn: TxnId) -> Option<(&VersionEntry, &VersionEntry)> {
+    pub fn committed_adjacency(
+        &self,
+        key: Key,
+        txn: TxnId,
+    ) -> Option<(&VersionEntry, &VersionEntry)> {
         let rec = self.records.get(&key)?;
         let pos = rec
             .entries
@@ -524,7 +527,13 @@ mod tests {
     /// Installs a committed version in one step (writer snapshot taken to
     /// be the write interval itself, which suffices for these tests).
     fn put(store: &mut VersionStore, key: u64, value: u64, txn: u64, w: (u64, u64), c: (u64, u64)) {
-        store.install(Key(key), Value(value), TxnId(txn), iv(w.0, w.1), iv(w.0, w.1));
+        store.install(
+            Key(key),
+            Value(value),
+            TxnId(txn),
+            iv(w.0, w.1),
+            iv(w.0, w.1),
+        );
         store.commit(TxnId(txn), &[Key(key)], iv(c.0, c.1));
     }
 
@@ -590,7 +599,7 @@ mod tests {
         let mut store = VersionStore::default();
         store.preload(Key(1), Value(0)); // garbage once overwritten
         put(&mut store, 1, 5, 2, (10, 11), (12, 13)); // pivot for late snapshots
-        // Snapshot far later: initial value must not be visible.
+                                                      // Snapshot far later: initial value must not be visible.
         assert!(matches!(
             store.check_read(Key(1), Value(0), &iv(100, 101), true),
             ReadMatch::Violation { .. }
@@ -682,7 +691,7 @@ mod tests {
         let rec = store.record(Key(1)).unwrap();
         assert_eq!(rec.entries().len(), 2);
         assert_eq!(rec.entries()[0].value, Value(2)); // surviving pivot
-        // Reads with recent snapshots still verify correctly.
+                                                      // Reads with recent snapshots still verify correctly.
         assert!(matches!(
             store.check_read(Key(1), Value(3), &iv(100, 110), true),
             ReadMatch::Unique { .. }

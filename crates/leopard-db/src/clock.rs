@@ -67,6 +67,9 @@ impl SimClock {
 
 impl Clock for SimClock {
     fn now(&self) -> Timestamp {
+        // relaxed: an atomic RMW already gets a slot in the counter's total
+        // modification order, which is all the simulated clock needs for
+        // unique, advancing timestamps; no other memory is published.
         Timestamp(self.counter.fetch_add(self.step, Ordering::Relaxed) + self.step)
     }
 }

@@ -195,6 +195,8 @@ impl Session {
         if self.current.is_some() {
             self.rollback();
         }
+        // relaxed: id allocation needs uniqueness (RMW guarantees it), not
+        // cross-thread ordering; publication happens via the `active` lock.
         let id = TxnId(self.db.txn_counter.fetch_add(1, Ordering::Relaxed));
         let meta = Arc::new(TxnMeta::new(id));
         self.db.active.lock().insert(id, Arc::clone(&meta));
@@ -255,7 +257,11 @@ impl Session {
 
     /// Range read: up to `limit` records with keys in `[start, ...)`,
     /// under the same visibility rules as [`Session::read`].
-    pub fn read_range(&mut self, start: Key, limit: usize) -> Result<Vec<(Key, Value)>, AbortReason> {
+    pub fn read_range(
+        &mut self,
+        start: Key,
+        limit: usize,
+    ) -> Result<Vec<(Key, Value)>, AbortReason> {
         self.simulate_latency();
         let snapshot = self.op_snapshot()?;
         let txn = self.current.as_ref().expect("checked by op_snapshot");
@@ -273,9 +279,10 @@ impl Session {
                     break;
                 }
                 // Reader registration needs &mut; collect keys first.
-                let value = own.get(&key).copied().or_else(|| {
-                    rec.visible_at(snapshot).map(|v| v.value)
-                });
+                let value = own
+                    .get(&key)
+                    .copied()
+                    .or_else(|| rec.visible_at(snapshot).map(|v| v.value));
                 if ssi {
                     dangerous |= flag_stale_read_shared(rec, snapshot, &meta);
                 }
@@ -375,9 +382,7 @@ impl Session {
         // First updater wins: a committed update newer than our snapshot
         // means we lost the race (PostgreSQL's "could not serialize access
         // due to concurrent update").
-        if self.db.cfg.first_updater_wins()
-            && !self.db.faults.fires(FaultKind::AllowLostUpdate)
-        {
+        if self.db.cfg.first_updater_wins() && !self.db.faults.fires(FaultKind::AllowLostUpdate) {
             let conflicting = self.db.storage.with(|map| {
                 map.get(&key)
                     .and_then(Record::latest)
@@ -420,7 +425,9 @@ impl Session {
         {
             let rejected = self.db.storage.with(|map| {
                 for key in &writes {
-                    let Some(rec) = map.get_mut(key) else { continue };
+                    let Some(rec) = map.get_mut(key) else {
+                        continue;
+                    };
                     for reader in &rec.readers {
                         if reader.id == meta.id {
                             continue;
@@ -466,7 +473,9 @@ impl Session {
             let commit_seq = self.db.commit_counter.fetch_add(1, Ordering::AcqRel) + 1;
             meta.commit_seq.store(commit_seq, Ordering::Release);
             for key in &txn.writes {
-                let Some(rec) = map.get_mut(key) else { continue };
+                let Some(rec) = map.get_mut(key) else {
+                    continue;
+                };
                 if let Some(pos) = rec.pending.iter().position(|(t, _)| *t == meta.id) {
                     let (_, value) = rec.pending.remove(pos);
                     rec.versions.push(StoredVersion {
@@ -497,7 +506,9 @@ impl Session {
     }
 
     fn abort_with(&mut self, _reason: AbortReason) {
-        let Some(txn) = self.current.take() else { return };
+        let Some(txn) = self.current.take() else {
+            return;
+        };
         self.db.storage.with(|map| {
             for key in &txn.writes {
                 if let Some(rec) = map.get_mut(key) {
@@ -577,6 +588,8 @@ impl Session {
     }
 
     fn maybe_prune(&self) {
+        // relaxed: prune cadence only; an occasional off-by-one between
+        // threads merely shifts when GC runs, never what it may remove.
         let n = self.db.commits_since_prune.fetch_add(1, Ordering::Relaxed) + 1;
         if !n.is_multiple_of(PRUNE_PERIOD) {
             return;
@@ -590,7 +603,6 @@ impl Session {
         });
     }
 }
-
 
 /// SSI bookkeeping for a read that observes a record with newer committed
 /// versions than its snapshot: the read has an rw antidependency on each
@@ -609,7 +621,9 @@ fn flag_stale_read_shared(rec: &Record, snapshot: u64, reader: &Arc<TxnMeta>) ->
         if newer.commit_seq <= snapshot {
             break;
         }
-        let Some(wm) = &newer.writer_meta else { continue };
+        let Some(wm) = &newer.writer_meta else {
+            continue;
+        };
         if wm.id == reader.id {
             continue;
         }
@@ -839,7 +853,10 @@ mod tests {
         a.begin();
         assert_eq!(a.read_for_update(Key(1)).unwrap(), Some(Value(0)));
         b.begin();
-        assert_eq!(b.write(Key(1), Value(2)).unwrap_err(), AbortReason::LockTimeout);
+        assert_eq!(
+            b.write(Key(1), Value(2)).unwrap_err(),
+            AbortReason::LockTimeout
+        );
         a.commit().unwrap();
     }
 
@@ -911,10 +928,7 @@ mod tests {
         }
         let mut s = db.session();
         s.begin();
-        assert_eq!(
-            s.read(Key(1)).unwrap(),
-            Some(Value(2 * PRUNE_PERIOD + 9))
-        );
+        assert_eq!(s.read(Key(1)).unwrap(), Some(Value(2 * PRUNE_PERIOD + 9)));
         s.commit().unwrap();
     }
 }

@@ -89,7 +89,10 @@ impl FaultPlan {
     pub fn with_probability(kind: FaultKind, p: f64, seed: u64) -> FaultPlan {
         FaultPlan {
             kind: Some(kind),
-            trigger: Trigger::Probability(p.clamp(0.0, 1.0), Mutex::new(SmallRng::seed_from_u64(seed))),
+            trigger: Trigger::Probability(
+                p.clamp(0.0, 1.0),
+                Mutex::new(SmallRng::seed_from_u64(seed)),
+            ),
             opportunities: AtomicU64::new(0),
             fired: AtomicU64::new(0),
         }
@@ -112,6 +115,8 @@ impl FaultPlan {
         if self.kind != Some(kind) {
             return false;
         }
+        // relaxed: opportunity counting needs unique values (RMW), not an
+        // order against other memory; Nth-triggering tests are single-threaded.
         let n = self.opportunities.fetch_add(1, Ordering::Relaxed) + 1;
         let fire = match &self.trigger {
             Trigger::Never => false,
@@ -120,7 +125,7 @@ impl FaultPlan {
             Trigger::Nth(target) => n == *target,
         };
         if fire {
-            self.fired.fetch_add(1, Ordering::Relaxed);
+            self.fired.fetch_add(1, Ordering::Relaxed); // relaxed: statistic only
         }
         fire
     }
@@ -128,6 +133,7 @@ impl FaultPlan {
     /// How many times the fault actually fired.
     #[must_use]
     pub fn fired_count(&self) -> u64 {
+        // relaxed: statistic read after the run's threads have been joined.
         self.fired.load(Ordering::Relaxed)
     }
 

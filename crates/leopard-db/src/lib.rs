@@ -30,7 +30,7 @@
 //! assert_eq!(client.sink_mut().len(), 2); // one write trace + one commit trace
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod clock;

@@ -65,7 +65,10 @@ impl Record {
             return;
         }
         // Index of the newest version with commit_seq <= min_snapshot.
-        let Some(keep_from) = self.versions.iter().rposition(|v| v.commit_seq <= min_snapshot)
+        let Some(keep_from) = self
+            .versions
+            .iter()
+            .rposition(|v| v.commit_seq <= min_snapshot)
         else {
             return;
         };
@@ -166,7 +169,8 @@ mod tests {
         let active = Arc::new(TxnMeta::new(TxnId(1)));
         let old = Arc::new(TxnMeta::new(TxnId(2)));
         old.set_state(TxnState::Committed);
-        old.commit_seq.store(3, std::sync::atomic::Ordering::Release);
+        old.commit_seq
+            .store(3, std::sync::atomic::Ordering::Release);
         let recent = Arc::new(TxnMeta::new(TxnId(3)));
         recent.set_state(TxnState::Committed);
         recent

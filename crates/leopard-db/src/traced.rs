@@ -171,12 +171,8 @@ impl<C: Clock, S: TraceSink> TracedSession<C, S> {
         } else {
             OpKind::Abort
         };
-        self.sink.record(Trace::new(
-            Interval::new(bef, aft),
-            self.client,
-            txn,
-            kind,
-        ));
+        self.sink
+            .record(Trace::new(Interval::new(bef, aft), self.client, txn, kind));
         self.current = None;
         result
     }
@@ -298,7 +294,8 @@ mod tests {
         let clock = Arc::new(SimClock::new(1));
         let mut s = traced(&db, clock, 0);
         s.begin();
-        s.write_many(&[(Key(1), Value(5)), (Key(2), Value(6))]).unwrap();
+        s.write_many(&[(Key(1), Value(5)), (Key(2), Value(6))])
+            .unwrap();
         s.commit().unwrap();
         let traces = s.sink_mut().clone();
         assert_eq!(traces.len(), 2);

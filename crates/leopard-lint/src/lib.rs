@@ -1,0 +1,535 @@
+//! Repo-specific static analysis for the Leopard workspace.
+//!
+//! This is **level 1** of Leopard's two-level static analysis story: the
+//! verifier's verdicts are only as trustworthy as the verifier's own code,
+//! so a small hand-rolled scanner (no `syn`, no external dependencies)
+//! enforces the source-level invariants the design relies on:
+//!
+//! | code | invariant |
+//! |------|-----------|
+//! | L001 | no `unwrap()` / `expect()` / `panic!` in `leopard-core/src/verify/**` and `pipeline/**` |
+//! | L002 | no raw `std::collections::HashMap`/`HashSet` outside `fxhash.rs` |
+//! | L003 | every `Ordering::Relaxed` carries a justification comment (`// relaxed: <why>`) |
+//! | L004 | no `Instant::now()` / `SystemTime::now()` inside `leopard-core` |
+//!
+//! A violation can be acknowledged in place with an **allow comment** that
+//! must carry a reason:
+//!
+//! ```text
+//! // lint: allow(L001): the key was inserted two lines above
+//! let info = self.txns.get_mut(txn).expect("observed");
+//! ```
+//!
+//! The allow applies to the same line when trailing, or to the next
+//! code-bearing line when it stands alone. An allow without a reason is
+//! ignored.
+//!
+//! The scanner strips string literals and comments before matching, tracks
+//! multi-line strings and nested block comments, and stops at the first
+//! `#[cfg(test)]` attribute of a file — by repo convention the trailing
+//! unit-test module, which is free to `unwrap()` at will.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One lint violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// The lint code, e.g. `"L001"`.
+    pub code: &'static str,
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.file, self.line, self.code, self.message
+        )
+    }
+}
+
+/// Lexer state carried across lines of one file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    /// Plain code.
+    Code,
+    /// Inside a `"..."` string literal (they may span lines).
+    Str,
+    /// Inside a raw string literal with the given number of `#` marks.
+    RawStr(u8),
+    /// Inside a (possibly nested) block comment at the given depth.
+    Block(u32),
+}
+
+/// Splits one source line into (code text, comment text), updating the
+/// cross-line lexer state. String-literal contents are dropped from both.
+fn split_line(line: &str, st: &mut State) -> (String, String) {
+    let chars: Vec<char> = line.chars().collect();
+    let mut code = String::new();
+    let mut comment = String::new();
+    let mut i = 0usize;
+    while i < chars.len() {
+        match *st {
+            State::Str => {
+                match chars[i] {
+                    '\\' => i += 1, // skip the escaped character
+                    '"' => *st = State::Code,
+                    _ => {}
+                }
+                i += 1;
+            }
+            State::RawStr(hashes) => {
+                if chars[i] == '"' {
+                    let n = hashes as usize;
+                    if chars[i + 1..].iter().take(n).filter(|&&c| c == '#').count() == n {
+                        *st = State::Code;
+                        i += n;
+                    }
+                }
+                i += 1;
+            }
+            State::Block(depth) => {
+                if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    *st = if depth <= 1 {
+                        State::Code
+                    } else {
+                        State::Block(depth - 1)
+                    };
+                    i += 2;
+                } else if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                    *st = State::Block(depth + 1);
+                    i += 2;
+                } else {
+                    comment.push(chars[i]);
+                    i += 1;
+                }
+            }
+            State::Code => {
+                let c = chars[i];
+                let prev_ident = i
+                    .checked_sub(1)
+                    .map(|p| chars[p].is_alphanumeric() || chars[p] == '_')
+                    .unwrap_or(false);
+                if c == '/' && chars.get(i + 1) == Some(&'/') {
+                    // Line comment: the rest of the line.
+                    comment.extend(&chars[i + 2..]);
+                    break;
+                } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    *st = State::Block(1);
+                    i += 2;
+                } else if c == '"' {
+                    *st = State::Str;
+                    i += 1;
+                } else if (c == 'r' || c == 'b') && !prev_ident {
+                    // Possible raw/byte string opener: r", r#", b", br#"...
+                    let mut j = i + 1;
+                    let mut raw = c == 'r';
+                    if c == 'b' && chars.get(j) == Some(&'r') {
+                        raw = true;
+                        j += 1;
+                    }
+                    let mut hashes = 0u8;
+                    while raw && chars.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if chars.get(j) == Some(&'"') {
+                        *st = if raw {
+                            State::RawStr(hashes)
+                        } else {
+                            State::Str
+                        };
+                        i = j + 1;
+                    } else {
+                        code.push(c);
+                        i += 1;
+                    }
+                } else if c == '\'' && !prev_ident {
+                    // Char literal vs lifetime. `'\...'` and `'x'` are
+                    // literals; `'a` followed by anything else is a lifetime.
+                    if chars.get(i + 1) == Some(&'\\') {
+                        i += 2; // opening quote + backslash
+                        while i < chars.len() && chars[i] != '\'' {
+                            i += 1;
+                        }
+                        i += 1; // closing quote
+                    } else if chars.get(i + 2) == Some(&'\'') {
+                        i += 3;
+                    } else {
+                        code.push(c);
+                        i += 1;
+                    }
+                } else {
+                    code.push(c);
+                    i += 1;
+                }
+            }
+        }
+    }
+    (code, comment)
+}
+
+/// Extracts the lint codes acknowledged by `lint: allow(Lxxx): <reason>`
+/// directives in a comment. Directives without a non-empty reason are
+/// ignored — the escape hatch requires an argument.
+fn parse_allows(comment: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = comment;
+    while let Some(pos) = rest.find("lint: allow(") {
+        rest = &rest[pos + "lint: allow(".len()..];
+        let Some(close) = rest.find(')') else { break };
+        let code = rest[..close].trim().to_string();
+        let after = &rest[close + 1..];
+        let reasoned = after
+            .strip_prefix(':')
+            .map(|r| {
+                let r = r.trim();
+                !r.is_empty() && !r.starts_with("<")
+            })
+            .unwrap_or(false);
+        if reasoned && !code.is_empty() {
+            out.push(code);
+        }
+        rest = after;
+    }
+    out
+}
+
+/// Substring occurrences of `needle` in `hay` whose preceding character is
+/// not part of an identifier (so `FxHashMap` does not match `HashMap`).
+fn word_starts(hay: &str, needle: &str) -> usize {
+    let mut count = 0;
+    let mut from = 0;
+    while let Some(pos) = hay[from..].find(needle) {
+        let abs = from + pos;
+        let boundary = abs == 0
+            || hay[..abs]
+                .chars()
+                .next_back()
+                .map(|p| !(p.is_alphanumeric() || p == '_'))
+                .unwrap_or(true);
+        if boundary {
+            count += 1;
+        }
+        from = abs + needle.len();
+    }
+    count
+}
+
+/// Occurrences of `.{method}(` — method calls only, so free functions or
+/// identifiers that merely contain the name do not match.
+fn method_calls(hay: &str, method: &str) -> usize {
+    let pat = format!(".{method}(");
+    hay.matches(&pat).count()
+}
+
+/// Which lints apply to a workspace-relative path.
+#[derive(Debug, Clone, Copy)]
+struct Scope {
+    l001: bool,
+    l002: bool,
+    l004: bool,
+}
+
+fn scope_for(rel: &str) -> Scope {
+    Scope {
+        l001: rel.starts_with("crates/leopard-core/src/verify/")
+            || rel.starts_with("crates/leopard-core/src/pipeline/"),
+        l002: rel != "crates/leopard-core/src/fxhash.rs",
+        l004: rel.starts_with("crates/leopard-core/"),
+    }
+}
+
+/// Scans one file's source text, returning its violations.
+///
+/// `rel` is the workspace-relative path (used both for scoping and for
+/// reporting).
+#[must_use]
+pub fn scan_file(rel: &str, content: &str) -> Vec<Finding> {
+    let scope = scope_for(rel);
+    let mut st = State::Code;
+    let mut findings = Vec::new();
+    // Allows from standalone comment lines, pending for the next code line.
+    let mut pending_allows: Vec<String> = Vec::new();
+    // Comment block immediately above the current line (for L003
+    // justifications), reset by any code-bearing or blank line.
+    let mut comment_above = String::new();
+
+    for (idx, raw) in content.lines().enumerate() {
+        let line = idx + 1;
+        let (code, comment) = split_line(raw, &mut st);
+        let code_trim = code.trim();
+        if code_trim.starts_with("#[cfg(test)]") {
+            break; // trailing unit-test module: out of lint scope
+        }
+        let mut allows = parse_allows(&comment);
+        if code_trim.is_empty() {
+            if comment.trim().is_empty() {
+                // Blank line: breaks comment-block contiguity.
+                pending_allows.clear();
+                comment_above.clear();
+            } else {
+                pending_allows.append(&mut allows);
+                comment_above.push_str(&comment);
+                comment_above.push('\n');
+            }
+            continue;
+        }
+        allows.extend(pending_allows.drain(..));
+        let allowed = |code: &str| allows.iter().any(|a| a == code);
+
+        if scope.l001 && !allowed("L001") {
+            for (hits, what) in [
+                (method_calls(&code, "unwrap"), "unwrap()"),
+                (method_calls(&code, "expect"), "expect()"),
+                (word_starts(&code, "panic!"), "panic!"),
+            ] {
+                for _ in 0..hits {
+                    findings.push(Finding {
+                        code: "L001",
+                        file: rel.to_string(),
+                        line,
+                        message: format!(
+                            "`{what}` in a verifier/pipeline hot path; return a typed \
+                             error or annotate with `// lint: allow(L001): <reason>`"
+                        ),
+                    });
+                }
+            }
+        }
+        if scope.l002 && !allowed("L002") {
+            for what in ["HashMap", "HashSet"] {
+                for _ in 0..word_starts(&code, what) {
+                    findings.push(Finding {
+                        code: "L002",
+                        file: rel.to_string(),
+                        line,
+                        message: format!(
+                            "raw std `{what}` outside fxhash.rs; hot-path maps must use \
+                             Fx{what} (crate::fxhash)"
+                        ),
+                    });
+                }
+            }
+        }
+        if !allowed("L003") && code.contains("Ordering::Relaxed") {
+            let justified = comment.to_lowercase().contains("relaxed")
+                || comment_above.to_lowercase().contains("relaxed");
+            if !justified {
+                findings.push(Finding {
+                    code: "L003",
+                    file: rel.to_string(),
+                    line,
+                    message: "`Ordering::Relaxed` without a justification comment; add \
+                              `// relaxed: <why this ordering is sufficient>` or use a \
+                              stronger ordering"
+                        .to_string(),
+                });
+            }
+        }
+        if scope.l004 && !allowed("L004") {
+            for what in ["Instant::now", "SystemTime::now"] {
+                for _ in 0..word_starts(&code, what) {
+                    findings.push(Finding {
+                        code: "L004",
+                        file: rel.to_string(),
+                        line,
+                        message: format!(
+                            "wall-clock read `{what}` inside leopard-core; the verifier \
+                             must be deterministic — clock access belongs to leopard-db \
+                             or the capture layer"
+                        ),
+                    });
+                }
+            }
+        }
+        comment_above.clear();
+    }
+    findings
+}
+
+fn collect_rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if matches!(
+                name.as_ref(),
+                "target" | ".git" | ".claude" | "results" | "devtools"
+            ) {
+                continue;
+            }
+            collect_rust_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Scans every `.rs` file under `root` (skipping `target/`, `.git/`,
+/// `results/`, `devtools/`). Returns the findings, sorted by file and
+/// line, plus the number of files scanned.
+pub fn scan_workspace(root: &Path) -> io::Result<(Vec<Finding>, usize)> {
+    let mut files = Vec::new();
+    collect_rust_files(root, &mut files)?;
+    files.sort();
+    let mut findings = Vec::new();
+    for path in &files {
+        let content = fs::read_to_string(path)?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        findings.extend(scan_file(&rel, &content));
+    }
+    findings.sort_by(|a, b| (&a.file, a.line, a.code).cmp(&(&b.file, b.line, b.code)));
+    Ok((findings, files.len()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const VERIFY_PATH: &str = "crates/leopard-core/src/verify/mod.rs";
+
+    fn codes(findings: &[Finding]) -> Vec<&'static str> {
+        findings.iter().map(|f| f.code).collect()
+    }
+
+    #[test]
+    fn l001_fires_only_in_hot_paths() {
+        let src = "fn f() { x.unwrap(); y.expect(\"msg\"); panic!(\"no\"); }\n";
+        let found = scan_file(VERIFY_PATH, src);
+        assert_eq!(codes(&found), vec!["L001", "L001", "L001"]);
+        assert_eq!(found[0].line, 1);
+        assert!(scan_file("crates/leopard-db/src/engine.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l001_allow_with_reason_suppresses() {
+        let src = "\
+// lint: allow(L001): inserted two lines above, lookup cannot fail
+let info = table.get_mut(txn).expect(\"observed\");
+let other = table.get_mut(txn).expect(\"observed\"); // lint: allow(L001): same
+let bad = table.get_mut(txn).expect(\"observed\");
+";
+        let found = scan_file(VERIFY_PATH, src);
+        assert_eq!(codes(&found), vec!["L001"]);
+        assert_eq!(found[0].line, 4);
+    }
+
+    #[test]
+    fn allow_without_reason_is_ignored() {
+        let src = "// lint: allow(L001)\nx.unwrap();\n// lint: allow(L001):   \ny.unwrap();\n";
+        let found = scan_file(VERIFY_PATH, src);
+        assert_eq!(codes(&found), vec!["L001", "L001"]);
+    }
+
+    #[test]
+    fn l002_spares_fx_wrappers_and_fxhash_rs() {
+        let src =
+            "use std::collections::HashMap;\nlet m: FxHashMap<K, V> = FxHashMap::default();\n";
+        let found = scan_file("crates/leopard-db/src/storage.rs", src);
+        assert_eq!(codes(&found), vec!["L002"]);
+        assert_eq!(found[0].line, 1);
+        assert!(scan_file("crates/leopard-core/src/fxhash.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l003_requires_justification() {
+        let bare = "let n = c.fetch_add(1, Ordering::Relaxed);\n";
+        assert_eq!(
+            codes(&scan_file("crates/leopard-db/src/clock.rs", bare)),
+            vec!["L003"]
+        );
+        let trailing = "let n = c.fetch_add(1, Ordering::Relaxed); // relaxed: counter only\n";
+        assert!(scan_file("crates/leopard-db/src/clock.rs", trailing).is_empty());
+        let above = "// relaxed: id allocation needs uniqueness, not ordering\nlet n = c.fetch_add(1, Ordering::Relaxed);\n";
+        assert!(scan_file("crates/leopard-db/src/clock.rs", above).is_empty());
+        // A blank line breaks the justification block.
+        let gap = "// relaxed: stale\n\nlet n = c.fetch_add(1, Ordering::Relaxed);\n";
+        assert_eq!(
+            codes(&scan_file("crates/leopard-db/src/clock.rs", gap)),
+            vec!["L003"]
+        );
+    }
+
+    #[test]
+    fn l004_confined_to_core() {
+        let src = "let t = Instant::now();\nlet s = SystemTime::now();\n";
+        let found = scan_file("crates/leopard-core/src/stats.rs", src);
+        assert_eq!(codes(&found), vec!["L004", "L004"]);
+        assert!(scan_file("crates/leopard-db/src/engine.rs", src).is_empty());
+    }
+
+    #[test]
+    fn strings_and_comments_are_not_code() {
+        let src = r#"
+let s = "call unwrap() and panic! here";
+let r = r"HashMap inside a raw string";
+// a comment mentioning x.unwrap() and HashMap
+/* block comment: Ordering::Relaxed */
+"#;
+        assert!(scan_file(VERIFY_PATH, src).is_empty());
+    }
+
+    #[test]
+    fn multiline_strings_are_tracked() {
+        let src = "const USAGE: &str = \"\\\nline with unwrap() inside string\nstill HashMap inside\";\nx.unwrap();\n";
+        let found = scan_file(VERIFY_PATH, src);
+        assert_eq!(codes(&found), vec!["L001"]);
+        assert_eq!(found[0].line, 4);
+    }
+
+    #[test]
+    fn char_literals_do_not_derail_lexer() {
+        let src = "let q = '\"';\nlet c = 'a';\nlet lt: &'static str = \"x\";\nx.unwrap();\n";
+        let found = scan_file(VERIFY_PATH, src);
+        assert_eq!(codes(&found), vec!["L001"]);
+        assert_eq!(found[0].line, 4);
+    }
+
+    #[test]
+    fn scanning_stops_at_test_module() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\n";
+        assert!(scan_file(VERIFY_PATH, src).is_empty());
+    }
+
+    #[test]
+    fn identifier_containing_pattern_does_not_match() {
+        let src = "fn my_unwrap() {}\nlet do_panic!_ish = 0;\nstruct NotHashMapped;\n";
+        // `NotHashMapped` begins mid-identifier; `my_unwrap` is not a
+        // method call; only a real `.unwrap()` would fire.
+        assert!(scan_file(VERIFY_PATH, "let x = my_unwrap();\n").is_empty());
+        assert!(scan_file("crates/leopard-db/src/x.rs", "struct NotHashMapped;\n").is_empty());
+        let _ = src;
+    }
+
+    #[test]
+    fn workspace_scan_walks_and_reports_relative_paths() {
+        let dir = std::env::temp_dir().join(format!("leopard_lint_ws_{}", std::process::id()));
+        let hot = dir.join("crates/leopard-core/src/verify");
+        std::fs::create_dir_all(&hot).unwrap();
+        std::fs::write(hot.join("mod.rs"), "fn f() { x.unwrap(); }\n").unwrap();
+        std::fs::write(dir.join("crates/leopard-core/src/ok.rs"), "fn g() {}\n").unwrap();
+        let (findings, scanned) = scan_workspace(&dir).unwrap();
+        assert_eq!(scanned, 2);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].file, "crates/leopard-core/src/verify/mod.rs");
+        assert_eq!(findings[0].line, 1);
+        assert_eq!(findings[0].code, "L001");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,64 @@
+//! `leopard-lint` — run the workspace lints (L001–L004) and exit non-zero
+//! on any violation. See the library docs for the lint table and the
+//! allow-comment escape hatch.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+leopard-lint — Leopard workspace static analysis (L001-L004)
+
+USAGE:
+  leopard-lint [--root <DIR>]
+
+Scans every .rs file under the workspace root (default: the workspace this
+binary was built from), reports violations as `file:line: Lxxx: message`,
+and exits 1 if any are found.";
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("error: --root needs a value\n\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("error: unknown argument `{other}`\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    // The crate lives at <workspace>/crates/leopard-lint.
+    let root = root.unwrap_or_else(|| PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../..")));
+
+    match leopard_lint::scan_workspace(&root) {
+        Ok((findings, scanned)) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            if findings.is_empty() {
+                println!("leopard-lint: {scanned} files clean");
+                ExitCode::SUCCESS
+            } else {
+                println!(
+                    "leopard-lint: {} violation(s) across {scanned} scanned files",
+                    findings.len()
+                );
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("leopard-lint: scan failed: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -198,5 +198,4 @@ mod tests {
         assert_eq!(w.preload().len(), 100);
         assert_eq!(w.table_size(), 100);
     }
-
 }

@@ -11,7 +11,7 @@
 //! * [`tpcc`] — a simplified TPC-C preserving the dependency structure.
 //! * [`runner`] — N client threads, traced sessions, per-client streams.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod blindw;

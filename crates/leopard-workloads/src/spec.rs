@@ -54,6 +54,8 @@ impl UniqueValues {
     /// Next unique value.
     #[must_use]
     pub fn next(&self) -> Value {
+        // relaxed: the unique-writes guarantee needs distinct values, which
+        // the RMW provides; no ordering against other memory is implied.
         Value(self.counter.fetch_add(1, Ordering::Relaxed))
     }
 }

@@ -53,6 +53,7 @@ impl TpcC {
             warehouses: scale_factor.max(1),
             customers_per_district: 100,
             items: 1_000,
+            // relaxed: client-id allocation needs uniqueness only.
             my_client: ids.fetch_add(1, Ordering::Relaxed),
             client_ids: ids,
             next_order: 0,
@@ -67,6 +68,7 @@ impl TpcC {
             warehouses: self.warehouses,
             customers_per_district: self.customers_per_district,
             items: self.items,
+            // relaxed: client-id allocation needs uniqueness only.
             my_client: self.client_ids.fetch_add(1, Ordering::Relaxed),
             client_ids: Arc::clone(&self.client_ids),
             next_order: 0,
@@ -149,7 +151,10 @@ impl WorkloadGen for TpcC {
                 let mut steps = vec![
                     TxnStep::Read(TpcC::warehouse(w)),
                     TxnStep::Read(TpcC::district(w, d)),
-                    TxnStep::Write(TpcC::district(w, d), ValueRule::AddToRead(TpcC::district(w, d), 1)),
+                    TxnStep::Write(
+                        TpcC::district(w, d),
+                        ValueRule::AddToRead(TpcC::district(w, d), 1),
+                    ),
                     TxnStep::Read(self.customer(w, d, c)),
                 ];
                 let order = self.next_order;
@@ -161,7 +166,10 @@ impl WorkloadGen for TpcC {
                     let stock = self.stock(w, item);
                     steps.push(TxnStep::Read(stock));
                     steps.push(TxnStep::Write(stock, ValueRule::AddToRead(stock, -qty)));
-                    steps.push(TxnStep::Write(self.order_line(order, line), ValueRule::Unique));
+                    steps.push(TxnStep::Write(
+                        self.order_line(order, line),
+                        ValueRule::Unique,
+                    ));
                 }
                 steps
             }
@@ -170,7 +178,10 @@ impl WorkloadGen for TpcC {
                 let amount = rng.random_range(1..500) as i64;
                 vec![
                     TxnStep::Read(TpcC::warehouse(w)),
-                    TxnStep::Write(TpcC::warehouse(w), ValueRule::AddToRead(TpcC::warehouse(w), amount)),
+                    TxnStep::Write(
+                        TpcC::warehouse(w),
+                        ValueRule::AddToRead(TpcC::warehouse(w), amount),
+                    ),
                     TxnStep::Read(TpcC::district(w, d)),
                     TxnStep::Read(self.customer(w, d, c)),
                     TxnStep::Write(

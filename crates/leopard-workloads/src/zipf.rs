@@ -72,9 +72,7 @@ impl Zipfian {
             // Fibonacci-style multiplicative hash keeps the marginal
             // distribution Zipfian while decorrelating rank from key id
             // (the +1 keeps rank 0 from fixing to key 0).
-            rank.wrapping_add(1)
-                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                % self.n
+            rank.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15) % self.n
         } else {
             rank
         }

@@ -1,0 +1,138 @@
+//! Offline stand-in for `crossbeam`: just the `channel` module surface this
+//! workspace uses (`unbounded`, clonable `Sender`/`Receiver`, `try_recv`),
+//! implemented over a mutex-guarded queue.
+
+/// Multi-producer multi-consumer unbounded channels.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Inner<T> {
+        queue: Mutex<VecDeque<T>>,
+        ready: Condvar,
+        senders: AtomicUsize,
+    }
+
+    /// Sending half; clonable.
+    pub struct Sender<T>(Arc<Inner<T>>);
+
+    /// Receiving half; clonable.
+    pub struct Receiver<T>(Arc<Inner<T>>);
+
+    impl<T> std::fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    impl<T> std::fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone.
+    /// (This stub never reports disconnection on send; it exists for
+    /// signature compatibility.)
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, PartialEq, Eq, Clone, Copy)]
+    pub enum TryRecvError {
+        /// Channel is currently empty but senders remain.
+        Empty,
+        /// Channel is empty and every sender has been dropped.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is drained and
+    /// every sender has been dropped.
+    #[derive(Debug, PartialEq, Eq, Clone, Copy)]
+    pub struct RecvError;
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let inner = Arc::new(Inner {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            senders: AtomicUsize::new(1),
+        });
+        (Sender(Arc::clone(&inner)), Receiver(inner))
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.0.senders.fetch_add(1, Ordering::SeqCst);
+            Sender(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.0.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+                // last sender gone: wake blocked receivers so they observe
+                // disconnection
+                self.0.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues a message; never blocks.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut q = match self.0.queue.lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+            q.push_back(value);
+            drop(q);
+            self.0.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Dequeues without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut q = match self.0.queue.lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+            match q.pop_front() {
+                Some(v) => Ok(v),
+                None if self.0.senders.load(Ordering::SeqCst) == 0 => {
+                    Err(TryRecvError::Disconnected)
+                }
+                None => Err(TryRecvError::Empty),
+            }
+        }
+
+        /// Blocks until a message arrives or all senders disconnect.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut q = match self.0.queue.lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+            loop {
+                if let Some(v) = q.pop_front() {
+                    return Ok(v);
+                }
+                if self.0.senders.load(Ordering::SeqCst) == 0 {
+                    return Err(RecvError);
+                }
+                q = match self.0.ready.wait(q) {
+                    Ok(g) => g,
+                    Err(p) => p.into_inner(),
+                };
+            }
+        }
+    }
+}

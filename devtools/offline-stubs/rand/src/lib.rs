@@ -1,0 +1,202 @@
+//! Offline stand-in for `rand` 0.9: splitmix64 core, the 0.9 method names
+//! this workspace calls (`random`, `random_range`, `random_bool`,
+//! `seed_from_u64`, `rand::rng()`). Statistical quality is adequate for
+//! workload generation, nothing more.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Minimal RNG core: a 64-bit output step.
+pub trait RngCore {
+    /// Produces the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Builds an RNG from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Values producible by [`Rng::random`].
+pub trait StandardSample: Sized {
+    /// Draws a uniformly distributed value.
+    fn sample_from(rng: &mut dyn FnMut() -> u64) -> Self;
+}
+
+impl StandardSample for u64 {
+    fn sample_from(rng: &mut dyn FnMut() -> u64) -> Self {
+        rng()
+    }
+}
+
+impl StandardSample for u32 {
+    fn sample_from(rng: &mut dyn FnMut() -> u64) -> Self {
+        (rng() >> 32) as u32
+    }
+}
+
+impl StandardSample for bool {
+    fn sample_from(rng: &mut dyn FnMut() -> u64) -> Self {
+        rng() & 1 == 1
+    }
+}
+
+impl StandardSample for f64 {
+    fn sample_from(rng: &mut dyn FnMut() -> u64) -> Self {
+        // 53 random mantissa bits in [0, 1)
+        (rng() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Ranges usable with [`Rng::random_range`].
+pub trait SampleRange {
+    /// Element type produced.
+    type Output;
+    /// Draws uniformly from the range. Panics if the range is empty.
+    fn sample(self, rng: &mut dyn FnMut() -> u64) -> Self::Output;
+}
+
+macro_rules! impl_sample_range_uint {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut dyn FnMut() -> u64) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng() % span) as $t
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut dyn FnMut() -> u64) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi - lo) as u128 + 1;
+                lo + ((rng() as u128 % span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_range_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut dyn FnMut() -> u64) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (rng() as u128 % span) as i128) as $t
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut dyn FnMut() -> u64) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                (lo as i128 + (rng() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range_int!(i8, i16, i32, i64, isize);
+
+/// The user-facing RNG trait, mirroring `rand::Rng` 0.9 names.
+pub trait Rng: RngCore {
+    /// Uniform value of type `T`.
+    fn random<T: StandardSample>(&mut self) -> T {
+        let mut step = || self.next_u64();
+        T::sample_from(&mut step)
+    }
+
+    /// Uniform value in `range`.
+    fn random_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        let mut step = || self.next_u64();
+        range.sample(&mut step)
+    }
+
+    /// `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.random::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// RNG namespace, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// Small fast RNG (splitmix64 in this stub).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            splitmix64(&mut self.state)
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            SmallRng {
+                state: seed ^ 0x51_7C_C1_B7_27_22_0A_95,
+            }
+        }
+    }
+
+    /// Standard RNG; same engine as [`SmallRng`] in this stub.
+    #[derive(Debug, Clone)]
+    pub struct StdRng(pub(crate) SmallRng);
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng(SmallRng::seed_from_u64(seed))
+        }
+    }
+
+    /// Handle to a per-thread RNG, mirroring `rand::rngs::ThreadRng`.
+    #[derive(Debug, Clone)]
+    pub struct ThreadRng;
+
+    thread_local! {
+        pub(crate) static THREAD_RNG: std::cell::RefCell<SmallRng> = {
+            // unique-ish per thread without wall-clock access
+            static COUNTER: std::sync::atomic::AtomicU64 =
+                std::sync::atomic::AtomicU64::new(0xC0FF_EE11);
+            let n = COUNTER.fetch_add(0x9E37_79B9, std::sync::atomic::Ordering::SeqCst);
+            std::cell::RefCell::new(SmallRng::seed_from_u64(n))
+        };
+    }
+
+    impl RngCore for ThreadRng {
+        fn next_u64(&mut self) -> u64 {
+            THREAD_RNG.with(|r| r.borrow_mut().next_u64())
+        }
+    }
+}
+
+/// Returns the thread-local RNG handle, mirroring `rand::rng()`.
+pub fn rng() -> rngs::ThreadRng {
+    rngs::ThreadRng
+}

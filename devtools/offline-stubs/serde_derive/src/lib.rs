@@ -1,0 +1,421 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Parses the item token stream by hand (no `syn`/`quote`) and emits impls
+//! of the *stub* `serde::Serialize` / `serde::Deserialize` traits, which use
+//! a simple JSON-shaped `Content` tree as their data model. Supports exactly
+//! the shapes this workspace uses: non-generic named structs, tuple structs,
+//! unit structs, and enums with unit / tuple / struct variants, mapped to
+//! serde's default externally-tagged JSON representation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    ty: String,
+}
+
+#[derive(Debug)]
+enum Shape {
+    NamedStruct(Vec<Field>),
+    TupleStruct(Vec<String>),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(Vec<String>),
+    Named(Vec<Field>),
+}
+
+fn error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Collects tokens of a type until a top-level comma, tracking `<`/`>` depth
+/// so `BTreeMap<K, V>` stays one type. Returns (type-string, reached-end).
+fn take_type(iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) -> String {
+    let mut depth = 0i32;
+    let mut out = String::new();
+    while let Some(tt) = iter.peek() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            _ => {}
+        }
+        if !out.is_empty() {
+            out.push(' ');
+        }
+        out.push_str(&iter.next().unwrap().to_string());
+        continue;
+    }
+    // consume the trailing comma if present
+    if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+        iter.next();
+    }
+    out
+}
+
+/// Skips `#[...]` attributes and `pub` / `pub(...)` visibility tokens.
+fn skip_attrs_and_vis(iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                // the bracketed attribute body
+                if matches!(iter.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    iter.next();
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                if matches!(iter.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    iter.next();
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let mut iter = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(other) => return Err(format!("unexpected token in fields: {other}")),
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => return Err(format!("expected `:` after field `{name}`")),
+        }
+        let ty = take_type(&mut iter);
+        fields.push(Field { name, ty });
+    }
+    Ok(fields)
+}
+
+fn parse_tuple_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut iter = stream.into_iter().peekable();
+    let mut tys = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        if iter.peek().is_none() {
+            break;
+        }
+        let ty = take_type(&mut iter);
+        if ty.is_empty() {
+            break;
+        }
+        tys.push(ty);
+    }
+    Ok(tys)
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut iter = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(other) => return Err(format!("unexpected token in enum body: {other}")),
+        };
+        let kind = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let g = match iter.next() {
+                    Some(TokenTree::Group(g)) => g,
+                    _ => unreachable!(),
+                };
+                VariantKind::Tuple(parse_tuple_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = match iter.next() {
+                    Some(TokenTree::Group(g)) => g,
+                    _ => unreachable!(),
+                };
+                VariantKind::Named(parse_named_fields(g.stream())?)
+            }
+            _ => VariantKind::Unit,
+        };
+        // consume an optional trailing comma between variants
+        if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            iter.next();
+        }
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Result<(String, Shape), String> {
+    let mut iter = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut iter);
+    let keyword = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum, got {other:?}")),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, got {other:?}")),
+    };
+    if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "stub serde_derive does not support generic type `{name}`"
+        ));
+    }
+    match keyword.as_str() {
+        "struct" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok((name, Shape::NamedStruct(parse_named_fields(g.stream())?)))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok((name, Shape::TupleStruct(parse_tuple_fields(g.stream())?)))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok((name, Shape::UnitStruct)),
+            other => Err(format!("unexpected struct body: {other:?}")),
+        },
+        "enum" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok((name, Shape::Enum(parse_variants(g.stream())?)))
+            }
+            other => Err(format!("unexpected enum body: {other:?}")),
+        },
+        kw => Err(format!("cannot derive on `{kw}` item")),
+    }
+}
+
+fn is_option(ty: &str) -> bool {
+    ty.starts_with("Option") || ty.starts_with(":: core :: option :: Option")
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = match parse_item(input) {
+        Ok(v) => v,
+        Err(e) => return error(&e),
+    };
+    let body = match &shape {
+        Shape::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(\"{n}\".to_string(), ::serde::Serialize::to_content(&self.{n}))",
+                        n = f.name
+                    )
+                })
+                .collect();
+            format!("::serde::Content::Map(vec![{}])", entries.join(", "))
+        }
+        Shape::TupleStruct(tys) if tys.len() == 1 => {
+            "::serde::Serialize::to_content(&self.0)".to_string()
+        }
+        Shape::TupleStruct(tys) => {
+            let entries: Vec<String> = (0..tys.len())
+                .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
+                .collect();
+            format!("::serde::Content::Seq(vec![{}])", entries.join(", "))
+        }
+        Shape::UnitStruct => "::serde::Content::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| match &v.kind {
+                    VariantKind::Unit => format!(
+                        "{name}::{v} => ::serde::Content::Str(\"{v}\".to_string()),",
+                        v = v.name
+                    ),
+                    VariantKind::Tuple(tys) if tys.len() == 1 => format!(
+                        "{name}::{v}(f0) => ::serde::Content::Map(vec![(\"{v}\".to_string(), \
+                         ::serde::Serialize::to_content(f0))]),",
+                        v = v.name
+                    ),
+                    VariantKind::Tuple(tys) => {
+                        let binds: Vec<String> = (0..tys.len()).map(|i| format!("f{i}")).collect();
+                        let items: Vec<String> = (0..tys.len())
+                            .map(|i| format!("::serde::Serialize::to_content(f{i})"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({binds}) => ::serde::Content::Map(vec![(\"{v}\".to_string(), \
+                             ::serde::Content::Seq(vec![{items}]))]),",
+                            v = v.name,
+                            binds = binds.join(", "),
+                            items = items.join(", ")
+                        )
+                    }
+                    VariantKind::Named(fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(\"{n}\".to_string(), ::serde::Serialize::to_content({n}))",
+                                    n = f.name
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {binds} }} => ::serde::Content::Map(vec![(\"{v}\".to_string(), \
+                             ::serde::Content::Map(vec![{items}]))]),",
+                            v = v.name,
+                            binds = binds.join(", "),
+                            items = items.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_content(&self) -> ::serde::Content {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = match parse_item(input) {
+        Ok(v) => v,
+        Err(e) => return error(&e),
+    };
+    let body = match &shape {
+        Shape::NamedStruct(fields) => {
+            let inits: Vec<String> = fields.iter().map(|f| named_field_init(&name, f)).collect();
+            format!(
+                "let map = content.as_map().ok_or_else(|| \
+                 ::serde::DeError(format!(\"{name}: expected object, got {{}}\", content.kind())))?;\n\
+                 Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::TupleStruct(tys) if tys.len() == 1 => {
+            format!("Ok({name}(::serde::Deserialize::from_content(content)?))")
+        }
+        Shape::TupleStruct(tys) => {
+            let n = tys.len();
+            let items: Vec<String> = (0..n)
+                .map(|i| format!("::serde::Deserialize::from_content(&seq[{i}])?"))
+                .collect();
+            format!(
+                "let seq = content.as_seq().ok_or_else(|| \
+                 ::serde::DeError(\"{name}: expected array\".to_string()))?;\n\
+                 if seq.len() != {n} {{ return Err(::serde::DeError(\
+                 format!(\"{name}: expected {n} elements, got {{}}\", seq.len()))); }}\n\
+                 Ok({name}({items}))",
+                items = items.join(", ")
+            )
+        }
+        Shape::UnitStruct => format!("Ok({name})"),
+        Shape::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("\"{v}\" => Ok({name}::{v}),", v = v.name))
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| match &v.kind {
+                    VariantKind::Unit => None,
+                    VariantKind::Tuple(tys) if tys.len() == 1 => Some(format!(
+                        "\"{v}\" => Ok({name}::{v}(::serde::Deserialize::from_content(payload)?)),",
+                        v = v.name
+                    )),
+                    VariantKind::Tuple(tys) => {
+                        let n = tys.len();
+                        let items: Vec<String> = (0..n)
+                            .map(|i| format!("::serde::Deserialize::from_content(&seq[{i}])?"))
+                            .collect();
+                        Some(format!(
+                            "\"{v}\" => {{ let seq = payload.as_seq().ok_or_else(|| \
+                             ::serde::DeError(\"{name}::{v}: expected array\".to_string()))?; \
+                             if seq.len() != {n} {{ return Err(::serde::DeError(\
+                             \"{name}::{v}: wrong arity\".to_string())); }} \
+                             Ok({name}::{v}({items})) }},",
+                            v = v.name,
+                            items = items.join(", ")
+                        ))
+                    }
+                    VariantKind::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| named_field_init(&format!("{name}::{}", v.name), f))
+                            .collect();
+                        Some(format!(
+                            "\"{v}\" => {{ let map = payload.as_map().ok_or_else(|| \
+                             ::serde::DeError(\"{name}::{v}: expected object\".to_string()))?; \
+                             Ok({name}::{v} {{ {inits} }}) }},",
+                            v = v.name,
+                            inits = inits.join(", ")
+                        ))
+                    }
+                })
+                .collect();
+            format!(
+                "match content {{\n\
+                   ::serde::Content::Str(s) => match s.as_str() {{\n\
+                     {units}\n\
+                     other => Err(::serde::DeError(format!(\"{name}: unknown variant {{other}}\"))),\n\
+                   }},\n\
+                   ::serde::Content::Map(entries) if entries.len() == 1 => {{\n\
+                     let (tag, payload) = (&entries[0].0, &entries[0].1);\n\
+                     match tag.as_str() {{\n\
+                       {tagged}\n\
+                       other => Err(::serde::DeError(format!(\"{name}: unknown variant {{other}}\"))),\n\
+                     }}\n\
+                   }}\n\
+                   other => Err(::serde::DeError(format!(\"{name}: expected variant, got {{}}\", other.kind()))),\n\
+                 }}",
+                units = unit_arms.join("\n"),
+                tagged = tagged_arms.join("\n")
+            )
+        }
+    };
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn from_content(content: &::serde::Content) -> Result<Self, ::serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}
+
+/// `field: <lookup-and-deserialize>` initializer for one named field.
+/// Missing `Option<_>` fields become `None` (serde's behavior); any other
+/// missing field is an error.
+fn named_field_init(owner: &str, f: &Field) -> String {
+    if is_option(&f.ty) {
+        format!(
+            "{n}: match ::serde::content_get(map, \"{n}\") {{ \
+               Some(c) => ::serde::Deserialize::from_content(c)?, None => None }}",
+            n = f.name
+        )
+    } else {
+        format!(
+            "{n}: ::serde::Deserialize::from_content(::serde::content_get(map, \"{n}\")\
+             .ok_or_else(|| ::serde::DeError(\"{owner}: missing field {n}\".to_string()))?)?",
+            n = f.name
+        )
+    }
+}

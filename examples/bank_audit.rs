@@ -10,9 +10,7 @@
 //! reads it back, and audits it twice — once as a clean history, once
 //! after tampering with one read to simulate a corrupted snapshot.
 
-use leopard::{
-    IsolationLevel, Key, OpKind, Trace, Value, Verifier, VerifierConfig,
-};
+use leopard::{IsolationLevel, Key, OpKind, Trace, Value, Verifier, VerifierConfig};
 use leopard_db::{Database, DbConfig};
 use leopard_workloads::{preload_database, run_collect, RunLimit, SmallBank, WorkloadGen};
 

@@ -39,8 +39,7 @@ fn main() {
         let mut gen = workload.clone();
         let unique = unique.clone();
         joins.push(std::thread::spawn(move || {
-            let mut session =
-                TracedSession::new(db.session(), clock, ClientId(i as u32), handle);
+            let mut session = TracedSession::new(db.session(), clock, ClientId(i as u32), handle);
             let mut rng = SmallRng::seed_from_u64(1000 + i as u64);
             let mut committed = 0u64;
             for _ in 0..TXNS_PER_CLIENT {

@@ -40,7 +40,9 @@ fn main() {
     let mut sorted = Vec::new();
     for (i, stream) in run.per_client.iter().enumerate() {
         for trace in stream {
-            pipeline.push(i, trace.clone()).expect("per-client monotone");
+            pipeline
+                .push(i, trace.clone())
+                .expect("per-client monotone");
         }
         pipeline.close(i).expect("valid client");
     }

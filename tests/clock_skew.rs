@@ -6,9 +6,7 @@
 
 use leopard::{IsolationLevel, Mechanism, Verifier, VerifierConfig};
 use leopard_core::{ClientId, Trace};
-use leopard_db::{
-    Database, DbConfig, FaultKind, FaultPlan, SimClock, SkewedClock, TracedSession,
-};
+use leopard_db::{Database, DbConfig, FaultKind, FaultPlan, SimClock, SkewedClock, TracedSession};
 use leopard_workloads::{execute_txn, preload_database, SmallBank, UniqueValues, WorkloadGen};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -27,11 +25,7 @@ fn skewed_run(db: &Arc<Database>, workload: &SmallBank, clients: usize) -> Vec<T
         let mut gen = workload.clone();
         let unique = UniqueValues::new();
         // Alternate fast/slow clients across the skew range.
-        let skew = if i % 2 == 0 {
-            SKEW_NS
-        } else {
-            -SKEW_NS
-        };
+        let skew = if i % 2 == 0 { SKEW_NS } else { -SKEW_NS };
         joins.push(std::thread::spawn(move || {
             let clock = SkewedClock::new(base, skew);
             let mut session =
@@ -52,7 +46,11 @@ fn skewed_run(db: &Arc<Database>, workload: &SmallBank, clients: usize) -> Vec<T
     all
 }
 
-fn verify(traces: &[Trace], preload: &[(leopard::Key, leopard::Value)], skew_bound: u64) -> leopard::BugReport {
+fn verify(
+    traces: &[Trace],
+    preload: &[(leopard::Key, leopard::Value)],
+    skew_bound: u64,
+) -> leopard::BugReport {
     let mut cfg = VerifierConfig::for_level(IsolationLevel::Serializable);
     cfg.clock_skew_bound = skew_bound;
     let mut v = Verifier::new(cfg);
@@ -95,12 +93,8 @@ fn coarse_violations_survive_the_widening() {
     // transactions, i.e. milliseconds — far coarser than the 80 µs bound.
     let base = Arc::new(SimClock::new(100_000));
     for i in 0..4u32 {
-        let mut session = TracedSession::new(
-            db.session(),
-            Arc::clone(&base),
-            ClientId(i),
-            Vec::new(),
-        );
+        let mut session =
+            TracedSession::new(db.session(), Arc::clone(&base), ClientId(i), Vec::new());
         let mut gen = workload.clone();
         let unique = UniqueValues::new();
         let mut rng = SmallRng::seed_from_u64(u64::from(i));

@@ -52,7 +52,10 @@ fn mvto_profile_flags_newer_to_older_dependency() {
     // CockroachDB-style: timestamp ordering. A transaction that starts
     // strictly later but is read *under* an older transaction's successor
     // chain produces a newer→older dependency, which MVTO prohibits.
-    let crdb = catalog().into_iter().find(|p| p.name == "CockroachDB").unwrap();
+    let crdb = catalog()
+        .into_iter()
+        .find(|p| p.name == "CockroachDB")
+        .unwrap();
     let m = crdb.mechanisms_for(IsolationLevel::Serializable).unwrap();
     assert_eq!(m.certifier, Some(CertifierRule::MvtoTimestampOrder));
 
@@ -113,7 +116,9 @@ fn percolator_profile_has_no_lock_checking() {
         .into_iter()
         .find(|p| p.name == "TiDB (Percolator)")
         .unwrap();
-    let m = tidb.mechanisms_for(IsolationLevel::SnapshotIsolation).unwrap();
+    let m = tidb
+        .mechanisms_for(IsolationLevel::SnapshotIsolation)
+        .unwrap();
     assert!(!m.mutual_exclusion);
     // Two writers whose lock spans would collide under 2PL: legal here,
     // because the profile does not promise locks.

@@ -7,11 +7,7 @@ use leopard_db::{Database, DbConfig, FaultKind, FaultPlan};
 use leopard_workloads::{preload_database, run_collect, RunLimit, SmallBank, WorkloadGen};
 use std::time::Duration;
 
-fn run_faulty(
-    fault: FaultKind,
-    probability: f64,
-    level: IsolationLevel,
-) -> leopard::VerifyOutcome {
+fn run_faulty(fault: FaultKind, probability: f64, level: IsolationLevel) -> leopard::VerifyOutcome {
     let db = Database::with_faults(
         DbConfig {
             op_latency: Duration::from_micros(20),
@@ -46,7 +42,11 @@ fn dirty_reads_are_detected_at_rc() {
 
 #[test]
 fn stale_snapshots_are_detected_at_rc() {
-    let out = run_faulty(FaultKind::StaleSnapshot, 0.02, IsolationLevel::ReadCommitted);
+    let out = run_faulty(
+        FaultKind::StaleSnapshot,
+        0.02,
+        IsolationLevel::ReadCommitted,
+    );
     assert!(out.report.count(Mechanism::ConsistentRead) > 0);
 }
 

@@ -1,9 +1,7 @@
 //! The paper's worked examples (Figs. 3, 7, 8, 9) as end-to-end verifier
 //! tests, plus the behavioural effect of each ablation DESIGN.md lists.
 
-use leopard::{
-    IsolationLevel, Mechanism, PipelineConfig, TraceBuilder, Verifier, VerifierConfig,
-};
+use leopard::{IsolationLevel, Mechanism, PipelineConfig, TraceBuilder, Verifier, VerifierConfig};
 use leopard_core::{Key, Trace, Value};
 
 fn verify(cfg: VerifierConfig, preload: &[(u64, u64)], traces: &[Trace]) -> leopard::VerifyOutcome {

@@ -4,9 +4,7 @@
 use leopard::{IsolationLevel, PipelineConfig, TwoLevelPipeline, Verifier, VerifierConfig};
 use leopard_core::interval::{resolve_exclusive_pair, PairOrder};
 use leopard_core::verify::VersionClass;
-use leopard_core::{
-    ClientId, Interval, Key, OpKind, Timestamp, Trace, TxnId, Value,
-};
+use leopard_core::{ClientId, Interval, Key, OpKind, Timestamp, Trace, TxnId, Value};
 use proptest::prelude::*;
 
 fn iv(lo: u64, hi: u64) -> Interval {
@@ -181,7 +179,7 @@ proptest! {
             IsolationLevel::Serializable,
         ][level_idx];
         // Execute transactions strictly serially against a model store.
-        let mut state: std::collections::HashMap<u64, u64> =
+        let mut state: leopard_core::fxhash::FxHashMap<u64, u64> =
             (0..8).map(|k| (k, 0)).collect();
         let mut traces = Vec::new();
         let mut ts = 10u64;
