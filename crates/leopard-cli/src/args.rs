@@ -12,6 +12,7 @@ USAGE:
   leopard record [OPTIONS]          run a workload, write a capture file
   leopard verify <FILE> [OPTS]      audit a capture file
   leopard lint-history <FILE> [OPTS]  preflight a capture file (H001-H006)
+  leopard oracle [OPTIONS]          run the anomaly-injection verdict matrix
   leopard catalog                   print the DBMS mechanism catalog (Fig. 1)
   leopard help                      show this message
 
@@ -35,6 +36,15 @@ verify options:
 lint-history options:
   --json                        emit the diagnostic report as JSON
 
+oracle options:
+  --workload <NAME>             clean-run workload (default blindw-rw)
+  --rows <N>                    preloaded rows of the clean run (default 32)
+  --clients <N>                 clients of the clean run (default 2)
+  --txns <N>                    transactions per client (default 8)
+  --seed <N>                    clean-run RNG seed (default 42)
+  --json                        emit the verdict matrix as JSON
+  --out-dir <DIR>               also write the corpus (captures + matrix.json)
+
 exit codes: 0 clean, 1 i/o error, 2 usage error, 3 violations /
 preflight errors found, 4 verify refused (history failed preflight)";
 
@@ -47,6 +57,8 @@ pub enum Command {
     Verify(VerifyConfig),
     /// `leopard lint-history ...`
     LintHistory(LintHistoryConfig),
+    /// `leopard oracle ...`
+    Oracle(OracleConfig),
     /// `leopard catalog`
     Catalog,
     /// `leopard help`
@@ -114,6 +126,40 @@ pub struct LintHistoryConfig {
     pub file: String,
     /// Emit the report as JSON instead of human-readable text.
     pub json: bool,
+}
+
+/// Configuration of `leopard oracle`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OracleConfig {
+    /// Workload of the clean base capture.
+    pub workload: String,
+    /// Preloaded rows of the clean run.
+    pub rows: u64,
+    /// Clients of the clean run.
+    pub clients: usize,
+    /// Transactions per client.
+    pub txns: u64,
+    /// Clean-run RNG seed.
+    pub seed: u64,
+    /// Emit the verdict matrix as JSON instead of the table.
+    pub json: bool,
+    /// Also write the corpus (mutated captures + matrix.json + manifest)
+    /// into this directory.
+    pub out_dir: Option<String>,
+}
+
+impl Default for OracleConfig {
+    fn default() -> Self {
+        OracleConfig {
+            workload: "blindw-rw".to_string(),
+            rows: 32,
+            clients: 2,
+            txns: 8,
+            seed: 42,
+            json: false,
+            out_dir: None,
+        }
+    }
 }
 
 /// Parse failure.
@@ -239,6 +285,26 @@ pub fn parse_args(argv: &[String]) -> Result<Command, ParseError> {
                 file.ok_or_else(|| ParseError("lint-history needs a capture file".into()))?;
             Ok(Command::LintHistory(LintHistoryConfig { file, json }))
         }
+        "oracle" => {
+            let mut cfg = OracleConfig::default();
+            let mut it = argv[1..].iter();
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--workload" => cfg.workload = want::<String>(flag, it.next())?,
+                    "--rows" => cfg.rows = want(flag, it.next())?,
+                    "--clients" => cfg.clients = want(flag, it.next())?,
+                    "--txns" => cfg.txns = want(flag, it.next())?,
+                    "--seed" => cfg.seed = want(flag, it.next())?,
+                    "--json" => cfg.json = true,
+                    "--out-dir" => cfg.out_dir = Some(want::<String>(flag, it.next())?),
+                    other => return Err(ParseError(format!("unknown flag `{other}`"))),
+                }
+            }
+            if cfg.clients == 0 {
+                return Err(ParseError("--clients must be at least 1".to_string()));
+            }
+            Ok(Command::Oracle(cfg))
+        }
         other => Err(ParseError(format!("unknown command `{other}`"))),
     }
 }
@@ -296,6 +362,26 @@ mod tests {
         };
         assert_eq!(cfg.file, "cap.jsonl");
         assert!(cfg.json);
+    }
+
+    #[test]
+    fn oracle_defaults_and_overrides() {
+        let cmd = parse_args(&args("oracle")).unwrap();
+        assert_eq!(cmd, Command::Oracle(OracleConfig::default()));
+        let cmd = parse_args(&args(
+            "oracle --workload ycsb --rows 64 --clients 3 --txns 12 --seed 7 --json --out-dir corpus",
+        ))
+        .unwrap();
+        let Command::Oracle(cfg) = cmd else { panic!() };
+        assert_eq!(cfg.workload, "ycsb");
+        assert_eq!(cfg.rows, 64);
+        assert_eq!(cfg.clients, 3);
+        assert_eq!(cfg.txns, 12);
+        assert_eq!(cfg.seed, 7);
+        assert!(cfg.json);
+        assert_eq!(cfg.out_dir.as_deref(), Some("corpus"));
+        assert!(parse_args(&args("oracle --clients 0")).is_err());
+        assert!(parse_args(&args("oracle --bogus")).is_err());
     }
 
     #[test]

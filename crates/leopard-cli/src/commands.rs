@@ -1,57 +1,18 @@
 //! Implementations of the CLI subcommands.
 
-use crate::args::{LintHistoryConfig, RecordConfig, VerifyConfig};
+use crate::args::{LintHistoryConfig, OracleConfig, RecordConfig, VerifyConfig};
 use leopard_core::{
-    CaptureHeader, CaptureReader, CaptureWriter, PreflightAnalyzer, PreflightConfig,
-    PreflightReport, Verifier, VerifierConfig, CAPTURE_VERSION,
+    CaptureHeader, CaptureReader, CaptureWriter, IsolationLevel, PreflightAnalyzer,
+    PreflightConfig, PreflightReport, Verifier, VerifierConfig, CAPTURE_VERSION,
 };
 use leopard_db::{Database, DbConfig, FaultPlan};
-use leopard_workloads::{
-    preload_database, run_collect, BlindW, BlindWVariant, RunLimit, SmallBank, TpcC, WorkloadGen,
-    YcsbA,
-};
+use leopard_oracle::{corpus_files, run_matrix, CleanRunSpec, Schedule};
+use leopard_workloads::{bundled_workload, preload_database, run_collect, RunLimit};
 use std::io::Write;
-
-/// A workload prototype (for preloading) plus one generator per client.
-type WorkloadSet = (Box<dyn WorkloadGen>, Vec<Box<dyn WorkloadGen>>);
-
-fn build_workload(name: &str, scale: u64, threads: usize) -> Result<WorkloadSet, String> {
-    let forks = |g: &dyn Fn() -> Box<dyn WorkloadGen>| (0..threads).map(|_| g()).collect();
-    match name {
-        "smallbank" => {
-            let g = SmallBank::new(scale.max(1) * 1_000);
-            let gens = forks(&|| Box::new(g.clone()) as _);
-            Ok((Box::new(g), gens))
-        }
-        "tpcc" => {
-            let g = TpcC::new(scale.max(1));
-            let gens = (0..threads)
-                .map(|_| Box::new(g.for_client()) as Box<dyn WorkloadGen>)
-                .collect();
-            Ok((Box::new(g), gens))
-        }
-        "ycsb" => {
-            let g = YcsbA::new(scale.max(1) * 1_000, 0.9);
-            let gens = forks(&|| Box::new(g.clone()) as _);
-            Ok((Box::new(g), gens))
-        }
-        "blindw-w" | "blindw-rw" | "blindw-rw+" => {
-            let variant = match name {
-                "blindw-w" => BlindWVariant::WriteOnly,
-                "blindw-rw" => BlindWVariant::ReadWrite,
-                _ => BlindWVariant::ReadWriteRange,
-            };
-            let g = BlindW::new(variant).with_table_size(scale.max(1) * 2_000);
-            let gens = forks(&|| Box::new(g.clone()) as _);
-            Ok((Box::new(g), gens))
-        }
-        other => Err(format!("unknown workload `{other}`")),
-    }
-}
 
 /// `leopard record`: run the bundled engine + workload, write a capture.
 pub fn record(cfg: &RecordConfig, out: &mut dyn Write) -> i32 {
-    let (proto, gens) = match build_workload(&cfg.workload, cfg.scale, cfg.threads) {
+    let (proto, gens) = match bundled_workload(&cfg.workload, cfg.scale, cfg.threads) {
         Ok(x) => x,
         Err(e) => {
             let _ = writeln!(out, "error: {e}");
@@ -235,6 +196,67 @@ pub fn verify(cfg: &VerifyConfig, out: &mut dyn Write) -> i32 {
         0
     } else {
         let _ = writeln!(out, "verdict: VIOLATIONS\n{}", outcome.report);
+        3
+    }
+}
+
+/// `leopard oracle`: run the anomaly-injection differential matrix and
+/// optionally write the corpus to disk.
+pub fn oracle(cfg: &OracleConfig, out: &mut dyn Write) -> i32 {
+    let spec = CleanRunSpec {
+        workload: cfg.workload.clone(),
+        rows: cfg.rows,
+        clients: cfg.clients,
+        txns_per_client: cfg.txns,
+        level: IsolationLevel::Serializable,
+        seed: cfg.seed,
+        tick: 100,
+        schedule: Schedule::Serial,
+    };
+    let report = match run_matrix(&spec) {
+        Ok(r) => r,
+        Err(e) => {
+            let _ = writeln!(out, "error: {e}");
+            return 2;
+        }
+    };
+    if cfg.json {
+        match serde_json::to_string(&report) {
+            Ok(json) => {
+                let _ = writeln!(out, "{json}");
+            }
+            Err(e) => {
+                let _ = writeln!(out, "error: {e}");
+                return 1;
+            }
+        }
+    } else {
+        let _ = writeln!(out, "{report}");
+    }
+    if let Some(dir) = &cfg.out_dir {
+        let files = match corpus_files(&spec) {
+            Ok(f) => f,
+            Err(e) => {
+                let _ = writeln!(out, "error: {e}");
+                return 1;
+            }
+        };
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            let _ = writeln!(out, "error: cannot create {dir}: {e}");
+            return 1;
+        }
+        for (name, bytes) in &files {
+            let path = std::path::Path::new(dir).join(name);
+            if let Err(e) = std::fs::write(&path, bytes) {
+                let _ = writeln!(out, "error: cannot write {}: {e}", path.display());
+                return 1;
+            }
+        }
+        let _ = writeln!(out, "wrote {} corpus files to {dir}", files.len());
+    }
+    if report.all_ok {
+        0
+    } else {
         3
     }
 }
@@ -447,6 +469,57 @@ mod tests {
         assert_eq!(code, 3, "{text}");
         assert!(text.contains("\"H006\""));
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn oracle_matrix_agrees_and_writes_corpus() {
+        let dir = std::env::temp_dir().join(format!("leopard_oracle_cmd_{}", std::process::id()));
+        let mut out = Vec::new();
+        let code = oracle(
+            &crate::args::OracleConfig {
+                out_dir: Some(dir.to_string_lossy().into_owned()),
+                ..crate::args::OracleConfig::default()
+            },
+            &mut out,
+        );
+        let text = String::from_utf8_lossy(&out);
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("all cells agree"), "{text}");
+        for name in [
+            "base.jsonl",
+            "write-skew.jsonl",
+            "matrix.json",
+            "manifest.json",
+        ] {
+            assert!(dir.join(name).is_file(), "{name} missing");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn oracle_json_output_is_parseable() {
+        let mut out = Vec::new();
+        let code = oracle(
+            &crate::args::OracleConfig {
+                json: true,
+                ..crate::args::OracleConfig::default()
+            },
+            &mut out,
+        );
+        let text = String::from_utf8_lossy(&out);
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("\"all_ok\":true"), "{text}");
+        let mut out = Vec::new();
+        assert_eq!(
+            oracle(
+                &crate::args::OracleConfig {
+                    workload: "nope".to_string(),
+                    ..crate::args::OracleConfig::default()
+                },
+                &mut out,
+            ),
+            2
+        );
     }
 
     #[test]

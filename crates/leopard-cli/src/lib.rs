@@ -8,6 +8,10 @@
 //!   profile; a history preflight pass (H001–H006) runs first and refuses
 //!   error-severity histories with exit code 4 unless `--skip-preflight`;
 //! * `lint-history` — run only the preflight analysis, human or `--json`;
+//! * `oracle` — run the anomaly-injection differential verdict matrix
+//!   (9 anomaly classes × 4 levels × {Leopard, Cobra, cycle-search},
+//!   plus the preflight corruption checks), optionally writing the
+//!   deterministic corpus with `--out-dir`;
 //! * `catalog` — print the Fig. 1 mechanism catalog.
 //!
 //! Argument parsing is hand-rolled (`--key value` pairs) to stay inside
@@ -28,6 +32,7 @@ pub fn run(argv: &[String], out: &mut dyn std::io::Write) -> i32 {
         Ok(Command::Record(cfg)) => commands::record(&cfg, out),
         Ok(Command::Verify(cfg)) => commands::verify(&cfg, out),
         Ok(Command::LintHistory(cfg)) => commands::lint_history(&cfg, out),
+        Ok(Command::Oracle(cfg)) => commands::oracle(&cfg, out),
         Ok(Command::Catalog) => commands::catalog(out),
         Ok(Command::Help) => {
             let _ = writeln!(out, "{}", args::USAGE);

@@ -82,6 +82,16 @@ impl Interval {
         !self.certainly_before(other) && !other.certainly_before(self)
     }
 
+    /// `true` iff `other` lies entirely within `self` (bounds inclusive).
+    ///
+    /// Containment implies overlap for non-degenerate intervals and is
+    /// transitive: if `a.contains(b)` and `b.contains(c)` then
+    /// `a.contains(c)` — the property tests pin both facts.
+    #[must_use]
+    pub fn contains(&self, other: &Interval) -> bool {
+        self.lo <= other.lo && other.hi <= self.hi
+    }
+
     /// Width of the interval in nanoseconds.
     #[must_use]
     pub fn width(&self) -> u64 {

@@ -280,9 +280,7 @@ impl TwoLevelPipeline {
             if self.heap_top_dispatchable() {
                 // `heap_top_dispatchable` returned true, so the heap is
                 // non-empty; degrade to "nothing provable" otherwise.
-                let Some(Reverse(entry)) = self.heap.pop() else {
-                    return None;
-                };
+                let Reverse(entry) = self.heap.pop()?;
                 self.stats.dispatched += 1;
                 debug_assert!(
                     entry.trace.ts_bef() >= self.last_dispatched,

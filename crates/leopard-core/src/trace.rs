@@ -39,6 +39,16 @@ impl OpKind {
         matches!(self, OpKind::Commit | OpKind::Abort)
     }
 
+    /// The (key, value) set a data operation touched; `None` for the
+    /// terminal operations (`Commit`, `Abort`), which carry no data.
+    #[must_use]
+    pub fn key_values(&self) -> Option<&[(Key, Value)]> {
+        match self {
+            OpKind::Read(set) | OpKind::LockedRead(set) | OpKind::Write(set) => Some(set),
+            OpKind::Commit | OpKind::Abort => None,
+        }
+    }
+
     /// Short tag used in diagnostics.
     #[must_use]
     pub fn tag(&self) -> &'static str {

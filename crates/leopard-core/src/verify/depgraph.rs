@@ -100,9 +100,7 @@ impl DepGraph {
         let bit = kind_bit(kind);
         let was_new_pair;
         {
-            let Some(from_node) = self.nodes.get_mut(&from) else {
-                return None;
-            };
+            let from_node = self.nodes.get_mut(&from)?;
             let entry = from_node.out.entry(to).or_insert(0);
             if *entry & bit != 0 {
                 return None; // duplicate edge of the same kind

@@ -39,6 +39,34 @@ pub enum FaultKind {
     PhantomExtraVersion,
 }
 
+impl FaultKind {
+    /// Every fault kind, in declaration order.
+    pub const ALL: [FaultKind; 7] = [
+        FaultKind::SkipLock,
+        FaultKind::FirstWriteNoLock,
+        FaultKind::StaleSnapshot,
+        FaultKind::DirtyRead,
+        FaultKind::AllowLostUpdate,
+        FaultKind::SkipCertifier,
+        FaultKind::PhantomExtraVersion,
+    ];
+
+    /// The verification mechanism this fault violates — the one Leopard
+    /// must name when it flags a capture recorded under the fault.
+    #[must_use]
+    pub fn mechanism(self) -> leopard_core::Mechanism {
+        use leopard_core::Mechanism;
+        match self {
+            FaultKind::SkipLock | FaultKind::FirstWriteNoLock => Mechanism::MutualExclusion,
+            FaultKind::StaleSnapshot | FaultKind::DirtyRead | FaultKind::PhantomExtraVersion => {
+                Mechanism::ConsistentRead
+            }
+            FaultKind::AllowLostUpdate => Mechanism::FirstUpdaterWins,
+            FaultKind::SkipCertifier => Mechanism::SerializationCertifier,
+        }
+    }
+}
+
 /// When a fault fires.
 #[derive(Debug)]
 enum Trigger {
@@ -177,6 +205,22 @@ mod tests {
         assert!(p.fires(FaultKind::StaleSnapshot));
         assert!(!p.fires(FaultKind::StaleSnapshot));
         assert_eq!(p.fired_count(), 1);
+    }
+
+    #[test]
+    fn every_fault_names_its_mechanism() {
+        use leopard_core::Mechanism;
+        assert_eq!(FaultKind::ALL.len(), 7);
+        for kind in FaultKind::ALL {
+            // The match in mechanism() is exhaustive; this pins the
+            // lock-family faults to ME, which fault_detection relies on.
+            match kind {
+                FaultKind::SkipLock | FaultKind::FirstWriteNoLock => {
+                    assert_eq!(kind.mechanism(), Mechanism::MutualExclusion);
+                }
+                _ => assert_ne!(kind.mechanism(), Mechanism::MutualExclusion),
+            }
+        }
     }
 
     #[test]

@@ -283,7 +283,7 @@ pub fn scan_file(rel: &str, content: &str) -> Vec<Finding> {
             }
             continue;
         }
-        allows.extend(pending_allows.drain(..));
+        allows.append(&mut pending_allows);
         let allowed = |code: &str| allows.iter().any(|a| a == code);
 
         if scope.l001 && !allowed("L001") {

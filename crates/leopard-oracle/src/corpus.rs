@@ -1,0 +1,436 @@
+//! Deterministic clean-capture generation.
+//!
+//! The corpus generator runs a bundled workload against the real
+//! `leopard-db` engine, but on **one thread** with a [`SimClock`], so the
+//! produced capture is a pure function of its [`CleanRunSpec`] — the same
+//! spec always yields byte-identical JSONL. Two schedules are offered:
+//!
+//! * **serial** — each transaction runs to completion before the next one
+//!   starts (round-robin over clients). Serial histories verify clean at
+//!   *every* isolation level, which makes them the right substrate for
+//!   anomaly injection: after a mutation, the gadget is provably the only
+//!   violation in the capture.
+//! * **interleaved** — a seeded scheduler advances one transaction *step*
+//!   at a time across clients, so transactions genuinely overlap and the
+//!   engine's locks / snapshots / certifier all fire. Such captures are
+//!   clean at the engine's declared level (the soundness smoke test's
+//!   subject) but not necessarily at other levels.
+
+use leopard_core::fxhash::FxHashMap;
+use leopard_core::{
+    CaptureHeader, CaptureWriter, ClientId, IsolationLevel, Key, Trace, Value, CAPTURE_VERSION,
+};
+use leopard_db::{Database, DbConfig, SimClock, TracedSession};
+use leopard_workloads::{bundled_workload_mini, TxnStep, UniqueValues, ValueRule, WorkloadGen};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How client transactions are scheduled by the generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Schedule {
+    /// One whole transaction at a time, round-robin: clean at every level.
+    Serial,
+    /// One step at a time, seeded random client order: real concurrency,
+    /// clean at the engine's declared level only.
+    Interleaved,
+}
+
+/// The full recipe for one deterministic clean capture.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CleanRunSpec {
+    /// Bundled workload name (see `leopard_workloads::BUNDLED_WORKLOADS`).
+    pub workload: String,
+    /// Approximate preloaded rows (mini sizing).
+    pub rows: u64,
+    /// Number of logical clients.
+    pub clients: usize,
+    /// Transaction attempts per client.
+    pub txns_per_client: u64,
+    /// Isolation level the engine runs at.
+    pub level: IsolationLevel,
+    /// Seed driving workload generators and the interleaved scheduler.
+    pub seed: u64,
+    /// SimClock step in simulated nanoseconds per clock read.
+    pub tick: u64,
+    /// The schedule.
+    pub schedule: Schedule,
+}
+
+impl CleanRunSpec {
+    /// The committed golden corpus's base recipe. Changing any field here
+    /// invalidates `tests/corpus/` — regenerate it with
+    /// `leopard oracle --out-dir tests/corpus`.
+    #[must_use]
+    pub fn corpus_default() -> CleanRunSpec {
+        CleanRunSpec {
+            workload: "blindw-rw".to_string(),
+            rows: 32,
+            clients: 2,
+            txns_per_client: 8,
+            level: IsolationLevel::Serializable,
+            seed: 42,
+            tick: 100,
+            schedule: Schedule::Serial,
+        }
+    }
+}
+
+/// An in-memory capture: header (with preload) plus the trace stream in
+/// dispatch order.
+#[derive(Debug, Clone)]
+pub struct Capture {
+    /// The capture header, including the preloaded rows.
+    pub header: CaptureHeader,
+    /// Traces sorted by `(ts_bef, ts_aft, txn)`.
+    pub traces: Vec<Trace>,
+}
+
+impl Capture {
+    /// Serializes to the JSONL capture format (header line + one trace per
+    /// line), exactly as `leopard record` writes it.
+    ///
+    /// # Panics
+    /// Never: writing to a `Vec<u8>` cannot fail and the types serialize
+    /// infallibly.
+    #[must_use]
+    pub fn to_jsonl(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        let mut w = CaptureWriter::new(&mut buf, &self.header).expect("vec write");
+        for t in &self.traces {
+            w.write(t).expect("vec write");
+        }
+        w.finish().expect("vec write");
+        buf
+    }
+
+    /// Largest `ts_aft` in the capture (0 for an empty capture).
+    #[must_use]
+    pub fn max_ts(&self) -> u64 {
+        self.traces.iter().map(|t| t.ts_aft().0).max().unwrap_or(0)
+    }
+
+    /// Largest key mentioned anywhere (preload, reads, writes).
+    #[must_use]
+    pub fn max_key(&self) -> u64 {
+        let mut m = self
+            .header
+            .preload
+            .iter()
+            .map(|&(k, _)| k.0)
+            .max()
+            .unwrap_or(0);
+        for t in &self.traces {
+            if let Some(set) = t.op.key_values() {
+                for &(k, _) in set {
+                    m = m.max(k.0);
+                }
+            }
+        }
+        m
+    }
+
+    /// Largest value mentioned anywhere (preload, reads, writes).
+    #[must_use]
+    pub fn max_value(&self) -> u64 {
+        let mut m = self
+            .header
+            .preload
+            .iter()
+            .map(|&(_, v)| v.0)
+            .max()
+            .unwrap_or(0);
+        for t in &self.traces {
+            if let Some(set) = t.op.key_values() {
+                for &(_, v) in set {
+                    m = m.max(v.0);
+                }
+            }
+        }
+        m
+    }
+
+    /// Largest transaction id in the capture.
+    #[must_use]
+    pub fn max_txn(&self) -> u64 {
+        self.traces.iter().map(|t| t.txn.0).max().unwrap_or(0)
+    }
+
+    /// Largest client id in the capture.
+    #[must_use]
+    pub fn max_client(&self) -> u32 {
+        self.traces.iter().map(|t| t.client.0).max().unwrap_or(0)
+    }
+}
+
+/// One client's in-flight state inside the deterministic executor.
+struct ExecClient {
+    session: TracedSession<Arc<SimClock>, Vec<Trace>>,
+    gen: Box<dyn WorkloadGen>,
+    rng: SmallRng,
+    steps: Vec<TxnStep>,
+    next_step: usize,
+    in_txn: bool,
+    read_vals: FxHashMap<Key, Value>,
+    remaining: u64,
+}
+
+impl ExecClient {
+    fn active(&self) -> bool {
+        self.in_txn || self.remaining > 0
+    }
+
+    /// Advances this client by one step (begin, one operation, or commit).
+    /// Mirrors `leopard_workloads::execute_txn`, unrolled so the scheduler
+    /// can interleave clients between steps.
+    fn step(&mut self, unique: &UniqueValues) {
+        if !self.in_txn {
+            self.steps = self.gen.next_txn(&mut self.rng);
+            self.next_step = 0;
+            self.read_vals.clear();
+            self.remaining -= 1;
+            self.session.begin();
+            self.in_txn = true;
+            return;
+        }
+        if self.next_step >= self.steps.len() {
+            let _ = self.session.commit();
+            self.in_txn = false;
+            return;
+        }
+        let step = self.steps[self.next_step].clone();
+        self.next_step += 1;
+        let result = match step {
+            TxnStep::Read(k) => self.session.read(k).map(|v| {
+                if let Some(v) = v {
+                    self.read_vals.insert(k, v);
+                }
+            }),
+            TxnStep::RangeRead(start, n) => self.session.read_range(start, n).map(|rows| {
+                for (k, v) in rows {
+                    self.read_vals.insert(k, v);
+                }
+            }),
+            TxnStep::LockedRead(k) => self.session.read_for_update(k).map(|v| {
+                if let Some(v) = v {
+                    self.read_vals.insert(k, v);
+                }
+            }),
+            TxnStep::Write(k, rule) => {
+                let value = match rule {
+                    ValueRule::Unique => Ok(unique.next()),
+                    ValueRule::Const(c) => Ok(Value(c)),
+                    ValueRule::AddToRead(src, delta) => match self.read_vals.get(&src) {
+                        Some(v) => Ok(Value(v.0.wrapping_add_signed(delta))),
+                        None => self
+                            .session
+                            .read(src)
+                            .map(|v| Value(v.unwrap_or(Value(0)).0.wrapping_add_signed(delta))),
+                    },
+                };
+                value.and_then(|value| {
+                    self.session.write(k, value).map(|()| {
+                        self.read_vals.insert(k, value);
+                    })
+                })
+            }
+        };
+        if result.is_err() {
+            // The traced session already emitted the abort trace.
+            self.in_txn = false;
+        }
+    }
+}
+
+/// Generates a deterministic clean capture from `spec`.
+///
+/// # Errors
+/// Returns a message when the workload name is unknown.
+pub fn generate_clean_capture(spec: &CleanRunSpec) -> Result<Capture, String> {
+    let (proto, gens) = bundled_workload_mini(&spec.workload, spec.rows, spec.clients)?;
+    let db = Database::new(DbConfig {
+        isolation: spec.level,
+        // Zero lock wait: on one thread a held lock can never be released
+        // while we wait for it, so waiting would only add nondeterminism.
+        lock_wait: Duration::ZERO,
+        lock_retry: Duration::ZERO,
+        op_latency: Duration::ZERO,
+        ..DbConfig::default()
+    });
+    let preload = proto.preload();
+    for &(k, v) in &preload {
+        db.preload(k, v);
+    }
+    let clock = Arc::new(SimClock::new(spec.tick.max(1)));
+    let unique = UniqueValues::new();
+    let mut clients: Vec<ExecClient> = gens
+        .into_iter()
+        .enumerate()
+        .map(|(i, gen)| ExecClient {
+            session: TracedSession::new(
+                db.session(),
+                Arc::clone(&clock),
+                ClientId(i as u32),
+                Vec::new(),
+            ),
+            gen,
+            rng: SmallRng::seed_from_u64(spec.seed.wrapping_add(i as u64)),
+            steps: Vec::new(),
+            next_step: 0,
+            in_txn: false,
+            read_vals: FxHashMap::default(),
+            remaining: spec.txns_per_client,
+        })
+        .collect();
+
+    let mut sched = SmallRng::seed_from_u64(spec.seed ^ 0x5EED_5EED_5EED_5EED);
+    match spec.schedule {
+        Schedule::Serial => {
+            // Round-robin whole transactions: run client i's txn to
+            // completion, then client i+1's, ...
+            let mut progressed = true;
+            while progressed {
+                progressed = false;
+                for c in &mut clients {
+                    if c.remaining > 0 {
+                        progressed = true;
+                        c.step(&unique); // begin
+                        while c.in_txn {
+                            c.step(&unique);
+                        }
+                    }
+                }
+            }
+        }
+        Schedule::Interleaved => loop {
+            let active: Vec<usize> = (0..clients.len())
+                .filter(|&i| clients[i].active())
+                .collect();
+            if active.is_empty() {
+                break;
+            }
+            let pick = active[sched.random_range(0..active.len())];
+            clients[pick].step(&unique);
+        },
+    }
+
+    let mut traces: Vec<Trace> = clients
+        .into_iter()
+        .flat_map(|c| c.session.into_parts())
+        .collect();
+    // SimClock timestamps are globally unique, so this order is total and
+    // the output deterministic.
+    traces.sort_by_key(|t| (t.ts_bef(), t.ts_aft(), t.txn));
+
+    Ok(Capture {
+        header: CaptureHeader {
+            version: CAPTURE_VERSION,
+            description: format!(
+                "oracle clean run: {} rows={} clients={} txns={} level={} seed={} schedule={:?}",
+                spec.workload,
+                spec.rows,
+                spec.clients,
+                spec.txns_per_client,
+                spec.level,
+                spec.seed,
+                spec.schedule,
+            ),
+            preload,
+        },
+        traces,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leopard_core::{PreflightAnalyzer, PreflightConfig, Verifier, VerifierConfig};
+
+    fn spec(schedule: Schedule) -> CleanRunSpec {
+        CleanRunSpec {
+            workload: "blindw-rw".to_string(),
+            rows: 16,
+            clients: 3,
+            txns_per_client: 6,
+            level: IsolationLevel::Serializable,
+            seed: 7,
+            tick: 10,
+            schedule,
+        }
+    }
+
+    fn verify_clean(cap: &Capture, level: IsolationLevel) {
+        let mut v = Verifier::new(VerifierConfig::for_level(level));
+        for &(k, val) in &cap.header.preload {
+            v.preload(k, val);
+        }
+        for t in &cap.traces {
+            v.process(t);
+        }
+        let out = v.finish();
+        assert!(out.report.is_clean(), "{level}: {}", out.report);
+    }
+
+    #[test]
+    fn generation_is_bit_deterministic() {
+        for schedule in [Schedule::Serial, Schedule::Interleaved] {
+            let a = generate_clean_capture(&spec(schedule)).unwrap();
+            let b = generate_clean_capture(&spec(schedule)).unwrap();
+            assert_eq!(a.to_jsonl(), b.to_jsonl(), "{schedule:?}");
+            assert!(!a.traces.is_empty());
+        }
+    }
+
+    #[test]
+    fn serial_captures_are_clean_at_every_level() {
+        let cap = generate_clean_capture(&spec(Schedule::Serial)).unwrap();
+        for level in [
+            IsolationLevel::ReadCommitted,
+            IsolationLevel::RepeatableRead,
+            IsolationLevel::SnapshotIsolation,
+            IsolationLevel::Serializable,
+        ] {
+            verify_clean(&cap, level);
+        }
+    }
+
+    #[test]
+    fn interleaved_captures_are_clean_at_their_declared_level() {
+        for level in [
+            IsolationLevel::ReadCommitted,
+            IsolationLevel::SnapshotIsolation,
+            IsolationLevel::Serializable,
+        ] {
+            let cap = generate_clean_capture(&CleanRunSpec {
+                level,
+                ..spec(Schedule::Interleaved)
+            })
+            .unwrap();
+            verify_clean(&cap, level);
+        }
+    }
+
+    #[test]
+    fn captures_pass_preflight_without_errors() {
+        let cap = generate_clean_capture(&spec(Schedule::Interleaved)).unwrap();
+        let report = PreflightAnalyzer::analyze(
+            PreflightConfig::default(),
+            cap.header.preload.iter().copied(),
+            cap.traces.iter(),
+        );
+        assert!(!report.has_errors(), "{report}");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate_clean_capture(&spec(Schedule::Interleaved)).unwrap();
+        let b = generate_clean_capture(&CleanRunSpec {
+            seed: 8,
+            ..spec(Schedule::Interleaved)
+        })
+        .unwrap();
+        assert_ne!(a.to_jsonl(), b.to_jsonl());
+    }
+}

@@ -1,0 +1,676 @@
+//! Seeded anomaly injection: surgical rewrites of a clean capture.
+//!
+//! Each [`Mutation`] appends a small, self-contained *gadget* — a handful
+//! of traces on fresh keys, fresh values, fresh transaction ids and fresh
+//! clients, all strictly after the clean capture's last timestamp — that
+//! exhibits exactly one anomaly class (or one well-formedness corruption).
+//! Using only fresh resources guarantees the gadget cannot interact with
+//! the clean prefix, so the mutation's *proof obligation* is precise: the
+//! mutated capture must trip the named mechanism at the named levels (for
+//! anomalies) or raise the named preflight diagnostic (for corruptions),
+//! and nothing else may change.
+//!
+//! Mutations are composable: each derives its fresh resources from the
+//! maxima of the capture it is applied to, so applying several in sequence
+//! stacks independent gadgets.
+
+use crate::corpus::Capture;
+use leopard_core::{
+    ClientId, DiagCode, Interval, Key, Mechanism, OpKind, Severity, Timestamp, Trace, TxnId, Value,
+};
+use serde::{Deserialize, Serialize};
+
+/// Gap between the clean capture's last `ts_aft` and the gadget's time
+/// base, so gadget intervals certainly follow everything in the prefix.
+const GADGET_GAP: u64 = 1_000;
+
+/// The anomaly classes the injector can exhibit, covering the paper's
+/// taxonomy (Fig. 1): the G0/G1 phenomena plus the snapshot-era anomalies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AnomalyClass {
+    /// G0: two concurrent uncommitted writes to the same key.
+    DirtyWrite,
+    /// G1b: reading a value the writer later overwrote before committing.
+    DirtyRead,
+    /// G1a: reading a value installed by a transaction that aborted.
+    AbortedRead,
+    /// Non-repeatable read: the same key read twice straddling a commit.
+    FuzzyRead,
+    /// A predicate read that grows when re-evaluated inside one txn.
+    Phantom,
+    /// Reading two keys across another transaction's atomic update.
+    ReadSkew,
+    /// Two read-modify-writes of one key, second clobbers the first.
+    LostUpdate,
+    /// Disjoint read-sets/write-sets crossing: serializability-only.
+    WriteSkew,
+    /// Two observers disagree about the order of two independent commits.
+    LongFork,
+}
+
+impl AnomalyClass {
+    /// Every anomaly class, in the matrix's display order.
+    pub const ALL: [AnomalyClass; 9] = [
+        AnomalyClass::DirtyWrite,
+        AnomalyClass::DirtyRead,
+        AnomalyClass::AbortedRead,
+        AnomalyClass::FuzzyRead,
+        AnomalyClass::Phantom,
+        AnomalyClass::ReadSkew,
+        AnomalyClass::LostUpdate,
+        AnomalyClass::WriteSkew,
+        AnomalyClass::LongFork,
+    ];
+
+    /// Stable kebab-case name: the corpus file stem and matrix row label.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            AnomalyClass::DirtyWrite => "dirty-write",
+            AnomalyClass::DirtyRead => "dirty-read",
+            AnomalyClass::AbortedRead => "aborted-read",
+            AnomalyClass::FuzzyRead => "fuzzy-read",
+            AnomalyClass::Phantom => "phantom",
+            AnomalyClass::ReadSkew => "read-skew",
+            AnomalyClass::LostUpdate => "lost-update",
+            AnomalyClass::WriteSkew => "write-skew",
+            AnomalyClass::LongFork => "long-fork",
+        }
+    }
+
+    /// The mechanism (§III) whose check the gadget is built to trip.
+    #[must_use]
+    pub fn mechanism(self) -> Mechanism {
+        match self {
+            AnomalyClass::DirtyWrite => Mechanism::MutualExclusion,
+            AnomalyClass::DirtyRead
+            | AnomalyClass::AbortedRead
+            | AnomalyClass::FuzzyRead
+            | AnomalyClass::Phantom
+            | AnomalyClass::ReadSkew
+            | AnomalyClass::LongFork => Mechanism::ConsistentRead,
+            AnomalyClass::LostUpdate => Mechanism::FirstUpdaterWins,
+            AnomalyClass::WriteSkew => Mechanism::SerializationCertifier,
+        }
+    }
+
+    /// Expected Leopard verdict per level, `true` = reject, in the order
+    /// RC, RR, SI, SR. This is the paper's Fig. 1 matrix restricted to the
+    /// four PostgreSQL levels.
+    #[must_use]
+    pub fn rejected_at(self) -> [bool; 4] {
+        match self {
+            // G0/G1 phenomena are illegal even at Read Committed.
+            AnomalyClass::DirtyWrite | AnomalyClass::DirtyRead | AnomalyClass::AbortedRead => {
+                [true, true, true, true]
+            }
+            // Snapshot anomalies: legal at RC (statement-level snapshot),
+            // illegal once reads use a transaction-level snapshot.
+            AnomalyClass::FuzzyRead
+            | AnomalyClass::Phantom
+            | AnomalyClass::ReadSkew
+            | AnomalyClass::LostUpdate
+            | AnomalyClass::LongFork => [false, true, true, true],
+            // Write skew survives every snapshot level; only the SSI
+            // certifier rejects it.
+            AnomalyClass::WriteSkew => [false, false, false, true],
+        }
+    }
+
+    /// Why the gadget must trip [`AnomalyClass::mechanism`].
+    #[must_use]
+    pub fn rationale(self) -> &'static str {
+        match self {
+            AnomalyClass::DirtyWrite => {
+                "two write locks on one key are held concurrently, so ME's \
+                 exclusion check fails at every level"
+            }
+            AnomalyClass::DirtyRead => {
+                "the read observes a version its writer later overwrote \
+                 before committing; no statement snapshot can contain it, \
+                 so CR fails even at RC"
+            }
+            AnomalyClass::AbortedRead => {
+                "the read observes a version whose writer aborted; no \
+                 snapshot contains it, so CR fails even at RC"
+            }
+            AnomalyClass::FuzzyRead => {
+                "the second read returns a version committed certainly \
+                 after the transaction's snapshot, tripping CR at \
+                 transaction-snapshot levels; each statement snapshot on \
+                 its own is consistent, so RC accepts"
+            }
+            AnomalyClass::Phantom => {
+                "the re-evaluated predicate read contains a row committed \
+                 certainly after the transaction's snapshot (CR at \
+                 transaction-snapshot levels); both statement snapshots \
+                 are individually consistent, so RC accepts"
+            }
+            AnomalyClass::ReadSkew => {
+                "the second key's read returns half of an atomic update \
+                 committed certainly after the snapshot: CR at \
+                 transaction-snapshot levels, consistent per-statement"
+            }
+            AnomalyClass::LostUpdate => {
+                "the second updater writes a key whose current version \
+                 committed certainly after the updater's snapshot, exactly \
+                 what first-updater-wins forbids; RC has no FUW check"
+            }
+            AnomalyClass::WriteSkew => {
+                "each transaction reads what the other writes with no \
+                 shared write key: every snapshot read is consistent and \
+                 FUW sees no conflicting install, but the certifier's \
+                 rw-antidependency cycle check fails at SR"
+            }
+            AnomalyClass::LongFork => {
+                "one observer sees the two independent commits in one \
+                 order, the other in the opposite order; the late read \
+                 returns a version committed certainly after the reader's \
+                 transaction snapshot (CR), while each statement snapshot \
+                 is consistent, so RC accepts"
+            }
+        }
+    }
+}
+
+/// Well-formedness corruptions, one per preflight diagnostic family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CorruptionKind {
+    /// H001: a trace whose interval has `ts_bef > ts_aft`.
+    InvertedInterval,
+    /// H002: one client's `ts_bef` stream going backwards.
+    NonMonotonicClient,
+    /// H003: a transaction committing twice.
+    DuplicateTerminal,
+    /// H004: an operation after the transaction's terminal.
+    OpAfterTerminal,
+    /// H005: the same (key, value) pair installed by two transactions.
+    DuplicateInstall,
+    /// H006: a committed read of a value no one ever wrote.
+    GarbageRead,
+}
+
+impl CorruptionKind {
+    /// Every corruption kind, in display order.
+    pub const ALL: [CorruptionKind; 6] = [
+        CorruptionKind::InvertedInterval,
+        CorruptionKind::NonMonotonicClient,
+        CorruptionKind::DuplicateTerminal,
+        CorruptionKind::OpAfterTerminal,
+        CorruptionKind::DuplicateInstall,
+        CorruptionKind::GarbageRead,
+    ];
+
+    /// Stable kebab-case name: the corpus file stem.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            CorruptionKind::InvertedInterval => "corrupt-inverted-interval",
+            CorruptionKind::NonMonotonicClient => "corrupt-nonmonotonic-client",
+            CorruptionKind::DuplicateTerminal => "corrupt-duplicate-terminal",
+            CorruptionKind::OpAfterTerminal => "corrupt-op-after-terminal",
+            CorruptionKind::DuplicateInstall => "corrupt-duplicate-install",
+            CorruptionKind::GarbageRead => "corrupt-garbage-read",
+        }
+    }
+
+    /// The preflight diagnostic the corruption must raise.
+    #[must_use]
+    pub fn diag_code(self) -> DiagCode {
+        match self {
+            CorruptionKind::InvertedInterval => DiagCode::H001,
+            CorruptionKind::NonMonotonicClient => DiagCode::H002,
+            CorruptionKind::DuplicateTerminal => DiagCode::H003,
+            CorruptionKind::OpAfterTerminal => DiagCode::H004,
+            CorruptionKind::DuplicateInstall => DiagCode::H005,
+            CorruptionKind::GarbageRead => DiagCode::H006,
+        }
+    }
+
+    /// The severity the diagnostic is raised at.
+    #[must_use]
+    pub fn severity(self) -> Severity {
+        match self {
+            CorruptionKind::DuplicateInstall => Severity::Warning,
+            _ => Severity::Error,
+        }
+    }
+}
+
+/// The proof obligation a mutation carries: what the mutated capture must
+/// provably trip, and why.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Proof {
+    /// The gadget must be rejected by `mechanism` exactly at the levels
+    /// where `rejected_at` (RC, RR, SI, SR order) is `true`.
+    Anomaly {
+        /// The mechanism the gadget is built to trip.
+        mechanism: Mechanism,
+        /// Expected reject verdicts in RC, RR, SI, SR order.
+        rejected_at: Vec<bool>,
+        /// Prose argument for the obligation.
+        rationale: &'static str,
+    },
+    /// The gadget must raise preflight diagnostic `code` at `severity`.
+    Corruption {
+        /// The diagnostic code the corruption must raise.
+        code: DiagCode,
+        /// The severity it is raised at.
+        severity: Severity,
+    },
+}
+
+/// A named, composable, proof-carrying rewrite of a clean capture.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Mutation {
+    /// Stable name: the corpus file stem and report row label.
+    pub name: String,
+    /// What the mutated capture must trip.
+    pub proof: Proof,
+    kind: MutationTarget,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+enum MutationTarget {
+    Anomaly(AnomalyClass),
+    Corruption(CorruptionKind),
+}
+
+impl Mutation {
+    /// The mutation exhibiting one anomaly class.
+    #[must_use]
+    pub fn anomaly(class: AnomalyClass) -> Mutation {
+        Mutation {
+            name: class.name().to_string(),
+            proof: Proof::Anomaly {
+                mechanism: class.mechanism(),
+                rejected_at: class.rejected_at().to_vec(),
+                rationale: class.rationale(),
+            },
+            kind: MutationTarget::Anomaly(class),
+        }
+    }
+
+    /// The mutation exhibiting one well-formedness corruption.
+    #[must_use]
+    pub fn corruption(kind: CorruptionKind) -> Mutation {
+        Mutation {
+            name: kind.name().to_string(),
+            proof: Proof::Corruption {
+                code: kind.diag_code(),
+                severity: kind.severity(),
+            },
+            kind: MutationTarget::Corruption(kind),
+        }
+    }
+
+    /// Applies the mutation, returning a new capture with the gadget
+    /// appended after the input's last timestamp.
+    #[must_use]
+    pub fn apply(&self, cap: &Capture) -> Capture {
+        let mut g = Gadget::new(cap);
+        match self.kind {
+            MutationTarget::Anomaly(class) => inject_anomaly(&mut g, class),
+            MutationTarget::Corruption(kind) => inject_corruption(&mut g, kind),
+        }
+        g.finish()
+    }
+}
+
+/// Fresh-resource allocator + trace appender over a working capture copy.
+struct Gadget {
+    cap: Capture,
+    gadget: Vec<Trace>,
+    base: u64,
+    next_key: u64,
+    next_value: u64,
+    next_txn: u64,
+    next_client: u32,
+    /// Keep gadget traces in emission order instead of re-sorting by
+    /// `ts_bef`. Needed by corruptions that model a client whose clock
+    /// jumped backwards: a global sort would normalise the disorder away.
+    preserve_order: bool,
+}
+
+/// A gadget-local transaction handle: a fresh txn id on a fresh client.
+#[derive(Clone, Copy)]
+struct GTxn {
+    txn: TxnId,
+    client: ClientId,
+}
+
+impl Gadget {
+    fn new(cap: &Capture) -> Gadget {
+        let cap = cap.clone();
+        Gadget {
+            base: cap.max_ts() + GADGET_GAP,
+            next_key: cap.max_key() + 1,
+            next_value: cap.max_value() + 1,
+            next_txn: cap.max_txn() + 1,
+            next_client: cap.max_client() + 1,
+            gadget: Vec::new(),
+            preserve_order: false,
+            cap,
+        }
+    }
+
+    /// A fresh key preloaded with a fresh value (so reads of its initial
+    /// state are justified).
+    fn preloaded_key(&mut self) -> (Key, Value) {
+        let k = Key(self.next_key);
+        self.next_key += 1;
+        let v = self.fresh_value();
+        self.cap.header.preload.push((k, v));
+        (k, v)
+    }
+
+    /// A fresh key with no preloaded row (for phantom inserts).
+    fn bare_key(&mut self) -> Key {
+        let k = Key(self.next_key);
+        self.next_key += 1;
+        k
+    }
+
+    fn fresh_value(&mut self) -> Value {
+        let v = Value(self.next_value);
+        self.next_value += 1;
+        v
+    }
+
+    fn txn(&mut self) -> GTxn {
+        let t = GTxn {
+            txn: TxnId(self.next_txn),
+            client: ClientId(self.next_client),
+        };
+        self.next_txn += 1;
+        self.next_client += 1;
+        t
+    }
+
+    fn at(&self, lo: u64, hi: u64) -> Interval {
+        Interval::new(Timestamp(self.base + lo), Timestamp(self.base + hi))
+    }
+
+    fn push(&mut self, t: GTxn, lo: u64, hi: u64, op: OpKind) {
+        self.gadget
+            .push(Trace::new(self.at(lo, hi), t.client, t.txn, op));
+    }
+
+    fn read(&mut self, t: GTxn, lo: u64, hi: u64, set: Vec<(Key, Value)>) {
+        self.push(t, lo, hi, OpKind::Read(set));
+    }
+
+    fn write(&mut self, t: GTxn, lo: u64, hi: u64, set: Vec<(Key, Value)>) {
+        self.push(t, lo, hi, OpKind::Write(set));
+    }
+
+    fn commit(&mut self, t: GTxn, lo: u64, hi: u64) {
+        self.push(t, lo, hi, OpKind::Commit);
+    }
+
+    fn abort(&mut self, t: GTxn, lo: u64, hi: u64) {
+        self.push(t, lo, hi, OpKind::Abort);
+    }
+
+    fn finish(mut self) -> Capture {
+        // Gadget traces all start after the clean prefix's last ts_aft,
+        // so sorting the block and appending preserves global dispatch
+        // order (ts_bef-sorted), which the verifier pipeline expects.
+        if !self.preserve_order {
+            self.gadget.sort_by_key(|t| (t.ts_bef(), t.ts_aft(), t.txn));
+        }
+        self.cap.traces.append(&mut self.gadget);
+        self.cap
+    }
+}
+
+fn inject_anomaly(g: &mut Gadget, class: AnomalyClass) {
+    match class {
+        AnomalyClass::DirtyWrite => {
+            let (x, _) = g.preloaded_key();
+            let (a, b) = (g.fresh_value(), g.fresh_value());
+            let (t1, t2) = (g.txn(), g.txn());
+            g.write(t1, 0, 10, vec![(x, a)]);
+            g.write(t2, 1, 9, vec![(x, b)]);
+            g.commit(t1, 11, 20);
+            g.commit(t2, 12, 21);
+        }
+        AnomalyClass::DirtyRead => {
+            let (x, _) = g.preloaded_key();
+            let (a, b) = (g.fresh_value(), g.fresh_value());
+            let (t1, t2) = (g.txn(), g.txn());
+            g.write(t1, 10, 12, vec![(x, a)]);
+            g.read(t2, 20, 22, vec![(x, a)]);
+            g.commit(t2, 23, 25);
+            g.write(t1, 26, 28, vec![(x, b)]);
+            g.commit(t1, 30, 32);
+        }
+        AnomalyClass::AbortedRead => {
+            let (x, _) = g.preloaded_key();
+            let a = g.fresh_value();
+            let (t1, t2) = (g.txn(), g.txn());
+            g.write(t1, 10, 12, vec![(x, a)]);
+            g.abort(t1, 14, 16);
+            g.read(t2, 20, 22, vec![(x, a)]);
+            g.commit(t2, 24, 26);
+        }
+        AnomalyClass::FuzzyRead => {
+            let (x, px) = g.preloaded_key();
+            let a = g.fresh_value();
+            let (t1, t2) = (g.txn(), g.txn());
+            g.read(t2, 10, 12, vec![(x, px)]);
+            g.write(t1, 14, 16, vec![(x, a)]);
+            g.commit(t1, 18, 20);
+            g.read(t2, 24, 26, vec![(x, a)]);
+            g.commit(t2, 28, 30);
+        }
+        AnomalyClass::Phantom => {
+            let (k1, pv1) = g.preloaded_key();
+            let k2 = g.bare_key();
+            let a = g.fresh_value();
+            let (t1, t2) = (g.txn(), g.txn());
+            g.read(t1, 10, 12, vec![(k1, pv1)]);
+            g.write(t2, 14, 16, vec![(k2, a)]);
+            g.commit(t2, 18, 20);
+            g.read(t1, 24, 26, vec![(k1, pv1), (k2, a)]);
+            g.commit(t1, 28, 30);
+        }
+        AnomalyClass::ReadSkew => {
+            let (x, px) = g.preloaded_key();
+            let (y, _) = g.preloaded_key();
+            let (a, b) = (g.fresh_value(), g.fresh_value());
+            let (t1, t2) = (g.txn(), g.txn());
+            g.read(t1, 10, 12, vec![(x, px)]);
+            g.write(t2, 14, 16, vec![(x, a), (y, b)]);
+            g.commit(t2, 18, 20);
+            g.read(t1, 24, 26, vec![(y, b)]);
+            g.commit(t1, 28, 30);
+        }
+        AnomalyClass::LostUpdate => {
+            let (x, px) = g.preloaded_key();
+            let (a, b) = (g.fresh_value(), g.fresh_value());
+            let (t1, t2) = (g.txn(), g.txn());
+            g.read(t1, 0, 2, vec![(x, px)]);
+            g.read(t2, 1, 3, vec![(x, px)]);
+            g.write(t1, 10, 12, vec![(x, a)]);
+            g.commit(t1, 20, 22);
+            g.write(t2, 30, 32, vec![(x, b)]);
+            g.commit(t2, 40, 42);
+        }
+        AnomalyClass::WriteSkew => {
+            let (x, px) = g.preloaded_key();
+            let (y, py) = g.preloaded_key();
+            let (a, b) = (g.fresh_value(), g.fresh_value());
+            let (t1, t2) = (g.txn(), g.txn());
+            g.read(t1, 10, 12, vec![(x, px)]);
+            g.read(t2, 11, 13, vec![(y, py)]);
+            g.write(t1, 20, 22, vec![(y, a)]);
+            g.write(t2, 21, 23, vec![(x, b)]);
+            g.commit(t1, 30, 32);
+            g.commit(t2, 31, 33);
+        }
+        AnomalyClass::LongFork => {
+            let (x, px) = g.preloaded_key();
+            let (y, py) = g.preloaded_key();
+            let (a, b) = (g.fresh_value(), g.fresh_value());
+            let (t1, t2, t3, t4) = (g.txn(), g.txn(), g.txn(), g.txn());
+            g.read(t4, 3, 4, vec![(x, px)]);
+            g.write(t1, 5, 7, vec![(x, a)]);
+            g.commit(t1, 10, 12);
+            g.read(t3, 20, 22, vec![(y, py)]);
+            g.write(t2, 25, 27, vec![(y, b)]);
+            g.commit(t2, 30, 32);
+            g.read(t3, 40, 42, vec![(x, a)]);
+            g.commit(t3, 44, 46);
+            g.read(t4, 50, 52, vec![(y, b)]);
+            g.commit(t4, 54, 56);
+        }
+    }
+}
+
+fn inject_corruption(g: &mut Gadget, kind: CorruptionKind) {
+    match kind {
+        CorruptionKind::InvertedInterval => {
+            let (x, _) = g.preloaded_key();
+            let a = g.fresh_value();
+            let t = g.txn();
+            // Interval::new would normalise, so build the inversion raw.
+            g.gadget.push(Trace::new(
+                Interval {
+                    lo: Timestamp(g.base + 20),
+                    hi: Timestamp(g.base + 10),
+                },
+                t.client,
+                t.txn,
+                OpKind::Write(vec![(x, a)]),
+            ));
+            g.commit(t, 30, 32);
+        }
+        CorruptionKind::NonMonotonicClient => {
+            let (x, _) = g.preloaded_key();
+            let (y, _) = g.preloaded_key();
+            let (a, b) = (g.fresh_value(), g.fresh_value());
+            let t = g.txn();
+            // A client clock that jumped backwards: the second op was
+            // issued later but carries an earlier ts_bef. The disorder
+            // only exists in stream order, so keep emission order.
+            g.preserve_order = true;
+            g.write(t, 20, 22, vec![(x, a)]);
+            g.write(t, 10, 12, vec![(y, b)]);
+            g.commit(t, 30, 32);
+        }
+        CorruptionKind::DuplicateTerminal => {
+            let (x, _) = g.preloaded_key();
+            let a = g.fresh_value();
+            let t = g.txn();
+            g.write(t, 10, 12, vec![(x, a)]);
+            g.commit(t, 20, 22);
+            g.commit(t, 24, 26);
+        }
+        CorruptionKind::OpAfterTerminal => {
+            let (x, px) = g.preloaded_key();
+            let a = g.fresh_value();
+            let t = g.txn();
+            g.write(t, 10, 12, vec![(x, a)]);
+            g.commit(t, 20, 22);
+            g.read(t, 24, 26, vec![(x, px)]);
+        }
+        CorruptionKind::DuplicateInstall => {
+            let (x, _) = g.preloaded_key();
+            let a = g.fresh_value();
+            let (t1, t2) = (g.txn(), g.txn());
+            g.write(t1, 10, 12, vec![(x, a)]);
+            g.commit(t1, 14, 16);
+            g.write(t2, 20, 22, vec![(x, a)]);
+            g.commit(t2, 24, 26);
+        }
+        CorruptionKind::GarbageRead => {
+            let (x, _) = g.preloaded_key();
+            let phantom_value = g.fresh_value();
+            let t = g.txn();
+            g.read(t, 10, 12, vec![(x, phantom_value)]);
+            g.commit(t, 14, 16);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{generate_clean_capture, CleanRunSpec};
+    use leopard_core::{PreflightAnalyzer, PreflightConfig};
+
+    fn base() -> Capture {
+        generate_clean_capture(&CleanRunSpec::corpus_default()).unwrap()
+    }
+
+    #[test]
+    fn gadgets_use_only_fresh_resources() {
+        let cap = base();
+        for class in AnomalyClass::ALL {
+            let mutated = Mutation::anomaly(class).apply(&cap);
+            assert!(mutated.traces.len() > cap.traces.len(), "{class:?}");
+            // The clean prefix is untouched.
+            assert_eq!(&mutated.traces[..cap.traces.len()], &cap.traces[..]);
+            // Gadget traces start after the prefix's last timestamp.
+            let cutoff = cap.max_ts();
+            for t in &mutated.traces[cap.traces.len()..] {
+                assert!(t.ts_bef().0 > cutoff, "{class:?}: {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn anomaly_gadgets_pass_preflight_cleanly() {
+        let cap = base();
+        for class in AnomalyClass::ALL {
+            let mutated = Mutation::anomaly(class).apply(&cap);
+            let report = PreflightAnalyzer::analyze(
+                PreflightConfig::default(),
+                mutated.header.preload.iter().copied(),
+                mutated.traces.iter(),
+            );
+            assert!(!report.has_errors(), "{class:?}: {report}");
+        }
+    }
+
+    #[test]
+    fn corruption_gadgets_raise_their_diagnostic() {
+        let cap = base();
+        for kind in CorruptionKind::ALL {
+            let mutated = Mutation::corruption(kind).apply(&cap);
+            let report = PreflightAnalyzer::analyze(
+                PreflightConfig::default(),
+                mutated.header.preload.iter().copied(),
+                mutated.traces.iter(),
+            );
+            assert!(
+                report.with_code(kind.diag_code()).next().is_some(),
+                "{kind:?} did not raise {}: {report}",
+                kind.diag_code()
+            );
+        }
+    }
+
+    #[test]
+    fn mutations_compose() {
+        let cap = base();
+        let once = Mutation::anomaly(AnomalyClass::DirtyWrite).apply(&cap);
+        let twice = Mutation::anomaly(AnomalyClass::WriteSkew).apply(&once);
+        assert_eq!(
+            twice.traces.len(),
+            cap.traces.len() + 4 + 6,
+            "both gadgets present"
+        );
+        assert!(twice.max_ts() > once.max_ts());
+    }
+
+    #[test]
+    fn application_is_deterministic() {
+        let cap = base();
+        for class in AnomalyClass::ALL {
+            let m = Mutation::anomaly(class);
+            assert_eq!(m.apply(&cap).to_jsonl(), m.apply(&cap).to_jsonl());
+        }
+    }
+}

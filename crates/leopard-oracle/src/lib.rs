@@ -1,0 +1,39 @@
+//! # leopard-oracle: the anomaly-injection oracle
+//!
+//! End-to-end differential testing for the whole verification stack.
+//! The oracle answers the question the unit tests cannot: *does the
+//! verifier reject exactly the histories it should, for exactly the
+//! reason it should, at exactly the levels it should?*
+//!
+//! Three pieces:
+//!
+//! * [`corpus`] — a deterministic clean-capture generator: bundled
+//!   workloads run single-threaded on a simulated clock, so every capture
+//!   is a pure function of its [`CleanRunSpec`](corpus::CleanRunSpec) and
+//!   replays bit-identically from its seed.
+//! * [`inject`] — seeded anomaly injection: proof-carrying
+//!   [`Mutation`](inject::Mutation)s that append a surgical gadget
+//!   exhibiting one anomaly class (dirty write, dirty read, aborted read,
+//!   fuzzy read, phantom, read skew, lost update, write skew, long fork)
+//!   or one well-formedness corruption (one per preflight `H00x`
+//!   diagnostic).
+//! * [`matrix`] — the differential verdict matrix: every
+//!   (anomaly × isolation level) cell through `leopard_core::Verifier`,
+//!   plus the Cobra and cycle-search baselines and the preflight
+//!   analyzer, asserted against the expected matrix from the paper's
+//!   Fig. 1.
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod corpus;
+pub mod inject;
+pub mod matrix;
+
+pub use corpus::{generate_clean_capture, Capture, CleanRunSpec, Schedule};
+pub use inject::{AnomalyClass, CorruptionKind, Mutation, Proof};
+pub use matrix::{
+    cobra_rejects, corpus_files, cycle_search_rejects, expected_cobra_reject,
+    expected_cycle_reject, level_tag, run_matrix, verify_at, BaselineCell, CellResult,
+    CorruptionRow, MatrixReport, MatrixRow, LEVELS,
+};

@@ -1,0 +1,470 @@
+//! The differential verdict matrix.
+//!
+//! For every anomaly class the oracle injects the gadget into one shared
+//! clean capture and runs the result through
+//!
+//! * `leopard_core::Verifier` at each of the four PostgreSQL levels
+//!   (RC, RR, SI, SR),
+//! * the Cobra baseline (serializability only),
+//! * the naive cycle-search baseline (serializability only), and
+//! * the preflight analyzer (anomaly gadgets must stay well-formed),
+//!
+//! and checks each verdict against the expected matrix. The Leopard
+//! column is the paper's Fig. 1 lattice; the baseline columns are the
+//! *differential* part — they document, per anomaly, which violations a
+//! commit-order serializability checker structurally cannot see:
+//!
+//! * **Cobra** folds each transaction into one record with first-wins
+//!   reads, so a fuzzy read collapses into a single consistent read and
+//!   escapes; dirty writes produce a ww constraint either orientation of
+//!   which is acyclic; a phantom's second predicate read is just a wr
+//!   edge. It *does* reject dirty/aborted reads — the observed value is
+//!   never installed by any committed transaction.
+//! * **Cycle-search** matches reads to versions by value at read time, so
+//!   dirty and aborted reads are silently unmatched, and it only sees ww
+//!   edges for dirty writes; phantoms again reduce to a plain wr edge.
+//!
+//! Corruption mutations go through the preflight analyzer instead and
+//! must raise their `H00x` diagnostic.
+
+use crate::corpus::{generate_clean_capture, Capture, CleanRunSpec};
+use crate::inject::{AnomalyClass, CorruptionKind, Mutation};
+use leopard_baselines::{
+    collect_committed, CobraConfig, CobraVerdict, CobraVerifier, CycleSearchVerifier,
+};
+use leopard_core::{
+    IsolationLevel, PreflightAnalyzer, PreflightConfig, Severity, Verifier, VerifierConfig,
+    VerifyOutcome,
+};
+use serde::Serialize;
+use std::fmt;
+
+/// The four verification levels of the matrix, in column order.
+pub const LEVELS: [IsolationLevel; 4] = [
+    IsolationLevel::ReadCommitted,
+    IsolationLevel::RepeatableRead,
+    IsolationLevel::SnapshotIsolation,
+    IsolationLevel::Serializable,
+];
+
+/// Short column tag for a level.
+#[must_use]
+pub fn level_tag(level: IsolationLevel) -> &'static str {
+    match level {
+        IsolationLevel::ReadCommitted => "RC",
+        IsolationLevel::RepeatableRead => "RR",
+        IsolationLevel::SnapshotIsolation => "SI",
+        IsolationLevel::Serializable => "SR",
+    }
+}
+
+/// Expected Cobra verdict per anomaly class (`true` = reject).
+///
+/// Derived by stepping the gadgets through `leopard_baselines::cobra`:
+/// first-wins read folding hides fuzzy reads, ww constraints admit either
+/// orientation for dirty writes, and the phantom's second predicate read
+/// is an ordinary wr edge — everything else produces an unsatisfiable
+/// constraint or a read of a never-installed value.
+#[must_use]
+pub fn expected_cobra_reject(class: AnomalyClass) -> bool {
+    !matches!(
+        class,
+        AnomalyClass::DirtyWrite | AnomalyClass::FuzzyRead | AnomalyClass::Phantom
+    )
+}
+
+/// Expected cycle-search verdict per anomaly class (`true` = reject).
+///
+/// The naive checker ignores reads it cannot match to a committed
+/// version (dirty and aborted reads), sees only a ww edge for dirty
+/// writes, and a single wr edge for phantoms; the remaining anomalies
+/// close a dependency cycle it does find.
+#[must_use]
+pub fn expected_cycle_reject(class: AnomalyClass) -> bool {
+    !matches!(
+        class,
+        AnomalyClass::DirtyWrite
+            | AnomalyClass::DirtyRead
+            | AnomalyClass::AbortedRead
+            | AnomalyClass::Phantom
+    )
+}
+
+/// One Leopard cell: the gadget verified at one isolation level.
+#[derive(Debug, Clone, Serialize)]
+pub struct CellResult {
+    /// Column tag ("RC", "RR", "SI", "SR").
+    pub level: String,
+    /// Expected verdict (`true` = reject).
+    pub expected_reject: bool,
+    /// Actual verdict.
+    pub rejected: bool,
+    /// When rejected: whether the proof's mechanism is among the flagged
+    /// violations.
+    pub mechanism_flagged: bool,
+    /// Cell agreement: verdicts match, and on rejection the proof's
+    /// mechanism was flagged.
+    pub ok: bool,
+}
+
+/// One baseline cell: expected vs actual reject.
+#[derive(Debug, Clone, Serialize)]
+pub struct BaselineCell {
+    /// Expected verdict (`true` = reject).
+    pub expected_reject: bool,
+    /// Actual verdict.
+    pub rejected: bool,
+    /// Agreement.
+    pub ok: bool,
+}
+
+/// One anomaly row of the matrix.
+#[derive(Debug, Clone, Serialize)]
+pub struct MatrixRow {
+    /// Anomaly name (kebab-case).
+    pub anomaly: String,
+    /// The mechanism the gadget is built to trip.
+    pub mechanism: String,
+    /// Why the gadget must trip it.
+    pub rationale: String,
+    /// Leopard verdicts per level, RC..SR.
+    pub leopard: Vec<CellResult>,
+    /// Cobra baseline verdict.
+    pub cobra: BaselineCell,
+    /// Naive cycle-search baseline verdict.
+    pub cycle_search: BaselineCell,
+    /// Preflight errors in the mutated capture (must be 0: anomaly
+    /// gadgets are well-formed histories).
+    pub preflight_errors: usize,
+    /// Row agreement: every cell ok and preflight clean.
+    pub ok: bool,
+}
+
+/// One corruption row: the mutation must trip the preflight analyzer.
+#[derive(Debug, Clone, Serialize)]
+pub struct CorruptionRow {
+    /// Corruption name (kebab-case).
+    pub corruption: String,
+    /// The diagnostic the mutation must raise.
+    pub code: String,
+    /// Expected severity ("error" or "warning").
+    pub severity: String,
+    /// Whether the diagnostic was raised at that severity.
+    pub raised: bool,
+    /// Row agreement.
+    pub ok: bool,
+}
+
+/// The full differential report.
+#[derive(Debug, Clone, Serialize)]
+pub struct MatrixReport {
+    /// The clean-capture recipe the gadgets were injected into.
+    pub spec: CleanRunSpec,
+    /// One row per anomaly class.
+    pub rows: Vec<MatrixRow>,
+    /// One row per corruption kind.
+    pub corruptions: Vec<CorruptionRow>,
+    /// Whether every row agreed with the expected matrix.
+    pub all_ok: bool,
+}
+
+/// Runs the Leopard verifier over a capture at one level.
+#[must_use]
+pub fn verify_at(cap: &Capture, level: IsolationLevel) -> VerifyOutcome {
+    let mut v = Verifier::new(VerifierConfig::for_level(level));
+    for &(k, val) in &cap.header.preload {
+        v.preload(k, val);
+    }
+    for t in &cap.traces {
+        v.process(t);
+    }
+    v.finish()
+}
+
+/// Runs the Cobra baseline over a capture; `true` = rejected.
+#[must_use]
+pub fn cobra_rejects(cap: &Capture) -> bool {
+    let mut cobra = CobraVerifier::new(CobraConfig {
+        // No GC: the oracle's captures are small and fences would only
+        // blur which constraint went unsatisfiable.
+        fence_every: None,
+        ..CobraConfig::default()
+    });
+    for &(k, v) in &cap.header.preload {
+        cobra.preload(k, v);
+    }
+    for rec in collect_committed(&cap.traces) {
+        cobra.add_txn(&rec);
+    }
+    matches!(cobra.finish().verdict, CobraVerdict::Violation { .. })
+}
+
+/// Runs the naive cycle-search baseline over a capture; `true` = rejected.
+#[must_use]
+pub fn cycle_search_rejects(cap: &Capture) -> bool {
+    let mut v = CycleSearchVerifier::new();
+    for &(k, val) in &cap.header.preload {
+        v.preload(k, val);
+    }
+    for t in &cap.traces {
+        v.process(t);
+    }
+    !v.finish().cycles.is_empty()
+}
+
+fn anomaly_row(base: &Capture, class: AnomalyClass) -> MatrixRow {
+    let mutated = Mutation::anomaly(class).apply(base);
+    let mechanism = class.mechanism();
+    let expected = class.rejected_at();
+    let leopard: Vec<CellResult> = LEVELS
+        .iter()
+        .zip(expected)
+        .map(|(&level, expected_reject)| {
+            let outcome = verify_at(&mutated, level);
+            let rejected = !outcome.report.is_clean();
+            let mechanism_flagged = outcome.report.count(mechanism) > 0;
+            CellResult {
+                level: level_tag(level).to_string(),
+                expected_reject,
+                rejected,
+                mechanism_flagged,
+                ok: rejected == expected_reject && (!rejected || mechanism_flagged),
+            }
+        })
+        .collect();
+    let cobra = BaselineCell {
+        expected_reject: expected_cobra_reject(class),
+        rejected: cobra_rejects(&mutated),
+        ok: false,
+    };
+    let cobra = BaselineCell {
+        ok: cobra.rejected == cobra.expected_reject,
+        ..cobra
+    };
+    let cycle = BaselineCell {
+        expected_reject: expected_cycle_reject(class),
+        rejected: cycle_search_rejects(&mutated),
+        ok: false,
+    };
+    let cycle_search = BaselineCell {
+        ok: cycle.rejected == cycle.expected_reject,
+        ..cycle
+    };
+    let preflight_errors = PreflightAnalyzer::analyze(
+        PreflightConfig::default(),
+        mutated.header.preload.iter().copied(),
+        mutated.traces.iter(),
+    )
+    .error_count();
+    let ok = leopard.iter().all(|c| c.ok) && cobra.ok && cycle_search.ok && preflight_errors == 0;
+    MatrixRow {
+        anomaly: class.name().to_string(),
+        mechanism: mechanism.to_string(),
+        rationale: class.rationale().to_string(),
+        leopard,
+        cobra,
+        cycle_search,
+        preflight_errors,
+        ok,
+    }
+}
+
+fn corruption_row(base: &Capture, kind: CorruptionKind) -> CorruptionRow {
+    let mutated = Mutation::corruption(kind).apply(base);
+    let report = PreflightAnalyzer::analyze(
+        PreflightConfig::default(),
+        mutated.header.preload.iter().copied(),
+        mutated.traces.iter(),
+    );
+    let raised = report
+        .with_code(kind.diag_code())
+        .any(|d| d.severity == kind.severity());
+    CorruptionRow {
+        corruption: kind.name().to_string(),
+        code: kind.diag_code().to_string(),
+        severity: match kind.severity() {
+            Severity::Error => "error".to_string(),
+            Severity::Warning => "warning".to_string(),
+        },
+        raised,
+        ok: raised,
+    }
+}
+
+/// Generates the clean capture for `spec` and runs the full differential
+/// matrix over it.
+///
+/// # Errors
+/// Returns a message when the spec's workload is unknown.
+pub fn run_matrix(spec: &CleanRunSpec) -> Result<MatrixReport, String> {
+    let base = generate_clean_capture(spec)?;
+    let rows: Vec<MatrixRow> = AnomalyClass::ALL
+        .iter()
+        .map(|&c| anomaly_row(&base, c))
+        .collect();
+    let corruptions: Vec<CorruptionRow> = CorruptionKind::ALL
+        .iter()
+        .map(|&k| corruption_row(&base, k))
+        .collect();
+    let all_ok = rows.iter().all(|r| r.ok) && corruptions.iter().all(|r| r.ok);
+    Ok(MatrixReport {
+        spec: spec.clone(),
+        rows,
+        corruptions,
+        all_ok,
+    })
+}
+
+/// The golden corpus as named in-memory files: `base.jsonl`, one mutated
+/// capture per anomaly class and corruption kind, the serialized verdict
+/// matrix (`matrix.json`) and a `manifest.json` tying them together.
+///
+/// Everything is a pure function of `spec`, so the returned bytes replay
+/// bit-identically from the committed seeds.
+///
+/// # Errors
+/// Returns a message when the spec's workload is unknown.
+pub fn corpus_files(spec: &CleanRunSpec) -> Result<Vec<(String, Vec<u8>)>, String> {
+    let base = generate_clean_capture(spec)?;
+    let mut files = vec![("base.jsonl".to_string(), base.to_jsonl())];
+    let mutations: Vec<Mutation> = AnomalyClass::ALL
+        .iter()
+        .map(|&c| Mutation::anomaly(c))
+        .chain(CorruptionKind::ALL.iter().map(|&k| Mutation::corruption(k)))
+        .collect();
+    for m in &mutations {
+        files.push((format!("{}.jsonl", m.name), m.apply(&base).to_jsonl()));
+    }
+    let report = run_matrix(spec)?;
+    let mut matrix_json =
+        serde_json::to_string(&report).map_err(|e| format!("matrix serialization failed: {e}"))?;
+    matrix_json.push('\n');
+    files.push(("matrix.json".to_string(), matrix_json.into_bytes()));
+    #[derive(Serialize)]
+    struct Manifest {
+        spec: CleanRunSpec,
+        mutations: Vec<Mutation>,
+        files: Vec<String>,
+    }
+    let mut manifest_json = serde_json::to_string(&Manifest {
+        spec: spec.clone(),
+        mutations,
+        files: files
+            .iter()
+            .map(|(n, _)| n.clone())
+            .chain(std::iter::once("manifest.json".to_string()))
+            .collect(),
+    })
+    .map_err(|e| format!("manifest serialization failed: {e}"))?;
+    manifest_json.push('\n');
+    files.push(("manifest.json".to_string(), manifest_json.into_bytes()));
+    Ok(files)
+}
+
+impl fmt::Display for MatrixReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn cell(c: &CellResult) -> String {
+            let verdict = if c.rejected { "R" } else { "A" };
+            if c.ok {
+                format!("{verdict} ") // trailing pad aligns with "X!"
+            } else {
+                format!("{verdict}!")
+            }
+        }
+        fn bcell(c: &BaselineCell) -> String {
+            let verdict = if c.rejected { "R" } else { "A" };
+            if c.ok {
+                format!("{verdict} ")
+            } else {
+                format!("{verdict}!")
+            }
+        }
+        writeln!(
+            f,
+            "anomaly x level matrix (A = accept, R = reject, ! = disagrees with expectation)"
+        )?;
+        writeln!(
+            f,
+            "{:<14} {:<5} {:>3} {:>3} {:>3} {:>3}  {:>6} {:>6}  {:>4}",
+            "anomaly", "mech", "RC", "RR", "SI", "SR", "cobra", "cycle", "pre"
+        )?;
+        for row in &self.rows {
+            writeln!(
+                f,
+                "{:<14} {:<5} {:>3} {:>3} {:>3} {:>3}  {:>6} {:>6}  {:>4}",
+                row.anomaly,
+                row.mechanism,
+                cell(&row.leopard[0]),
+                cell(&row.leopard[1]),
+                cell(&row.leopard[2]),
+                cell(&row.leopard[3]),
+                bcell(&row.cobra),
+                bcell(&row.cycle_search),
+                row.preflight_errors,
+            )?;
+        }
+        writeln!(f, "corruptions (preflight):")?;
+        for row in &self.corruptions {
+            writeln!(
+                f,
+                "{:<28} {:<5} {:<8} {}",
+                row.corruption,
+                row.code,
+                row.severity,
+                if row.raised { "raised" } else { "MISSING!" },
+            )?;
+        }
+        write!(
+            f,
+            "verdict matrix: {}",
+            if self.all_ok {
+                "all cells agree"
+            } else {
+                "MISMATCH"
+            }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_matrix_agrees() {
+        let report = run_matrix(&CleanRunSpec::corpus_default()).unwrap();
+        assert!(report.all_ok, "\n{report}");
+        assert_eq!(report.rows.len(), 9);
+        assert_eq!(report.corruptions.len(), 6);
+    }
+
+    #[test]
+    fn clean_base_is_accepted_everywhere() {
+        let base = generate_clean_capture(&CleanRunSpec::corpus_default()).unwrap();
+        for level in LEVELS {
+            assert!(
+                verify_at(&base, level).report.is_clean(),
+                "clean base rejected at {level}"
+            );
+        }
+        assert!(!cobra_rejects(&base));
+        assert!(!cycle_search_rejects(&base));
+    }
+
+    #[test]
+    fn display_renders_every_row() {
+        let report = run_matrix(&CleanRunSpec::corpus_default()).unwrap();
+        let text = report.to_string();
+        for row in &report.rows {
+            assert!(text.contains(&row.anomaly), "{}", row.anomaly);
+        }
+        assert!(text.contains("corrupt-garbage-read"));
+    }
+
+    #[test]
+    fn report_serializes_to_json() {
+        let report = run_matrix(&CleanRunSpec::corpus_default()).unwrap();
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(json.contains("\"all_ok\":true"), "{json}");
+    }
+}

@@ -1,0 +1,150 @@
+//! The registry of bundled workloads, shared by the CLI, the oracle's
+//! corpus generator and the soundness tests.
+//!
+//! Two sizings are offered: [`bundled_workload`] keeps the CLI's
+//! scale-factor semantics (scale 1 ≈ thousands of rows), while
+//! [`bundled_workload_mini`] builds deliberately tiny instances for tests
+//! that create thousands of short-lived databases.
+
+use crate::blindw::{BlindW, BlindWVariant};
+use crate::smallbank::SmallBank;
+use crate::spec::WorkloadGen;
+use crate::tpcc::TpcC;
+use crate::ycsb::YcsbA;
+
+/// Names accepted by [`bundled_workload`], in stable order.
+pub const BUNDLED_WORKLOADS: [&str; 6] = [
+    "smallbank",
+    "tpcc",
+    "ycsb",
+    "blindw-w",
+    "blindw-rw",
+    "blindw-rw+",
+];
+
+/// A workload prototype (for preloading) plus one generator per client.
+pub type WorkloadSet = (Box<dyn WorkloadGen>, Vec<Box<dyn WorkloadGen>>);
+
+fn blindw_variant(name: &str) -> Option<BlindWVariant> {
+    match name {
+        "blindw-w" => Some(BlindWVariant::WriteOnly),
+        "blindw-rw" => Some(BlindWVariant::ReadWrite),
+        "blindw-rw+" => Some(BlindWVariant::ReadWriteRange),
+        _ => None,
+    }
+}
+
+/// Builds a bundled workload by name at the CLI's scale-factor sizing
+/// (scale 1: SmallBank 1000 accounts, TPC-C 1 warehouse, YCSB 1000
+/// records, BlindW 2000 rows).
+///
+/// # Errors
+/// Returns a message naming the unknown workload.
+pub fn bundled_workload(name: &str, scale: u64, clients: usize) -> Result<WorkloadSet, String> {
+    let forks = |g: &dyn Fn() -> Box<dyn WorkloadGen>| (0..clients).map(|_| g()).collect();
+    match name {
+        "smallbank" => {
+            let g = SmallBank::new(scale.max(1) * 1_000);
+            let gens = forks(&|| Box::new(g.clone()) as _);
+            Ok((Box::new(g), gens))
+        }
+        "tpcc" => {
+            let g = TpcC::new(scale.max(1));
+            let gens = (0..clients)
+                .map(|_| Box::new(g.for_client()) as Box<dyn WorkloadGen>)
+                .collect();
+            Ok((Box::new(g), gens))
+        }
+        "ycsb" => {
+            let g = YcsbA::new(scale.max(1) * 1_000, 0.9);
+            let gens = forks(&|| Box::new(g.clone()) as _);
+            Ok((Box::new(g), gens))
+        }
+        _ => match blindw_variant(name) {
+            Some(variant) => {
+                let g = BlindW::new(variant).with_table_size(scale.max(1) * 2_000);
+                let gens = forks(&|| Box::new(g.clone()) as _);
+                Ok((Box::new(g), gens))
+            }
+            None => Err(format!("unknown workload `{name}`")),
+        },
+    }
+}
+
+/// Builds a tiny instance of a bundled workload: about `rows` preloaded
+/// records regardless of the workload's natural scale. Meant for test
+/// harnesses (the oracle's corpus generator, the soundness smoke test)
+/// that build thousands of short-lived databases.
+///
+/// # Errors
+/// Returns a message naming the unknown workload.
+pub fn bundled_workload_mini(name: &str, rows: u64, clients: usize) -> Result<WorkloadSet, String> {
+    let rows = rows.max(4);
+    let forks = |g: &dyn Fn() -> Box<dyn WorkloadGen>| (0..clients).map(|_| g()).collect();
+    match name {
+        "smallbank" => {
+            // Two rows (checking + savings) per account.
+            let g = SmallBank::new(rows / 2);
+            let gens = forks(&|| Box::new(g.clone()) as _);
+            Ok((Box::new(g), gens))
+        }
+        "tpcc" => {
+            let g = TpcC::new(1);
+            let gens = (0..clients)
+                .map(|_| Box::new(g.for_client()) as Box<dyn WorkloadGen>)
+                .collect();
+            Ok((Box::new(g), gens))
+        }
+        "ycsb" => {
+            let g = YcsbA::new(rows, 0.9);
+            let gens = forks(&|| Box::new(g.clone()) as _);
+            Ok((Box::new(g), gens))
+        }
+        _ => match blindw_variant(name) {
+            Some(variant) => {
+                let g = BlindW::new(variant).with_table_size(rows);
+                let gens = forks(&|| Box::new(g.clone()) as _);
+                Ok((Box::new(g), gens))
+            }
+            None => Err(format!("unknown workload `{name}`")),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_bundled_name_resolves() {
+        for name in BUNDLED_WORKLOADS {
+            let (proto, gens) = bundled_workload(name, 1, 3).expect(name);
+            assert_eq!(gens.len(), 3, "{name}");
+            assert!(!proto.preload().is_empty(), "{name} preloads nothing");
+            let (proto, gens) = bundled_workload_mini(name, 32, 2).expect(name);
+            assert_eq!(gens.len(), 2, "{name}");
+            assert!(!proto.preload().is_empty(), "{name} mini preloads nothing");
+        }
+    }
+
+    #[test]
+    fn mini_instances_are_small() {
+        for name in BUNDLED_WORKLOADS {
+            if name == "tpcc" {
+                continue; // TPC-C's floor is one warehouse.
+            }
+            let (proto, _) = bundled_workload_mini(name, 32, 1).expect(name);
+            assert!(
+                proto.preload().len() <= 64,
+                "{name} mini preloads {} rows",
+                proto.preload().len()
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_names_are_rejected() {
+        assert!(bundled_workload("nope", 1, 1).is_err());
+        assert!(bundled_workload_mini("nope", 8, 1).is_err());
+    }
+}

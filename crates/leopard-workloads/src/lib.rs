@@ -15,6 +15,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod blindw;
+pub mod bundled;
 pub mod runner;
 pub mod smallbank;
 pub mod spec;
@@ -23,6 +24,7 @@ pub mod ycsb;
 pub mod zipf;
 
 pub use blindw::{BlindW, BlindWVariant};
+pub use bundled::{bundled_workload, bundled_workload_mini, WorkloadSet, BUNDLED_WORKLOADS};
 pub use runner::{
     execute_txn, preload_database, run_collect, run_with_sinks, RunLimit, RunOutput, RunStats,
 };

@@ -1,2 +1,4 @@
 //! Facade crate; see crates/*.
 pub use leopard_core::*;
+
+pub mod testseed;

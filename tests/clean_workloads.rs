@@ -1,6 +1,7 @@
 //! End-to-end soundness: clean engines must verify clean (no false
 //! positives) across every workload and isolation level.
 
+use leopard::testseed::test_seed;
 use leopard::{IsolationLevel, Verifier, VerifierConfig};
 use leopard_db::{Database, DbConfig};
 use leopard_workloads::{
@@ -13,10 +14,11 @@ fn verify_run(
     proto: &dyn WorkloadGen,
     level: IsolationLevel,
     txns: u64,
+    seed: u64,
 ) -> leopard::VerifyOutcome {
     let db = Database::new(DbConfig::at(level));
     let preload = preload_database(&db, proto);
-    let out = run_collect(&db, gens, RunLimit::Txns(txns), 0xC0FFEE);
+    let out = run_collect(&db, gens, RunLimit::Txns(txns), seed);
     let mut verifier = Verifier::new(VerifierConfig::for_level(level));
     for (k, v) in preload {
         verifier.preload(k, v);
@@ -38,36 +40,47 @@ fn clones<G: WorkloadGen + Clone + 'static>(g: &G, n: usize) -> Vec<Box<dyn Work
 
 #[test]
 fn blindw_rw_clean_at_serializable() {
+    let seed = test_seed(0xC0FFEE);
     let g = BlindW::new(BlindWVariant::ReadWrite).with_table_size(256);
-    let out = verify_run(clones(&g, 8), &g, IsolationLevel::Serializable, 150);
-    assert!(out.report.is_clean(), "{}", out.report);
+    let out = verify_run(clones(&g, 8), &g, IsolationLevel::Serializable, 150, seed);
+    assert!(out.report.is_clean(), "seed={seed}: {}", out.report);
 }
 
 #[test]
 fn smallbank_clean_at_serializable() {
+    let seed = test_seed(0xC0FFEE);
     let g = SmallBank::new(64);
-    let out = verify_run(clones(&g, 8), &g, IsolationLevel::Serializable, 150);
-    assert!(out.report.is_clean(), "{}", out.report);
+    let out = verify_run(clones(&g, 8), &g, IsolationLevel::Serializable, 150, seed);
+    assert!(out.report.is_clean(), "seed={seed}: {}", out.report);
 }
 
 #[test]
 fn tpcc_clean_at_serializable() {
+    let seed = test_seed(0xC0FFEE);
     let g = TpcC::new(2);
     let gens: Vec<Box<dyn WorkloadGen>> = (0..6).map(|_| Box::new(g.for_client()) as _).collect();
-    let out = verify_run(gens, &g, IsolationLevel::Serializable, 100);
-    assert!(out.report.is_clean(), "{}", out.report);
+    let out = verify_run(gens, &g, IsolationLevel::Serializable, 100, seed);
+    assert!(out.report.is_clean(), "seed={seed}: {}", out.report);
 }
 
 #[test]
 fn ycsb_clean_at_read_committed() {
+    let seed = test_seed(0xC0FFEE);
     let g = YcsbA::new(512, 0.9);
-    let out = verify_run(clones(&g, 8), &g, IsolationLevel::ReadCommitted, 400);
-    assert!(out.report.is_clean(), "{}", out.report);
+    let out = verify_run(clones(&g, 8), &g, IsolationLevel::ReadCommitted, 400, seed);
+    assert!(out.report.is_clean(), "seed={seed}: {}", out.report);
 }
 
 #[test]
 fn smallbank_clean_at_snapshot_isolation() {
+    let seed = test_seed(0xC0FFEE);
     let g = SmallBank::new(64);
-    let out = verify_run(clones(&g, 8), &g, IsolationLevel::SnapshotIsolation, 150);
-    assert!(out.report.is_clean(), "{}", out.report);
+    let out = verify_run(
+        clones(&g, 8),
+        &g,
+        IsolationLevel::SnapshotIsolation,
+        150,
+        seed,
+    );
+    assert!(out.report.is_clean(), "seed={seed}: {}", out.report);
 }

@@ -4,6 +4,7 @@
 //! a correct engine must still verify clean; violations remain
 //! detectable as long as they are coarser than the skew.
 
+use leopard::testseed::{derive, test_seed};
 use leopard::{IsolationLevel, Mechanism, Verifier, VerifierConfig};
 use leopard_core::{ClientId, Trace};
 use leopard_db::{Database, DbConfig, FaultKind, FaultPlan, SimClock, SkewedClock, TracedSession};
@@ -16,7 +17,7 @@ use std::time::Duration;
 const SKEW_NS: i64 = 40_000; // 40 µs of per-client clock error
 
 /// Runs SmallBank clients whose clocks disagree by up to ±SKEW_NS.
-fn skewed_run(db: &Arc<Database>, workload: &SmallBank, clients: usize) -> Vec<Trace> {
+fn skewed_run(db: &Arc<Database>, workload: &SmallBank, clients: usize, seed: u64) -> Vec<Trace> {
     let base = Arc::new(leopard_db::WallClock::new());
     let mut joins = Vec::new();
     for i in 0..clients {
@@ -30,7 +31,7 @@ fn skewed_run(db: &Arc<Database>, workload: &SmallBank, clients: usize) -> Vec<T
             let clock = SkewedClock::new(base, skew);
             let mut session =
                 TracedSession::new(db.session(), clock, ClientId(i as u32), Vec::new());
-            let mut rng = SmallRng::seed_from_u64(i as u64);
+            let mut rng = SmallRng::seed_from_u64(derive(seed, i as u64));
             for _ in 0..300 {
                 let steps = gen.next_txn(&mut rng);
                 let _ = execute_txn(&mut session, &steps, &unique);
@@ -69,22 +70,24 @@ fn skew_bound_absorbs_clock_error() {
         op_latency: Duration::from_micros(10),
         ..DbConfig::at(IsolationLevel::Serializable)
     });
+    let seed = test_seed(0x5CE_D01);
     let workload = SmallBank::new(32);
     let preload = preload_database(&db, &workload);
-    let traces = skewed_run(&db, &workload, 8);
+    let traces = skewed_run(&db, &workload, 8, seed);
     // With the bound covering the injected skew (2 × 40 µs between any
     // two clients), a correct engine verifies clean.
     let report = verify(&traces, &preload, 2 * SKEW_NS as u64);
-    assert!(report.is_clean(), "{report}");
+    assert!(report.is_clean(), "seed={seed}: {report}");
 }
 
 #[test]
 fn coarse_violations_survive_the_widening() {
     // Even with intervals widened by the skew bound, a fault whose
     // time-scale is much coarser than the skew is still detected.
+    let seed = test_seed(0x5CE_D02);
     let db = Database::with_faults(
         DbConfig::at(IsolationLevel::ReadCommitted),
-        FaultPlan::with_probability(FaultKind::StaleSnapshot, 0.05, 3),
+        FaultPlan::with_probability(FaultKind::StaleSnapshot, 0.05, derive(seed, 100)),
     );
     let workload = SmallBank::new(16);
     let preload = preload_database(&db, &workload);
@@ -97,7 +100,7 @@ fn coarse_violations_survive_the_widening() {
             TracedSession::new(db.session(), Arc::clone(&base), ClientId(i), Vec::new());
         let mut gen = workload.clone();
         let unique = UniqueValues::new();
-        let mut rng = SmallRng::seed_from_u64(u64::from(i));
+        let mut rng = SmallRng::seed_from_u64(derive(seed, u64::from(i)));
         for _ in 0..200 {
             let steps = gen.next_txn(&mut rng);
             let _ = execute_txn(&mut session, &steps, &unique);
@@ -117,6 +120,6 @@ fn coarse_violations_survive_the_widening() {
     let report = v.finish().report;
     assert!(
         report.count(Mechanism::ConsistentRead) > 0,
-        "stale reads must still surface through the widened intervals"
+        "stale reads must still surface through the widened intervals (seed={seed})"
     );
 }

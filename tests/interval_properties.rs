@@ -1,0 +1,183 @@
+//! Property tests for the interval algebra and the two-level pipeline
+//! watermark: overlap symmetry, containment transitivity, and watermark
+//! monotonicity under proptest-generated interval streams.
+//!
+//! Seeding is fixed through `leopard::testseed` and every assertion
+//! echoes the effective seed and case index, so a failure reproduces with
+//! `LEOPARD_TEST_SEED=<seed> cargo test --test interval_properties`.
+
+use leopard::testseed::{derive, test_seed};
+use leopard::{PipelineConfig, TwoLevelPipeline};
+use leopard_core::{ClientId, Interval, OpKind, Timestamp, Trace, TxnId};
+use proptest::prelude::*;
+use proptest::SampleRng;
+
+/// Cases per property; each case gets its own derived sub-seed.
+const CASES: u64 = 256;
+
+fn iv(lo: u64, hi: u64) -> Interval {
+    Interval::new(Timestamp(lo), Timestamp(hi))
+}
+
+/// Strategy: an arbitrary (possibly degenerate) interval.
+fn interval() -> impl Strategy<Value = Interval> {
+    (0u64..10_000, 0u64..200).prop_map(|(lo, w)| iv(lo, lo + w))
+}
+
+/// Strategy: a nested triple `a ⊇ b ⊇ c` built by widening `c` twice.
+fn nested_triple() -> impl Strategy<Value = (Interval, Interval, Interval)> {
+    (
+        0u64..10_000,
+        0u64..100,
+        0u64..50,
+        0u64..50,
+        0u64..50,
+        0u64..50,
+    )
+        .prop_map(|(lo, w, gl1, gr1, gl2, gr2)| {
+            let c = iv(lo + gl1 + gl2, lo + gl1 + gl2 + w);
+            let b = iv(lo + gl1, lo + gl1 + gl2 + w + gr2);
+            let a = iv(lo, lo + gl1 + gl2 + w + gr2 + gr1);
+            (a, b, c)
+        })
+}
+
+/// Strategy: per-client streams of `(ts_bef gap, width)` pairs — the raw
+/// material for program-order-respecting trace streams.
+fn stream_set() -> impl Strategy<Value = Vec<Vec<(u64, u64)>>> {
+    prop::collection::vec(prop::collection::vec((0u64..500, 1u64..50), 0..40), 1..6)
+}
+
+#[test]
+fn overlap_is_symmetric_and_excludes_decided_order() {
+    let seed = test_seed(0x0BE7_A11E);
+    for case in 0..CASES {
+        let mut rng = SampleRng::for_case(derive(seed, case));
+        let a = interval().sample_with(&mut rng);
+        let b = interval().sample_with(&mut rng);
+        assert_eq!(
+            a.overlaps(&b),
+            b.overlaps(&a),
+            "overlap not symmetric for a={a} b={b} (seed={seed} case={case})"
+        );
+        if a.overlaps(&b) {
+            assert!(
+                !a.certainly_before(&b) && !b.certainly_before(&a),
+                "overlapping pair a={a} b={b} has a decided order (seed={seed} case={case})"
+            );
+        }
+    }
+}
+
+#[test]
+fn containment_is_reflexive_transitive_and_matches_hull() {
+    let seed = test_seed(0xC0_17A1);
+    for case in 0..CASES {
+        let mut rng = SampleRng::for_case(derive(seed, case));
+        let (a, b, c) = nested_triple().sample_with(&mut rng);
+        assert!(
+            a.contains(&a) && b.contains(&b) && c.contains(&c),
+            "containment not reflexive (seed={seed} case={case})"
+        );
+        assert!(
+            a.contains(&b) && b.contains(&c),
+            "constructed nest broken: a={a} b={b} c={c} (seed={seed} case={case})"
+        );
+        assert!(
+            a.contains(&c),
+            "containment not transitive: a={a} b={b} c={c} (seed={seed} case={case})"
+        );
+
+        // On arbitrary pairs, containment and hull-absorption coincide:
+        // a ⊇ x  ⟺  hull(a, x) = a.
+        let x = interval().sample_with(&mut rng);
+        assert_eq!(
+            a.contains(&x),
+            a.hull(&x) == a,
+            "containment/hull disagree for a={a} x={x} (seed={seed} case={case})"
+        );
+    }
+}
+
+#[test]
+fn watermark_is_monotone_under_interleaved_streams() {
+    let seed = test_seed(0x7EA_F00D);
+    for case in 0..CASES / 2 {
+        let mut rng = SampleRng::for_case(derive(seed, case));
+        let streams = stream_set().sample_with(&mut rng);
+        let total: usize = streams.iter().map(Vec::len).sum();
+
+        let mut pipeline = TwoLevelPipeline::new(streams.len(), PipelineConfig::default());
+        let mut prev = pipeline.watermark();
+        let mut check = |pipeline: &TwoLevelPipeline, when: &str| {
+            let cur = pipeline.watermark();
+            match (prev, cur) {
+                (Some(p), Some(c)) => assert!(
+                    c >= p,
+                    "watermark regressed {} -> {} {when} (seed={seed} case={case})",
+                    p.0,
+                    c.0
+                ),
+                (None, Some(c)) => panic!(
+                    "watermark resurrected to {} after exhaustion {when} (seed={seed} case={case})",
+                    c.0
+                ),
+                _ => {}
+            }
+            prev = cur;
+        };
+
+        // Interleave the per-client streams in a seed-driven order,
+        // occasionally dispatching, and observe the watermark after every
+        // pipeline mutation.
+        let mut cursor = vec![0usize; streams.len()];
+        let mut ts = vec![0u64; streams.len()];
+        let mut pushed = 0usize;
+        let mut out = Vec::new();
+        while pushed < total {
+            let open: Vec<usize> = (0..streams.len())
+                .filter(|&c| cursor[c] < streams[c].len())
+                .collect();
+            let client = open[(rng.next_u64() % open.len() as u64) as usize];
+            let (gap, width) = streams[client][cursor[client]];
+            cursor[client] += 1;
+            ts[client] += gap;
+            let trace = Trace::new(
+                iv(ts[client], ts[client] + width),
+                ClientId(client as u32),
+                TxnId(pushed as u64 + 1),
+                OpKind::Commit,
+            );
+            pipeline
+                .push(client, trace)
+                .expect("per-client monotone push");
+            pushed += 1;
+            check(&pipeline, "after push");
+            if rng.next_u64().is_multiple_of(3) {
+                if let Some(t) = pipeline.try_dispatch() {
+                    out.push(t);
+                }
+                check(&pipeline, "after dispatch");
+            }
+        }
+        for client in 0..streams.len() {
+            pipeline.close(client).expect("valid client");
+            check(&pipeline, "after close");
+        }
+        pipeline.drain_available(&mut out);
+        check(&pipeline, "after drain");
+        assert!(
+            pipeline.is_exhausted(),
+            "traces left behind (seed={seed} case={case})"
+        );
+        assert_eq!(
+            out.len(),
+            total,
+            "lost/duplicated traces (seed={seed} case={case})"
+        );
+        assert!(
+            out.windows(2).all(|w| w[0].ts_bef() <= w[1].ts_bef()),
+            "dispatch order broken (seed={seed} case={case})"
+        );
+    }
+}

@@ -1,0 +1,137 @@
+//! Golden-corpus test for the anomaly-injection oracle.
+//!
+//! Regenerates the entire corpus from the committed seeds
+//! (`CleanRunSpec::corpus_default`) and byte-compares every file against
+//! `tests/corpus/`, then re-runs the differential verdict matrix and
+//! checks each cell. A diff here means either the generator, the
+//! injector, the verifier, a baseline, or the preflight analyzer changed
+//! behaviour — regenerate with `leopard oracle --out-dir tests/corpus`
+//! once the change is understood and intended.
+
+use leopard_oracle::{
+    corpus_files, run_matrix, verify_at, AnomalyClass, Capture, CleanRunSpec, Mutation, LEVELS,
+};
+use std::path::PathBuf;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
+}
+
+#[test]
+fn corpus_replays_bit_identically_from_committed_seeds() {
+    let spec = CleanRunSpec::corpus_default();
+    let files = corpus_files(&spec).expect("corpus generation");
+    assert_eq!(
+        files.len(),
+        18,
+        "1 base + 9 anomalies + 6 corruptions + matrix + manifest"
+    );
+    for (name, bytes) in &files {
+        let path = corpus_dir().join(name);
+        let committed = std::fs::read(&path)
+            .unwrap_or_else(|e| panic!("missing golden file {}: {e}", path.display()));
+        assert_eq!(
+            bytes, &committed,
+            "{name} drifted from the committed golden copy; regenerate \
+             tests/corpus with `leopard oracle --out-dir tests/corpus` if \
+             the change is intended"
+        );
+    }
+}
+
+#[test]
+fn no_stray_files_in_committed_corpus() {
+    let spec = CleanRunSpec::corpus_default();
+    let expected: Vec<String> = corpus_files(&spec)
+        .expect("corpus generation")
+        .into_iter()
+        .map(|(n, _)| n)
+        .collect();
+    for entry in std::fs::read_dir(corpus_dir()).expect("tests/corpus exists") {
+        let name = entry.unwrap().file_name().to_string_lossy().into_owned();
+        assert!(
+            expected.contains(&name),
+            "stray file {name} in tests/corpus"
+        );
+    }
+}
+
+#[test]
+fn verdict_matrix_has_no_mismatched_cell() {
+    let report = run_matrix(&CleanRunSpec::corpus_default()).expect("matrix run");
+    assert_eq!(report.rows.len(), 9);
+    for row in &report.rows {
+        for cell in &row.leopard {
+            assert!(
+                cell.ok,
+                "{} @ {}: expected reject={}, got reject={} (mechanism {} flagged: {})",
+                row.anomaly,
+                cell.level,
+                cell.expected_reject,
+                cell.rejected,
+                row.mechanism,
+                cell.mechanism_flagged
+            );
+        }
+        assert!(row.cobra.ok, "{}: cobra disagrees", row.anomaly);
+        assert!(
+            row.cycle_search.ok,
+            "{}: cycle-search disagrees",
+            row.anomaly
+        );
+        assert_eq!(
+            row.preflight_errors, 0,
+            "{}: gadget is malformed",
+            row.anomaly
+        );
+    }
+    for row in &report.corruptions {
+        assert!(row.ok, "{} did not raise {}", row.corruption, row.code);
+    }
+    assert!(report.all_ok);
+}
+
+#[test]
+fn committed_matrix_json_says_all_ok() {
+    let raw = std::fs::read_to_string(corpus_dir().join("matrix.json")).expect("matrix.json");
+    assert!(
+        raw.contains("\"all_ok\":true"),
+        "committed matrix.json records a mismatch"
+    );
+    assert!(!raw.contains("\"ok\":false"), "a cell disagrees");
+}
+
+#[test]
+fn mutated_captures_cover_the_full_lattice() {
+    // Independent of the golden bytes: re-verify each freshly injected
+    // anomaly capture at every level and cross-check against the class's
+    // declared expectation, so the expectation table itself is exercised
+    // from outside the oracle crate.
+    let spec = CleanRunSpec::corpus_default();
+    let base = leopard_oracle::generate_clean_capture(&spec).expect("clean base");
+    let mut rejected_cells = 0usize;
+    for class in AnomalyClass::ALL {
+        let mutated: Capture = Mutation::anomaly(class).apply(&base);
+        for (&level, expected_reject) in LEVELS.iter().zip(class.rejected_at()) {
+            let outcome = verify_at(&mutated, level);
+            assert_eq!(
+                !outcome.report.is_clean(),
+                expected_reject,
+                "{} @ {level}",
+                class.name()
+            );
+            if expected_reject {
+                rejected_cells += 1;
+                assert!(
+                    outcome.report.count(class.mechanism()) > 0,
+                    "{} @ {level}: {} not among flagged mechanisms: {}",
+                    class.name(),
+                    class.mechanism(),
+                    outcome.report
+                );
+            }
+        }
+    }
+    // 3 anomalies × 4 levels + 5 × 3 levels + write-skew × 1 level.
+    assert_eq!(rejected_cells, 3 * 4 + 5 * 3 + 1);
+}

@@ -1,0 +1,50 @@
+//! Soundness smoke test: a correct engine must never be flagged.
+//!
+//! For every bundled workload, generate 1 000 seeded *interleaved* clean
+//! captures (real concurrency: locks, snapshots and the certifier all
+//! fire) and verify each at the level the engine actually ran at. Any
+//! rejection is a false positive — the one failure mode a verifier must
+//! not have (paper §VI-B). Seeds derive from `LEOPARD_TEST_SEED` via
+//! `leopard::testseed`, so the whole sweep is re-seedable from one
+//! environment variable and every failure message carries the exact spec
+//! seed needed to replay the offending capture.
+
+use leopard::testseed::{derive, test_seed};
+use leopard_oracle::{
+    generate_clean_capture, level_tag, verify_at, CleanRunSpec, Schedule, LEVELS,
+};
+use leopard_workloads::BUNDLED_WORKLOADS;
+
+/// Captures per bundled workload (cycling through all four levels).
+const CAPTURES_PER_WORKLOAD: u64 = 1_000;
+
+#[test]
+fn clean_interleaved_captures_never_verify_dirty() {
+    let base = test_seed(0x5_00D);
+    for (w, name) in BUNDLED_WORKLOADS.iter().enumerate() {
+        for i in 0..CAPTURES_PER_WORKLOAD {
+            let level = LEVELS[(i % 4) as usize];
+            let spec = CleanRunSpec {
+                workload: (*name).to_string(),
+                rows: 8,
+                clients: 2,
+                txns_per_client: 2,
+                level,
+                seed: derive(base, ((w as u64) << 32) | i),
+                tick: 50 + i % 97,
+                schedule: Schedule::Interleaved,
+            };
+            let cap = generate_clean_capture(&spec)
+                .unwrap_or_else(|e| panic!("generating {name} capture #{i}: {e} (seed={base})"));
+            let out = verify_at(&cap, level);
+            assert!(
+                out.report.is_clean(),
+                "false positive: {name} capture #{i} at {} flagged: {} \
+                 (base seed={base}, spec seed={})",
+                level_tag(level),
+                out.report,
+                spec.seed
+            );
+        }
+    }
+}

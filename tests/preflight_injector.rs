@@ -1,0 +1,87 @@
+//! Injector ↔ preflight cross-check: every well-formedness corruption the
+//! oracle's injector can produce is flagged by its corresponding preflight
+//! diagnostic (H001–H006) at the declared severity, while the anomaly
+//! gadgets — which are semantically wrong but syntactically well-formed —
+//! sail through preflight without errors. This pins the division of labour
+//! between the two analysis layers.
+
+use leopard_core::{PreflightAnalyzer, PreflightConfig};
+use leopard_oracle::{
+    generate_clean_capture, AnomalyClass, Capture, CleanRunSpec, CorruptionKind, Mutation,
+};
+
+fn preflight(cap: &Capture) -> leopard_core::PreflightReport {
+    PreflightAnalyzer::analyze(
+        PreflightConfig::default(),
+        cap.header.preload.iter().copied(),
+        cap.traces.iter(),
+    )
+}
+
+fn clean_base() -> Capture {
+    generate_clean_capture(&CleanRunSpec::corpus_default()).expect("clean base capture")
+}
+
+#[test]
+fn every_corruption_raises_its_diagnostic_at_declared_severity() {
+    let base = clean_base();
+    assert!(
+        !preflight(&base).has_errors(),
+        "base capture must be preflight-clean before mutation"
+    );
+    for kind in CorruptionKind::ALL {
+        let mutation = Mutation::corruption(kind);
+        let mutated = mutation.apply(&base);
+        let report = preflight(&mutated);
+        let diag = report
+            .with_code(kind.diag_code())
+            .next()
+            .unwrap_or_else(|| {
+                panic!(
+                    "{} did not raise {} (report: {} errors / {} warnings)",
+                    mutation.name,
+                    kind.diag_code(),
+                    report.error_count(),
+                    report.warning_count()
+                )
+            });
+        assert_eq!(
+            diag.severity,
+            kind.severity(),
+            "{} raised {} at the wrong severity",
+            mutation.name,
+            kind.diag_code()
+        );
+    }
+}
+
+#[test]
+fn corruption_kinds_cover_the_whole_diagnostic_range() {
+    let mut codes: Vec<String> = CorruptionKind::ALL
+        .iter()
+        .map(|k| k.diag_code().to_string())
+        .collect();
+    codes.sort_unstable();
+    codes.dedup();
+    assert_eq!(
+        codes,
+        ["H001", "H002", "H003", "H004", "H005", "H006"],
+        "injector corruptions must map one-to-one onto the preflight codes"
+    );
+}
+
+#[test]
+fn anomaly_gadgets_are_well_formed() {
+    let base = clean_base();
+    for class in AnomalyClass::ALL {
+        let mutated = Mutation::anomaly(class).apply(&base);
+        let report = preflight(&mutated);
+        assert!(
+            !report.has_errors(),
+            "{} gadget is syntactically malformed ({} preflight errors) — \
+             it would be rejected before the verifier ever saw the anomaly",
+            class.name(),
+            report.error_count()
+        );
+    }
+}
