@@ -11,6 +11,8 @@ leopard — black-box isolation-level verification
 USAGE:
   leopard record [OPTIONS]          run a workload, write a capture file
   leopard verify <FILE> [OPTS]      audit a capture file
+  leopard chaos [OPTIONS]           run a workload under fault injection
+                                    through the online verifier
   leopard lint-history <FILE> [OPTS]  preflight a capture file (H001-H006)
   leopard oracle [OPTIONS]          run the anomaly-injection verdict matrix
   leopard catalog                   print the DBMS mechanism catalog (Fig. 1)
@@ -32,6 +34,35 @@ verify options:
   --skew-bound <NANOS>          clock synchronisation error bound (default 0)
   --no-gc                       disable verifier garbage collection
   --skip-preflight              verify even if history preflight finds errors
+  --degraded                    tolerate incomplete histories: quarantine
+                                ill-formed traces, demote unexplainable reads
+  --resume <CKPT>               resume from a checkpoint file (uses the
+                                checkpoint's verifier configuration)
+  --checkpoint <FILE>           write a checkpoint of the final state here
+  --checkpoint-every <N>        also checkpoint every N ingested traces
+
+chaos options:
+  --workload <NAME>             bundled workload (default blindw-rw)
+  --level <rc|rr|si|sr>         engine + verifier isolation level (default sr)
+  --threads <N>                 client threads (default 4)
+  --txns <N>                    transactions per client (default 200)
+  --scale <N>                   workload scale factor (default 1)
+  --seed <N>                    workload RNG seed (default 42)
+  --chaos-seed <N>              fault-injection seed (default 7)
+  --kill-prob <0..1>            kill client mid-txn, no terminal (default 0.05)
+  --stall-prob <0..1>           stall client mid-txn (default 0.05)
+  --stall-ms <MS>               stall duration (default 3)
+  --drop-prob <0..1>            drop a trace delivery (default 0.02)
+  --dup-prob <0..1>             duplicate a trace delivery (default 0.02)
+  --skew-burst-prob <0..1>      clock skew burst probability (default 0)
+  --skew-magnitude <NANOS>      skew added per burst (default 0)
+  --retry-attempts <N>          attempts per transaction (default 3)
+  --retry-backoff-ms <MS>       base exponential backoff (default 1)
+  --evict-timeout-ms <MS>       evict a watermark-pinning client after this
+                                long without progress (default 1000)
+  --checkpoint <FILE>           write online checkpoints to this path
+  --checkpoint-every <N>        checkpoint every N dispatched traces
+  --json                        emit the run summary as JSON
 
 lint-history options:
   --json                        emit the diagnostic report as JSON
@@ -55,6 +86,8 @@ pub enum Command {
     Record(RecordConfig),
     /// `leopard verify ...`
     Verify(VerifyConfig),
+    /// `leopard chaos ...`
+    Chaos(ChaosConfig),
     /// `leopard lint-history ...`
     LintHistory(LintHistoryConfig),
     /// `leopard oracle ...`
@@ -117,6 +150,103 @@ pub struct VerifyConfig {
     pub no_gc: bool,
     /// Run the verifier even when history preflight reports errors.
     pub skip_preflight: bool,
+    /// Degraded mode: quarantine ill-formed traces and demote reads that a
+    /// missing delivery could explain instead of reporting them.
+    pub degraded: bool,
+    /// Resume verification from this checkpoint file.
+    pub resume: Option<String>,
+    /// Write a checkpoint of the final verifier state to this path.
+    pub checkpoint: Option<String>,
+    /// Also write intermediate checkpoints every N ingested traces.
+    pub checkpoint_every: Option<u64>,
+}
+
+impl Default for VerifyConfig {
+    fn default() -> Self {
+        VerifyConfig {
+            file: String::new(),
+            level: IsolationLevel::Serializable,
+            skew_bound: 0,
+            no_gc: false,
+            skip_preflight: false,
+            degraded: false,
+            resume: None,
+            checkpoint: None,
+            checkpoint_every: None,
+        }
+    }
+}
+
+/// Configuration of `leopard chaos`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosConfig {
+    /// Workload name.
+    pub workload: String,
+    /// Engine and verifier isolation level.
+    pub level: IsolationLevel,
+    /// Client threads.
+    pub threads: usize,
+    /// Transactions per client.
+    pub txns: u64,
+    /// Workload scale factor.
+    pub scale: u64,
+    /// Workload RNG seed.
+    pub seed: u64,
+    /// Fault-injection seed (chaos plan).
+    pub chaos_seed: u64,
+    /// Probability a transaction's client is killed mid-transaction.
+    pub kill_prob: f64,
+    /// Probability a client stalls mid-transaction.
+    pub stall_prob: f64,
+    /// Stall duration in milliseconds.
+    pub stall_ms: u64,
+    /// Probability a trace delivery is dropped.
+    pub drop_prob: f64,
+    /// Probability a trace delivery is duplicated.
+    pub dup_prob: f64,
+    /// Probability a clock reading triggers a skew burst.
+    pub skew_burst_prob: f64,
+    /// Nanoseconds added per skew burst.
+    pub skew_magnitude: u64,
+    /// Attempts per transaction (1 = no retry).
+    pub retry_attempts: u32,
+    /// Base exponential backoff in milliseconds.
+    pub retry_backoff_ms: u64,
+    /// Watermark-stall eviction timeout in milliseconds.
+    pub evict_timeout_ms: u64,
+    /// Write online checkpoints to this path.
+    pub checkpoint: Option<String>,
+    /// Checkpoint every N dispatched traces.
+    pub checkpoint_every: Option<u64>,
+    /// Emit the run summary as JSON.
+    pub json: bool,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            workload: "blindw-rw".to_string(),
+            level: IsolationLevel::Serializable,
+            threads: 4,
+            txns: 200,
+            scale: 1,
+            seed: 42,
+            chaos_seed: 7,
+            kill_prob: 0.05,
+            stall_prob: 0.05,
+            stall_ms: 3,
+            drop_prob: 0.02,
+            dup_prob: 0.02,
+            skew_burst_prob: 0.0,
+            skew_magnitude: 0,
+            retry_attempts: 3,
+            retry_backoff_ms: 1,
+            evict_timeout_ms: 1000,
+            checkpoint: None,
+            checkpoint_every: None,
+            json: false,
+        }
+    }
 }
 
 /// Configuration of `leopard lint-history`.
@@ -237,13 +367,7 @@ pub fn parse_args(argv: &[String]) -> Result<Command, ParseError> {
         }
         "verify" => {
             let mut file = None;
-            let mut cfg = VerifyConfig {
-                file: String::new(),
-                level: IsolationLevel::Serializable,
-                skew_bound: 0,
-                no_gc: false,
-                skip_preflight: false,
-            };
+            let mut cfg = VerifyConfig::default();
             let mut it = argv[1..].iter();
             while let Some(arg) = it.next() {
                 match arg.as_str() {
@@ -251,6 +375,10 @@ pub fn parse_args(argv: &[String]) -> Result<Command, ParseError> {
                     "--skew-bound" => cfg.skew_bound = want(arg, it.next())?,
                     "--no-gc" => cfg.no_gc = true,
                     "--skip-preflight" => cfg.skip_preflight = true,
+                    "--degraded" => cfg.degraded = true,
+                    "--resume" => cfg.resume = Some(want::<String>(arg, it.next())?),
+                    "--checkpoint" => cfg.checkpoint = Some(want::<String>(arg, it.next())?),
+                    "--checkpoint-every" => cfg.checkpoint_every = Some(want(arg, it.next())?),
                     flag if flag.starts_with("--") => {
                         return Err(ParseError(format!("unknown flag `{flag}`")))
                     }
@@ -262,7 +390,67 @@ pub fn parse_args(argv: &[String]) -> Result<Command, ParseError> {
                 }
             }
             cfg.file = file.ok_or_else(|| ParseError("verify needs a capture file".into()))?;
+            if cfg.checkpoint_every == Some(0) {
+                return Err(ParseError("--checkpoint-every must be at least 1".into()));
+            }
+            if cfg.checkpoint_every.is_some() && cfg.checkpoint.is_none() {
+                return Err(ParseError(
+                    "--checkpoint-every needs --checkpoint <FILE>".into(),
+                ));
+            }
             Ok(Command::Verify(cfg))
+        }
+        "chaos" => {
+            let mut cfg = ChaosConfig::default();
+            let mut it = argv[1..].iter();
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--workload" => cfg.workload = want::<String>(flag, it.next())?,
+                    "--level" => cfg.level = parse_level(&want::<String>(flag, it.next())?)?,
+                    "--threads" => cfg.threads = want(flag, it.next())?,
+                    "--txns" => cfg.txns = want(flag, it.next())?,
+                    "--scale" => cfg.scale = want(flag, it.next())?,
+                    "--seed" => cfg.seed = want(flag, it.next())?,
+                    "--chaos-seed" => cfg.chaos_seed = want(flag, it.next())?,
+                    "--kill-prob" => cfg.kill_prob = want(flag, it.next())?,
+                    "--stall-prob" => cfg.stall_prob = want(flag, it.next())?,
+                    "--stall-ms" => cfg.stall_ms = want(flag, it.next())?,
+                    "--drop-prob" => cfg.drop_prob = want(flag, it.next())?,
+                    "--dup-prob" => cfg.dup_prob = want(flag, it.next())?,
+                    "--skew-burst-prob" => cfg.skew_burst_prob = want(flag, it.next())?,
+                    "--skew-magnitude" => cfg.skew_magnitude = want(flag, it.next())?,
+                    "--retry-attempts" => cfg.retry_attempts = want(flag, it.next())?,
+                    "--retry-backoff-ms" => cfg.retry_backoff_ms = want(flag, it.next())?,
+                    "--evict-timeout-ms" => cfg.evict_timeout_ms = want(flag, it.next())?,
+                    "--checkpoint" => cfg.checkpoint = Some(want::<String>(flag, it.next())?),
+                    "--checkpoint-every" => cfg.checkpoint_every = Some(want(flag, it.next())?),
+                    "--json" => cfg.json = true,
+                    other => return Err(ParseError(format!("unknown flag `{other}`"))),
+                }
+            }
+            if cfg.threads == 0 {
+                return Err(ParseError("--threads must be at least 1".to_string()));
+            }
+            for (name, p) in [
+                ("--kill-prob", cfg.kill_prob),
+                ("--stall-prob", cfg.stall_prob),
+                ("--drop-prob", cfg.drop_prob),
+                ("--dup-prob", cfg.dup_prob),
+                ("--skew-burst-prob", cfg.skew_burst_prob),
+            ] {
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(ParseError(format!("{name} must be within 0..1")));
+                }
+            }
+            if cfg.checkpoint_every == Some(0) {
+                return Err(ParseError("--checkpoint-every must be at least 1".into()));
+            }
+            if cfg.checkpoint_every.is_some() && cfg.checkpoint.is_none() {
+                return Err(ParseError(
+                    "--checkpoint-every needs --checkpoint <FILE>".into(),
+                ));
+            }
+            Ok(Command::Chaos(cfg))
         }
         "lint-history" => {
             let mut file = None;
@@ -349,6 +537,56 @@ mod tests {
         let cmd = parse_args(&args("verify cap.jsonl --skip-preflight")).unwrap();
         let Command::Verify(cfg) = cmd else { panic!() };
         assert!(cfg.skip_preflight);
+    }
+
+    #[test]
+    fn verify_chaos_flags_parse() {
+        let cmd = parse_args(&args(
+            "verify cap.jsonl --degraded --resume a.ckpt --checkpoint b.ckpt --checkpoint-every 64",
+        ))
+        .unwrap();
+        let Command::Verify(cfg) = cmd else { panic!() };
+        assert!(cfg.degraded);
+        assert_eq!(cfg.resume.as_deref(), Some("a.ckpt"));
+        assert_eq!(cfg.checkpoint.as_deref(), Some("b.ckpt"));
+        assert_eq!(cfg.checkpoint_every, Some(64));
+        // --checkpoint-every without a checkpoint path is meaningless.
+        assert!(parse_args(&args("verify cap.jsonl --checkpoint-every 64")).is_err());
+        assert!(parse_args(&args(
+            "verify cap.jsonl --checkpoint b --checkpoint-every 0"
+        ))
+        .is_err());
+    }
+
+    #[test]
+    fn chaos_defaults_and_overrides() {
+        let cmd = parse_args(&args("chaos")).unwrap();
+        assert_eq!(cmd, Command::Chaos(ChaosConfig::default()));
+        let cmd = parse_args(&args(
+            "chaos --workload smallbank --level si --threads 2 --txns 50 --chaos-seed 9 \
+             --kill-prob 0.1 --stall-prob 0.2 --stall-ms 5 --drop-prob 0.03 --dup-prob 0.04 \
+             --skew-burst-prob 0.01 --skew-magnitude 500 --retry-attempts 5 \
+             --retry-backoff-ms 2 --evict-timeout-ms 250 --checkpoint c.ckpt \
+             --checkpoint-every 128 --json",
+        ))
+        .unwrap();
+        let Command::Chaos(cfg) = cmd else { panic!() };
+        assert_eq!(cfg.workload, "smallbank");
+        assert_eq!(cfg.level, IsolationLevel::SnapshotIsolation);
+        assert_eq!(cfg.threads, 2);
+        assert_eq!(cfg.txns, 50);
+        assert_eq!(cfg.chaos_seed, 9);
+        assert_eq!(cfg.kill_prob, 0.1);
+        assert_eq!(cfg.stall_ms, 5);
+        assert_eq!(cfg.skew_magnitude, 500);
+        assert_eq!(cfg.retry_attempts, 5);
+        assert_eq!(cfg.evict_timeout_ms, 250);
+        assert_eq!(cfg.checkpoint.as_deref(), Some("c.ckpt"));
+        assert_eq!(cfg.checkpoint_every, Some(128));
+        assert!(cfg.json);
+        assert!(parse_args(&args("chaos --kill-prob 1.5")).is_err());
+        assert!(parse_args(&args("chaos --threads 0")).is_err());
+        assert!(parse_args(&args("chaos --bogus")).is_err());
     }
 
     #[test]

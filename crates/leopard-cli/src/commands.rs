@@ -1,14 +1,20 @@
 //! Implementations of the CLI subcommands.
 
-use crate::args::{LintHistoryConfig, OracleConfig, RecordConfig, VerifyConfig};
+use crate::args::{ChaosConfig, LintHistoryConfig, OracleConfig, RecordConfig, VerifyConfig};
 use leopard_core::{
-    CaptureHeader, CaptureReader, CaptureWriter, IsolationLevel, PreflightAnalyzer,
-    PreflightConfig, PreflightReport, Verifier, VerifierConfig, CAPTURE_VERSION,
+    CaptureHeader, CaptureReader, CaptureWriter, Checkpoint, IsolationLevel, OnlineLeopard,
+    OnlineOptions, PreflightAnalyzer, PreflightConfig, PreflightReport, Verifier, VerifierConfig,
+    CAPTURE_VERSION,
 };
 use leopard_db::{Database, DbConfig, FaultPlan};
 use leopard_oracle::{corpus_files, run_matrix, CleanRunSpec, Schedule};
-use leopard_workloads::{bundled_workload, preload_database, run_collect, RunLimit};
+use leopard_workloads::{
+    bundled_workload, preload_database, run_chaos_with_sinks, run_collect, ChaosPlan, RetryPolicy,
+    RunLimit,
+};
 use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
 
 /// `leopard record`: run the bundled engine + workload, write a capture.
 pub fn record(cfg: &RecordConfig, out: &mut dyn Write) -> i32 {
@@ -142,12 +148,20 @@ pub fn verify(cfg: &VerifyConfig, out: &mut dyn Write) -> i32 {
         };
         let _ = writeln!(out, "{report}");
         if report.has_errors() {
-            let _ = writeln!(
-                out,
-                "refusing to verify: the history failed preflight, so verification \
-                 verdicts would be untrustworthy (rerun with --skip-preflight to force)"
-            );
-            return 4;
+            if cfg.degraded {
+                let _ = writeln!(
+                    out,
+                    "preflight found errors; continuing in degraded mode \
+                     (ill-formed traces are quarantined, not verified)"
+                );
+            } else {
+                let _ = writeln!(
+                    out,
+                    "refusing to verify: the history failed preflight, so verification \
+                     verdicts would be untrustworthy (rerun with --skip-preflight to force)"
+                );
+                return 4;
+            }
         }
     }
 
@@ -167,22 +181,76 @@ pub fn verify(cfg: &VerifyConfig, out: &mut dyn Write) -> i32 {
     };
     let _ = writeln!(out, "capture: {}", reader.header().description);
 
-    let mut vcfg = VerifierConfig::for_level(cfg.level);
-    vcfg.clock_skew_bound = cfg.skew_bound;
-    vcfg.gc = !cfg.no_gc;
-    let mut verifier = Verifier::new(vcfg);
-    for &(k, v) in &reader.header().preload.clone() {
-        verifier.preload(k, v);
-    }
+    // A resumed verifier carries its configuration (and the already-applied
+    // preload) inside the checkpoint; a fresh one is built from the flags.
+    let mut skip = 0u64;
+    let mut verifier = if let Some(ckpt_path) = &cfg.resume {
+        let ckpt = match Checkpoint::read(Path::new(ckpt_path)) {
+            Ok(c) => c,
+            Err(e) => {
+                let _ = writeln!(out, "error: cannot resume from {ckpt_path}: {e}");
+                return 1;
+            }
+        };
+        skip = ckpt.traces_ingested;
+        let v = match Verifier::from_checkpoint(&ckpt) {
+            Ok(v) => v,
+            Err(e) => {
+                let _ = writeln!(out, "error: cannot resume from {ckpt_path}: {e}");
+                return 1;
+            }
+        };
+        let _ = writeln!(
+            out,
+            "resumed from {ckpt_path}: {skip} traces already ingested"
+        );
+        v
+    } else {
+        let mut vcfg = VerifierConfig::for_level(cfg.level);
+        vcfg.clock_skew_bound = cfg.skew_bound;
+        vcfg.gc = !cfg.no_gc;
+        vcfg.degraded = cfg.degraded;
+        let mut v = Verifier::new(vcfg);
+        for &(k, val) in &reader.header().preload.clone() {
+            v.preload(k, val);
+        }
+        v
+    };
+
+    let ckpt_out = cfg.checkpoint.as_ref().map(PathBuf::from);
+    let mut seen = 0u64;
+    let mut processed = 0u64;
     loop {
         match reader.next_trace() {
-            Ok(Some(trace)) => verifier.process(&trace),
+            Ok(Some(trace)) => {
+                seen += 1;
+                if seen <= skip {
+                    continue;
+                }
+                verifier.process(&trace);
+                processed += 1;
+                if let (Some(path), Some(every)) = (&ckpt_out, cfg.checkpoint_every) {
+                    if processed.is_multiple_of(every) {
+                        if let Err(e) = verifier.checkpoint().write(path) {
+                            let _ = writeln!(out, "error: cannot checkpoint: {e}");
+                            return 1;
+                        }
+                    }
+                }
+            }
             Ok(None) => break,
             Err(e) => {
                 let _ = writeln!(out, "error: {e}");
                 return 1;
             }
         }
+    }
+    if let Some(path) = &ckpt_out {
+        if let Err(e) = verifier.checkpoint().write(path) {
+            let _ = writeln!(out, "error: cannot checkpoint: {e}");
+            return 1;
+        }
+        let _ = writeln!(out, "checkpoint written to {}", path.display());
     }
     let outcome = verifier.finish();
     let _ = writeln!(
@@ -191,11 +259,147 @@ pub fn verify(cfg: &VerifyConfig, out: &mut dyn Write) -> i32 {
         outcome.counters.traces, outcome.counters.committed, cfg.level
     );
     let _ = writeln!(out, "{}", outcome.stats);
+    if !outcome.coverage.is_complete() {
+        let _ = write!(out, "{}", outcome.coverage);
+    }
     if outcome.report.is_clean() {
         let _ = writeln!(out, "verdict: CLEAN");
         0
     } else {
         let _ = writeln!(out, "verdict: VIOLATIONS\n{}", outcome.report);
+        3
+    }
+}
+
+/// `leopard chaos`: run a bundled workload under seeded fault injection
+/// (client kills, stalls, dropped/duplicated deliveries, clock-skew
+/// bursts) through the *online* Tracer→Verifier chain in degraded mode,
+/// and report both the verdict and how much of the history it covers.
+pub fn chaos(cfg: &ChaosConfig, out: &mut dyn Write) -> i32 {
+    let (proto, gens) = match bundled_workload(&cfg.workload, cfg.scale, cfg.threads) {
+        Ok(x) => x,
+        Err(e) => {
+            let _ = writeln!(out, "error: {e}");
+            return 2;
+        }
+    };
+    let plan = ChaosPlan {
+        seed: cfg.chaos_seed,
+        kill_prob: cfg.kill_prob,
+        stall_prob: cfg.stall_prob,
+        stall: Duration::from_millis(cfg.stall_ms),
+        drop_prob: cfg.drop_prob,
+        dup_prob: cfg.dup_prob,
+        truncate_after: None,
+        skew_burst_prob: cfg.skew_burst_prob,
+        skew_magnitude: cfg.skew_magnitude,
+        // Bound total divergence so the verifier's skew bound stays finite.
+        max_skew_bursts: if cfg.skew_burst_prob > 0.0 { 8 } else { 0 },
+    };
+    let retry = RetryPolicy::with_backoff(
+        cfg.retry_attempts,
+        Duration::from_millis(cfg.retry_backoff_ms),
+    );
+
+    let db = Database::new(DbConfig::at(cfg.level));
+    let preload = preload_database(&db, proto.as_ref());
+
+    let mut vcfg = VerifierConfig::for_level(cfg.level);
+    vcfg.degraded = true;
+    vcfg.clock_skew_bound = plan.skew_bound();
+    let opts = OnlineOptions {
+        eviction_timeout: Some(Duration::from_millis(cfg.evict_timeout_ms)),
+        checkpoint_path: cfg.checkpoint.as_ref().map(PathBuf::from),
+        checkpoint_every: cfg.checkpoint_every,
+        ..OnlineOptions::default()
+    };
+    let (online, handles) = OnlineLeopard::start_opts(cfg.threads, vcfg, opts, preload);
+    let (stats, sinks) = run_chaos_with_sinks(
+        &db,
+        gens,
+        handles,
+        RunLimit::Txns(cfg.txns),
+        cfg.seed,
+        &plan,
+        retry,
+    );
+    drop(sinks); // close every client stream
+    let (outcome, pstats) = match online.finish_with_timeout(Duration::from_secs(60)) {
+        Ok(x) => x,
+        Err(timeout) => {
+            let _ = writeln!(out, "warning: {timeout}");
+            (timeout.outcome, timeout.stats)
+        }
+    };
+
+    let cov = &outcome.coverage;
+    if cfg.json {
+        let evicted: Vec<String> = cov
+            .evicted_clients
+            .iter()
+            .map(|c| c.0.to_string())
+            .collect();
+        let _ = writeln!(
+            out,
+            "{{\"workload\":\"{}\",\"level\":\"{}\",\"seed\":{},\"chaos_seed\":{},\
+             \"committed\":{},\"aborted\":{},\"retries\":{},\"killed\":{},\"stalled\":{},\
+             \"traces_dropped\":{},\"traces_duplicated\":{},\
+             \"dispatched\":{},\"duplicates_deduped\":{},\"evicted_clients\":[{}],\
+             \"quarantined_traces\":{},\"demoted_reads\":{},\"indeterminate_txns\":{},\
+             \"violations\":{},\"clean\":{},\"complete\":{}}}",
+            cfg.workload,
+            cfg.level,
+            cfg.seed,
+            cfg.chaos_seed,
+            stats.committed,
+            stats.aborted,
+            stats.retries,
+            stats.killed,
+            stats.stalled,
+            stats.traces_dropped,
+            stats.traces_duplicated,
+            pstats.dispatched,
+            pstats.duplicates_dropped,
+            evicted.join(","),
+            cov.quarantined_traces,
+            cov.demoted_reads,
+            cov.indeterminate_txns.len(),
+            outcome.report.violations.len(),
+            outcome.report.is_clean(),
+            cov.is_complete(),
+        );
+    } else {
+        let _ = writeln!(
+            out,
+            "chaos: {} level={} threads={} txns/client={} seed={} chaos-seed={}",
+            cfg.workload, cfg.level, cfg.threads, cfg.txns, cfg.seed, cfg.chaos_seed
+        );
+        let _ = writeln!(
+            out,
+            "run: {} committed, {} aborted, {} retries, {} killed, {} stalled",
+            stats.committed, stats.aborted, stats.retries, stats.killed, stats.stalled
+        );
+        let _ = writeln!(
+            out,
+            "transport: {} deliveries dropped, {} duplicated",
+            stats.traces_dropped, stats.traces_duplicated
+        );
+        let _ = writeln!(
+            out,
+            "pipeline: {} dispatched, {} duplicates deduped, {} clients evicted",
+            pstats.dispatched, pstats.duplicates_dropped, pstats.evicted_clients
+        );
+        let _ = write!(out, "{cov}");
+    }
+    if outcome.report.is_clean() {
+        if !cfg.json {
+            let _ = writeln!(out, "verdict: CLEAN");
+        }
+        0
+    } else {
+        if !cfg.json {
+            let _ = writeln!(out, "verdict: VIOLATIONS\n{}", outcome.report);
+        }
         3
     }
 }
@@ -329,10 +533,7 @@ mod tests {
         let code = verify(
             &VerifyConfig {
                 file: path.clone(),
-                level: IsolationLevel::Serializable,
-                skew_bound: 0,
-                no_gc: false,
-                skip_preflight: false,
+                ..VerifyConfig::default()
             },
             &mut out,
         );
@@ -382,9 +583,7 @@ mod tests {
             &VerifyConfig {
                 file: path.clone(),
                 level: IsolationLevel::RepeatableRead,
-                skew_bound: 0,
-                no_gc: false,
-                skip_preflight: false,
+                ..VerifyConfig::default()
             },
             &mut out,
         );
@@ -400,10 +599,7 @@ mod tests {
         let code = verify(
             &VerifyConfig {
                 file: "/nonexistent/definitely/missing.jsonl".to_string(),
-                level: IsolationLevel::Serializable,
-                skew_bound: 0,
-                no_gc: false,
-                skip_preflight: false,
+                ..VerifyConfig::default()
             },
             &mut out,
         );
@@ -433,10 +629,7 @@ mod tests {
 
         let base = VerifyConfig {
             file: path.clone(),
-            level: IsolationLevel::Serializable,
-            skew_bound: 0,
-            no_gc: false,
-            skip_preflight: false,
+            ..VerifyConfig::default()
         };
         let mut out = Vec::new();
         let code = verify(&base, &mut out);
@@ -533,6 +726,145 @@ mod tests {
             &mut out,
         );
         assert_eq!(code, 2);
+    }
+
+    #[test]
+    fn chaos_run_terminates_with_degraded_coverage() {
+        let mut out = Vec::new();
+        let code = chaos(
+            &crate::args::ChaosConfig {
+                threads: 3,
+                txns: 60,
+                kill_prob: 0.15,
+                drop_prob: 0.05,
+                dup_prob: 0.05,
+                ..crate::args::ChaosConfig::default()
+            },
+            &mut out,
+        );
+        let text = String::from_utf8_lossy(&out);
+        assert_eq!(code, 0, "chaos run must stay clean: {text}");
+        assert!(text.contains("verdict: CLEAN"), "{text}");
+        assert!(text.contains("coverage: DEGRADED"), "{text}");
+    }
+
+    #[test]
+    fn chaos_json_summary_is_emitted() {
+        let mut out = Vec::new();
+        let code = chaos(
+            &crate::args::ChaosConfig {
+                threads: 2,
+                txns: 30,
+                json: true,
+                ..crate::args::ChaosConfig::default()
+            },
+            &mut out,
+        );
+        let text = String::from_utf8_lossy(&out);
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("\"clean\":true"), "{text}");
+        assert!(text.contains("\"killed\":"), "{text}");
+        assert!(text.contains("\"retries\":"), "{text}");
+        let mut out = Vec::new();
+        assert_eq!(
+            chaos(
+                &crate::args::ChaosConfig {
+                    workload: "nope".to_string(),
+                    ..crate::args::ChaosConfig::default()
+                },
+                &mut out,
+            ),
+            2
+        );
+    }
+
+    #[test]
+    fn verify_checkpoint_then_resume_agrees() {
+        let path = tmp("ckpt_cap");
+        let ckpt = tmp("ckpt_state");
+        let mut out = Vec::new();
+        let code = record(
+            &RecordConfig {
+                workload: "blindw-rw".to_string(),
+                threads: 2,
+                txns: 40,
+                out: path.clone(),
+                ..RecordConfig::default()
+            },
+            &mut out,
+        );
+        assert_eq!(code, 0);
+
+        // Full pass writing intermediate + final checkpoints.
+        let mut out = Vec::new();
+        let code = verify(
+            &VerifyConfig {
+                file: path.clone(),
+                checkpoint: Some(ckpt.clone()),
+                checkpoint_every: Some(50),
+                ..VerifyConfig::default()
+            },
+            &mut out,
+        );
+        let full = String::from_utf8_lossy(&out).into_owned();
+        assert_eq!(code, 0, "{full}");
+        assert!(full.contains("checkpoint written"), "{full}");
+
+        // Resuming from the *final* checkpoint re-ingests nothing and must
+        // reach the same verdict.
+        let mut out = Vec::new();
+        let code = verify(
+            &VerifyConfig {
+                file: path.clone(),
+                resume: Some(ckpt.clone()),
+                ..VerifyConfig::default()
+            },
+            &mut out,
+        );
+        let resumed = String::from_utf8_lossy(&out);
+        assert_eq!(code, 0, "{resumed}");
+        assert!(resumed.contains("resumed from"), "{resumed}");
+        assert!(resumed.contains("verdict: CLEAN"), "{resumed}");
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&ckpt);
+    }
+
+    #[test]
+    fn degraded_verify_tolerates_broken_history() {
+        use leopard_core::{CaptureHeader, CaptureWriter, TraceBuilder, CAPTURE_VERSION};
+
+        // H006 phantom read: value 777 never written. Plain verify refuses
+        // (exit 4); --degraded quarantines/demotes and stays clean.
+        let mut b = TraceBuilder::new();
+        b.read(10, 12, 0, 1, vec![(1, 777)]);
+        b.commit(13, 15, 0, 1);
+        let header = CaptureHeader {
+            version: CAPTURE_VERSION,
+            description: "degraded tolerance".to_string(),
+            preload: vec![],
+        };
+        let path = tmp("degraded");
+        let file = std::fs::File::create(&path).unwrap();
+        let mut writer = CaptureWriter::new(file, &header).unwrap();
+        for trace in b.build() {
+            writer.write(&trace).unwrap();
+        }
+        writer.finish().unwrap();
+
+        let mut out = Vec::new();
+        let code = verify(
+            &VerifyConfig {
+                file: path.clone(),
+                degraded: true,
+                ..VerifyConfig::default()
+            },
+            &mut out,
+        );
+        let text = String::from_utf8_lossy(&out);
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("continuing in degraded mode"), "{text}");
+        assert!(text.contains("coverage: DEGRADED"), "{text}");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -7,6 +7,12 @@
 //! * `verify` — audit a capture file at a chosen isolation level or DBMS
 //!   profile; a history preflight pass (H001–H006) runs first and refuses
 //!   error-severity histories with exit code 4 unless `--skip-preflight`;
+//!   supports degraded-mode tolerance of incomplete histories
+//!   (`--degraded`) and checkpoint/resume (`--checkpoint`, `--resume`);
+//! * `chaos` — run a bundled workload under seeded fault injection
+//!   (client kills, stalls, dropped/duplicated trace deliveries,
+//!   clock-skew bursts) through the online verifier with watermark-stall
+//!   eviction, reporting the verdict plus a coverage breakdown;
 //! * `lint-history` — run only the preflight analysis, human or `--json`;
 //! * `oracle` — run the anomaly-injection differential verdict matrix
 //!   (9 anomaly classes × 4 levels × {Leopard, Cobra, cycle-search},
@@ -31,6 +37,7 @@ pub fn run(argv: &[String], out: &mut dyn std::io::Write) -> i32 {
     match parse_args(argv) {
         Ok(Command::Record(cfg)) => commands::record(&cfg, out),
         Ok(Command::Verify(cfg)) => commands::verify(&cfg, out),
+        Ok(Command::Chaos(cfg)) => commands::chaos(&cfg, out),
         Ok(Command::LintHistory(cfg)) => commands::lint_history(&cfg, out),
         Ok(Command::Oracle(cfg)) => commands::oracle(&cfg, out),
         Ok(Command::Catalog) => commands::catalog(out),

@@ -1,0 +1,216 @@
+//! Checkpoint/resume for long verification runs.
+//!
+//! A [`Checkpoint`] is a complete, plain-data image of a
+//! [`crate::verify::Verifier`] mid-stream: the transaction table, version
+//! chains, lock table, dependency graph, deferred read checks, quarantine
+//! gate and all accumulated results. Writing one on an interval (or on
+//! demand) makes a days-long online verification crash-safe: after a kill,
+//! `leopard verify --resume <ckpt>` rebuilds the verifier with
+//! [`crate::verify::Verifier::from_checkpoint`], skips the first
+//! [`Checkpoint::traces_ingested`] traces of the capture, and continues to
+//! a verdict identical to the uninterrupted run.
+//!
+//! The format is versioned JSON. All maps are flattened to sorted vectors
+//! (the offline-capable serde stub has no `HashMap` support, and sorting
+//! makes checkpoints byte-stable for identical verifier states).
+
+use crate::interval::Interval;
+use crate::report::BugReport;
+use crate::stats::DeductionStats;
+use crate::types::{ClientId, Key, Timestamp, TxnId, Value};
+use crate::verify::{
+    Coverage, KeyLocks, KeyVersions, NodeSnap, TxnSnap, VerifierConfig, VerifyCounters,
+};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+/// Current checkpoint format version; bumped on incompatible change.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// A deferred consistent-read check, flattened for checkpointing
+/// (mirrors the verifier's private pending-read heap entries).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PendingReadSnap {
+    /// Stream position at which the check becomes runnable.
+    pub due: Timestamp,
+    /// Tie-break sequence number (heap insertion order).
+    pub seq: u64,
+    /// The reading transaction.
+    pub reader: TxnId,
+    /// The record read.
+    pub key: Key,
+    /// The value observed.
+    pub observed: Value,
+    /// The snapshot interval to check against.
+    pub snapshot: Interval,
+    /// The read operation's own interval.
+    pub read_op: Interval,
+}
+
+/// A complete verifier state image. See the module docs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Format version ([`CHECKPOINT_VERSION`]).
+    pub version: u32,
+    /// The configuration the run was started with; resume refuses a
+    /// mismatched configuration (it would change the verdict).
+    pub config: VerifierConfig,
+    /// Stream position (max `ts_bef` ingested, after skew widening).
+    pub stream_pos: Timestamp,
+    /// Pending-read sequence counter.
+    pub pending_seq: u64,
+    /// Version-uid counter of the version store.
+    pub next_uid: u64,
+    /// Traces ingested so far — the resume cursor: skip this many traces
+    /// of the capture before feeding the restored verifier.
+    pub traces_ingested: u64,
+    /// Transaction table.
+    pub txns: Vec<TxnSnap>,
+    /// Version store.
+    pub versions: Vec<KeyVersions>,
+    /// Lock table.
+    pub locks: Vec<KeyLocks>,
+    /// Dependency graph.
+    pub graph: Vec<NodeSnap>,
+    /// Deferred read checks.
+    pub pending_reads: Vec<PendingReadSnap>,
+    /// Quarantine gate: traces seen by the gate.
+    pub quarantine_seq: u64,
+    /// Quarantine gate: last admitted `ts_bef` per client.
+    pub quarantine_clients: Vec<(ClientId, Timestamp)>,
+    /// Quarantine gate: transactions with an admitted terminal.
+    pub quarantine_terminals: Vec<TxnId>,
+    /// Run counters.
+    pub counters: VerifyCounters,
+    /// Deduction statistics.
+    pub stats: DeductionStats,
+    /// Violations found so far.
+    pub report: BugReport,
+    /// Coverage accumulated so far.
+    pub coverage: Coverage,
+}
+
+/// Why a checkpoint could not be written, read or restored.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// The file carries an unsupported format version.
+    Version {
+        /// Version found in the file.
+        found: u32,
+        /// Version this build supports.
+        expected: u32,
+    },
+    /// The file is not valid checkpoint JSON.
+    Malformed(String),
+    /// The file could not be read or written.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Version { found, expected } => write!(
+                f,
+                "unsupported checkpoint version {found} (this build supports {expected})"
+            ),
+            CheckpointError::Malformed(e) => write!(f, "malformed checkpoint: {e}"),
+            CheckpointError::Io(e) => write!(f, "checkpoint i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+impl Checkpoint {
+    /// Serializes to one JSON document.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("checkpoint serializes")
+    }
+
+    /// Parses a JSON document, validating the format version.
+    pub fn from_json(json: &str) -> Result<Checkpoint, CheckpointError> {
+        let ckpt: Checkpoint =
+            serde_json::from_str(json).map_err(|e| CheckpointError::Malformed(e.to_string()))?;
+        if ckpt.version != CHECKPOINT_VERSION {
+            return Err(CheckpointError::Version {
+                found: ckpt.version,
+                expected: CHECKPOINT_VERSION,
+            });
+        }
+        Ok(ckpt)
+    }
+
+    /// Writes the checkpoint to `path` atomically (write-to-temp, rename),
+    /// so a crash mid-write never leaves a truncated checkpoint behind.
+    pub fn write(&self, path: &Path) -> Result<(), CheckpointError> {
+        let tmp = path.with_extension("ckpt.tmp");
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(self.to_json().as_bytes())?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Reads and parses a checkpoint from `path`.
+    pub fn read(path: &Path) -> Result<Checkpoint, CheckpointError> {
+        let json = fs::read_to_string(path)?;
+        Checkpoint::from_json(&json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::IsolationLevel;
+    use crate::trace::TraceBuilder;
+    use crate::verify::Verifier;
+
+    #[test]
+    fn json_round_trip_is_identity() {
+        let mut v = Verifier::new(VerifierConfig::for_level(IsolationLevel::Serializable));
+        v.preload(Key(1), Value(0));
+        let mut b = TraceBuilder::new();
+        b.write(10, 12, 0, 1, vec![(1, 10)]);
+        b.commit(13, 15, 0, 1);
+        b.read(20, 22, 1, 2, vec![(1, 10)]);
+        for t in b.build_sorted() {
+            v.process(&t);
+        }
+        let ckpt = v.checkpoint();
+        let back = Checkpoint::from_json(&ckpt.to_json()).expect("round-trips");
+        assert_eq!(back, ckpt);
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let v = Verifier::new(VerifierConfig::for_level(IsolationLevel::Serializable));
+        let mut ckpt = v.checkpoint();
+        ckpt.version = 99;
+        let err = Checkpoint::from_json(&ckpt.to_json()).unwrap_err();
+        assert!(matches!(err, CheckpointError::Version { found: 99, .. }));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let v = Verifier::new(VerifierConfig::for_level(IsolationLevel::Serializable));
+        let ckpt = v.checkpoint();
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("leopard-ckpt-test-{}.json", std::process::id()));
+        ckpt.write(&path).expect("writes");
+        let back = Checkpoint::read(&path).expect("reads");
+        let _ = fs::remove_file(&path);
+        assert_eq!(back, ckpt);
+    }
+}

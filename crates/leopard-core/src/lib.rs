@@ -50,6 +50,7 @@
 
 pub mod capture;
 pub mod catalog;
+pub mod checkpoint;
 pub mod fxhash;
 pub mod interval;
 pub mod online;
@@ -65,14 +66,19 @@ pub use capture::{CaptureError, CaptureHeader, CaptureReader, CaptureWriter, CAP
 pub use catalog::{
     catalog, CertifierRule, DbmsProfile, IsolationLevel, MechanismSet, SnapshotLevel,
 };
+pub use checkpoint::{Checkpoint, CheckpointError, PendingReadSnap, CHECKPOINT_VERSION};
 pub use interval::{Interval, PairOrder};
-pub use online::OnlineLeopard;
+pub use online::{FinishTimeout, OnlineLeopard, OnlineOptions};
 pub use pipeline::{ChannelTracer, ClientHandle, PipelineConfig, PipelineStats, TwoLevelPipeline};
 pub use preflight::{
-    DiagCode, Diagnostic, PreflightAnalyzer, PreflightConfig, PreflightReport, Severity,
+    DiagCode, Diagnostic, PreflightAnalyzer, PreflightConfig, PreflightReport, QuarantineGate,
+    Severity,
 };
 pub use report::{BugReport, Mechanism, Violation};
 pub use stats::{DeductionStats, DepCounts, DepKind};
 pub use trace::{OpKind, Trace, TraceBuilder};
 pub use types::{ClientId, Key, Timestamp, TxnId, Value};
-pub use verify::{Footprint, Verifier, VerifierConfig, VerifyCounters, VerifyOutcome};
+pub use verify::{
+    Coverage, Footprint, Verifier, VerifierConfig, VerifyCounters, VerifyOutcome,
+    MAX_COVERAGE_NOTES,
+};

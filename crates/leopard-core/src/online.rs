@@ -29,13 +29,86 @@
 //! ```
 
 use crate::pipeline::{ChannelTracer, ClientHandle, PipelineConfig, PipelineStats};
-use crate::types::{Key, Value};
+use crate::types::{ClientId, Key, Value};
 use crate::verify::{Verifier, VerifierConfig, VerifyOutcome};
+use std::fmt;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Degradation and checkpoint knobs for the online chain.
+#[derive(Debug, Clone, Default)]
+pub struct OnlineOptions {
+    /// Pipeline configuration (fetch strategy, batching).
+    pub pipeline: PipelineConfig,
+    /// Evict the client pinning the watermark after this long without any
+    /// dispatch progress. When all clients fall silent for this long with
+    /// nothing buffered, every open client is presumed dead and evicted.
+    /// `None` (the default) never evicts: a silent open client blocks
+    /// forever, exactly as the original blocking chain did.
+    pub eviction_timeout: Option<Duration>,
+    /// Where to write verifier checkpoints (atomic write-then-rename).
+    pub checkpoint_path: Option<PathBuf>,
+    /// Write a checkpoint every this many processed traces. Only effective
+    /// together with [`OnlineOptions::checkpoint_path`].
+    pub checkpoint_every: Option<u64>,
+}
+
+/// [`OnlineLeopard::finish_with_timeout`] gave up waiting: some client
+/// never closed its trace stream. The named clients were force-evicted and
+/// verification completed in degraded mode — the (degraded) outcome is
+/// still carried so no verification work is lost.
+#[derive(Debug)]
+pub struct FinishTimeout {
+    /// Clients whose streams were still open at the timeout; the first
+    /// entries are the ones that were pinning the watermark.
+    pub pinning: Vec<ClientId>,
+    /// The outcome of the degraded completion (coverage names the evicted
+    /// clients).
+    pub outcome: VerifyOutcome,
+    /// Pipeline statistics of the degraded completion.
+    pub stats: PipelineStats,
+}
+
+impl fmt::Display for FinishTimeout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "online finish timed out: client stream(s) never closed ["
+        )?;
+        for (i, c) in self.pinning.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, "]; evicted them and completed with degraded coverage")
+    }
+}
+
+impl std::error::Error for FinishTimeout {}
+
+/// State shared between the verifier thread and the front-end handle.
+#[derive(Debug, Default)]
+struct Shared {
+    /// Set by the front end to force-evict every open client (used by
+    /// [`OnlineLeopard::finish_with_timeout`] to guarantee termination).
+    force_evict: AtomicBool,
+    /// Set by [`OnlineLeopard::request_checkpoint`]; cleared by the worker
+    /// once the checkpoint is written.
+    checkpoint: AtomicBool,
+    /// Clients whose streams were open at the worker's last poll.
+    open: Mutex<Vec<ClientId>>,
+}
 
 /// A running Tracer→Verifier chain.
 #[derive(Debug)]
 pub struct OnlineLeopard {
     worker: std::thread::JoinHandle<(VerifyOutcome, PipelineStats)>,
+    done: mpsc::Receiver<()>,
+    shared: Arc<Shared>,
 }
 
 impl OnlineLeopard {
@@ -58,33 +131,136 @@ impl OnlineLeopard {
         pipeline: PipelineConfig,
         preload: Vec<(Key, Value)>,
     ) -> (OnlineLeopard, Vec<ClientHandle>) {
-        let (mut tracer, handles) = ChannelTracer::new(clients, pipeline);
+        OnlineLeopard::start_opts(
+            clients,
+            cfg,
+            OnlineOptions {
+                pipeline,
+                ..OnlineOptions::default()
+            },
+            preload,
+        )
+    }
+
+    /// Starts the chain with full degradation/checkpoint options.
+    #[must_use]
+    pub fn start_opts(
+        clients: usize,
+        cfg: VerifierConfig,
+        opts: OnlineOptions,
+        preload: Vec<(Key, Value)>,
+    ) -> (OnlineLeopard, Vec<ClientHandle>) {
+        let (mut tracer, handles) = ChannelTracer::new(clients, opts.pipeline);
+        let shared = Arc::new(Shared::default());
+        let worker_shared = Arc::clone(&shared);
+        let (done_tx, done_rx) = mpsc::channel();
         let worker = std::thread::spawn(move || {
+            let shared = worker_shared;
             let mut verifier = Verifier::new(cfg);
             for (k, v) in preload {
                 verifier.preload(k, v);
             }
             let mut batch = Vec::new();
+            let mut processed: u64 = 0;
+            let mut last_dispatched: u64 = 0;
+            let mut last_progress = Instant::now(); // lint: allow(L004): eviction timeout is wall-clock by definition; verdicts stay trace-time only
             loop {
                 let live = tracer.poll(&mut batch);
                 for trace in batch.drain(..) {
                     verifier.process(&trace);
+                    processed += 1;
+                    if let (Some(path), Some(every)) =
+                        (opts.checkpoint_path.as_deref(), opts.checkpoint_every)
+                    {
+                        if every > 0 && processed.is_multiple_of(every) {
+                            // Best-effort: an unwritable checkpoint must not
+                            // take the verification down.
+                            let _ = verifier.checkpoint().write(path);
+                        }
+                    }
+                }
+                if shared.checkpoint.swap(false, Ordering::SeqCst) {
+                    if let Some(path) = opts.checkpoint_path.as_deref() {
+                        let _ = verifier.checkpoint().write(path);
+                    }
+                }
+                {
+                    let open: Vec<ClientId> = tracer
+                        .open_clients()
+                        .into_iter()
+                        .map(|i| ClientId(i as u32))
+                        .collect();
+                    *shared.open.lock().expect("open-clients lock") = open;
                 }
                 if !live {
                     break;
                 }
+                if shared.force_evict.load(Ordering::SeqCst) {
+                    for c in tracer.open_clients() {
+                        let _ = tracer.evict(c);
+                        verifier.note_evicted_client(ClientId(c as u32));
+                    }
+                    continue; // next poll drains the unblocked pipeline
+                }
+                let dispatched = tracer.stats().dispatched;
+                if dispatched != last_dispatched {
+                    last_dispatched = dispatched;
+                    last_progress = Instant::now(); // lint: allow(L004): eviction timeout is wall-clock by definition
+                } else if let Some(timeout) = opts.eviction_timeout {
+                    if last_progress.elapsed() >= timeout {
+                        if let Some(pin) = tracer.pinning_client() {
+                            // Watermark stall: one silent client blocks all
+                            // dispatch. Force-close it; its in-flight txn
+                            // surfaces as indeterminate in coverage.
+                            let _ = tracer.evict(pin);
+                            verifier.note_evicted_client(ClientId(pin as u32));
+                        } else {
+                            // Global silence with nothing buffered: every
+                            // still-open client is presumed dead.
+                            for c in tracer.open_clients() {
+                                let _ = tracer.evict(c);
+                                verifier.note_evicted_client(ClientId(c as u32));
+                            }
+                        }
+                        last_progress = Instant::now(); // lint: allow(L004): eviction timeout is wall-clock by definition
+                    }
+                }
                 std::thread::yield_now();
             }
-            (verifier.finish(), tracer.stats())
+            if let Some(path) = opts.checkpoint_path.as_deref() {
+                if opts.checkpoint_every.is_some() {
+                    // Final image so a post-run resume replays nothing.
+                    let _ = verifier.checkpoint().write(path);
+                }
+            }
+            let result = (verifier.finish(), tracer.stats());
+            let _ = done_tx.send(());
+            result
         });
-        (OnlineLeopard { worker }, handles)
+        (
+            OnlineLeopard {
+                worker,
+                done: done_rx,
+                shared,
+            },
+            handles,
+        )
+    }
+
+    /// Asks the verifier thread to write a checkpoint at the next batch
+    /// boundary. No-op unless the chain was started with a
+    /// [`OnlineOptions::checkpoint_path`].
+    pub fn request_checkpoint(&self) {
+        self.shared.checkpoint.store(true, Ordering::SeqCst);
     }
 
     /// Waits for every client stream to close and every trace to be
     /// verified, then returns the outcome.
     ///
     /// Call only after all [`ClientHandle`]s have been dropped, or the
-    /// verifier thread will wait forever.
+    /// verifier thread will wait forever — use
+    /// [`OnlineLeopard::finish_with_timeout`] when that cannot be
+    /// guaranteed.
     #[must_use]
     pub fn finish(self) -> VerifyOutcome {
         self.finish_with_stats().0
@@ -94,6 +270,37 @@ impl OnlineLeopard {
     #[must_use]
     pub fn finish_with_stats(self) -> (VerifyOutcome, PipelineStats) {
         self.worker.join().expect("verifier thread panicked")
+    }
+
+    /// Waits up to `timeout` for the chain to complete on its own. If some
+    /// client stream never closes (a leaked [`ClientHandle`], a crashed
+    /// client that kept its connection), returns a [`FinishTimeout`] that
+    /// *names the offending clients* — after force-evicting them so the
+    /// run still terminates with a degraded outcome instead of hanging.
+    pub fn finish_with_timeout(
+        self,
+        timeout: Duration,
+    ) -> Result<(VerifyOutcome, PipelineStats), Box<FinishTimeout>> {
+        match self.done.recv_timeout(timeout) {
+            Ok(()) => Ok(self.worker.join().expect("verifier thread panicked")),
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                let pinning = self.shared.open.lock().expect("open-clients lock").clone();
+                self.shared.force_evict.store(true, Ordering::SeqCst);
+                // The worker evicts every open client on its next loop
+                // iteration, drains, and completes.
+                let (outcome, stats) = self.worker.join().expect("verifier thread panicked");
+                Err(Box::new(FinishTimeout {
+                    pinning,
+                    outcome,
+                    stats,
+                }))
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                // The worker died without sending; join to surface the
+                // panic.
+                Ok(self.worker.join().expect("verifier thread panicked"))
+            }
+        }
     }
 }
 
@@ -145,6 +352,101 @@ mod tests {
         let (outcome, stats) = leopard.finish_with_stats();
         assert_eq!(stats.dispatched, 4 * 50 * 2);
         assert_eq!(outcome.counters.committed, 200);
+        assert!(outcome.report.is_clean(), "{}", outcome.report);
+    }
+
+    #[test]
+    // The leak IS the scenario under test: a client that never closes.
+    #[allow(clippy::mem_forget)]
+    fn leaked_handle_times_out_naming_the_pinning_client() {
+        // Regression test for the `finish` hang: client 1's handle is never
+        // dropped, so its stream never closes and the old blocking `finish`
+        // would wait forever. `finish_with_timeout` must instead name the
+        // offending client, evict it, and still return the verified result
+        // for everything client 0 delivered.
+        let (leopard, mut handles) = OnlineLeopard::start(
+            2,
+            VerifierConfig::for_level(IsolationLevel::Serializable),
+            vec![(Key(1), Value(0))],
+        );
+        let alive = handles.remove(0);
+        alive.record(Trace::new(
+            iv(10, 12),
+            ClientId(0),
+            TxnId(1),
+            OpKind::Write(vec![(Key(1), Value(7))]),
+        ));
+        alive.record(Trace::new(
+            iv(13, 15),
+            ClientId(0),
+            TxnId(1),
+            OpKind::Commit,
+        ));
+        drop(alive);
+        // `handles[0]` is now client 1's handle: leak it.
+        std::mem::forget(handles);
+        let err = leopard
+            .finish_with_timeout(std::time::Duration::from_millis(200))
+            .expect_err("a leaked handle must surface as a timeout");
+        assert!(
+            err.pinning.contains(&ClientId(1)),
+            "timeout must name the client whose stream never closed: {err}"
+        );
+        assert!(!err.pinning.contains(&ClientId(0)));
+        // The degraded completion still verified client 0's transaction.
+        assert_eq!(err.outcome.counters.committed, 1);
+        assert!(err.outcome.report.is_clean());
+        assert!(err.outcome.coverage.evicted_clients.contains(&ClientId(1)));
+        assert!(!err.outcome.coverage.is_complete());
+    }
+
+    #[test]
+    // The leak IS the scenario under test: a crashed client's stream stays
+    // open forever.
+    #[allow(clippy::mem_forget)]
+    fn stall_timeout_evicts_the_pinning_client() {
+        // Client 1 delivers one write then goes silent mid-transaction
+        // (crashed client: no terminal trace, stream never closed). With an
+        // eviction timeout the chain must terminate on its own, mark the
+        // transaction indeterminate, and stay clean.
+        let (leopard, mut handles) = OnlineLeopard::start_opts(
+            2,
+            VerifierConfig::for_level(IsolationLevel::Serializable),
+            OnlineOptions {
+                eviction_timeout: Some(std::time::Duration::from_millis(100)),
+                ..OnlineOptions::default()
+            },
+            vec![(Key(1), Value(0)), (Key(2), Value(0))],
+        );
+        let stalled = handles.remove(1);
+        stalled.record(Trace::new(
+            iv(5, 6),
+            ClientId(1),
+            TxnId(100),
+            OpKind::Write(vec![(Key(2), Value(9))]),
+        ));
+        std::mem::forget(stalled); // never closes, never commits
+        let alive = handles.remove(0);
+        alive.record(Trace::new(
+            iv(10, 12),
+            ClientId(0),
+            TxnId(1),
+            OpKind::Write(vec![(Key(1), Value(7))]),
+        ));
+        alive.record(Trace::new(
+            iv(13, 15),
+            ClientId(0),
+            TxnId(1),
+            OpKind::Commit,
+        ));
+        drop(alive);
+        let (outcome, stats) = leopard
+            .finish_with_timeout(std::time::Duration::from_secs(30))
+            .map_err(|e| e.to_string())
+            .expect("eviction timeout must let the chain terminate by itself");
+        assert_eq!(stats.evicted_clients, 1);
+        assert!(outcome.coverage.evicted_clients.contains(&ClientId(1)));
+        assert!(outcome.coverage.indeterminate_txns.contains(&TxnId(100)));
         assert!(outcome.report.is_clean(), "{}", outcome.report);
     }
 

@@ -118,6 +118,38 @@ impl ChannelTracer {
         }
     }
 
+    /// Force-closes a dead or stalled client: its channel is abandoned and
+    /// its local buffer closed via [`TwoLevelPipeline::evict`], so it stops
+    /// pinning the watermark. Traces it already delivered still dispatch;
+    /// anything still in its channel is discarded (the client is presumed
+    /// dead). Safe to call for an already-disconnected client.
+    pub fn evict(&mut self, client: usize) -> Result<(), PipelineError> {
+        if client >= self.receivers.len() {
+            return Err(PipelineError::UnknownClient(client));
+        }
+        self.disconnected[client] = true;
+        self.pipeline.evict(client)
+    }
+
+    /// The client currently pinning the watermark (blocking every
+    /// dispatch by its silence), if any. See
+    /// [`TwoLevelPipeline::pinning_client`].
+    #[must_use]
+    pub fn pinning_client(&self) -> Option<usize> {
+        self.pipeline.pinning_client()
+    }
+
+    /// Indices of clients whose streams are still open (not yet
+    /// disconnected, errored or evicted).
+    #[must_use]
+    pub fn open_clients(&self) -> Vec<usize> {
+        self.disconnected
+            .iter()
+            .enumerate()
+            .filter_map(|(i, d)| (!d).then_some(i))
+            .collect()
+    }
+
     /// Stream errors encountered so far (e.g. a client whose timestamps
     /// went backwards; its stream was closed at the offending trace).
     #[must_use]

@@ -125,6 +125,12 @@ pub struct PipelineStats {
     /// Maximum of (heap + local buffers): the pipeline's peak footprint
     /// in buffered traces (Fig. 10(a)'s memory metric).
     pub max_total_buffered: usize,
+    /// Clients force-closed by [`TwoLevelPipeline::evict`] (stall-timeout
+    /// eviction under degraded-mode operation).
+    pub evicted_clients: u64,
+    /// Exact back-to-back duplicate pushes dropped at the local buffers
+    /// (re-delivery under chaotic trace transport).
+    pub duplicates_dropped: u64,
 }
 
 #[derive(Debug)]
@@ -164,6 +170,9 @@ struct LocalBuffer {
     last_seen: Timestamp,
     closed: bool,
     local_total: usize,
+    /// The most recent trace accepted from this client, kept to drop
+    /// exact re-deliveries (duplicates arrive back-to-back per client).
+    last_pushed: Option<Trace>,
 }
 
 impl LocalBuffer {
@@ -206,6 +215,7 @@ impl TwoLevelPipeline {
                     last_seen: Timestamp::ZERO,
                     closed: false,
                     local_total: 0,
+                    last_pushed: None,
                 })
                 .collect(),
             heap: BinaryHeap::new(),
@@ -233,6 +243,15 @@ impl TwoLevelPipeline {
         if local.closed {
             return Err(PipelineError::ClientClosed(client));
         }
+        if local.last_pushed.as_ref() == Some(&trace) {
+            // A re-delivered trace: transports under fault injection may
+            // duplicate a delivery; the duplicate arrives immediately after
+            // the original because pushes are per-client FIFO. Dropping it
+            // here keeps duplicates out of the watermark accounting and the
+            // verifier alike.
+            self.stats.duplicates_dropped += 1;
+            return Ok(());
+        }
         if trace.ts_bef() < local.last_seen {
             return Err(PipelineError::NonMonotonicClient {
                 client,
@@ -241,6 +260,7 @@ impl TwoLevelPipeline {
             });
         }
         local.last_seen = trace.ts_bef();
+        local.last_pushed = Some(trace.clone());
         local.queue.push_back(trace);
         local.local_total += 1;
         self.local_total += 1;
@@ -257,6 +277,48 @@ impl TwoLevelPipeline {
             .ok_or(PipelineError::UnknownClient(client))?;
         local.closed = true;
         Ok(())
+    }
+
+    /// Force-closes a dead or stalled client so it stops pinning the
+    /// watermark. Identical to [`close`](Self::close) except the eviction
+    /// is counted in [`PipelineStats::evicted_clients`]; traces the client
+    /// already buffered are still dispatched in order, so the watermark
+    /// stays monotone.
+    pub fn evict(&mut self, client: usize) -> Result<(), PipelineError> {
+        let local = self
+            .locals
+            .get_mut(client)
+            .ok_or(PipelineError::UnknownClient(client))?;
+        if !local.closed {
+            local.closed = true;
+            self.stats.evicted_clients += 1;
+        }
+        Ok(())
+    }
+
+    /// The open client currently *pinning* the watermark with an empty
+    /// local buffer — i.e. the one client whose silence alone blocks every
+    /// dispatch — or `None` if dispatch is not blocked on a silent client.
+    ///
+    /// This is the stall-detection probe: when the pipeline makes no
+    /// progress for longer than the eviction timeout, the pinning client is
+    /// the one to [`evict`](Self::evict).
+    #[must_use]
+    pub fn pinning_client(&self) -> Option<usize> {
+        if self.heap.is_empty() && self.local_total == 0 {
+            return None; // nothing buffered: no dispatch is blocked
+        }
+        let (_, empty, idx) = self
+            .locals
+            .iter()
+            .enumerate()
+            .filter_map(|(i, l)| l.lower_bound().map(|b| (b, l.queue.is_empty(), i)))
+            .min()?;
+        if empty && !self.locals[idx].closed {
+            Some(idx)
+        } else {
+            None
+        }
     }
 
     /// The current watermark: the smallest `ts_bef` any not-yet-fetched
@@ -574,6 +636,123 @@ mod tests {
         assert!(p.is_exhausted());
         assert_eq!(out.len(), 300);
         assert!(out.windows(2).all(|w| w[0].ts_bef() <= w[1].ts_bef()));
+    }
+
+    #[test]
+    fn close_with_buffered_traces_still_dispatches_them() {
+        let mut p = TwoLevelPipeline::new(2, PipelineConfig::default());
+        for ts in [1u64, 4, 7] {
+            p.push(0, t(0, ts, ts + 1)).unwrap();
+        }
+        p.push(1, t(1, 2, 3)).unwrap();
+        // Close client 0 while it still has three buffered traces; they
+        // must all come out, interleaved in global order.
+        p.close(0).unwrap();
+        p.close(1).unwrap();
+        let out = run_to_completion(&mut p);
+        let times: Vec<u64> = out.iter().map(|t| t.ts_bef().0).collect();
+        assert_eq!(times, vec![1, 2, 4, 7]);
+    }
+
+    #[test]
+    fn evicting_all_clients_unblocks_and_exhausts() {
+        let mut p = TwoLevelPipeline::new(3, PipelineConfig::default());
+        p.push(0, t(0, 10, 11)).unwrap();
+        p.push(1, t(1, 20, 21)).unwrap();
+        // Client 2 is silent and pins the watermark at ZERO.
+        assert_eq!(p.try_dispatch(), None);
+        assert_eq!(p.pinning_client(), Some(2));
+        p.evict(2).unwrap();
+        // Clients 0 and 1 are now the (successive) pins once drained.
+        let first = p.try_dispatch().unwrap();
+        assert_eq!(first.ts_bef(), Timestamp(10));
+        p.evict(0).unwrap();
+        p.evict(1).unwrap();
+        let out = run_to_completion(&mut p);
+        assert_eq!(out.len(), 1);
+        assert_eq!(p.stats().evicted_clients, 3);
+        // Evicting an already-closed client is a no-op, not a double count.
+        p.evict(1).unwrap();
+        assert_eq!(p.stats().evicted_clients, 3);
+    }
+
+    #[test]
+    fn duplicate_delivery_is_dropped_exactly_once() {
+        let mut p = TwoLevelPipeline::new(1, PipelineConfig::default());
+        let tr = t(0, 5, 6);
+        p.push(0, tr.clone()).unwrap();
+        p.push(0, tr.clone()).unwrap(); // exact re-delivery: dropped
+        p.push(0, t(0, 7, 8)).unwrap();
+        p.close(0).unwrap();
+        let out = run_to_completion(&mut p);
+        assert_eq!(out.len(), 2, "duplicate must be deduped exactly once");
+        assert_eq!(out[0], tr);
+        assert_eq!(p.stats().duplicates_dropped, 1);
+        assert_eq!(p.stats().dispatched, 2);
+    }
+
+    #[test]
+    fn distinct_traces_at_equal_timestamps_are_not_deduped() {
+        let mut p = TwoLevelPipeline::new(1, PipelineConfig::default());
+        // Same interval, different txn ids: both must survive.
+        let a = Trace::new(
+            Interval::new(Timestamp(5), Timestamp(6)),
+            ClientId(0),
+            TxnId(1),
+            OpKind::Commit,
+        );
+        let b = Trace::new(
+            Interval::new(Timestamp(5), Timestamp(6)),
+            ClientId(0),
+            TxnId(2),
+            OpKind::Commit,
+        );
+        p.push(0, a).unwrap();
+        p.push(0, b).unwrap();
+        p.close(0).unwrap();
+        let out = run_to_completion(&mut p);
+        assert_eq!(out.len(), 2);
+        assert_eq!(p.stats().duplicates_dropped, 0);
+    }
+
+    #[test]
+    fn watermark_stays_monotone_under_eviction() {
+        let mut p = TwoLevelPipeline::new(3, PipelineConfig::default());
+        for ts in [3u64, 6, 9] {
+            p.push(0, t(0, ts, ts + 1)).unwrap();
+        }
+        for ts in [4u64, 8] {
+            p.push(1, t(1, ts, ts + 1)).unwrap();
+        }
+        p.push(2, t(2, 1, 2)).unwrap();
+        let mut out = Vec::new();
+        p.drain_available(&mut out);
+        // Client 2 went silent after ts 1; evicting it mid-stream must not
+        // let any dispatch go backwards.
+        p.evict(2).unwrap();
+        p.drain_available(&mut out);
+        p.close(0).unwrap();
+        p.close(1).unwrap();
+        p.drain_available(&mut out);
+        assert!(p.is_exhausted());
+        assert_eq!(out.len(), 6);
+        assert!(
+            out.windows(2).all(|w| w[0].ts_bef() <= w[1].ts_bef()),
+            "dispatch order regressed after eviction"
+        );
+    }
+
+    #[test]
+    fn pinning_client_is_none_when_idle_or_fetchable() {
+        let mut p = TwoLevelPipeline::new(2, PipelineConfig::default());
+        // Nothing buffered: no dispatch is blocked, so no pin.
+        assert_eq!(p.pinning_client(), None);
+        p.push(0, t(0, 5, 6)).unwrap();
+        // Client 1 is silent at ZERO and blocks client 0's trace.
+        assert_eq!(p.pinning_client(), Some(1));
+        p.push(1, t(1, 3, 4)).unwrap();
+        // The smallest bound now heads a non-empty buffer: fetchable.
+        assert_eq!(p.pinning_client(), None);
     }
 
     #[test]

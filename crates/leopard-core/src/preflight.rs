@@ -431,6 +431,112 @@ impl PreflightAnalyzer {
     }
 }
 
+/// Streaming quarantine gate for degraded-mode verification.
+///
+/// Where [`PreflightAnalyzer`] produces a report *about* a whole capture,
+/// the gate makes a per-trace admit/quarantine decision *inline*, so the
+/// verifier can keep running over a partially broken stream. It applies the
+/// checks that are decidable trace-by-trace — H001 (inverted interval),
+/// H002 (per-client `ts_bef` regression), H003 (duplicate terminal) and
+/// H004 (operation after terminal) — and returns the [`Diagnostic`]
+/// explaining why a trace was quarantined. Stream-global checks (H005,
+/// H006) stay in the preflight analyzer: they describe ambiguity, not a
+/// trace that must be kept away from the mirrored state.
+///
+/// The gate's state is part of the verifier checkpoint, so a resumed run
+/// makes identical decisions.
+#[derive(Debug, Default)]
+pub struct QuarantineGate {
+    seq: usize,
+    /// Last admitted `ts_bef` per client.
+    client_clock: FxHashMap<ClientId, Timestamp>,
+    /// Transactions whose terminal trace has been admitted.
+    terminated: FxHashSet<TxnId>,
+}
+
+impl QuarantineGate {
+    /// Decides on the next trace: `None` admits it, `Some(diag)` means it
+    /// must be quarantined (not fed to the verifier).
+    pub fn admit(&mut self, trace: &Trace) -> Option<Diagnostic> {
+        self.seq += 1;
+        let seq = self.seq;
+        let txn = trace.txn;
+        let diag = |code, message| {
+            Some(Diagnostic {
+                code,
+                severity: Severity::Error,
+                txn,
+                op: seq,
+                message,
+            })
+        };
+
+        if trace.interval.lo > trace.interval.hi {
+            return diag(
+                DiagCode::H001,
+                format!(
+                    "inverted interval: ts_bef {} > ts_aft {}",
+                    trace.interval.lo.0, trace.interval.hi.0
+                ),
+            );
+        }
+        if let Some(&last) = self.client_clock.get(&trace.client) {
+            if trace.ts_bef() < last {
+                return diag(
+                    DiagCode::H002,
+                    format!(
+                        "client {} ts_bef {} went backwards (last admitted {})",
+                        trace.client.0,
+                        trace.ts_bef().0,
+                        last.0
+                    ),
+                );
+            }
+        }
+        let is_terminal = matches!(trace.op, OpKind::Commit | OpKind::Abort);
+        if self.terminated.contains(&txn) {
+            return if is_terminal {
+                diag(
+                    DiagCode::H003,
+                    format!("duplicate terminal `{}`", trace.op.tag()),
+                )
+            } else {
+                diag(
+                    DiagCode::H004,
+                    format!("`{}` operation after the terminal", trace.op.tag()),
+                )
+            };
+        }
+        if is_terminal {
+            self.terminated.insert(txn);
+        }
+        self.client_clock.insert(trace.client, trace.ts_bef());
+        None
+    }
+
+    /// Flattens the gate state for checkpointing: `(sequence counter,
+    /// per-client clocks sorted by client, terminated txns sorted)`.
+    #[must_use]
+    pub fn snapshot(&self) -> (u64, Vec<(ClientId, Timestamp)>, Vec<TxnId>) {
+        let mut clocks: Vec<(ClientId, Timestamp)> =
+            self.client_clock.iter().map(|(&c, &t)| (c, t)).collect();
+        clocks.sort_unstable_by_key(|&(c, _)| c);
+        let mut terminated: Vec<TxnId> = self.terminated.iter().copied().collect();
+        terminated.sort_unstable();
+        (self.seq as u64, clocks, terminated)
+    }
+
+    /// Rebuilds a gate from [`QuarantineGate::snapshot`] output.
+    #[must_use]
+    pub fn restore(seq: u64, clocks: &[(ClientId, Timestamp)], terminated: &[TxnId]) -> Self {
+        QuarantineGate {
+            seq: seq as usize,
+            client_clock: clocks.iter().copied().collect(),
+            terminated: terminated.iter().copied().collect(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -130,7 +130,7 @@ impl fmt::Display for Violation {
 }
 
 /// The verifier's accumulated findings: the paper's "bug descriptor".
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct BugReport {
     /// All violations found, in detection order.
     pub violations: Vec<Violation>,

@@ -20,6 +20,7 @@ use crate::fxhash::{FxHashMap, FxHashSet};
 use crate::interval::Interval;
 use crate::stats::DepKind;
 use crate::types::{Timestamp, TxnId};
+use serde::{Deserialize, Serialize};
 
 /// One committed transaction in the graph.
 #[derive(Debug)]
@@ -53,6 +54,26 @@ pub struct CertifierViolation {
     pub pattern: &'static str,
     /// Transactions forming the pattern, in pattern order.
     pub txns: Vec<TxnId>,
+}
+
+/// Plain-data image of one graph node, used by checkpointing. Outgoing
+/// edges are flattened to a sorted `(target, kind bits)` vector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeSnap {
+    /// The committed transaction.
+    pub id: TxnId,
+    /// Snapshot-generation interval.
+    pub snapshot: Interval,
+    /// Commit interval.
+    pub commit: Interval,
+    /// Outgoing edges as `(target, kind bits)`, sorted by target.
+    pub out: Vec<(TxnId, u8)>,
+    /// Incoming edge count.
+    pub in_degree: u64,
+    /// Incoming concurrent-rw marker (SSI rule state).
+    pub in_rw_concurrent: Option<TxnId>,
+    /// Outgoing concurrent-rw marker (SSI rule state).
+    pub out_rw_concurrent: Option<TxnId>,
 }
 
 /// The mirrored dependency graph.
@@ -263,6 +284,54 @@ impl DepGraph {
         self.nodes
             .iter()
             .flat_map(|(from, n)| n.out.iter().map(move |(to, kinds)| (*from, *to, *kinds)))
+    }
+
+    /// Flattens the graph into plain-data snapshots, sorted by id.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<NodeSnap> {
+        let mut snaps: Vec<NodeSnap> = self
+            .nodes
+            .iter()
+            .map(|(&id, node)| {
+                let mut out: Vec<(TxnId, u8)> =
+                    node.out.iter().map(|(&to, &bits)| (to, bits)).collect();
+                out.sort_unstable_by_key(|&(to, _)| to);
+                NodeSnap {
+                    id,
+                    snapshot: node.snapshot,
+                    commit: node.commit,
+                    out,
+                    in_degree: node.in_degree as u64,
+                    in_rw_concurrent: node.in_rw_concurrent,
+                    out_rw_concurrent: node.out_rw_concurrent,
+                }
+            })
+            .collect();
+        snaps.sort_unstable_by_key(|s| s.id);
+        snaps
+    }
+
+    /// Rebuilds a graph from [`NodeSnap`]s produced by
+    /// [`DepGraph::snapshot`]. The edge count is recomputed.
+    #[must_use]
+    pub fn restore(snaps: &[NodeSnap]) -> DepGraph {
+        let mut nodes: FxHashMap<TxnId, Node> = FxHashMap::default();
+        let mut edge_count = 0;
+        for snap in snaps {
+            edge_count += snap.out.len();
+            nodes.insert(
+                snap.id,
+                Node {
+                    snapshot: snap.snapshot,
+                    commit: snap.commit,
+                    out: snap.out.iter().copied().collect(),
+                    in_degree: snap.in_degree as usize,
+                    in_rw_concurrent: snap.in_rw_concurrent,
+                    out_rw_concurrent: snap.out_rw_concurrent,
+                },
+            );
+        }
+        DepGraph { nodes, edge_count }
     }
 }
 

@@ -11,9 +11,10 @@
 use crate::fxhash::{FxHashMap, FxHashSet};
 use crate::interval::{resolve_exclusive_pair, Interval, PairOrder};
 use crate::types::{Key, Timestamp, TxnId};
+use serde::{Deserialize, Serialize};
 
 /// One mirrored lock on one record.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct LockEntry {
     /// The holder.
     pub txn: TxnId,
@@ -47,6 +48,15 @@ pub enum LockCheck {
         /// order was already certain without the mutual-exclusion argument.
         certain: bool,
     },
+}
+
+/// Plain-data image of one record's mirrored locks, used by checkpointing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KeyLocks {
+    /// The record.
+    pub key: Key,
+    /// Its lock entries, in acquisition order.
+    pub entries: Vec<LockEntry>,
 }
 
 /// The lock table: per-record lists of lock time intervals.
@@ -172,6 +182,42 @@ impl LockTable {
     #[must_use]
     pub fn record_count(&self) -> usize {
         self.locks.len()
+    }
+
+    /// Flattens the table into plain-data snapshots, sorted by key.
+    /// Per-key entry order (acquisition order) is preserved.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<KeyLocks> {
+        let mut snaps: Vec<KeyLocks> = self
+            .locks
+            .iter()
+            .map(|(&key, entries)| KeyLocks {
+                key,
+                entries: entries.clone(),
+            })
+            .collect();
+        snaps.sort_unstable_by_key(|s| s.key);
+        snaps
+    }
+
+    /// Rebuilds a table from [`KeyLocks`] produced by
+    /// [`LockTable::snapshot`]. Every restored key is marked dirty so the
+    /// next prune revisits it; `total` is recomputed.
+    #[must_use]
+    pub fn restore(snaps: &[KeyLocks]) -> LockTable {
+        let mut locks: FxHashMap<Key, Vec<LockEntry>> = FxHashMap::default();
+        let mut dirty = FxHashSet::default();
+        let mut total = 0;
+        for snap in snaps {
+            total += snap.entries.len();
+            dirty.insert(snap.key);
+            locks.insert(snap.key, snap.entries.clone());
+        }
+        LockTable {
+            locks,
+            total,
+            dirty,
+        }
     }
 }
 

@@ -19,24 +19,28 @@ mod lock_table;
 mod txn_table;
 mod version_store;
 
-pub use depgraph::{CertifierViolation, DepGraph};
-pub use lock_table::{LockCheck, LockEntry, LockTable};
-pub use txn_table::{MatchedRead, TxnInfo, TxnOutcome, TxnTable};
+pub use depgraph::{CertifierViolation, DepGraph, NodeSnap};
+pub use lock_table::{KeyLocks, LockCheck, LockEntry, LockTable};
+pub use txn_table::{MatchedRead, TxnInfo, TxnOutcome, TxnSnap, TxnTable};
 pub use version_store::{
-    ReadMatch, RecordVersions, VersionClass, VersionEntry, VersionStore, VersionUid,
+    KeyVersions, ReadMatch, RecordVersions, VersionClass, VersionEntry, VersionStore, VersionUid,
 };
 
 use crate::catalog::{IsolationLevel, MechanismSet, SnapshotLevel};
+use crate::checkpoint::{Checkpoint, CheckpointError, PendingReadSnap, CHECKPOINT_VERSION};
 use crate::interval::{resolve_exclusive_pair, Interval, PairOrder};
+use crate::preflight::QuarantineGate;
 use crate::report::{BugReport, Violation};
 use crate::stats::{DeductionStats, DepKind};
 use crate::trace::{OpKind, Trace};
-use crate::types::{Key, Timestamp, TxnId, Value};
+use crate::types::{ClientId, Key, Timestamp, TxnId, Value};
+use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::fmt;
 
 /// Verifier configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct VerifierConfig {
     /// Which mechanisms to verify, and how (from the DBMS profile).
     pub mechanisms: MechanismSet,
@@ -59,6 +63,13 @@ pub struct VerifierConfig {
     /// a legal execution into a reported violation — at the cost of more
     /// uncertain (overlapping) dependencies. Zero assumes perfect sync.
     pub clock_skew_bound: u64,
+    /// Degraded mode for partially observed histories (crashed clients,
+    /// dropped trace deliveries). Ill-formed traces are quarantined rather
+    /// than fatal, and consistent-read mismatches explainable by a missing
+    /// delivery are demoted to coverage notes instead of violations.
+    /// Degraded mode may *miss* true violations but never fabricates one;
+    /// the [`Coverage`] section of the outcome records every hole.
+    pub degraded: bool,
 }
 
 impl VerifierConfig {
@@ -80,6 +91,7 @@ impl VerifierConfig {
             dep_transfer: true,
             minimal_candidate_set: true,
             clock_skew_bound: 0,
+            degraded: false,
         }
     }
 }
@@ -116,7 +128,7 @@ impl Footprint {
 }
 
 /// Counters summarising one verification run.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct VerifyCounters {
     /// Traces processed.
     pub traces: u64,
@@ -128,6 +140,77 @@ pub struct VerifyCounters {
     pub peak_footprint: usize,
 }
 
+/// Maximum number of human-readable notes retained in [`Coverage`];
+/// further degradations are still counted, just not itemised.
+pub const MAX_COVERAGE_NOTES: usize = 100;
+
+/// How much of the history the verdict actually covers (the `Degraded`
+/// section of a chaos run's outcome). A clean report is only as strong as
+/// its coverage: every evicted client, quarantined trace, demoted read and
+/// indeterminate transaction is a hole the verdict does not speak for.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Coverage {
+    /// Clients force-closed by watermark-stall eviction, sorted.
+    pub evicted_clients: Vec<ClientId>,
+    /// Ill-formed traces routed to quarantine instead of the verifier.
+    pub quarantined_traces: u64,
+    /// Consistent-read mismatches demoted to notes (explainable by a
+    /// missing delivery) instead of reported as violations.
+    pub demoted_reads: u64,
+    /// Transactions with no terminal trace: their effects are unverified.
+    pub indeterminate_txns: Vec<TxnId>,
+    /// Human-readable descriptions of the first
+    /// [`MAX_COVERAGE_NOTES`] degradations.
+    pub notes: Vec<String>,
+}
+
+impl Coverage {
+    /// `true` when the whole history was verified: no evictions, no
+    /// quarantined traces, no demotions, no indeterminate transactions.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.evicted_clients.is_empty()
+            && self.quarantined_traces == 0
+            && self.demoted_reads == 0
+            && self.indeterminate_txns.is_empty()
+    }
+
+    fn push_note(&mut self, note: String) {
+        if self.notes.len() < MAX_COVERAGE_NOTES {
+            self.notes.push(note);
+        }
+    }
+}
+
+impl fmt::Display for Coverage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_complete() {
+            return writeln!(f, "coverage: complete");
+        }
+        writeln!(f, "coverage: DEGRADED")?;
+        if !self.evicted_clients.is_empty() {
+            write!(f, "  evicted clients:")?;
+            for c in &self.evicted_clients {
+                write!(f, " {c}")?;
+            }
+            writeln!(f)?;
+        }
+        if self.quarantined_traces > 0 {
+            writeln!(f, "  quarantined traces: {}", self.quarantined_traces)?;
+        }
+        if self.demoted_reads > 0 {
+            writeln!(f, "  demoted reads: {}", self.demoted_reads)?;
+        }
+        if !self.indeterminate_txns.is_empty() {
+            writeln!(f, "  indeterminate txns: {}", self.indeterminate_txns.len())?;
+        }
+        for note in &self.notes {
+            writeln!(f, "  note: {note}")?;
+        }
+        Ok(())
+    }
+}
+
 /// Result of a finished verification run.
 #[derive(Debug)]
 pub struct VerifyOutcome {
@@ -137,6 +220,8 @@ pub struct VerifyOutcome {
     pub stats: DeductionStats,
     /// Run counters.
     pub counters: VerifyCounters,
+    /// How much of the history the verdict covers.
+    pub coverage: Coverage,
 }
 
 /// A deferred consistent-read check (due once the stream passes
@@ -188,6 +273,8 @@ pub struct Verifier {
     pending_seq: u64,
     stream_pos: Timestamp,
     counters: VerifyCounters,
+    coverage: Coverage,
+    quarantine: QuarantineGate,
     // Scratch buffers reused across traces to avoid per-trace allocation.
     scratch_lock_checks: Vec<(Key, LockCheck)>,
 }
@@ -208,6 +295,8 @@ impl Verifier {
             pending_seq: 0,
             stream_pos: Timestamp::ZERO,
             counters: VerifyCounters::default(),
+            coverage: Coverage::default(),
+            quarantine: QuarantineGate::default(),
             scratch_lock_checks: Vec::new(),
         }
     }
@@ -221,6 +310,17 @@ impl Verifier {
     /// Processes one dispatched trace. Traces must arrive in
     /// non-decreasing `ts_bef` order (the pipeline guarantees this).
     pub fn process(&mut self, trace: &Trace) {
+        // Degraded mode: route ill-formed traces (inverted interval,
+        // per-client clock regression, post-terminal operation, duplicate
+        // mismatched terminal) to quarantine instead of corrupting the
+        // mirrored state; verification continues on the rest.
+        if self.cfg.degraded {
+            if let Some(diag) = self.quarantine.admit(trace) {
+                self.coverage.quarantined_traces += 1;
+                self.coverage.push_note(format!("quarantined: {diag}"));
+                return;
+            }
+        }
         // Clock-skew tolerance: widen the interval so bounded
         // synchronisation error cannot fabricate a "certain" order. Only
         // the interval is adjusted; the operation payload is borrowed.
@@ -298,11 +398,125 @@ impl Verifier {
     pub fn finish(mut self) -> VerifyOutcome {
         self.flush_pending_reads(Timestamp::MAX);
         self.counters.peak_footprint = self.counters.peak_footprint.max(self.footprint().total());
+        let mut coverage = self.coverage;
+        let indeterminate = self.txns.active_txns();
+        for &txn in &indeterminate {
+            coverage.push_note(format!("indeterminate: {txn} has no terminal trace"));
+        }
+        coverage.indeterminate_txns = indeterminate;
         VerifyOutcome {
             report: self.report,
             stats: self.stats,
             counters: self.counters,
+            coverage,
         }
+    }
+
+    /// Records that `client` was force-evicted by the pipeline (its
+    /// in-flight transaction, if any, will surface as indeterminate).
+    pub fn note_evicted_client(&mut self, client: ClientId) {
+        if !self.coverage.evicted_clients.contains(&client) {
+            self.coverage.evicted_clients.push(client);
+            self.coverage.evicted_clients.sort_unstable();
+            self.coverage
+                .push_note(format!("evicted: {client} force-closed by stall timeout"));
+        }
+    }
+
+    /// The coverage accumulated so far (finalised, with indeterminate
+    /// transactions, only by [`Verifier::finish`]).
+    #[must_use]
+    pub fn coverage(&self) -> &Coverage {
+        &self.coverage
+    }
+
+    /// Images the complete verifier state as a [`Checkpoint`].
+    ///
+    /// The image is byte-stable: two identical verifier states produce
+    /// identical checkpoints (all maps are flattened in sorted order).
+    #[must_use]
+    pub fn checkpoint(&self) -> Checkpoint {
+        let mut pending: Vec<PendingReadSnap> = self
+            .pending_reads
+            .iter()
+            .map(|Reverse(p)| PendingReadSnap {
+                due: p.due,
+                seq: p.seq,
+                reader: p.reader,
+                key: p.key,
+                observed: p.observed,
+                snapshot: p.snapshot,
+                read_op: p.read_op,
+            })
+            .collect();
+        pending.sort_unstable_by_key(|p| (p.due, p.seq));
+        let (quarantine_seq, quarantine_clients, quarantine_terminals) = self.quarantine.snapshot();
+        Checkpoint {
+            version: CHECKPOINT_VERSION,
+            config: self.cfg,
+            stream_pos: self.stream_pos,
+            pending_seq: self.pending_seq,
+            next_uid: self.versions.next_uid(),
+            traces_ingested: self.counters.traces,
+            txns: self.txns.snapshot(),
+            versions: self.versions.snapshot(),
+            locks: self.locks.snapshot(),
+            graph: self.graph.snapshot(),
+            pending_reads: pending,
+            quarantine_seq,
+            quarantine_clients,
+            quarantine_terminals,
+            counters: self.counters,
+            stats: self.stats,
+            report: self.report.clone(),
+            coverage: self.coverage.clone(),
+        }
+    }
+
+    /// Rebuilds a verifier from a [`Checkpoint`]. Do **not** re-preload
+    /// initial state: the preloaded versions are part of the image. Feed
+    /// the capture's traces starting at index
+    /// [`Checkpoint::traces_ingested`] and the run continues to the same
+    /// verdict as an uninterrupted one.
+    pub fn from_checkpoint(ckpt: &Checkpoint) -> Result<Verifier, CheckpointError> {
+        if ckpt.version != CHECKPOINT_VERSION {
+            return Err(CheckpointError::Version {
+                found: ckpt.version,
+                expected: CHECKPOINT_VERSION,
+            });
+        }
+        let mut pending_reads = BinaryHeap::with_capacity(ckpt.pending_reads.len());
+        for p in &ckpt.pending_reads {
+            pending_reads.push(Reverse(PendingRead {
+                due: p.due,
+                seq: p.seq,
+                reader: p.reader,
+                key: p.key,
+                observed: p.observed,
+                snapshot: p.snapshot,
+                read_op: p.read_op,
+            }));
+        }
+        Ok(Verifier {
+            cfg: ckpt.config,
+            txns: TxnTable::restore(&ckpt.txns),
+            versions: VersionStore::restore(&ckpt.versions, ckpt.next_uid),
+            locks: LockTable::restore(&ckpt.locks),
+            graph: DepGraph::restore(&ckpt.graph),
+            report: ckpt.report.clone(),
+            stats: ckpt.stats,
+            pending_reads,
+            pending_seq: ckpt.pending_seq,
+            stream_pos: ckpt.stream_pos,
+            counters: ckpt.counters,
+            coverage: ckpt.coverage.clone(),
+            quarantine: QuarantineGate::restore(
+                ckpt.quarantine_seq,
+                &ckpt.quarantine_clients,
+                &ckpt.quarantine_terminals,
+            ),
+            scratch_lock_checks: Vec::new(),
+        })
     }
 
     /// The violations found so far.
@@ -368,13 +582,23 @@ impl Verifier {
         // operations within the same transaction.
         if let Some(&own) = info.own_writes.get(&key) {
             if own != observed {
-                self.report.violations.push(Violation::ConsistentRead {
-                    reader: txn,
-                    key,
-                    observed,
-                    snapshot: op_interval,
-                    candidates: vec![own],
-                });
+                if self.cfg.degraded {
+                    // A dropped write delivery of the same transaction can
+                    // make the last *observed* own-write stale: demote.
+                    self.coverage.demoted_reads += 1;
+                    self.coverage.push_note(format!(
+                        "demoted: {txn} read {observed} of {key} over own write {own} \
+                         (possible missing write delivery)"
+                    ));
+                } else {
+                    self.report.violations.push(Violation::ConsistentRead {
+                        reader: txn,
+                        key,
+                        observed,
+                        snapshot: op_interval,
+                        candidates: vec![own],
+                    });
+                }
             }
             return;
         }
@@ -457,6 +681,39 @@ impl Verifier {
                 self.stats.wr.uncertain += 1;
             }
             ReadMatch::Violation { candidates } => {
+                // Degraded mode: every unmatched read is demoted to a
+                // coverage note. This is deliberate and total — with the
+                // stream known to be incomplete, *no* consistent-read
+                // mismatch is trustworthy evidence of a DBMS bug:
+                //
+                // * observed value absent from the version store → its
+                //   write delivery may simply have been dropped (a
+                //   fabricated value is indistinguishable from a dropped
+                //   write);
+                // * observed value present but pending → the writer's
+                //   commit delivery may have been dropped;
+                // * observed value committed but outside the candidate
+                //   window → dropped deliveries cannot move commit
+                //   intervals, but a dropped intermediate write splices
+                //   the overwrite chain, which shrinks the candidate set
+                //   until a genuinely current read looks stale.
+                //
+                // Zero false positives under chaos therefore costs the
+                // consistent-read check its entire degraded-mode power;
+                // each demotion is counted and noted so an operator can
+                // re-verify an intact capture of the same run. Mutual
+                // exclusion, first-updater-wins and the serialization
+                // certifier keep full power — their evidence is commit
+                // intervals, which mangling cannot move.
+                if self.cfg.degraded {
+                    self.coverage.demoted_reads += 1;
+                    self.coverage.push_note(format!(
+                        "demoted: {} read {} of {} matched no candidate \
+                         (explainable by a missing delivery)",
+                        check.reader, check.observed, check.key
+                    ));
+                    return;
+                }
                 self.report.violations.push(Violation::ConsistentRead {
                     reader: check.reader,
                     key: check.key,

@@ -3,11 +3,12 @@
 use super::version_store::VersionUid;
 use crate::fxhash::FxHashMap;
 use crate::interval::Interval;
-use crate::types::{ClientId, Key, TxnId};
+use crate::types::{ClientId, Key, TxnId, Value};
+use serde::{Deserialize, Serialize};
 
 /// A read-set element uniquely matched to a version (§V-A): the source of
 /// a wr dependency, buffered until the reading transaction commits.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MatchedRead {
     /// The record that was read.
     pub key: Key,
@@ -23,7 +24,7 @@ pub struct MatchedRead {
 }
 
 /// Terminal state of a transaction as observed from its trace.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum TxnOutcome {
     /// Commit trace seen; the interval is the commit operation's.
     Committed(Interval),
@@ -76,6 +77,30 @@ impl TxnInfo {
             None => None,
         }
     }
+}
+
+/// Plain-data image of one [`TxnInfo`] entry, used by checkpointing.
+///
+/// Maps are flattened to sorted vectors so the offline-capable serde stub
+/// (no `HashMap` impls, no generic derives) can round-trip it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TxnSnap {
+    /// The transaction id.
+    pub id: TxnId,
+    /// The client that ran the transaction.
+    pub client: ClientId,
+    /// Snapshot-generation interval (first operation).
+    pub first_op: Interval,
+    /// Keys the transaction wrote.
+    pub write_keys: Vec<Key>,
+    /// Keys the transaction read-locked.
+    pub locked_read_keys: Vec<Key>,
+    /// Last value written per key, sorted by key.
+    pub own_writes: Vec<(Key, Value)>,
+    /// Uniquely matched reads, in match order.
+    pub matched_reads: Vec<MatchedRead>,
+    /// Terminal state, if the terminal trace has been seen.
+    pub outcome: Option<TxnOutcome>,
 }
 
 /// The table of transactions currently relevant to verification.
@@ -155,6 +180,67 @@ impl TxnTable {
             None => true,
         });
         before - self.txns.len()
+    }
+
+    /// Transactions with no terminal trace yet, sorted by id — the
+    /// indeterminate set reported under degraded coverage.
+    #[must_use]
+    pub fn active_txns(&self) -> Vec<TxnId> {
+        let mut ids: Vec<TxnId> = self
+            .txns
+            .iter()
+            .filter(|(_, info)| info.outcome.is_none())
+            .map(|(id, _)| *id)
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Flattens the table into plain-data snapshots, sorted by id.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<TxnSnap> {
+        let mut snaps: Vec<TxnSnap> = self
+            .txns
+            .iter()
+            .map(|(&id, info)| {
+                let mut own_writes: Vec<(Key, Value)> =
+                    info.own_writes.iter().map(|(&k, &v)| (k, v)).collect();
+                own_writes.sort_unstable_by_key(|&(k, _)| k);
+                TxnSnap {
+                    id,
+                    client: info.client,
+                    first_op: info.first_op,
+                    write_keys: info.write_keys.clone(),
+                    locked_read_keys: info.locked_read_keys.clone(),
+                    own_writes,
+                    matched_reads: info.matched_reads.clone(),
+                    outcome: info.outcome,
+                }
+            })
+            .collect();
+        snaps.sort_unstable_by_key(|s| s.id);
+        snaps
+    }
+
+    /// Rebuilds a table from [`TxnSnap`]s produced by [`TxnTable::snapshot`].
+    #[must_use]
+    pub fn restore(snaps: &[TxnSnap]) -> TxnTable {
+        let mut txns = FxHashMap::default();
+        for snap in snaps {
+            txns.insert(
+                snap.id,
+                TxnInfo {
+                    client: snap.client,
+                    first_op: snap.first_op,
+                    write_keys: snap.write_keys.clone(),
+                    locked_read_keys: snap.locked_read_keys.clone(),
+                    own_writes: snap.own_writes.iter().copied().collect(),
+                    matched_reads: snap.matched_reads.clone(),
+                    outcome: snap.outcome,
+                },
+            );
+        }
+        TxnTable { txns }
     }
 }
 

@@ -15,13 +15,14 @@
 use crate::fxhash::{FxHashMap, FxHashSet};
 use crate::interval::Interval;
 use crate::types::{Key, Timestamp, TxnId, Value};
+use serde::{Deserialize, Serialize};
 
 /// Stable identity of a version, immune to list reshuffling.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct VersionUid(pub u64);
 
 /// One mirrored record version.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct VersionEntry {
     /// Stable id.
     pub uid: VersionUid,
@@ -182,6 +183,17 @@ pub enum ReadMatch {
         /// Values the read was allowed to observe.
         candidates: Vec<Value>,
     },
+}
+
+/// Plain-data image of one record's version chain, used by checkpointing.
+/// Entry order is the (resolved) installation order and must be preserved
+/// exactly across a round-trip.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KeyVersions {
+    /// The record.
+    pub key: Key,
+    /// Its version chain, in installation order.
+    pub entries: Vec<VersionEntry>,
 }
 
 /// The mirrored multi-version store for all records.
@@ -513,6 +525,64 @@ impl VersionStore {
     fn fresh_uid(&mut self) -> VersionUid {
         self.next_uid += 1;
         VersionUid(self.next_uid)
+    }
+
+    /// The highest uid handed out so far (the checkpoint cursor for
+    /// [`VersionStore::restore`]).
+    #[must_use]
+    pub fn next_uid(&self) -> u64 {
+        self.next_uid
+    }
+
+    /// Flattens the store into plain-data snapshots, sorted by key.
+    /// Per-key entry order (installation order) is preserved.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<KeyVersions> {
+        let mut snaps: Vec<KeyVersions> = self
+            .records
+            .iter()
+            .map(|(&key, rec)| KeyVersions {
+                key,
+                entries: rec.entries.clone(),
+            })
+            .collect();
+        snaps.sort_unstable_by_key(|s| s.key);
+        snaps
+    }
+
+    /// Rebuilds a store from [`KeyVersions`] produced by
+    /// [`VersionStore::snapshot`]. `next_uid` must be the value reported by
+    /// [`VersionStore::next_uid`] at snapshot time. The pending count and
+    /// total are recomputed; every restored key is marked dirty so the next
+    /// prune revisits it.
+    #[must_use]
+    pub fn restore(snaps: &[KeyVersions], next_uid: u64) -> VersionStore {
+        let mut records: FxHashMap<Key, RecordVersions> = FxHashMap::default();
+        let mut dirty = FxHashSet::default();
+        let mut pending = 0;
+        let mut total = 0;
+        for snap in snaps {
+            total += snap.entries.len();
+            pending += snap
+                .entries
+                .iter()
+                .filter(|e| e.visibility.is_none())
+                .count();
+            dirty.insert(snap.key);
+            records.insert(
+                snap.key,
+                RecordVersions {
+                    entries: snap.entries.clone(),
+                },
+            );
+        }
+        VersionStore {
+            records,
+            next_uid,
+            pending,
+            total,
+            dirty,
+        }
     }
 }
 

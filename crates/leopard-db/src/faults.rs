@@ -70,8 +70,6 @@ impl FaultKind {
 /// When a fault fires.
 #[derive(Debug)]
 enum Trigger {
-    /// Never (fault disabled).
-    Never,
     /// On every opportunity.
     Always,
     /// With probability `p` per opportunity (seeded, reproducible).
@@ -80,74 +78,30 @@ enum Trigger {
     Nth(u64),
 }
 
-/// A fault plan: at most one fault kind with its trigger.
+/// One armed fault: a kind, its trigger, and its counters.
 #[derive(Debug)]
-pub struct FaultPlan {
-    kind: Option<FaultKind>,
+struct FaultEntry {
+    kind: FaultKind,
     trigger: Trigger,
     opportunities: AtomicU64,
     fired: AtomicU64,
 }
 
-impl FaultPlan {
-    /// No faults: the engine behaves correctly.
-    #[must_use]
-    pub fn none() -> FaultPlan {
-        FaultPlan {
-            kind: None,
-            trigger: Trigger::Never,
+impl FaultEntry {
+    fn new(kind: FaultKind, trigger: Trigger) -> FaultEntry {
+        FaultEntry {
+            kind,
+            trigger,
             opportunities: AtomicU64::new(0),
             fired: AtomicU64::new(0),
         }
     }
 
-    /// Fault firing at every opportunity.
-    #[must_use]
-    pub fn always(kind: FaultKind) -> FaultPlan {
-        FaultPlan {
-            kind: Some(kind),
-            trigger: Trigger::Always,
-            opportunities: AtomicU64::new(0),
-            fired: AtomicU64::new(0),
-        }
-    }
-
-    /// Fault firing with probability `p` per opportunity.
-    #[must_use]
-    pub fn with_probability(kind: FaultKind, p: f64, seed: u64) -> FaultPlan {
-        FaultPlan {
-            kind: Some(kind),
-            trigger: Trigger::Probability(
-                p.clamp(0.0, 1.0),
-                Mutex::new(SmallRng::seed_from_u64(seed)),
-            ),
-            opportunities: AtomicU64::new(0),
-            fired: AtomicU64::new(0),
-        }
-    }
-
-    /// Fault firing exactly once, on the `n`-th opportunity (1-based).
-    #[must_use]
-    pub fn on_nth(kind: FaultKind, n: u64) -> FaultPlan {
-        FaultPlan {
-            kind: Some(kind),
-            trigger: Trigger::Nth(n.max(1)),
-            opportunities: AtomicU64::new(0),
-            fired: AtomicU64::new(0),
-        }
-    }
-
-    /// Called by the engine at an opportunity for `kind`; `true` means
-    /// "misbehave now".
-    pub fn fires(&self, kind: FaultKind) -> bool {
-        if self.kind != Some(kind) {
-            return false;
-        }
+    fn fires(&self) -> bool {
         // relaxed: opportunity counting needs unique values (RMW), not an
         // order against other memory; Nth-triggering tests are single-threaded.
         let n = self.opportunities.fetch_add(1, Ordering::Relaxed) + 1;
         let fire = match &self.trigger {
-            Trigger::Never => false,
             Trigger::Always => true,
             Trigger::Probability(p, rng) => rng.lock().expect("rng lock").random_bool(*p),
             Trigger::Nth(target) => n == *target,
@@ -157,18 +111,113 @@ impl FaultPlan {
         }
         fire
     }
+}
 
-    /// How many times the fault actually fired.
+/// A fault plan: any number of concurrently armed fault kinds, each with
+/// its own trigger and counters. The single-fault constructors build
+/// one-entry plans; `and_*` builders compose compound failure scenarios
+/// (e.g. a stale-snapshot read racing a skipped certifier).
+#[derive(Debug)]
+pub struct FaultPlan {
+    entries: Vec<FaultEntry>,
+}
+
+impl FaultPlan {
+    /// No faults: the engine behaves correctly.
     #[must_use]
-    pub fn fired_count(&self) -> u64 {
-        // relaxed: statistic read after the run's threads have been joined.
-        self.fired.load(Ordering::Relaxed)
+    pub fn none() -> FaultPlan {
+        FaultPlan {
+            entries: Vec::new(),
+        }
     }
 
-    /// The configured fault kind, if any.
+    /// Fault firing at every opportunity.
+    #[must_use]
+    pub fn always(kind: FaultKind) -> FaultPlan {
+        FaultPlan::none().and_always(kind)
+    }
+
+    /// Fault firing with probability `p` per opportunity.
+    #[must_use]
+    pub fn with_probability(kind: FaultKind, p: f64, seed: u64) -> FaultPlan {
+        FaultPlan::none().and_with_probability(kind, p, seed)
+    }
+
+    /// Fault firing exactly once, on the `n`-th opportunity (1-based).
+    #[must_use]
+    pub fn on_nth(kind: FaultKind, n: u64) -> FaultPlan {
+        FaultPlan::none().and_on_nth(kind, n)
+    }
+
+    /// Additionally arms `kind` to fire at every opportunity.
+    #[must_use]
+    pub fn and_always(mut self, kind: FaultKind) -> FaultPlan {
+        self.entries.push(FaultEntry::new(kind, Trigger::Always));
+        self
+    }
+
+    /// Additionally arms `kind` to fire with probability `p` per
+    /// opportunity (seeded, reproducible).
+    #[must_use]
+    pub fn and_with_probability(mut self, kind: FaultKind, p: f64, seed: u64) -> FaultPlan {
+        self.entries.push(FaultEntry::new(
+            kind,
+            Trigger::Probability(p.clamp(0.0, 1.0), Mutex::new(SmallRng::seed_from_u64(seed))),
+        ));
+        self
+    }
+
+    /// Additionally arms `kind` to fire exactly once, on its `n`-th
+    /// opportunity (1-based).
+    #[must_use]
+    pub fn and_on_nth(mut self, kind: FaultKind, n: u64) -> FaultPlan {
+        self.entries
+            .push(FaultEntry::new(kind, Trigger::Nth(n.max(1))));
+        self
+    }
+
+    /// Called by the engine at an opportunity for `kind`; `true` means
+    /// "misbehave now". With several entries armed for the same kind, the
+    /// fault fires if any of them triggers (every entry's opportunity
+    /// counter still advances).
+    pub fn fires(&self, kind: FaultKind) -> bool {
+        let mut fire = false;
+        for entry in self.entries.iter().filter(|e| e.kind == kind) {
+            fire |= entry.fires();
+        }
+        fire
+    }
+
+    /// How many times any fault actually fired.
+    #[must_use]
+    pub fn fired_count(&self) -> u64 {
+        self.entries
+            .iter()
+            .map(|e| e.fired.load(Ordering::Relaxed)) // relaxed: statistic read after the run's threads joined
+            .sum()
+    }
+
+    /// How many times the given kind actually fired.
+    #[must_use]
+    pub fn fired_count_of(&self, kind: FaultKind) -> u64 {
+        self.entries
+            .iter()
+            .filter(|e| e.kind == kind)
+            .map(|e| e.fired.load(Ordering::Relaxed)) // relaxed: statistic read after the run's threads joined
+            .sum()
+    }
+
+    /// The first configured fault kind, if any (the plan's "primary"
+    /// fault, for single-fault callers).
     #[must_use]
     pub fn kind(&self) -> Option<FaultKind> {
-        self.kind
+        self.entries.first().map(|e| e.kind)
+    }
+
+    /// Every armed fault kind, in arming order (may repeat a kind).
+    #[must_use]
+    pub fn kinds(&self) -> Vec<FaultKind> {
+        self.entries.iter().map(|e| e.kind).collect()
     }
 }
 
@@ -221,6 +270,23 @@ mod tests {
                 _ => assert_ne!(kind.mechanism(), Mechanism::MutualExclusion),
             }
         }
+    }
+
+    #[test]
+    fn multiple_faults_fire_independently() {
+        let p = FaultPlan::always(FaultKind::DirtyRead).and_on_nth(FaultKind::SkipCertifier, 2);
+        assert!(p.fires(FaultKind::DirtyRead));
+        assert!(!p.fires(FaultKind::SkipCertifier));
+        assert!(p.fires(FaultKind::SkipCertifier));
+        assert!(!p.fires(FaultKind::StaleSnapshot));
+        assert_eq!(p.fired_count_of(FaultKind::DirtyRead), 1);
+        assert_eq!(p.fired_count_of(FaultKind::SkipCertifier), 1);
+        assert_eq!(p.fired_count(), 2);
+        assert_eq!(p.kind(), Some(FaultKind::DirtyRead));
+        assert_eq!(
+            p.kinds(),
+            vec![FaultKind::DirtyRead, FaultKind::SkipCertifier]
+        );
     }
 
     #[test]

@@ -1,0 +1,283 @@
+//! Chaos soundness: degraded captures must never produce false positives.
+//!
+//! The anomaly matrix ([`crate::matrix`]) checks that the verifier flags
+//! what it must; this module checks the dual obligation under failure
+//! injection — a capture that was *correct* but got mangled in transport
+//! (deliveries dropped or duplicated, clients killed before their
+//! terminal trace) must still verify **clean** when the verifier runs in
+//! degraded mode. Every mangling is seeded, so a failing combination
+//! replays exactly.
+//!
+//! Degraded mode buys this soundness by trading away the consistent-read
+//! check's completeness: every unmatched read is *demoted* to a counted
+//! coverage note instead of reported, because under an incomplete stream
+//! a missing delivery can explain any mismatch — a dropped write
+//! masquerades as a fabricated value, a dropped commit as a dirty read,
+//! and a dropped intermediate write splices the overwrite chain until a
+//! current read looks stale. Mutual exclusion, first-updater-wins and
+//! the serialization certifier lose nothing: their evidence is commit
+//! intervals, which mangling cannot move.
+
+use crate::corpus::Capture;
+use leopard_core::{IsolationLevel, TxnId, Verifier, VerifierConfig, VerifyOutcome};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded recipe for mangling a clean capture the way a chaotic
+/// environment would: per-delivery drops and duplicates, per-transaction
+/// terminal loss (the client died before its commit/abort was recorded).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegradeSpec {
+    /// Seed for every random decision below.
+    pub seed: u64,
+    /// Probability that a trace delivery is dropped.
+    pub drop_prob: f64,
+    /// Probability that a trace delivery is duplicated (back-to-back, as
+    /// a retrying transport re-delivers).
+    pub dup_prob: f64,
+    /// Probability that a transaction's terminal trace is removed — the
+    /// client was killed mid-transaction and never reported commit/abort.
+    pub kill_terminal_prob: f64,
+}
+
+impl DegradeSpec {
+    /// A moderate default mangling: 5 % drops, 5 % duplicates, 10 % of
+    /// transactions lose their terminal.
+    #[must_use]
+    pub fn moderate(seed: u64) -> DegradeSpec {
+        DegradeSpec {
+            seed,
+            drop_prob: 0.05,
+            dup_prob: 0.05,
+            kill_terminal_prob: 0.10,
+        }
+    }
+}
+
+/// Applies `spec` to a capture. Timestamps and per-trace content are
+/// untouched and order is preserved, so per-client `ts_bef` monotonicity
+/// — the pipeline's Theorem 1 precondition — survives the mangling.
+#[must_use]
+pub fn degrade_capture(cap: &Capture, spec: &DegradeSpec) -> Capture {
+    let mut rng = SmallRng::seed_from_u64(spec.seed);
+    // Pass 1: pick the killed transactions (terminal removed).
+    let mut killed: Vec<TxnId> = Vec::new();
+    if spec.kill_terminal_prob > 0.0 {
+        for t in &cap.traces {
+            if t.op.is_terminal()
+                && !killed.contains(&t.txn)
+                && rng.random_bool(spec.kill_terminal_prob)
+            {
+                killed.push(t.txn);
+            }
+        }
+    }
+    // Pass 2: drop / duplicate the remaining deliveries.
+    let mut traces = Vec::with_capacity(cap.traces.len());
+    for t in &cap.traces {
+        if t.op.is_terminal() && killed.contains(&t.txn) {
+            continue;
+        }
+        if spec.drop_prob > 0.0 && rng.random_bool(spec.drop_prob) {
+            continue;
+        }
+        if spec.dup_prob > 0.0 && rng.random_bool(spec.dup_prob) {
+            traces.push(t.clone());
+        }
+        traces.push(t.clone());
+    }
+    Capture {
+        header: cap.header.clone(),
+        traces,
+    }
+}
+
+/// Runs a capture through the verifier in degraded mode at `level`.
+#[must_use]
+pub fn verify_degraded_at(cap: &Capture, level: IsolationLevel) -> VerifyOutcome {
+    let mut cfg = VerifierConfig::for_level(level);
+    cfg.degraded = true;
+    let mut v = Verifier::new(cfg);
+    for &(k, val) in &cap.header.preload {
+        v.preload(k, val);
+    }
+    for t in &cap.traces {
+        v.process(t);
+    }
+    v.finish()
+}
+
+/// One (level × degradation) soundness cell.
+#[derive(Debug, Clone)]
+pub struct ChaosCell {
+    /// The isolation level verified at.
+    pub level: IsolationLevel,
+    /// The degradation seed.
+    pub seed: u64,
+    /// Violations reported — any entry here is a false positive.
+    pub violations: usize,
+    /// Transactions left without a terminal trace.
+    pub indeterminate: usize,
+    /// Traces the quarantine gate diverted (e.g. duplicated terminals).
+    pub quarantined: u64,
+    /// Consistent-read checks demoted to coverage notes.
+    pub demoted: u64,
+}
+
+/// The soundness verdict for one capture across levels and seeds.
+#[derive(Debug, Clone, Default)]
+pub struct ChaosSoundnessReport {
+    /// Every verified cell.
+    pub cells: Vec<ChaosCell>,
+}
+
+impl ChaosSoundnessReport {
+    /// `true` when no cell reported a violation (zero false positives).
+    #[must_use]
+    pub fn is_sound(&self) -> bool {
+        self.cells.iter().all(|c| c.violations == 0)
+    }
+
+    /// The cells that reported false positives.
+    #[must_use]
+    pub fn false_positives(&self) -> Vec<&ChaosCell> {
+        self.cells.iter().filter(|c| c.violations > 0).collect()
+    }
+}
+
+/// Degrades `cap` once per spec in `specs` and verifies each mangled
+/// capture in degraded mode at `level` — the level the capture's engine
+/// ran at (an interleaved capture is only clean at its declared level, so
+/// any other level would not isolate chaos as the cause of a flag).
+pub fn check_chaos_soundness(
+    cap: &Capture,
+    level: IsolationLevel,
+    specs: &[DegradeSpec],
+    report: &mut ChaosSoundnessReport,
+) {
+    for spec in specs {
+        let mangled = degrade_capture(cap, spec);
+        let out = verify_degraded_at(&mangled, level);
+        report.cells.push(ChaosCell {
+            level,
+            seed: spec.seed,
+            violations: out.report.violations.len(),
+            indeterminate: out.coverage.indeterminate_txns.len(),
+            quarantined: out.coverage.quarantined_traces,
+            demoted: out.coverage.demoted_reads,
+        });
+    }
+}
+
+/// Verifies that degradation was actually exercised: across the cells of
+/// a report at least one transaction went indeterminate, or a trace was
+/// quarantined, or a read was demoted. Guards the sweep against silently
+/// testing an un-degraded capture.
+#[must_use]
+pub fn degradation_was_exercised(report: &ChaosSoundnessReport) -> bool {
+    report
+        .cells
+        .iter()
+        .any(|c| c.indeterminate > 0 || c.quarantined > 0 || c.demoted > 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{generate_clean_capture, CleanRunSpec, Schedule};
+    use leopard_core::{ClientId, Interval, Key, OpKind, Timestamp, Trace, Value};
+
+    fn spec_at(level: IsolationLevel) -> CleanRunSpec {
+        CleanRunSpec {
+            workload: "blindw-rw".to_string(),
+            rows: 16,
+            clients: 3,
+            txns_per_client: 8,
+            level,
+            seed: 77,
+            tick: 10,
+            schedule: Schedule::Interleaved,
+        }
+    }
+
+    fn spec() -> CleanRunSpec {
+        spec_at(IsolationLevel::Serializable)
+    }
+
+    #[test]
+    fn degradation_is_deterministic() {
+        let cap = generate_clean_capture(&spec()).unwrap();
+        let d = DegradeSpec::moderate(3);
+        let a = degrade_capture(&cap, &d);
+        let b = degrade_capture(&cap, &d);
+        assert_eq!(a.to_jsonl(), b.to_jsonl());
+        assert_ne!(a.to_jsonl(), cap.to_jsonl(), "must actually mangle");
+    }
+
+    #[test]
+    fn degradation_preserves_per_client_order() {
+        let cap = generate_clean_capture(&spec()).unwrap();
+        let mangled = degrade_capture(&cap, &DegradeSpec::moderate(5));
+        for c in 0..=cap.max_client() {
+            let stream: Vec<&Trace> = mangled
+                .traces
+                .iter()
+                .filter(|t| t.client == ClientId(c))
+                .collect();
+            assert!(stream.windows(2).all(|w| w[0].ts_bef() <= w[1].ts_bef()));
+        }
+    }
+
+    #[test]
+    fn degraded_captures_are_sound_at_every_level() {
+        let mut report = ChaosSoundnessReport::default();
+        let specs: Vec<DegradeSpec> = (0..4).map(DegradeSpec::moderate).collect();
+        for level in crate::matrix::LEVELS {
+            let cap = generate_clean_capture(&spec_at(level)).unwrap();
+            check_chaos_soundness(&cap, level, &specs, &mut report);
+        }
+        assert_eq!(report.cells.len(), 16);
+        assert!(
+            report.is_sound(),
+            "false positives: {:?}",
+            report.false_positives()
+        );
+        assert!(degradation_was_exercised(&report));
+    }
+
+    #[test]
+    fn degraded_mode_still_flags_mutual_exclusion_violations() {
+        // Degradation must not buy soundness by ignoring everything: two
+        // committed writes whose operation intervals overlap on one key
+        // violate mutual exclusion no matter what got dropped.
+        let iv = |lo, hi| Interval::new(Timestamp(lo), Timestamp(hi));
+        let cap = Capture {
+            header: leopard_core::CaptureHeader {
+                version: leopard_core::CAPTURE_VERSION,
+                description: "me violation".into(),
+                preload: vec![(Key(1), Value(0))],
+            },
+            traces: vec![
+                Trace::new(
+                    iv(10, 30),
+                    ClientId(0),
+                    TxnId(1),
+                    OpKind::Write(vec![(Key(1), Value(7))]),
+                ),
+                Trace::new(
+                    iv(12, 28),
+                    ClientId(1),
+                    TxnId(2),
+                    OpKind::Write(vec![(Key(1), Value(8))]),
+                ),
+                Trace::new(iv(31, 32), ClientId(0), TxnId(1), OpKind::Commit),
+                Trace::new(iv(33, 34), ClientId(1), TxnId(2), OpKind::Commit),
+            ],
+        };
+        let out = verify_degraded_at(&cap, IsolationLevel::Serializable);
+        assert!(
+            !out.report.is_clean(),
+            "overlapping committed writes must still be flagged in degraded mode"
+        );
+    }
+}

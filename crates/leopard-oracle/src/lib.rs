@@ -5,7 +5,7 @@
 //! verifier reject exactly the histories it should, for exactly the
 //! reason it should, at exactly the levels it should?*
 //!
-//! Three pieces:
+//! Four pieces:
 //!
 //! * [`corpus`] — a deterministic clean-capture generator: bundled
 //!   workloads run single-threaded on a simulated clock, so every capture
@@ -17,6 +17,10 @@
 //!   fuzzy read, phantom, read skew, lost update, write skew, long fork)
 //!   or one well-formedness corruption (one per preflight `H00x`
 //!   diagnostic).
+//! * [`chaos`] — the dual obligation under failure injection: clean
+//!   captures mangled by a seeded [`DegradeSpec`] (drops, duplicates,
+//!   killed terminals) must verify *clean* in degraded mode — zero false
+//!   positives at every level.
 //! * [`matrix`] — the differential verdict matrix: every
 //!   (anomaly × isolation level) cell through `leopard_core::Verifier`,
 //!   plus the Cobra and cycle-search baselines and the preflight
@@ -26,10 +30,15 @@
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod chaos;
 pub mod corpus;
 pub mod inject;
 pub mod matrix;
 
+pub use chaos::{
+    check_chaos_soundness, degradation_was_exercised, degrade_capture, verify_degraded_at,
+    ChaosCell, ChaosSoundnessReport, DegradeSpec,
+};
 pub use corpus::{generate_clean_capture, Capture, CleanRunSpec, Schedule};
 pub use inject::{AnomalyClass, CorruptionKind, Mutation, Proof};
 pub use matrix::{

@@ -1,0 +1,482 @@
+//! Chaos injection for workload runs: client failures and degraded trace
+//! transport, all seeded and reproducible.
+//!
+//! Where [`leopard_db::FaultPlan`] makes the *engine* misbehave (to test
+//! that the verifier catches real isolation bugs), a [`ChaosPlan`] makes
+//! the *environment* misbehave — clients die mid-transaction without a
+//! terminal trace, stall while holding locks, trace deliveries get
+//! dropped, duplicated or cut off, and client clocks drift in bursts.
+//! None of these are isolation violations, so a sound verifier must
+//! never report one because of them; it may only *degrade coverage*
+//! (indeterminate transactions, demoted reads, evicted clients).
+//!
+//! The plan's trigger machinery mirrors [`leopard_db::FaultPlan`]:
+//! everything derives deterministically from one seed, so a chaotic run
+//! replays bit-identically.
+
+use leopard_core::Timestamp;
+use leopard_core::Trace;
+use leopard_db::{Clock, TraceSink};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// A seeded chaos scenario for one run. All probabilities are per
+/// opportunity (per transaction for client fates, per delivery for
+/// transport faults, per clock reading for skew bursts); zero disables
+/// the respective fault.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosPlan {
+    /// Master seed; every per-client random stream derives from it.
+    pub seed: u64,
+    /// Probability that a transaction's client is killed mid-transaction:
+    /// the connection drops after a prefix of the statements, the engine
+    /// rolls back server-side, and — crucially — *no terminal trace is
+    /// ever recorded*.
+    pub kill_prob: f64,
+    /// Probability that a client stalls for [`ChaosPlan::stall`]
+    /// mid-transaction (holding its locks, pinning the watermark).
+    pub stall_prob: f64,
+    /// How long a stalling client sleeps.
+    pub stall: Duration,
+    /// Probability that a recorded trace is dropped in transport and
+    /// never reaches the pipeline.
+    pub drop_prob: f64,
+    /// Probability that a recorded trace is delivered twice.
+    pub dup_prob: f64,
+    /// Cut each client's trace stream off after this many deliveries
+    /// (the collector-side file/socket truncates); `None` disables.
+    pub truncate_after: Option<u64>,
+    /// Probability that a clock reading triggers a skew burst, jumping
+    /// this client's clock forward by [`ChaosPlan::skew_magnitude`].
+    pub skew_burst_prob: f64,
+    /// Nanoseconds one skew burst adds to the client's clock offset.
+    pub skew_magnitude: u64,
+    /// Maximum bursts per client, bounding total divergence so the
+    /// verifier can be configured with a sound
+    /// [`ChaosPlan::skew_bound`].
+    pub max_skew_bursts: u64,
+}
+
+impl ChaosPlan {
+    /// No chaos: every fault disabled. Runs behave exactly like the
+    /// plain runner.
+    #[must_use]
+    pub fn none() -> ChaosPlan {
+        ChaosPlan {
+            seed: 0,
+            kill_prob: 0.0,
+            stall_prob: 0.0,
+            stall: Duration::ZERO,
+            drop_prob: 0.0,
+            dup_prob: 0.0,
+            truncate_after: None,
+            skew_burst_prob: 0.0,
+            skew_magnitude: 0,
+            max_skew_bursts: 0,
+        }
+    }
+
+    /// `true` if any fault can fire.
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        self.kill_prob > 0.0
+            || self.stall_prob > 0.0
+            || self.drop_prob > 0.0
+            || self.dup_prob > 0.0
+            || self.truncate_after.is_some()
+            || (self.skew_burst_prob > 0.0 && self.skew_magnitude > 0 && self.max_skew_bursts > 0)
+    }
+
+    /// The worst-case clock divergence any client can accumulate under
+    /// this plan — feed it to `VerifierConfig::clock_skew_bound` so
+    /// interval comparisons stay sound under skew bursts.
+    #[must_use]
+    pub fn skew_bound(&self) -> u64 {
+        if self.skew_burst_prob > 0.0 {
+            self.skew_magnitude.saturating_mul(self.max_skew_bursts)
+        } else {
+            0
+        }
+    }
+
+    /// The deterministic per-client random stream for client `i` and
+    /// `lane` (distinct lanes keep client-fate, transport and clock
+    /// randomness independent).
+    #[must_use]
+    pub(crate) fn client_rng(&self, client: u64, lane: u64) -> SmallRng {
+        // SplitMix-style mixing: distinct (seed, client, lane) triples
+        // give uncorrelated streams.
+        let mut x = self
+            .seed
+            .wrapping_add(client.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(lane.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x ^= x >> 27;
+        SmallRng::seed_from_u64(x)
+    }
+}
+
+impl Default for ChaosPlan {
+    fn default() -> Self {
+        ChaosPlan::none()
+    }
+}
+
+/// What chaos decided for one transaction attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum TxnFate {
+    /// Execute normally.
+    Normal,
+    /// Execute the first `steps` statements, then the client dies: the
+    /// engine rolls back, no terminal trace is recorded.
+    Kill {
+        /// Number of leading statements executed before the kill.
+        steps: usize,
+    },
+    /// Sleep for the plan's stall duration before statement `at_step`.
+    Stall {
+        /// Statement index before which the client stalls.
+        at_step: usize,
+    },
+}
+
+/// Per-client chaos state: fate sampling for each transaction.
+#[derive(Debug)]
+pub(crate) struct ClientChaos {
+    kill_prob: f64,
+    stall_prob: f64,
+    pub(crate) stall: Duration,
+    rng: SmallRng,
+}
+
+impl ClientChaos {
+    pub(crate) fn new(plan: &ChaosPlan, client: u64) -> ClientChaos {
+        ClientChaos {
+            kill_prob: plan.kill_prob,
+            stall_prob: plan.stall_prob,
+            stall: plan.stall,
+            rng: plan.client_rng(client, 0),
+        }
+    }
+
+    /// Samples the fate of the next transaction with `n_steps` statements.
+    pub(crate) fn fate(&mut self, n_steps: usize) -> TxnFate {
+        if self.kill_prob > 0.0 && self.rng.random_bool(self.kill_prob) {
+            return TxnFate::Kill {
+                steps: self.rng.random_range(0..=n_steps),
+            };
+        }
+        if self.stall_prob > 0.0 && self.rng.random_bool(self.stall_prob) {
+            return TxnFate::Stall {
+                at_step: self.rng.random_range(0..=n_steps),
+            };
+        }
+        TxnFate::Normal
+    }
+}
+
+/// A [`TraceSink`] decorator that models a lossy trace transport:
+/// deliveries are dropped, duplicated (back-to-back, as a retrying
+/// transport would), or cut off entirely after a point.
+#[derive(Debug)]
+pub struct ChaosSink<S> {
+    inner: S,
+    rng: SmallRng,
+    drop_prob: f64,
+    dup_prob: f64,
+    truncate_after: Option<u64>,
+    delivered: u64,
+    dropped: u64,
+    duplicated: u64,
+}
+
+impl<S: TraceSink> ChaosSink<S> {
+    /// Wraps `inner` with the transport faults of `plan` for `client`.
+    #[must_use]
+    pub fn new(plan: &ChaosPlan, client: u64, inner: S) -> ChaosSink<S> {
+        ChaosSink {
+            inner,
+            rng: plan.client_rng(client, 1),
+            drop_prob: plan.drop_prob,
+            dup_prob: plan.dup_prob,
+            truncate_after: plan.truncate_after,
+            delivered: 0,
+            dropped: 0,
+            duplicated: 0,
+        }
+    }
+
+    /// Unwraps the underlying sink.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    /// Deliveries dropped (including everything past a truncation point).
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Deliveries duplicated.
+    #[must_use]
+    pub fn duplicated(&self) -> u64 {
+        self.duplicated
+    }
+}
+
+impl<S: TraceSink> TraceSink for ChaosSink<S> {
+    fn record(&mut self, trace: Trace) {
+        if let Some(cut) = self.truncate_after {
+            if self.delivered >= cut {
+                self.dropped += 1;
+                return;
+            }
+        }
+        if self.drop_prob > 0.0 && self.rng.random_bool(self.drop_prob) {
+            self.dropped += 1;
+            return;
+        }
+        let dup = self.dup_prob > 0.0 && self.rng.random_bool(self.dup_prob);
+        if dup {
+            self.inner.record(trace.clone());
+            self.duplicated += 1;
+        }
+        self.inner.record(trace);
+        self.delivered += 1;
+    }
+}
+
+/// A [`Clock`] decorator modelling a client whose clock synchronisation
+/// degrades in bursts: each burst jumps this client's readings forward by
+/// a fixed magnitude (forward-only, so per-client trace order — the
+/// pipeline's Theorem 1 precondition — is preserved), up to a bounded
+/// number of bursts so total divergence never exceeds
+/// [`ChaosPlan::skew_bound`].
+#[derive(Debug)]
+pub struct ChaosClock<C> {
+    inner: C,
+    offset: AtomicU64,
+    bursts: AtomicU64,
+    burst_prob: f64,
+    magnitude: u64,
+    max_bursts: u64,
+    rng: Mutex<SmallRng>,
+}
+
+impl<C: Clock> ChaosClock<C> {
+    /// Wraps `inner` with the skew faults of `plan` for `client`.
+    #[must_use]
+    pub fn new(plan: &ChaosPlan, client: u64, inner: C) -> ChaosClock<C> {
+        ChaosClock {
+            inner,
+            offset: AtomicU64::new(0),
+            bursts: AtomicU64::new(0),
+            burst_prob: plan.skew_burst_prob,
+            magnitude: plan.skew_magnitude,
+            max_bursts: plan.max_skew_bursts,
+            rng: Mutex::new(plan.client_rng(client, 2)),
+        }
+    }
+
+    /// Skew bursts that have fired so far.
+    #[must_use]
+    pub fn bursts(&self) -> u64 {
+        self.bursts.load(Ordering::Relaxed) // relaxed: statistic; read after the session quiesces
+    }
+}
+
+impl<C: Clock> Clock for ChaosClock<C> {
+    fn now(&self) -> Timestamp {
+        if self.burst_prob > 0.0
+            && self.magnitude > 0
+            // relaxed: per-client counter; one client's clock readings are
+            // already serialized by the session.
+            && self.bursts.load(Ordering::Relaxed) < self.max_bursts
+            && self
+                .rng
+                .lock()
+                .expect("chaos clock rng lock")
+                .random_bool(self.burst_prob)
+        {
+            self.bursts.fetch_add(1, Ordering::Relaxed); // relaxed: per-client counter, session-serialized
+            self.offset.fetch_add(self.magnitude, Ordering::Relaxed); // relaxed: per-client counter, session-serialized
+        }
+        Timestamp(
+            self.inner
+                .now()
+                .0
+                // relaxed: per-client counter; one client's clock readings
+                // are already serialized by the session.
+                .saturating_add(self.offset.load(Ordering::Relaxed)),
+        )
+    }
+}
+
+/// Bounded-retry policy for aborted transaction attempts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per transaction (1 = no retry).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per subsequent attempt
+    /// (exponential backoff).
+    pub base_backoff: Duration,
+}
+
+impl RetryPolicy {
+    /// No retries: one attempt per transaction, the classic runner
+    /// behavior.
+    #[must_use]
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff: Duration::ZERO,
+        }
+    }
+
+    /// Up to `max_attempts` attempts with exponential backoff starting at
+    /// `base_backoff`.
+    #[must_use]
+    pub fn with_backoff(max_attempts: u32, base_backoff: Duration) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: max_attempts.max(1),
+            base_backoff,
+        }
+    }
+
+    /// The backoff before retry number `retry` (1-based): exponential,
+    /// capped at 1 s so a long attempt budget cannot sleep for minutes.
+    #[must_use]
+    pub fn backoff(&self, retry: u32) -> Duration {
+        let factor = 1u32 << retry.saturating_sub(1).min(16);
+        self.base_backoff
+            .saturating_mul(factor)
+            .min(Duration::from_secs(1))
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leopard_core::{ClientId, Interval, OpKind, TxnId};
+
+    fn t(lo: u64) -> Trace {
+        Trace::new(
+            Interval::new(Timestamp(lo), Timestamp(lo + 1)),
+            ClientId(0),
+            TxnId(lo),
+            OpKind::Commit,
+        )
+    }
+
+    #[test]
+    fn quiet_plan_is_inactive_and_transparent() {
+        let plan = ChaosPlan::none();
+        assert!(!plan.is_active());
+        assert_eq!(plan.skew_bound(), 0);
+        let mut sink = ChaosSink::new(&plan, 0, Vec::new());
+        for i in 0..100u64 {
+            sink.record(t(i));
+        }
+        assert_eq!(sink.dropped(), 0);
+        assert_eq!(sink.duplicated(), 0);
+        assert_eq!(sink.into_inner().len(), 100);
+    }
+
+    #[test]
+    fn fates_are_reproducible_per_seed() {
+        let plan = ChaosPlan {
+            seed: 7,
+            kill_prob: 0.3,
+            stall_prob: 0.3,
+            ..ChaosPlan::none()
+        };
+        let sample = || {
+            let mut c = ClientChaos::new(&plan, 2);
+            (0..64).map(|_| c.fate(5)).collect::<Vec<_>>()
+        };
+        assert_eq!(sample(), sample());
+        assert!(sample().iter().any(|f| matches!(f, TxnFate::Kill { .. })));
+        assert!(sample().iter().any(|f| matches!(f, TxnFate::Stall { .. })));
+    }
+
+    #[test]
+    fn sink_drops_and_duplicates_deterministically() {
+        let plan = ChaosPlan {
+            seed: 3,
+            drop_prob: 0.2,
+            dup_prob: 0.2,
+            ..ChaosPlan::none()
+        };
+        let run = || {
+            let mut sink = ChaosSink::new(&plan, 1, Vec::new());
+            for i in 0..200u64 {
+                sink.record(t(i));
+            }
+            let (d, dup) = (sink.dropped(), sink.duplicated());
+            (sink.into_inner(), d, dup)
+        };
+        let (a, dropped, duplicated) = run();
+        let (b, _, _) = run();
+        assert_eq!(a, b);
+        assert!(dropped > 0, "p=0.2 over 200 deliveries must drop some");
+        assert!(duplicated > 0);
+        assert_eq!(a.len() as u64, 200 - dropped + duplicated);
+    }
+
+    #[test]
+    fn sink_truncates_the_stream() {
+        let plan = ChaosPlan {
+            truncate_after: Some(10),
+            ..ChaosPlan::none()
+        };
+        let mut sink = ChaosSink::new(&plan, 0, Vec::new());
+        for i in 0..50u64 {
+            sink.record(t(i));
+        }
+        assert_eq!(sink.dropped(), 40);
+        assert_eq!(sink.into_inner().len(), 10);
+    }
+
+    #[test]
+    fn clock_bursts_are_forward_only_and_bounded() {
+        let plan = ChaosPlan {
+            seed: 5,
+            skew_burst_prob: 0.5,
+            skew_magnitude: 1_000,
+            max_skew_bursts: 3,
+            ..ChaosPlan::none()
+        };
+        let base = leopard_db::SimClock::new(1);
+        let clock = ChaosClock::new(&plan, 0, base);
+        let mut last = Timestamp::ZERO;
+        for _ in 0..100 {
+            let now = clock.now();
+            assert!(now >= last, "chaos clock went backwards");
+            last = now;
+        }
+        assert!(clock.bursts() <= 3);
+        assert!(clock.bursts() > 0, "p=0.5 over 100 readings must burst");
+        // 100 base ticks + at most 3 bursts of 1000.
+        assert!(last.0 <= 100 + plan.skew_bound());
+    }
+
+    #[test]
+    fn retry_backoff_is_exponential_and_capped() {
+        let r = RetryPolicy::with_backoff(5, Duration::from_millis(10));
+        assert_eq!(r.backoff(1), Duration::from_millis(10));
+        assert_eq!(r.backoff(2), Duration::from_millis(20));
+        assert_eq!(r.backoff(3), Duration::from_millis(40));
+        assert_eq!(r.backoff(30), Duration::from_secs(1), "capped at 1 s");
+        assert_eq!(RetryPolicy::none().max_attempts, 1);
+    }
+}

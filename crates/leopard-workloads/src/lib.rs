@@ -16,6 +16,7 @@
 
 pub mod blindw;
 pub mod bundled;
+pub mod chaos;
 pub mod runner;
 pub mod smallbank;
 pub mod spec;
@@ -25,8 +26,10 @@ pub mod zipf;
 
 pub use blindw::{BlindW, BlindWVariant};
 pub use bundled::{bundled_workload, bundled_workload_mini, WorkloadSet, BUNDLED_WORKLOADS};
+pub use chaos::{ChaosClock, ChaosPlan, ChaosSink, RetryPolicy};
 pub use runner::{
-    execute_txn, preload_database, run_collect, run_with_sinks, RunLimit, RunOutput, RunStats,
+    execute_txn, preload_database, run_chaos_with_sinks, run_collect, run_with_sinks, RunLimit,
+    RunOutput, RunStats,
 };
 pub use smallbank::SmallBank;
 pub use spec::{TxnStep, UniqueValues, ValueRule, WorkloadGen};

@@ -5,6 +5,7 @@
 //! unmodified workload logic while the [`TracedSession`] records
 //! interval-based traces on the side.
 
+use crate::chaos::{ChaosClock, ChaosPlan, ChaosSink, ClientChaos, RetryPolicy, TxnFate};
 use crate::spec::{TxnStep, UniqueValues, ValueRule, WorkloadGen};
 use leopard_core::fxhash::FxHashMap;
 use leopard_core::{ClientId, Key, Trace, Value};
@@ -28,8 +29,22 @@ pub enum RunLimit {
 pub struct RunStats {
     /// Committed transactions across all clients.
     pub committed: u64,
-    /// Aborted transactions across all clients.
+    /// Aborted transaction attempts across all clients (each aborted
+    /// attempt leaves its own abort trace).
     pub aborted: u64,
+    /// Re-attempts of aborted transactions under a [`RetryPolicy`] with
+    /// `max_attempts > 1`.
+    pub retries: u64,
+    /// Transactions cut off by a chaos kill: the client died
+    /// mid-transaction, the engine rolled back, no terminal trace exists.
+    pub killed: u64,
+    /// Transactions during which a chaos stall fired.
+    pub stalled: u64,
+    /// Trace deliveries dropped by the chaotic transport (including
+    /// truncation).
+    pub traces_dropped: u64,
+    /// Trace deliveries duplicated by the chaotic transport.
+    pub traces_duplicated: u64,
     /// Wall-clock time of the run.
     pub wall: Duration,
 }
@@ -112,6 +127,34 @@ pub fn run_with_sinks<S>(
 where
     S: TraceSink + Send + 'static,
 {
+    run_chaos_with_sinks(
+        db,
+        gens,
+        sinks,
+        limit,
+        seed,
+        &ChaosPlan::none(),
+        RetryPolicy::none(),
+    )
+}
+
+/// Runs client threads under a [`ChaosPlan`]: transactions may be killed
+/// mid-flight or stalled, trace deliveries dropped/duplicated/truncated,
+/// client clocks skewed in bursts, and aborted attempts retried with
+/// exponential backoff per `retry`. With [`ChaosPlan::none`] and
+/// [`RetryPolicy::none`] this is exactly [`run_with_sinks`].
+pub fn run_chaos_with_sinks<S>(
+    db: &Arc<Database>,
+    gens: Vec<Box<dyn WorkloadGen>>,
+    sinks: Vec<S>,
+    limit: RunLimit,
+    seed: u64,
+    chaos: &ChaosPlan,
+    retry: RetryPolicy,
+) -> (RunStats, Vec<S>)
+where
+    S: TraceSink + Send + 'static,
+{
     assert_eq!(gens.len(), sinks.len(), "one sink per client");
     let clock = Arc::new(WallClock::new());
     // One unique-value pool for the whole run: "uniquely written values"
@@ -121,11 +164,23 @@ where
     let mut joins = Vec::with_capacity(gens.len());
     for (i, (gen, sink)) in gens.into_iter().zip(sinks).enumerate() {
         let db = Arc::clone(db);
-        let clock = Arc::clone(&clock);
+        let clock = Arc::new(ChaosClock::new(chaos, i as u64, Arc::clone(&clock)));
         let unique = unique.clone();
+        let sink = ChaosSink::new(chaos, i as u64, sink);
+        let chaos = ClientChaos::new(chaos, i as u64);
         joins.push(std::thread::spawn(move || {
-            let session = TracedSession::new(db.session(), clock, ClientId(i as u32), sink);
-            run_client(gen, session, limit, seed.wrapping_add(i as u64), unique)
+            run_client(
+                gen,
+                &db,
+                clock,
+                ClientId(i as u32),
+                sink,
+                limit,
+                seed.wrapping_add(i as u64),
+                unique,
+                chaos,
+                retry,
+            )
         }));
     }
     let mut stats = RunStats::default();
@@ -134,21 +189,33 @@ where
         let (s, sink) = j.join().expect("client thread panicked");
         stats.committed += s.committed;
         stats.aborted += s.aborted;
-        sinks.push(sink);
+        stats.retries += s.retries;
+        stats.killed += s.killed;
+        stats.stalled += s.stalled;
+        stats.traces_dropped += sink.dropped();
+        stats.traces_duplicated += sink.duplicated();
+        sinks.push(sink.into_inner());
     }
     stats.wall = start.elapsed();
     (stats, sinks)
 }
 
-fn run_client<C: Clock, S: TraceSink>(
+#[allow(clippy::too_many_arguments)] // internal thread body, not public API
+fn run_client<C: Clock + Clone, S: TraceSink>(
     mut gen: Box<dyn WorkloadGen>,
-    mut session: TracedSession<C, S>,
+    db: &Arc<Database>,
+    clock: C,
+    client: ClientId,
+    sink: S,
     limit: RunLimit,
     seed: u64,
     unique: UniqueValues,
+    mut chaos: ClientChaos,
+    retry: RetryPolicy,
 ) -> (RunStats, S) {
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut stats = RunStats::default();
+    let mut session = TracedSession::new(db.session(), clock.clone(), client, sink);
     let deadline = match limit {
         RunLimit::Duration(d) => Some(Instant::now() + d),
         RunLimit::Txns(_) => None,
@@ -162,9 +229,56 @@ fn run_client<C: Clock, S: TraceSink>(
         }
         attempts += 1;
         let steps = gen.next_txn(&mut rng);
-        match execute_txn(&mut session, &steps, &unique) {
-            Ok(()) => stats.committed += 1,
-            Err(_) => stats.aborted += 1,
+        match chaos.fate(steps.len()) {
+            TxnFate::Kill { steps: upto } => {
+                session.begin();
+                if apply_steps(&mut session, &steps[..upto], &unique, None, Duration::ZERO).is_ok()
+                {
+                    // The client dies here: the connection drops, the
+                    // engine's drop guard rolls back server-side, and no
+                    // terminal trace is ever recorded. Model the
+                    // "restarted client" by reconnecting a fresh session
+                    // over the same sink.
+                    let sink = session.into_parts();
+                    stats.killed += 1;
+                    session = TracedSession::new(db.session(), clock.clone(), client, sink);
+                } else {
+                    // A statement aborted before the kill point fired; the
+                    // abort was traced normally.
+                    stats.aborted += 1;
+                }
+            }
+            fate @ (TxnFate::Normal | TxnFate::Stall { .. }) => {
+                let stall_at = match fate {
+                    TxnFate::Stall { at_step } => {
+                        stats.stalled += 1;
+                        Some(at_step)
+                    }
+                    _ => None,
+                };
+                let mut attempt = 0u32;
+                loop {
+                    attempt += 1;
+                    let r = execute_txn_inner(&mut session, &steps, &unique, stall_at, chaos.stall);
+                    match r {
+                        Ok(()) => {
+                            stats.committed += 1;
+                            break;
+                        }
+                        Err(_) => {
+                            stats.aborted += 1;
+                            if attempt >= retry.max_attempts {
+                                break;
+                            }
+                            stats.retries += 1;
+                            let backoff = retry.backoff(attempt);
+                            if !backoff.is_zero() {
+                                std::thread::sleep(backoff);
+                            }
+                        }
+                    }
+                }
+            }
         }
     }
     (stats, session.into_parts())
@@ -177,9 +291,38 @@ pub fn execute_txn<C: Clock, S: TraceSink>(
     steps: &[TxnStep],
     unique: &UniqueValues,
 ) -> Result<(), AbortReason> {
+    execute_txn_inner(session, steps, unique, None, Duration::ZERO)
+}
+
+/// [`execute_txn`] with an optional chaos stall before step `stall_at`.
+fn execute_txn_inner<C: Clock, S: TraceSink>(
+    session: &mut TracedSession<C, S>,
+    steps: &[TxnStep],
+    unique: &UniqueValues,
+    stall_at: Option<usize>,
+    stall: Duration,
+) -> Result<(), AbortReason> {
     session.begin();
+    apply_steps(session, steps, unique, stall_at, stall)?;
+    session.commit()
+}
+
+/// Runs the statements of a transaction body (no `BEGIN`, no `COMMIT`),
+/// optionally sleeping for `stall` before statement `stall_at` — while
+/// holding every lock acquired so far, like a client paused by a GC or a
+/// network hiccup.
+fn apply_steps<C: Clock, S: TraceSink>(
+    session: &mut TracedSession<C, S>,
+    steps: &[TxnStep],
+    unique: &UniqueValues,
+    stall_at: Option<usize>,
+    stall: Duration,
+) -> Result<(), AbortReason> {
     let mut read_vals: FxHashMap<Key, Value> = FxHashMap::default();
-    for step in steps {
+    for (i, step) in steps.iter().enumerate() {
+        if stall_at == Some(i) && !stall.is_zero() {
+            std::thread::sleep(stall);
+        }
         match step {
             TxnStep::Read(k) => {
                 if let Some(v) = session.read(*k)? {
@@ -219,7 +362,7 @@ pub fn execute_txn<C: Clock, S: TraceSink>(
             }
         }
     }
-    session.commit()
+    Ok(())
 }
 
 #[cfg(test)]
@@ -287,11 +430,111 @@ mod tests {
     }
 
     #[test]
+    fn chaos_kills_leave_no_terminal_trace() {
+        let plan = ChaosPlan {
+            seed: 11,
+            kill_prob: 0.25,
+            ..ChaosPlan::none()
+        };
+        let gen = BlindW::new(BlindWVariant::ReadWrite).with_table_size(64);
+        let db = Database::new(DbConfig::at(IsolationLevel::Serializable));
+        preload_database(&db, &gen);
+        let sinks: Vec<Vec<Trace>> = (0..4).map(|_| Vec::new()).collect();
+        let (stats, sinks) = run_chaos_with_sinks(
+            &db,
+            forks(&gen, 4),
+            sinks,
+            RunLimit::Txns(50),
+            42,
+            &plan,
+            RetryPolicy::none(),
+        );
+        assert!(stats.killed > 0, "p=0.25 over 200 txns must kill some");
+        assert_eq!(stats.committed + stats.aborted + stats.killed, 200);
+        let terminals = sinks
+            .iter()
+            .flatten()
+            .filter(|t| matches!(t.op, OpKind::Commit | OpKind::Abort))
+            .count() as u64;
+        // Killed transactions are exactly the ones missing a terminal.
+        assert_eq!(terminals, stats.committed + stats.aborted);
+        // Per-client monotonicity survives kills and reconnects.
+        for stream in &sinks {
+            assert!(stream.windows(2).all(|w| w[0].ts_bef() <= w[1].ts_bef()));
+        }
+    }
+
+    #[test]
+    fn retry_policy_retries_aborted_attempts() {
+        // Hot keys, a lock-wait timeout shorter than the chaos stalls:
+        // stalled writers hold their locks past every peer's lock-wait
+        // deadline, so the peers abort and the retry policy kicks in.
+        let gen = BlindW::new(BlindWVariant::WriteOnly).with_table_size(2);
+        let db = Database::new(DbConfig {
+            isolation: IsolationLevel::Serializable,
+            lock_wait: Duration::from_millis(1),
+            ..DbConfig::default()
+        });
+        let plan = ChaosPlan {
+            seed: 17,
+            stall_prob: 0.5,
+            stall: Duration::from_millis(3),
+            ..ChaosPlan::none()
+        };
+        preload_database(&db, &gen);
+        let sinks: Vec<Vec<Trace>> = (0..4).map(|_| Vec::new()).collect();
+        let (stats, _) = run_chaos_with_sinks(
+            &db,
+            forks(&gen, 4),
+            sinks,
+            RunLimit::Txns(40),
+            9,
+            &plan,
+            RetryPolicy::with_backoff(3, Duration::ZERO),
+        );
+        assert!(stats.stalled > 0);
+        assert!(stats.aborted > 0, "hot keys must produce aborts");
+        assert!(stats.retries > 0, "aborts must be retried");
+        assert!(stats.retries <= stats.aborted);
+        // Every attempt (first tries + retries) resolved to a terminal.
+        assert_eq!(stats.committed + stats.aborted, 160 + stats.retries);
+    }
+
+    #[test]
+    fn chaotic_transport_counts_drops_and_dups() {
+        let plan = ChaosPlan {
+            seed: 23,
+            drop_prob: 0.1,
+            dup_prob: 0.1,
+            ..ChaosPlan::none()
+        };
+        let gen = BlindW::new(BlindWVariant::WriteOnly).with_table_size(64);
+        let db = Database::new(DbConfig::at(IsolationLevel::Serializable));
+        preload_database(&db, &gen);
+        let sinks: Vec<Vec<Trace>> = (0..2).map(|_| Vec::new()).collect();
+        let (stats, sinks) = run_chaos_with_sinks(
+            &db,
+            forks(&gen, 2),
+            sinks,
+            RunLimit::Txns(100),
+            5,
+            &plan,
+            RetryPolicy::none(),
+        );
+        assert!(stats.traces_dropped > 0);
+        assert!(stats.traces_duplicated > 0);
+        // The transport never reorders: per-client order still holds.
+        for stream in &sinks {
+            assert!(stream.windows(2).all(|w| w[0].ts_bef() <= w[1].ts_bef()));
+        }
+    }
+
+    #[test]
     fn throughput_is_positive() {
         let s = RunStats {
             committed: 100,
-            aborted: 0,
             wall: Duration::from_secs(2),
+            ..RunStats::default()
         };
         assert!((s.throughput() - 50.0).abs() < 1e-9);
     }

@@ -1,0 +1,103 @@
+//! Kill-at-a-random-point / resume property.
+//!
+//! Checkpointing the verifier after an arbitrary prefix of the stream,
+//! serializing the checkpoint to JSON (as `leopard verify --checkpoint`
+//! does), restoring it in a fresh process and feeding the remainder must
+//! produce a verdict identical to the uninterrupted run — same
+//! violations, counters, deduction statistics and coverage. Exercised on
+//! clean and chaos-degraded captures at all four levels.
+
+use leopard_core::{Checkpoint, Verifier, VerifierConfig};
+use leopard_oracle::{
+    degrade_capture, generate_clean_capture, Capture, CleanRunSpec, DegradeSpec, Schedule, LEVELS,
+};
+use proptest::prelude::*;
+
+fn run_full(cap: &Capture, cfg: VerifierConfig) -> String {
+    let mut v = Verifier::new(cfg);
+    for &(k, val) in &cap.header.preload {
+        v.preload(k, val);
+    }
+    for t in &cap.traces {
+        v.process(t);
+    }
+    format!("{:?}", v.finish())
+}
+
+/// Processes `k` traces, images the state, kills the verifier, round-trips
+/// the image through JSON, resumes and finishes the stream.
+fn run_killed_and_resumed(cap: &Capture, cfg: VerifierConfig, k: usize) -> String {
+    let mut v = Verifier::new(cfg);
+    for &(key, val) in &cap.header.preload {
+        v.preload(key, val);
+    }
+    for t in &cap.traces[..k] {
+        v.process(t);
+    }
+    let json = v.checkpoint().to_json();
+    drop(v); // the original process dies here
+    let ckpt = Checkpoint::from_json(&json).expect("checkpoint round-trips");
+    let mut v = Verifier::from_checkpoint(&ckpt).expect("resume");
+    for t in &cap.traces[k..] {
+        v.process(t);
+    }
+    format!("{:?}", v.finish())
+}
+
+proptest! {
+    #[test]
+    fn kill_and_resume_gives_the_identical_verdict(
+        seed in 0u64..1000,
+        frac_pm in 0u64..=1000,
+        level_i in 0usize..4,
+        degraded in any::<bool>(),
+    ) {
+        let level = LEVELS[level_i];
+        let spec = CleanRunSpec {
+            workload: "blindw-rw".to_string(),
+            rows: 16,
+            clients: 3,
+            txns_per_client: 6,
+            level,
+            seed: 5000 + seed,
+            tick: 10,
+            schedule: Schedule::Interleaved,
+        };
+        let cap = generate_clean_capture(&spec).expect("clean capture");
+        let cap = if degraded {
+            degrade_capture(&cap, &DegradeSpec::moderate(seed))
+        } else {
+            cap
+        };
+        let mut cfg = VerifierConfig::for_level(level);
+        cfg.degraded = degraded;
+        let k = (cap.traces.len() * frac_pm as usize) / 1000;
+        prop_assert_eq!(run_full(&cap, cfg), run_killed_and_resumed(&cap, cfg, k));
+    }
+}
+
+#[test]
+fn resume_at_every_split_point_of_a_small_capture() {
+    // Exhaustive over split points: no "lucky k" can hide a state field
+    // missing from the checkpoint image.
+    let spec = CleanRunSpec {
+        workload: "blindw-rw".to_string(),
+        rows: 8,
+        clients: 2,
+        txns_per_client: 4,
+        level: leopard_core::IsolationLevel::Serializable,
+        seed: 42,
+        tick: 10,
+        schedule: Schedule::Interleaved,
+    };
+    let cap = generate_clean_capture(&spec).expect("clean capture");
+    let cfg = VerifierConfig::for_level(leopard_core::IsolationLevel::Serializable);
+    let full = run_full(&cap, cfg);
+    for k in 0..=cap.traces.len() {
+        assert_eq!(
+            full,
+            run_killed_and_resumed(&cap, cfg, k),
+            "verdict diverged when killed after {k} traces"
+        );
+    }
+}

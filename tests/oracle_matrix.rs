@@ -135,3 +135,30 @@ fn mutated_captures_cover_the_full_lattice() {
     // 3 anomalies × 4 levels + 5 × 3 levels + write-skew × 1 level.
     assert_eq!(rejected_cells, 3 * 4 + 5 * 3 + 1);
 }
+
+#[test]
+fn chaos_degraded_base_capture_stays_clean_at_every_level() {
+    // The dual of the verdict matrix: the corpus base capture is serial,
+    // hence clean at every level; after seeded chaos mangling (dropped and
+    // duplicated deliveries, killed terminals) it must still verify clean
+    // in degraded mode — a damaged-but-correct history is never a
+    // violation. Asserted through the same corpus_default spec the golden
+    // matrix uses, without touching the MatrixReport serialization.
+    use leopard_oracle::{
+        check_chaos_soundness, degradation_was_exercised, ChaosSoundnessReport, DegradeSpec,
+    };
+    let base = leopard_oracle::generate_clean_capture(&CleanRunSpec::corpus_default())
+        .expect("clean base");
+    let specs: Vec<DegradeSpec> = (0..3).map(DegradeSpec::moderate).collect();
+    let mut report = ChaosSoundnessReport::default();
+    for &level in &LEVELS {
+        check_chaos_soundness(&base, level, &specs, &mut report);
+    }
+    assert_eq!(report.cells.len(), 12);
+    assert!(
+        report.is_sound(),
+        "false positives: {:?}",
+        report.false_positives()
+    );
+    assert!(degradation_was_exercised(&report));
+}
