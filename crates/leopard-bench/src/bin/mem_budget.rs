@@ -1,0 +1,113 @@
+//! Memory vs. history length under a budget (§VI-E follow-up).
+//!
+//! BlindW-RW histories of growing length verified four ways: Leopard
+//! under an explicit memory budget, Leopard with plain watermark GC,
+//! Leopard with GC disabled, and Cobra without fences (the no-GC
+//! baseline of Fig. 14). Reports the peak retained-state estimate for
+//! each, in bytes.
+//!
+//! Expected shape: the budgeted verifier stays flat near the budget
+//! (bounded by the in-flight working set, which no correct verifier can
+//! reclaim), plain GC stays flat slightly above it, and both no-GC
+//! configurations grow linearly with the history.
+
+use leopard_baselines::{collect_committed, CobraConfig, CobraVerifier};
+use leopard_bench::{
+    approx_bytes, collect_run, fmt_bytes, fork_clones, header, leopard_cfg, row, verify_collected,
+    CollectedRun,
+};
+use leopard_core::{IsolationLevel, MemBudget, VerifierConfig};
+use leopard_workloads::{BlindW, BlindWVariant};
+
+/// Peak retained bytes of a Leopard pass over the run.
+fn leopard_peak(run: &CollectedRun, cfg: VerifierConfig) -> (u64, u64) {
+    let (outcome, _) = verify_collected(run, cfg);
+    assert!(outcome.report.is_clean(), "{}", outcome.report);
+    (
+        outcome.counters.budget.peak_bytes,
+        outcome.counters.budget.forced_gcs,
+    )
+}
+
+/// Peak retained bytes of a fence-less Cobra pass over the run.
+fn cobra_nogc_peak(run: &CollectedRun) -> f64 {
+    let mut v = CobraVerifier::new(CobraConfig {
+        fence_every: None,
+        search_budget: 2_000_000,
+    });
+    for &(k, val) in &run.preload {
+        v.preload(k, val);
+    }
+    let txns = collect_committed(&run.merged);
+    for t in &txns {
+        v.add_txn(t);
+    }
+    let out = v.finish();
+    assert!(
+        matches!(out.verdict, leopard_baselines::CobraVerdict::Serializable),
+        "Cobra w/o GC must accept a clean history"
+    );
+    approx_bytes(out.peak_nodes + out.peak_constraints)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    const BUDGET_BYTES: u64 = 256 * 1024;
+
+    println!("# Memory vs. history length (8 threads, BlindW-RW)");
+    println!(
+        "(budgeted Leopard capped at {}; no-GC configurations retain everything)\n",
+        fmt_bytes(BUDGET_BYTES as f64)
+    );
+    header(&[
+        "txns",
+        "traces",
+        "Leopard budgeted",
+        "forced GCs",
+        "Leopard GC",
+        "Leopard w/o GC",
+        "Cobra w/o GC",
+    ]);
+
+    let scales: &[u64] = if quick {
+        &[500, 1_000, 2_000]
+    } else {
+        &[500, 1_000, 2_000, 4_000, 8_000]
+    };
+    for &total in scales {
+        // A compact table keeps the irreducible floor (one pivot version
+        // per live key, which any verifier must mirror) well under the
+        // budget, so the cap genuinely constrains the history-dependent
+        // state rather than the database snapshot.
+        let g = BlindW::new(BlindWVariant::ReadWrite).with_table_size(128);
+        let run = collect_run(
+            &g,
+            fork_clones(&g, 8),
+            IsolationLevel::Serializable,
+            total / 8,
+            23,
+        );
+
+        let mut budgeted_cfg = leopard_cfg(IsolationLevel::Serializable);
+        budgeted_cfg.mem_budget = MemBudget::bytes(BUDGET_BYTES);
+        let (budgeted, forced) = leopard_peak(&run, budgeted_cfg);
+
+        let (gc, _) = leopard_peak(&run, leopard_cfg(IsolationLevel::Serializable));
+
+        let mut nogc_cfg = leopard_cfg(IsolationLevel::Serializable);
+        nogc_cfg.gc = false;
+        let (nogc, _) = leopard_peak(&run, nogc_cfg);
+
+        let cobra = cobra_nogc_peak(&run);
+
+        row(&[
+            total.to_string(),
+            run.merged.len().to_string(),
+            fmt_bytes(budgeted as f64),
+            forced.to_string(),
+            fmt_bytes(gc as f64),
+            fmt_bytes(nogc as f64),
+            fmt_bytes(cobra),
+        ]);
+    }
+}

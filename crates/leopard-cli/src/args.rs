@@ -40,6 +40,10 @@ verify options:
                                 checkpoint's verifier configuration)
   --checkpoint <FILE>           write a checkpoint of the final state here
   --checkpoint-every <N>        also checkpoint every N ingested traces
+  --mem-budget <BYTES>          cap verifier state; over budget the verifier
+                                forces GC and sheds into degraded coverage
+  --json                        emit the verdict, peak memory and shed /
+                                eviction counters as JSON
 
 chaos options:
   --workload <NAME>             bundled workload (default blindw-rw)
@@ -62,6 +66,9 @@ chaos options:
                                 long without progress (default 1000)
   --checkpoint <FILE>           write online checkpoints to this path
   --checkpoint-every <N>        checkpoint every N dispatched traces
+  --mem-budget <BYTES>          cap tracer + verifier memory; over budget the
+                                governor forces GC, force-dispatches, then
+                                evicts the laggiest client
   --json                        emit the run summary as JSON
 
 lint-history options:
@@ -159,6 +166,10 @@ pub struct VerifyConfig {
     pub checkpoint: Option<String>,
     /// Also write intermediate checkpoints every N ingested traces.
     pub checkpoint_every: Option<u64>,
+    /// Memory budget in bytes (`None` = unlimited).
+    pub mem_budget: Option<u64>,
+    /// Emit the verdict and resource counters as JSON.
+    pub json: bool,
 }
 
 impl Default for VerifyConfig {
@@ -173,6 +184,8 @@ impl Default for VerifyConfig {
             resume: None,
             checkpoint: None,
             checkpoint_every: None,
+            mem_budget: None,
+            json: false,
         }
     }
 }
@@ -218,6 +231,8 @@ pub struct ChaosConfig {
     pub checkpoint: Option<String>,
     /// Checkpoint every N dispatched traces.
     pub checkpoint_every: Option<u64>,
+    /// Memory budget in bytes (`None` = unlimited).
+    pub mem_budget: Option<u64>,
     /// Emit the run summary as JSON.
     pub json: bool,
 }
@@ -244,6 +259,7 @@ impl Default for ChaosConfig {
             evict_timeout_ms: 1000,
             checkpoint: None,
             checkpoint_every: None,
+            mem_budget: None,
             json: false,
         }
     }
@@ -379,6 +395,8 @@ pub fn parse_args(argv: &[String]) -> Result<Command, ParseError> {
                     "--resume" => cfg.resume = Some(want::<String>(arg, it.next())?),
                     "--checkpoint" => cfg.checkpoint = Some(want::<String>(arg, it.next())?),
                     "--checkpoint-every" => cfg.checkpoint_every = Some(want(arg, it.next())?),
+                    "--mem-budget" => cfg.mem_budget = Some(want(arg, it.next())?),
+                    "--json" => cfg.json = true,
                     flag if flag.starts_with("--") => {
                         return Err(ParseError(format!("unknown flag `{flag}`")))
                     }
@@ -397,6 +415,9 @@ pub fn parse_args(argv: &[String]) -> Result<Command, ParseError> {
                 return Err(ParseError(
                     "--checkpoint-every needs --checkpoint <FILE>".into(),
                 ));
+            }
+            if cfg.mem_budget == Some(0) {
+                return Err(ParseError("--mem-budget must be at least 1 byte".into()));
             }
             Ok(Command::Verify(cfg))
         }
@@ -424,12 +445,16 @@ pub fn parse_args(argv: &[String]) -> Result<Command, ParseError> {
                     "--evict-timeout-ms" => cfg.evict_timeout_ms = want(flag, it.next())?,
                     "--checkpoint" => cfg.checkpoint = Some(want::<String>(flag, it.next())?),
                     "--checkpoint-every" => cfg.checkpoint_every = Some(want(flag, it.next())?),
+                    "--mem-budget" => cfg.mem_budget = Some(want(flag, it.next())?),
                     "--json" => cfg.json = true,
                     other => return Err(ParseError(format!("unknown flag `{other}`"))),
                 }
             }
             if cfg.threads == 0 {
                 return Err(ParseError("--threads must be at least 1".to_string()));
+            }
+            if cfg.mem_budget == Some(0) {
+                return Err(ParseError("--mem-budget must be at least 1 byte".into()));
             }
             for (name, p) in [
                 ("--kill-prob", cfg.kill_prob),
@@ -556,6 +581,24 @@ mod tests {
             "verify cap.jsonl --checkpoint b --checkpoint-every 0"
         ))
         .is_err());
+    }
+
+    #[test]
+    fn verify_and_chaos_mem_budget_parse() {
+        let cmd = parse_args(&args("verify cap.jsonl --mem-budget 1048576 --json")).unwrap();
+        let Command::Verify(cfg) = cmd else { panic!() };
+        assert_eq!(cfg.mem_budget, Some(1_048_576));
+        assert!(cfg.json);
+        let cmd = parse_args(&args("verify cap.jsonl")).unwrap();
+        let Command::Verify(cfg) = cmd else { panic!() };
+        assert_eq!(cfg.mem_budget, None);
+        assert!(!cfg.json);
+        let cmd = parse_args(&args("chaos --mem-budget 65536")).unwrap();
+        let Command::Chaos(cfg) = cmd else { panic!() };
+        assert_eq!(cfg.mem_budget, Some(65_536));
+        // A zero budget would shed everything; reject it loudly.
+        assert!(parse_args(&args("verify cap.jsonl --mem-budget 0")).is_err());
+        assert!(parse_args(&args("chaos --mem-budget 0")).is_err());
     }
 
     #[test]

@@ -2,9 +2,9 @@
 
 use crate::args::{ChaosConfig, LintHistoryConfig, OracleConfig, RecordConfig, VerifyConfig};
 use leopard_core::{
-    CaptureHeader, CaptureReader, CaptureWriter, Checkpoint, IsolationLevel, OnlineLeopard,
-    OnlineOptions, PreflightAnalyzer, PreflightConfig, PreflightReport, Verifier, VerifierConfig,
-    CAPTURE_VERSION,
+    Backpressure, CaptureHeader, CaptureReader, CaptureWriter, Checkpoint, IsolationLevel,
+    MemBudget, OnlineLeopard, OnlineOptions, PreflightAnalyzer, PreflightConfig, PreflightReport,
+    Verifier, VerifierConfig, CAPTURE_VERSION, TRACE_APPROX_BYTES,
 };
 use leopard_db::{Database, DbConfig, FaultPlan};
 use leopard_oracle::{corpus_files, run_matrix, CleanRunSpec, Schedule};
@@ -140,20 +140,26 @@ pub fn lint_history(cfg: &LintHistoryConfig, out: &mut dyn Write) -> i32 {
 /// `leopard verify`: audit a capture file.
 pub fn verify(cfg: &VerifyConfig, out: &mut dyn Write) -> i32 {
     if cfg.skip_preflight {
-        let _ = writeln!(out, "preflight: skipped (--skip-preflight)");
+        if !cfg.json {
+            let _ = writeln!(out, "preflight: skipped (--skip-preflight)");
+        }
     } else {
         let report = match preflight_capture(&cfg.file, out) {
             Ok(r) => r,
             Err(code) => return code,
         };
-        let _ = writeln!(out, "{report}");
+        if !cfg.json {
+            let _ = writeln!(out, "{report}");
+        }
         if report.has_errors() {
             if cfg.degraded {
-                let _ = writeln!(
-                    out,
-                    "preflight found errors; continuing in degraded mode \
-                     (ill-formed traces are quarantined, not verified)"
-                );
+                if !cfg.json {
+                    let _ = writeln!(
+                        out,
+                        "preflight found errors; continuing in degraded mode \
+                         (ill-formed traces are quarantined, not verified)"
+                    );
+                }
             } else {
                 let _ = writeln!(
                     out,
@@ -179,7 +185,9 @@ pub fn verify(cfg: &VerifyConfig, out: &mut dyn Write) -> i32 {
             return 1;
         }
     };
-    let _ = writeln!(out, "capture: {}", reader.header().description);
+    if !cfg.json {
+        let _ = writeln!(out, "capture: {}", reader.header().description);
+    }
 
     // A resumed verifier carries its configuration (and the already-applied
     // preload) inside the checkpoint; a fresh one is built from the flags.
@@ -200,16 +208,21 @@ pub fn verify(cfg: &VerifyConfig, out: &mut dyn Write) -> i32 {
                 return 1;
             }
         };
-        let _ = writeln!(
-            out,
-            "resumed from {ckpt_path}: {skip} traces already ingested"
-        );
+        if !cfg.json {
+            let _ = writeln!(
+                out,
+                "resumed from {ckpt_path}: {skip} traces already ingested"
+            );
+        }
         v
     } else {
         let mut vcfg = VerifierConfig::for_level(cfg.level);
         vcfg.clock_skew_bound = cfg.skew_bound;
         vcfg.gc = !cfg.no_gc;
         vcfg.degraded = cfg.degraded;
+        if let Some(bytes) = cfg.mem_budget {
+            vcfg.mem_budget = MemBudget::bytes(bytes);
+        }
         let mut v = Verifier::new(vcfg);
         for &(k, val) in &reader.header().preload.clone() {
             v.preload(k, val);
@@ -250,15 +263,58 @@ pub fn verify(cfg: &VerifyConfig, out: &mut dyn Write) -> i32 {
             let _ = writeln!(out, "error: cannot checkpoint: {e}");
             return 1;
         }
-        let _ = writeln!(out, "checkpoint written to {}", path.display());
+        if !cfg.json {
+            let _ = writeln!(out, "checkpoint written to {}", path.display());
+        }
     }
     let outcome = verifier.finish();
+    if cfg.json {
+        let cov = &outcome.coverage;
+        let budget = &outcome.counters.budget;
+        let evicted: Vec<String> = cov
+            .evicted_clients
+            .iter()
+            .map(|c| c.0.to_string())
+            .collect();
+        let _ = writeln!(
+            out,
+            "{{\"level\":\"{}\",\"traces\":{},\"committed\":{},\
+             \"peak_bytes\":{},\"peak_entries\":{},\"forced_gcs\":{},\
+             \"forced_dispatches\":{},\"shed_traces\":{},\"budget_evictions\":{},\
+             \"evicted_clients\":[{}],\"quarantined_traces\":{},\"demoted_reads\":{},\
+             \"violations\":{},\"clean\":{},\"complete\":{}}}",
+            cfg.level,
+            outcome.counters.traces,
+            outcome.counters.committed,
+            budget.peak_bytes,
+            budget.peak_entries,
+            budget.forced_gcs,
+            budget.forced_dispatches,
+            budget.shed_traces,
+            budget.budget_evictions,
+            evicted.join(","),
+            cov.quarantined_traces,
+            cov.demoted_reads,
+            outcome.report.violations.len(),
+            outcome.report.is_clean(),
+            cov.is_complete(),
+        );
+        return if outcome.report.is_clean() { 0 } else { 3 };
+    }
     let _ = writeln!(
         out,
         "verified {} traces / {} committed transactions at {}",
         outcome.counters.traces, outcome.counters.committed, cfg.level
     );
     let _ = writeln!(out, "{}", outcome.stats);
+    if cfg.mem_budget.is_some() {
+        let budget = &outcome.counters.budget;
+        let _ = writeln!(
+            out,
+            "resources: peak {} bytes / {} entries, {} forced gcs, {} shed",
+            budget.peak_bytes, budget.peak_entries, budget.forced_gcs, budget.shed_traces
+        );
+    }
     if !outcome.coverage.is_complete() {
         let _ = write!(out, "{}", outcome.coverage);
     }
@@ -307,14 +363,28 @@ pub fn chaos(cfg: &ChaosConfig, out: &mut dyn Write) -> i32 {
     let mut vcfg = VerifierConfig::for_level(cfg.level);
     vcfg.degraded = true;
     vcfg.clock_skew_bound = plan.skew_bound();
+    if let Some(bytes) = cfg.mem_budget {
+        vcfg.mem_budget = MemBudget::bytes(bytes);
+    }
+    // Under a memory budget the per-client channels are bounded too, so
+    // ingest cannot outrun the collector by more than the budget allows.
+    let backpressure = match cfg.mem_budget {
+        Some(bytes) => {
+            let per_client =
+                (bytes as usize / TRACE_APPROX_BYTES / cfg.threads.max(1)).clamp(16, 4096);
+            Backpressure::Blocking(per_client)
+        }
+        None => Backpressure::Unbounded,
+    };
     let opts = OnlineOptions {
         eviction_timeout: Some(Duration::from_millis(cfg.evict_timeout_ms)),
         checkpoint_path: cfg.checkpoint.as_ref().map(PathBuf::from),
         checkpoint_every: cfg.checkpoint_every,
+        backpressure,
         ..OnlineOptions::default()
     };
     let (online, handles) = OnlineLeopard::start_opts(cfg.threads, vcfg, opts, preload);
-    let (stats, sinks) = run_chaos_with_sinks(
+    let (mut stats, sinks) = run_chaos_with_sinks(
         &db,
         gens,
         handles,
@@ -332,7 +402,9 @@ pub fn chaos(cfg: &ChaosConfig, out: &mut dyn Write) -> i32 {
         }
     };
 
+    stats.absorb_pipeline(&pstats);
     let cov = &outcome.coverage;
+    let budget = &outcome.counters.budget;
     if cfg.json {
         let evicted: Vec<String> = cov
             .evicted_clients
@@ -346,6 +418,8 @@ pub fn chaos(cfg: &ChaosConfig, out: &mut dyn Write) -> i32 {
              \"traces_dropped\":{},\"traces_duplicated\":{},\
              \"dispatched\":{},\"duplicates_deduped\":{},\"evicted_clients\":[{}],\
              \"quarantined_traces\":{},\"demoted_reads\":{},\"indeterminate_txns\":{},\
+             \"peak_bytes\":{},\"forced_gcs\":{},\"forced_dispatches\":{},\
+             \"shed_traces\":{},\"budget_evictions\":{},\
              \"violations\":{},\"clean\":{},\"complete\":{}}}",
             cfg.workload,
             cfg.level,
@@ -364,6 +438,11 @@ pub fn chaos(cfg: &ChaosConfig, out: &mut dyn Write) -> i32 {
             cov.quarantined_traces,
             cov.demoted_reads,
             cov.indeterminate_txns.len(),
+            budget.peak_bytes,
+            budget.forced_gcs,
+            budget.forced_dispatches,
+            budget.shed_traces,
+            budget.budget_evictions,
             outcome.report.violations.len(),
             outcome.report.is_clean(),
             cov.is_complete(),
@@ -389,6 +468,18 @@ pub fn chaos(cfg: &ChaosConfig, out: &mut dyn Write) -> i32 {
             "pipeline: {} dispatched, {} duplicates deduped, {} clients evicted",
             pstats.dispatched, pstats.duplicates_dropped, pstats.evicted_clients
         );
+        if cfg.mem_budget.is_some() {
+            let _ = writeln!(
+                out,
+                "resources: peak {} bytes, {} forced gcs, {} forced dispatches, \
+                 {} shed, {} budget evictions",
+                budget.peak_bytes,
+                budget.forced_gcs,
+                budget.forced_dispatches,
+                budget.shed_traces,
+                budget.budget_evictions
+            );
+        }
         let _ = write!(out, "{cov}");
     }
     if outcome.report.is_clean() {
@@ -776,6 +867,63 @@ mod tests {
             ),
             2
         );
+    }
+
+    #[test]
+    fn verify_json_reports_peak_memory_and_budget_counters() {
+        let path = tmp("budget_json");
+        let mut out = Vec::new();
+        let code = record(
+            &RecordConfig {
+                workload: "blindw-rw".to_string(),
+                threads: 2,
+                txns: 60,
+                out: path.clone(),
+                ..RecordConfig::default()
+            },
+            &mut out,
+        );
+        assert_eq!(code, 0);
+
+        // A tight budget forces GC but must not change the verdict.
+        let mut out = Vec::new();
+        let code = verify(
+            &VerifyConfig {
+                file: path.clone(),
+                mem_budget: Some(8 * 1024),
+                json: true,
+                ..VerifyConfig::default()
+            },
+            &mut out,
+        );
+        let text = String::from_utf8_lossy(&out);
+        assert_eq!(code, 0, "{text}");
+        // JSON mode emits exactly one line: the summary object.
+        assert_eq!(text.lines().count(), 1, "{text}");
+        assert!(text.contains("\"clean\":true"), "{text}");
+        assert!(text.contains("\"peak_bytes\":"), "{text}");
+        assert!(text.contains("\"forced_gcs\":"), "{text}");
+        assert!(text.contains("\"shed_traces\":"), "{text}");
+        assert!(text.contains("\"budget_evictions\":"), "{text}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn chaos_with_mem_budget_stays_clean_and_reports_resources() {
+        let mut out = Vec::new();
+        let code = chaos(
+            &crate::args::ChaosConfig {
+                threads: 2,
+                txns: 40,
+                mem_budget: Some(256 * 1024),
+                ..crate::args::ChaosConfig::default()
+            },
+            &mut out,
+        );
+        let text = String::from_utf8_lossy(&out);
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("resources: peak"), "{text}");
+        assert!(text.contains("verdict: CLEAN"), "{text}");
     }
 
     #[test]

@@ -1,0 +1,213 @@
+//! Memory budgets for the resource-governed verification chain.
+//!
+//! Theorem 1 (§IV-C) promises that Leopard verifies in bounded memory:
+//! everything below the dispatch watermark can be garbage-collected. This
+//! module turns that claim into an enforced contract. A [`MemBudget`]
+//! caps the *estimated* bytes and entry counts retained across the
+//! tracer pipeline and the four mechanism tables; [`MemUsage`] is the
+//! cheap O(1) estimate each structure reports; [`BudgetCounters`] records
+//! what the governor had to do to stay under the cap (forced GC passes,
+//! forced heap dispatches, shed traces, budget evictions) so a verdict
+//! produced under pressure is auditable after the fact.
+//!
+//! Enforcement is a graduated ladder (see `DESIGN.md` §8):
+//!
+//! 1. **GC** — prune all mechanism state below the watermark, off the
+//!    periodic `gc_every` cadence.
+//! 2. **Force-dispatch** — flush the pipeline's buffers to the verifier
+//!    in sorted order, even above the watermark; later stragglers below
+//!    the forced floor are shed (counted, surfaced in coverage).
+//! 3. **Evict** — force-close the laggiest (watermark-pinning) client
+//!    into the degraded-mode [`crate::verify::Coverage`] machinery.
+//!
+//! The ladder trades coverage for memory *explicitly*: the run degrades
+//! with a named hole instead of growing until the OOM killer decides.
+
+use serde::{Deserialize, Serialize};
+
+/// A cap on the estimated memory retained by the verification chain.
+///
+/// A limit of `0` in either dimension means "unlimited" for that
+/// dimension; [`MemBudget::UNLIMITED`] disables governance entirely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemBudget {
+    /// Maximum estimated bytes (0 = unlimited).
+    pub max_bytes: u64,
+    /// Maximum retained entries across all governed structures
+    /// (0 = unlimited).
+    pub max_entries: u64,
+}
+
+impl MemBudget {
+    /// No limits; governance is disabled.
+    pub const UNLIMITED: MemBudget = MemBudget {
+        max_bytes: 0,
+        max_entries: 0,
+    };
+
+    /// Budget limited by bytes only.
+    #[must_use]
+    pub fn bytes(max_bytes: u64) -> MemBudget {
+        MemBudget {
+            max_bytes,
+            max_entries: 0,
+        }
+    }
+
+    /// True if neither dimension is limited.
+    #[must_use]
+    pub fn is_unlimited(&self) -> bool {
+        self.max_bytes == 0 && self.max_entries == 0
+    }
+
+    /// True if `usage` exceeds any limited dimension.
+    #[must_use]
+    pub fn exceeded_by(&self, usage: MemUsage) -> bool {
+        (self.max_bytes != 0 && usage.bytes > self.max_bytes)
+            || (self.max_entries != 0 && usage.entries > self.max_entries)
+    }
+}
+
+impl Default for MemBudget {
+    fn default() -> MemBudget {
+        MemBudget::UNLIMITED
+    }
+}
+
+/// A cheap estimate of a structure's live memory.
+///
+/// Estimates are per-entry constants derived from `size_of` plus a flat
+/// allowance for heap indirection (vectors, hash-map buckets); they are
+/// deliberately O(1) to compute so the governor can re-check after every
+/// trace. They track growth faithfully even where the absolute byte
+/// count is approximate.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemUsage {
+    /// Estimated bytes.
+    pub bytes: u64,
+    /// Retained entries.
+    pub entries: u64,
+}
+
+impl MemUsage {
+    /// An estimate of `entries` entries at `bytes_per_entry` bytes each.
+    #[must_use]
+    pub fn per_entry(entries: usize, bytes_per_entry: usize) -> MemUsage {
+        MemUsage {
+            bytes: (entries as u64) * (bytes_per_entry as u64),
+            entries: entries as u64,
+        }
+    }
+
+    /// Component-wise sum with `other`.
+    #[must_use]
+    pub fn plus(self, other: MemUsage) -> MemUsage {
+        MemUsage {
+            bytes: self.bytes + other.bytes,
+            entries: self.entries + other.entries,
+        }
+    }
+}
+
+impl std::ops::Add for MemUsage {
+    type Output = MemUsage;
+    fn add(self, other: MemUsage) -> MemUsage {
+        self.plus(other)
+    }
+}
+
+impl std::ops::AddAssign for MemUsage {
+    fn add_assign(&mut self, other: MemUsage) {
+        *self = self.plus(other);
+    }
+}
+
+/// What the resource governor did during a run. Part of the checkpoint
+/// image, so a resumed run keeps accounting for the pressure its
+/// predecessor absorbed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BudgetCounters {
+    /// High-water mark of the estimated bytes across verifier state
+    /// (plus the pipeline, when governed online).
+    pub peak_bytes: u64,
+    /// High-water mark of retained entries.
+    pub peak_entries: u64,
+    /// GC passes forced by the budget, outside the periodic cadence.
+    pub forced_gcs: u64,
+    /// Ladder rung 2 activations: pipeline buffers flushed to the
+    /// verifier above the watermark.
+    pub forced_dispatches: u64,
+    /// Ladder rung 3 activations: clients evicted because the budget
+    /// was still exceeded after GC and force-dispatch.
+    pub budget_evictions: u64,
+    /// Traces shed by the chain: lossy backpressure, post-shutdown
+    /// records, and stragglers below a forced-dispatch floor.
+    pub shed_traces: u64,
+}
+
+impl BudgetCounters {
+    /// Fold a usage sample into the high-water marks.
+    pub fn observe(&mut self, usage: MemUsage) {
+        self.peak_bytes = self.peak_bytes.max(usage.bytes);
+        self.peak_entries = self.peak_entries.max(usage.entries);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_budget_is_never_exceeded() {
+        let b = MemBudget::UNLIMITED;
+        assert!(b.is_unlimited());
+        assert!(!b.exceeded_by(MemUsage {
+            bytes: u64::MAX,
+            entries: u64::MAX,
+        }));
+    }
+
+    #[test]
+    fn byte_budget_trips_on_bytes_only() {
+        let b = MemBudget::bytes(1000);
+        assert!(!b.is_unlimited());
+        assert!(!b.exceeded_by(MemUsage {
+            bytes: 1000,
+            entries: 1 << 40,
+        }));
+        assert!(b.exceeded_by(MemUsage {
+            bytes: 1001,
+            entries: 0,
+        }));
+    }
+
+    #[test]
+    fn entry_budget_trips_on_entries() {
+        let b = MemBudget {
+            max_bytes: 0,
+            max_entries: 10,
+        };
+        assert!(b.exceeded_by(MemUsage {
+            bytes: 0,
+            entries: 11,
+        }));
+        assert!(!b.exceeded_by(MemUsage {
+            bytes: 1 << 40,
+            entries: 10,
+        }));
+    }
+
+    #[test]
+    fn usage_sums_and_peaks() {
+        let a = MemUsage::per_entry(3, 64);
+        let b = MemUsage::per_entry(2, 100);
+        let sum = a + b;
+        assert_eq!(sum.bytes, 3 * 64 + 2 * 100);
+        assert_eq!(sum.entries, 5);
+        let mut c = BudgetCounters::default();
+        c.observe(sum);
+        c.observe(a);
+        assert_eq!(c.peak_bytes, sum.bytes);
+        assert_eq!(c.peak_entries, 5);
+    }
+}

@@ -28,7 +28,7 @@ use std::io::Write as _;
 use std::path::Path;
 
 /// Current checkpoint format version; bumped on incompatible change.
-pub const CHECKPOINT_VERSION: u32 = 1;
+pub const CHECKPOINT_VERSION: u32 = 2;
 
 /// A deferred consistent-read check, flattened for checkpointing
 /// (mirrors the verifier's private pending-read heap entries).

@@ -14,7 +14,12 @@
 //! * [`pipeline`] — the *Tracer*: a two-level pipeline (per-client local
 //!   buffers + a watermarked global min-heap) that merges the per-client
 //!   trace streams into one stream sorted by `ts_bef`, online and with
-//!   bounded memory (§IV-C, Theorem 1).
+//!   bounded memory (§IV-C, Theorem 1 — enforced, not just stated: the
+//!   [`budget`] module's [`MemBudget`] caps the chain, bounded
+//!   backpressure channels couple ingest to verification rate
+//!   ([`ChannelTracer::with_backpressure`]), and the online governor
+//!   ([`online`]) drives watermark GC plus a graduated shedding ladder
+//!   when the cap is hit).
 //! * [`verify`] — the *Verifier*: mechanism-mirrored verification (§V).
 //!   Instead of searching a giant dependency graph for cycles, it mirrors
 //!   the four mechanisms every commercial DBMS assembles its isolation
@@ -48,6 +53,7 @@
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod budget;
 pub mod capture;
 pub mod catalog;
 pub mod checkpoint;
@@ -62,6 +68,7 @@ pub mod trace;
 pub mod types;
 pub mod verify;
 
+pub use budget::{BudgetCounters, MemBudget, MemUsage};
 pub use capture::{CaptureError, CaptureHeader, CaptureReader, CaptureWriter, CAPTURE_VERSION};
 pub use catalog::{
     catalog, CertifierRule, DbmsProfile, IsolationLevel, MechanismSet, SnapshotLevel,
@@ -69,7 +76,10 @@ pub use catalog::{
 pub use checkpoint::{Checkpoint, CheckpointError, PendingReadSnap, CHECKPOINT_VERSION};
 pub use interval::{Interval, PairOrder};
 pub use online::{FinishTimeout, OnlineLeopard, OnlineOptions};
-pub use pipeline::{ChannelTracer, ClientHandle, PipelineConfig, PipelineStats, TwoLevelPipeline};
+pub use pipeline::{
+    Backpressure, ChannelTracer, ClientHandle, PipelineConfig, PipelineStats, TwoLevelPipeline,
+    TRACE_APPROX_BYTES,
+};
 pub use preflight::{
     DiagCode, Diagnostic, PreflightAnalyzer, PreflightConfig, PreflightReport, QuarantineGate,
     Severity,

@@ -28,7 +28,7 @@
 //! assert!(outcome.report.is_clean());
 //! ```
 
-use crate::pipeline::{ChannelTracer, ClientHandle, PipelineConfig, PipelineStats};
+use crate::pipeline::{Backpressure, ChannelTracer, ClientHandle, PipelineConfig, PipelineStats};
 use crate::types::{ClientId, Key, Value};
 use crate::verify::{Verifier, VerifierConfig, VerifyOutcome};
 use std::fmt;
@@ -54,6 +54,11 @@ pub struct OnlineOptions {
     /// Write a checkpoint every this many processed traces. Only effective
     /// together with [`OnlineOptions::checkpoint_path`].
     pub checkpoint_every: Option<u64>,
+    /// Channel policy between client handles and the collector. The
+    /// default keeps the historical unbounded channels; bounded policies
+    /// couple ingest rate to verification rate (blocking) or shed with a
+    /// counter (lossy). See [`Backpressure`].
+    pub backpressure: Backpressure,
 }
 
 /// [`OnlineLeopard::finish_with_timeout`] gave up waiting: some client
@@ -150,7 +155,8 @@ impl OnlineLeopard {
         opts: OnlineOptions,
         preload: Vec<(Key, Value)>,
     ) -> (OnlineLeopard, Vec<ClientHandle>) {
-        let (mut tracer, handles) = ChannelTracer::new(clients, opts.pipeline);
+        let (mut tracer, handles) =
+            ChannelTracer::with_backpressure(clients, opts.pipeline, opts.backpressure);
         let shared = Arc::new(Shared::default());
         let worker_shared = Arc::clone(&shared);
         let (done_tx, done_rx) = mpsc::channel();
@@ -163,6 +169,8 @@ impl OnlineLeopard {
             let mut batch = Vec::new();
             let mut processed: u64 = 0;
             let mut last_dispatched: u64 = 0;
+            let mut last_shed: u64 = 0;
+            let budget = cfg.mem_budget;
             let mut last_progress = Instant::now(); // lint: allow(L004): eviction timeout is wall-clock by definition; verdicts stay trace-time only
             loop {
                 let live = tracer.poll(&mut batch);
@@ -178,6 +186,55 @@ impl OnlineLeopard {
                             let _ = verifier.checkpoint().write(path);
                         }
                     }
+                }
+                // Fold newly shed traces (lossy backpressure, post-shutdown
+                // records, forced-dispatch stragglers) into the verifier's
+                // checkpointable counters.
+                {
+                    let s = tracer.stats();
+                    let shed_now = s.shed_traces + s.late_dropped;
+                    if shed_now > last_shed {
+                        verifier.note_shed_traces(shed_now - last_shed);
+                        last_shed = shed_now;
+                    }
+                }
+                // Resource governance: the graduated overload ladder.
+                // Rung 1 (forced GC below the watermark), rung 2 (flush the
+                // pipeline's buffers through the verifier), rung 3 (evict
+                // the laggiest client into degraded coverage). Each rung
+                // runs only if the previous one left the chain over budget.
+                if !budget.is_unlimited() {
+                    let mut usage = verifier.mem_usage() + tracer.mem_usage();
+                    if budget.exceeded_by(usage) {
+                        verifier.force_gc();
+                        usage = verifier.mem_usage() + tracer.mem_usage();
+                    }
+                    if budget.exceeded_by(usage) {
+                        let mut forced = Vec::new();
+                        if tracer.force_dispatch(&mut forced) > 0 {
+                            verifier.note_forced_dispatch();
+                            for trace in &forced {
+                                verifier.process(trace);
+                                processed += 1;
+                            }
+                            verifier.force_gc();
+                            usage = verifier.mem_usage() + tracer.mem_usage();
+                        }
+                    }
+                    if budget.exceeded_by(usage) {
+                        // The laggiest client is the one holding the
+                        // watermark furthest back; sacrificing it lets
+                        // everything the healthy clients deliver flow and
+                        // be garbage-collected.
+                        if let Some(lag) = tracer.laggard_client() {
+                            let _ = tracer.evict(lag);
+                            verifier.note_budget_eviction(ClientId(lag as u32));
+                        }
+                    }
+                    // Record the governed (post-ladder) footprint: the HWM
+                    // measures what governance let stand, not the spike it
+                    // just removed.
+                    verifier.observe_usage(verifier.mem_usage() + tracer.mem_usage());
                 }
                 if shared.checkpoint.swap(false, Ordering::SeqCst) {
                     if let Some(path) = opts.checkpoint_path.as_deref() {
@@ -448,6 +505,72 @@ mod tests {
         assert!(outcome.coverage.evicted_clients.contains(&ClientId(1)));
         assert!(outcome.coverage.indeterminate_txns.contains(&TxnId(100)));
         assert!(outcome.report.is_clean(), "{}", outcome.report);
+    }
+
+    #[test]
+    // The leak IS the scenario under test: the laggard never closes.
+    #[allow(clippy::mem_forget)]
+    fn memory_budget_ladder_evicts_laggard_instead_of_growing() {
+        use crate::budget::MemBudget;
+        // Client 1 is silent forever, pinning the watermark at ZERO, while
+        // client 0 floods open (never-terminated) transactions the GC can
+        // never reclaim. With no eviction timeout, only the budget ladder
+        // can unblock the chain: rung 2 force-dispatches the pipeline,
+        // rung 3 evicts the pinning laggard, and the run completes with an
+        // explicit coverage hole instead of growing without bound.
+        let mut cfg = VerifierConfig::for_level(IsolationLevel::Serializable);
+        cfg.mem_budget = MemBudget::bytes(4096);
+        let (leopard, mut handles) =
+            OnlineLeopard::start_opts(2, cfg, OnlineOptions::default(), vec![(Key(1), Value(0))]);
+        let laggard = handles.remove(1);
+        std::mem::forget(laggard);
+        let alive = handles.remove(0);
+        for i in 0..300u64 {
+            // Each write opens a fresh transaction that never terminates:
+            // irreducible verifier state, far beyond the 4 KiB budget.
+            alive.record(Trace::new(
+                iv(10 + 2 * i, 11 + 2 * i),
+                ClientId(0),
+                TxnId(i + 1),
+                OpKind::Write(vec![(Key(1), Value(i + 1))]),
+            ));
+        }
+        alive.record(Trace::new(
+            iv(1000, 1001),
+            ClientId(0),
+            TxnId(301),
+            OpKind::Write(vec![(Key(1), Value(999))]),
+        ));
+        alive.record(Trace::new(
+            iv(1002, 1003),
+            ClientId(0),
+            TxnId(301),
+            OpKind::Commit,
+        ));
+        drop(alive);
+        let (outcome, stats) = leopard
+            .finish_with_timeout(Duration::from_secs(30))
+            .map_err(|e| e.to_string())
+            .expect("budget ladder must terminate the chain without a timeout");
+        assert!(outcome.report.is_clean(), "{}", outcome.report);
+        assert_eq!(outcome.counters.committed, 1);
+        assert!(
+            outcome.counters.budget.budget_evictions >= 1,
+            "rung 3 must have fired: {:?}",
+            outcome.counters.budget
+        );
+        assert!(
+            outcome.counters.budget.forced_dispatches >= 1,
+            "rung 2 must have fired"
+        );
+        assert!(
+            outcome.counters.budget.forced_gcs >= 1,
+            "rung 1 must have fired"
+        );
+        assert!(outcome.counters.budget.peak_bytes > 0);
+        assert!(outcome.coverage.evicted_clients.contains(&ClientId(1)));
+        assert!(!outcome.coverage.is_complete());
+        assert!(stats.forced_dispatches >= 1);
     }
 
     #[test]

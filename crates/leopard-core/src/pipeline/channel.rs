@@ -1,29 +1,88 @@
 //! Multi-threaded front end for the two-level pipeline.
 //!
 //! Worker threads hold a [`ClientHandle`] each and record traces without
-//! any cross-thread coordination (an unbounded MPSC channel per client —
-//! the paper's "local buffers asynchronously buffer traces from each
-//! client"). The collector side drains the channels into the deterministic
-//! [`TwoLevelPipeline`](super::TwoLevelPipeline) and dispatches.
+//! any cross-thread coordination (an MPSC channel per client — the
+//! paper's "local buffers asynchronously buffer traces from each
+//! client"). The collector side drains the channels into the
+//! deterministic [`TwoLevelPipeline`](super::TwoLevelPipeline) and
+//! dispatches.
+//!
+//! Channels are governed by a [`Backpressure`] policy. The historical
+//! default is unbounded buffering, which lets ingest outrun verification
+//! until the process OOMs; bounded policies couple the two rates
+//! instead: `Blocking` stalls the recording client when the collector
+//! lags, `Lossy` sheds the trace and counts it
+//! ([`PipelineStats::shed_traces`]) so the loss is an explicit coverage
+//! hole rather than silent growth.
 
-use super::{PipelineConfig, PipelineError, PipelineStats, TwoLevelPipeline};
+use super::{PipelineConfig, PipelineError, PipelineStats, TwoLevelPipeline, TRACE_APPROX_BYTES};
+use crate::budget::MemUsage;
 use crate::trace::Trace;
-use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TryRecvError, TrySendError};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// How a [`ClientHandle`] behaves when the collector lags behind ingest.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Backpressure {
+    /// Unbounded channels: `record` never blocks and never sheds, memory
+    /// grows with the collector's lag. The historical default.
+    #[default]
+    Unbounded,
+    /// Bounded channels of the given per-client capacity: `record`
+    /// blocks until the collector catches up, coupling ingest rate to
+    /// verification rate.
+    Blocking(usize),
+    /// Bounded channels of the given per-client capacity: `record`
+    /// sheds the trace when the channel is full, counting it in
+    /// [`PipelineStats::shed_traces`].
+    Lossy(usize),
+}
 
 /// The client-thread side: cheap, cloneable-per-client trace sink.
 #[derive(Debug)]
 pub struct ClientHandle {
     sender: Sender<Trace>,
+    shed: Arc<AtomicU64>,
+    lossy: bool,
 }
 
 impl ClientHandle {
-    /// Records one trace. Never blocks.
+    /// Records one trace. Returns `true` if it was delivered to the
+    /// collector's channel, `false` if it was shed — because the
+    /// collector has shut down, or because the channel is full under
+    /// [`Backpressure::Lossy`]. Every shed trace is counted in the
+    /// tracer's shared [`PipelineStats::shed_traces`] counter, so even
+    /// callers that ignore the return value never lose traces silently.
     ///
-    /// Dropping the handle closes the client's stream.
-    pub fn record(&self, trace: Trace) {
-        // A send error means the collector has shut down; traces recorded
-        // after that are intentionally discarded.
-        let _ = self.sender.send(trace);
+    /// Under [`Backpressure::Blocking`] this blocks while the channel is
+    /// full. Dropping the handle closes the client's stream.
+    pub fn record(&self, trace: Trace) -> bool {
+        let delivered = if self.lossy {
+            match self.sender.try_send(trace) {
+                Ok(()) => true,
+                Err(TrySendError::Full(_) | TrySendError::Disconnected(_)) => false,
+            }
+        } else {
+            self.sender.send(trace).is_ok()
+        };
+        if !delivered {
+            // relaxed: a monotonically increasing tally read only for
+            // reporting; no other memory depends on its ordering.
+            self.shed.fetch_add(1, Ordering::Relaxed);
+        }
+        delivered
+    }
+
+    /// Traces shed so far across *all* handles of this tracer (the
+    /// counter is shared): lossy-backpressure drops plus records
+    /// attempted after collector shutdown.
+    #[must_use]
+    pub fn shed_count(&self) -> u64 {
+        // relaxed: monotone counter, an in-flight increment may be missed
+        // by one read and picked up by the next; exactness is only needed
+        // after the channels close, which synchronizes via the channel.
+        self.shed.load(Ordering::Relaxed)
     }
 }
 
@@ -34,25 +93,46 @@ pub struct ChannelTracer {
     disconnected: Vec<bool>,
     pipeline: TwoLevelPipeline,
     errors: Vec<PipelineError>,
+    shed: Arc<AtomicU64>,
 }
 
 impl ChannelTracer {
-    /// Creates a tracer for `n_clients` worker threads, returning the
-    /// handles to distribute to them.
+    /// Creates a tracer for `n_clients` worker threads with unbounded
+    /// channels, returning the handles to distribute to them.
     #[must_use]
     pub fn new(n_clients: usize, cfg: PipelineConfig) -> (ChannelTracer, Vec<ClientHandle>) {
+        ChannelTracer::with_backpressure(n_clients, cfg, Backpressure::Unbounded)
+    }
+
+    /// Creates a tracer whose per-client channels follow the given
+    /// [`Backpressure`] policy.
+    #[must_use]
+    pub fn with_backpressure(
+        n_clients: usize,
+        cfg: PipelineConfig,
+        backpressure: Backpressure,
+    ) -> (ChannelTracer, Vec<ClientHandle>) {
+        let shed = Arc::new(AtomicU64::new(0));
         let mut receivers = Vec::with_capacity(n_clients);
         let mut handles = Vec::with_capacity(n_clients);
         for _ in 0..n_clients {
-            let (tx, rx) = unbounded();
+            let (tx, rx) = match backpressure {
+                Backpressure::Unbounded => unbounded(),
+                Backpressure::Blocking(cap) | Backpressure::Lossy(cap) => bounded(cap.max(1)),
+            };
             receivers.push(rx);
-            handles.push(ClientHandle { sender: tx });
+            handles.push(ClientHandle {
+                sender: tx,
+                shed: Arc::clone(&shed),
+                lossy: matches!(backpressure, Backpressure::Lossy(_)),
+            });
         }
         let tracer = ChannelTracer {
             disconnected: vec![false; n_clients],
             receivers,
             pipeline: TwoLevelPipeline::new(n_clients, cfg),
             errors: Vec::new(),
+            shed,
         };
         (tracer, handles)
     }
@@ -112,7 +192,7 @@ impl ChannelTracer {
                 // `poll` only reports dead once every client disconnected
                 // and the pipeline drained.
                 debug_assert!(self.pipeline.is_exhausted());
-                return self.pipeline.stats();
+                return self.stats();
             }
             std::thread::yield_now();
         }
@@ -131,12 +211,30 @@ impl ChannelTracer {
         self.pipeline.evict(client)
     }
 
+    /// Rung 2 of the overload ladder: drain the channels one last time,
+    /// then flush every buffered trace into `out` in global order via
+    /// [`TwoLevelPipeline::force_dispatch`]. Stragglers that later
+    /// arrive below the forced floor are shed (counted).
+    pub fn force_dispatch(&mut self, out: &mut Vec<Trace>) -> usize {
+        let before = out.len();
+        self.poll(out);
+        self.pipeline.force_dispatch(out);
+        out.len() - before
+    }
+
     /// The client currently pinning the watermark (blocking every
     /// dispatch by its silence), if any. See
     /// [`TwoLevelPipeline::pinning_client`].
     #[must_use]
     pub fn pinning_client(&self) -> Option<usize> {
         self.pipeline.pinning_client()
+    }
+
+    /// The open client with the smallest watermark bound, buffered or
+    /// not. See [`TwoLevelPipeline::laggard_client`].
+    #[must_use]
+    pub fn laggard_client(&self) -> Option<usize> {
+        self.pipeline.laggard_client()
     }
 
     /// Indices of clients whose streams are still open (not yet
@@ -157,10 +255,23 @@ impl ChannelTracer {
         &self.errors
     }
 
-    /// Occupancy/progress counters of the underlying pipeline.
+    /// Occupancy/progress counters of the underlying pipeline, with the
+    /// channel layer's shed counter folded in.
     #[must_use]
     pub fn stats(&self) -> PipelineStats {
-        self.pipeline.stats()
+        let mut stats = self.pipeline.stats();
+        // relaxed: same monotone-tally argument as `shed_count`.
+        stats.shed_traces = self.shed.load(Ordering::Relaxed);
+        stats
+    }
+
+    /// Cheap estimate of everything buffered on the collector side:
+    /// undrained channel backlog plus the pipeline's local buffers and
+    /// global heap.
+    #[must_use]
+    pub fn mem_usage(&self) -> MemUsage {
+        let backlog: usize = self.receivers.iter().map(Receiver::len).sum();
+        self.pipeline.mem_usage() + MemUsage::per_entry(backlog, TRACE_APPROX_BYTES)
     }
 }
 
@@ -201,6 +312,7 @@ mod tests {
         }
         assert_eq!(out.len(), 1000);
         assert_eq!(stats.dispatched, 1000);
+        assert_eq!(stats.shed_traces, 0);
         assert!(out.windows(2).all(|w| w[0].ts_bef() <= w[1].ts_bef()));
     }
 
@@ -234,5 +346,141 @@ mod tests {
         // Poll until fully drained.
         while tracer.poll(&mut out) {}
         assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn record_after_collector_shutdown_is_counted_not_silent() {
+        let (tracer, handles) = ChannelTracer::new(2, PipelineConfig::default());
+        assert!(handles[0].record(t(0, 1)));
+        drop(tracer); // collector gone: channels disconnect
+        assert!(!handles[0].record(t(0, 2)));
+        assert!(!handles[1].record(t(1, 3)));
+        // The shared counter saw both drops, from either handle's view.
+        assert_eq!(handles[0].shed_count(), 2);
+        assert_eq!(handles[1].shed_count(), 2);
+    }
+
+    #[test]
+    fn lossy_backpressure_sheds_with_counter_when_full() {
+        let (mut tracer, handles) =
+            ChannelTracer::with_backpressure(1, PipelineConfig::default(), Backpressure::Lossy(4));
+        let mut delivered = 0;
+        for i in 0..10u64 {
+            if handles[0].record(t(0, i)) {
+                delivered += 1;
+            }
+        }
+        assert_eq!(delivered, 4, "capacity-4 lossy channel admits 4 of 10");
+        drop(handles);
+        let mut out = Vec::new();
+        while tracer.poll(&mut out) {}
+        assert_eq!(out.len(), 4);
+        assert_eq!(tracer.stats().shed_traces, 6);
+    }
+
+    #[test]
+    fn blocking_backpressure_couples_ingest_to_drain_rate() {
+        let (mut tracer, mut handles) = ChannelTracer::with_backpressure(
+            1,
+            PipelineConfig::default(),
+            Backpressure::Blocking(2),
+        );
+        let handle = handles.remove(0);
+        let producer = thread::spawn(move || {
+            for i in 0..100u64 {
+                // Blocks whenever the collector is 2 traces behind.
+                assert!(handle.record(t(0, i)));
+            }
+        });
+        let mut out = Vec::new();
+        while tracer.poll(&mut out) {
+            assert!(
+                tracer.mem_usage().entries <= 3,
+                "bounded channel must cap collector-side backlog"
+            );
+            thread::yield_now();
+        }
+        producer.join().unwrap();
+        assert_eq!(out.len(), 100);
+        assert_eq!(tracer.stats().shed_traces, 0);
+    }
+
+    #[test]
+    fn client_dropping_handle_mid_drain_closes_cleanly() {
+        let (mut tracer, mut handles) = ChannelTracer::new(2, PipelineConfig::default());
+        let h0 = handles.remove(0);
+        let h1 = handles.remove(0);
+        h0.record(t(0, 1));
+        h0.record(t(0, 5));
+        h1.record(t(1, 2));
+        let mut out = Vec::new();
+        assert!(tracer.poll(&mut out));
+        // Client 0 dies between polls with one more trace in flight.
+        h0.record(t(0, 9));
+        drop(h0);
+        assert!(tracer.poll(&mut out));
+        // Its buffered traces must all still dispatch once client 1 ends.
+        drop(h1);
+        while tracer.poll(&mut out) {}
+        let ts: Vec<u64> = out.iter().map(|t| t.ts_bef().0).collect();
+        assert_eq!(ts, vec![1, 2, 5, 9]);
+        assert!(tracer.errors().is_empty());
+    }
+
+    #[test]
+    fn evicting_already_disconnected_client_is_a_noop() {
+        let (mut tracer, mut handles) = ChannelTracer::new(2, PipelineConfig::default());
+        let h0 = handles.remove(0);
+        h0.record(t(0, 3));
+        drop(h0); // client 0 disconnects on its own
+        let mut out = Vec::new();
+        tracer.poll(&mut out);
+        assert_eq!(tracer.open_clients(), vec![1]);
+        // Evicting it afterwards must not error or double-count.
+        tracer.evict(0).unwrap();
+        tracer.evict(0).unwrap();
+        assert_eq!(tracer.stats().evicted_clients, 0, "close beat the evict");
+        drop(handles);
+        while tracer.poll(&mut out) {}
+        assert_eq!(out.len(), 1);
+        assert!(tracer.evict(7).is_err(), "unknown client index");
+    }
+
+    #[test]
+    fn drain_after_all_channels_closed_flushes_everything() {
+        let (mut tracer, handles) = ChannelTracer::new(3, PipelineConfig::default());
+        handles[0].record(t(0, 10));
+        handles[1].record(t(1, 20));
+        handles[2].record(t(2, 15));
+        drop(handles); // all channels close before the first poll
+        let mut out = Vec::new();
+        let mut polls = 0;
+        while tracer.poll(&mut out) {
+            polls += 1;
+            assert!(polls < 100, "tracer failed to report exhaustion");
+        }
+        let ts: Vec<u64> = out.iter().map(|t| t.ts_bef().0).collect();
+        assert_eq!(ts, vec![10, 15, 20]);
+        assert!(tracer.open_clients().is_empty());
+        // A further poll after exhaustion stays dead and yields nothing.
+        assert!(!tracer.poll(&mut out));
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn force_dispatch_drains_channels_and_heap() {
+        let (mut tracer, handles) = ChannelTracer::new(2, PipelineConfig::default());
+        handles[0].record(t(0, 10));
+        handles[0].record(t(0, 30));
+        // Client 1 silent: nothing provable.
+        let mut out = Vec::new();
+        assert!(tracer.poll(&mut out));
+        assert!(out.is_empty());
+        let n = tracer.force_dispatch(&mut out);
+        assert_eq!(n, 2);
+        let ts: Vec<u64> = out.iter().map(|t| t.ts_bef().0).collect();
+        assert_eq!(ts, vec![10, 30]);
+        assert_eq!(tracer.stats().forced_dispatches, 1);
+        drop(handles);
     }
 }

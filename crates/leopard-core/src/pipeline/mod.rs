@@ -24,7 +24,7 @@
 
 mod channel;
 
-pub use channel::{ChannelTracer, ClientHandle};
+pub use channel::{Backpressure, ChannelTracer, ClientHandle};
 
 use crate::trace::Trace;
 use crate::types::Timestamp;
@@ -131,7 +131,26 @@ pub struct PipelineStats {
     /// Exact back-to-back duplicate pushes dropped at the local buffers
     /// (re-delivery under chaotic trace transport).
     pub duplicates_dropped: u64,
+    /// Traces shed before reaching the pipeline: lossy-backpressure
+    /// drops and records attempted after collector shutdown (see
+    /// [`ClientHandle::record`]).
+    pub shed_traces: u64,
+    /// Traces dropped because they arrived below a forced-dispatch
+    /// floor: [`TwoLevelPipeline::force_dispatch`] flushed the buffers
+    /// past them, so replaying them would break Theorem 1's dispatch
+    /// order. Each one is an explicit coverage hole.
+    pub late_dropped: u64,
+    /// Budget-ladder rung 2 activations ([`TwoLevelPipeline::force_dispatch`]).
+    pub forced_dispatches: u64,
+    /// High-water mark of the pipeline's estimated buffered bytes
+    /// (`max_total_buffered × ~bytes-per-trace`).
+    pub peak_mem_bytes: u64,
 }
+
+/// Cheap per-trace byte estimate used by the pipeline's
+/// [`MemUsage`](crate::budget::MemUsage) accounting: the inline `Trace`
+/// struct plus a flat allowance for its op payload (key/value vectors).
+pub const TRACE_APPROX_BYTES: usize = std::mem::size_of::<Trace>() + 64;
 
 #[derive(Debug)]
 struct HeapEntry {
@@ -202,6 +221,9 @@ pub struct TwoLevelPipeline {
     seq: u64,
     local_total: usize,
     last_dispatched: Timestamp,
+    /// Set by [`force_dispatch`](Self::force_dispatch): traces below this
+    /// floor can no longer be dispatched in order and are shed on push.
+    forced_floor: Timestamp,
 }
 
 impl TwoLevelPipeline {
@@ -224,6 +246,7 @@ impl TwoLevelPipeline {
             seq: 0,
             local_total: 0,
             last_dispatched: Timestamp::ZERO,
+            forced_floor: Timestamp::ZERO,
         }
     }
 
@@ -258,6 +281,15 @@ impl TwoLevelPipeline {
                 last: local.last_seen,
                 pushed: trace.ts_bef(),
             });
+        }
+        if trace.ts_bef() < self.forced_floor {
+            // A forced dispatch already flushed the stream past this
+            // timestamp; replaying the trace would dispatch out of order.
+            // Shed it (counted — it is a coverage hole, not a silent loss)
+            // but still advance the client's bound so the watermark moves.
+            local.last_seen = trace.ts_bef();
+            self.stats.late_dropped += 1;
+            return Ok(());
         }
         local.last_seen = trace.ts_bef();
         local.last_pushed = Some(trace.clone());
@@ -321,6 +353,22 @@ impl TwoLevelPipeline {
         }
     }
 
+    /// The open client holding the watermark furthest back — the one
+    /// with the smallest lower bound — regardless of whether anything is
+    /// currently buffered. This is the budget ladder's rung-3 target:
+    /// unlike [`pinning_client`](Self::pinning_client) it also names the
+    /// laggard when a forced dispatch just emptied the buffers.
+    #[must_use]
+    pub fn laggard_client(&self) -> Option<usize> {
+        self.locals
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| !l.closed)
+            .filter_map(|(i, l)| l.lower_bound().map(|b| (b, i)))
+            .min()
+            .map(|(_, i)| i)
+    }
+
     /// The current watermark: the smallest `ts_bef` any not-yet-fetched
     /// trace can have, or `None` when every client is closed and drained
     /// (in which case everything in the heap is dispatchable).
@@ -362,6 +410,39 @@ impl TwoLevelPipeline {
         while let Some(t) = self.try_dispatch() {
             out.push(t);
         }
+    }
+
+    /// Rung 2 of the overload ladder: flush *everything* buffered —
+    /// local buffers and global heap — into `out` in global `ts_bef`
+    /// order, without waiting for the watermark proof.
+    ///
+    /// The flushed traces themselves are emitted sorted (the heap pops
+    /// in order), so the verifier still sees a monotone stream; the cost
+    /// is paid by stragglers: any trace later pushed below the forced
+    /// floor is shed and counted in [`PipelineStats::late_dropped`].
+    /// Returns the number of traces flushed.
+    pub fn force_dispatch(&mut self, out: &mut Vec<Trace>) -> usize {
+        for idx in 0..self.locals.len() {
+            self.move_from_local(idx, usize::MAX);
+        }
+        let mut n = 0;
+        while let Some(Reverse(entry)) = self.heap.pop() {
+            self.stats.dispatched += 1;
+            self.last_dispatched = entry.trace.ts_bef();
+            out.push(entry.trace);
+            n += 1;
+        }
+        self.forced_floor = self.forced_floor.max(self.last_dispatched);
+        self.stats.forced_dispatches += 1;
+        n
+    }
+
+    /// Cheap estimate of the pipeline's buffered memory: every trace in
+    /// the local buffers and the global heap at
+    /// [`TRACE_APPROX_BYTES`] each.
+    #[must_use]
+    pub fn mem_usage(&self) -> crate::budget::MemUsage {
+        crate::budget::MemUsage::per_entry(self.heap.len() + self.local_total, TRACE_APPROX_BYTES)
     }
 
     /// `true` when every client is closed and every buffer (local and
@@ -487,6 +568,10 @@ impl TwoLevelPipeline {
     fn note_footprint(&mut self) {
         let total = self.heap.len() + self.local_total;
         self.stats.max_total_buffered = self.stats.max_total_buffered.max(total);
+        self.stats.peak_mem_bytes = self
+            .stats
+            .peak_mem_bytes
+            .max((total as u64) * (TRACE_APPROX_BYTES as u64));
     }
 }
 
@@ -753,6 +838,64 @@ mod tests {
         p.push(1, t(1, 3, 4)).unwrap();
         // The smallest bound now heads a non-empty buffer: fetchable.
         assert_eq!(p.pinning_client(), None);
+    }
+
+    #[test]
+    fn force_dispatch_flushes_everything_in_order() {
+        let mut p = TwoLevelPipeline::new(3, PipelineConfig::default());
+        for ts in [10u64, 20, 30] {
+            p.push(0, t(0, ts, ts + 1)).unwrap();
+        }
+        p.push(1, t(1, 15, 16)).unwrap();
+        // Client 2 is silent at ZERO: nothing is provably dispatchable.
+        assert_eq!(p.try_dispatch(), None);
+        let mut out = Vec::new();
+        let n = p.force_dispatch(&mut out);
+        assert_eq!(n, 4);
+        let times: Vec<u64> = out.iter().map(|t| t.ts_bef().0).collect();
+        assert_eq!(times, vec![10, 15, 20, 30]);
+        assert_eq!(p.stats().forced_dispatches, 1);
+        assert_eq!(p.global_len() + p.local_len(), 0);
+    }
+
+    #[test]
+    fn straggler_below_forced_floor_is_shed_not_reordered() {
+        let mut p = TwoLevelPipeline::new(2, PipelineConfig::default());
+        p.push(0, t(0, 10, 11)).unwrap();
+        let mut out = Vec::new();
+        p.force_dispatch(&mut out);
+        assert_eq!(out.len(), 1);
+        // Client 1 now reports a trace from before the forced floor: it
+        // cannot be dispatched in order any more, so it is shed (counted),
+        // and the client's bound still advances.
+        p.push(1, t(1, 5, 6)).unwrap();
+        assert_eq!(p.stats().late_dropped, 1);
+        // At-or-above the floor still flows normally.
+        p.push(1, t(1, 10, 12)).unwrap();
+        p.close(0).unwrap();
+        p.close(1).unwrap();
+        p.drain_available(&mut out);
+        assert!(p.is_exhausted());
+        let times: Vec<u64> = out.iter().map(|t| t.ts_bef().0).collect();
+        assert_eq!(times, vec![10, 10]);
+    }
+
+    #[test]
+    fn mem_usage_tracks_buffered_traces() {
+        let mut p = TwoLevelPipeline::new(2, PipelineConfig::default());
+        assert_eq!(p.mem_usage().entries, 0);
+        for ts in [1u64, 2, 3] {
+            p.push(0, t(0, ts, ts + 1)).unwrap();
+        }
+        let u = p.mem_usage();
+        assert_eq!(u.entries, 3);
+        assert_eq!(u.bytes, 3 * TRACE_APPROX_BYTES as u64);
+        assert!(p.stats().peak_mem_bytes >= u.bytes);
+        p.close(0).unwrap();
+        p.close(1).unwrap();
+        let mut out = Vec::new();
+        p.drain_available(&mut out);
+        assert_eq!(p.mem_usage().entries, 0);
     }
 
     #[test]

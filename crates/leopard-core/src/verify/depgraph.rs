@@ -279,6 +279,15 @@ impl DepGraph {
         self.edge_count
     }
 
+    /// Cheap estimate of the graph's live memory: every node at its
+    /// inline size plus map-slot overhead, every edge at the size of its
+    /// adjacency entry.
+    #[must_use]
+    pub fn mem_usage(&self) -> crate::budget::MemUsage {
+        crate::budget::MemUsage::per_entry(self.nodes.len(), std::mem::size_of::<Node>() + 48)
+            + crate::budget::MemUsage::per_entry(self.edge_count, 24)
+    }
+
     /// Iterates the edges for inspection (tests, baselines).
     pub fn edges(&self) -> impl Iterator<Item = (TxnId, TxnId, u8)> + '_ {
         self.nodes

@@ -184,6 +184,18 @@ impl LockTable {
         self.locks.len()
     }
 
+    /// Cheap estimate of the table's live memory: every lock entry at
+    /// its inline size, plus map-slot overhead per locked record.
+    #[must_use]
+    pub fn mem_usage(&self) -> crate::budget::MemUsage {
+        let per_record = std::mem::size_of::<Key>() + 48;
+        crate::budget::MemUsage::per_entry(self.total, std::mem::size_of::<LockEntry>() + 8)
+            + crate::budget::MemUsage {
+                bytes: (self.locks.len() * per_record) as u64,
+                entries: 0,
+            }
+    }
+
     /// Flattens the table into plain-data snapshots, sorted by key.
     /// Per-key entry order (acquisition order) is preserved.
     #[must_use]

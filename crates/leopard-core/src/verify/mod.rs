@@ -23,9 +23,11 @@ pub use depgraph::{CertifierViolation, DepGraph, NodeSnap};
 pub use lock_table::{KeyLocks, LockCheck, LockEntry, LockTable};
 pub use txn_table::{MatchedRead, TxnInfo, TxnOutcome, TxnSnap, TxnTable};
 pub use version_store::{
-    KeyVersions, ReadMatch, RecordVersions, VersionClass, VersionEntry, VersionStore, VersionUid,
+    KeyVersions, PruneBreakdown, ReadMatch, RecordVersions, VersionClass, VersionEntry,
+    VersionStore, VersionUid,
 };
 
+use crate::budget::{BudgetCounters, MemBudget, MemUsage};
 use crate::catalog::{IsolationLevel, MechanismSet, SnapshotLevel};
 use crate::checkpoint::{Checkpoint, CheckpointError, PendingReadSnap, CHECKPOINT_VERSION};
 use crate::interval::{resolve_exclusive_pair, Interval, PairOrder};
@@ -70,6 +72,13 @@ pub struct VerifierConfig {
     /// Degraded mode may *miss* true violations but never fabricates one;
     /// the [`Coverage`] section of the outcome records every hole.
     pub degraded: bool,
+    /// Memory budget for the mirrored structures
+    /// ([`MemBudget::UNLIMITED`] disables governance). When the
+    /// estimated usage exceeds the budget, a garbage-collection pass is
+    /// forced immediately, off the `gc_every` cadence; the online
+    /// governor ([`crate::online`]) escalates further (force-dispatch,
+    /// client eviction) when GC alone is not enough.
+    pub mem_budget: MemBudget,
 }
 
 impl VerifierConfig {
@@ -92,6 +101,7 @@ impl VerifierConfig {
             minimal_candidate_set: true,
             clock_skew_bound: 0,
             degraded: false,
+            mem_budget: MemBudget::UNLIMITED,
         }
     }
 }
@@ -138,6 +148,11 @@ pub struct VerifyCounters {
     pub aborted: u64,
     /// Peak footprint observed at GC points.
     pub peak_footprint: usize,
+    /// Resource-governor counters: memory high-water marks and what the
+    /// overload ladder had to do (forced GC, forced dispatch, shedding,
+    /// budget evictions). Part of the checkpoint image, so they survive
+    /// resume.
+    pub budget: BudgetCounters,
 }
 
 /// Maximum number of human-readable notes retained in [`Coverage`];
@@ -391,6 +406,42 @@ impl Verifier {
         if self.cfg.gc && self.counters.traces.is_multiple_of(self.cfg.gc_every) {
             self.collect_garbage();
         }
+        // Budget governance, rung 1: all the count accessors behind
+        // `mem_usage` are O(1), so re-checking after every trace is cheap.
+        // The high-water mark is observed *after* enforcement: it measures
+        // the governed steady-state footprint, not the transient spike a
+        // forced GC exists to remove.
+        let mut usage = self.mem_usage();
+        if self.cfg.mem_budget.exceeded_by(usage) {
+            self.force_gc();
+            usage = self.mem_usage();
+        }
+        self.counters.budget.observe(usage);
+    }
+
+    /// Forces a garbage-collection pass immediately, off the periodic
+    /// `gc_every` cadence — rung 1 of the overload ladder.
+    pub fn force_gc(&mut self) {
+        self.counters.budget.forced_gcs += 1;
+        self.collect_garbage();
+    }
+
+    /// Folds an externally measured usage sample (e.g. verifier plus
+    /// pipeline, from the online governor) into the budget high-water
+    /// marks carried by the checkpointable counters.
+    pub fn observe_usage(&mut self, usage: MemUsage) {
+        self.counters.budget.observe(usage);
+    }
+
+    /// Cheap estimate of the verifier's live memory across the four
+    /// mirrored mechanism structures and the deferred read checks.
+    #[must_use]
+    pub fn mem_usage(&self) -> MemUsage {
+        self.versions.mem_usage()
+            + self.locks.mem_usage()
+            + self.graph.mem_usage()
+            + self.txns.mem_usage()
+            + MemUsage::per_entry(self.pending_reads.len(), 96)
     }
 
     /// Flushes every remaining deferred check and returns the outcome.
@@ -421,6 +472,37 @@ impl Verifier {
             self.coverage
                 .push_note(format!("evicted: {client} force-closed by stall timeout"));
         }
+    }
+
+    /// Records that `client` was evicted by rung 3 of the overload
+    /// ladder: the memory budget was still exceeded after forced GC and
+    /// forced dispatch, so the laggiest client was sacrificed. The hole
+    /// is counted separately from stall-timeout evictions.
+    pub fn note_budget_eviction(&mut self, client: ClientId) {
+        self.counters.budget.budget_evictions += 1;
+        if !self.coverage.evicted_clients.contains(&client) {
+            self.coverage.evicted_clients.push(client);
+            self.coverage.evicted_clients.sort_unstable();
+            self.coverage.push_note(format!(
+                "evicted: {client} force-closed under memory pressure"
+            ));
+        }
+    }
+
+    /// Folds `n` newly shed traces (lossy backpressure, post-shutdown
+    /// records, forced-dispatch stragglers) into the budget counters so
+    /// they survive checkpoint/resume.
+    pub fn note_shed_traces(&mut self, n: u64) {
+        if n > 0 {
+            self.counters.budget.shed_traces += n;
+            self.coverage
+                .push_note(format!("shed: {n} traces dropped under backpressure"));
+        }
+    }
+
+    /// Counts a pipeline force-dispatch (rung 2) in the budget counters.
+    pub fn note_forced_dispatch(&mut self) {
+        self.counters.budget.forced_dispatches += 1;
     }
 
     /// The coverage accumulated so far (finalised, with indeterminate

@@ -159,6 +159,14 @@ impl TxnTable {
         self.txns.is_empty()
     }
 
+    /// Cheap estimate of the table's live memory: every tracked
+    /// transaction at its inline size plus a flat allowance for its key
+    /// sets and own-write map.
+    #[must_use]
+    pub fn mem_usage(&self) -> crate::budget::MemUsage {
+        crate::budget::MemUsage::per_entry(self.txns.len(), std::mem::size_of::<TxnInfo>() + 192)
+    }
+
     /// The earliest snapshot-generation `ts_bef` among transactions that
     /// have not terminated yet — the verifier's GC low watermark. `None`
     /// when no transaction is active.

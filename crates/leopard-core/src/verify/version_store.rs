@@ -196,6 +196,25 @@ pub struct KeyVersions {
     pub entries: Vec<VersionEntry>,
 }
 
+/// What one [`VersionStore::prune`] pass removed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PruneBreakdown {
+    /// Version entries dropped from surviving records (certainly-dead
+    /// versions below the pivot).
+    pub versions: usize,
+    /// Whole records removed from the store because no version remained
+    /// (every version they ever held was aborted).
+    pub records: usize,
+}
+
+impl PruneBreakdown {
+    /// Total removals, versions and records combined.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.versions + self.records
+    }
+}
+
 /// The mirrored multi-version store for all records.
 #[derive(Debug, Default)]
 pub struct VersionStore {
@@ -287,6 +306,11 @@ impl VersionStore {
                 let removed = before - rec.entries.len();
                 self.pending -= removed;
                 self.total -= removed;
+                if removed > 0 {
+                    // The record may now be an empty husk (every version
+                    // aborted); mark it so the next prune can drop it.
+                    self.dirty.insert(*key);
+                }
             }
         }
     }
@@ -466,13 +490,19 @@ impl VersionStore {
     /// version may be the one the DBMS actually serves). Only versions
     /// certainly before the pivot (garbage) are removed.
     ///
-    /// Returns the number of versions removed.
-    pub fn prune(&mut self, low: Timestamp) -> usize {
-        let mut removed = 0;
+    /// Returns a [`PruneBreakdown`] of what was removed.
+    pub fn prune(&mut self, low: Timestamp) -> PruneBreakdown {
+        let mut out = PruneBreakdown::default();
         for key in self.dirty.drain() {
             let Some(rec) = self.records.get_mut(&key) else {
                 continue;
             };
+            if rec.entries.is_empty() {
+                // An empty husk: every version it ever held was aborted.
+                self.records.remove(&key);
+                out.records += 1;
+                continue;
+            }
             // The pivot: latest old version by visibility after-timestamp.
             let Some(pivot_vis) = rec
                 .entries
@@ -496,7 +526,7 @@ impl VersionStore {
                 // as "certainly before" themselves.
                 vis == pivot_vis || !vis.certainly_before(&pivot_vis)
             });
-            removed += before - rec.entries.len();
+            out.versions += before - rec.entries.len();
             // Reader lists on surviving old versions are stale: those
             // reads have been fully processed (their rw edges derived).
             for e in &mut rec.entries {
@@ -506,8 +536,22 @@ impl VersionStore {
                 }
             }
         }
-        self.total -= removed;
-        removed
+        self.total -= out.versions;
+        out
+    }
+
+    /// Cheap estimate of the store's live memory: every version entry at
+    /// its inline size plus a flat allowance for its reader list, and
+    /// every record at its map-slot overhead.
+    #[must_use]
+    pub fn mem_usage(&self) -> crate::budget::MemUsage {
+        let per_version = std::mem::size_of::<VersionEntry>() + 32;
+        let per_record = std::mem::size_of::<RecordVersions>() + 48;
+        crate::budget::MemUsage::per_entry(self.total, per_version)
+            + crate::budget::MemUsage {
+                bytes: (self.records.len() * per_record) as u64,
+                entries: 0,
+            }
     }
 
     /// Total number of mirrored versions (footprint metric), O(1).
@@ -757,7 +801,8 @@ mod tests {
         put(&mut store, 1, 2, 3, (20, 21), (22, 23));
         put(&mut store, 1, 3, 4, (90, 91), (92, 93));
         let removed = store.prune(Timestamp(50));
-        assert_eq!(removed, 2); // initial + value 1 dropped
+        assert_eq!(removed.versions, 2); // initial + value 1 dropped
+        assert_eq!(removed.records, 0);
         let rec = store.record(Key(1)).unwrap();
         assert_eq!(rec.entries().len(), 2);
         assert_eq!(rec.entries()[0].value, Value(2)); // surviving pivot
@@ -789,5 +834,118 @@ mod tests {
             store.check_read(Key(99), Value(1), &iv(0, 1), true),
             ReadMatch::Violation { .. }
         ));
+    }
+
+    #[test]
+    fn prune_exactly_at_watermark_boundary_keeps_boundary_version() {
+        let mut store = VersionStore::default();
+        store.preload(Key(1), Value(0));
+        put(&mut store, 1, 1, 2, (10, 11), (12, 13));
+        put(&mut store, 1, 2, 3, (20, 21), (22, 23));
+        // low == vis.hi of value 2's version (23): `hi < low` is false, so
+        // the boundary version is "recent" and must survive; value 1
+        // (hi = 13 < 23) becomes the pivot and survives; only the initial
+        // version is certainly before the pivot.
+        let removed = store.prune(Timestamp(23));
+        assert_eq!(
+            removed,
+            PruneBreakdown {
+                versions: 1,
+                records: 0
+            }
+        );
+        let values: Vec<Value> = store
+            .record(Key(1))
+            .unwrap()
+            .entries()
+            .iter()
+            .map(|e| e.value)
+            .collect();
+        assert_eq!(values, vec![Value(1), Value(2)]);
+        // One past the boundary: now value 2 is old, becomes the pivot,
+        // and value 1 is certainly before it.
+        store.install(Key(1), Value(3), TxnId(9), iv(100, 101), iv(100, 101));
+        store.commit(TxnId(9), &[Key(1)], iv(102, 103));
+        let removed = store.prune(Timestamp(24));
+        assert_eq!(removed.versions, 1);
+        assert_eq!(store.record(Key(1)).unwrap().entries()[0].value, Value(2));
+    }
+
+    #[test]
+    fn prune_is_idempotent_and_only_revisits_dirty_keys() {
+        let mut store = VersionStore::default();
+        store.preload(Key(1), Value(0));
+        put(&mut store, 1, 1, 2, (10, 11), (12, 13));
+        put(&mut store, 1, 2, 3, (20, 21), (22, 23));
+        assert_eq!(store.prune(Timestamp(50)).versions, 2);
+        // Nothing is dirty any more: a second pass with a higher horizon
+        // must be a no-op until the key is touched again.
+        assert_eq!(store.prune(Timestamp(500)).total(), 0);
+        assert_eq!(store.version_count(), 1);
+    }
+
+    #[test]
+    fn prune_drops_record_emptied_by_aborts() {
+        let mut store = VersionStore::default();
+        store.install(Key(7), Value(1), TxnId(2), iv(10, 11), iv(10, 11));
+        store.abort(TxnId(2), &[Key(7)]);
+        assert_eq!(store.record_count(), 1, "empty husk still in the map");
+        let removed = store.prune(Timestamp(0));
+        assert_eq!(
+            removed,
+            PruneBreakdown {
+                versions: 0,
+                records: 1
+            }
+        );
+        assert_eq!(store.record_count(), 0);
+        assert_eq!(store.version_count(), 0);
+    }
+
+    #[test]
+    fn committed_adjacency_and_successor_survive_pruning() {
+        let mut store = VersionStore::default();
+        store.preload(Key(1), Value(0));
+        put(&mut store, 1, 1, 2, (10, 11), (12, 13));
+        put(&mut store, 1, 2, 3, (20, 21), (22, 23));
+        put(&mut store, 1, 3, 4, (90, 91), (92, 93));
+        let pivot_uid = store
+            .record(Key(1))
+            .unwrap()
+            .entries()
+            .iter()
+            .find(|e| e.value == Value(2))
+            .unwrap()
+            .uid;
+        assert_eq!(store.prune(Timestamp(50)).versions, 2);
+        // The pivot chain is intact: value 2 -> value 3 adjacency still
+        // resolves for the surviving suffix of the version order.
+        let succ = store.committed_successor(Key(1), pivot_uid).unwrap();
+        assert_eq!(succ.value, Value(3));
+        let (pred, succ) = store.committed_adjacency(Key(1), TxnId(4)).unwrap();
+        assert_eq!(pred.txn, TxnId(3));
+        assert_eq!(succ.txn, TxnId(4));
+    }
+
+    #[test]
+    fn mem_usage_shrinks_after_prune() {
+        let mut store = VersionStore::default();
+        store.preload(Key(1), Value(0));
+        for i in 0..20u64 {
+            put(
+                &mut store,
+                1,
+                i + 1,
+                i + 2,
+                (10 * i, 10 * i + 1),
+                (10 * i + 2, 10 * i + 3),
+            );
+        }
+        let before = store.mem_usage();
+        assert_eq!(before.entries, 21);
+        store.prune(Timestamp(1_000));
+        let after = store.mem_usage();
+        assert!(after.bytes < before.bytes);
+        assert_eq!(after.entries as usize, store.version_count());
     }
 }

@@ -45,6 +45,12 @@ pub struct RunStats {
     pub traces_dropped: u64,
     /// Trace deliveries duplicated by the chaotic transport.
     pub traces_duplicated: u64,
+    /// Peak estimated pipeline memory (bytes) reported by the tracer the
+    /// run fed, when one was attached; 0 otherwise.
+    pub peak_mem_bytes: u64,
+    /// Traces shed by the pipeline: backpressure/shutdown drops plus
+    /// late arrivals below a forced-dispatch floor.
+    pub shed_traces: u64,
     /// Wall-clock time of the run.
     pub wall: Duration,
 }
@@ -58,6 +64,13 @@ impl RunStats {
         } else {
             self.committed as f64 / self.wall.as_secs_f64()
         }
+    }
+
+    /// Folds the pipeline's resource counters into the run statistics,
+    /// so one struct carries both the workload view and the tracer view.
+    pub fn absorb_pipeline(&mut self, p: &leopard_core::PipelineStats) {
+        self.peak_mem_bytes = self.peak_mem_bytes.max(p.peak_mem_bytes);
+        self.shed_traces += p.shed_traces + p.late_dropped;
     }
 }
 

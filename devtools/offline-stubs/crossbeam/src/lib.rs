@@ -1,8 +1,9 @@
 //! Offline stand-in for `crossbeam`: just the `channel` module surface this
-//! workspace uses (`unbounded`, clonable `Sender`/`Receiver`, `try_recv`),
-//! implemented over a mutex-guarded queue.
+//! workspace uses (`unbounded`, `bounded`, clonable `Sender`/`Receiver`,
+//! `send`/`try_send`, `recv`/`try_recv`, `len`), implemented over a
+//! mutex-guarded queue.
 
-/// Multi-producer multi-consumer unbounded channels.
+/// Multi-producer multi-consumer channels, unbounded or bounded.
 pub mod channel {
     use std::collections::VecDeque;
     use std::sync::atomic::{AtomicUsize, Ordering};
@@ -10,8 +11,15 @@ pub mod channel {
 
     struct Inner<T> {
         queue: Mutex<VecDeque<T>>,
+        /// Signalled when a message is enqueued (wakes blocked receivers).
         ready: Condvar,
+        /// Signalled when space frees up or a receiver drops (wakes
+        /// senders blocked on a full bounded channel).
+        space: Condvar,
         senders: AtomicUsize,
+        receivers: AtomicUsize,
+        /// Capacity; 0 means unbounded.
+        cap: usize,
     }
 
     /// Sending half; clonable.
@@ -32,11 +40,18 @@ pub mod channel {
         }
     }
 
-    /// Error returned by [`Sender::send`] when all receivers are gone.
-    /// (This stub never reports disconnection on send; it exists for
-    /// signature compatibility.)
+    /// Error returned by [`Sender::send`] when every receiver is gone.
     #[derive(Debug, PartialEq, Eq)]
     pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Sender::try_send`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The (bounded) channel is at capacity.
+        Full(T),
+        /// Every receiver has been dropped.
+        Disconnected(T),
+    }
 
     /// Error returned by [`Receiver::try_recv`].
     #[derive(Debug, PartialEq, Eq, Clone, Copy)]
@@ -52,14 +67,28 @@ pub mod channel {
     #[derive(Debug, PartialEq, Eq, Clone, Copy)]
     pub struct RecvError;
 
-    /// Creates an unbounded channel.
-    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    fn channel<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
         let inner = Arc::new(Inner {
             queue: Mutex::new(VecDeque::new()),
             ready: Condvar::new(),
+            space: Condvar::new(),
             senders: AtomicUsize::new(1),
+            receivers: AtomicUsize::new(1),
+            cap,
         });
         (Sender(Arc::clone(&inner)), Receiver(inner))
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        channel(0)
+    }
+
+    /// Creates a bounded channel of capacity `cap` (must be non-zero:
+    /// this stub does not implement rendezvous channels).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(cap > 0, "offline-stub bounded channel needs capacity > 0");
+        channel(cap)
     }
 
     impl<T> Clone for Sender<T> {
@@ -80,12 +109,43 @@ pub mod channel {
     }
 
     impl<T> Sender<T> {
-        /// Enqueues a message; never blocks.
+        /// Enqueues a message, blocking while a bounded channel is full.
+        /// Errors once every receiver has been dropped.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
             let mut q = match self.0.queue.lock() {
                 Ok(g) => g,
                 Err(p) => p.into_inner(),
             };
+            loop {
+                if self.0.receivers.load(Ordering::SeqCst) == 0 {
+                    return Err(SendError(value));
+                }
+                if self.0.cap == 0 || q.len() < self.0.cap {
+                    q.push_back(value);
+                    drop(q);
+                    self.0.ready.notify_one();
+                    return Ok(());
+                }
+                q = match self.0.space.wait(q) {
+                    Ok(g) => g,
+                    Err(p) => p.into_inner(),
+                };
+            }
+        }
+
+        /// Enqueues without blocking; fails on a full bounded channel or
+        /// when every receiver has been dropped.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut q = match self.0.queue.lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+            if self.0.receivers.load(Ordering::SeqCst) == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            if self.0.cap != 0 && q.len() >= self.0.cap {
+                return Err(TrySendError::Full(value));
+            }
             q.push_back(value);
             drop(q);
             self.0.ready.notify_one();
@@ -95,7 +155,18 @@ pub mod channel {
 
     impl<T> Clone for Receiver<T> {
         fn clone(&self) -> Self {
+            self.0.receivers.fetch_add(1, Ordering::SeqCst);
             Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            if self.0.receivers.fetch_sub(1, Ordering::SeqCst) == 1 {
+                // last receiver gone: wake blocked senders so they observe
+                // disconnection
+                self.0.space.notify_all();
+            }
         }
     }
 
@@ -107,7 +178,11 @@ pub mod channel {
                 Err(p) => p.into_inner(),
             };
             match q.pop_front() {
-                Some(v) => Ok(v),
+                Some(v) => {
+                    drop(q);
+                    self.0.space.notify_one();
+                    Ok(v)
+                }
                 None if self.0.senders.load(Ordering::SeqCst) == 0 => {
                     Err(TryRecvError::Disconnected)
                 }
@@ -123,6 +198,8 @@ pub mod channel {
             };
             loop {
                 if let Some(v) = q.pop_front() {
+                    drop(q);
+                    self.0.space.notify_one();
                     return Ok(v);
                 }
                 if self.0.senders.load(Ordering::SeqCst) == 0 {
@@ -133,6 +210,19 @@ pub mod channel {
                     Err(p) => p.into_inner(),
                 };
             }
+        }
+
+        /// Number of messages currently buffered.
+        pub fn len(&self) -> usize {
+            match self.0.queue.lock() {
+                Ok(g) => g.len(),
+                Err(p) => p.into_inner().len(),
+            }
+        }
+
+        /// True when no messages are buffered.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
         }
     }
 }
