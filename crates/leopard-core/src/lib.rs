@@ -59,6 +59,7 @@ pub mod catalog;
 pub mod checkpoint;
 pub mod fxhash;
 pub mod interval;
+pub mod lockwitness;
 pub mod online;
 pub mod pipeline;
 pub mod preflight;
@@ -75,6 +76,7 @@ pub use catalog::{
 };
 pub use checkpoint::{Checkpoint, CheckpointError, PendingReadSnap, CHECKPOINT_VERSION};
 pub use interval::{Interval, PairOrder};
+pub use lockwitness::{TrackedMutex, TrackedMutexGuard};
 pub use online::{FinishTimeout, OnlineLeopard, OnlineOptions};
 pub use pipeline::{
     Backpressure, ChannelTracer, ClientHandle, PipelineConfig, PipelineStats, TwoLevelPipeline,

@@ -1,0 +1,353 @@
+//! Runtime lock-order witness — the executable half of the L101 story.
+//!
+//! `leopard-lint`'s L101 pass derives an *acquired-while-held* graph
+//! from source text; this module cross-checks it from the running
+//! program. Every lock that matters is wrapped in a [`TrackedMutex`]
+//! carrying the same stable identity the static pass uses
+//! (`Owner.field`, e.g. `"Storage.map"`). In debug builds each
+//! acquisition records, per thread, which locks were already held: the
+//! resulting edge set must be consistent with (a subset of, or at least
+//! acyclic together with) the static graph, and an actual inversion —
+//! lock B taken while A is held on one thread, after A was taken while
+//! B was held on another — is reported immediately via
+//! [`order_violations`]. The test suites assert both directions: no
+//! runtime violations, and no observed edge the static pass cannot
+//! explain.
+//!
+//! In release builds the wrapper compiles down to a plain
+//! `parking_lot::Mutex` — no thread-local bookkeeping, no global
+//! registry, zero overhead on the verification hot path.
+//!
+//! The witness state is process-global. Tests that inspect it should
+//! use uniquely-named locks and filter [`observed_edges`] rather than
+//! call [`reset`], which races against concurrently-running tests.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+#[cfg(debug_assertions)]
+mod witness {
+    use std::cell::RefCell;
+    use std::sync::{Mutex, PoisonError};
+
+    // Const-initialized std mutexes: usable from any thread at any time,
+    // including before main in other statics' initializers.
+    static EDGES: Mutex<Vec<(&'static str, &'static str)>> = Mutex::new(Vec::new());
+    static VIOLATIONS: Mutex<Vec<String>> = Mutex::new(Vec::new());
+    static LOCKS: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
+
+    thread_local! {
+        static HELD: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+    }
+
+    fn un<T>(r: Result<T, PoisonError<T>>) -> T {
+        r.unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Records the intent to acquire `name`: registers the lock, adds an
+    /// acquired-while-held edge for every lock this thread holds, and
+    /// detects inversions against previously observed edges. Called
+    /// *before* blocking on the inner mutex so that an actual deadlock
+    /// still leaves the evidence behind.
+    pub(super) fn before_acquire(name: &'static str) {
+        {
+            let mut locks = un(LOCKS.lock());
+            if !locks.contains(&name) {
+                locks.push(name);
+            }
+        }
+        let held: Vec<&'static str> = HELD.with(|h| h.borrow().clone());
+        if held.is_empty() {
+            return;
+        }
+        let mut new_violations = Vec::new();
+        {
+            let mut edges = un(EDGES.lock());
+            for &from in &held {
+                if from == name {
+                    new_violations.push(format!(
+                        "recursive acquisition of {name} on one thread (self-deadlock)"
+                    ));
+                }
+                if !edges.contains(&(from, name)) {
+                    edges.push((from, name));
+                }
+                if from != name && edges.contains(&(name, from)) {
+                    new_violations.push(format!(
+                        "lock-order inversion: {name} acquired while {from} is held, \
+                         but {from} was previously acquired while {name} was held"
+                    ));
+                }
+            }
+        }
+        if !new_violations.is_empty() {
+            un(VIOLATIONS.lock()).extend(new_violations);
+        }
+    }
+
+    /// Marks `name` as held by this thread (called after the inner
+    /// mutex is actually acquired).
+    pub(super) fn acquired(name: &'static str) {
+        HELD.with(|h| h.borrow_mut().push(name));
+    }
+
+    /// Removes the most recent hold of `name` on this thread.
+    pub(super) fn release(name: &'static str) {
+        HELD.with(|h| {
+            let mut held = h.borrow_mut();
+            if let Some(pos) = held.iter().rposition(|&n| n == name) {
+                held.remove(pos);
+            }
+        });
+    }
+
+    pub(super) fn edges() -> Vec<(&'static str, &'static str)> {
+        un(EDGES.lock()).clone()
+    }
+
+    pub(super) fn violations() -> Vec<String> {
+        un(VIOLATIONS.lock()).clone()
+    }
+
+    pub(super) fn locks() -> Vec<&'static str> {
+        un(LOCKS.lock()).clone()
+    }
+
+    pub(super) fn reset() {
+        un(EDGES.lock()).clear();
+        un(VIOLATIONS.lock()).clear();
+        un(LOCKS.lock()).clear();
+    }
+}
+
+/// A mutex with a stable identity, tracked by the debug-build
+/// lock-order witness. Release builds see a plain `parking_lot::Mutex`.
+pub struct TrackedMutex<T> {
+    name: &'static str,
+    inner: parking_lot::Mutex<T>,
+}
+
+impl<T> TrackedMutex<T> {
+    /// Creates a tracked mutex. `name` is the identity the static
+    /// analyzer uses for this lock: `Owner.field` for struct fields
+    /// (e.g. `"Storage.map"`), `static.NAME` for statics.
+    #[must_use]
+    pub const fn new(name: &'static str, value: T) -> Self {
+        TrackedMutex {
+            name,
+            inner: parking_lot::Mutex::new(value),
+        }
+    }
+
+    /// The lock's witness identity.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Acquires the lock. Never poisons; in debug builds the
+    /// acquisition is recorded by the lock-order witness.
+    pub fn lock(&self) -> TrackedMutexGuard<'_, T> {
+        #[cfg(debug_assertions)]
+        witness::before_acquire(self.name);
+        let guard = self.inner.lock();
+        #[cfg(debug_assertions)]
+        witness::acquired(self.name);
+        TrackedMutexGuard {
+            guard,
+            name: self.name,
+        }
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    #[must_use]
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner()
+    }
+
+    /// Mutable access without locking (requires exclusive ownership, so
+    /// no tracking is needed).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut()
+    }
+}
+
+impl<T> fmt::Debug for TrackedMutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("TrackedMutex").field(&self.name).finish()
+    }
+}
+
+/// Guard returned by [`TrackedMutex::lock`]; releases the hold record
+/// (debug builds) and the inner mutex on drop.
+pub struct TrackedMutexGuard<'a, T> {
+    guard: parking_lot::MutexGuard<'a, T>,
+    name: &'static str,
+}
+
+impl<T> TrackedMutexGuard<'_, T> {
+    /// The identity of the lock this guard holds.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+impl<T> Deref for TrackedMutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T> DerefMut for TrackedMutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+impl<T> Drop for TrackedMutexGuard<'_, T> {
+    fn drop(&mut self) {
+        #[cfg(debug_assertions)]
+        witness::release(self.name);
+        // The inner parking_lot guard is released by its own drop glue,
+        // after this runs — the hold record never outlives the hold.
+    }
+}
+
+/// Every acquired-while-held edge observed so far, as `(held, acquired)`
+/// witness identities. Empty in release builds.
+#[must_use]
+pub fn observed_edges() -> Vec<(&'static str, &'static str)> {
+    #[cfg(debug_assertions)]
+    {
+        witness::edges()
+    }
+    #[cfg(not(debug_assertions))]
+    {
+        Vec::new()
+    }
+}
+
+/// Lock-order violations observed so far: inversions between threads
+/// and same-thread recursive acquisitions. Empty in release builds.
+#[must_use]
+pub fn order_violations() -> Vec<String> {
+    #[cfg(debug_assertions)]
+    {
+        witness::violations()
+    }
+    #[cfg(not(debug_assertions))]
+    {
+        Vec::new()
+    }
+}
+
+/// Every lock identity that has been acquired at least once. Empty in
+/// release builds.
+#[must_use]
+pub fn registered_locks() -> Vec<&'static str> {
+    #[cfg(debug_assertions)]
+    {
+        witness::locks()
+    }
+    #[cfg(not(debug_assertions))]
+    {
+        Vec::new()
+    }
+}
+
+/// Clears all witness state. Races against concurrently-running tests
+/// in the same process — prefer uniquely-named locks plus filtering in
+/// assertions; this exists for single-threaded harnesses.
+pub fn reset() {
+    #[cfg(debug_assertions)]
+    witness::reset();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // All tests use the `lw_test_` prefix and filter on it: the witness
+    // registry is process-global and other tests run concurrently.
+
+    #[test]
+    fn nested_acquisition_records_an_edge() {
+        let a = TrackedMutex::new("lw_test_edge.a", 0u32);
+        let b = TrackedMutex::new("lw_test_edge.b", 0u32);
+        {
+            let _ga = a.lock();
+            let _gb = b.lock();
+        }
+        if cfg!(debug_assertions) {
+            assert!(observed_edges().contains(&("lw_test_edge.a", "lw_test_edge.b")));
+            assert!(registered_locks().contains(&"lw_test_edge.a"));
+            assert!(registered_locks().contains(&"lw_test_edge.b"));
+        } else {
+            assert!(observed_edges().is_empty());
+        }
+    }
+
+    #[test]
+    fn sequential_acquisition_records_no_edge() {
+        let a = TrackedMutex::new("lw_test_seq.a", 0u32);
+        let b = TrackedMutex::new("lw_test_seq.b", 0u32);
+        {
+            let _ga = a.lock();
+        }
+        {
+            let _gb = b.lock();
+        }
+        assert!(!observed_edges()
+            .iter()
+            .any(|(f, t)| f.starts_with("lw_test_seq") && t.starts_with("lw_test_seq")));
+    }
+
+    #[test]
+    fn inversion_is_reported() {
+        let a = TrackedMutex::new("lw_test_inv.a", 0u32);
+        let b = TrackedMutex::new("lw_test_inv.b", 0u32);
+        {
+            let _ga = a.lock();
+            let _gb = b.lock();
+        }
+        {
+            let _gb = b.lock();
+            let _ga = a.lock();
+        }
+        if cfg!(debug_assertions) {
+            assert!(
+                order_violations().iter().any(|v| v.contains("lw_test_inv")),
+                "{:?}",
+                order_violations()
+            );
+        }
+    }
+
+    #[test]
+    fn guard_drop_clears_the_hold() {
+        let a = TrackedMutex::new("lw_test_drop.a", 0u32);
+        let b = TrackedMutex::new("lw_test_drop.b", 0u32);
+        {
+            let g = a.lock();
+            drop(g);
+            let _gb = b.lock();
+        }
+        assert!(!observed_edges().contains(&("lw_test_drop.a", "lw_test_drop.b")));
+    }
+
+    #[test]
+    fn guard_derefs_and_names() {
+        let m = TrackedMutex::new("lw_test_deref.m", vec![1u32]);
+        {
+            let mut g = m.lock();
+            g.push(2);
+            assert_eq!(g.name(), "lw_test_deref.m");
+            assert_eq!(*g, vec![1, 2]);
+        }
+        assert_eq!(m.name(), "lw_test_deref.m");
+        assert_eq!(m.into_inner(), vec![1, 2]);
+    }
+}

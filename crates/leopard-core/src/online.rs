@@ -28,6 +28,7 @@
 //! assert!(outcome.report.is_clean());
 //! ```
 
+use crate::lockwitness::TrackedMutex;
 use crate::pipeline::{Backpressure, ChannelTracer, ClientHandle, PipelineConfig, PipelineStats};
 use crate::types::{ClientId, Key, Value};
 use crate::verify::{Verifier, VerifierConfig, VerifyOutcome};
@@ -35,7 +36,7 @@ use std::fmt;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Degradation and checkpoint knobs for the online chain.
@@ -96,7 +97,7 @@ impl fmt::Display for FinishTimeout {
 impl std::error::Error for FinishTimeout {}
 
 /// State shared between the verifier thread and the front-end handle.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct Shared {
     /// Set by the front end to force-evict every open client (used by
     /// [`OnlineLeopard::finish_with_timeout`] to guarantee termination).
@@ -105,7 +106,17 @@ struct Shared {
     /// once the checkpoint is written.
     checkpoint: AtomicBool,
     /// Clients whose streams were open at the worker's last poll.
-    open: Mutex<Vec<ClientId>>,
+    open: TrackedMutex<Vec<ClientId>>,
+}
+
+impl Default for Shared {
+    fn default() -> Self {
+        Shared {
+            force_evict: AtomicBool::new(false),
+            checkpoint: AtomicBool::new(false),
+            open: TrackedMutex::new("Shared.open", Vec::new()),
+        }
+    }
 }
 
 /// A running Tracer→Verifier chain.
@@ -247,7 +258,7 @@ impl OnlineLeopard {
                         .into_iter()
                         .map(|i| ClientId(i as u32))
                         .collect();
-                    *shared.open.lock().expect("open-clients lock") = open;
+                    *shared.open.lock() = open;
                 }
                 if !live {
                     break;
@@ -326,6 +337,7 @@ impl OnlineLeopard {
     /// Like [`OnlineLeopard::finish`], also returning pipeline statistics.
     #[must_use]
     pub fn finish_with_stats(self) -> (VerifyOutcome, PipelineStats) {
+        // lint: allow(L001): re-raising a worker-thread panic is the only sane join policy
         self.worker.join().expect("verifier thread panicked")
     }
 
@@ -339,12 +351,14 @@ impl OnlineLeopard {
         timeout: Duration,
     ) -> Result<(VerifyOutcome, PipelineStats), Box<FinishTimeout>> {
         match self.done.recv_timeout(timeout) {
+            // lint: allow(L001): re-raising a worker-thread panic is the only sane join policy
             Ok(()) => Ok(self.worker.join().expect("verifier thread panicked")),
             Err(mpsc::RecvTimeoutError::Timeout) => {
-                let pinning = self.shared.open.lock().expect("open-clients lock").clone();
+                let pinning = self.shared.open.lock().clone();
                 self.shared.force_evict.store(true, Ordering::SeqCst);
                 // The worker evicts every open client on its next loop
                 // iteration, drains, and completes.
+                // lint: allow(L001): re-raising a worker-thread panic is the only sane join policy
                 let (outcome, stats) = self.worker.join().expect("verifier thread panicked");
                 Err(Box::new(FinishTimeout {
                     pinning,
@@ -355,6 +369,7 @@ impl OnlineLeopard {
             Err(mpsc::RecvTimeoutError::Disconnected) => {
                 // The worker died without sending; join to surface the
                 // panic.
+                // lint: allow(L001): re-raising a worker-thread panic is the only sane join policy
                 Ok(self.worker.join().expect("verifier thread panicked"))
             }
         }

@@ -18,8 +18,8 @@ use crate::faults::{FaultKind, FaultPlan};
 use crate::storage::{Record, Storage, StoredVersion};
 use crate::txn::{AbortReason, TxnMeta, TxnState};
 use leopard_core::fxhash::FxHashMap;
+use leopard_core::lockwitness::TrackedMutex;
 use leopard_core::{IsolationLevel, Key, TxnId, Value};
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -87,7 +87,7 @@ pub struct Database {
     commit_counter: AtomicU64,
     txn_counter: AtomicU64,
     /// Active transactions, for min-snapshot computation.
-    active: Mutex<FxHashMap<TxnId, Arc<TxnMeta>>>,
+    active: TrackedMutex<FxHashMap<TxnId, Arc<TxnMeta>>>,
     commits_since_prune: AtomicU64,
 }
 
@@ -111,7 +111,7 @@ impl Database {
             commit_counter: AtomicU64::new(0),
             // TxnId(0) is reserved for the initial state.
             txn_counter: AtomicU64::new(1),
-            active: Mutex::new(FxHashMap::default()),
+            active: TrackedMutex::new("Database.active", FxHashMap::default()),
             commits_since_prune: AtomicU64::new(0),
         })
     }

@@ -7,10 +7,10 @@
 //! so the test suite can demonstrate that Leopard flags them while a pure
 //! dependency-cycle checker does not.
 
+use leopard_core::lockwitness::TrackedMutex;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 
 /// The mechanism violations the engine can be told to commit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -73,7 +73,13 @@ enum Trigger {
     /// On every opportunity.
     Always,
     /// With probability `p` per opportunity (seeded, reproducible).
-    Probability(f64, Mutex<SmallRng>),
+    Probability {
+        /// Per-opportunity firing probability, clamped to `[0, 1]`.
+        p: f64,
+        /// Seeded generator; locked per draw so a plan can be shared
+        /// across engine sessions.
+        rng: TrackedMutex<SmallRng>,
+    },
     /// Exactly on the `n`-th opportunity (1-based), once.
     Nth(u64),
 }
@@ -103,7 +109,7 @@ impl FaultEntry {
         let n = self.opportunities.fetch_add(1, Ordering::Relaxed) + 1;
         let fire = match &self.trigger {
             Trigger::Always => true,
-            Trigger::Probability(p, rng) => rng.lock().expect("rng lock").random_bool(*p),
+            Trigger::Probability { p, rng } => rng.lock().random_bool(*p),
             Trigger::Nth(target) => n == *target,
         };
         if fire {
@@ -162,7 +168,10 @@ impl FaultPlan {
     pub fn and_with_probability(mut self, kind: FaultKind, p: f64, seed: u64) -> FaultPlan {
         self.entries.push(FaultEntry::new(
             kind,
-            Trigger::Probability(p.clamp(0.0, 1.0), Mutex::new(SmallRng::seed_from_u64(seed))),
+            Trigger::Probability {
+                p: p.clamp(0.0, 1.0),
+                rng: TrackedMutex::new("Trigger.rng", SmallRng::seed_from_u64(seed)),
+            },
         ));
         self
     }

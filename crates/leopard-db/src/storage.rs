@@ -1,14 +1,15 @@
 //! The multi-version record store underneath the engine.
 //!
-//! One global ordered map guarded by a `parking_lot::Mutex` keeps every
+//! One global ordered map guarded by a [`TrackedMutex`] (a
+//! `parking_lot::Mutex` under the debug-build lock-order witness) keeps every
 //! record's committed version chain, pending (uncommitted) writes, the
 //! exclusive-lock holder, and the SIREAD-style reader list used by the
 //! SSI certifier. Operations hold the mutex only for their critical
 //! section; lock *waiting* happens outside it (see `engine`).
 
 use crate::txn::TxnMeta;
+use leopard_core::lockwitness::TrackedMutex;
 use leopard_core::{Key, TxnId, Value};
-use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -88,9 +89,17 @@ impl Record {
 }
 
 /// The record map.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Storage {
-    map: Mutex<BTreeMap<Key, Record>>,
+    map: TrackedMutex<BTreeMap<Key, Record>>,
+}
+
+impl Default for Storage {
+    fn default() -> Self {
+        Storage {
+            map: TrackedMutex::new("Storage.map", BTreeMap::new()),
+        }
+    }
 }
 
 impl Storage {

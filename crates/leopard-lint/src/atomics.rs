@@ -1,0 +1,365 @@
+//! L102: the atomics-pairing audit.
+//!
+//! Every atomic field in the workspace inventory is checked for coherent
+//! `Ordering` use across all of its access sites:
+//!
+//! * a `Release`-ordered store (or `AcqRel`/`SeqCst` write) must be
+//!   observable — the field needs at least one `Acquire`-or-stronger
+//!   load somewhere, else the release fence orders nothing;
+//! * symmetrically, an `Acquire`-ordered load of a field that nothing
+//!   ever writes with `Release`-or-stronger synchronizes with nothing;
+//! * a `Relaxed` access to a field that is *elsewhere* accessed with
+//!   stronger orderings is flagged — mixing disciplines on one cell is
+//!   how a counter quietly stops being a synchronization point.
+//!
+//! Pure-`Relaxed` fields are L003's business (they need a `// relaxed:`
+//! justification comment), not L102's. RMW operations (`fetch_*`,
+//! `swap`, `compare_exchange*`) count as both read and write; only the
+//! *success* ordering of a compare-exchange is classified, since a
+//! `Relaxed` failure ordering is idiomatic. Sites can be acknowledged
+//! with `// lint: allow(L102): <reason>`.
+
+use crate::model::{Field, FieldKind, Model};
+use crate::Finding;
+
+/// The five ordering names, matched as whole words inside argument
+/// lists (works for `Ordering::X`, aliased `O::X`, and bare `X`).
+const ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// Atomic access methods and whether they read / write the cell.
+const METHODS: &[(&str, bool, bool)] = &[
+    ("load", true, false),
+    ("store", false, true),
+    ("swap", true, true),
+    ("fetch_add", true, true),
+    ("fetch_sub", true, true),
+    ("fetch_and", true, true),
+    ("fetch_or", true, true),
+    ("fetch_xor", true, true),
+    ("fetch_nand", true, true),
+    ("fetch_max", true, true),
+    ("fetch_min", true, true),
+    ("fetch_update", true, true),
+    ("compare_exchange", true, true),
+    ("compare_exchange_weak", true, true),
+    ("compare_and_swap", true, true),
+];
+
+/// One classified access to an atomic field.
+#[derive(Debug, Clone)]
+struct Access {
+    file: String,
+    line: usize,
+    ordering: String,
+    reads: bool,
+    writes: bool,
+}
+
+impl Access {
+    fn is_acquire_read(&self) -> bool {
+        self.reads && matches!(self.ordering.as_str(), "Acquire" | "AcqRel" | "SeqCst")
+    }
+
+    fn is_release_write(&self) -> bool {
+        self.writes && matches!(self.ordering.as_str(), "Release" | "AcqRel" | "SeqCst")
+    }
+
+    fn is_relaxed(&self) -> bool {
+        self.ordering == "Relaxed"
+    }
+}
+
+/// Ordering words in an argument list, in textual order.
+fn ordering_words(args: &str) -> Vec<String> {
+    let mut out: Vec<(usize, String)> = Vec::new();
+    for name in ORDERINGS {
+        let mut from = 0;
+        while let Some(pos) = args[from..].find(name) {
+            let abs = from + pos;
+            let before_ok = abs == 0
+                || args[..abs]
+                    .chars()
+                    .next_back()
+                    .map(|c| !(c.is_alphanumeric() || c == '_'))
+                    .unwrap_or(true);
+            let after = args[abs + name.len()..].chars().next();
+            let after_ok = !matches!(after, Some(c) if c.is_alphanumeric() || c == '_');
+            if before_ok && after_ok {
+                out.push((abs, (*name).to_string()));
+            }
+            from = abs + name.len();
+        }
+    }
+    out.sort_by_key(|(pos, _)| *pos);
+    out.into_iter().map(|(_, w)| w).collect()
+}
+
+/// The ordering that governs this access, from the words found in its
+/// argument list. Loads put the ordering first; writes put it last
+/// (nested atomic reads in value position come earlier); compare-
+/// exchange carries (success, failure) as the last two, and only the
+/// success ordering is classified.
+fn pick_ordering(method: &str, words: &[String]) -> Option<String> {
+    match method {
+        "load" => words.first().cloned(),
+        "compare_exchange" | "compare_exchange_weak" | "fetch_update" => {
+            if words.len() >= 2 {
+                words.get(words.len() - 2).cloned()
+            } else {
+                words.first().cloned()
+            }
+        }
+        _ => words.last().cloned(),
+    }
+}
+
+fn is_ident(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Resolves an access receiver against the atomic-field inventory:
+/// same file, then same `impl` owner, then workspace-unique.
+fn resolve_atomic<'m>(
+    atomics: &[&'m Field],
+    file: &str,
+    owner: Option<&str>,
+    name: &str,
+) -> Option<&'m Field> {
+    let matches: Vec<&&Field> = atomics.iter().filter(|f| f.name == name).collect();
+    if let Some(f) = matches.iter().find(|f| f.file == file) {
+        return Some(f);
+    }
+    if let Some(o) = owner {
+        if let Some(f) = matches.iter().find(|f| f.owner == o) {
+            return Some(f);
+        }
+    }
+    (matches.len() == 1).then(|| *matches[0])
+}
+
+/// Runs the pass.
+#[must_use]
+pub fn analyze(model: &Model) -> Vec<Finding> {
+    let atomics: Vec<&Field> = model
+        .fields
+        .iter()
+        .filter(|f| f.kind == FieldKind::Atomic)
+        .collect();
+    if atomics.is_empty() {
+        return Vec::new();
+    }
+    // Accesses grouped by field identity.
+    let mut accesses: Vec<(String, Access)> = Vec::new();
+    for func in &model.functions {
+        for (line, text) in &func.body {
+            let chars: Vec<char> = text.chars().collect();
+            let mut i = 0;
+            while i < chars.len() {
+                if chars[i] == '.' {
+                    let mut j = i + 1;
+                    while j < chars.len() && is_ident(chars[j]) {
+                        j += 1;
+                    }
+                    let method: String = chars[i + 1..j].iter().collect();
+                    let spec = METHODS.iter().find(|(m, _, _)| *m == method);
+                    if let (Some((_, reads, writes)), Some('(')) = (spec, chars.get(j).copied()) {
+                        // Receiver: the identifier chain segment before the dot.
+                        let mut s = i;
+                        while s > 0 && is_ident(chars[s - 1]) {
+                            s -= 1;
+                        }
+                        let recv: String = chars[s..i].iter().collect();
+                        if let Some(field) =
+                            resolve_atomic(&atomics, &func.file, func.owner.as_deref(), &recv)
+                        {
+                            // Argument text to the matching close paren
+                            // (single line; multi-line arg lists fall back
+                            // to rest-of-line, enough for ordering words).
+                            let mut depth = 0i32;
+                            let mut k = j;
+                            let mut close = chars.len();
+                            while k < chars.len() {
+                                match chars[k] {
+                                    '(' => depth += 1,
+                                    ')' => {
+                                        depth -= 1;
+                                        if depth == 0 {
+                                            close = k;
+                                            break;
+                                        }
+                                    }
+                                    _ => {}
+                                }
+                                k += 1;
+                            }
+                            let args: String =
+                                chars[j + 1..close.min(chars.len())].iter().collect();
+                            let words = ordering_words(&args);
+                            if let Some(ordering) = pick_ordering(&method, &words) {
+                                accesses.push((
+                                    field.id(),
+                                    Access {
+                                        file: func.file.clone(),
+                                        line: *line,
+                                        ordering,
+                                        reads: *reads,
+                                        writes: *writes,
+                                    },
+                                ));
+                            }
+                        }
+                    }
+                    i = j.max(i + 1);
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    let allowed = |file: &str, line: usize| -> bool {
+        model
+            .scan_of(file)
+            .and_then(|s| s.lines.get(line - 1))
+            .map(|l| l.allowed("L102"))
+            .unwrap_or(false)
+    };
+
+    let mut findings = Vec::new();
+    let mut ids: Vec<String> = accesses.iter().map(|(id, _)| id.clone()).collect();
+    ids.sort();
+    ids.dedup();
+    for id in &ids {
+        let of_field: Vec<&Access> = accesses
+            .iter()
+            .filter(|(i, _)| i == id)
+            .map(|(_, a)| a)
+            .collect();
+        let has_acquire_read = of_field.iter().any(|a| a.is_acquire_read());
+        let has_release_write = of_field.iter().any(|a| a.is_release_write());
+        let has_strong = has_acquire_read || has_release_write;
+        for a in &of_field {
+            if allowed(&a.file, a.line) {
+                continue;
+            }
+            if a.is_release_write() && !has_acquire_read {
+                findings.push(Finding {
+                    code: "L102",
+                    file: a.file.clone(),
+                    line: a.line,
+                    message: format!(
+                        "{}-ordered write to {id} is never paired with an Acquire-or-stronger load",
+                        a.ordering
+                    ),
+                });
+            } else if a.is_acquire_read() && !has_release_write {
+                findings.push(Finding {
+                    code: "L102",
+                    file: a.file.clone(),
+                    line: a.line,
+                    message: format!(
+                        "{}-ordered load of {id} is never paired with a Release-or-stronger write",
+                        a.ordering
+                    ),
+                });
+            } else if a.is_relaxed() && has_strong {
+                findings.push(Finding {
+                    code: "L102",
+                    file: a.file.clone(),
+                    line: a.line,
+                    message: format!(
+                        "Relaxed access to {id}, which is elsewhere accessed with stronger orderings"
+                    ),
+                });
+            }
+        }
+    }
+    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Model;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let model = Model::build(&[("src/lib.rs".to_string(), src.to_string())]);
+        analyze(&model)
+    }
+
+    #[test]
+    fn paired_release_acquire_is_clean() {
+        let f = run(
+            "struct S { seq: AtomicU64 }\nimpl S {\n    fn bump(&self) { self.seq.store(1, Ordering::Release); }\n    fn see(&self) -> u64 { self.seq.load(Ordering::Acquire) }\n}\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn unpaired_release_store_is_flagged() {
+        let f = run(
+            "struct S { seq: AtomicU64 }\nimpl S {\n    fn bump(&self) { self.seq.store(1, Ordering::Release); }\n    fn see(&self) -> u64 { self.seq.load(Ordering::Relaxed) }\n}\n",
+        );
+        assert!(
+            f.iter()
+                .any(|x| x.code == "L102" && x.message.contains("never paired with an Acquire")),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn mixed_relaxed_on_strong_field_is_flagged() {
+        let f = run(
+            "struct S { seq: AtomicU64 }\nimpl S {\n    fn bump(&self) { self.seq.fetch_add(1, Ordering::Relaxed); }\n    fn publish(&self) { self.seq.store(1, Ordering::Release); }\n    fn see(&self) -> u64 { self.seq.load(Ordering::Acquire) }\n}\n",
+        );
+        assert!(
+            f.iter()
+                .any(|x| x.code == "L102" && x.message.contains("stronger orderings")),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn pure_relaxed_counter_is_not_l102s_business() {
+        let f = run(
+            "struct S { shed: AtomicU64 }\nimpl S {\n    fn bump(&self) { self.shed.fetch_add(1, Ordering::Relaxed); }\n    fn see(&self) -> u64 { self.shed.load(Ordering::Relaxed) }\n}\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn seqcst_rmw_self_pairs() {
+        let f = run(
+            "struct S { flag: AtomicBool }\nimpl S {\n    fn arm(&self) -> bool { self.flag.swap(true, Ordering::SeqCst) }\n}\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn compare_exchange_failure_ordering_is_ignored() {
+        let f = run(
+            "struct S { st: AtomicU8 }\nimpl S {\n    fn cas(&self) { let _ = self.st.compare_exchange(0, 1, Ordering::AcqRel, Ordering::Relaxed); }\n}\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn alias_orderings_are_recognized() {
+        let f = run(
+            "use std::sync::atomic::Ordering as O;\nstruct S { seq: AtomicU64 }\nimpl S {\n    fn bump(&self) { self.seq.store(1, O::Release); }\n    fn see(&self) -> u64 { self.seq.load(O::Relaxed) }\n}\n",
+        );
+        assert!(
+            !f.is_empty(),
+            "alias Release store should still be analyzed"
+        );
+    }
+
+    #[test]
+    fn allow_comment_suppresses() {
+        let f = run(
+            "struct S { seq: AtomicU64 }\nimpl S {\n    fn bump(&self) { self.seq.store(1, Ordering::Release); } // lint: allow(L102): init-only publish\n}\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

@@ -2,15 +2,26 @@
 //!
 //! This is **level 1** of Leopard's two-level static analysis story: the
 //! verifier's verdicts are only as trustworthy as the verifier's own code,
-//! so a small hand-rolled scanner (no `syn`, no external dependencies)
-//! enforces the source-level invariants the design relies on:
+//! so a hand-rolled analyzer (no `syn`, no external dependencies)
+//! enforces the source-level invariants the design relies on.
+//!
+//! The per-line *token lints*:
 //!
 //! | code | invariant |
 //! |------|-----------|
-//! | L001 | no `unwrap()` / `expect()` / `panic!` in `leopard-core/src/verify/**` and `pipeline/**` |
+//! | L001 | no `unwrap()` / `expect()` / `panic!` in `leopard-core/src/verify/**`, `pipeline/**`, `online.rs`, `budget.rs` |
 //! | L002 | no raw `std::collections::HashMap`/`HashSet` outside `fxhash.rs` |
 //! | L003 | every `Ordering::Relaxed` carries a justification comment (`// relaxed: <why>`) |
 //! | L004 | no `Instant::now()` / `SystemTime::now()` inside `leopard-core` |
+//!
+//! And the workspace-level *concurrency passes* (built on a real item
+//! model — see [`model`]):
+//!
+//! | code | invariant |
+//! |------|-----------|
+//! | L101 | the inter-procedural acquired-while-held lock graph is acyclic ([`lockorder`]) |
+//! | L102 | atomic `Ordering`s pair up: Release writes ⇄ Acquire reads, no Relaxed on strongly-ordered fields ([`atomics`]) |
+//! | L103 | every piece of shared state is in the committed `shared_state_baseline.json` ([`manifest`]) |
 //!
 //! A violation can be acknowledged in place with an **allow comment** that
 //! must carry a reason:
@@ -24,10 +35,19 @@
 //! code-bearing line when it stands alone. An allow without a reason is
 //! ignored.
 //!
-//! The scanner strips string literals and comments before matching, tracks
-//! multi-line strings and nested block comments, and stops at the first
-//! `#[cfg(test)]` attribute of a file — by repo convention the trailing
-//! unit-test module, which is free to `unwrap()` at will.
+//! The lexer underneath ([`lexer`]) strips string literals and comments
+//! before matching, tracks multi-line strings and nested block comments,
+//! and stops at the first `#[cfg(test)]` attribute of a file — by repo
+//! convention the trailing unit-test module, which is free to `unwrap()`
+//! at will. The static lock graph is cross-checked at runtime by
+//! `leopard_core::lockwitness`, which records actual acquisition order
+//! in debug builds while the test suites run.
+
+pub mod atomics;
+pub mod lexer;
+pub mod lockorder;
+pub mod manifest;
+pub mod model;
 
 use std::fs;
 use std::io;
@@ -56,182 +76,36 @@ impl std::fmt::Display for Finding {
     }
 }
 
-/// Lexer state carried across lines of one file.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum State {
-    /// Plain code.
-    Code,
-    /// Inside a `"..."` string literal (they may span lines).
-    Str,
-    /// Inside a raw string literal with the given number of `#` marks.
-    RawStr(u8),
-    /// Inside a (possibly nested) block comment at the given depth.
-    Block(u32),
-}
-
-/// Splits one source line into (code text, comment text), updating the
-/// cross-line lexer state. String-literal contents are dropped from both.
-fn split_line(line: &str, st: &mut State) -> (String, String) {
-    let chars: Vec<char> = line.chars().collect();
-    let mut code = String::new();
-    let mut comment = String::new();
-    let mut i = 0usize;
-    while i < chars.len() {
-        match *st {
-            State::Str => {
-                match chars[i] {
-                    '\\' => i += 1, // skip the escaped character
-                    '"' => *st = State::Code,
-                    _ => {}
-                }
-                i += 1;
-            }
-            State::RawStr(hashes) => {
-                if chars[i] == '"' {
-                    let n = hashes as usize;
-                    if chars[i + 1..].iter().take(n).filter(|&&c| c == '#').count() == n {
-                        *st = State::Code;
-                        i += n;
-                    }
-                }
-                i += 1;
-            }
-            State::Block(depth) => {
-                if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
-                    *st = if depth <= 1 {
-                        State::Code
-                    } else {
-                        State::Block(depth - 1)
-                    };
-                    i += 2;
-                } else if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
-                    *st = State::Block(depth + 1);
-                    i += 2;
-                } else {
-                    comment.push(chars[i]);
-                    i += 1;
+impl Finding {
+    /// Serializes this finding as a JSON object (hand-rolled — the lint
+    /// crate stays dependency-free).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            let mut out = String::with_capacity(s.len());
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
                 }
             }
-            State::Code => {
-                let c = chars[i];
-                let prev_ident = i
-                    .checked_sub(1)
-                    .map(|p| chars[p].is_alphanumeric() || chars[p] == '_')
-                    .unwrap_or(false);
-                if c == '/' && chars.get(i + 1) == Some(&'/') {
-                    // Line comment: the rest of the line.
-                    comment.extend(&chars[i + 2..]);
-                    break;
-                } else if c == '/' && chars.get(i + 1) == Some(&'*') {
-                    *st = State::Block(1);
-                    i += 2;
-                } else if c == '"' {
-                    *st = State::Str;
-                    i += 1;
-                } else if (c == 'r' || c == 'b') && !prev_ident {
-                    // Possible raw/byte string opener: r", r#", b", br#"...
-                    let mut j = i + 1;
-                    let mut raw = c == 'r';
-                    if c == 'b' && chars.get(j) == Some(&'r') {
-                        raw = true;
-                        j += 1;
-                    }
-                    let mut hashes = 0u8;
-                    while raw && chars.get(j) == Some(&'#') {
-                        hashes += 1;
-                        j += 1;
-                    }
-                    if chars.get(j) == Some(&'"') {
-                        *st = if raw {
-                            State::RawStr(hashes)
-                        } else {
-                            State::Str
-                        };
-                        i = j + 1;
-                    } else {
-                        code.push(c);
-                        i += 1;
-                    }
-                } else if c == '\'' && !prev_ident {
-                    // Char literal vs lifetime. `'\...'` and `'x'` are
-                    // literals; `'a` followed by anything else is a lifetime.
-                    if chars.get(i + 1) == Some(&'\\') {
-                        i += 2; // opening quote + backslash
-                        while i < chars.len() && chars[i] != '\'' {
-                            i += 1;
-                        }
-                        i += 1; // closing quote
-                    } else if chars.get(i + 2) == Some(&'\'') {
-                        i += 3;
-                    } else {
-                        code.push(c);
-                        i += 1;
-                    }
-                } else {
-                    code.push(c);
-                    i += 1;
-                }
-            }
+            out
         }
+        format!(
+            "{{ \"code\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\" }}",
+            self.code,
+            esc(&self.file),
+            self.line,
+            esc(&self.message)
+        )
     }
-    (code, comment)
 }
 
-/// Extracts the lint codes acknowledged by `lint: allow(Lxxx): <reason>`
-/// directives in a comment. Directives without a non-empty reason are
-/// ignored — the escape hatch requires an argument.
-fn parse_allows(comment: &str) -> Vec<String> {
-    let mut out = Vec::new();
-    let mut rest = comment;
-    while let Some(pos) = rest.find("lint: allow(") {
-        rest = &rest[pos + "lint: allow(".len()..];
-        let Some(close) = rest.find(')') else { break };
-        let code = rest[..close].trim().to_string();
-        let after = &rest[close + 1..];
-        let reasoned = after
-            .strip_prefix(':')
-            .map(|r| {
-                let r = r.trim();
-                !r.is_empty() && !r.starts_with("<")
-            })
-            .unwrap_or(false);
-        if reasoned && !code.is_empty() {
-            out.push(code);
-        }
-        rest = after;
-    }
-    out
-}
-
-/// Substring occurrences of `needle` in `hay` whose preceding character is
-/// not part of an identifier (so `FxHashMap` does not match `HashMap`).
-fn word_starts(hay: &str, needle: &str) -> usize {
-    let mut count = 0;
-    let mut from = 0;
-    while let Some(pos) = hay[from..].find(needle) {
-        let abs = from + pos;
-        let boundary = abs == 0
-            || hay[..abs]
-                .chars()
-                .next_back()
-                .map(|p| !(p.is_alphanumeric() || p == '_'))
-                .unwrap_or(true);
-        if boundary {
-            count += 1;
-        }
-        from = abs + needle.len();
-    }
-    count
-}
-
-/// Occurrences of `.{method}(` — method calls only, so free functions or
-/// identifiers that merely contain the name do not match.
-fn method_calls(hay: &str, method: &str) -> usize {
-    let pat = format!(".{method}(");
-    hay.matches(&pat).count()
-}
-
-/// Which lints apply to a workspace-relative path.
+/// Which token lints apply to a workspace-relative path.
 #[derive(Debug, Clone, Copy)]
 struct Scope {
     l001: bool,
@@ -242,55 +116,38 @@ struct Scope {
 fn scope_for(rel: &str) -> Scope {
     Scope {
         l001: rel.starts_with("crates/leopard-core/src/verify/")
-            || rel.starts_with("crates/leopard-core/src/pipeline/"),
+            || rel.starts_with("crates/leopard-core/src/pipeline/")
+            || rel == "crates/leopard-core/src/online.rs"
+            || rel == "crates/leopard-core/src/budget.rs",
         l002: rel != "crates/leopard-core/src/fxhash.rs",
         l004: rel.starts_with("crates/leopard-core/"),
     }
 }
 
-/// Scans one file's source text, returning its violations.
+/// Scans one file's source text with the per-line token lints
+/// (L001–L004), returning its violations.
 ///
 /// `rel` is the workspace-relative path (used both for scoping and for
-/// reporting).
+/// reporting). The workspace-level passes (L101–L103) need the whole
+/// workspace — see [`analyze_workspace`].
 #[must_use]
 pub fn scan_file(rel: &str, content: &str) -> Vec<Finding> {
     let scope = scope_for(rel);
-    let mut st = State::Code;
+    let scan = lexer::scan_lines(content);
     let mut findings = Vec::new();
-    // Allows from standalone comment lines, pending for the next code line.
-    let mut pending_allows: Vec<String> = Vec::new();
-    // Comment block immediately above the current line (for L003
-    // justifications), reset by any code-bearing or blank line.
-    let mut comment_above = String::new();
-
-    for (idx, raw) in content.lines().enumerate() {
+    for (idx, line_scan) in scan.lines.iter().enumerate() {
         let line = idx + 1;
-        let (code, comment) = split_line(raw, &mut st);
-        let code_trim = code.trim();
-        if code_trim.starts_with("#[cfg(test)]") {
-            break; // trailing unit-test module: out of lint scope
-        }
-        let mut allows = parse_allows(&comment);
-        if code_trim.is_empty() {
-            if comment.trim().is_empty() {
-                // Blank line: breaks comment-block contiguity.
-                pending_allows.clear();
-                comment_above.clear();
-            } else {
-                pending_allows.append(&mut allows);
-                comment_above.push_str(&comment);
-                comment_above.push('\n');
-            }
+        let code = &line_scan.code;
+        if code.trim().is_empty() {
             continue;
         }
-        allows.append(&mut pending_allows);
-        let allowed = |code: &str| allows.iter().any(|a| a == code);
+        let allowed = |c: &str| line_scan.allowed(c);
 
         if scope.l001 && !allowed("L001") {
             for (hits, what) in [
-                (method_calls(&code, "unwrap"), "unwrap()"),
-                (method_calls(&code, "expect"), "expect()"),
-                (word_starts(&code, "panic!"), "panic!"),
+                (lexer::method_calls(code, "unwrap"), "unwrap()"),
+                (lexer::method_calls(code, "expect"), "expect()"),
+                (lexer::word_starts(code, "panic!"), "panic!"),
             ] {
                 for _ in 0..hits {
                     findings.push(Finding {
@@ -307,7 +164,7 @@ pub fn scan_file(rel: &str, content: &str) -> Vec<Finding> {
         }
         if scope.l002 && !allowed("L002") {
             for what in ["HashMap", "HashSet"] {
-                for _ in 0..word_starts(&code, what) {
+                for _ in 0..lexer::word_starts(code, what) {
                     findings.push(Finding {
                         code: "L002",
                         file: rel.to_string(),
@@ -320,24 +177,30 @@ pub fn scan_file(rel: &str, content: &str) -> Vec<Finding> {
                 }
             }
         }
-        if !allowed("L003") && code.contains("Ordering::Relaxed") {
-            let justified = comment.to_lowercase().contains("relaxed")
-                || comment_above.to_lowercase().contains("relaxed");
-            if !justified {
-                findings.push(Finding {
-                    code: "L003",
-                    file: rel.to_string(),
-                    line,
-                    message: "`Ordering::Relaxed` without a justification comment; add \
-                              `// relaxed: <why this ordering is sufficient>` or use a \
-                              stronger ordering"
-                        .to_string(),
-                });
+        if !allowed("L003") {
+            let relaxed = scan
+                .ordering_aliases
+                .iter()
+                .any(|a| code.contains(&format!("{a}::Relaxed")));
+            if relaxed {
+                let justified = line_scan.comment.to_lowercase().contains("relaxed")
+                    || line_scan.above.to_lowercase().contains("relaxed");
+                if !justified {
+                    findings.push(Finding {
+                        code: "L003",
+                        file: rel.to_string(),
+                        line,
+                        message: "`Ordering::Relaxed` without a justification comment; add \
+                                  `// relaxed: <why this ordering is sufficient>` or use a \
+                                  stronger ordering"
+                            .to_string(),
+                    });
+                }
             }
         }
         if scope.l004 && !allowed("L004") {
             for what in ["Instant::now", "SystemTime::now"] {
-                for _ in 0..word_starts(&code, what) {
+                for _ in 0..lexer::word_starts(code, what) {
                     findings.push(Finding {
                         code: "L004",
                         file: rel.to_string(),
@@ -351,7 +214,6 @@ pub fn scan_file(rel: &str, content: &str) -> Vec<Finding> {
                 }
             }
         }
-        comment_above.clear();
     }
     findings
 }
@@ -363,9 +225,11 @@ fn collect_rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
         let name = entry.file_name();
         let name = name.to_string_lossy();
         if path.is_dir() {
+            // `fixtures/` holds deliberately-bad lint corpus files — they
+            // are scanned by the fixture tests, never as workspace code.
             if matches!(
                 name.as_ref(),
-                "target" | ".git" | ".claude" | "results" | "devtools"
+                "target" | ".git" | ".claude" | "results" | "devtools" | "fixtures"
             ) {
                 continue;
             }
@@ -377,14 +241,32 @@ fn collect_rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     Ok(())
 }
 
-/// Scans every `.rs` file under `root` (skipping `target/`, `.git/`,
-/// `results/`, `devtools/`). Returns the findings, sorted by file and
-/// line, plus the number of files scanned.
-pub fn scan_workspace(root: &Path) -> io::Result<(Vec<Finding>, usize)> {
+/// The result of a full workspace analysis.
+#[derive(Debug)]
+pub struct Analysis {
+    /// All findings (token lints + concurrency passes), sorted by file,
+    /// line, and code.
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files scanned.
+    pub scanned: usize,
+    /// The shared-state manifest entries.
+    pub manifest: Vec<manifest::ManifestEntry>,
+    /// The serialized `shared_state.json` document.
+    pub manifest_json: String,
+    /// The static lock-order graph (exported for the runtime witness).
+    pub lock_graph: lockorder::LockGraph,
+}
+
+/// Runs every pass over the workspace rooted at `root`: token lints per
+/// file, then the L101 lock-order pass, the L102 atomics audit, and the
+/// L103 manifest diff against the committed baseline (silently skipped
+/// when no baseline exists — fresh checkouts and test sandboxes).
+pub fn analyze_workspace(root: &Path) -> io::Result<Analysis> {
     let mut files = Vec::new();
     collect_rust_files(root, &mut files)?;
     files.sort();
     let mut findings = Vec::new();
+    let mut sources: Vec<(String, String)> = Vec::new();
     for path in &files {
         let content = fs::read_to_string(path)?;
         let rel = path
@@ -393,9 +275,36 @@ pub fn scan_workspace(root: &Path) -> io::Result<(Vec<Finding>, usize)> {
             .to_string_lossy()
             .replace('\\', "/");
         findings.extend(scan_file(&rel, &content));
+        sources.push((rel, content));
+    }
+    let model = model::Model::build(&sources);
+    let (l101, lock_graph) = lockorder::analyze(&model);
+    findings.extend(l101);
+    findings.extend(atomics::analyze(&model));
+    let entries = manifest::build(&model);
+    let manifest_json = manifest::to_json(&entries, &lock_graph);
+    let baseline_path = root.join(manifest::BASELINE_REL);
+    if let Ok(text) = fs::read_to_string(&baseline_path) {
+        let baseline = manifest::parse_baseline(&text);
+        findings.extend(manifest::diff(&entries, &baseline));
     }
     findings.sort_by(|a, b| (&a.file, a.line, a.code).cmp(&(&b.file, b.line, b.code)));
-    Ok((findings, files.len()))
+    Ok(Analysis {
+        findings,
+        scanned: files.len(),
+        manifest: entries,
+        manifest_json,
+        lock_graph,
+    })
+}
+
+/// Scans every `.rs` file under `root` (skipping `target/`, `.git/`,
+/// `results/`, `devtools/`, fixture corpora) with all passes. Returns
+/// the findings, sorted by file and line, plus the number of files
+/// scanned. Thin compatibility wrapper over [`analyze_workspace`].
+pub fn scan_workspace(root: &Path) -> io::Result<(Vec<Finding>, usize)> {
+    let analysis = analyze_workspace(root)?;
+    Ok((analysis.findings, analysis.scanned))
 }
 
 #[cfg(test)]
@@ -415,6 +324,19 @@ mod tests {
         assert_eq!(codes(&found), vec!["L001", "L001", "L001"]);
         assert_eq!(found[0].line, 1);
         assert!(scan_file("crates/leopard-db/src/engine.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l001_covers_online_and_budget() {
+        let src = "fn f() { x.unwrap(); }\n";
+        assert_eq!(
+            codes(&scan_file("crates/leopard-core/src/online.rs", src)),
+            vec!["L001"]
+        );
+        assert_eq!(
+            codes(&scan_file("crates/leopard-core/src/budget.rs", src)),
+            vec!["L001"]
+        );
     }
 
     #[test]
@@ -462,6 +384,15 @@ let bad = table.get_mut(txn).expect(\"observed\");
         let gap = "// relaxed: stale\n\nlet n = c.fetch_add(1, Ordering::Relaxed);\n";
         assert_eq!(
             codes(&scan_file("crates/leopard-db/src/clock.rs", gap)),
+            vec!["L003"]
+        );
+    }
+
+    #[test]
+    fn l003_sees_aliased_orderings() {
+        let src = "use std::sync::atomic::Ordering as O;\nlet n = c.fetch_add(1, O::Relaxed);\n";
+        assert_eq!(
+            codes(&scan_file("crates/leopard-db/src/clock.rs", src)),
             vec!["L003"]
         );
     }
@@ -531,5 +462,19 @@ let r = r"HashMap inside a raw string";
         assert_eq!(findings[0].line, 1);
         assert_eq!(findings[0].code, "L001");
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn finding_json_escapes_and_shapes() {
+        let f = Finding {
+            code: "L101",
+            file: "src/a.rs".to_string(),
+            line: 3,
+            message: "cycle \"x\"".to_string(),
+        };
+        assert_eq!(
+            f.to_json(),
+            "{ \"code\": \"L101\", \"file\": \"src/a.rs\", \"line\": 3, \"message\": \"cycle \\\"x\\\"\" }"
+        );
     }
 }

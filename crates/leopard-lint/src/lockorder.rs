@@ -1,0 +1,1084 @@
+//! L101: the inter-procedural lock-order pass.
+//!
+//! For every function the pass extracts direct lock acquisitions
+//! (`.lock(` / `.read(` / `.write(` / `.wait(` resolved against the
+//! workspace field inventory) and outgoing calls, models each guard's
+//! hold region (let-bound guards to the end of their enclosing block or
+//! an explicit `drop(guard)`, temporaries to the end of their statement,
+//! lock-acquiring calls for the extent of their argument list — which
+//! covers closure bodies such as `storage.with(|map| { .. })`), computes
+//! transitive lock sets by fixpoint over the call graph, and records an
+//! *acquired-while-held* edge for every lock acquired inside another
+//! lock's hold region. A cycle in that edge graph is deadlock potential
+//! and fails the lint.
+//!
+//! The analysis is syntactic and over-approximate in known ways: guard
+//! hold regions are lexical scopes (Rust's actual drop semantics), call
+//! resolution falls back to a name-union when no typed path resolves
+//! (minus a skip-list of ubiquitous std names), and argument-position
+//! acquisitions are ordered after the callee's own locks. Each edge is
+//! recorded with its site, so a spurious edge can be acknowledged with
+//! `// lint: allow(L101): <reason>` on the acquiring line. The runtime
+//! lock-order witness (`leopard_core::lockwitness`) cross-checks the
+//! graph from the executable side.
+
+use crate::model::{Field, FieldKind, Function, Model};
+use crate::Finding;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Method names recorded as *calls* only when no typed resolution
+/// exists — these collide with std/container methods so a bare-name
+/// union would fabricate edges (e.g. `out.len()` inside a
+/// `storage.with` closure resolving to `Storage::len`).
+const CALL_SKIP: &[&str] = &[
+    "len",
+    "is_empty",
+    "new",
+    "default",
+    "clone",
+    "iter",
+    "iter_mut",
+    "next",
+    "insert",
+    "remove",
+    "push",
+    "pop",
+    "get",
+    "get_mut",
+    "contains",
+    "contains_key",
+    "write",
+    "read",
+    "send",
+    "recv",
+    "drain",
+    "clear",
+    "fmt",
+    "from",
+    "into",
+    "eq",
+    "cmp",
+    "hash",
+    "drop",
+    "now",
+    "extend",
+    "min",
+    "max",
+    "take",
+    "get_or_insert_with",
+    "entry",
+    "or_default",
+    "to_string",
+    "collect",
+    "map",
+    "filter",
+    "unwrap_or",
+    "unwrap_or_else",
+    "unwrap_or_default",
+    "push_str",
+    "retain",
+    "abs",
+    "saturating_sub",
+    "saturating_add",
+    "wrapping_add",
+    "wrapping_mul",
+    "load",
+    "store",
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+    "record",
+    "reset",
+    "start",
+    "stop",
+    "run",
+    "tick",
+    "emit",
+    "flush",
+    "close",
+    "open",
+    "begin",
+    "end",
+    "apply",
+    "check",
+    "report",
+    "name",
+    "id",
+    "kind",
+    "value",
+];
+
+/// Keywords and tuple-ish constructors that look like calls but are not.
+const KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "loop", "return", "fn", "in", "as", "move", "else", "let",
+    "impl", "pub", "where", "unsafe", "dyn", "ref", "mut", "box", "Some", "None", "Ok", "Err",
+    "Box", "Vec", "Arc", "Rc",
+];
+
+/// One acquired-while-held edge with its witness site.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Edge {
+    /// Lock already held.
+    pub from: String,
+    /// Lock acquired while `from` is held.
+    pub to: String,
+    /// Workspace-relative file of the acquiring site.
+    pub file: String,
+    /// 1-based line of the acquiring site.
+    pub line: usize,
+    /// Qualified name of the function containing the site.
+    pub via: String,
+}
+
+/// The static lock-order graph, exported for the manifest and the
+/// runtime witness cross-check.
+#[derive(Debug, Default, Clone)]
+pub struct LockGraph {
+    /// Every lock identity in the workspace (`Owner.field` /
+    /// `static.NAME`), sorted.
+    pub locks: Vec<String>,
+    /// Deduplicated acquired-while-held edges, sorted.
+    pub edges: Vec<Edge>,
+}
+
+impl LockGraph {
+    /// True if the graph contains an edge `from -> to` (any site).
+    #[must_use]
+    pub fn has_edge(&self, from: &str, to: &str) -> bool {
+        self.edges.iter().any(|e| e.from == from && e.to == to)
+    }
+}
+
+/// A flattened function body: char stream with per-char line numbers and
+/// precomputed depths.
+struct Flat {
+    chars: Vec<char>,
+    line_of: Vec<usize>,
+    brace_before: Vec<u32>,
+    paren_before: Vec<i32>,
+    close_of: BTreeMap<usize, usize>,
+}
+
+fn flatten(body: &[(usize, String)]) -> Flat {
+    let mut chars = Vec::new();
+    let mut line_of = Vec::new();
+    for (i, (line, text)) in body.iter().enumerate() {
+        for c in text.chars() {
+            chars.push(c);
+            line_of.push(*line);
+        }
+        if i + 1 < body.len() {
+            chars.push('\n');
+            line_of.push(*line);
+        }
+    }
+    let mut brace_before = Vec::with_capacity(chars.len());
+    let mut paren_before = Vec::with_capacity(chars.len());
+    let mut close_of = BTreeMap::new();
+    let mut open_stack = Vec::new();
+    let mut brace = 0u32;
+    let mut paren = 0i32;
+    for (i, c) in chars.iter().enumerate() {
+        brace_before.push(brace);
+        paren_before.push(paren);
+        match c {
+            '{' => brace += 1,
+            '}' => brace = brace.saturating_sub(1),
+            '(' => {
+                paren += 1;
+                open_stack.push(i);
+            }
+            ')' => {
+                paren -= 1;
+                if let Some(open) = open_stack.pop() {
+                    close_of.insert(open, i);
+                }
+            }
+            _ => {}
+        }
+    }
+    Flat {
+        chars,
+        line_of,
+        brace_before,
+        paren_before,
+        close_of,
+    }
+}
+
+fn is_ident(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// The identifier ending just before `end` (exclusive), if any.
+fn ident_before(chars: &[char], end: usize) -> Option<(usize, String)> {
+    let mut s = end;
+    while s > 0 && is_ident(chars[s - 1]) {
+        s -= 1;
+    }
+    if s == end {
+        return None;
+    }
+    Some((s, chars[s..end].iter().collect()))
+}
+
+/// The receiver chain ending at `dot` (the `.` before a method name):
+/// path segments scanned backwards, balanced `(..)`/`[..]` groups
+/// collapsed into a `()` suffix on their segment. `self.db.active` →
+/// `["self", "db", "active"]`; `self.rng().lock` → `["self", "rng()"]`.
+fn chain_before(chars: &[char], dot: usize) -> Vec<String> {
+    let mut segs: Vec<String> = Vec::new();
+    let mut i = dot; // exclusive end of the chain text
+    let mut suffix = String::new();
+    loop {
+        if i == 0 {
+            break;
+        }
+        let c = chars[i - 1];
+        if is_ident(c) {
+            let (s, name) = match ident_before(chars, i) {
+                Some(v) => v,
+                None => break,
+            };
+            segs.push(format!("{name}{suffix}"));
+            suffix.clear();
+            i = s;
+        } else if c == ')' || c == ']' {
+            let open = if c == ')' { '(' } else { '[' };
+            let mut depth = 0i32;
+            let mut j = i;
+            while j > 0 {
+                j -= 1;
+                if chars[j] == c {
+                    depth += 1;
+                } else if chars[j] == open {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+            }
+            suffix = "()".to_string();
+            i = j;
+        } else if c == '.' {
+            i -= 1;
+        } else if c == ':' && i >= 2 && chars[i - 2] == ':' {
+            i -= 2;
+        } else if c == '?' {
+            i -= 1;
+        } else {
+            break;
+        }
+    }
+    segs.reverse();
+    segs
+}
+
+/// One lock-acquisition or call event inside a function body.
+struct Event {
+    start: usize,
+    end: usize,
+    line: usize,
+    /// Locks held once this event's acquisition happens.
+    holders: Vec<String>,
+    /// Locks this event (transitively) acquires.
+    acquires: Vec<String>,
+}
+
+/// Resolves a lock receiver name against the field inventory.
+///
+/// Priority: a matching lock field declared in the same file, then one
+/// whose owner is the function's `impl` type, then a workspace-unique
+/// match. `.lock(` falls back to a file-scoped identity for unknown
+/// receivers (local mutexes); `.read(`/`.write(`/`.wait(` resolve only
+/// against `RwLock`/`Condvar` fields because those method names are
+/// ubiquitous on non-lock types.
+fn resolve_lock(fields: &[&Field], func: &Function, name: &str, method: &str) -> Option<String> {
+    let wanted: &[FieldKind] = match method {
+        "lock" => &[FieldKind::Mutex],
+        "read" | "write" => &[FieldKind::RwLock],
+        "wait" | "wait_while" | "wait_timeout" => &[FieldKind::Condvar],
+        _ => return None,
+    };
+    let matches: Vec<&&Field> = fields
+        .iter()
+        .filter(|f| f.name == name && wanted.contains(&f.kind))
+        .collect();
+    if let Some(f) = matches.iter().find(|f| f.file == func.file) {
+        return Some(f.id());
+    }
+    if let Some(owner) = &func.owner {
+        if let Some(f) = matches.iter().find(|f| &f.owner == owner) {
+            return Some(f.id());
+        }
+    }
+    if matches.len() == 1 {
+        return Some(matches[0].id());
+    }
+    if !matches.is_empty() {
+        // Ambiguous across files: pick deterministically by owner.
+        let mut ids: Vec<String> = matches.iter().map(|f| f.id()).collect();
+        ids.sort();
+        return ids.into_iter().next();
+    }
+    if method == "lock" {
+        let stem = func
+            .file
+            .rsplit('/')
+            .next()
+            .unwrap_or(&func.file)
+            .trim_end_matches(".rs");
+        return Some(format!("{stem}.{name}"));
+    }
+    None
+}
+
+/// All type names known to the model (field owners + function owners).
+fn known_types(model: &Model) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for f in &model.fields {
+        if f.owner != "static" {
+            out.insert(f.owner.clone());
+        }
+    }
+    for f in &model.functions {
+        if let Some(o) = &f.owner {
+            out.insert(o.clone());
+        }
+    }
+    out
+}
+
+/// The single known type a declared type's text mentions, if unique.
+fn type_of_ty(ty: &str, known: &BTreeSet<String>) -> Option<String> {
+    let mut found = Vec::new();
+    for t in known {
+        if crate::lexer::word_starts(ty, t) > 0 && !found.contains(t) {
+            found.push(t.clone());
+        }
+    }
+    (found.len() == 1).then(|| found[0].clone())
+}
+
+/// Resolves a call site to candidate function indices.
+fn resolve_call(
+    model: &Model,
+    known: &BTreeSet<String>,
+    by_owner: &BTreeMap<(String, String), usize>,
+    by_name: &BTreeMap<String, Vec<usize>>,
+    func: &Function,
+    chain: &[String],
+    method: &str,
+    is_method: bool,
+    path_owner: Option<&str>,
+) -> Vec<usize> {
+    if let Some(owner) = path_owner {
+        let owner = if owner == "Self" {
+            func.owner.clone().unwrap_or_default()
+        } else {
+            owner.to_string()
+        };
+        return by_owner
+            .get(&(owner, method.to_string()))
+            .map(|i| vec![*i])
+            .unwrap_or_default();
+    }
+    if is_method {
+        // Walk `self.field.field...` through the field-type map.
+        if chain.first().map(String::as_str) == Some("self") {
+            if let Some(mut cur) = func.owner.clone() {
+                let mut ok = true;
+                for seg in &chain[1..] {
+                    let field = model
+                        .fields
+                        .iter()
+                        .find(|f| f.owner == cur && &f.name == seg);
+                    match field.and_then(|f| type_of_ty(&f.ty, known)) {
+                        Some(t) => cur = t,
+                        None => {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+                if ok {
+                    if let Some(i) = by_owner.get(&(cur, method.to_string())) {
+                        return vec![*i];
+                    }
+                    // `self.m()` with no resolved target: no union — the
+                    // receiver type is known, so a name-union would only
+                    // add unrelated candidates.
+                    if chain.len() == 1 {
+                        return Vec::new();
+                    }
+                }
+            }
+        }
+    }
+    // Bare-name union, minus the std-colliding skip-list.
+    if CALL_SKIP.contains(&method) {
+        return Vec::new();
+    }
+    by_name.get(method).cloned().unwrap_or_default()
+}
+
+/// Extracts this function's events. `allowed` reports whether a source
+/// line carries `lint: allow(L101)`.
+#[allow(clippy::too_many_arguments)]
+fn extract_events(
+    model: &Model,
+    known: &BTreeSet<String>,
+    lock_fields: &[&Field],
+    by_owner: &BTreeMap<(String, String), usize>,
+    by_name: &BTreeMap<String, Vec<usize>>,
+    func: &Function,
+    allowed: &dyn Fn(&str, usize) -> bool,
+) -> (
+    Vec<(usize, usize, usize, String)>,
+    Vec<(usize, usize, usize, Vec<usize>)>,
+) {
+    let flat = flatten(&func.body);
+    let n = flat.chars.len();
+    let mut direct = Vec::new(); // (start, end, line, lock id)
+    let mut calls = Vec::new(); // (start, end, line, callee idxs)
+    let mut handled_dots = BTreeSet::new();
+
+    // Pass 1: lock-method acquisitions.
+    let mut i = 0;
+    while i < n {
+        if flat.chars[i] == '.' {
+            let mut j = i + 1;
+            while j < n && is_ident(flat.chars[j]) {
+                j += 1;
+            }
+            let method: String = flat.chars[i + 1..j].iter().collect();
+            let is_lock_method = matches!(
+                method.as_str(),
+                "lock" | "read" | "write" | "wait" | "wait_while" | "wait_timeout"
+            );
+            if is_lock_method && j < n && flat.chars[j] == '(' {
+                let chain = chain_before(&flat.chars, i);
+                let recv = chain
+                    .iter()
+                    .rev()
+                    .find(|s| !s.ends_with("()"))
+                    .cloned()
+                    .or_else(|| chain.last().map(|s| s.trim_end_matches("()").to_string()));
+                if let Some(recv) = recv {
+                    if let Some(lock) = resolve_lock(lock_fields, func, &recv, &method) {
+                        let line = flat.line_of[i];
+                        if !allowed(&func.file, line) {
+                            let end = hold_region_end(&flat, i, j);
+                            direct.push((i, end, line, lock));
+                        }
+                        handled_dots.insert(i);
+                    }
+                }
+            }
+            i = j.max(i + 1);
+        } else {
+            i += 1;
+        }
+    }
+
+    // Pass 2: call sites.
+    let mut i = 0;
+    while i < n {
+        if flat.chars[i] == '(' {
+            if let Some((s, name)) = ident_before(&flat.chars, i) {
+                let prev = s.checked_sub(1).map(|p| flat.chars[p]);
+                let is_macro = prev == Some('!');
+                let keyword = KEYWORDS.contains(&name.as_str());
+                let is_method = prev == Some('.');
+                let lock_dot = is_method && handled_dots.contains(&(s - 1));
+                if !is_macro && !keyword && !lock_dot && !name.is_empty() {
+                    let path_owner = if prev == Some(':') && s >= 2 && flat.chars[s - 2] == ':' {
+                        ident_before(&flat.chars, s - 2).map(|(_, o)| o)
+                    } else {
+                        None
+                    };
+                    let chain = if is_method {
+                        chain_before(&flat.chars, s - 1)
+                    } else {
+                        Vec::new()
+                    };
+                    let callees = resolve_call(
+                        model,
+                        known,
+                        by_owner,
+                        by_name,
+                        func,
+                        &chain,
+                        &name,
+                        is_method,
+                        path_owner.as_deref(),
+                    );
+                    if !callees.is_empty() {
+                        let end = flat.close_of.get(&i).copied().unwrap_or(n - 1);
+                        calls.push((s, end, flat.line_of[s], callees));
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    (direct, calls)
+}
+
+/// The hold region of a direct acquisition starting at `dot` with its
+/// opening paren at `open`.
+fn hold_region_end(flat: &Flat, dot: usize, open: usize) -> usize {
+    let n = flat.chars.len();
+    // Statement start: nearest `;`/`{`/`}` before the receiver.
+    let chain_start = chain_before_start(&flat.chars, dot);
+    let mut stmt = chain_start;
+    while stmt > 0 && !matches!(flat.chars[stmt - 1], ';' | '{' | '}') {
+        stmt -= 1;
+    }
+    let stmt_text: String = flat.chars[stmt..chain_start].iter().collect();
+    let is_let = crate::lexer::word_starts(&stmt_text, "let") > 0 && stmt_text.contains('=');
+    let d = flat.brace_before[chain_start];
+    let p0 = flat.paren_before[chain_start];
+    let close = flat.close_of.get(&open).copied().unwrap_or(n - 1);
+    if is_let {
+        // Held to the enclosing block's close, or an explicit
+        // `drop(binding)` before it. `.unwrap()`/`.expect(..)` after
+        // the lock call are transparent guard continuations.
+        let binding = binding_name(&stmt_text);
+        let mut end = n - 1;
+        let mut k = close + 1;
+        while k < n {
+            if flat.chars[k] == '}' && flat.brace_before[k] == d {
+                end = k;
+                break;
+            }
+            k += 1;
+        }
+        if let Some(b) = binding {
+            let text: String = flat.chars[close..end.min(n - 1)].iter().collect();
+            for pat in [format!("drop({b})"), format!("drop({b} )")] {
+                if let Some(off) = text.find(&pat) {
+                    let abs = close + text[..off].chars().count();
+                    if abs < end {
+                        end = abs + pat.chars().count();
+                    }
+                    break;
+                }
+            }
+        }
+        end
+    } else {
+        // Temporary guard: held to the end of the statement.
+        let mut k = close + 1;
+        while k < n {
+            if flat.chars[k] == ';' && flat.brace_before[k] == d && flat.paren_before[k] == p0 {
+                return k;
+            }
+            if flat.chars[k] == '}' && flat.brace_before[k] == d {
+                return k; // statement is the block's tail expression
+            }
+            k += 1;
+        }
+        close
+    }
+}
+
+/// The chain's first char index (where the receiver expression begins).
+fn chain_before_start(chars: &[char], dot: usize) -> usize {
+    let mut i = dot;
+    loop {
+        if i == 0 {
+            return 0;
+        }
+        let c = chars[i - 1];
+        if is_ident(c) {
+            while i > 0 && is_ident(chars[i - 1]) {
+                i -= 1;
+            }
+        } else if c == ')' || c == ']' {
+            let open = if c == ')' { '(' } else { '[' };
+            let mut depth = 0i32;
+            let mut j = i;
+            while j > 0 {
+                j -= 1;
+                if chars[j] == c {
+                    depth += 1;
+                } else if chars[j] == open {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+            }
+            i = j;
+        } else if c == '.' || c == '?' {
+            i -= 1;
+        } else if c == ':' && i >= 2 && chars[i - 2] == ':' {
+            i -= 2;
+        } else if c == '*' || c == '&' {
+            i -= 1; // deref/borrow prefix is part of the receiver expr
+        } else {
+            return i;
+        }
+    }
+}
+
+/// The binding identifier of a `let [mut] name = ...` statement.
+fn binding_name(stmt: &str) -> Option<String> {
+    let pos = stmt.find("let")?;
+    let rest = stmt[pos + 3..].trim_start();
+    let rest = rest.strip_prefix("mut ").unwrap_or(rest).trim_start();
+    let name: String = rest.chars().take_while(|c| is_ident(*c)).collect();
+    (!name.is_empty() && rest.starts_with(&name)).then_some(name)
+}
+
+/// Runs the pass: returns L101 findings plus the exported lock graph.
+#[must_use]
+pub fn analyze(model: &Model) -> (Vec<Finding>, LockGraph) {
+    let lock_fields: Vec<&Field> = model.fields.iter().filter(|f| f.kind.is_lock()).collect();
+    let known = known_types(model);
+    let mut by_owner: BTreeMap<(String, String), usize> = BTreeMap::new();
+    let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    for (i, f) in model.functions.iter().enumerate() {
+        if let Some(o) = &f.owner {
+            by_owner.insert((o.clone(), f.name.clone()), i);
+        }
+        by_name.entry(f.name.clone()).or_default().push(i);
+    }
+    let allowed = |file: &str, line: usize| -> bool {
+        model
+            .scan_of(file)
+            .and_then(|s| s.lines.get(line - 1))
+            .map(|l| l.allowed("L101"))
+            .unwrap_or(false)
+    };
+
+    // Per-function events.
+    let mut directs: Vec<Vec<(usize, usize, usize, String)>> = Vec::new();
+    let mut callsets: Vec<Vec<(usize, usize, usize, Vec<usize>)>> = Vec::new();
+    for func in &model.functions {
+        let (d, c) = extract_events(
+            model,
+            &known,
+            &lock_fields,
+            &by_owner,
+            &by_name,
+            func,
+            &allowed,
+        );
+        directs.push(d);
+        callsets.push(c);
+    }
+
+    // Transitive lock sets by fixpoint over the call graph.
+    let nf = model.functions.len();
+    let direct_sets: Vec<BTreeSet<String>> = (0..nf)
+        .map(|i| directs[i].iter().map(|(_, _, _, l)| l.clone()).collect())
+        .collect();
+    let mut trans = direct_sets.clone();
+    loop {
+        let mut changed = false;
+        for i in 0..nf {
+            let mut add = BTreeSet::new();
+            for (_, _, _, callees) in &callsets[i] {
+                for c in callees {
+                    for l in &trans[*c] {
+                        if !trans[i].contains(l) {
+                            add.insert(l.clone());
+                        }
+                    }
+                }
+            }
+            if !add.is_empty() {
+                trans[i].extend(add);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Acquired-while-held edges.
+    let mut edges: BTreeSet<Edge> = BTreeSet::new();
+    for (fi, func) in model.functions.iter().enumerate() {
+        let mut events: Vec<Event> = Vec::new();
+        for (start, end, line, lock) in &directs[fi] {
+            events.push(Event {
+                start: *start,
+                end: *end,
+                line: *line,
+                holders: vec![lock.clone()],
+                acquires: vec![lock.clone()],
+            });
+        }
+        for (start, end, line, callees) in &callsets[fi] {
+            let mut holders = BTreeSet::new();
+            let mut acquires = BTreeSet::new();
+            for c in callees {
+                holders.extend(direct_sets[*c].iter().cloned());
+                acquires.extend(trans[*c].iter().cloned());
+            }
+            if holders.is_empty() && acquires.is_empty() {
+                continue;
+            }
+            events.push(Event {
+                start: *start,
+                end: *end,
+                line: *line,
+                holders: holders.into_iter().collect(),
+                acquires: acquires.into_iter().collect(),
+            });
+        }
+        events.sort_by_key(|e| e.start);
+        for a in 0..events.len() {
+            for b in 0..events.len() {
+                if a == b {
+                    continue;
+                }
+                let (ea, eb) = (&events[a], &events[b]);
+                if eb.start <= ea.start || eb.start > ea.end {
+                    continue;
+                }
+                if allowed(&func.file, eb.line) {
+                    continue;
+                }
+                for l1 in &ea.holders {
+                    for l2 in &eb.acquires {
+                        edges.insert(Edge {
+                            from: l1.clone(),
+                            to: l2.clone(),
+                            file: func.file.clone(),
+                            line: eb.line,
+                            via: func.qualified(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    // Cycle detection: mutual reachability over the edge graph.
+    let nodes: Vec<String> = {
+        let mut s: BTreeSet<String> = lock_fields.iter().map(|f| f.id()).collect();
+        for e in &edges {
+            s.insert(e.from.clone());
+            s.insert(e.to.clone());
+        }
+        s.into_iter().collect()
+    };
+    let idx: BTreeMap<&str, usize> = nodes
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.as_str(), i))
+        .collect();
+    let nn = nodes.len();
+    let mut reach = vec![vec![false; nn]; nn];
+    for e in &edges {
+        reach[idx[e.from.as_str()]][idx[e.to.as_str()]] = true;
+    }
+    for k in 0..nn {
+        for i in 0..nn {
+            if reach[i][k] {
+                for j in 0..nn {
+                    if reach[k][j] {
+                        reach[i][j] = true;
+                    }
+                }
+            }
+        }
+    }
+    // Group nodes on cycles into strongly connected components.
+    let mut findings = Vec::new();
+    let mut reported = vec![false; nn];
+    for i in 0..nn {
+        if !reach[i][i] || reported[i] {
+            continue;
+        }
+        let mut comp: Vec<usize> = vec![i];
+        for j in i + 1..nn {
+            if reach[i][j] && reach[j][i] && reach[j][j] {
+                comp.push(j);
+                reported[j] = true;
+            }
+        }
+        reported[i] = true;
+        let names: Vec<&str> = comp.iter().map(|c| nodes[*c].as_str()).collect();
+        // Supporting edges: those internal to the component, one per
+        // (from, to) pair, deterministically the first by sort order.
+        let mut support: Vec<&Edge> = Vec::new();
+        let mut seen_pairs = BTreeSet::new();
+        for e in &edges {
+            if names.contains(&e.from.as_str())
+                && names.contains(&e.to.as_str())
+                && seen_pairs.insert((e.from.clone(), e.to.clone()))
+            {
+                support.push(e);
+            }
+        }
+        let detail: Vec<String> = support
+            .iter()
+            .map(|e| {
+                format!(
+                    "{} -> {} ({}:{} in {})",
+                    e.from, e.to, e.file, e.line, e.via
+                )
+            })
+            .collect();
+        let site = support.first();
+        findings.push(Finding {
+            code: "L101",
+            file: site.map(|e| e.file.clone()).unwrap_or_default(),
+            line: site.map(|e| e.line).unwrap_or(0),
+            message: format!(
+                "lock-order cycle among {{{}}}: {}",
+                names.join(", "),
+                detail.join("; ")
+            ),
+        });
+    }
+    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+
+    let graph = LockGraph {
+        locks: nodes,
+        edges: edges.into_iter().collect(),
+    };
+    (findings, graph)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> (Vec<Finding>, LockGraph) {
+        let model = Model::build(&[("src/lib.rs".to_string(), src.to_string())]);
+        analyze(&model)
+    }
+
+    #[test]
+    fn two_lock_cycle_is_reported() {
+        let src = "\
+struct Pair { a: Mutex<u32>, b: Mutex<u32> }
+impl Pair {
+    fn ab(&self) {
+        let ga = self.a.lock();
+        let gb = self.b.lock();
+        drop(gb);
+        drop(ga);
+    }
+    fn ba(&self) {
+        let gb = self.b.lock();
+        let ga = self.a.lock();
+        drop(ga);
+        drop(gb);
+    }
+}
+";
+        let (findings, graph) = run(src);
+        assert!(graph.has_edge("Pair.a", "Pair.b"));
+        assert!(graph.has_edge("Pair.b", "Pair.a"));
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].code, "L101");
+        assert!(
+            findings[0].message.contains("Pair.a"),
+            "{}",
+            findings[0].message
+        );
+        assert!(findings[0].message.contains("Pair.b"));
+    }
+
+    #[test]
+    fn consistent_order_is_clean() {
+        let src = "\
+struct Pair { a: Mutex<u32>, b: Mutex<u32> }
+impl Pair {
+    fn ab(&self) {
+        let ga = self.a.lock();
+        let gb = self.b.lock();
+        drop(gb);
+        drop(ga);
+    }
+    fn also_ab(&self) {
+        let ga = self.a.lock();
+        let gb = self.b.lock();
+        drop(gb);
+        drop(ga);
+    }
+}
+";
+        let (findings, graph) = run(src);
+        assert!(graph.has_edge("Pair.a", "Pair.b"));
+        assert!(!graph.has_edge("Pair.b", "Pair.a"));
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn drop_releases_the_guard() {
+        let src = "\
+struct Pair { a: Mutex<u32>, b: Mutex<u32> }
+impl Pair {
+    fn seq(&self) {
+        let ga = self.a.lock();
+        drop(ga);
+        let gb = self.b.lock();
+        drop(gb);
+    }
+}
+";
+        let (_, graph) = run(src);
+        assert!(!graph.has_edge("Pair.a", "Pair.b"), "{:?}", graph.edges);
+    }
+
+    #[test]
+    fn interprocedural_cycle_through_calls() {
+        let src = "\
+struct S { a: Mutex<u32>, b: Mutex<u32> }
+impl S {
+    fn take_b(&self) {
+        let g = self.b.lock();
+        drop(g);
+    }
+    fn take_a(&self) {
+        let g = self.a.lock();
+        drop(g);
+    }
+    fn ab(&self) {
+        let g = self.a.lock();
+        self.take_b();
+        drop(g);
+    }
+    fn ba(&self) {
+        let g = self.b.lock();
+        self.take_a();
+        drop(g);
+    }
+}
+";
+        let (findings, graph) = run(src);
+        assert!(graph.has_edge("S.a", "S.b"));
+        assert!(graph.has_edge("S.b", "S.a"));
+        assert_eq!(findings.len(), 1);
+    }
+
+    #[test]
+    fn recursive_acquisition_is_a_self_cycle() {
+        let src = "\
+struct S { m: Mutex<u32> }
+impl S {
+    fn twice(&self) {
+        let g1 = self.m.lock();
+        let g2 = self.m.lock();
+        drop(g2);
+        drop(g1);
+    }
+}
+";
+        let (findings, graph) = run(src);
+        assert!(graph.has_edge("S.m", "S.m"));
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("S.m -> S.m"));
+    }
+
+    #[test]
+    fn closure_inside_locking_call_sees_callee_lock_held() {
+        let src = "\
+struct Storage { map: Mutex<u32> }
+impl Storage {
+    fn with(&self, f: impl FnOnce(&mut u32)) {
+        let mut g = self.map.lock();
+        f(&mut g);
+        drop(g);
+    }
+}
+struct Db { storage: Storage, active: Mutex<u32> }
+impl Db {
+    fn bad(&self) {
+        self.storage.with(|_m| {
+            let g = self.active.lock();
+            drop(g);
+        });
+    }
+}
+";
+        let (_, graph) = run(src);
+        assert!(
+            graph.has_edge("Storage.map", "Db.active"),
+            "{:?}",
+            graph.edges
+        );
+    }
+
+    #[test]
+    fn skip_list_prevents_false_self_cycles() {
+        let src = "\
+struct Storage { map: Mutex<u32> }
+impl Storage {
+    fn with(&self, f: impl FnOnce(&mut u32)) {
+        let mut g = self.map.lock();
+        f(&mut g);
+        drop(g);
+    }
+    fn len(&self) -> usize {
+        let g = self.map.lock();
+        drop(g);
+        0
+    }
+}
+struct Db { storage: Storage }
+impl Db {
+    fn fine(&self, out: &Vec<u32>) {
+        self.storage.with(|_m| {
+            let n = out.len();
+            let _ = n;
+        });
+    }
+}
+";
+        let (findings, graph) = run(src);
+        assert!(
+            !graph.has_edge("Storage.map", "Storage.map"),
+            "{:?}",
+            graph.edges
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn allow_comment_suppresses_the_edge() {
+        let src = "\
+struct Pair { a: Mutex<u32>, b: Mutex<u32> }
+impl Pair {
+    fn ab(&self) {
+        let ga = self.a.lock();
+        let gb = self.b.lock();
+        drop(gb);
+        drop(ga);
+    }
+    fn ba(&self) {
+        let gb = self.b.lock();
+        let ga = self.a.lock(); // lint: allow(L101): seeded for test
+        drop(ga);
+        drop(gb);
+    }
+}
+";
+        let (findings, graph) = run(src);
+        assert!(!graph.has_edge("Pair.b", "Pair.a"), "{:?}", graph.edges);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn temporary_guard_is_statement_scoped() {
+        let src = "\
+struct S { a: Mutex<u32>, b: Mutex<u32> }
+impl S {
+    fn seq(&self) {
+        *self.a.lock().expect(\"a\") = 1;
+        let g = self.b.lock();
+        drop(g);
+    }
+}
+";
+        let (_, graph) = run(src);
+        assert!(!graph.has_edge("S.a", "S.b"), "{:?}", graph.edges);
+    }
+}

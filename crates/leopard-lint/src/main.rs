@@ -1,22 +1,35 @@
-//! `leopard-lint` — run the workspace lints (L001–L004) and exit non-zero
-//! on any violation. See the library docs for the lint table and the
-//! allow-comment escape hatch.
+//! `leopard-lint` — run the workspace lints (token lints L001–L004 plus
+//! the concurrency passes L101–L103) and exit non-zero on any violation.
+//! See the library docs for the lint table and the allow-comment escape
+//! hatch.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 const USAGE: &str = "\
-leopard-lint — Leopard workspace static analysis (L001-L004)
+leopard-lint — Leopard workspace static analysis (L001-L004, L101-L103)
 
 USAGE:
-  leopard-lint [--root <DIR>]
+  leopard-lint [--root <DIR>] [--json] [--manifest-out <FILE>] [--update-baseline]
 
-Scans every .rs file under the workspace root (default: the workspace this
-binary was built from), reports violations as `file:line: Lxxx: message`,
-and exits 1 if any are found.";
+OPTIONS:
+  --root <DIR>          Workspace root to scan (default: the workspace this
+                        binary was built from)
+  --json                Print findings as a JSON array instead of
+                        `file:line: Lxxx: message` lines
+  --manifest-out <FILE> Write the shared-state manifest (shared_state.json)
+                        to FILE after the scan
+  --update-baseline     Rewrite crates/leopard-lint/shared_state_baseline.json
+                        from the current workspace instead of diffing against
+                        it (L103 findings are recomputed after the update)
+
+Exits 0 when clean, 1 on violations, 2 on usage or I/O errors.";
 
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
+    let mut json = false;
+    let mut manifest_out: Option<PathBuf> = None;
+    let mut update_baseline = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -24,10 +37,19 @@ fn main() -> ExitCode {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
+            "--json" => json = true,
+            "--update-baseline" => update_baseline = true,
             "--root" => match args.next() {
                 Some(dir) => root = Some(PathBuf::from(dir)),
                 None => {
                     eprintln!("error: --root needs a value\n\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--manifest-out" => match args.next() {
+                Some(path) => manifest_out = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("error: --manifest-out needs a value\n\n{USAGE}");
                     return ExitCode::from(2);
                 }
             },
@@ -40,16 +62,61 @@ fn main() -> ExitCode {
     // The crate lives at <workspace>/crates/leopard-lint.
     let root = root.unwrap_or_else(|| PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../..")));
 
-    match leopard_lint::scan_workspace(&root) {
-        Ok((findings, scanned)) => {
-            for f in &findings {
-                println!("{f}");
+    if update_baseline {
+        // Rewrite the baseline first so the analysis below diffs cleanly.
+        match leopard_lint::analyze_workspace(&root) {
+            Ok(analysis) => {
+                let path = root.join(leopard_lint::manifest::BASELINE_REL);
+                if let Err(e) = std::fs::write(&path, &analysis.manifest_json) {
+                    eprintln!("leopard-lint: writing {} failed: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+                eprintln!(
+                    "leopard-lint: baseline updated ({} shared-state entries)",
+                    analysis.manifest.len()
+                );
+            }
+            Err(e) => {
+                eprintln!("leopard-lint: scan failed: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    match leopard_lint::analyze_workspace(&root) {
+        Ok(analysis) => {
+            if let Some(path) = &manifest_out {
+                if let Err(e) = std::fs::write(path, &analysis.manifest_json) {
+                    eprintln!("leopard-lint: writing {} failed: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            }
+            let findings = &analysis.findings;
+            let scanned = analysis.scanned;
+            if json {
+                println!("[");
+                for (i, f) in findings.iter().enumerate() {
+                    println!(
+                        "  {}{}",
+                        f.to_json(),
+                        if i + 1 < findings.len() { "," } else { "" }
+                    );
+                }
+                println!("]");
+            } else {
+                for f in findings {
+                    println!("{f}");
+                }
             }
             if findings.is_empty() {
-                println!("leopard-lint: {scanned} files clean");
+                eprintln!(
+                    "leopard-lint: {scanned} files clean ({} shared-state entries, {} lock-order edges)",
+                    analysis.manifest.len(),
+                    analysis.lock_graph.edges.len()
+                );
                 ExitCode::SUCCESS
             } else {
-                println!(
+                eprintln!(
                     "leopard-lint: {} violation(s) across {scanned} scanned files",
                     findings.len()
                 );

@@ -1,0 +1,28 @@
+//! Seeded L102/L003 fixture: an unpaired Release store, a Relaxed access
+//! to a field that elsewhere uses stronger orderings, and an unjustified
+//! Relaxed counter. The fixture test pins the exact findings.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+pub struct Flags {
+    ready: AtomicBool,
+    state: AtomicU64,
+    ticks: AtomicU64,
+}
+
+impl Flags {
+    pub fn publish(&self) {
+        self.ready.store(true, Ordering::Release);
+    }
+
+    pub fn advance(&self) -> u64 {
+        self.state.store(1, Ordering::Release);
+        let _ = self.state.load(Ordering::Acquire);
+        // relaxed: deliberate mixed-ordering seed for the L102 fixture
+        self.state.load(Ordering::Relaxed)
+    }
+
+    pub fn tick(&self) -> u64 {
+        self.ticks.fetch_add(1, Ordering::Relaxed)
+    }
+}

@@ -1,0 +1,24 @@
+//! Seeded L101 fixture: two locks acquired in opposite orders by two
+//! methods — the canonical AB/BA deadlock. The fixture test pins the
+//! exact cycle finding the analyzer must produce.
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    first: Mutex<u32>,
+    second: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn forward(&self) -> u32 {
+        let a = self.first.lock().unwrap();
+        let b = self.second.lock().unwrap();
+        *a + *b
+    }
+
+    pub fn backward(&self) -> u32 {
+        let b = self.second.lock().unwrap();
+        let a = self.first.lock().unwrap();
+        *a + *b
+    }
+}

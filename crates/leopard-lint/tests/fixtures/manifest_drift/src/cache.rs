@@ -1,0 +1,14 @@
+//! Seeded L103 fixture: one shared-state field the baseline does not
+//! know about, while the baseline names a field that no longer exists.
+
+use std::sync::Mutex;
+
+pub struct Cache {
+    entries: Mutex<Vec<u64>>,
+}
+
+impl Cache {
+    pub fn push(&self, v: u64) {
+        self.entries.lock().unwrap().push(v);
+    }
+}

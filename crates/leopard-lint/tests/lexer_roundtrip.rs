@@ -1,0 +1,67 @@
+//! Property test: the hand-rolled lexer never desyncs on raw strings,
+//! nested block comments, or `//` sequences inside string literals.
+//!
+//! Every fragment below is a self-contained chunk that returns the lexer
+//! to plain-code state, seeded with sentinels that may only ever surface
+//! in one channel:
+//!
+//! * `ZQCMT` appears only inside comments — it must land in the comment
+//!   channel, never in code;
+//! * `ZQSTR` appears only inside string/raw-string literals — the lexer
+//!   blanks literal contents (so token lints cannot fire on strings), so
+//!   it must appear in *neither* channel;
+//! * `zqcode` appears exactly once per fragment as real code — losing
+//!   one means a literal or comment swallowed the rest of a line.
+//!
+//! For any concatenation of fragments, each sentinel's occurrence count
+//! per channel must match: nothing lost, nothing leaked across channels,
+//! line structure intact, state back in sync at every fragment boundary.
+
+use leopard_lint::lexer;
+use proptest::prelude::*;
+
+const FRAGMENTS: &[&str] = &[
+    "let zqcode = 0;\n",
+    "// ZQCMT plain line comment\nlet zqcode = 1;\n",
+    "let s = \"ZQSTR // /* not special */ \\\" still ZQSTR\"; let zqcode = 2;\n",
+    "let r = r#\"ZQSTR \" // /* \"#; let zqcode = 3;\n",
+    "/* ZQCMT spanning\nZQCMT lines */ let zqcode = 4;\n",
+    "/* a /* nested ZQCMT */ ZQCMT */ let zqcode = 5;\n",
+    "let url = \"http://e.com/ZQSTR\"; let zqcode = 6; // ZQCMT trail\n",
+];
+
+fn count(hay: &str, needle: &str) -> usize {
+    hay.matches(needle).count()
+}
+
+proptest! {
+    #[test]
+    fn lexer_routes_every_sentinel_to_its_channel(
+        idxs in prop::collection::vec(0usize..7, 1..40)
+    ) {
+        let source: String = idxs.iter().map(|&i| FRAGMENTS[i]).collect();
+        let scan = lexer::scan_lines(&source);
+
+        let code: String = scan
+            .lines
+            .iter()
+            .map(|l| format!("{}\n", l.code))
+            .collect();
+        let comment: String = scan
+            .lines
+            .iter()
+            .map(|l| format!("{}\n", l.comment))
+            .collect();
+
+        // Line structure is preserved exactly.
+        prop_assert_eq!(scan.lines.len(), source.lines().count());
+        // Real code is never swallowed: one `zqcode` per fragment.
+        prop_assert_eq!(count(&code, "zqcode"), idxs.len());
+        // Comment text never leaks into code, and is never dropped.
+        prop_assert_eq!(count(&code, "ZQCMT"), 0);
+        prop_assert_eq!(count(&comment, "ZQCMT"), count(&source, "ZQCMT"));
+        // String contents are blanked: they surface in neither channel.
+        prop_assert_eq!(count(&code, "ZQSTR"), 0);
+        prop_assert_eq!(count(&comment, "ZQSTR"), 0);
+    }
+}

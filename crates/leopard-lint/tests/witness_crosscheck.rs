@@ -1,0 +1,177 @@
+//! Cross-check the runtime lock-order witness against the static L101
+//! graph.
+//!
+//! Drives a multithreaded workload through every `TrackedMutex` in the
+//! workspace — engine sessions under a probability fault (`Storage.map`,
+//! `Database.active`, `Trigger.rng`), an online verifier chain
+//! (`Shared.open`), and a chaos clock (`ChaosClock.rng`) — then asserts
+//! that what the witness recorded is consistent with what the static
+//! analyzer derived from source:
+//!
+//! 1. no runtime lock-order violation was observed;
+//! 2. every lock the runtime registered is in the static inventory,
+//!    under the same `Owner.field` identity;
+//! 3. the union of static and observed acquired-while-held edges is
+//!    acyclic — the runtime never acquires in an order the static graph
+//!    believes to be reversed.
+
+use leopard_core::lockwitness;
+use leopard_core::{IsolationLevel, Key, OnlineLeopard, Value, VerifierConfig};
+use leopard_db::{Database, DbConfig, FaultKind, FaultPlan, SimClock};
+use leopard_workloads::{ChaosClock, ChaosPlan};
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// DFS cycle check over a string-labelled edge set.
+fn acyclic(edges: &BTreeSet<(String, String)>) -> bool {
+    let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for (from, to) in edges {
+        adj.entry(from).or_default().push(to);
+    }
+    let mut done: BTreeSet<&str> = BTreeSet::new();
+    let mut on_path: BTreeSet<&str> = BTreeSet::new();
+    fn visit<'a>(
+        node: &'a str,
+        adj: &BTreeMap<&'a str, Vec<&'a str>>,
+        done: &mut BTreeSet<&'a str>,
+        on_path: &mut BTreeSet<&'a str>,
+    ) -> bool {
+        if done.contains(node) {
+            return true;
+        }
+        if !on_path.insert(node) {
+            return false;
+        }
+        for next in adj.get(node).into_iter().flatten() {
+            if !visit(next, adj, done, on_path) {
+                return false;
+            }
+        }
+        on_path.remove(node);
+        done.insert(node);
+        true
+    }
+    let nodes: Vec<&str> = adj.keys().copied().collect();
+    nodes
+        .iter()
+        .all(|n| visit(n, &adj, &mut done, &mut on_path))
+}
+
+fn run_workload() {
+    // Engine sessions from several threads, with a probability fault so
+    // Trigger.rng is drawn on every opportunity check.
+    let db = Database::with_faults(
+        DbConfig::at(IsolationLevel::Serializable),
+        FaultPlan::with_probability(FaultKind::SkipCertifier, 0.2, 42),
+    );
+    db.preload(Key(1), Value(0));
+    let threads: Vec<_> = (0..4)
+        .map(|t: u64| {
+            let db = Arc::clone(&db);
+            std::thread::spawn(move || {
+                let mut s = db.session();
+                for i in 0..50 {
+                    s.begin();
+                    let _ = s.read(Key(1));
+                    let _ = s.write(Key(1), Value(t * 100 + i));
+                    let _ = s.commit();
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("workload thread");
+    }
+
+    // An online chain: the worker publishes open clients via Shared.open.
+    let (online, handles) = OnlineLeopard::start(
+        2,
+        VerifierConfig::for_level(IsolationLevel::Serializable),
+        vec![(Key(1), Value(0))],
+    );
+    drop(handles);
+    let _ = online.finish();
+
+    // A chaos clock with skew bursts enabled draws from ChaosClock.rng.
+    let mut plan = ChaosPlan::none();
+    plan.skew_burst_prob = 0.5;
+    plan.skew_magnitude = 2;
+    plan.max_skew_bursts = 3;
+    let clock = ChaosClock::new(&plan, 0, SimClock::new(1));
+    for _ in 0..32 {
+        let _ = leopard_db::Clock::now(&clock);
+    }
+}
+
+#[test]
+fn runtime_witness_is_consistent_with_the_static_graph() {
+    run_workload();
+
+    let violations = lockwitness::order_violations();
+    assert!(
+        violations.is_empty(),
+        "runtime lock-order violations: {violations:?}"
+    );
+
+    let registered: BTreeSet<String> = lockwitness::registered_locks()
+        .into_iter()
+        .map(str::to_string)
+        .collect();
+    if cfg!(debug_assertions) {
+        // The workload above touches every tracked lock.
+        for expected in [
+            "Storage.map",
+            "Database.active",
+            "Trigger.rng",
+            "Shared.open",
+            "ChaosClock.rng",
+        ] {
+            assert!(
+                registered.contains(expected),
+                "workload never acquired {expected}; registered: {registered:?}"
+            );
+        }
+    } else {
+        assert!(registered.is_empty());
+        return;
+    }
+
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let analysis = leopard_lint::analyze_workspace(&root).expect("workspace scan");
+
+    // Every runtime lock identity exists in the static shared-state
+    // inventory as a lock-kind entry.
+    let static_locks: BTreeSet<&str> = analysis
+        .manifest
+        .iter()
+        .filter(|e| matches!(e.kind.as_str(), "mutex" | "rwlock" | "condvar"))
+        .map(|e| e.id.as_str())
+        .collect();
+    for name in &registered {
+        assert!(
+            static_locks.contains(name.as_str()),
+            "runtime lock {name} is unknown to the static inventory"
+        );
+    }
+
+    // The union of static and observed acquired-while-held edges must be
+    // acyclic: a cycle would mean the runtime took locks in an order the
+    // static graph holds in the opposite direction (or vice versa).
+    let mut union: BTreeSet<(String, String)> = analysis
+        .lock_graph
+        .edges
+        .iter()
+        .map(|e| (e.from.clone(), e.to.clone()))
+        .collect();
+    for (from, to) in lockwitness::observed_edges() {
+        // Only workspace locks participate; unit tests elsewhere in this
+        // process could register scratch locks, but this test binary runs
+        // alone, so observed edges are ours.
+        union.insert((from.to_string(), to.to_string()));
+    }
+    assert!(
+        acyclic(&union),
+        "static + observed lock-order edges contain a cycle: {union:?}"
+    );
+}

@@ -14,13 +14,13 @@
 //! everything derives deterministically from one seed, so a chaotic run
 //! replays bit-identically.
 
+use leopard_core::lockwitness::TrackedMutex;
 use leopard_core::Timestamp;
 use leopard_core::Trace;
 use leopard_db::{Clock, TraceSink};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 use std::time::Duration;
 
 /// A seeded chaos scenario for one run. All probabilities are per
@@ -264,7 +264,7 @@ pub struct ChaosClock<C> {
     burst_prob: f64,
     magnitude: u64,
     max_bursts: u64,
-    rng: Mutex<SmallRng>,
+    rng: TrackedMutex<SmallRng>,
 }
 
 impl<C: Clock> ChaosClock<C> {
@@ -278,7 +278,7 @@ impl<C: Clock> ChaosClock<C> {
             burst_prob: plan.skew_burst_prob,
             magnitude: plan.skew_magnitude,
             max_bursts: plan.max_skew_bursts,
-            rng: Mutex::new(plan.client_rng(client, 2)),
+            rng: TrackedMutex::new("ChaosClock.rng", plan.client_rng(client, 2)),
         }
     }
 
@@ -296,11 +296,7 @@ impl<C: Clock> Clock for ChaosClock<C> {
             // relaxed: per-client counter; one client's clock readings are
             // already serialized by the session.
             && self.bursts.load(Ordering::Relaxed) < self.max_bursts
-            && self
-                .rng
-                .lock()
-                .expect("chaos clock rng lock")
-                .random_bool(self.burst_prob)
+            && self.rng.lock().random_bool(self.burst_prob)
         {
             self.bursts.fetch_add(1, Ordering::Relaxed); // relaxed: per-client counter, session-serialized
             self.offset.fetch_add(self.magnitude, Ordering::Relaxed); // relaxed: per-client counter, session-serialized
