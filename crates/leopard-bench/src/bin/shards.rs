@@ -1,0 +1,220 @@
+//! Shard-scaling bench — sequential verifier vs [`ShardedVerifier`] at
+//! 1/2/4/8 shards on the Fig. 12 workloads (SmallBank, TPC-C).
+//!
+//! Two numbers per shard count:
+//!
+//! - **wall** — measured wall-clock on this host. Meaningful only when
+//!   the host has at least as many cores as shards; CI containers here
+//!   are single-core, where broadcasting every trace to N timesliced
+//!   workers can only cost, never pay.
+//! - **critical path** — `max(shard busy) + driver busy`, each measured
+//!   with per-thread cumulative timers. This is the wall-clock floor on
+//!   a host with one core per shard, and the number the speedup column
+//!   reports scaling from.
+//!
+//! Emits `BENCH_shards.json` (`--out <path>`) with both, plus host
+//! parallelism so readers can judge which column applies.
+
+use leopard_bench::{
+    collect_run_for, header, leopard_cfg, row, verify_collected, verify_collected_sharded,
+};
+use leopard_core::IsolationLevel;
+use leopard_workloads::{SmallBank, TpcC, WorkloadGen};
+use std::time::Duration;
+
+const SHARD_COUNTS: [usize; 3] = [2, 4, 8];
+
+struct Cell {
+    shards: usize,
+    wall: Duration,
+    critical_path: Duration,
+    max_shard_busy: Duration,
+    driver_busy: Duration,
+}
+
+struct Bench {
+    workload: String,
+    traces: usize,
+    committed: u64,
+    seq: Duration,
+    cells: Vec<Cell>,
+}
+
+fn bench(
+    name: &str,
+    proto: Box<dyn WorkloadGen>,
+    gens: Vec<Box<dyn WorkloadGen>>,
+    secs: u64,
+) -> Bench {
+    let cfg = leopard_cfg(IsolationLevel::Serializable);
+    let run = collect_run_for(
+        proto.as_ref(),
+        gens,
+        IsolationLevel::Serializable,
+        Duration::from_secs(secs),
+        3,
+    );
+    let (seq_outcome, seq_time) = verify_collected(&run, cfg);
+    assert!(seq_outcome.report.is_clean(), "{}", seq_outcome.report);
+
+    println!(
+        "\n## {name} ({} traces, sequential verify {:.3} s)",
+        run.merged.len(),
+        seq_time.as_secs_f64()
+    );
+    header(&[
+        "shards",
+        "wall (s)",
+        "critical path (s)",
+        "max shard busy (s)",
+        "driver (s)",
+        "projected speedup",
+    ]);
+    let mut cells = Vec::new();
+    for n in SHARD_COUNTS {
+        let (outcome, wall, timings) = verify_collected_sharded(&run, cfg, n);
+        assert!(outcome.report.is_clean(), "{}", outcome.report);
+        assert_eq!(
+            format!("{:?}", seq_outcome.report),
+            format!("{:?}", outcome.report),
+            "sharded report diverged at {n} shards"
+        );
+        let max_busy = timings
+            .shard_busy
+            .iter()
+            .max()
+            .copied()
+            .unwrap_or(Duration::ZERO);
+        let critical = max_busy + timings.driver_busy;
+        row(&[
+            n.to_string(),
+            format!("{:.3}", wall.as_secs_f64()),
+            format!("{:.3}", critical.as_secs_f64()),
+            format!("{:.3}", max_busy.as_secs_f64()),
+            format!("{:.3}", timings.driver_busy.as_secs_f64()),
+            format!(
+                "{:.2}x",
+                seq_time.as_secs_f64() / critical.as_secs_f64().max(1e-9)
+            ),
+        ]);
+        cells.push(Cell {
+            shards: n,
+            wall,
+            critical_path: critical,
+            max_shard_busy: max_busy,
+            driver_busy: timings.driver_busy,
+        });
+    }
+    Bench {
+        workload: name.to_string(),
+        traces: run.merged.len(),
+        committed: seq_outcome.counters.committed,
+        seq: seq_time,
+        cells,
+    }
+}
+
+#[derive(serde::Serialize)]
+struct ResultRow {
+    shards: usize,
+    wall_secs: f64,
+    critical_path_secs: f64,
+    max_shard_busy_secs: f64,
+    driver_busy_secs: f64,
+    projected_speedup: f64,
+}
+
+#[derive(serde::Serialize)]
+struct WorkloadReport {
+    workload: String,
+    traces: usize,
+    committed: u64,
+    results: Vec<ResultRow>,
+}
+
+#[derive(serde::Serialize)]
+struct BenchReport {
+    bench: String,
+    host_parallelism: usize,
+    note: String,
+    workloads: Vec<WorkloadReport>,
+}
+
+fn json_out(benches: Vec<Bench>) -> String {
+    let cores = std::thread::available_parallelism().map_or(0, |n| n.get());
+    let workloads = benches
+        .into_iter()
+        .map(|b| {
+            let seq = b.seq.as_secs_f64();
+            let results = std::iter::once(ResultRow {
+                shards: 1,
+                wall_secs: seq,
+                critical_path_secs: seq,
+                max_shard_busy_secs: seq,
+                driver_busy_secs: 0.0,
+                projected_speedup: 1.0,
+            })
+            .chain(b.cells.iter().map(|c| ResultRow {
+                shards: c.shards,
+                wall_secs: c.wall.as_secs_f64(),
+                critical_path_secs: c.critical_path.as_secs_f64(),
+                max_shard_busy_secs: c.max_shard_busy.as_secs_f64(),
+                driver_busy_secs: c.driver_busy.as_secs_f64(),
+                projected_speedup: seq / c.critical_path.as_secs_f64().max(1e-9),
+            }))
+            .collect();
+            WorkloadReport {
+                workload: b.workload,
+                traces: b.traces,
+                committed: b.committed,
+                results,
+            }
+        })
+        .collect();
+    let report = BenchReport {
+        bench: "shards".to_string(),
+        host_parallelism: cores,
+        note: "wall_secs is measured on this host; critical_path_secs = max(shard busy) + \
+               driver busy, the wall-clock floor with one core per shard. projected_speedup \
+               compares the single-thread verifier to that floor."
+            .to_string(),
+        workloads,
+    };
+    serde_json::to_string(&report).expect("serializable bench report")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let secs = if quick { 1 } else { 4 };
+    let threads = 8usize;
+
+    println!("# Shard scaling — sequential vs ShardedVerifier at 1/2/4/8 shards ({threads} clients, {secs}s runs)");
+    println!(
+        "host parallelism: {} core(s)",
+        std::thread::available_parallelism().map_or(0, |n| n.get())
+    );
+
+    let sb = SmallBank::new(32_000);
+    let sb_gens = leopard_bench::fork_clones(&sb, threads);
+    let a = bench("smallbank", Box::new(sb), sb_gens, secs);
+
+    let tp = TpcC::new(4);
+    let tp_gens: Vec<Box<dyn WorkloadGen>> = (0..threads)
+        .map(|_| Box::new(tp.for_client()) as _)
+        .collect();
+    let b = bench("tpcc", Box::new(tp), tp_gens, secs);
+
+    let json = json_out(vec![a, b]);
+    if let Some(path) = out {
+        std::fs::write(&path, &json).expect("write bench report");
+        println!("\nwrote {path}");
+    } else {
+        println!("\n{json}");
+    }
+}

@@ -4,7 +4,10 @@
 //! Each binary in `src/bin/` reproduces one figure; see `DESIGN.md` for
 //! the experiment index and `EXPERIMENTS.md` for recorded results.
 
-use leopard_core::{IsolationLevel, Key, Trace, Value, Verifier, VerifierConfig, VerifyOutcome};
+use leopard_core::{
+    IsolationLevel, Key, ShardTimings, ShardedVerifier, Trace, Value, Verifier, VerifierConfig,
+    VerifyOutcome,
+};
 use leopard_db::{Database, DbConfig};
 use leopard_workloads::{preload_database, run_collect, RunLimit, RunOutput, WorkloadGen};
 use std::time::{Duration, Instant};
@@ -94,6 +97,27 @@ pub fn verify_collected(run: &CollectedRun, cfg: VerifierConfig) -> (VerifyOutco
     }
     let outcome = v.finish();
     (outcome, start.elapsed())
+}
+
+/// Replays a collected run through the key-sharded verifier at `n`
+/// worker shards, returning the outcome, the wall time and the
+/// per-thread busy breakdown (for critical-path scaling projections on
+/// hosts with fewer cores than shards).
+pub fn verify_collected_sharded(
+    run: &CollectedRun,
+    cfg: VerifierConfig,
+    n: usize,
+) -> (VerifyOutcome, Duration, ShardTimings) {
+    let mut v = ShardedVerifier::new(cfg, n);
+    for &(k, val) in &run.preload {
+        v.preload(k, val);
+    }
+    let start = Instant::now();
+    for t in &run.merged {
+        v.process(t);
+    }
+    let (outcome, timings) = v.finish_timed();
+    (outcome, start.elapsed(), timings)
 }
 
 /// Default Leopard configuration for a collected run at `level`.

@@ -42,6 +42,9 @@ verify options:
   --checkpoint-every <N>        also checkpoint every N ingested traces
   --mem-budget <BYTES>          cap verifier state; over budget the verifier
                                 forces GC and sheds into degraded coverage
+  --shards <N>                  run N key-sharded verifier worker threads
+                                (default 1 = single-threaded; checkpoints use
+                                the sharded envelope when N > 1)
   --json                        emit the verdict, peak memory and shed /
                                 eviction counters as JSON
 
@@ -69,6 +72,8 @@ chaos options:
   --mem-budget <BYTES>          cap tracer + verifier memory; over budget the
                                 governor forces GC, force-dispatches, then
                                 evicts the laggiest client
+  --shards <N>                  run N key-sharded verifier worker threads
+                                (default 1 = single-threaded)
   --json                        emit the run summary as JSON
 
 lint-history options:
@@ -168,6 +173,8 @@ pub struct VerifyConfig {
     pub checkpoint_every: Option<u64>,
     /// Memory budget in bytes (`None` = unlimited).
     pub mem_budget: Option<u64>,
+    /// Verifier worker shards (1 = single-threaded).
+    pub shards: usize,
     /// Emit the verdict and resource counters as JSON.
     pub json: bool,
 }
@@ -185,6 +192,7 @@ impl Default for VerifyConfig {
             checkpoint: None,
             checkpoint_every: None,
             mem_budget: None,
+            shards: 1,
             json: false,
         }
     }
@@ -233,6 +241,8 @@ pub struct ChaosConfig {
     pub checkpoint_every: Option<u64>,
     /// Memory budget in bytes (`None` = unlimited).
     pub mem_budget: Option<u64>,
+    /// Verifier worker shards (1 = single-threaded).
+    pub shards: usize,
     /// Emit the run summary as JSON.
     pub json: bool,
 }
@@ -260,6 +270,7 @@ impl Default for ChaosConfig {
             checkpoint: None,
             checkpoint_every: None,
             mem_budget: None,
+            shards: 1,
             json: false,
         }
     }
@@ -396,6 +407,7 @@ pub fn parse_args(argv: &[String]) -> Result<Command, ParseError> {
                     "--checkpoint" => cfg.checkpoint = Some(want::<String>(arg, it.next())?),
                     "--checkpoint-every" => cfg.checkpoint_every = Some(want(arg, it.next())?),
                     "--mem-budget" => cfg.mem_budget = Some(want(arg, it.next())?),
+                    "--shards" => cfg.shards = want(arg, it.next())?,
                     "--json" => cfg.json = true,
                     flag if flag.starts_with("--") => {
                         return Err(ParseError(format!("unknown flag `{flag}`")))
@@ -418,6 +430,9 @@ pub fn parse_args(argv: &[String]) -> Result<Command, ParseError> {
             }
             if cfg.mem_budget == Some(0) {
                 return Err(ParseError("--mem-budget must be at least 1 byte".into()));
+            }
+            if cfg.shards == 0 {
+                return Err(ParseError("--shards must be at least 1".into()));
             }
             Ok(Command::Verify(cfg))
         }
@@ -446,6 +461,7 @@ pub fn parse_args(argv: &[String]) -> Result<Command, ParseError> {
                     "--checkpoint" => cfg.checkpoint = Some(want::<String>(flag, it.next())?),
                     "--checkpoint-every" => cfg.checkpoint_every = Some(want(flag, it.next())?),
                     "--mem-budget" => cfg.mem_budget = Some(want(flag, it.next())?),
+                    "--shards" => cfg.shards = want(flag, it.next())?,
                     "--json" => cfg.json = true,
                     other => return Err(ParseError(format!("unknown flag `{other}`"))),
                 }
@@ -455,6 +471,9 @@ pub fn parse_args(argv: &[String]) -> Result<Command, ParseError> {
             }
             if cfg.mem_budget == Some(0) {
                 return Err(ParseError("--mem-budget must be at least 1 byte".into()));
+            }
+            if cfg.shards == 0 {
+                return Err(ParseError("--shards must be at least 1".into()));
             }
             for (name, p) in [
                 ("--kill-prob", cfg.kill_prob),
@@ -599,6 +618,22 @@ mod tests {
         // A zero budget would shed everything; reject it loudly.
         assert!(parse_args(&args("verify cap.jsonl --mem-budget 0")).is_err());
         assert!(parse_args(&args("chaos --mem-budget 0")).is_err());
+    }
+
+    #[test]
+    fn verify_and_chaos_shards_parse() {
+        let cmd = parse_args(&args("verify cap.jsonl --shards 4")).unwrap();
+        let Command::Verify(cfg) = cmd else { panic!() };
+        assert_eq!(cfg.shards, 4);
+        let cmd = parse_args(&args("verify cap.jsonl")).unwrap();
+        let Command::Verify(cfg) = cmd else { panic!() };
+        assert_eq!(cfg.shards, 1);
+        let cmd = parse_args(&args("chaos --shards 8")).unwrap();
+        let Command::Chaos(cfg) = cmd else { panic!() };
+        assert_eq!(cfg.shards, 8);
+        // Zero shards means no verifier at all; reject loudly.
+        assert!(parse_args(&args("verify cap.jsonl --shards 0")).is_err());
+        assert!(parse_args(&args("chaos --shards 0")).is_err());
     }
 
     #[test]

@@ -2,9 +2,10 @@
 
 use crate::args::{ChaosConfig, LintHistoryConfig, OracleConfig, RecordConfig, VerifyConfig};
 use leopard_core::{
-    Backpressure, CaptureHeader, CaptureReader, CaptureWriter, Checkpoint, IsolationLevel,
-    MemBudget, OnlineLeopard, OnlineOptions, PreflightAnalyzer, PreflightConfig, PreflightReport,
-    Verifier, VerifierConfig, CAPTURE_VERSION, TRACE_APPROX_BYTES,
+    Backpressure, CaptureHeader, CaptureReader, CaptureWriter, Checkpoint, CheckpointError,
+    IsolationLevel, MemBudget, OnlineLeopard, OnlineOptions, PreflightAnalyzer, PreflightConfig,
+    PreflightReport, ShardedCheckpoint, ShardedVerifier, Verifier, VerifierConfig, VerifyOutcome,
+    CAPTURE_VERSION, TRACE_APPROX_BYTES,
 };
 use leopard_db::{Database, DbConfig, FaultPlan};
 use leopard_oracle::{corpus_files, run_matrix, CleanRunSpec, Schedule};
@@ -137,6 +138,37 @@ pub fn lint_history(cfg: &LintHistoryConfig, out: &mut dyn Write) -> i32 {
     }
 }
 
+/// The verification engine behind `leopard verify`: the single-threaded
+/// verifier, or the key-sharded pool when `--shards N` (N > 1) was given.
+/// Sharded runs checkpoint to the [`ShardedCheckpoint`] envelope.
+enum VerifyEngine {
+    Single(Verifier),
+    Sharded(ShardedVerifier),
+}
+
+impl VerifyEngine {
+    fn process(&mut self, trace: &leopard_core::Trace) {
+        match self {
+            VerifyEngine::Single(v) => v.process(trace),
+            VerifyEngine::Sharded(s) => s.process(trace),
+        }
+    }
+
+    fn write_checkpoint(&mut self, path: &Path) -> Result<(), CheckpointError> {
+        match self {
+            VerifyEngine::Single(v) => v.checkpoint().write(path),
+            VerifyEngine::Sharded(s) => s.checkpoint().write(path),
+        }
+    }
+
+    fn finish(self) -> VerifyOutcome {
+        match self {
+            VerifyEngine::Single(v) => v.finish(),
+            VerifyEngine::Sharded(s) => s.finish(),
+        }
+    }
+}
+
 /// `leopard verify`: audit a capture file.
 pub fn verify(cfg: &VerifyConfig, out: &mut dyn Write) -> i32 {
     if cfg.skip_preflight {
@@ -193,19 +225,34 @@ pub fn verify(cfg: &VerifyConfig, out: &mut dyn Write) -> i32 {
     // preload) inside the checkpoint; a fresh one is built from the flags.
     let mut skip = 0u64;
     let mut verifier = if let Some(ckpt_path) = &cfg.resume {
-        let ckpt = match Checkpoint::read(Path::new(ckpt_path)) {
-            Ok(c) => c,
-            Err(e) => {
-                let _ = writeln!(out, "error: cannot resume from {ckpt_path}: {e}");
-                return 1;
+        // The shard count selects the checkpoint format: a sharded run
+        // images itself as a ShardedCheckpoint envelope, a single-threaded
+        // run as a flat Checkpoint.
+        let engine = if cfg.shards > 1 {
+            match ShardedCheckpoint::read(Path::new(ckpt_path))
+                .and_then(|ckpt| ShardedVerifier::resume(&ckpt).map(|v| (ckpt.traces_fed, v)))
+            {
+                Ok((fed, v)) => {
+                    skip = fed;
+                    VerifyEngine::Sharded(v)
+                }
+                Err(e) => {
+                    let _ = writeln!(out, "error: cannot resume from {ckpt_path}: {e}");
+                    return 1;
+                }
             }
-        };
-        skip = ckpt.traces_ingested;
-        let v = match Verifier::from_checkpoint(&ckpt) {
-            Ok(v) => v,
-            Err(e) => {
-                let _ = writeln!(out, "error: cannot resume from {ckpt_path}: {e}");
-                return 1;
+        } else {
+            match Checkpoint::read(Path::new(ckpt_path))
+                .and_then(|ckpt| Verifier::from_checkpoint(&ckpt).map(|v| (ckpt, v)))
+            {
+                Ok((ckpt, v)) => {
+                    skip = ckpt.traces_ingested;
+                    VerifyEngine::Single(v)
+                }
+                Err(e) => {
+                    let _ = writeln!(out, "error: cannot resume from {ckpt_path}: {e}");
+                    return 1;
+                }
             }
         };
         if !cfg.json {
@@ -214,7 +261,7 @@ pub fn verify(cfg: &VerifyConfig, out: &mut dyn Write) -> i32 {
                 "resumed from {ckpt_path}: {skip} traces already ingested"
             );
         }
-        v
+        engine
     } else {
         let mut vcfg = VerifierConfig::for_level(cfg.level);
         vcfg.clock_skew_bound = cfg.skew_bound;
@@ -223,9 +270,16 @@ pub fn verify(cfg: &VerifyConfig, out: &mut dyn Write) -> i32 {
         if let Some(bytes) = cfg.mem_budget {
             vcfg.mem_budget = MemBudget::bytes(bytes);
         }
-        let mut v = Verifier::new(vcfg);
+        let mut v = if cfg.shards > 1 {
+            VerifyEngine::Sharded(ShardedVerifier::new(vcfg, cfg.shards))
+        } else {
+            VerifyEngine::Single(Verifier::new(vcfg))
+        };
         for &(k, val) in &reader.header().preload.clone() {
-            v.preload(k, val);
+            match &mut v {
+                VerifyEngine::Single(v) => v.preload(k, val),
+                VerifyEngine::Sharded(s) => s.preload(k, val),
+            }
         }
         v
     };
@@ -244,7 +298,7 @@ pub fn verify(cfg: &VerifyConfig, out: &mut dyn Write) -> i32 {
                 processed += 1;
                 if let (Some(path), Some(every)) = (&ckpt_out, cfg.checkpoint_every) {
                     if processed.is_multiple_of(every) {
-                        if let Err(e) = verifier.checkpoint().write(path) {
+                        if let Err(e) = verifier.write_checkpoint(path) {
                             let _ = writeln!(out, "error: cannot checkpoint: {e}");
                             return 1;
                         }
@@ -259,7 +313,7 @@ pub fn verify(cfg: &VerifyConfig, out: &mut dyn Write) -> i32 {
         }
     }
     if let Some(path) = &ckpt_out {
-        if let Err(e) = verifier.checkpoint().write(path) {
+        if let Err(e) = verifier.write_checkpoint(path) {
             let _ = writeln!(out, "error: cannot checkpoint: {e}");
             return 1;
         }
@@ -381,6 +435,7 @@ pub fn chaos(cfg: &ChaosConfig, out: &mut dyn Write) -> i32 {
         checkpoint_path: cfg.checkpoint.as_ref().map(PathBuf::from),
         checkpoint_every: cfg.checkpoint_every,
         backpressure,
+        shards: cfg.shards,
         ..OnlineOptions::default()
     };
     let (online, handles) = OnlineLeopard::start_opts(cfg.threads, vcfg, opts, preload);
@@ -964,6 +1019,103 @@ mod tests {
         let code = verify(
             &VerifyConfig {
                 file: path.clone(),
+                resume: Some(ckpt.clone()),
+                ..VerifyConfig::default()
+            },
+            &mut out,
+        );
+        let resumed = String::from_utf8_lossy(&out);
+        assert_eq!(code, 0, "{resumed}");
+        assert!(resumed.contains("resumed from"), "{resumed}");
+        assert!(resumed.contains("verdict: CLEAN"), "{resumed}");
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&ckpt);
+    }
+
+    #[test]
+    fn sharded_verify_agrees_with_single_threaded() {
+        let path = tmp("shard_cap");
+        let mut out = Vec::new();
+        let code = record(
+            &RecordConfig {
+                workload: "blindw-rw".to_string(),
+                threads: 2,
+                txns: 40,
+                out: path.clone(),
+                ..RecordConfig::default()
+            },
+            &mut out,
+        );
+        assert_eq!(code, 0);
+
+        let run = |shards: usize| {
+            let mut out = Vec::new();
+            let code = verify(
+                &VerifyConfig {
+                    file: path.clone(),
+                    shards,
+                    json: true,
+                    ..VerifyConfig::default()
+                },
+                &mut out,
+            );
+            (code, String::from_utf8_lossy(&out).into_owned())
+        };
+        let (code1, single) = run(1);
+        let (code4, sharded) = run(4);
+        assert_eq!(code1, 0, "{single}");
+        assert_eq!(code4, 0, "{sharded}");
+        // The JSON summaries agree except for the peak-footprint fields,
+        // which measure the engine's own topology.
+        let strip = |s: &str| {
+            s.split(',')
+                .filter(|f| !f.contains("peak_"))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        assert_eq!(strip(&single), strip(&sharded));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn sharded_checkpoint_then_resume_agrees() {
+        let path = tmp("shard_ckpt_cap");
+        let ckpt = tmp("shard_ckpt_state");
+        let mut out = Vec::new();
+        let code = record(
+            &RecordConfig {
+                workload: "blindw-rw".to_string(),
+                threads: 2,
+                txns: 40,
+                out: path.clone(),
+                ..RecordConfig::default()
+            },
+            &mut out,
+        );
+        assert_eq!(code, 0);
+
+        // Sharded pass writing intermediate + final envelope checkpoints.
+        let mut out = Vec::new();
+        let code = verify(
+            &VerifyConfig {
+                file: path.clone(),
+                shards: 3,
+                checkpoint: Some(ckpt.clone()),
+                checkpoint_every: Some(50),
+                ..VerifyConfig::default()
+            },
+            &mut out,
+        );
+        let full = String::from_utf8_lossy(&out).into_owned();
+        assert_eq!(code, 0, "{full}");
+        assert!(full.contains("checkpoint written"), "{full}");
+
+        // Resuming the envelope re-ingests nothing, reaches the same verdict.
+        let mut out = Vec::new();
+        let code = verify(
+            &VerifyConfig {
+                file: path.clone(),
+                shards: 3,
                 resume: Some(ckpt.clone()),
                 ..VerifyConfig::default()
             },

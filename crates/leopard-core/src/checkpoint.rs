@@ -28,7 +28,12 @@ use std::io::Write as _;
 use std::path::Path;
 
 /// Current checkpoint format version; bumped on incompatible change.
-pub const CHECKPOINT_VERSION: u32 = 2;
+///
+/// Version 3: pending reads are ordered by their birth position in the
+/// stream (`born_seq`, `born_elem`) instead of a private heap counter, so
+/// the order is meaningful across verifier shards; the counter field was
+/// dropped. Version 3 also introduces the [`ShardedCheckpoint`] envelope.
+pub const CHECKPOINT_VERSION: u32 = 3;
 
 /// A deferred consistent-read check, flattened for checkpointing
 /// (mirrors the verifier's private pending-read heap entries).
@@ -36,8 +41,10 @@ pub const CHECKPOINT_VERSION: u32 = 2;
 pub struct PendingReadSnap {
     /// Stream position at which the check becomes runnable.
     pub due: Timestamp,
-    /// Tie-break sequence number (heap insertion order).
-    pub seq: u64,
+    /// Stream sequence of the trace that deferred the check (tie-break).
+    pub born_seq: u64,
+    /// Element index within that trace's read set (second tie-break).
+    pub born_elem: u64,
     /// The reading transaction.
     pub reader: TxnId,
     /// The record read.
@@ -60,8 +67,6 @@ pub struct Checkpoint {
     pub config: VerifierConfig,
     /// Stream position (max `ts_bef` ingested, after skew widening).
     pub stream_pos: Timestamp,
-    /// Pending-read sequence counter.
-    pub pending_seq: u64,
     /// Version-uid counter of the version store.
     pub next_uid: u64,
     /// Traces ingested so far — the resume cursor: skip this many traces
@@ -167,6 +172,84 @@ impl Checkpoint {
     pub fn read(path: &Path) -> Result<Checkpoint, CheckpointError> {
         let json = fs::read_to_string(path)?;
         Checkpoint::from_json(&json)
+    }
+}
+
+/// A complete image of a [`crate::verify::ShardedVerifier`] mid-stream:
+/// one per-shard [`Checkpoint`] image per worker shard plus the driver's
+/// cross-shard certifier state, under a single versioned envelope.
+///
+/// Checkpoints are only taken at emission barriers (every shard's effect
+/// buffer drained and applied), so the envelope is byte-stable: two runs
+/// that fed the same traces produce identical envelopes regardless of
+/// worker-thread scheduling.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardedCheckpoint {
+    /// Format version ([`CHECKPOINT_VERSION`]).
+    pub version: u32,
+    /// Number of worker shards; resume rebuilds exactly this many.
+    pub n_shards: u64,
+    /// The configuration the run was started with.
+    pub config: VerifierConfig,
+    /// Traces fed to the sharded verifier so far, *including* quarantined
+    /// ones — the resume cursor: skip this many traces of the capture.
+    pub traces_fed: u64,
+    /// Per-shard verifier images, in shard order.
+    pub shards: Vec<Checkpoint>,
+    /// The driver's cross-shard dependency graph.
+    pub graph: Vec<NodeSnap>,
+    /// Quarantine gate: traces seen by the gate.
+    pub quarantine_seq: u64,
+    /// Quarantine gate: last admitted `ts_bef` per client.
+    pub quarantine_clients: Vec<(ClientId, Timestamp)>,
+    /// Quarantine gate: transactions with an admitted terminal.
+    pub quarantine_terminals: Vec<TxnId>,
+    /// Driver-side run counters (traces, committed, aborted, budget).
+    pub counters: VerifyCounters,
+    /// Deduction statistics summed across shards.
+    pub stats: DeductionStats,
+    /// Violations found so far, in sequential emission order.
+    pub report: BugReport,
+    /// Coverage accumulated so far.
+    pub coverage: Coverage,
+}
+
+impl ShardedCheckpoint {
+    /// Serializes to one JSON document.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("checkpoint serializes")
+    }
+
+    /// Parses a JSON document, validating the format version.
+    pub fn from_json(json: &str) -> Result<ShardedCheckpoint, CheckpointError> {
+        let ckpt: ShardedCheckpoint =
+            serde_json::from_str(json).map_err(|e| CheckpointError::Malformed(e.to_string()))?;
+        if ckpt.version != CHECKPOINT_VERSION {
+            return Err(CheckpointError::Version {
+                found: ckpt.version,
+                expected: CHECKPOINT_VERSION,
+            });
+        }
+        Ok(ckpt)
+    }
+
+    /// Writes the envelope to `path` atomically (write-to-temp, rename).
+    pub fn write(&self, path: &Path) -> Result<(), CheckpointError> {
+        let tmp = path.with_extension("ckpt.tmp");
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(self.to_json().as_bytes())?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Reads and parses an envelope from `path`.
+    pub fn read(path: &Path) -> Result<ShardedCheckpoint, CheckpointError> {
+        let json = fs::read_to_string(path)?;
+        ShardedCheckpoint::from_json(&json)
     }
 }
 

@@ -74,7 +74,9 @@ pub use capture::{CaptureError, CaptureHeader, CaptureReader, CaptureWriter, CAP
 pub use catalog::{
     catalog, CertifierRule, DbmsProfile, IsolationLevel, MechanismSet, SnapshotLevel,
 };
-pub use checkpoint::{Checkpoint, CheckpointError, PendingReadSnap, CHECKPOINT_VERSION};
+pub use checkpoint::{
+    Checkpoint, CheckpointError, PendingReadSnap, ShardedCheckpoint, CHECKPOINT_VERSION,
+};
 pub use interval::{Interval, PairOrder};
 pub use lockwitness::{TrackedMutex, TrackedMutexGuard};
 pub use online::{FinishTimeout, OnlineLeopard, OnlineOptions};
@@ -91,6 +93,6 @@ pub use stats::{DeductionStats, DepCounts, DepKind};
 pub use trace::{OpKind, Trace, TraceBuilder};
 pub use types::{ClientId, Key, Timestamp, TxnId, Value};
 pub use verify::{
-    Coverage, Footprint, Verifier, VerifierConfig, VerifyCounters, VerifyOutcome,
-    MAX_COVERAGE_NOTES,
+    Coverage, Footprint, ShardTimings, ShardedVerifier, Verifier, VerifierConfig, VerifyCounters,
+    VerifyOutcome, MAX_COVERAGE_NOTES,
 };

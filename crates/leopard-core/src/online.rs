@@ -28,12 +28,14 @@
 //! assert!(outcome.report.is_clean());
 //! ```
 
+use crate::budget::MemUsage;
 use crate::lockwitness::TrackedMutex;
 use crate::pipeline::{Backpressure, ChannelTracer, ClientHandle, PipelineConfig, PipelineStats};
+use crate::trace::Trace;
 use crate::types::{ClientId, Key, Value};
-use crate::verify::{Verifier, VerifierConfig, VerifyOutcome};
+use crate::verify::{ShardedVerifier, Verifier, VerifierConfig, VerifyOutcome};
 use std::fmt;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
@@ -60,6 +62,115 @@ pub struct OnlineOptions {
     /// couple ingest rate to verification rate (blocking) or shed with a
     /// counter (lossy). See [`Backpressure`].
     pub backpressure: Backpressure,
+    /// Number of verifier worker shards. `0` or `1` (the default) runs
+    /// the single-threaded [`Verifier`]; larger values run the key-sharded
+    /// [`ShardedVerifier`] with this many worker threads. Checkpoints
+    /// written by a sharded chain use the [`crate::ShardedCheckpoint`]
+    /// envelope instead of [`crate::Checkpoint`].
+    pub shards: usize,
+}
+
+/// The verification engine behind the online chain: the single-threaded
+/// verifier, or the key-sharded pool when [`OnlineOptions::shards`] > 1.
+/// Every governor action (overload ladder, eviction notes, checkpointing)
+/// is delegated so the worker loop is engine-agnostic.
+#[derive(Debug)]
+enum Engine {
+    Single(Verifier),
+    Sharded(ShardedVerifier),
+}
+
+impl Engine {
+    fn new(cfg: VerifierConfig, shards: usize) -> Engine {
+        if shards > 1 {
+            Engine::Sharded(ShardedVerifier::new(cfg, shards))
+        } else {
+            Engine::Single(Verifier::new(cfg))
+        }
+    }
+
+    fn preload(&mut self, key: Key, value: Value) {
+        match self {
+            Engine::Single(v) => v.preload(key, value),
+            Engine::Sharded(s) => s.preload(key, value),
+        }
+    }
+
+    fn process(&mut self, trace: &Trace) {
+        match self {
+            Engine::Single(v) => v.process(trace),
+            Engine::Sharded(s) => s.process(trace),
+        }
+    }
+
+    /// Best-effort checkpoint write: an unwritable checkpoint must not
+    /// take the verification down.
+    fn write_checkpoint(&mut self, path: &Path) {
+        match self {
+            Engine::Single(v) => {
+                let _ = v.checkpoint().write(path);
+            }
+            Engine::Sharded(s) => {
+                let _ = s.checkpoint().write(path);
+            }
+        }
+    }
+
+    fn force_gc(&mut self) {
+        match self {
+            Engine::Single(v) => v.force_gc(),
+            Engine::Sharded(s) => s.force_gc(),
+        }
+    }
+
+    fn mem_usage(&self) -> MemUsage {
+        match self {
+            Engine::Single(v) => v.mem_usage(),
+            Engine::Sharded(s) => s.mem_usage(),
+        }
+    }
+
+    fn observe_usage(&mut self, usage: MemUsage) {
+        match self {
+            Engine::Single(v) => v.observe_usage(usage),
+            Engine::Sharded(s) => s.observe_usage(usage),
+        }
+    }
+
+    fn note_evicted_client(&mut self, client: ClientId) {
+        match self {
+            Engine::Single(v) => v.note_evicted_client(client),
+            Engine::Sharded(s) => s.note_evicted_client(client),
+        }
+    }
+
+    fn note_budget_eviction(&mut self, client: ClientId) {
+        match self {
+            Engine::Single(v) => v.note_budget_eviction(client),
+            Engine::Sharded(s) => s.note_budget_eviction(client),
+        }
+    }
+
+    fn note_shed_traces(&mut self, n: u64) {
+        match self {
+            Engine::Single(v) => v.note_shed_traces(n),
+            Engine::Sharded(s) => s.note_shed_traces(n),
+        }
+    }
+
+    fn note_forced_dispatch(&mut self) {
+        match self {
+            Engine::Single(v) => v.note_forced_dispatch(),
+            Engine::Sharded(s) => s.note_forced_dispatch(),
+        }
+    }
+
+    fn finish(self) -> VerifyOutcome {
+        match self {
+            Engine::Single(v) => v.finish(),
+            Engine::Sharded(s) => s.finish(),
+        }
+    }
 }
 
 /// [`OnlineLeopard::finish_with_timeout`] gave up waiting: some client
@@ -173,7 +284,7 @@ impl OnlineLeopard {
         let (done_tx, done_rx) = mpsc::channel();
         let worker = std::thread::spawn(move || {
             let shared = worker_shared;
-            let mut verifier = Verifier::new(cfg);
+            let mut verifier = Engine::new(cfg, opts.shards);
             for (k, v) in preload {
                 verifier.preload(k, v);
             }
@@ -192,9 +303,7 @@ impl OnlineLeopard {
                         (opts.checkpoint_path.as_deref(), opts.checkpoint_every)
                     {
                         if every > 0 && processed.is_multiple_of(every) {
-                            // Best-effort: an unwritable checkpoint must not
-                            // take the verification down.
-                            let _ = verifier.checkpoint().write(path);
+                            verifier.write_checkpoint(path);
                         }
                     }
                 }
@@ -249,7 +358,7 @@ impl OnlineLeopard {
                 }
                 if shared.checkpoint.swap(false, Ordering::SeqCst) {
                     if let Some(path) = opts.checkpoint_path.as_deref() {
-                        let _ = verifier.checkpoint().write(path);
+                        verifier.write_checkpoint(path);
                     }
                 }
                 {
@@ -298,7 +407,7 @@ impl OnlineLeopard {
             if let Some(path) = opts.checkpoint_path.as_deref() {
                 if opts.checkpoint_every.is_some() {
                     // Final image so a post-run resume replays nothing.
-                    let _ = verifier.checkpoint().write(path);
+                    verifier.write_checkpoint(path);
                 }
             }
             let result = (verifier.finish(), tracer.stats());
@@ -586,6 +695,64 @@ mod tests {
         assert!(outcome.coverage.evicted_clients.contains(&ClientId(1)));
         assert!(!outcome.coverage.is_complete());
         assert!(stats.forced_dispatches >= 1);
+    }
+
+    #[test]
+    fn sharded_chain_matches_single_threaded_chain() {
+        let run = |shards: usize| {
+            let (leopard, handles) = OnlineLeopard::start_opts(
+                2,
+                VerifierConfig::for_level(IsolationLevel::Serializable),
+                OnlineOptions {
+                    shards,
+                    ..OnlineOptions::default()
+                },
+                (0..8).map(|k| (Key(k), Value(0))).collect(),
+            );
+            let mut joins = Vec::new();
+            for (c, handle) in handles.into_iter().enumerate() {
+                joins.push(std::thread::spawn(move || {
+                    for i in 0..40u64 {
+                        let txn = TxnId((c as u64) * 1000 + i + 1);
+                        let base = i * 100 + c as u64 * 3;
+                        let key = Key(c as u64 * 4 + (i % 4));
+                        handle.record(Trace::new(
+                            iv(base + 1, base + 2),
+                            ClientId(c as u32),
+                            txn,
+                            OpKind::Write(vec![(key, Value(1_000_000 + txn.0))]),
+                        ));
+                        handle.record(Trace::new(
+                            iv(base + 3, base + 4),
+                            ClientId(c as u32),
+                            txn,
+                            OpKind::Commit,
+                        ));
+                    }
+                }));
+            }
+            for j in joins {
+                j.join().unwrap();
+            }
+            leopard.finish()
+        };
+        let single = run(1);
+        let sharded = run(4);
+        assert!(single.report.is_clean(), "{}", single.report);
+        assert_eq!(
+            format!("{:?}", single.report),
+            format!("{:?}", sharded.report)
+        );
+        assert_eq!(
+            format!("{:?}", single.stats),
+            format!("{:?}", sharded.stats)
+        );
+        assert_eq!(single.counters.traces, sharded.counters.traces);
+        assert_eq!(single.counters.committed, sharded.counters.committed);
+        assert_eq!(
+            format!("{:?}", single.coverage),
+            format!("{:?}", sharded.coverage)
+        );
     }
 
     #[test]

@@ -16,12 +16,14 @@
 
 mod depgraph;
 mod lock_table;
+mod shard;
 mod txn_table;
 mod version_store;
 
 pub use depgraph::{CertifierViolation, DepGraph, NodeSnap};
 pub use lock_table::{KeyLocks, LockCheck, LockEntry, LockTable};
-pub use txn_table::{MatchedRead, TxnInfo, TxnOutcome, TxnSnap, TxnTable};
+pub use shard::{ShardTimings, ShardedVerifier};
+pub use txn_table::{MatchedRead, ReadRunKey, TxnInfo, TxnOutcome, TxnSnap, TxnTable};
 pub use version_store::{
     KeyVersions, PruneBreakdown, ReadMatch, RecordVersions, VersionClass, VersionEntry,
     VersionStore, VersionUid,
@@ -241,10 +243,16 @@ pub struct VerifyOutcome {
 
 /// A deferred consistent-read check (due once the stream passes
 /// `snapshot.hi`).
+///
+/// The tie-break after `due` is the check's *birth position* in the
+/// stream — (trace sequence, element index) — which is identical to the
+/// old insertion-counter order in a single verifier, but stays globally
+/// comparable when the heap is partitioned across shards.
 #[derive(Debug)]
 struct PendingRead {
     due: Timestamp,
-    seq: u64,
+    born_seq: u64,
+    born_elem: u64,
     reader: TxnId,
     key: Key,
     observed: Value,
@@ -253,8 +261,8 @@ struct PendingRead {
 }
 
 impl PendingRead {
-    fn key(&self) -> (Timestamp, u64) {
-        (self.due, self.seq)
+    fn key(&self) -> (Timestamp, u64, u64) {
+        (self.due, self.born_seq, self.born_elem)
     }
 }
 impl PartialEq for PendingRead {
@@ -274,6 +282,105 @@ impl Ord for PendingRead {
     }
 }
 
+/// Identity of one worker within a [`ShardedVerifier`]: shard `shard` of
+/// `of`. A verifier with no role (`None`) runs in *direct* mode — the
+/// classic single-threaded verifier, applying every effect immediately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardRole {
+    /// This shard's index, in `0..of`.
+    pub shard: usize,
+    /// Total shard count.
+    pub of: usize,
+}
+
+/// The shard a key routes to: `fxhash(key) % n`.
+pub(crate) fn shard_of(key: Key, n: usize) -> usize {
+    use std::hash::Hasher as _;
+    let mut h = crate::fxhash::FxHasher::default();
+    h.write_u64(key.0);
+    (h.finish() as usize) % n
+}
+
+// Emission phases within one trace's processing, in sequential order:
+// pending-read flush, inline per-element / per-lock-key checks, the
+// certifier node, matched-read replay, then the per-write-key loop.
+const PH_FLUSH: u64 = 1;
+const PH_INLINE: u64 = 2;
+const PH_NODE: u64 = 3;
+const PH_REPLAY: u64 = 4;
+const PH_WRITEKEY: u64 = 5;
+/// Driver-side quarantine notes. Smaller than every shard phase: a trace
+/// quarantined after `k` admissions is keyed `[k, PH_QUAR, ..]`, sorting
+/// after everything the k-th admitted trace emitted (seq `k - 1`) and
+/// before the next admitted trace's first flush (`[k, PH_FLUSH, ..]`) —
+/// exactly where the sequential verifier interleaves the note.
+pub(crate) const PH_QUAR: u64 = 0;
+
+/// Global emission key: `[seq, phase, a, b, c, d, e, sub]`, lexicographic.
+/// Two properties make the sharded merge deterministic and equivalent to
+/// the sequential verifier: every emission site is owned by exactly one
+/// shard (keys never collide across shards), and sorting the union of all
+/// shards' emissions by this key reconstructs the exact order in which the
+/// sequential verifier would have produced them.
+pub(crate) type EmitKey = [u64; 8];
+
+/// A state change the sequential verifier would apply to the global
+/// (non-per-key) structures: the bug report, the dependency graph and the
+/// coverage block. Worker shards buffer these; the driver merges and
+/// applies them in emission-key order at every barrier.
+#[derive(Debug)]
+pub(crate) enum Effect {
+    /// Append a violation to the bug report.
+    Violation(Violation),
+    /// Add a certifier node for a committed transaction (shard 0 only).
+    AddNode {
+        /// The committed transaction.
+        txn: TxnId,
+        /// Its snapshot-generation interval.
+        snapshot: Interval,
+        /// Its commit interval.
+        commit: Interval,
+    },
+    /// Add a dependency edge (the driver runs the certifier rules on it).
+    Edge {
+        /// Source transaction.
+        from: TxnId,
+        /// Target transaction.
+        to: TxnId,
+        /// Dependency kind.
+        kind: DepKind,
+    },
+    /// A consistent-read mismatch demoted to a coverage note.
+    Demoted(String),
+    /// A trace quarantined by the driver's admission gate (degraded
+    /// mode). Produced by the driver itself, never by a shard; it rides
+    /// the same merge so coverage notes keep the sequential interleaving.
+    Quarantined(String),
+}
+
+/// Ambient emission cursor: the current 7-word site prefix plus a
+/// monotonically increasing `sub` counter for multiple emissions from the
+/// same site. Only maintained when the verifier has a shard role.
+#[derive(Debug, Default, Clone, Copy)]
+struct EmitCursor {
+    prefix: [u64; 7],
+    sub: u64,
+}
+
+impl EmitCursor {
+    fn set(&mut self, prefix: [u64; 7]) {
+        self.prefix = prefix;
+        self.sub = 0;
+    }
+
+    fn next(&mut self) -> EmitKey {
+        let p = self.prefix;
+        let k = [p[0], p[1], p[2], p[3], p[4], p[5], p[6], self.sub];
+        self.sub += 1;
+        k
+    }
+}
+
 /// The mechanism-mirrored verifier.
 #[derive(Debug)]
 pub struct Verifier {
@@ -285,13 +392,18 @@ pub struct Verifier {
     report: BugReport,
     stats: DeductionStats,
     pending_reads: BinaryHeap<Reverse<PendingRead>>,
-    pending_seq: u64,
     stream_pos: Timestamp,
     counters: VerifyCounters,
     coverage: Coverage,
     quarantine: QuarantineGate,
     // Scratch buffers reused across traces to avoid per-trace allocation.
     scratch_lock_checks: Vec<(Key, LockCheck)>,
+    // Sharded operation (None = direct mode, identical to the classic
+    // single-threaded verifier).
+    role: Option<ShardRole>,
+    cursor: EmitCursor,
+    cur_seq: u64,
+    emit_buf: Vec<(EmitKey, Effect)>,
 }
 
 impl Verifier {
@@ -307,19 +419,49 @@ impl Verifier {
             report: BugReport::default(),
             stats: DeductionStats::default(),
             pending_reads: BinaryHeap::new(),
-            pending_seq: 0,
             stream_pos: Timestamp::ZERO,
             counters: VerifyCounters::default(),
             coverage: Coverage::default(),
             quarantine: QuarantineGate::default(),
             scratch_lock_checks: Vec::new(),
+            role: None,
+            cursor: EmitCursor::default(),
+            cur_seq: 0,
+            emit_buf: Vec::new(),
+        }
+    }
+
+    /// Creates a verifier operating as one shard of a [`ShardedVerifier`]:
+    /// per-key state is restricted to owned keys and global effects are
+    /// buffered for the driver instead of applied.
+    pub(crate) fn for_shard(cfg: VerifierConfig, role: ShardRole) -> Verifier {
+        let mut v = Verifier::new(cfg);
+        v.role = Some(role);
+        v
+    }
+
+    /// Assigns a shard role to a verifier restored from a per-shard
+    /// checkpoint image.
+    pub(crate) fn assume_role(&mut self, role: ShardRole) {
+        self.role = Some(role);
+    }
+
+    /// `true` when this verifier is responsible for `key` (always, in
+    /// direct mode).
+    #[inline]
+    fn owns(&self, key: Key) -> bool {
+        match self.role {
+            None => true,
+            Some(r) => shard_of(key, r.of) == r.shard,
         }
     }
 
     /// Installs the initial database state: reads may observe these values
     /// before the first traced write commits.
     pub fn preload(&mut self, key: Key, value: Value) {
-        self.versions.preload(key, value);
+        if self.owns(key) {
+            self.versions.preload(key, value);
+        }
     }
 
     /// Processes one dispatched trace. Traces must arrive in
@@ -328,14 +470,19 @@ impl Verifier {
         // Degraded mode: route ill-formed traces (inverted interval,
         // per-client clock regression, post-terminal operation, duplicate
         // mismatched terminal) to quarantine instead of corrupting the
-        // mirrored state; verification continues on the rest.
-        if self.cfg.degraded {
+        // mirrored state; verification continues on the rest. In shard
+        // mode the driver gates admission before broadcasting, so shards
+        // only ever see admitted traces.
+        if self.cfg.degraded && self.role.is_none() {
             if let Some(diag) = self.quarantine.admit(trace) {
                 self.coverage.quarantined_traces += 1;
                 self.coverage.push_note(format!("quarantined: {diag}"));
                 return;
             }
         }
+        // Sequence number of this trace in the admitted stream: the anchor
+        // word of every emission key it produces.
+        self.cur_seq = self.counters.traces;
         // Clock-skew tolerance: widen the interval so bounded
         // synchronisation error cannot fabricate a "certain" order. Only
         // the interval is adjusted; the operation payload is borrowed.
@@ -356,15 +503,21 @@ impl Verifier {
         match &trace.op {
             OpKind::Read(set) => {
                 self.txns.observe(trace.txn, trace.client, interval);
-                for &(key, value) in set {
-                    self.handle_read_element(trace.txn, interval, key, value, cr, false);
+                for (ei, &(key, value)) in set.iter().enumerate() {
+                    self.handle_read_element(trace.txn, interval, key, value, cr, false, ei as u64);
                 }
             }
             OpKind::LockedRead(set) => {
                 self.txns.observe(trace.txn, trace.client, interval);
-                for &(key, value) in set {
+                for (ei, &(key, value)) in set.iter().enumerate() {
                     if me {
-                        self.locks.acquire(key, trace.txn, interval);
+                        // The lock itself lives on the owning shard, but
+                        // every shard records the key in the transaction's
+                        // lock set: the commit-time release loop walks the
+                        // *global* key list so check indices agree.
+                        if self.owns(key) {
+                            self.locks.acquire(key, trace.txn, interval);
+                        }
                         let info = self.txns.observe(trace.txn, trace.client, interval);
                         if !info.locked_read_keys.contains(&key) {
                             info.locked_read_keys.push(key);
@@ -372,7 +525,7 @@ impl Verifier {
                     }
                     // A locking read always observes the latest committed
                     // state: statement-level snapshot semantics.
-                    self.handle_read_element(trace.txn, interval, key, value, cr, true);
+                    self.handle_read_element(trace.txn, interval, key, value, cr, true, ei as u64);
                 }
             }
             OpKind::Write(set) => {
@@ -381,10 +534,12 @@ impl Verifier {
                     .observe(trace.txn, trace.client, interval)
                     .first_op;
                 for &(key, value) in set {
-                    self.versions
-                        .install(key, value, trace.txn, interval, snapshot);
-                    if me {
-                        self.locks.acquire(key, trace.txn, interval);
+                    if self.owns(key) {
+                        self.versions
+                            .install(key, value, trace.txn, interval, snapshot);
+                        if me {
+                            self.locks.acquire(key, trace.txn, interval);
+                        }
                     }
                     let info = self.txns.observe(trace.txn, trace.client, interval);
                     if info.own_writes.insert(key, value).is_none() {
@@ -403,6 +558,13 @@ impl Verifier {
         }
 
         self.counters.traces += 1;
+        if self.role.is_some() {
+            // Shard mode: GC and budget enforcement are epoch-coordinated
+            // by the driver (a lone shard cannot compute the global GC low
+            // watermark, and per-shard budget checks would diverge from the
+            // aggregate the governor acts on).
+            return;
+        }
         if self.cfg.gc && self.counters.traces.is_multiple_of(self.cfg.gc_every) {
             self.collect_garbage();
         }
@@ -447,6 +609,7 @@ impl Verifier {
     /// Flushes every remaining deferred check and returns the outcome.
     #[must_use]
     pub fn finish(mut self) -> VerifyOutcome {
+        self.cur_seq = u64::MAX;
         self.flush_pending_reads(Timestamp::MAX);
         self.counters.peak_footprint = self.counters.peak_footprint.max(self.footprint().total());
         let mut coverage = self.coverage;
@@ -523,7 +686,8 @@ impl Verifier {
             .iter()
             .map(|Reverse(p)| PendingReadSnap {
                 due: p.due,
-                seq: p.seq,
+                born_seq: p.born_seq,
+                born_elem: p.born_elem,
                 reader: p.reader,
                 key: p.key,
                 observed: p.observed,
@@ -531,13 +695,12 @@ impl Verifier {
                 read_op: p.read_op,
             })
             .collect();
-        pending.sort_unstable_by_key(|p| (p.due, p.seq));
+        pending.sort_unstable_by_key(|p| (p.due, p.born_seq, p.born_elem));
         let (quarantine_seq, quarantine_clients, quarantine_terminals) = self.quarantine.snapshot();
         Checkpoint {
             version: CHECKPOINT_VERSION,
             config: self.cfg,
             stream_pos: self.stream_pos,
-            pending_seq: self.pending_seq,
             next_uid: self.versions.next_uid(),
             traces_ingested: self.counters.traces,
             txns: self.txns.snapshot(),
@@ -571,7 +734,8 @@ impl Verifier {
         for p in &ckpt.pending_reads {
             pending_reads.push(Reverse(PendingRead {
                 due: p.due,
-                seq: p.seq,
+                born_seq: p.born_seq,
+                born_elem: p.born_elem,
                 reader: p.reader,
                 key: p.key,
                 observed: p.observed,
@@ -588,7 +752,6 @@ impl Verifier {
             report: ckpt.report.clone(),
             stats: ckpt.stats,
             pending_reads,
-            pending_seq: ckpt.pending_seq,
             stream_pos: ckpt.stream_pos,
             counters: ckpt.counters,
             coverage: ckpt.coverage.clone(),
@@ -598,6 +761,10 @@ impl Verifier {
                 &ckpt.quarantine_terminals,
             ),
             scratch_lock_checks: Vec::new(),
+            role: None,
+            cursor: EmitCursor::default(),
+            cur_seq: 0,
+            emit_buf: Vec::new(),
         })
     }
 
@@ -644,8 +811,110 @@ impl Verifier {
         &self.versions
     }
 
+    // ----- shard emission plumbing ----------------------------------------
+
+    /// Positions the emission cursor at a new site (no-op in direct mode).
+    #[inline]
+    fn set_cursor(&mut self, prefix: [u64; 7]) {
+        if self.role.is_some() {
+            self.cursor.set(prefix);
+        }
+    }
+
+    /// The match-time run key for a [`MatchedRead`]: the first five cursor
+    /// words, which globally order read-check executions across shards.
+    fn run_key(&self) -> ReadRunKey {
+        match self.role {
+            None => ReadRunKey::default(),
+            Some(_) => {
+                let p = self.cursor.prefix;
+                ReadRunKey {
+                    seq: p[0],
+                    phase: p[1],
+                    a: p[2],
+                    b: p[3],
+                    c: p[4],
+                }
+            }
+        }
+    }
+
+    /// Appends a violation (direct) or buffers it for the driver (shard).
+    fn emit_violation(&mut self, v: Violation) {
+        match self.role {
+            None => self.report.violations.push(v),
+            Some(_) => {
+                let k = self.cursor.next();
+                self.emit_buf.push((k, Effect::Violation(v)));
+            }
+        }
+    }
+
+    /// Counts and notes a demoted read (direct) or buffers it (shard);
+    /// the driver applies the note cap so shards emit uncapped.
+    fn emit_demoted(&mut self, note: String) {
+        match self.role {
+            None => {
+                self.coverage.demoted_reads += 1;
+                self.coverage.push_note(note);
+            }
+            Some(_) => {
+                let k = self.cursor.next();
+                self.emit_buf.push((k, Effect::Demoted(note)));
+            }
+        }
+    }
+
+    /// Drains the buffered effects (shard mode), naturally sorted: within
+    /// one shard, emission keys are produced in increasing order.
+    pub(crate) fn take_emissions(&mut self) -> Vec<(EmitKey, Effect)> {
+        std::mem::take(&mut self.emit_buf)
+    }
+
+    /// Minimum snapshot `ts_bef` among this shard's deferred read checks.
+    pub(crate) fn pending_low(&self) -> Option<Timestamp> {
+        self.pending_reads
+            .iter()
+            .map(|Reverse(p)| p.snapshot.lo)
+            .min()
+    }
+
+    /// The earliest active snapshot (GC low-watermark input).
+    pub(crate) fn earliest_active(&self) -> Option<Timestamp> {
+        self.txns.earliest_active_snapshot()
+    }
+
+    /// Current stream position (max widened `ts_bef` seen).
+    pub(crate) fn stream_pos(&self) -> Timestamp {
+        self.stream_pos
+    }
+
+    /// Driver-coordinated GC with a globally computed low watermark; the
+    /// shard-local graph is empty, so only the per-key structures and the
+    /// transaction table are pruned.
+    pub(crate) fn shard_gc(&mut self, low: Timestamp) {
+        self.versions.prune(low);
+        self.locks.prune(low);
+        self.txns.prune(low);
+    }
+
+    /// Finish-time flush for a worker shard: runs every remaining deferred
+    /// check, emitting under the terminal sequence number so finish
+    /// emissions sort after every trace's.
+    pub(crate) fn shard_finish_flush(&mut self) {
+        self.cur_seq = u64::MAX;
+        self.flush_pending_reads(Timestamp::MAX);
+    }
+
+    /// Transactions with no terminal trace, sorted (identical across
+    /// shards: every shard tracks the full transaction table).
+    pub(crate) fn active_txns(&self) -> Vec<TxnId> {
+        self.txns.active_txns()
+    }
+
     // ----- consistent read ------------------------------------------------
 
+    #[allow(clippy::too_many_arguments)]
     fn handle_read_element(
         &mut self,
         txn: TxnId,
@@ -654,8 +923,13 @@ impl Verifier {
         observed: Value,
         cr: Option<SnapshotLevel>,
         force_statement: bool,
+        elem: u64,
     ) {
+        if !self.owns(key) {
+            return;
+        }
         let Some(level) = cr else { return };
+        self.set_cursor([self.cur_seq, PH_INLINE, elem, 0, 0, 0, 0]);
         let Some(info) = self.txns.get(txn) else {
             return;
         };
@@ -667,13 +941,12 @@ impl Verifier {
                 if self.cfg.degraded {
                     // A dropped write delivery of the same transaction can
                     // make the last *observed* own-write stale: demote.
-                    self.coverage.demoted_reads += 1;
-                    self.coverage.push_note(format!(
+                    self.emit_demoted(format!(
                         "demoted: {txn} read {observed} of {key} over own write {own} \
                          (possible missing write delivery)"
                     ));
                 } else {
-                    self.report.violations.push(Violation::ConsistentRead {
+                    self.emit_violation(Violation::ConsistentRead {
                         reader: txn,
                         key,
                         observed,
@@ -692,10 +965,10 @@ impl Verifier {
         // Defer until the stream position passes the snapshot's after
         // timestamp: beyond that point every commit that could possibly
         // overlap the snapshot interval has been dispatched.
-        self.pending_seq += 1;
         let check = PendingRead {
             due: snapshot.hi,
-            seq: self.pending_seq,
+            born_seq: self.cur_seq,
+            born_elem: elem,
             reader: txn,
             key,
             observed,
@@ -716,6 +989,15 @@ impl Verifier {
             .is_some_and(|Reverse(front)| front.due <= up_to)
         {
             if let Some(Reverse(check)) = self.pending_reads.pop() {
+                self.set_cursor([
+                    self.cur_seq,
+                    PH_FLUSH,
+                    check.due.0,
+                    check.born_seq,
+                    check.born_elem,
+                    0,
+                    0,
+                ]);
                 self.run_read_check(&check);
             }
         }
@@ -739,6 +1021,7 @@ impl Verifier {
                 } else {
                     self.stats.wr.deduced += 1;
                 }
+                let run_key = self.run_key();
                 if let Some(info) = self.txns.get_mut(check.reader) {
                     let matched = MatchedRead {
                         key: check.key,
@@ -746,6 +1029,7 @@ impl Verifier {
                         writer,
                         read_op: check.read_op,
                         interval_certain,
+                        run_key,
                     };
                     match info.outcome {
                         // Reader still running: buffer until its commit.
@@ -788,15 +1072,14 @@ impl Verifier {
                 // certifier keep full power — their evidence is commit
                 // intervals, which mangling cannot move.
                 if self.cfg.degraded {
-                    self.coverage.demoted_reads += 1;
-                    self.coverage.push_note(format!(
+                    self.emit_demoted(format!(
                         "demoted: {} read {} of {} matched no candidate \
                          (explainable by a missing delivery)",
                         check.reader, check.observed, check.key
                     ));
                     return;
                 }
-                self.report.violations.push(Violation::ConsistentRead {
+                self.emit_violation(Violation::ConsistentRead {
                     reader: check.reader,
                     key: check.key,
                     observed: check.observed,
@@ -845,45 +1128,85 @@ impl Verifier {
         let matched_reads = std::mem::take(&mut info.matched_reads);
         self.counters.committed += 1;
 
-        // Mutual exclusion: release all locks, checking pairs (§V-B).
+        // Mutual exclusion: release all locks, checking pairs (§V-B). The
+        // per-key release walks the transaction's global key list so a
+        // shard (which holds only its owned keys' locks) emits checks
+        // under the same key index as the sequential verifier would.
         if self.cfg.mechanisms.mutual_exclusion {
             let mut checks = std::mem::take(&mut self.scratch_lock_checks);
-            checks.clear();
             let mut all_keys = write_keys.clone();
             all_keys.extend_from_slice(&locked_read_keys);
-            self.locks.release_txn(txn, &all_keys, commit, &mut checks);
-            for (key, check) in checks.drain(..) {
-                if let LockCheck::Violation { own_acquire, other } = check {
-                    self.report.violations.push(Violation::MutualExclusion {
-                        key,
-                        first: (txn, own_acquire, commit),
-                        second: other,
-                    });
+            for (ki, &key) in all_keys.iter().enumerate() {
+                if !self.owns(key) {
+                    continue;
                 }
-                // Orders are re-derived during version adjacency below;
-                // nothing else to do here.
+                self.set_cursor([self.cur_seq, PH_INLINE, ki as u64, 0, 0, 0, 0]);
+                checks.clear();
+                self.locks.release_one(txn, key, commit, &mut checks);
+                for (key, check) in checks.drain(..) {
+                    if let LockCheck::Violation { own_acquire, other } = check {
+                        self.emit_violation(Violation::MutualExclusion {
+                            key,
+                            first: (txn, own_acquire, commit),
+                            second: other,
+                        });
+                    }
+                    // Orders are re-derived during version adjacency below;
+                    // nothing else to do here.
+                }
             }
             self.scratch_lock_checks = checks;
         }
 
         // Install versions: they become visible within the commit interval.
-        self.versions.commit(txn, &write_keys, commit);
+        for &key in &write_keys {
+            if self.owns(key) {
+                self.versions
+                    .commit(txn, std::slice::from_ref(&key), commit);
+            }
+        }
 
         // Serialization certifier: node plus the dependencies this commit
-        // completes.
-        self.graph.add_node(txn, snapshot, commit);
+        // completes. In shard mode the node is emitted by shard 0 alone
+        // (every shard sees every commit; one announcement suffices).
+        self.set_cursor([self.cur_seq, PH_NODE, 0, 0, 0, 0, 0]);
+        match self.role {
+            None => self.graph.add_node(txn, snapshot, commit),
+            Some(r) => {
+                if r.shard == 0 {
+                    let k = self.cursor.next();
+                    self.emit_buf.push((
+                        k,
+                        Effect::AddNode {
+                            txn,
+                            snapshot,
+                            commit,
+                        },
+                    ));
+                }
+            }
+        }
 
-        // wr edges (and derived rw edges) from this transaction's reads.
+        // wr edges (and derived rw edges) from this transaction's reads,
+        // replayed in match order (the run key reconstructs that order
+        // across shards).
         for m in &matched_reads {
+            let rk = m.run_key;
+            self.set_cursor([self.cur_seq, PH_REPLAY, rk.seq, rk.phase, rk.a, rk.b, rk.c]);
             self.emit_matched_read(txn, m);
         }
 
         // FUW + ww adjacency per written key.
-        for &key in &write_keys {
+        for (ki, &key) in write_keys.iter().enumerate() {
+            if !self.owns(key) {
+                continue;
+            }
             if self.cfg.mechanisms.first_updater_wins {
+                self.set_cursor([self.cur_seq, PH_WRITEKEY, ki as u64, 0, 0, 0, 0]);
                 self.check_fuw(txn, key, snapshot, commit);
             }
             self.settle_version_order(txn, key);
+            self.set_cursor([self.cur_seq, PH_WRITEKEY, ki as u64, 1, 0, 0, 0]);
             self.link_version_adjacency(txn, key);
         }
     }
@@ -974,24 +1297,34 @@ impl Verifier {
         // an aborted and any other transaction are still bugs.
         if self.cfg.mechanisms.mutual_exclusion {
             let mut checks = std::mem::take(&mut self.scratch_lock_checks);
-            checks.clear();
             let mut all_keys = write_keys.clone();
             all_keys.extend_from_slice(&locked_read_keys);
-            self.locks.release_txn(txn, &all_keys, abort, &mut checks);
-            for (key, check) in checks.drain(..) {
-                if let LockCheck::Violation { own_acquire, other } = check {
-                    self.report.violations.push(Violation::MutualExclusion {
-                        key,
-                        first: (txn, own_acquire, abort),
-                        second: other,
-                    });
+            for (ki, &key) in all_keys.iter().enumerate() {
+                if !self.owns(key) {
+                    continue;
+                }
+                self.set_cursor([self.cur_seq, PH_INLINE, ki as u64, 0, 0, 0, 0]);
+                checks.clear();
+                self.locks.release_one(txn, key, abort, &mut checks);
+                for (key, check) in checks.drain(..) {
+                    if let LockCheck::Violation { own_acquire, other } = check {
+                        self.emit_violation(Violation::MutualExclusion {
+                            key,
+                            first: (txn, own_acquire, abort),
+                            second: other,
+                        });
+                    }
                 }
             }
             self.scratch_lock_checks = checks;
         }
 
         // Aborted versions are discarded (§II-A).
-        self.versions.abort(txn, &write_keys);
+        for &key in &write_keys {
+            if self.owns(key) {
+                self.versions.abort(txn, std::slice::from_ref(&key));
+            }
+        }
     }
 
     /// First-updater-wins (§V-C, Alg. 2): for every other committed writer
@@ -1015,7 +1348,7 @@ impl Verifier {
             }
         }
         for (other_txn, other_snapshot, other_commit) in violations {
-            self.report.violations.push(Violation::FirstUpdaterWins {
+            self.emit_violation(Violation::FirstUpdaterWins {
                 key,
                 first: (txn, snapshot, commit),
                 second: (other_txn, other_snapshot, other_commit),
@@ -1175,8 +1508,15 @@ impl Verifier {
         }
     }
 
-    /// Adds a dependency edge and reports any certifier-rule match.
+    /// Adds a dependency edge and reports any certifier-rule match
+    /// (direct), or buffers the edge for the driver's cross-shard
+    /// certifier (shard mode — the certifier needs the *global* graph).
     fn add_dep(&mut self, from: TxnId, to: TxnId, kind: DepKind) {
+        if self.role.is_some() {
+            let k = self.cursor.next();
+            self.emit_buf.push((k, Effect::Edge { from, to, kind }));
+            return;
+        }
         let rule = self.cfg.mechanisms.certifier;
         if let Some(v) = self.graph.add_edge(from, to, kind, rule) {
             self.report

@@ -1,0 +1,778 @@
+//! Key-sharded parallel verification: N worker shards running the
+//! per-key mechanism checks (CR, ME, FUW), one driver running the
+//! cross-shard serialization certifier.
+//!
+//! Every shard receives **every** admitted trace and keeps a full
+//! transaction table (cheap, and it makes commit-time key indices agree
+//! across shards), but restricts the version store, the lock table and
+//! the deferred-read heap to the keys it owns (`fxhash(key) % N`). The
+//! effects a shard would apply to the *global* structures — violations,
+//! dependency edges, certifier nodes, coverage notes — are buffered under
+//! an [`EmitKey`] that encodes the exact position the sequential verifier
+//! would have produced them at. At every barrier the driver merges all
+//! shards' buffers, sorts by key and applies in order; the result is
+//! bit-identical to the sequential verifier's and independent of worker
+//! scheduling by construction.
+//!
+//! Barriers are aligned to the GC cadence (`gc_every` admitted traces):
+//! the driver collects an epoch from every shard, applies the merged
+//! effects, computes the global GC low watermark (which needs the minimum
+//! pending-read snapshot across *all* shards) and broadcasts the prune.
+//! Memory-budget enforcement runs at the same barriers against the
+//! aggregate usage; this is the one documented divergence from the
+//! sequential verifier, whose rung-1 check runs per trace.
+
+use super::{
+    Coverage, DepGraph, Effect, EmitKey, Footprint, ShardRole, Verifier, VerifierConfig,
+    VerifyCounters, VerifyOutcome, PH_QUAR,
+};
+use crate::budget::MemUsage;
+use crate::checkpoint::{Checkpoint, CheckpointError, ShardedCheckpoint, CHECKPOINT_VERSION};
+use crate::lockwitness::TrackedMutex;
+use crate::preflight::QuarantineGate;
+use crate::report::{BugReport, Violation};
+use crate::stats::DeductionStats;
+use crate::trace::Trace;
+use crate::types::{ClientId, Key, Timestamp, TxnId, Value};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Traces per broadcast batch between barriers.
+const BATCH_TRACES: usize = 128;
+
+/// Driver → shard protocol.
+enum ToShard {
+    /// Initial database state; each shard applies its owned subset.
+    Preload(Arc<Vec<(Key, Value)>>),
+    /// A batch of admitted traces, in stream order.
+    Batch(Arc<Vec<Trace>>),
+    /// Barrier: reply with an [`EpochOut`] (drained emissions + watermark
+    /// inputs).
+    Flush,
+    /// Prune per-key state up to the driver-computed low watermark.
+    Gc(Timestamp),
+    /// Reply with a per-shard checkpoint image (only sent at a barrier,
+    /// when the emission buffer is empty).
+    Checkpoint,
+    /// Flush remaining deferred checks and reply with the final epoch;
+    /// the worker exits afterwards.
+    Finish,
+}
+
+/// Shard → driver replies.
+enum FromShard {
+    Epoch(Box<EpochOut>),
+    Image(Box<Checkpoint>),
+}
+
+/// One shard's barrier report.
+struct EpochOut {
+    emissions: Vec<(EmitKey, Effect)>,
+    pending_low: Option<Timestamp>,
+    earliest_active: Option<Timestamp>,
+    stream_pos: Timestamp,
+    counters: VerifyCounters,
+    stats: DeductionStats,
+    footprint: Footprint,
+    /// Cumulative CPU-busy time this worker has spent processing.
+    busy: Duration,
+    /// Sorted indeterminate transactions; only on [`ToShard::Finish`].
+    active: Option<Vec<TxnId>>,
+}
+
+struct ShardHandle {
+    tx: mpsc::Sender<ToShard>,
+    rx: mpsc::Receiver<FromShard>,
+    usage: Arc<TrackedMutex<MemUsage>>,
+    join: Option<JoinHandle<()>>,
+}
+
+fn shard_worker(
+    mut v: Verifier,
+    rx: mpsc::Receiver<ToShard>,
+    tx: mpsc::Sender<FromShard>,
+    usage: Arc<TrackedMutex<MemUsage>>,
+) {
+    // Busy time excludes blocking on the channel: it is the per-shard
+    // critical-path cost a dedicated core would pay, the number the
+    // shards bench projects scaling from.
+    let mut busy = Duration::ZERO;
+    while let Ok(msg) = rx.recv() {
+        // lint: allow(L004): observability only — busy time is reported in ShardTimings and never feeds verification state
+        let t0 = Instant::now();
+        match msg {
+            ToShard::Preload(items) => {
+                for &(key, value) in items.iter() {
+                    v.preload(key, value);
+                }
+                busy += t0.elapsed();
+            }
+            ToShard::Batch(traces) => {
+                for t in traces.iter() {
+                    v.process(t);
+                }
+                let u = v.mem_usage();
+                *usage.lock() = u;
+                busy += t0.elapsed();
+            }
+            ToShard::Flush => {
+                let out = epoch_out(&mut v, None, busy);
+                busy += t0.elapsed();
+                if tx.send(FromShard::Epoch(Box::new(out))).is_err() {
+                    return;
+                }
+            }
+            ToShard::Gc(low) => {
+                v.shard_gc(low);
+                let u = v.mem_usage();
+                *usage.lock() = u;
+                busy += t0.elapsed();
+            }
+            ToShard::Checkpoint => {
+                if tx.send(FromShard::Image(Box::new(v.checkpoint()))).is_err() {
+                    return;
+                }
+                busy += t0.elapsed();
+            }
+            ToShard::Finish => {
+                v.shard_finish_flush();
+                let active = v.active_txns();
+                busy += t0.elapsed();
+                let out = epoch_out(&mut v, Some(active), busy);
+                let _ = tx.send(FromShard::Epoch(Box::new(out)));
+                return;
+            }
+        }
+    }
+}
+
+fn epoch_out(v: &mut Verifier, active: Option<Vec<TxnId>>, busy: Duration) -> EpochOut {
+    EpochOut {
+        emissions: v.take_emissions(),
+        pending_low: v.pending_low(),
+        earliest_active: v.earliest_active(),
+        stream_pos: v.stream_pos(),
+        counters: v.counters(),
+        stats: *v.stats(),
+        footprint: v.footprint(),
+        busy,
+        active,
+    }
+}
+
+fn add_stats(into: &mut DeductionStats, s: &DeductionStats) {
+    into.ww.certain += s.ww.certain;
+    into.ww.deduced += s.ww.deduced;
+    into.ww.uncertain += s.ww.uncertain;
+    into.wr.certain += s.wr.certain;
+    into.wr.deduced += s.wr.deduced;
+    into.wr.uncertain += s.wr.uncertain;
+    into.rw.certain += s.rw.certain;
+    into.rw.deduced += s.rw.deduced;
+    into.rw.uncertain += s.rw.uncertain;
+}
+
+/// The key-sharded parallel verifier: a drop-in alternative to
+/// [`Verifier`] that runs the per-key mechanism checks on N worker
+/// threads and the serialization certifier on the calling thread,
+/// producing a [`VerifyOutcome`] whose report, statistics, trace/commit
+/// counters and coverage are bit-identical to the sequential verifier's
+/// (peak-footprint and budget counters measure the sharded topology and
+/// differ). See the module docs for the protocol.
+#[derive(Debug)]
+pub struct ShardedVerifier {
+    cfg: VerifierConfig,
+    n: usize,
+    workers: Vec<ShardHandle>,
+    graph: DepGraph,
+    report: BugReport,
+    stats: DeductionStats,
+    counters: VerifyCounters,
+    coverage: Coverage,
+    quarantine: QuarantineGate,
+    batch: Vec<Trace>,
+    preload_buf: Vec<(Key, Value)>,
+    preload_sent: bool,
+    traces_fed: u64,
+    admitted: u64,
+    /// Driver-originated effects (quarantine notes) awaiting the next
+    /// barrier, keyed so they merge into the sequential emission order.
+    driver_emissions: Vec<(EmitKey, Effect)>,
+    /// Last-reported cumulative busy time per shard (from epochs).
+    shard_busy: Vec<Duration>,
+    /// Cumulative driver time spent merging epochs and running the
+    /// certifier.
+    driver_busy: Duration,
+}
+
+/// Per-thread busy-time breakdown of a sharded run, for the scaling
+/// bench: on an N-core host the wall-clock floor is the slowest shard's
+/// busy time plus the driver's serial merge/certifier time.
+#[derive(Debug, Clone)]
+pub struct ShardTimings {
+    /// Cumulative busy time of each worker shard (excludes channel
+    /// blocking).
+    pub shard_busy: Vec<Duration>,
+    /// Driver-side merge + certifier + GC-coordination time.
+    pub driver_busy: Duration,
+}
+
+impl std::fmt::Debug for ShardHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardHandle").finish_non_exhaustive()
+    }
+}
+
+impl ShardedVerifier {
+    /// Creates a sharded verifier with `n` worker shards (`n >= 1`).
+    ///
+    /// # Panics
+    /// Panics when `n == 0`.
+    #[must_use]
+    pub fn new(cfg: VerifierConfig, n: usize) -> ShardedVerifier {
+        assert!(n >= 1, "shard count must be at least 1");
+        let workers = (0..n)
+            .map(|i| spawn_shard(Verifier::for_shard(cfg, ShardRole { shard: i, of: n }), i))
+            .collect();
+        ShardedVerifier {
+            cfg,
+            n,
+            workers,
+            graph: DepGraph::default(),
+            report: BugReport::default(),
+            stats: DeductionStats::default(),
+            counters: VerifyCounters::default(),
+            coverage: Coverage::default(),
+            quarantine: QuarantineGate::default(),
+            batch: Vec::with_capacity(BATCH_TRACES),
+            preload_buf: Vec::new(),
+            preload_sent: false,
+            traces_fed: 0,
+            admitted: 0,
+            driver_emissions: Vec::new(),
+            shard_busy: vec![Duration::ZERO; n],
+            driver_busy: Duration::ZERO,
+        }
+    }
+
+    /// Number of worker shards.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.n
+    }
+
+    /// Installs the initial database state (before the first trace).
+    pub fn preload(&mut self, key: Key, value: Value) {
+        self.preload_buf.push((key, value));
+    }
+
+    /// Feeds one trace, in non-decreasing `ts_bef` order. Traces are
+    /// batched and broadcast to every shard; barriers (effect merge, GC)
+    /// run on the `gc_every` cadence of admitted traces.
+    pub fn process(&mut self, trace: &Trace) {
+        self.traces_fed += 1;
+        // Degraded-mode quarantine runs on the driver, pre-broadcast, so
+        // shards only see admitted traces and their sequence numbers agree
+        // with the driver's admitted counter.
+        if self.cfg.degraded {
+            if let Some(diag) = self.quarantine.admit(trace) {
+                // Buffered rather than applied: the note must interleave
+                // with shard-emitted notes in sequential order, so it
+                // joins the merge at the next barrier under PH_QUAR.
+                let key: EmitKey = [self.admitted, PH_QUAR, self.traces_fed, 0, 0, 0, 0, 0];
+                self.driver_emissions
+                    .push((key, Effect::Quarantined(format!("quarantined: {diag}"))));
+                return;
+            }
+        }
+        self.batch.push(trace.clone());
+        self.admitted += 1;
+        if self.admitted.is_multiple_of(self.cfg.gc_every) {
+            self.flush_epoch(self.cfg.gc);
+        } else if self.batch.len() >= BATCH_TRACES {
+            self.dispatch_batch();
+        }
+    }
+
+    fn send_all(&self, make: impl Fn() -> ToShard) {
+        for w in &self.workers {
+            // lint: allow(L001): a dead worker shard is unrecoverable; re-raise as a panic
+            w.tx.send(make()).expect("shard worker alive");
+        }
+    }
+
+    fn dispatch_batch(&mut self) {
+        if !self.preload_sent {
+            self.preload_sent = true;
+            let items = Arc::new(std::mem::take(&mut self.preload_buf));
+            self.send_all(|| ToShard::Preload(Arc::clone(&items)));
+        }
+        if self.batch.is_empty() {
+            return;
+        }
+        let batch = Arc::new(std::mem::replace(
+            &mut self.batch,
+            Vec::with_capacity(BATCH_TRACES),
+        ));
+        self.send_all(|| ToShard::Batch(Arc::clone(&batch)));
+    }
+
+    /// Barrier: dispatch the partial batch, collect every shard's epoch,
+    /// apply the merged effects in emission order, then (optionally) run
+    /// a globally watermarked GC pass.
+    fn flush_epoch(&mut self, gc: bool) {
+        self.dispatch_batch();
+        self.send_all(|| ToShard::Flush);
+        let epochs = self.collect_epochs();
+        self.merge_epochs(&epochs, gc);
+    }
+
+    fn collect_epochs(&mut self) -> Vec<EpochOut> {
+        self.workers
+            .iter()
+            .map(|w| {
+                // lint: allow(L001): a dead worker shard is unrecoverable; re-raise as a panic
+                match w.rx.recv().expect("shard worker alive") {
+                    FromShard::Epoch(e) => *e,
+                    // lint: allow(L001): protocol violation — replies match requests one-to-one
+                    FromShard::Image(_) => unreachable!("expected epoch, got checkpoint image"),
+                }
+            })
+            .collect()
+    }
+
+    fn merge_epochs(&mut self, epochs: &[EpochOut], gc: bool) {
+        // lint: allow(L004): observability only — busy time is reported in ShardTimings and never feeds verification state
+        let t0 = Instant::now();
+        for (i, e) in epochs.iter().enumerate() {
+            self.shard_busy[i] = e.busy;
+        }
+        let driver = std::mem::take(&mut self.driver_emissions);
+        let mut merged: Vec<(EmitKey, &Effect)> = epochs
+            .iter()
+            .flat_map(|e| e.emissions.iter().map(|(k, eff)| (*k, eff)))
+            .chain(driver.iter().map(|(k, eff)| (*k, eff)))
+            .collect();
+        // Emission keys are unique across shards (each site is owned by
+        // exactly one shard, and driver sites use their own phase), so
+        // this order — and therefore the report, the graph and the
+        // coverage notes — is scheduling-independent.
+        merged.sort_unstable_by_key(|e| e.0);
+        for (_k, eff) in merged {
+            self.apply(eff);
+        }
+        // Cumulative shard-side tallies: stats sum across shards (every
+        // increment site runs in exactly one shard); committed/aborted are
+        // identical in every shard (full transaction table) — take shard 0.
+        let mut stats = DeductionStats::default();
+        for e in epochs {
+            add_stats(&mut stats, &e.stats);
+        }
+        self.stats = stats;
+        self.counters.traces = self.admitted;
+        self.counters.committed = epochs[0].counters.committed;
+        self.counters.aborted = epochs[0].counters.aborted;
+        let fp: usize = epochs.iter().map(|e| e.footprint.total()).sum::<usize>()
+            + self.graph.node_count()
+            + self.graph.edge_count();
+        self.counters.peak_footprint = self.counters.peak_footprint.max(fp);
+
+        if gc {
+            let sp = epochs[0].stream_pos;
+            let mut low = epochs[0].earliest_active.unwrap_or(sp).min(sp);
+            if let Some(pl) = epochs.iter().filter_map(|e| e.pending_low).min() {
+                low = low.min(pl);
+            }
+            self.send_all(|| ToShard::Gc(low));
+            self.graph.prune(low);
+        }
+
+        // Budget governance at the barrier: observe the aggregate, and
+        // when it exceeds the budget the watermarked GC just ran (or runs
+        // next barrier) is the shard-mode rung 1; the online governor
+        // escalates beyond it exactly as in the single-threaded chain.
+        self.counters.budget.observe(self.mem_usage());
+        self.driver_busy += t0.elapsed();
+    }
+
+    fn apply(&mut self, eff: &Effect) {
+        match eff {
+            Effect::Violation(v) => self.report.violations.push(v.clone()),
+            Effect::AddNode {
+                txn,
+                snapshot,
+                commit,
+            } => self.graph.add_node(*txn, *snapshot, *commit),
+            Effect::Edge { from, to, kind } => {
+                let rule = self.cfg.mechanisms.certifier;
+                if let Some(v) = self.graph.add_edge(*from, *to, *kind, rule) {
+                    self.report
+                        .violations
+                        .push(Violation::SerializationCertifier {
+                            pattern: v.pattern.to_string(),
+                            txns: v.txns,
+                        });
+                }
+            }
+            Effect::Demoted(note) => {
+                self.coverage.demoted_reads += 1;
+                self.coverage.push_note(note.clone());
+            }
+            Effect::Quarantined(note) => {
+                self.coverage.quarantined_traces += 1;
+                self.coverage.push_note(note.clone());
+            }
+        }
+    }
+
+    /// Flushes every shard's remaining deferred checks, merges the final
+    /// epoch, joins the workers and returns the outcome.
+    #[must_use]
+    pub fn finish(self) -> VerifyOutcome {
+        self.finish_timed().0
+    }
+
+    /// Like [`ShardedVerifier::finish`], additionally returning the
+    /// per-thread busy-time breakdown for the scaling bench.
+    #[must_use]
+    pub fn finish_timed(mut self) -> (VerifyOutcome, ShardTimings) {
+        self.dispatch_batch();
+        self.send_all(|| ToShard::Finish);
+        let epochs = self.collect_epochs();
+        self.merge_epochs(&epochs, false);
+        for w in &mut self.workers {
+            if let Some(join) = w.join.take() {
+                // lint: allow(L001): re-raising a worker-thread panic is the only sane join policy
+                join.join().expect("shard worker panicked");
+            }
+        }
+        let mut coverage = self.coverage;
+        let indeterminate = epochs[0].active.clone().unwrap_or_default();
+        for &txn in &indeterminate {
+            coverage.push_note(format!("indeterminate: {txn} has no terminal trace"));
+        }
+        coverage.indeterminate_txns = indeterminate;
+        let outcome = VerifyOutcome {
+            report: self.report,
+            stats: self.stats,
+            counters: self.counters,
+            coverage,
+        };
+        let timings = ShardTimings {
+            shard_busy: self.shard_busy,
+            driver_busy: self.driver_busy,
+        };
+        (outcome, timings)
+    }
+
+    /// Images the complete sharded state under one [`ShardedCheckpoint`]
+    /// envelope. Runs a barrier first, so every buffered effect is applied
+    /// and the envelope is byte-stable for a given trace prefix.
+    #[must_use]
+    pub fn checkpoint(&mut self) -> ShardedCheckpoint {
+        self.flush_epoch(false);
+        self.send_all(|| ToShard::Checkpoint);
+        let shards: Vec<Checkpoint> = self
+            .workers
+            .iter()
+            .map(|w| {
+                // lint: allow(L001): a dead worker shard is unrecoverable; re-raise as a panic
+                match w.rx.recv().expect("shard worker alive") {
+                    FromShard::Image(img) => *img,
+                    // lint: allow(L001): protocol violation — replies match requests one-to-one
+                    FromShard::Epoch(_) => unreachable!("expected checkpoint image, got epoch"),
+                }
+            })
+            .collect();
+        let (quarantine_seq, quarantine_clients, quarantine_terminals) = self.quarantine.snapshot();
+        ShardedCheckpoint {
+            version: CHECKPOINT_VERSION,
+            n_shards: self.n as u64,
+            config: self.cfg,
+            traces_fed: self.traces_fed,
+            shards,
+            graph: self.graph.snapshot(),
+            quarantine_seq,
+            quarantine_clients,
+            quarantine_terminals,
+            counters: self.counters,
+            stats: self.stats,
+            report: self.report.clone(),
+            coverage: self.coverage.clone(),
+        }
+    }
+
+    /// Rebuilds a sharded verifier from a [`ShardedCheckpoint`]. Do not
+    /// re-preload initial state (it is part of the per-shard images); feed
+    /// the capture's traces starting at index
+    /// [`ShardedCheckpoint::traces_fed`] and the run continues to the same
+    /// verdict as an uninterrupted one.
+    pub fn resume(ckpt: &ShardedCheckpoint) -> Result<ShardedVerifier, CheckpointError> {
+        if ckpt.version != CHECKPOINT_VERSION {
+            return Err(CheckpointError::Version {
+                found: ckpt.version,
+                expected: CHECKPOINT_VERSION,
+            });
+        }
+        let n = ckpt.n_shards as usize;
+        if n == 0 || ckpt.shards.len() != n {
+            return Err(CheckpointError::Malformed(format!(
+                "envelope declares {} shards but carries {} images",
+                ckpt.n_shards,
+                ckpt.shards.len()
+            )));
+        }
+        let mut workers = Vec::with_capacity(n);
+        for (i, image) in ckpt.shards.iter().enumerate() {
+            let mut v = Verifier::from_checkpoint(image)?;
+            v.assume_role(ShardRole { shard: i, of: n });
+            workers.push(spawn_shard(v, i));
+        }
+        Ok(ShardedVerifier {
+            cfg: ckpt.config,
+            n,
+            workers,
+            graph: DepGraph::restore(&ckpt.graph),
+            report: ckpt.report.clone(),
+            stats: ckpt.stats,
+            counters: ckpt.counters,
+            coverage: ckpt.coverage.clone(),
+            quarantine: QuarantineGate::restore(
+                ckpt.quarantine_seq,
+                &ckpt.quarantine_clients,
+                &ckpt.quarantine_terminals,
+            ),
+            batch: Vec::with_capacity(BATCH_TRACES),
+            preload_buf: Vec::new(),
+            preload_sent: true,
+            traces_fed: ckpt.traces_fed,
+            admitted: ckpt.counters.traces,
+            driver_emissions: Vec::new(),
+            shard_busy: vec![Duration::ZERO; n],
+            driver_busy: Duration::ZERO,
+        })
+    }
+
+    /// Traces fed so far, including quarantined ones — the resume cursor.
+    #[must_use]
+    pub fn traces_fed(&self) -> u64 {
+        self.traces_fed
+    }
+
+    /// Forces a globally watermarked GC pass immediately (rung 1 of the
+    /// overload ladder): a full barrier plus a broadcast prune.
+    pub fn force_gc(&mut self) {
+        self.counters.budget.forced_gcs += 1;
+        self.flush_epoch(true);
+    }
+
+    /// Aggregate live-memory estimate: every shard's last-reported usage
+    /// plus the driver's dependency graph.
+    #[must_use]
+    pub fn mem_usage(&self) -> MemUsage {
+        let mut total = self.graph.mem_usage();
+        for w in &self.workers {
+            total += *w.usage.lock();
+        }
+        total
+    }
+
+    /// Folds an externally measured usage sample into the budget
+    /// high-water marks (same contract as [`Verifier::observe_usage`]).
+    pub fn observe_usage(&mut self, usage: MemUsage) {
+        self.counters.budget.observe(usage);
+    }
+
+    /// Records a watermark-stall eviction (see
+    /// [`Verifier::note_evicted_client`]).
+    pub fn note_evicted_client(&mut self, client: ClientId) {
+        if !self.coverage.evicted_clients.contains(&client) {
+            self.coverage.evicted_clients.push(client);
+            self.coverage.evicted_clients.sort_unstable();
+            self.coverage
+                .push_note(format!("evicted: {client} force-closed by stall timeout"));
+        }
+    }
+
+    /// Records a rung-3 budget eviction (see
+    /// [`Verifier::note_budget_eviction`]).
+    pub fn note_budget_eviction(&mut self, client: ClientId) {
+        self.counters.budget.budget_evictions += 1;
+        if !self.coverage.evicted_clients.contains(&client) {
+            self.coverage.evicted_clients.push(client);
+            self.coverage.evicted_clients.sort_unstable();
+            self.coverage.push_note(format!(
+                "evicted: {client} force-closed under memory pressure"
+            ));
+        }
+    }
+
+    /// Folds newly shed traces into the budget counters (see
+    /// [`Verifier::note_shed_traces`]).
+    pub fn note_shed_traces(&mut self, n: u64) {
+        if n > 0 {
+            self.counters.budget.shed_traces += n;
+            self.coverage
+                .push_note(format!("shed: {n} traces dropped under backpressure"));
+        }
+    }
+
+    /// Counts a pipeline force-dispatch (rung 2) in the budget counters.
+    pub fn note_forced_dispatch(&mut self) {
+        self.counters.budget.forced_dispatches += 1;
+    }
+
+    /// Violations applied so far (up to the last barrier; effects from
+    /// the still-open batch are not merged yet).
+    #[must_use]
+    pub fn report(&self) -> &BugReport {
+        &self.report
+    }
+
+    /// Coverage accumulated so far (same barrier caveat as `report`).
+    #[must_use]
+    pub fn coverage(&self) -> &Coverage {
+        &self.coverage
+    }
+
+    /// Run counters as of the last barrier.
+    #[must_use]
+    pub fn counters(&self) -> VerifyCounters {
+        self.counters
+    }
+}
+
+fn spawn_shard(v: Verifier, index: usize) -> ShardHandle {
+    let (to_tx, to_rx) = mpsc::channel::<ToShard>();
+    let (from_tx, from_rx) = mpsc::channel::<FromShard>();
+    // One identity for the whole pool: all slots share the acquisition
+    // pattern (shard writes after a batch, driver reads when governing),
+    // and neither side ever holds another lock while taking it.
+    let usage = Arc::new(TrackedMutex::new("ShardHandle.usage", MemUsage::default()));
+    let worker_usage = Arc::clone(&usage);
+    let join = std::thread::Builder::new()
+        .name(format!("leopard-shard-{index}"))
+        .spawn(move || shard_worker(v, to_rx, from_tx, worker_usage))
+        // lint: allow(L001): thread spawn fails only on resource exhaustion; nothing to degrade to
+        .expect("spawn shard worker");
+    ShardHandle {
+        tx: to_tx,
+        rx: from_rx,
+        usage,
+        join: Some(join),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::IsolationLevel;
+    use crate::trace::TraceBuilder;
+    use crate::types::Value;
+
+    fn outcome_sig(o: &VerifyOutcome) -> String {
+        format!(
+            "{:?}|{:?}|{}|{}|{}|{:?}",
+            o.report,
+            o.stats,
+            o.counters.traces,
+            o.counters.committed,
+            o.counters.aborted,
+            o.coverage
+        )
+    }
+
+    fn demo_traces() -> Vec<Trace> {
+        let mut b = TraceBuilder::new();
+        let mut ts = 10u64;
+        for i in 0..40u64 {
+            let txn = i + 1;
+            let key = (i % 7) + 1;
+            b.write(ts, ts + 2, (i % 4) as u32, txn, vec![(key, i + 1)]);
+            b.commit(ts + 3, ts + 5, (i % 4) as u32, txn);
+            ts += 6;
+        }
+        b.build_sorted()
+    }
+
+    #[test]
+    fn sharded_matches_sequential_on_clean_history() {
+        let cfg = VerifierConfig::for_level(IsolationLevel::Serializable);
+        let traces = demo_traces();
+        let mut seq = Verifier::new(cfg);
+        let mut sh = ShardedVerifier::new(cfg, 3);
+        for k in 1..=7u64 {
+            seq.preload(Key(k), Value(0));
+            sh.preload(Key(k), Value(0));
+        }
+        for t in &traces {
+            seq.process(t);
+            sh.process(t);
+        }
+        assert_eq!(outcome_sig(&seq.finish()), outcome_sig(&sh.finish()));
+    }
+
+    #[test]
+    fn sharded_reports_violations_in_sequential_order() {
+        // Dirty read plus a concurrent-lock ME violation, across shards.
+        let cfg = VerifierConfig::for_level(IsolationLevel::Serializable);
+        let mut b = TraceBuilder::new();
+        b.write(10, 12, 0, 1, vec![(1, 10)]);
+        b.read(20, 22, 1, 2, vec![(1, 10)]); // dirty read
+        b.commit(23, 25, 1, 2);
+        b.write(30, 40, 2, 3, vec![(2, 5)]);
+        b.write(31, 39, 3, 4, vec![(2, 6)]);
+        b.commit(41, 50, 2, 3);
+        b.commit(42, 51, 3, 4);
+        b.commit(60, 62, 0, 1);
+        let traces = b.build_sorted();
+        for n in [2usize, 4, 8] {
+            let mut seq = Verifier::new(cfg);
+            let mut sh = ShardedVerifier::new(cfg, n);
+            for k in 1..=2u64 {
+                seq.preload(Key(k), Value(0));
+                sh.preload(Key(k), Value(0));
+            }
+            for t in &traces {
+                seq.process(t);
+                sh.process(t);
+            }
+            assert_eq!(
+                outcome_sig(&seq.finish()),
+                outcome_sig(&sh.finish()),
+                "shards={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_checkpoint_roundtrip_continues_to_same_verdict() {
+        let cfg = VerifierConfig::for_level(IsolationLevel::Serializable);
+        let traces = demo_traces();
+        let mut seq = Verifier::new(cfg);
+        let mut sh = ShardedVerifier::new(cfg, 2);
+        for k in 1..=7u64 {
+            seq.preload(Key(k), Value(0));
+            sh.preload(Key(k), Value(0));
+        }
+        let split = traces.len() / 2;
+        for t in &traces[..split] {
+            seq.process(t);
+            sh.process(t);
+        }
+        let env = sh.checkpoint();
+        let json = env.to_json();
+        drop(sh.finish()); // cleanly shut down the original pool
+        let env2 = ShardedCheckpoint::from_json(&json).expect("round-trips");
+        assert_eq!(env2, env);
+        let mut resumed = ShardedVerifier::resume(&env2).expect("resumes");
+        assert_eq!(resumed.traces_fed(), split as u64);
+        for t in &traces[split..] {
+            seq.process(t);
+            resumed.process(t);
+        }
+        assert_eq!(outcome_sig(&seq.finish()), outcome_sig(&resumed.finish()));
+    }
+}

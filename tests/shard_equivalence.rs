@@ -1,0 +1,234 @@
+//! Differential shard-test harness: the key-sharded parallel verifier
+//! must be observationally identical to the single-threaded one.
+//!
+//! Every capture the repo already trusts — the committed golden corpus
+//! under `tests/corpus/` plus a seeded chaos sweep of degraded captures —
+//! is replayed through the sequential [`Verifier`] and through
+//! [`ShardedVerifier`] at 2, 4 and 8 shards, and the verdicts are
+//! compared bit-for-bit: same fault list, same deduction statistics,
+//! same coverage notes, same counters. The only fields excluded are the
+//! peak-footprint/budget gauges, which measure the engine's own memory
+//! topology (N shard-local tables instead of one global table) rather
+//! than anything about the history under audit.
+//!
+//! A determinism regression rides along: two identical sharded runs must
+//! produce byte-equal outcomes *and* byte-equal checkpoint JSON, pinning
+//! the cross-shard certifier's merge order against worker-thread
+//! scheduling. Finally a lock-witness cross-check asserts the sharded
+//! run acquired its `TrackedMutex`es without any order inversion.
+
+use leopard::testseed::{derive, test_seed};
+use leopard_core::{
+    lockwitness, CaptureReader, Key, ShardedVerifier, Trace, Value, Verifier, VerifierConfig,
+    VerifyOutcome,
+};
+use leopard_oracle::{
+    degrade_capture, generate_clean_capture, CleanRunSpec, DegradeSpec, Schedule, LEVELS,
+};
+use std::fs::File;
+use std::path::PathBuf;
+
+const SHARD_COUNTS: &[usize] = &[2, 4, 8];
+
+/// The comparable projection of a verdict: everything except the
+/// peak-footprint/budget gauges (see module docs).
+fn comparable(o: &VerifyOutcome) -> String {
+    format!(
+        "{:?}|{:?}|{}|{}|{}|{:?}",
+        o.report, o.stats, o.counters.traces, o.counters.committed, o.counters.aborted, o.coverage
+    )
+}
+
+fn run_sequential(preload: &[(Key, Value)], traces: &[Trace], cfg: VerifierConfig) -> String {
+    let mut v = Verifier::new(cfg);
+    for &(k, val) in preload {
+        v.preload(k, val);
+    }
+    for t in traces {
+        v.process(t);
+    }
+    comparable(&v.finish())
+}
+
+fn run_sharded(
+    preload: &[(Key, Value)],
+    traces: &[Trace],
+    cfg: VerifierConfig,
+    n: usize,
+) -> String {
+    let mut v = ShardedVerifier::new(cfg, n);
+    for &(k, val) in preload {
+        v.preload(k, val);
+    }
+    for t in traces {
+        v.process(t);
+    }
+    comparable(&v.finish())
+}
+
+/// Asserts shard-count invariance of one capture under one config.
+fn assert_invariant(what: &str, preload: &[(Key, Value)], traces: &[Trace], cfg: VerifierConfig) {
+    let expected = run_sequential(preload, traces, cfg);
+    for &n in SHARD_COUNTS {
+        let got = run_sharded(preload, traces, cfg, n);
+        assert_eq!(expected, got, "{what}: {n}-shard verdict diverged");
+    }
+}
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
+}
+
+/// Every committed golden-corpus capture, at every isolation level,
+/// verifies to the same verdict regardless of shard count.
+#[test]
+fn golden_corpus_is_shard_count_invariant() {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(corpus_dir())
+        .expect("tests/corpus exists")
+        .filter_map(|e| {
+            let p = e.expect("dir entry").path();
+            (p.extension().and_then(|x| x.to_str()) == Some("jsonl")).then_some(p)
+        })
+        .collect();
+    files.sort();
+    assert!(!files.is_empty(), "no corpus captures found");
+
+    for path in &files {
+        let name = path.file_name().expect("file name").to_string_lossy();
+        let reader =
+            CaptureReader::new(File::open(path).expect("open capture")).expect("capture header");
+        let preload = reader.header().preload.clone();
+        let traces: Vec<Trace> = reader
+            .map(|t| t.expect("well-formed corpus trace"))
+            .collect();
+        for level in LEVELS {
+            assert_invariant(
+                &format!("{name} @ {level:?}"),
+                &preload,
+                &traces,
+                VerifierConfig::for_level(level),
+            );
+        }
+    }
+}
+
+/// Seeded chaos sweep: degraded captures (dropped deliveries, crashed
+/// clients) keep shard-count invariance in degraded mode, where the
+/// demotion and quarantine paths are live.
+#[test]
+fn chaos_sweep_is_shard_count_invariant() {
+    let base = test_seed(0xD1FF);
+    for case in 0..6u64 {
+        let seed = derive(base, case);
+        let level = LEVELS[(case % 4) as usize];
+        let spec = CleanRunSpec {
+            workload: "blindw-rw".to_string(),
+            rows: 16,
+            clients: 3,
+            txns_per_client: 8,
+            level,
+            seed,
+            tick: 10,
+            schedule: Schedule::Interleaved,
+        };
+        let clean = generate_clean_capture(&spec).expect("clean capture");
+        let degraded = degrade_capture(&clean, &DegradeSpec::moderate(seed));
+        let mut cfg = VerifierConfig::for_level(level);
+        assert_invariant(
+            &format!("clean seed {seed:#x} @ {level:?}"),
+            &clean.header.preload,
+            &clean.traces,
+            cfg,
+        );
+        cfg.degraded = true;
+        assert_invariant(
+            &format!("degraded seed {seed:#x} @ {level:?}"),
+            &degraded.header.preload,
+            &degraded.traces,
+            cfg,
+        );
+    }
+}
+
+/// Determinism regression: with worker threads free to interleave
+/// however the scheduler likes, two identical sharded runs must still
+/// produce byte-equal verdicts and byte-equal checkpoint JSON. This is
+/// what makes `--json` output and checkpoint files reproducible.
+#[test]
+fn sharded_runs_are_deterministic_across_schedules() {
+    let seed = test_seed(0x5EED);
+    let spec = CleanRunSpec {
+        workload: "blindw-rw".to_string(),
+        rows: 24,
+        clients: 4,
+        txns_per_client: 10,
+        level: leopard_core::IsolationLevel::Serializable,
+        seed,
+        tick: 10,
+        schedule: Schedule::Interleaved,
+    };
+    let cap = generate_clean_capture(&spec).expect("clean capture");
+    let cfg = VerifierConfig::for_level(leopard_core::IsolationLevel::Serializable);
+
+    let run = |n: usize| {
+        let mut v = ShardedVerifier::new(cfg, n);
+        for &(k, val) in &cap.header.preload {
+            v.preload(k, val);
+        }
+        let mid = cap.traces.len() / 2;
+        for t in &cap.traces[..mid] {
+            v.process(t);
+        }
+        let ckpt_json = v.checkpoint().to_json();
+        for t in &cap.traces[mid..] {
+            v.process(t);
+        }
+        (ckpt_json, format!("{:?}", v.finish()))
+    };
+    for &n in SHARD_COUNTS {
+        let (ckpt_a, out_a) = run(n);
+        let (ckpt_b, out_b) = run(n);
+        assert_eq!(
+            ckpt_a, ckpt_b,
+            "mid-stream checkpoint JSON diverged between identical {n}-shard runs (seed {seed:#x})"
+        );
+        assert_eq!(
+            out_a, out_b,
+            "outcome diverged between identical {n}-shard runs (seed {seed:#x})"
+        );
+    }
+}
+
+/// Lock-witness cross-check: a multi-shard run exercises every shard
+/// lock; afterwards the runtime witness must have recorded no lock-order
+/// violation, and the observed edges must stay acyclic.
+#[test]
+fn sharded_run_records_no_lock_order_violations() {
+    let seed = test_seed(0xA11);
+    let spec = CleanRunSpec {
+        workload: "blindw-rw".to_string(),
+        rows: 32,
+        clients: 4,
+        txns_per_client: 12,
+        level: leopard_core::IsolationLevel::Serializable,
+        seed,
+        tick: 10,
+        schedule: Schedule::Interleaved,
+    };
+    let cap = generate_clean_capture(&spec).expect("clean capture");
+    let cfg = VerifierConfig::for_level(leopard_core::IsolationLevel::Serializable);
+    let mut v = ShardedVerifier::new(cfg, 8);
+    for &(k, val) in &cap.header.preload {
+        v.preload(k, val);
+    }
+    for t in &cap.traces {
+        v.process(t);
+    }
+    v.force_gc();
+    let _ = v.finish();
+    let violations = lockwitness::order_violations();
+    assert!(
+        violations.is_empty(),
+        "sharded run produced lock-order violations: {violations:?}"
+    );
+}

@@ -1,0 +1,160 @@
+//! Property tests for the key-sharded verifier.
+//!
+//! Two families, both re-seedable through `LEOPARD_TEST_SEED`:
+//!
+//! 1. **Shard-count invariance** — for randomly generated clean and
+//!    chaos-degraded captures at every isolation level, the sharded
+//!    verdict (report, statistics, counters, coverage) equals the
+//!    sequential one at any shard count, with or without a mid-stream
+//!    kill/checkpoint/resume through the [`ShardedCheckpoint`] JSON
+//!    envelope.
+//! 2. **Exhaustive split points** — for a small capture, killing the
+//!    sharded verifier after *every* prefix length at every shard count
+//!    and resuming from the serialized envelope yields the uninterrupted
+//!    verdict, so no state field can hide from the envelope behind a
+//!    lucky split.
+
+use leopard::testseed::{derive, test_seed};
+use leopard_core::{ShardedCheckpoint, ShardedVerifier, Trace, Verifier, VerifierConfig};
+use leopard_oracle::{
+    degrade_capture, generate_clean_capture, Capture, CleanRunSpec, DegradeSpec, Schedule, LEVELS,
+};
+use proptest::prelude::*;
+
+const SHARD_COUNTS: [usize; 3] = [2, 4, 8];
+
+/// The comparable projection of a verdict (everything except the
+/// peak-footprint/budget gauges, which measure engine topology).
+fn comparable(o: &leopard_core::VerifyOutcome) -> String {
+    format!(
+        "{:?}|{:?}|{}|{}|{}|{:?}",
+        o.report, o.stats, o.counters.traces, o.counters.committed, o.counters.aborted, o.coverage
+    )
+}
+
+fn capture_for(seed: u64, level_i: usize, degraded: bool) -> (Capture, VerifierConfig) {
+    let level = LEVELS[level_i];
+    let spec = CleanRunSpec {
+        workload: "blindw-rw".to_string(),
+        rows: 16,
+        clients: 3,
+        txns_per_client: 6,
+        level,
+        seed,
+        tick: 10,
+        schedule: Schedule::Interleaved,
+    };
+    let cap = generate_clean_capture(&spec).expect("clean capture");
+    let cap = if degraded {
+        degrade_capture(&cap, &DegradeSpec::moderate(seed))
+    } else {
+        cap
+    };
+    let mut cfg = VerifierConfig::for_level(level);
+    cfg.degraded = degraded;
+    (cap, cfg)
+}
+
+fn run_sequential(cap: &Capture, cfg: VerifierConfig) -> String {
+    let mut v = Verifier::new(cfg);
+    for &(k, val) in &cap.header.preload {
+        v.preload(k, val);
+    }
+    for t in &cap.traces {
+        v.process(t);
+    }
+    comparable(&v.finish())
+}
+
+/// Runs the sharded verifier; with `kill_at = Some(k)` the verifier is
+/// imaged and dropped after `k` traces, the envelope round-trips through
+/// JSON and a resumed instance finishes the stream.
+fn run_sharded(cap: &Capture, cfg: VerifierConfig, n: usize, kill_at: Option<usize>) -> String {
+    let mut v = ShardedVerifier::new(cfg, n);
+    for &(k, val) in &cap.header.preload {
+        v.preload(k, val);
+    }
+    let split = kill_at.unwrap_or(0);
+    let head: &[Trace] = &cap.traces[..split];
+    let tail: &[Trace] = &cap.traces[split..];
+    for t in head {
+        v.process(t);
+    }
+    let mut v = if kill_at.is_some() {
+        let json = v.checkpoint().to_json();
+        drop(v); // the original process dies here
+        let ckpt = ShardedCheckpoint::from_json(&json).expect("envelope round-trips");
+        ShardedVerifier::resume(&ckpt).expect("resume")
+    } else {
+        v
+    };
+    for t in tail {
+        v.process(t);
+    }
+    comparable(&v.finish())
+}
+
+proptest! {
+    #[test]
+    fn sharded_verdict_is_shard_count_invariant(
+        case in 0u64..256,
+        shards_i in 0usize..3,
+        level_i in 0usize..4,
+        degraded in any::<bool>(),
+    ) {
+        let seed = derive(test_seed(0x51AD), case);
+        let (cap, cfg) = capture_for(seed, level_i, degraded);
+        let n = SHARD_COUNTS[shards_i];
+        prop_assert_eq!(
+            run_sequential(&cap, cfg),
+            run_sharded(&cap, cfg, n, None),
+            "seed {:#x} shards {}", seed, n
+        );
+    }
+
+    #[test]
+    fn kill_and_resume_preserves_the_sharded_verdict(
+        case in 0u64..256,
+        frac_pm in 0u64..=1000,
+        shards_i in 0usize..3,
+        level_i in 0usize..4,
+        degraded in any::<bool>(),
+    ) {
+        let seed = derive(test_seed(0x0051_ADC4), case);
+        let (cap, cfg) = capture_for(seed, level_i, degraded);
+        let n = SHARD_COUNTS[shards_i];
+        let k = (cap.traces.len() * frac_pm as usize) / 1000;
+        prop_assert_eq!(
+            run_sequential(&cap, cfg),
+            run_sharded(&cap, cfg, n, Some(k)),
+            "seed {:#x} shards {} killed after {}", seed, n, k
+        );
+    }
+}
+
+#[test]
+fn resume_at_every_split_point_at_every_shard_count() {
+    let seed = test_seed(42);
+    let spec = CleanRunSpec {
+        workload: "blindw-rw".to_string(),
+        rows: 8,
+        clients: 2,
+        txns_per_client: 4,
+        level: leopard_core::IsolationLevel::Serializable,
+        seed,
+        tick: 10,
+        schedule: Schedule::Interleaved,
+    };
+    let cap = generate_clean_capture(&spec).expect("clean capture");
+    let cfg = VerifierConfig::for_level(leopard_core::IsolationLevel::Serializable);
+    let full = run_sequential(&cap, cfg);
+    for n in SHARD_COUNTS {
+        for k in 0..=cap.traces.len() {
+            assert_eq!(
+                full,
+                run_sharded(&cap, cfg, n, Some(k)),
+                "seed {seed:#x}: {n}-shard verdict diverged when killed after {k} traces"
+            );
+        }
+    }
+}
