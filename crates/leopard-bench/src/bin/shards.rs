@@ -30,6 +30,9 @@ struct Cell {
     critical_path: Duration,
     max_shard_busy: Duration,
     driver_busy: Duration,
+    epoch_apply: Duration,
+    gc_pause: Duration,
+    shard_batch: Duration,
 }
 
 struct Bench {
@@ -72,26 +75,26 @@ fn bench(
     ]);
     let mut cells = Vec::new();
     for n in SHARD_COUNTS {
-        let (outcome, wall, timings) = verify_collected_sharded(&run, cfg, n);
+        let (outcome, wall, breakdown) = verify_collected_sharded(&run, cfg, n);
         assert!(outcome.report.is_clean(), "{}", outcome.report);
         assert_eq!(
             format!("{:?}", seq_outcome.report),
             format!("{:?}", outcome.report),
             "sharded report diverged at {n} shards"
         );
-        let max_busy = timings
+        let max_busy = breakdown
             .shard_busy
             .iter()
             .max()
             .copied()
             .unwrap_or(Duration::ZERO);
-        let critical = max_busy + timings.driver_busy;
+        let critical = max_busy + breakdown.driver_busy;
         row(&[
             n.to_string(),
             format!("{:.3}", wall.as_secs_f64()),
             format!("{:.3}", critical.as_secs_f64()),
             format!("{:.3}", max_busy.as_secs_f64()),
-            format!("{:.3}", timings.driver_busy.as_secs_f64()),
+            format!("{:.3}", breakdown.driver_busy.as_secs_f64()),
             format!(
                 "{:.2}x",
                 seq_time.as_secs_f64() / critical.as_secs_f64().max(1e-9)
@@ -102,7 +105,10 @@ fn bench(
             wall,
             critical_path: critical,
             max_shard_busy: max_busy,
-            driver_busy: timings.driver_busy,
+            driver_busy: breakdown.driver_busy,
+            epoch_apply: breakdown.epoch_apply,
+            gc_pause: breakdown.gc_pause,
+            shard_batch: breakdown.shard_batch,
         });
     }
     Bench {
@@ -121,6 +127,9 @@ struct ResultRow {
     critical_path_secs: f64,
     max_shard_busy_secs: f64,
     driver_busy_secs: f64,
+    epoch_apply_secs: f64,
+    gc_pause_secs: f64,
+    shard_batch_secs: f64,
     projected_speedup: f64,
 }
 
@@ -152,6 +161,9 @@ fn json_out(benches: Vec<Bench>) -> String {
                 critical_path_secs: seq,
                 max_shard_busy_secs: seq,
                 driver_busy_secs: 0.0,
+                epoch_apply_secs: 0.0,
+                gc_pause_secs: 0.0,
+                shard_batch_secs: 0.0,
                 projected_speedup: 1.0,
             })
             .chain(b.cells.iter().map(|c| ResultRow {
@@ -160,6 +172,9 @@ fn json_out(benches: Vec<Bench>) -> String {
                 critical_path_secs: c.critical_path.as_secs_f64(),
                 max_shard_busy_secs: c.max_shard_busy.as_secs_f64(),
                 driver_busy_secs: c.driver_busy.as_secs_f64(),
+                epoch_apply_secs: c.epoch_apply.as_secs_f64(),
+                gc_pause_secs: c.gc_pause.as_secs_f64(),
+                shard_batch_secs: c.shard_batch.as_secs_f64(),
                 projected_speedup: seq / c.critical_path.as_secs_f64().max(1e-9),
             }))
             .collect();

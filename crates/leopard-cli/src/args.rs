@@ -46,7 +46,14 @@ verify options:
                                 (default 1 = single-threaded; checkpoints use
                                 the sharded envelope when N > 1)
   --json                        emit the verdict, peak memory and shed /
-                                eviction counters as JSON
+                                eviction counters as JSON (plus an `obs`
+                                metrics block when observability is on)
+  --metrics-out <FILE>          enable observability; write the metrics
+                                registry in Prometheus text format here
+  --trace-out <FILE>            enable observability; write a Chrome
+                                trace-event timeline (load in Perfetto) here
+  --metrics-interval <SECS>     with --metrics-out: also rewrite the file
+                                every SECS seconds while the run progresses
 
 chaos options:
   --workload <NAME>             bundled workload (default blindw-rw)
@@ -74,7 +81,14 @@ chaos options:
                                 evicts the laggiest client
   --shards <N>                  run N key-sharded verifier worker threads
                                 (default 1 = single-threaded)
-  --json                        emit the run summary as JSON
+  --json                        emit the run summary as JSON (plus an `obs`
+                                metrics block when observability is on)
+  --metrics-out <FILE>          enable observability; write Prometheus
+                                metrics here at the end of the run
+  --trace-out <FILE>            enable observability; write a Chrome
+                                trace-event timeline (load in Perfetto) here
+  --metrics-interval <SECS>     with --metrics-out: also rewrite the file
+                                every SECS seconds while the run progresses
 
 lint-history options:
   --json                        emit the diagnostic report as JSON
@@ -177,6 +191,12 @@ pub struct VerifyConfig {
     pub shards: usize,
     /// Emit the verdict and resource counters as JSON.
     pub json: bool,
+    /// Enable observability and write Prometheus metrics to this path.
+    pub metrics_out: Option<String>,
+    /// Enable observability and write a Chrome trace-event file here.
+    pub trace_out: Option<String>,
+    /// Rewrite `metrics_out` every this many seconds during the run.
+    pub metrics_interval: Option<u64>,
 }
 
 impl Default for VerifyConfig {
@@ -194,6 +214,9 @@ impl Default for VerifyConfig {
             mem_budget: None,
             shards: 1,
             json: false,
+            metrics_out: None,
+            trace_out: None,
+            metrics_interval: None,
         }
     }
 }
@@ -245,6 +268,12 @@ pub struct ChaosConfig {
     pub shards: usize,
     /// Emit the run summary as JSON.
     pub json: bool,
+    /// Enable observability and write Prometheus metrics to this path.
+    pub metrics_out: Option<String>,
+    /// Enable observability and write a Chrome trace-event file here.
+    pub trace_out: Option<String>,
+    /// Rewrite `metrics_out` every this many seconds during the run.
+    pub metrics_interval: Option<u64>,
 }
 
 impl Default for ChaosConfig {
@@ -272,6 +301,9 @@ impl Default for ChaosConfig {
             mem_budget: None,
             shards: 1,
             json: false,
+            metrics_out: None,
+            trace_out: None,
+            metrics_interval: None,
         }
     }
 }
@@ -409,6 +441,9 @@ pub fn parse_args(argv: &[String]) -> Result<Command, ParseError> {
                     "--mem-budget" => cfg.mem_budget = Some(want(arg, it.next())?),
                     "--shards" => cfg.shards = want(arg, it.next())?,
                     "--json" => cfg.json = true,
+                    "--metrics-out" => cfg.metrics_out = Some(want::<String>(arg, it.next())?),
+                    "--trace-out" => cfg.trace_out = Some(want::<String>(arg, it.next())?),
+                    "--metrics-interval" => cfg.metrics_interval = Some(want(arg, it.next())?),
                     flag if flag.starts_with("--") => {
                         return Err(ParseError(format!("unknown flag `{flag}`")))
                     }
@@ -433,6 +468,14 @@ pub fn parse_args(argv: &[String]) -> Result<Command, ParseError> {
             }
             if cfg.shards == 0 {
                 return Err(ParseError("--shards must be at least 1".into()));
+            }
+            if cfg.metrics_interval == Some(0) {
+                return Err(ParseError("--metrics-interval must be at least 1".into()));
+            }
+            if cfg.metrics_interval.is_some() && cfg.metrics_out.is_none() {
+                return Err(ParseError(
+                    "--metrics-interval needs --metrics-out <FILE>".into(),
+                ));
             }
             Ok(Command::Verify(cfg))
         }
@@ -463,6 +506,9 @@ pub fn parse_args(argv: &[String]) -> Result<Command, ParseError> {
                     "--mem-budget" => cfg.mem_budget = Some(want(flag, it.next())?),
                     "--shards" => cfg.shards = want(flag, it.next())?,
                     "--json" => cfg.json = true,
+                    "--metrics-out" => cfg.metrics_out = Some(want::<String>(flag, it.next())?),
+                    "--trace-out" => cfg.trace_out = Some(want::<String>(flag, it.next())?),
+                    "--metrics-interval" => cfg.metrics_interval = Some(want(flag, it.next())?),
                     other => return Err(ParseError(format!("unknown flag `{other}`"))),
                 }
             }
@@ -492,6 +538,14 @@ pub fn parse_args(argv: &[String]) -> Result<Command, ParseError> {
             if cfg.checkpoint_every.is_some() && cfg.checkpoint.is_none() {
                 return Err(ParseError(
                     "--checkpoint-every needs --checkpoint <FILE>".into(),
+                ));
+            }
+            if cfg.metrics_interval == Some(0) {
+                return Err(ParseError("--metrics-interval must be at least 1".into()));
+            }
+            if cfg.metrics_interval.is_some() && cfg.metrics_out.is_none() {
+                return Err(ParseError(
+                    "--metrics-interval needs --metrics-out <FILE>".into(),
                 ));
             }
             Ok(Command::Chaos(cfg))
@@ -634,6 +688,35 @@ mod tests {
         // Zero shards means no verifier at all; reject loudly.
         assert!(parse_args(&args("verify cap.jsonl --shards 0")).is_err());
         assert!(parse_args(&args("chaos --shards 0")).is_err());
+    }
+
+    #[test]
+    fn verify_and_chaos_observability_flags_parse() {
+        let cmd = parse_args(&args(
+            "verify cap.jsonl --metrics-out m.prom --trace-out t.json --metrics-interval 5",
+        ))
+        .unwrap();
+        let Command::Verify(cfg) = cmd else { panic!() };
+        assert_eq!(cfg.metrics_out.as_deref(), Some("m.prom"));
+        assert_eq!(cfg.trace_out.as_deref(), Some("t.json"));
+        assert_eq!(cfg.metrics_interval, Some(5));
+        let cmd = parse_args(&args("verify cap.jsonl")).unwrap();
+        let Command::Verify(cfg) = cmd else { panic!() };
+        assert_eq!(cfg.metrics_out, None);
+        assert_eq!(cfg.trace_out, None);
+        assert_eq!(cfg.metrics_interval, None);
+        let cmd = parse_args(&args("chaos --metrics-out m.prom --trace-out t.json")).unwrap();
+        let Command::Chaos(cfg) = cmd else { panic!() };
+        assert_eq!(cfg.metrics_out.as_deref(), Some("m.prom"));
+        assert_eq!(cfg.trace_out.as_deref(), Some("t.json"));
+        // A periodic rewrite needs somewhere to write to, and a zero
+        // interval would spin.
+        assert!(parse_args(&args("verify cap.jsonl --metrics-interval 5")).is_err());
+        assert!(parse_args(&args("chaos --metrics-interval 5")).is_err());
+        assert!(parse_args(&args(
+            "verify cap.jsonl --metrics-out m.prom --metrics-interval 0"
+        ))
+        .is_err());
     }
 
     #[test]

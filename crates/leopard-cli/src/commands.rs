@@ -1,6 +1,7 @@
 //! Implementations of the CLI subcommands.
 
 use crate::args::{ChaosConfig, LintHistoryConfig, OracleConfig, RecordConfig, VerifyConfig};
+use leopard_core::obs;
 use leopard_core::{
     Backpressure, CaptureHeader, CaptureReader, CaptureWriter, Checkpoint, CheckpointError,
     IsolationLevel, MemBudget, OnlineLeopard, OnlineOptions, PreflightAnalyzer, PreflightConfig,
@@ -15,7 +16,134 @@ use leopard_workloads::{
 };
 use std::io::Write;
 use std::path::{Path, PathBuf};
-use std::time::Duration;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Observability sinks behind `--metrics-out` / `--trace-out` /
+/// `--metrics-interval`. Constructing one with any sink turns the
+/// process-global registry on and clears state left by a previous run,
+/// so the exported files describe exactly this invocation.
+struct ObsSinks {
+    metrics_out: Option<PathBuf>,
+    trace_out: Option<PathBuf>,
+    interval: Option<Duration>,
+    last_write: Instant,
+}
+
+impl ObsSinks {
+    fn new(
+        metrics_out: Option<&String>,
+        trace_out: Option<&String>,
+        interval_secs: Option<u64>,
+    ) -> ObsSinks {
+        if metrics_out.is_some() || trace_out.is_some() {
+            obs::reset();
+            obs::set_enabled(true);
+        }
+        ObsSinks {
+            metrics_out: metrics_out.map(PathBuf::from),
+            trace_out: trace_out.map(PathBuf::from),
+            interval: interval_secs.map(Duration::from_secs),
+            last_write: Instant::now(),
+        }
+    }
+
+    fn enabled(&self) -> bool {
+        self.metrics_out.is_some() || self.trace_out.is_some()
+    }
+
+    /// Rewrites the metrics file if the configured interval has elapsed.
+    /// Cheap to call per trace: one clock read, and only when an interval
+    /// was actually requested.
+    fn tick(&mut self) {
+        let (Some(path), Some(every)) = (self.metrics_out.as_deref(), self.interval) else {
+            return;
+        };
+        if self.last_write.elapsed() >= every {
+            let _ = std::fs::write(path, obs::render_prometheus());
+            self.last_write = Instant::now();
+        }
+    }
+
+    /// Runs [`ObsSinks::tick`] on a background thread until the returned
+    /// guard is dropped — for runs that block in one call (chaos) instead
+    /// of looping over traces.
+    fn spawn_ticker(&self) -> Option<ObsTicker> {
+        let (Some(path), Some(every)) = (self.metrics_out.clone(), self.interval) else {
+            return None;
+        };
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            let mut last = Instant::now();
+            // relaxed: a latest-value stop flag; missing one iteration is harmless
+            while !stop2.load(Ordering::Relaxed) {
+                std::thread::sleep(Duration::from_millis(25).min(every));
+                if last.elapsed() >= every {
+                    let _ = std::fs::write(&path, obs::render_prometheus());
+                    last = Instant::now();
+                }
+            }
+        });
+        Some(ObsTicker {
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// Final export of both sinks. Returns `false` (after printing the
+    /// error) if either file cannot be written.
+    fn finish(&self, out: &mut dyn Write, quiet: bool) -> bool {
+        if let Some(path) = &self.metrics_out {
+            if let Err(e) = std::fs::write(path, obs::render_prometheus()) {
+                let _ = writeln!(out, "error: cannot write {}: {e}", path.display());
+                return false;
+            }
+            if !quiet {
+                let _ = writeln!(out, "metrics written to {}", path.display());
+            }
+        }
+        if let Some(path) = &self.trace_out {
+            if let Err(e) = std::fs::write(path, obs::render_chrome_trace()) {
+                let _ = writeln!(out, "error: cannot write {}: {e}", path.display());
+                return false;
+            }
+            if !quiet {
+                let _ = writeln!(out, "trace written to {}", path.display());
+            }
+        }
+        true
+    }
+
+    /// The `,"obs":{...}` suffix spliced into the single-line JSON
+    /// summary, or an empty string when observability is off.
+    fn json_block(&self, snapshot: Option<&obs::ObsSnapshot>) -> String {
+        if !self.enabled() {
+            return String::new();
+        }
+        snapshot
+            .and_then(|s| serde_json::to_string(s).ok())
+            .map(|j| format!(",\"obs\":{j}"))
+            .unwrap_or_default()
+    }
+}
+
+/// Stops the background metrics rewriter when dropped.
+struct ObsTicker {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Drop for ObsTicker {
+    fn drop(&mut self) {
+        // relaxed: plain shutdown flag; the join below is the synchronization
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
 
 /// `leopard record`: run the bundled engine + workload, write a capture.
 pub fn record(cfg: &RecordConfig, out: &mut dyn Write) -> i32 {
@@ -141,6 +269,8 @@ pub fn lint_history(cfg: &LintHistoryConfig, out: &mut dyn Write) -> i32 {
 /// The verification engine behind `leopard verify`: the single-threaded
 /// verifier, or the key-sharded pool when `--shards N` (N > 1) was given.
 /// Sharded runs checkpoint to the [`ShardedCheckpoint`] envelope.
+// One engine exists per run, so the variant size gap never multiplies.
+#[allow(clippy::large_enum_variant)]
 enum VerifyEngine {
     Single(Verifier),
     Sharded(ShardedVerifier),
@@ -171,6 +301,11 @@ impl VerifyEngine {
 
 /// `leopard verify`: audit a capture file.
 pub fn verify(cfg: &VerifyConfig, out: &mut dyn Write) -> i32 {
+    let mut sinks = ObsSinks::new(
+        cfg.metrics_out.as_ref(),
+        cfg.trace_out.as_ref(),
+        cfg.metrics_interval,
+    );
     if cfg.skip_preflight {
         if !cfg.json {
             let _ = writeln!(out, "preflight: skipped (--skip-preflight)");
@@ -296,6 +431,7 @@ pub fn verify(cfg: &VerifyConfig, out: &mut dyn Write) -> i32 {
                 }
                 verifier.process(&trace);
                 processed += 1;
+                sinks.tick();
                 if let (Some(path), Some(every)) = (&ckpt_out, cfg.checkpoint_every) {
                     if processed.is_multiple_of(every) {
                         if let Err(e) = verifier.write_checkpoint(path) {
@@ -322,6 +458,9 @@ pub fn verify(cfg: &VerifyConfig, out: &mut dyn Write) -> i32 {
         }
     }
     let outcome = verifier.finish();
+    if !sinks.finish(out, cfg.json) {
+        return 1;
+    }
     if cfg.json {
         let cov = &outcome.coverage;
         let budget = &outcome.counters.budget;
@@ -336,7 +475,7 @@ pub fn verify(cfg: &VerifyConfig, out: &mut dyn Write) -> i32 {
              \"peak_bytes\":{},\"peak_entries\":{},\"forced_gcs\":{},\
              \"forced_dispatches\":{},\"shed_traces\":{},\"budget_evictions\":{},\
              \"evicted_clients\":[{}],\"quarantined_traces\":{},\"demoted_reads\":{},\
-             \"violations\":{},\"clean\":{},\"complete\":{}}}",
+             \"violations\":{},\"clean\":{},\"complete\":{}{}}}",
             cfg.level,
             outcome.counters.traces,
             outcome.counters.committed,
@@ -352,6 +491,7 @@ pub fn verify(cfg: &VerifyConfig, out: &mut dyn Write) -> i32 {
             outcome.report.violations.len(),
             outcome.report.is_clean(),
             cov.is_complete(),
+            sinks.json_block(outcome.obs.as_ref()),
         );
         return if outcome.report.is_clean() { 0 } else { 3 };
     }
@@ -386,6 +526,16 @@ pub fn verify(cfg: &VerifyConfig, out: &mut dyn Write) -> i32 {
 /// bursts) through the *online* Tracer→Verifier chain in degraded mode,
 /// and report both the verdict and how much of the history it covers.
 pub fn chaos(cfg: &ChaosConfig, out: &mut dyn Write) -> i32 {
+    let sinks = ObsSinks::new(
+        cfg.metrics_out.as_ref(),
+        cfg.trace_out.as_ref(),
+        cfg.metrics_interval,
+    );
+    // Channel-layer losses are counted unconditionally in the global
+    // registry (they must never be silent), so the per-run figure is a
+    // before/after delta rather than an absolute read.
+    let shed_lossy_before = obs::counter_value(obs::Counter::ShedLossy);
+    let post_shutdown_before = obs::counter_value(obs::Counter::PostShutdownDrops);
     let (proto, gens) = match bundled_workload(&cfg.workload, cfg.scale, cfg.threads) {
         Ok(x) => x,
         Err(e) => {
@@ -438,8 +588,9 @@ pub fn chaos(cfg: &ChaosConfig, out: &mut dyn Write) -> i32 {
         shards: cfg.shards,
         ..OnlineOptions::default()
     };
+    let ticker = sinks.spawn_ticker();
     let (online, handles) = OnlineLeopard::start_opts(cfg.threads, vcfg, opts, preload);
-    let (mut stats, sinks) = run_chaos_with_sinks(
+    let (mut stats, client_sinks) = run_chaos_with_sinks(
         &db,
         gens,
         handles,
@@ -448,7 +599,7 @@ pub fn chaos(cfg: &ChaosConfig, out: &mut dyn Write) -> i32 {
         &plan,
         retry,
     );
-    drop(sinks); // close every client stream
+    drop(client_sinks); // close every client stream
     let (outcome, pstats) = match online.finish_with_timeout(Duration::from_secs(60)) {
         Ok(x) => x,
         Err(timeout) => {
@@ -456,6 +607,15 @@ pub fn chaos(cfg: &ChaosConfig, out: &mut dyn Write) -> i32 {
             (timeout.outcome, timeout.stats)
         }
     };
+    drop(ticker);
+    // saturating: a concurrent in-process run (tests) may reset the
+    // registry mid-flight; a clamped-to-zero figure beats a panic.
+    let shed_lossy = obs::counter_value(obs::Counter::ShedLossy).saturating_sub(shed_lossy_before);
+    let post_shutdown_drops =
+        obs::counter_value(obs::Counter::PostShutdownDrops).saturating_sub(post_shutdown_before);
+    if !sinks.finish(out, cfg.json) {
+        return 1;
+    }
 
     stats.absorb_pipeline(&pstats);
     let cov = &outcome.coverage;
@@ -474,8 +634,9 @@ pub fn chaos(cfg: &ChaosConfig, out: &mut dyn Write) -> i32 {
              \"dispatched\":{},\"duplicates_deduped\":{},\"evicted_clients\":[{}],\
              \"quarantined_traces\":{},\"demoted_reads\":{},\"indeterminate_txns\":{},\
              \"peak_bytes\":{},\"forced_gcs\":{},\"forced_dispatches\":{},\
-             \"shed_traces\":{},\"budget_evictions\":{},\
-             \"violations\":{},\"clean\":{},\"complete\":{}}}",
+             \"shed_traces\":{},\"shed_lossy\":{},\"post_shutdown_drops\":{},\
+             \"budget_evictions\":{},\
+             \"violations\":{},\"clean\":{},\"complete\":{}{}}}",
             cfg.workload,
             cfg.level,
             cfg.seed,
@@ -497,10 +658,13 @@ pub fn chaos(cfg: &ChaosConfig, out: &mut dyn Write) -> i32 {
             budget.forced_gcs,
             budget.forced_dispatches,
             budget.shed_traces,
+            shed_lossy,
+            post_shutdown_drops,
             budget.budget_evictions,
             outcome.report.violations.len(),
             outcome.report.is_clean(),
             cov.is_complete(),
+            sinks.json_block(outcome.obs.as_ref()),
         );
     } else {
         let _ = writeln!(
@@ -523,6 +687,13 @@ pub fn chaos(cfg: &ChaosConfig, out: &mut dyn Write) -> i32 {
             "pipeline: {} dispatched, {} duplicates deduped, {} clients evicted",
             pstats.dispatched, pstats.duplicates_dropped, pstats.evicted_clients
         );
+        if shed_lossy > 0 || post_shutdown_drops > 0 {
+            let _ = writeln!(
+                out,
+                "channel: {shed_lossy} shed under lossy backpressure, \
+                 {post_shutdown_drops} dropped after shutdown"
+            );
+        }
         if cfg.mem_budget.is_some() {
             let _ = writeln!(
                 out,
@@ -979,6 +1150,56 @@ mod tests {
         assert_eq!(code, 0, "{text}");
         assert!(text.contains("resources: peak"), "{text}");
         assert!(text.contains("verdict: CLEAN"), "{text}");
+    }
+
+    #[test]
+    fn verify_with_observability_writes_metrics_and_trace() {
+        let path = tmp("obs_cap");
+        let metrics = tmp("obs_metrics");
+        let trace = tmp("obs_trace");
+        let mut out = Vec::new();
+        let code = record(
+            &RecordConfig {
+                workload: "blindw-rw".to_string(),
+                threads: 2,
+                txns: 50,
+                out: path.clone(),
+                ..RecordConfig::default()
+            },
+            &mut out,
+        );
+        assert_eq!(code, 0);
+
+        let mut out = Vec::new();
+        let code = verify(
+            &VerifyConfig {
+                file: path.clone(),
+                shards: 2,
+                json: true,
+                metrics_out: Some(metrics.clone()),
+                trace_out: Some(trace.clone()),
+                ..VerifyConfig::default()
+            },
+            &mut out,
+        );
+        let text = String::from_utf8_lossy(&out);
+        assert_eq!(code, 0, "{text}");
+        // The summary stays a single line with the obs block spliced in.
+        assert_eq!(text.lines().count(), 1, "{text}");
+        assert!(text.contains("\"obs\":{"), "{text}");
+        assert!(text.contains("leopard_ops_ingested_total"), "{text}");
+
+        let prom = std::fs::read_to_string(&metrics).unwrap();
+        assert!(prom.contains("# TYPE leopard_ops_ingested_total counter"));
+        assert!(prom.contains("leopard_dispatch_latency_us_bucket{le=\"+Inf\"}"));
+        let tr = std::fs::read_to_string(&trace).unwrap();
+        assert!(tr.contains("\"traceEvents\""));
+        assert!(tr.contains("\"ph\":\"X\""));
+
+        leopard_core::obs::set_enabled(false);
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&metrics);
+        let _ = std::fs::remove_file(&trace);
     }
 
     #[test]

@@ -146,10 +146,19 @@ pub struct BudgetCounters {
 }
 
 impl BudgetCounters {
-    /// Fold a usage sample into the high-water marks.
+    /// Fold a usage sample into the high-water marks. The registry
+    /// gauges are only touched when a mark actually rises — this runs
+    /// once per trace on the sequential hot path, and an unconditional
+    /// atomic max per sample is measurable there.
     pub fn observe(&mut self, usage: MemUsage) {
-        self.peak_bytes = self.peak_bytes.max(usage.bytes);
-        self.peak_entries = self.peak_entries.max(usage.entries);
+        if usage.bytes > self.peak_bytes {
+            self.peak_bytes = usage.bytes;
+            crate::obs::gauge_max(crate::obs::Gauge::PeakMemBytes, self.peak_bytes);
+        }
+        if usage.entries > self.peak_entries {
+            self.peak_entries = usage.entries;
+            crate::obs::gauge_max(crate::obs::Gauge::PeakMemEntries, self.peak_entries);
+        }
     }
 }
 

@@ -60,6 +60,7 @@ pub mod checkpoint;
 pub mod fxhash;
 pub mod interval;
 pub mod lockwitness;
+pub mod obs;
 pub mod online;
 pub mod pipeline;
 pub mod preflight;
@@ -79,6 +80,7 @@ pub use checkpoint::{
 };
 pub use interval::{Interval, PairOrder};
 pub use lockwitness::{TrackedMutex, TrackedMutexGuard};
+pub use obs::{ObsSnapshot, Registry};
 pub use online::{FinishTimeout, OnlineLeopard, OnlineOptions};
 pub use pipeline::{
     Backpressure, ChannelTracer, ClientHandle, PipelineConfig, PipelineStats, TwoLevelPipeline,
@@ -93,6 +95,6 @@ pub use stats::{DeductionStats, DepCounts, DepKind};
 pub use trace::{OpKind, Trace, TraceBuilder};
 pub use types::{ClientId, Key, Timestamp, TxnId, Value};
 pub use verify::{
-    Coverage, Footprint, ShardTimings, ShardedVerifier, Verifier, VerifierConfig, VerifyCounters,
-    VerifyOutcome, MAX_COVERAGE_NOTES,
+    Coverage, Footprint, ShardedVerifier, Verifier, VerifierConfig, VerifyCounters, VerifyOutcome,
+    MAX_COVERAGE_NOTES,
 };

@@ -1,0 +1,1278 @@
+//! Process-wide observability: metrics registry, stage spans, exporters.
+//!
+//! Leopard's value is *efficient online* verification, which makes the
+//! engine's own behavior part of the product: where a streaming run
+//! spends time (shard workers vs. the serial certifier), how far the
+//! dispatch watermark lags the newest capture, and how often the
+//! overload ladder fires are all questions a verdict alone cannot
+//! answer. This module is the single, dependency-free answer:
+//!
+//! * a static [`Registry`] of atomic **counters**, **gauges** and
+//!   fixed-bucket **histograms** covering every stage of the chain
+//!   (ingest, dispatch, certifier epoch apply, GC, budget ladder,
+//!   sheds/evictions/quarantines);
+//! * **span** instrumentation — bounded ring buffer of
+//!   `(stage, lane, start, duration)` records around capture →
+//!   preflight → dispatch → shard workers → certifier merge → GC
+//!   barrier → checkpoint → report;
+//! * three **exporters**: Prometheus text exposition
+//!   ([`Registry::render_prometheus`]), a structured JSON snapshot
+//!   ([`Registry::snapshot`], embedded in
+//!   [`VerifyOutcome`](crate::VerifyOutcome) / `--json` output), and a
+//!   Chrome trace-event timeline ([`Registry::render_chrome_trace`])
+//!   loadable in Perfetto / `about://tracing`, with one lane per shard
+//!   plus driver/certifier and pipeline lanes.
+//!
+//! Everything is lock-free: plain relaxed atomics for tallies, a
+//! release-published / acquire-read sequence word per span slot. The
+//! global registry starts **disabled**; every gated entry point is a
+//! single relaxed boolean load when off, so instrumented builds pay
+//! nothing measurable until a caller opts in with [`set_enabled`].
+//! Instrumentation is verdict-neutral by construction — nothing in this
+//! module is read back by the verification state machines, and
+//! `tests/obs_equivalence.rs` enforces byte-identical verdicts and
+//! checkpoints with observability on and off.
+//!
+//! Two counters are deliberately *ungated* ([`ctr_always`]): lossy
+//! backpressure sheds and post-shutdown drops are loss accounting and
+//! must never vanish just because metrics exporting is off.
+//!
+//! The registry is process-global and cumulative. Benches and the CLI
+//! call [`reset`] at the start of a measured cell; tests that inspect
+//! values should use a private `Registry` instance instead of the
+//! global one, which races against concurrently-running tests.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Upper bounds (µs) of the finite histogram buckets, shared by every
+/// histogram in the registry. `+Inf` is implicit (the `_count` series).
+pub const BUCKET_BOUNDS_US: [u64; 14] = [
+    50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000,
+    1_000_000,
+];
+
+/// Maximum number of per-shard busy lanes tracked by the registry.
+/// Shards beyond this fold into the last lane.
+pub const MAX_SHARD_LANES: usize = 64;
+
+/// Capacity of the span ring buffer. Once full, the oldest spans are
+/// overwritten in claim order.
+pub const SPAN_CAPACITY: usize = 4096;
+
+/// Trace lane (Chrome-trace `tid`) of the driver/certifier thread.
+pub const LANE_DRIVER: u32 = 0;
+/// Trace lane of the two-level dispatch pipeline.
+pub const LANE_PIPELINE: u32 = 61;
+/// Trace lane of the online engine's governor loop.
+pub const LANE_ONLINE: u32 = 62;
+/// Trace lane of CLI-driven stages (capture read, preflight, report).
+pub const LANE_CLI: u32 = 63;
+
+/// Trace lane of shard worker `shard` (0-based). Lanes saturate just
+/// below the fixed utility lanes so arbitrary shard counts stay valid.
+#[must_use]
+pub fn shard_lane(shard: usize) -> u32 {
+    1 + (shard.min(59) as u32)
+}
+
+/// Monotonic counters tracked by the registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Counter {
+    /// Traces admitted into the verification engine.
+    OpsIngested,
+    /// Traces dispatched by the two-level pipeline in timestamp order.
+    Dispatched,
+    /// Traces shed by lossy backpressure (client channel full).
+    ShedLossy,
+    /// Trace records dropped because the collector had already shut down.
+    PostShutdownDrops,
+    /// Traces dropped below a forced-dispatch floor (arrived too late).
+    LateDropped,
+    /// Duplicate trace ids dropped by the pipeline.
+    DuplicatesDropped,
+    /// Garbage-collection passes (periodic cadence and forced).
+    GcPasses,
+    /// Mechanism-table entries reclaimed by garbage collection.
+    GcReclaimedEntries,
+    /// Budget ladder rung 1: GC passes forced outside the cadence.
+    ForcedGcs,
+    /// Budget ladder rung 2: pipeline buffers flushed above the watermark.
+    ForcedDispatches,
+    /// Budget ladder rung 3: clients evicted to shed retained state.
+    BudgetEvictions,
+    /// Clients evicted for stalling (eviction timeout), not for memory.
+    StallEvictions,
+    /// Traces quarantined by degraded-mode admission.
+    QuarantinedTraces,
+    /// Reads demoted to unverifiable in degraded mode.
+    DemotedReads,
+    /// Cross-shard certifier merge rounds (epoch batches applied).
+    CertifierMerges,
+    /// Checkpoint images serialized to disk.
+    CheckpointsWritten,
+    /// Cumulative driver/certifier busy time, microseconds.
+    DriverBusyUs,
+}
+
+const COUNTER_COUNT: usize = 17;
+
+impl Counter {
+    /// Every counter, in registry (and exposition) order.
+    pub const ALL: [Counter; COUNTER_COUNT] = [
+        Counter::OpsIngested,
+        Counter::Dispatched,
+        Counter::ShedLossy,
+        Counter::PostShutdownDrops,
+        Counter::LateDropped,
+        Counter::DuplicatesDropped,
+        Counter::GcPasses,
+        Counter::GcReclaimedEntries,
+        Counter::ForcedGcs,
+        Counter::ForcedDispatches,
+        Counter::BudgetEvictions,
+        Counter::StallEvictions,
+        Counter::QuarantinedTraces,
+        Counter::DemotedReads,
+        Counter::CertifierMerges,
+        Counter::CheckpointsWritten,
+        Counter::DriverBusyUs,
+    ];
+
+    fn idx(self) -> usize {
+        Counter::ALL
+            .iter()
+            .position(|&c| c == self)
+            .expect("Counter::ALL covers every variant") // lint: allow(L001): position over ALL is total by construction
+    }
+
+    /// Prometheus metric name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::OpsIngested => "leopard_ops_ingested_total",
+            Counter::Dispatched => "leopard_pipeline_dispatched_total",
+            Counter::ShedLossy => "leopard_pipeline_shed_total",
+            Counter::PostShutdownDrops => "leopard_pipeline_post_shutdown_drops_total",
+            Counter::LateDropped => "leopard_pipeline_late_dropped_total",
+            Counter::DuplicatesDropped => "leopard_pipeline_duplicates_dropped_total",
+            Counter::GcPasses => "leopard_gc_passes_total",
+            Counter::GcReclaimedEntries => "leopard_gc_reclaimed_entries_total",
+            Counter::ForcedGcs => "leopard_forced_gcs_total",
+            Counter::ForcedDispatches => "leopard_forced_dispatches_total",
+            Counter::BudgetEvictions => "leopard_budget_evictions_total",
+            Counter::StallEvictions => "leopard_stall_evictions_total",
+            Counter::QuarantinedTraces => "leopard_quarantined_traces_total",
+            Counter::DemotedReads => "leopard_demoted_reads_total",
+            Counter::CertifierMerges => "leopard_certifier_merges_total",
+            Counter::CheckpointsWritten => "leopard_checkpoints_written_total",
+            Counter::DriverBusyUs => "leopard_driver_busy_us_total",
+        }
+    }
+
+    /// One-line help string for the exposition.
+    #[must_use]
+    pub fn help(self) -> &'static str {
+        match self {
+            Counter::OpsIngested => "Traces admitted into the verification engine.",
+            Counter::Dispatched => {
+                "Traces dispatched by the two-level pipeline in timestamp order."
+            }
+            Counter::ShedLossy => "Traces shed by lossy backpressure (client channel full).",
+            Counter::PostShutdownDrops => {
+                "Trace records dropped because the collector had already shut down."
+            }
+            Counter::LateDropped => "Traces dropped below a forced-dispatch floor.",
+            Counter::DuplicatesDropped => "Duplicate trace ids dropped by the pipeline.",
+            Counter::GcPasses => "Garbage-collection passes (periodic and forced).",
+            Counter::GcReclaimedEntries => "Mechanism-table entries reclaimed by GC.",
+            Counter::ForcedGcs => "Budget ladder rung 1: GC passes forced outside the cadence.",
+            Counter::ForcedDispatches => "Budget ladder rung 2: forced pipeline flushes.",
+            Counter::BudgetEvictions => "Budget ladder rung 3: clients evicted for memory.",
+            Counter::StallEvictions => "Clients evicted for stalling (eviction timeout).",
+            Counter::QuarantinedTraces => "Traces quarantined by degraded-mode admission.",
+            Counter::DemotedReads => "Reads demoted to unverifiable in degraded mode.",
+            Counter::CertifierMerges => "Cross-shard certifier merge rounds.",
+            Counter::CheckpointsWritten => "Checkpoint images serialized to disk.",
+            Counter::DriverBusyUs => "Cumulative driver/certifier busy time, microseconds.",
+        }
+    }
+}
+
+/// Point-in-time gauges tracked by the registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Gauge {
+    /// Newest buffered capture timestamp minus the dispatch watermark.
+    WatermarkLag,
+    /// Current estimated bytes retained by the verification chain.
+    MemBytes,
+    /// High-water mark of estimated retained bytes.
+    PeakMemBytes,
+    /// High-water mark of retained entries.
+    PeakMemEntries,
+    /// Shard count of the active engine (0 = sequential).
+    Shards,
+}
+
+const GAUGE_COUNT: usize = 5;
+
+impl Gauge {
+    /// Every gauge, in registry (and exposition) order.
+    pub const ALL: [Gauge; GAUGE_COUNT] = [
+        Gauge::WatermarkLag,
+        Gauge::MemBytes,
+        Gauge::PeakMemBytes,
+        Gauge::PeakMemEntries,
+        Gauge::Shards,
+    ];
+
+    fn idx(self) -> usize {
+        Gauge::ALL
+            .iter()
+            .position(|&g| g == self)
+            .expect("Gauge::ALL covers every variant") // lint: allow(L001): position over ALL is total by construction
+    }
+
+    /// Prometheus metric name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Gauge::WatermarkLag => "leopard_watermark_lag",
+            Gauge::MemBytes => "leopard_mem_bytes",
+            Gauge::PeakMemBytes => "leopard_peak_mem_bytes",
+            Gauge::PeakMemEntries => "leopard_peak_mem_entries",
+            Gauge::Shards => "leopard_shards",
+        }
+    }
+
+    /// One-line help string for the exposition.
+    #[must_use]
+    pub fn help(self) -> &'static str {
+        match self {
+            Gauge::WatermarkLag => {
+                "Newest buffered capture timestamp minus the dispatch watermark."
+            }
+            Gauge::MemBytes => "Current estimated bytes retained by the verification chain.",
+            Gauge::PeakMemBytes => "High-water mark of estimated retained bytes.",
+            Gauge::PeakMemEntries => "High-water mark of retained entries.",
+            Gauge::Shards => "Shard count of the active engine (0 = sequential).",
+        }
+    }
+}
+
+/// Fixed-bucket microsecond histograms tracked by the registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HistId {
+    /// Wall time of one pipeline drain call that dispatched traces.
+    DispatchLatencyUs,
+    /// Wall time of one certifier epoch-merge round.
+    EpochApplyUs,
+    /// Wall time of one garbage-collection pass (or GC barrier).
+    GcPauseUs,
+    /// Wall time of one shard-worker batch.
+    ShardBatchUs,
+}
+
+const HIST_COUNT: usize = 4;
+
+impl HistId {
+    /// Every histogram, in registry (and exposition) order.
+    pub const ALL: [HistId; HIST_COUNT] = [
+        HistId::DispatchLatencyUs,
+        HistId::EpochApplyUs,
+        HistId::GcPauseUs,
+        HistId::ShardBatchUs,
+    ];
+
+    fn idx(self) -> usize {
+        HistId::ALL
+            .iter()
+            .position(|&h| h == self)
+            .expect("HistId::ALL covers every variant") // lint: allow(L001): position over ALL is total by construction
+    }
+
+    /// Prometheus metric name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            HistId::DispatchLatencyUs => "leopard_dispatch_latency_us",
+            HistId::EpochApplyUs => "leopard_epoch_apply_us",
+            HistId::GcPauseUs => "leopard_gc_pause_us",
+            HistId::ShardBatchUs => "leopard_shard_batch_us",
+        }
+    }
+
+    /// One-line help string for the exposition.
+    #[must_use]
+    pub fn help(self) -> &'static str {
+        match self {
+            HistId::DispatchLatencyUs => "Wall time of one dispatching pipeline drain call (us).",
+            HistId::EpochApplyUs => "Wall time of one certifier epoch-merge round (us).",
+            HistId::GcPauseUs => "Wall time of one garbage-collection pass (us).",
+            HistId::ShardBatchUs => "Wall time of one shard-worker batch (us).",
+        }
+    }
+}
+
+/// Pipeline stages a span can cover. Stage values are packed into span
+/// slots, so the discriminants are stable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Stage {
+    /// Reading/recording the capture stream.
+    Capture = 0,
+    /// Capture preflight validation.
+    Preflight = 1,
+    /// Pipeline dispatch (watermark advance + drain).
+    Dispatch = 2,
+    /// A shard worker processing one trace batch.
+    ShardBatch = 3,
+    /// The driver merging shard epochs (serial certifier section).
+    CertifierMerge = 4,
+    /// A GC pass or cross-shard GC barrier.
+    GcBarrier = 5,
+    /// Serializing a checkpoint image.
+    Checkpoint = 6,
+    /// Final verdict assembly and reporting.
+    Report = 7,
+}
+
+impl Stage {
+    /// Span/exposition name of the stage.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Capture => "capture",
+            Stage::Preflight => "preflight",
+            Stage::Dispatch => "dispatch",
+            Stage::ShardBatch => "shard-batch",
+            Stage::CertifierMerge => "certifier-merge",
+            Stage::GcBarrier => "gc-barrier",
+            Stage::Checkpoint => "checkpoint",
+            Stage::Report => "report",
+        }
+    }
+
+    fn from_u8(v: u8) -> Option<Stage> {
+        match v {
+            0 => Some(Stage::Capture),
+            1 => Some(Stage::Preflight),
+            2 => Some(Stage::Dispatch),
+            3 => Some(Stage::ShardBatch),
+            4 => Some(Stage::CertifierMerge),
+            5 => Some(Stage::GcBarrier),
+            6 => Some(Stage::Checkpoint),
+            7 => Some(Stage::Report),
+            _ => None,
+        }
+    }
+}
+
+/// One fixed-bucket microsecond histogram: per-bucket tallies plus sum
+/// and count, all relaxed atomics.
+struct Hist {
+    buckets: [AtomicU64; BUCKET_BOUNDS_US.len()],
+    sum_us: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Hist {
+    const fn new() -> Hist {
+        Hist {
+            buckets: [const { AtomicU64::new(0) }; BUCKET_BOUNDS_US.len()],
+            sum_us: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    fn observe(&self, us: u64) {
+        for (i, &bound) in BUCKET_BOUNDS_US.iter().enumerate() {
+            if us <= bound {
+                self.buckets[i].fetch_add(1, Ordering::Relaxed); // relaxed: independent tally, read only by exporters
+                break;
+            }
+        }
+        self.sum_us.fetch_add(us, Ordering::Relaxed); // relaxed: independent tally, read only by exporters
+        self.count.fetch_add(1, Ordering::Relaxed); // relaxed: independent tally, read only by exporters
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed); // relaxed: reset between bench cells; no readers race a reset
+        }
+        self.sum_us.store(0, Ordering::Relaxed); // relaxed: reset between bench cells; no readers race a reset
+        self.count.store(0, Ordering::Relaxed); // relaxed: reset between bench cells; no readers race a reset
+    }
+}
+
+/// One span record slot. Fields are written relaxed and published by a
+/// release store of `seq` (claim + 1); exporters read `seq` acquire
+/// before the fields. After the ring wraps, a slot holds the most
+/// recent span that claimed it.
+struct SpanSlot {
+    seq: AtomicU64,
+    start_us: AtomicU64,
+    dur_us: AtomicU64,
+    meta: AtomicU64,
+}
+
+impl SpanSlot {
+    const fn new() -> SpanSlot {
+        SpanSlot {
+            seq: AtomicU64::new(0),
+            start_us: AtomicU64::new(0),
+            dur_us: AtomicU64::new(0),
+            meta: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Bounded lock-free ring of span records.
+struct SpanRing {
+    head: AtomicU64,
+    slots: [SpanSlot; SPAN_CAPACITY],
+}
+
+impl SpanRing {
+    const fn new() -> SpanRing {
+        SpanRing {
+            head: AtomicU64::new(0),
+            slots: [const { SpanSlot::new() }; SPAN_CAPACITY],
+        }
+    }
+}
+
+/// The observability registry: every counter, gauge, histogram,
+/// per-shard busy lane and span slot, as lock-free atomics.
+///
+/// A process-global instance backs the module-level free functions
+/// ([`ctr`], [`span_start`], …); tests construct private instances so
+/// assertions don't race concurrently-running suites.
+pub struct Registry {
+    enabled: AtomicBool,
+    counters: [AtomicU64; COUNTER_COUNT],
+    gauges: [AtomicU64; GAUGE_COUNT],
+    hists: [Hist; HIST_COUNT],
+    shard_busy_us: [AtomicU64; MAX_SHARD_LANES],
+    spans: SpanRing,
+}
+
+static GLOBAL: Registry = Registry::new();
+
+impl Registry {
+    /// A fresh, disabled registry with every metric at zero.
+    #[must_use]
+    pub const fn new() -> Registry {
+        Registry {
+            enabled: AtomicBool::new(false),
+            counters: [const { AtomicU64::new(0) }; COUNTER_COUNT],
+            gauges: [const { AtomicU64::new(0) }; GAUGE_COUNT],
+            hists: [const { Hist::new() }; HIST_COUNT],
+            shard_busy_us: [const { AtomicU64::new(0) }; MAX_SHARD_LANES],
+            spans: SpanRing::new(),
+        }
+    }
+
+    /// True when span/metric recording through the gated entry points
+    /// is on.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed) // relaxed: an on/off hint; no data is ordered against the flag
+    }
+
+    /// Turns gated recording on or off.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed); // relaxed: an on/off hint; no data is ordered against the flag
+    }
+
+    /// Zeroes every metric and span slot. The enabled flag is
+    /// preserved. Meant for bench cells and CLI run starts; racing a
+    /// reset against live recording yields mixed (but safe) values.
+    pub fn reset(&self) {
+        for c in &self.counters {
+            c.store(0, Ordering::Relaxed); // relaxed: reset between bench cells; no readers race a reset
+        }
+        for g in &self.gauges {
+            g.store(0, Ordering::Relaxed); // relaxed: reset between bench cells; no readers race a reset
+        }
+        for h in &self.hists {
+            h.reset();
+        }
+        for lane in &self.shard_busy_us {
+            lane.store(0, Ordering::Relaxed); // relaxed: reset between bench cells; no readers race a reset
+        }
+        self.spans.head.store(0, Ordering::Relaxed); // relaxed: reset between bench cells; no readers race a reset
+        for slot in &self.spans.slots {
+            slot.seq.store(0, Ordering::Release); // release: invalidate the slot before any future acquire read
+        }
+    }
+
+    /// Adds `n` to a counter.
+    pub fn ctr_add(&self, c: Counter, n: u64) {
+        self.counters[c.idx()].fetch_add(n, Ordering::Relaxed); // relaxed: monotonic tally, read only by exporters
+    }
+
+    /// Current value of a counter.
+    #[must_use]
+    pub fn counter_value(&self, c: Counter) -> u64 {
+        self.counters[c.idx()].load(Ordering::Relaxed) // relaxed: exporter read of an independent tally
+    }
+
+    /// Stores a gauge value.
+    pub fn gauge_set(&self, g: Gauge, v: u64) {
+        self.gauges[g.idx()].store(v, Ordering::Relaxed); // relaxed: last-writer-wins sample, read only by exporters
+    }
+
+    /// Raises a gauge to `v` if `v` is larger (high-water mark).
+    pub fn gauge_max(&self, g: Gauge, v: u64) {
+        self.gauges[g.idx()].fetch_max(v, Ordering::Relaxed); // relaxed: monotone high-water mark, read only by exporters
+    }
+
+    /// Current value of a gauge.
+    #[must_use]
+    pub fn gauge_value(&self, g: Gauge) -> u64 {
+        self.gauges[g.idx()].load(Ordering::Relaxed) // relaxed: exporter read of an independent sample
+    }
+
+    /// Records one microsecond observation into a histogram.
+    pub fn hist_observe(&self, h: HistId, us: u64) {
+        self.hists[h.idx()].observe(us);
+    }
+
+    /// Stores the cumulative busy time of shard `shard` (µs). Shards
+    /// beyond [`MAX_SHARD_LANES`] fold into the last lane.
+    pub fn shard_busy_store(&self, shard: usize, us: u64) {
+        let lane = shard.min(MAX_SHARD_LANES - 1);
+        self.shard_busy_us[lane].store(us, Ordering::Relaxed); // relaxed: last-writer-wins sample, read only by exporters
+    }
+
+    /// Records one completed span. A no-op while disabled.
+    pub fn record_span(&self, stage: Stage, lane: u32, start_us: u64, dur_us: u64) {
+        if !self.enabled() {
+            return;
+        }
+        let claim = self.spans.head.fetch_add(1, Ordering::Relaxed); // relaxed: slot claim; publication order comes from the seq release below
+        let slot = &self.spans.slots[(claim as usize) % SPAN_CAPACITY];
+        slot.start_us.store(start_us, Ordering::Relaxed); // relaxed: ordered by the seq release store below
+        slot.dur_us.store(dur_us, Ordering::Relaxed); // relaxed: ordered by the seq release store below
+        let meta = u64::from(stage as u8) | (u64::from(lane) << 8);
+        slot.meta.store(meta, Ordering::Relaxed); // relaxed: ordered by the seq release store below
+        slot.seq.store(claim + 1, Ordering::Release); // release: publishes the slot fields to acquire readers
+    }
+
+    /// Point-in-time structured snapshot of every metric.
+    #[must_use]
+    pub fn snapshot(&self) -> ObsSnapshot {
+        let counters = Counter::ALL
+            .iter()
+            .map(|&c| MetricSample {
+                name: c.name().to_string(),
+                value: self.counter_value(c),
+            })
+            .collect();
+        let gauges = Gauge::ALL
+            .iter()
+            .map(|&g| MetricSample {
+                name: g.name().to_string(),
+                value: self.gauge_value(g),
+            })
+            .collect();
+        let histograms = HistId::ALL
+            .iter()
+            .map(|&h| {
+                let hist = &self.hists[h.idx()];
+                let mut buckets = Vec::with_capacity(BUCKET_BOUNDS_US.len());
+                for (i, &bound) in BUCKET_BOUNDS_US.iter().enumerate() {
+                    buckets.push(BucketCount {
+                        le_us: bound,
+                        count: hist.buckets[i].load(Ordering::Relaxed), // relaxed: exporter read of an independent tally
+                    });
+                }
+                HistSnapshot {
+                    name: h.name().to_string(),
+                    count: hist.count.load(Ordering::Relaxed), // relaxed: exporter read of an independent tally
+                    sum_us: hist.sum_us.load(Ordering::Relaxed), // relaxed: exporter read of an independent tally
+                    buckets,
+                }
+            })
+            .collect();
+        let shards = (self.gauge_value(Gauge::Shards) as usize).min(MAX_SHARD_LANES);
+        let shard_busy_us = (0..shards)
+            .map(|i| self.shard_busy_us[i].load(Ordering::Relaxed)) // relaxed: exporter read of an independent sample
+            .collect();
+        let recorded = self.spans.head.load(Ordering::Relaxed); // relaxed: exporter read of an independent tally
+        ObsSnapshot {
+            counters,
+            gauges,
+            histograms,
+            shard_busy_us,
+            spans_recorded: recorded,
+            spans_retained: recorded.min(SPAN_CAPACITY as u64),
+        }
+    }
+
+    /// Renders every metric in Prometheus text exposition format.
+    #[must_use]
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::with_capacity(8 * 1024);
+        for c in Counter::ALL {
+            render_header(&mut out, c.name(), c.help(), "counter");
+            render_sample(&mut out, c.name(), &[], self.counter_value(c));
+        }
+        for g in Gauge::ALL {
+            render_header(&mut out, g.name(), g.help(), "gauge");
+            render_sample(&mut out, g.name(), &[], self.gauge_value(g));
+        }
+        let shards = (self.gauge_value(Gauge::Shards) as usize).min(MAX_SHARD_LANES);
+        if shards > 0 {
+            let name = "leopard_shard_busy_us_total";
+            render_header(
+                &mut out,
+                name,
+                "Cumulative busy time of each shard worker, microseconds.",
+                "counter",
+            );
+            for i in 0..shards {
+                let v = self.shard_busy_us[i].load(Ordering::Relaxed); // relaxed: exporter read of an independent sample
+                render_sample(&mut out, name, &[("shard", &i.to_string())], v);
+            }
+        }
+        for h in HistId::ALL {
+            let hist = &self.hists[h.idx()];
+            render_header(&mut out, h.name(), h.help(), "histogram");
+            let mut cumulative = 0u64;
+            for (i, &bound) in BUCKET_BOUNDS_US.iter().enumerate() {
+                cumulative += hist.buckets[i].load(Ordering::Relaxed); // relaxed: exporter read of an independent tally
+                render_sample(
+                    &mut out,
+                    &format!("{}_bucket", h.name()),
+                    &[("le", &bound.to_string())],
+                    cumulative,
+                );
+            }
+            let count = hist.count.load(Ordering::Relaxed); // relaxed: exporter read of an independent tally
+            render_sample(
+                &mut out,
+                &format!("{}_bucket", h.name()),
+                &[("le", "+Inf")],
+                count,
+            );
+            render_sample(
+                &mut out,
+                &format!("{}_sum", h.name()),
+                &[],
+                hist.sum_us.load(Ordering::Relaxed), // relaxed: exporter read of an independent tally
+            );
+            render_sample(&mut out, &format!("{}_count", h.name()), &[], count);
+        }
+        out
+    }
+
+    /// Renders the span ring as a Chrome trace-event (Perfetto) JSON
+    /// document: one complete (`"ph":"X"`) event per retained span, one
+    /// named lane per shard plus driver/pipeline/online/CLI lanes.
+    #[must_use]
+    pub fn render_chrome_trace(&self) -> String {
+        let mut events: Vec<(u64, u64, Stage, u32)> = Vec::new();
+        for slot in &self.spans.slots {
+            let seq = slot.seq.load(Ordering::Acquire);
+            if seq == 0 {
+                continue;
+            }
+            let meta = slot.meta.load(Ordering::Relaxed); // relaxed: the acquire load of seq above ordered this field
+            let Some(stage) = Stage::from_u8((meta & 0xFF) as u8) else {
+                continue;
+            };
+            let lane = ((meta >> 8) & 0xFFFF_FFFF) as u32;
+            let start = slot.start_us.load(Ordering::Relaxed); // relaxed: the acquire load of seq above ordered this field
+            let dur = slot.dur_us.load(Ordering::Relaxed); // relaxed: the acquire load of seq above ordered this field
+            events.push((start, dur, stage, lane));
+        }
+        events.sort_unstable();
+        let mut lanes: Vec<u32> = events.iter().map(|e| e.3).collect();
+        lanes.sort_unstable();
+        lanes.dedup();
+        let mut out = String::with_capacity(64 + 96 * events.len());
+        out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+        out.push_str(
+            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":{\"name\":\"leopard\"}}",
+        );
+        for lane in &lanes {
+            out.push_str(&format!(
+                ",{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\"args\":{{\"name\":\"{}\"}}}}",
+                lane,
+                lane_name(*lane)
+            ));
+        }
+        for (start, dur, stage, lane) in &events {
+            out.push_str(&format!(
+                ",{{\"name\":\"{}\",\"cat\":\"leopard\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{},\"dur\":{}}}",
+                stage.name(),
+                lane,
+                start,
+                dur
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Registry {
+        Registry::new()
+    }
+}
+
+fn lane_name(lane: u32) -> String {
+    match lane {
+        LANE_DRIVER => "driver/certifier".to_string(),
+        LANE_PIPELINE => "pipeline".to_string(),
+        LANE_ONLINE => "online-engine".to_string(),
+        LANE_CLI => "cli".to_string(),
+        n => format!("shard-{}", n - 1),
+    }
+}
+
+fn render_header(out: &mut String, name: &str, help: &str, kind: &str) {
+    out.push_str("# HELP ");
+    out.push_str(name);
+    out.push(' ');
+    out.push_str(&escape_help(help));
+    out.push('\n');
+    out.push_str("# TYPE ");
+    out.push_str(name);
+    out.push(' ');
+    out.push_str(kind);
+    out.push('\n');
+}
+
+fn render_sample(out: &mut String, name: &str, labels: &[(&str, &str)], value: u64) {
+    out.push_str(name);
+    if !labels.is_empty() {
+        out.push('{');
+        for (i, (k, v)) in labels.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(k);
+            out.push_str("=\"");
+            out.push_str(&escape_label(v));
+            out.push('"');
+        }
+        out.push('}');
+    }
+    out.push(' ');
+    out.push_str(&value.to_string());
+    out.push('\n');
+}
+
+/// Escapes a HELP string per the Prometheus text format: backslash and
+/// newline.
+#[must_use]
+pub fn escape_help(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Escapes a label value per the Prometheus text format: backslash,
+/// double quote, and newline.
+#[must_use]
+pub fn escape_label(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// True if `s` is a valid Prometheus metric name
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`).
+#[must_use]
+pub fn is_valid_metric_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// True if `s` is a valid Prometheus label name
+/// (`[a-zA-Z_][a-zA-Z0-9_]*`).
+#[must_use]
+pub fn is_valid_label_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Structured point-in-time snapshot of the registry, embedded in
+/// [`VerifyOutcome`](crate::VerifyOutcome) and `--json` output when
+/// observability is enabled.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObsSnapshot {
+    /// Every counter with its value, in registry order.
+    pub counters: Vec<MetricSample>,
+    /// Every gauge with its value, in registry order.
+    pub gauges: Vec<MetricSample>,
+    /// Every histogram with per-bucket tallies.
+    pub histograms: Vec<HistSnapshot>,
+    /// Cumulative busy microseconds per shard (empty when sequential).
+    pub shard_busy_us: Vec<u64>,
+    /// Spans recorded since the last reset (including overwritten).
+    pub spans_recorded: u64,
+    /// Spans still retained in the ring.
+    pub spans_retained: u64,
+}
+
+impl ObsSnapshot {
+    /// Value of the named counter, if present.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|s| s.name == name)
+            .map(|s| s.value)
+    }
+
+    /// Value of the named gauge, if present.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.gauges.iter().find(|s| s.name == name).map(|s| s.value)
+    }
+}
+
+/// One named metric value in a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetricSample {
+    /// Metric name (matches the Prometheus exposition).
+    pub name: String,
+    /// Current value.
+    pub value: u64,
+}
+
+/// Snapshot of one fixed-bucket histogram.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values, microseconds.
+    pub sum_us: u64,
+    /// Non-cumulative tallies per finite bucket bound.
+    pub buckets: Vec<BucketCount>,
+}
+
+/// One histogram bucket: inclusive upper bound and its tally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BucketCount {
+    /// Inclusive upper bound, microseconds.
+    pub le_us: u64,
+    /// Observations in this bucket (non-cumulative).
+    pub count: u64,
+}
+
+/// The process-global registry backing the module-level free functions.
+#[must_use]
+pub fn global() -> &'static Registry {
+    &GLOBAL
+}
+
+/// True when global gated recording is on.
+#[must_use]
+pub fn enabled() -> bool {
+    GLOBAL.enabled()
+}
+
+/// Turns global gated recording on or off.
+pub fn set_enabled(on: bool) {
+    GLOBAL.set_enabled(on);
+}
+
+/// Zeroes the global registry (see [`Registry::reset`]).
+pub fn reset() {
+    GLOBAL.reset();
+}
+
+/// Adds `n` to a global counter when recording is enabled.
+#[inline]
+pub fn ctr(c: Counter, n: u64) {
+    if GLOBAL.enabled() {
+        GLOBAL.ctr_add(c, n);
+    }
+}
+
+/// Adds `n` to a global counter unconditionally. Reserved for loss
+/// accounting (sheds, post-shutdown drops) that must stay visible even
+/// with metrics exporting off.
+#[inline]
+pub fn ctr_always(c: Counter, n: u64) {
+    GLOBAL.ctr_add(c, n);
+}
+
+/// Current value of a global counter.
+#[must_use]
+pub fn counter_value(c: Counter) -> u64 {
+    GLOBAL.counter_value(c)
+}
+
+/// Stores a global gauge value when recording is enabled.
+#[inline]
+pub fn gauge_set(g: Gauge, v: u64) {
+    if GLOBAL.enabled() {
+        GLOBAL.gauge_set(g, v);
+    }
+}
+
+/// Raises a global gauge high-water mark when recording is enabled.
+#[inline]
+pub fn gauge_max(g: Gauge, v: u64) {
+    if GLOBAL.enabled() {
+        GLOBAL.gauge_max(g, v);
+    }
+}
+
+/// Records a histogram observation when recording is enabled.
+#[inline]
+pub fn hist(h: HistId, us: u64) {
+    if GLOBAL.enabled() {
+        GLOBAL.hist_observe(h, us);
+    }
+}
+
+/// Stores a shard's cumulative busy time when recording is enabled.
+#[inline]
+pub fn shard_busy(shard: usize, us: u64) {
+    if GLOBAL.enabled() {
+        GLOBAL.shard_busy_store(shard, us);
+    }
+}
+
+/// Microseconds since the process-wide observability epoch.
+#[must_use]
+pub fn now_us() -> u64 {
+    anchor().elapsed().as_micros() as u64
+}
+
+fn anchor() -> Instant {
+    static ANCHOR: OnceLock<Instant> = OnceLock::new();
+    *ANCHOR.get_or_init(Instant::now) // lint: allow(L004): observability only — wall-clock anchor for span timestamps, never feeds verification state
+}
+
+/// Starts a span clock: `Some(start_us)` when recording is enabled,
+/// `None` (and no clock read) when disabled.
+#[inline]
+#[must_use]
+pub fn span_start() -> Option<u64> {
+    enabled().then(now_us)
+}
+
+/// Completes a span opened by [`span_start`], recording it into the
+/// global ring. Returns the span duration in microseconds (0 when the
+/// span was never started).
+#[inline]
+pub fn span_end(stage: Stage, lane: u32, start: Option<u64>) -> u64 {
+    let Some(start_us) = start else {
+        return 0;
+    };
+    let dur_us = now_us().saturating_sub(start_us);
+    GLOBAL.record_span(stage, lane, start_us, dur_us);
+    dur_us
+}
+
+/// Global snapshot when recording is enabled, `None` otherwise.
+#[must_use]
+pub fn snapshot_if_enabled() -> Option<ObsSnapshot> {
+    enabled().then(|| GLOBAL.snapshot())
+}
+
+/// Renders the global registry in Prometheus text exposition format.
+#[must_use]
+pub fn render_prometheus() -> String {
+    GLOBAL.render_prometheus()
+}
+
+/// Renders the global span ring as a Chrome trace-event JSON document.
+#[must_use]
+pub fn render_chrome_trace() -> String {
+    GLOBAL.render_chrome_trace()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fresh() -> Box<Registry> {
+        let r = Box::new(Registry::new());
+        r.set_enabled(true);
+        r
+    }
+
+    /// Minimal JSON syntax check (the offline serde_json stub has no
+    /// dynamic `Value` type): consumes one JSON value, returns the rest.
+    fn json_value(s: &str) -> Result<&str, String> {
+        let s = s.trim_start();
+        let mut chars = s.char_indices();
+        match chars.next().map(|(_, c)| c) {
+            Some('{') => json_seq(&s[1..], '}', true),
+            Some('[') => json_seq(&s[1..], ']', false),
+            Some('"') => json_string(s),
+            Some(c) if c == '-' || c.is_ascii_digit() => {
+                let end = s
+                    .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+                    .unwrap_or(s.len());
+                Ok(&s[end..])
+            }
+            Some(_) if s.starts_with("true") => Ok(&s[4..]),
+            Some(_) if s.starts_with("false") => Ok(&s[5..]),
+            Some(_) if s.starts_with("null") => Ok(&s[4..]),
+            other => Err(format!("unexpected start: {other:?}")),
+        }
+    }
+
+    fn json_string(s: &str) -> Result<&str, String> {
+        debug_assert!(s.starts_with('"'));
+        let bytes = s.as_bytes();
+        let mut i = 1;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'"' => return Ok(&s[i + 1..]),
+                b'\\' => i += 2,
+                _ => i += 1,
+            }
+        }
+        Err("unterminated string".to_string())
+    }
+
+    fn json_seq(mut s: &str, close: char, keyed: bool) -> Result<&str, String> {
+        s = s.trim_start();
+        if let Some(rest) = s.strip_prefix(close) {
+            return Ok(rest);
+        }
+        loop {
+            if keyed {
+                s = s.trim_start();
+                if !s.starts_with('"') {
+                    return Err(format!("expected key at: {:.20}", s));
+                }
+                s = json_string(s)?.trim_start();
+                s = s
+                    .strip_prefix(':')
+                    .ok_or_else(|| format!("expected ':' at: {:.20}", s))?;
+            }
+            s = json_value(s)?.trim_start();
+            if let Some(rest) = s.strip_prefix(',') {
+                s = rest;
+            } else {
+                return s
+                    .strip_prefix(close)
+                    .ok_or_else(|| format!("expected '{close}' at: {:.20}", s));
+            }
+        }
+    }
+
+    fn assert_valid_json(s: &str) {
+        match json_value(s) {
+            Ok(rest) => assert!(rest.trim().is_empty(), "trailing JSON content: {rest:.40}"),
+            Err(e) => panic!("invalid JSON: {e}"),
+        }
+    }
+
+    #[test]
+    fn histogram_buckets_are_inclusive_upper_bounds() {
+        let r = fresh();
+        // A value equal to a bound lands in that bucket, one above it
+        // lands in the next, and an over-the-top value only reaches
+        // sum/count (the implicit +Inf bucket).
+        r.hist_observe(HistId::GcPauseUs, 50);
+        r.hist_observe(HistId::GcPauseUs, 51);
+        r.hist_observe(HistId::GcPauseUs, 5_000_000);
+        let snap = r.snapshot();
+        let h = snap
+            .histograms
+            .iter()
+            .find(|h| h.name == "leopard_gc_pause_us")
+            .expect("gc hist present"); // lint: allow(L001): test assertion
+        assert_eq!(h.count, 3);
+        assert_eq!(h.sum_us, 50 + 51 + 5_000_000);
+        assert_eq!(
+            h.buckets[0],
+            BucketCount {
+                le_us: 50,
+                count: 1
+            }
+        );
+        assert_eq!(
+            h.buckets[1],
+            BucketCount {
+                le_us: 100,
+                count: 1
+            }
+        );
+        let finite: u64 = h.buckets.iter().map(|b| b.count).sum();
+        assert_eq!(finite, 2, "over-the-top value stays out of finite buckets");
+    }
+
+    #[test]
+    fn exposition_histogram_buckets_are_cumulative_and_end_at_inf() {
+        let r = fresh();
+        r.hist_observe(HistId::EpochApplyUs, 10);
+        r.hist_observe(HistId::EpochApplyUs, 10);
+        r.hist_observe(HistId::EpochApplyUs, 200);
+        r.hist_observe(HistId::EpochApplyUs, 10_000_000);
+        let text = r.render_prometheus();
+        assert!(text.contains("leopard_epoch_apply_us_bucket{le=\"50\"} 2\n"));
+        assert!(text.contains("leopard_epoch_apply_us_bucket{le=\"250\"} 3\n"));
+        assert!(text.contains("leopard_epoch_apply_us_bucket{le=\"1000000\"} 3\n"));
+        assert!(text.contains("leopard_epoch_apply_us_bucket{le=\"+Inf\"} 4\n"));
+        assert!(text.contains("leopard_epoch_apply_us_count 4\n"));
+        assert!(text.contains("leopard_epoch_apply_us_sum 10000220\n"));
+    }
+
+    #[test]
+    fn counters_are_monotonic_across_renders() {
+        let r = fresh();
+        let mut last = 0u64;
+        for step in 1..=5u64 {
+            r.ctr_add(Counter::OpsIngested, step);
+            let v = r.counter_value(Counter::OpsIngested);
+            assert!(v > last, "counter regressed: {v} after {last}");
+            last = v;
+            let line = format!("leopard_ops_ingested_total {v}\n");
+            assert!(r.render_prometheus().contains(&line));
+        }
+    }
+
+    #[test]
+    fn every_metric_and_label_name_is_valid() {
+        for c in Counter::ALL {
+            assert!(is_valid_metric_name(c.name()), "{}", c.name());
+        }
+        for g in Gauge::ALL {
+            assert!(is_valid_metric_name(g.name()), "{}", g.name());
+        }
+        for h in HistId::ALL {
+            assert!(is_valid_metric_name(h.name()), "{}", h.name());
+        }
+        assert!(is_valid_label_name("shard"));
+        assert!(is_valid_label_name("le"));
+        assert!(!is_valid_metric_name("9starts_with_digit"));
+        assert!(!is_valid_metric_name("has-dash"));
+        assert!(!is_valid_label_name("has:colon"));
+        assert!(!is_valid_label_name(""));
+    }
+
+    #[test]
+    fn exposition_lines_match_the_text_format() {
+        let r = fresh();
+        r.gauge_set(Gauge::Shards, 3);
+        r.shard_busy_store(0, 11);
+        r.shard_busy_store(2, 33);
+        r.ctr_add(Counter::Dispatched, 7);
+        for line in r.render_prometheus().lines() {
+            if line.starts_with('#') {
+                assert!(
+                    line.starts_with("# HELP ") || line.starts_with("# TYPE "),
+                    "bad comment line: {line}"
+                );
+                continue;
+            }
+            let (series, value) = line.rsplit_once(' ').expect("sample has a value"); // lint: allow(L001): test assertion
+            assert!(
+                value == "+Inf" || value.parse::<u64>().is_ok(),
+                "bad value in: {line}"
+            );
+            let name = series.split('{').next().expect("series has a name"); // lint: allow(L001): test assertion
+            assert!(is_valid_metric_name(name), "bad metric name in: {line}");
+        }
+        let text = r.render_prometheus();
+        assert!(text.contains("leopard_shard_busy_us_total{shard=\"0\"} 11\n"));
+        assert!(text.contains("leopard_shard_busy_us_total{shard=\"2\"} 33\n"));
+        assert!(!text.contains("{shard=\"3\"}"), "lane past Shards gauge");
+    }
+
+    #[test]
+    fn escaping_covers_backslash_quote_and_newline() {
+        assert_eq!(escape_help("a\\b\nc"), "a\\\\b\\nc");
+        assert_eq!(escape_label("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn disabled_registry_records_no_spans_but_always_counts_losses() {
+        let r = Box::new(Registry::new());
+        assert!(!r.enabled());
+        r.record_span(Stage::Dispatch, LANE_PIPELINE, 0, 10);
+        assert_eq!(r.snapshot().spans_recorded, 0);
+        // ctr_add itself is ungated — the gating lives in the module
+        // fns — so loss accounting through ctr_always always lands.
+        r.ctr_add(Counter::PostShutdownDrops, 2);
+        assert_eq!(r.counter_value(Counter::PostShutdownDrops), 2);
+    }
+
+    #[test]
+    fn span_ring_wraps_and_trace_render_is_valid_json() {
+        let r = fresh();
+        for i in 0..(SPAN_CAPACITY as u64 + 10) {
+            r.record_span(Stage::ShardBatch, shard_lane(1), i, 1);
+        }
+        let snap = r.snapshot();
+        assert_eq!(snap.spans_recorded, SPAN_CAPACITY as u64 + 10);
+        assert_eq!(snap.spans_retained, SPAN_CAPACITY as u64);
+        let trace = r.render_chrome_trace();
+        assert_valid_json(&trace);
+        // process_name + one thread_name + SPAN_CAPACITY retained spans.
+        assert_eq!(trace.matches("\"ph\":\"M\"").count(), 2);
+        assert_eq!(trace.matches("\"ph\":\"X\"").count(), SPAN_CAPACITY);
+        assert!(trace.contains("\"args\":{\"name\":\"shard-1\"}"));
+        assert!(trace.contains("\"name\":\"shard-batch\""));
+    }
+
+    #[test]
+    fn reset_zeroes_metrics_and_spans() {
+        let r = fresh();
+        r.ctr_add(Counter::GcPasses, 5);
+        r.gauge_set(Gauge::MemBytes, 123);
+        r.hist_observe(HistId::DispatchLatencyUs, 9);
+        r.record_span(Stage::GcBarrier, LANE_DRIVER, 1, 2);
+        r.reset();
+        assert!(r.enabled(), "reset preserves the enabled flag");
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("leopard_gc_passes_total"), Some(0));
+        assert_eq!(snap.gauge("leopard_mem_bytes"), Some(0));
+        assert_eq!(snap.spans_recorded, 0);
+        assert!(snap.histograms.iter().all(|h| h.count == 0));
+        let trace = r.render_chrome_trace();
+        assert_valid_json(&trace);
+        assert_eq!(trace.matches("\"ph\":\"X\"").count(), 0);
+    }
+
+    #[test]
+    fn snapshot_serializes_to_json_and_back() {
+        let r = fresh();
+        r.ctr_add(Counter::CertifierMerges, 4);
+        r.gauge_set(Gauge::Shards, 2);
+        r.shard_busy_store(0, 100);
+        r.shard_busy_store(1, 200);
+        let snap = r.snapshot();
+        let json = serde_json::to_string(&snap).expect("snapshot serializes"); // lint: allow(L001): test assertion
+        let back: ObsSnapshot = serde_json::from_str(&json).expect("snapshot round-trips"); // lint: allow(L001): test assertion
+        assert_eq!(snap, back);
+        assert_eq!(back.shard_busy_us, vec![100, 200]);
+        assert_eq!(back.counter("leopard_certifier_merges_total"), Some(4));
+    }
+
+    #[test]
+    fn lane_names_cover_utility_and_shard_lanes() {
+        assert_eq!(lane_name(LANE_DRIVER), "driver/certifier");
+        assert_eq!(lane_name(LANE_PIPELINE), "pipeline");
+        assert_eq!(lane_name(LANE_ONLINE), "online-engine");
+        assert_eq!(lane_name(LANE_CLI), "cli");
+        assert_eq!(lane_name(shard_lane(0)), "shard-0");
+        assert_eq!(lane_name(shard_lane(7)), "shard-7");
+        assert_eq!(shard_lane(10_000), 60, "shard lanes saturate");
+    }
+}

@@ -30,6 +30,7 @@
 
 use crate::budget::MemUsage;
 use crate::lockwitness::TrackedMutex;
+use crate::obs;
 use crate::pipeline::{Backpressure, ChannelTracer, ClientHandle, PipelineConfig, PipelineStats};
 use crate::trace::Trace;
 use crate::types::{ClientId, Key, Value};
@@ -74,6 +75,8 @@ pub struct OnlineOptions {
 /// verifier, or the key-sharded pool when [`OnlineOptions::shards`] > 1.
 /// Every governor action (overload ladder, eviction notes, checkpointing)
 /// is delegated so the worker loop is engine-agnostic.
+// One engine exists per run, so the variant size gap never multiplies.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 enum Engine {
     Single(Verifier),
@@ -106,6 +109,7 @@ impl Engine {
     /// Best-effort checkpoint write: an unwritable checkpoint must not
     /// take the verification down.
     fn write_checkpoint(&mut self, path: &Path) {
+        let span = obs::span_start();
         match self {
             Engine::Single(v) => {
                 let _ = v.checkpoint().write(path);
@@ -114,6 +118,8 @@ impl Engine {
                 let _ = s.checkpoint().write(path);
             }
         }
+        obs::span_end(obs::Stage::Checkpoint, obs::LANE_ONLINE, span);
+        obs::ctr(obs::Counter::CheckpointsWritten, 1);
     }
 
     fn force_gc(&mut self) {
@@ -131,6 +137,7 @@ impl Engine {
     }
 
     fn observe_usage(&mut self, usage: MemUsage) {
+        obs::gauge_set(obs::Gauge::MemBytes, usage.bytes);
         match self {
             Engine::Single(v) => v.observe_usage(usage),
             Engine::Sharded(s) => s.observe_usage(usage),
@@ -296,6 +303,11 @@ impl OnlineLeopard {
             let mut last_progress = Instant::now(); // lint: allow(L004): eviction timeout is wall-clock by definition; verdicts stay trace-time only
             loop {
                 let live = tracer.poll(&mut batch);
+                let span = if batch.is_empty() {
+                    None
+                } else {
+                    obs::span_start()
+                };
                 for trace in batch.drain(..) {
                     verifier.process(&trace);
                     processed += 1;
@@ -307,6 +319,7 @@ impl OnlineLeopard {
                         }
                     }
                 }
+                obs::span_end(obs::Stage::Dispatch, obs::LANE_ONLINE, span);
                 // Fold newly shed traces (lossy backpressure, post-shutdown
                 // records, forced-dispatch stragglers) into the verifier's
                 // checkpointable counters.

@@ -17,6 +17,7 @@
 
 use super::{PipelineConfig, PipelineError, PipelineStats, TwoLevelPipeline, TRACE_APPROX_BYTES};
 use crate::budget::MemUsage;
+use crate::obs;
 use crate::trace::Trace;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TryRecvError, TrySendError};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -61,10 +62,26 @@ impl ClientHandle {
         let delivered = if self.lossy {
             match self.sender.try_send(trace) {
                 Ok(()) => true,
-                Err(TrySendError::Full(_) | TrySendError::Disconnected(_)) => false,
+                Err(TrySendError::Full(_)) => {
+                    // Lossy backpressure: the collector is keeping up with
+                    // the budget, not the workload. Distinct from the
+                    // post-shutdown case below so operators can tell
+                    // "shedding under load" from "recording into a closed
+                    // chain" in the metrics.
+                    obs::ctr_always(obs::Counter::ShedLossy, 1);
+                    false
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    obs::ctr_always(obs::Counter::PostShutdownDrops, 1);
+                    false
+                }
             }
         } else {
-            self.sender.send(trace).is_ok()
+            let ok = self.sender.send(trace).is_ok();
+            if !ok {
+                obs::ctr_always(obs::Counter::PostShutdownDrops, 1);
+            }
+            ok
         };
         if !delivered {
             // relaxed: a monotonically increasing tally read only for

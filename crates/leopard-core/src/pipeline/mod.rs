@@ -26,6 +26,7 @@ mod channel;
 
 pub use channel::{Backpressure, ChannelTracer, ClientHandle};
 
+use crate::obs;
 use crate::trace::Trace;
 use crate::types::Timestamp;
 use serde::{Deserialize, Serialize};
@@ -273,6 +274,7 @@ impl TwoLevelPipeline {
             // here keeps duplicates out of the watermark accounting and the
             // verifier alike.
             self.stats.duplicates_dropped += 1;
+            obs::ctr(obs::Counter::DuplicatesDropped, 1);
             return Ok(());
         }
         if trace.ts_bef() < local.last_seen {
@@ -289,6 +291,7 @@ impl TwoLevelPipeline {
             // but still advance the client's bound so the watermark moves.
             local.last_seen = trace.ts_bef();
             self.stats.late_dropped += 1;
+            obs::ctr(obs::Counter::LateDropped, 1);
             return Ok(());
         }
         local.last_seen = trace.ts_bef();
@@ -407,9 +410,28 @@ impl TwoLevelPipeline {
 
     /// Dispatches every currently provable trace into `out`.
     pub fn drain_available(&mut self, out: &mut Vec<Trace>) {
+        let span = obs::span_start();
+        let before = out.len();
         while let Some(t) = self.try_dispatch() {
             out.push(t);
         }
+        let drained = out.len() - before;
+        if span.is_some() && drained > 0 {
+            let dur = obs::span_end(obs::Stage::Dispatch, obs::LANE_PIPELINE, span);
+            obs::hist(obs::HistId::DispatchLatencyUs, dur);
+            obs::ctr(obs::Counter::Dispatched, drained as u64);
+            obs::gauge_set(obs::Gauge::WatermarkLag, self.watermark_lag());
+        }
+    }
+
+    /// Observability estimate of how far dispatch trails ingest: the
+    /// newest `ts_bef` any client has pushed minus the current watermark,
+    /// in capture-timestamp units. Zero when everything provable has been
+    /// dispatched or the pipeline is fully drained.
+    fn watermark_lag(&self) -> u64 {
+        let Some(wm) = self.watermark() else { return 0 };
+        let newest = self.locals.iter().map(|l| l.last_seen).max().unwrap_or(wm);
+        newest.0.saturating_sub(wm.0)
     }
 
     /// Rung 2 of the overload ladder: flush *everything* buffered —
@@ -434,6 +456,8 @@ impl TwoLevelPipeline {
         }
         self.forced_floor = self.forced_floor.max(self.last_dispatched);
         self.stats.forced_dispatches += 1;
+        obs::ctr(obs::Counter::ForcedDispatches, 1);
+        obs::ctr(obs::Counter::Dispatched, n as u64);
         n
     }
 

@@ -22,7 +22,7 @@ mod version_store;
 
 pub use depgraph::{CertifierViolation, DepGraph, NodeSnap};
 pub use lock_table::{KeyLocks, LockCheck, LockEntry, LockTable};
-pub use shard::{ShardTimings, ShardedVerifier};
+pub use shard::ShardedVerifier;
 pub use txn_table::{MatchedRead, ReadRunKey, TxnInfo, TxnOutcome, TxnSnap, TxnTable};
 pub use version_store::{
     KeyVersions, PruneBreakdown, ReadMatch, RecordVersions, VersionClass, VersionEntry,
@@ -33,6 +33,7 @@ use crate::budget::{BudgetCounters, MemBudget, MemUsage};
 use crate::catalog::{IsolationLevel, MechanismSet, SnapshotLevel};
 use crate::checkpoint::{Checkpoint, CheckpointError, PendingReadSnap, CHECKPOINT_VERSION};
 use crate::interval::{resolve_exclusive_pair, Interval, PairOrder};
+use crate::obs;
 use crate::preflight::QuarantineGate;
 use crate::report::{BugReport, Violation};
 use crate::stats::{DeductionStats, DepKind};
@@ -239,6 +240,11 @@ pub struct VerifyOutcome {
     pub counters: VerifyCounters,
     /// How much of the history the verdict covers.
     pub coverage: Coverage,
+    /// Observability snapshot, present only when [`crate::obs`]
+    /// recording was enabled for the run. Never feeds back into a
+    /// verdict: with recording off this is `None` and the rest of the
+    /// outcome is byte-identical (`tests/obs_equivalence.rs`).
+    pub obs: Option<crate::obs::ObsSnapshot>,
 }
 
 /// A deferred consistent-read check (due once the stream passes
@@ -477,6 +483,7 @@ impl Verifier {
             if let Some(diag) = self.quarantine.admit(trace) {
                 self.coverage.quarantined_traces += 1;
                 self.coverage.push_note(format!("quarantined: {diag}"));
+                obs::ctr(obs::Counter::QuarantinedTraces, 1);
                 return;
             }
         }
@@ -558,6 +565,11 @@ impl Verifier {
         }
 
         self.counters.traces += 1;
+        if self.role.is_none() {
+            // Sharded runs count admissions at the driver; a worker's
+            // local tally would multiply-count broadcast traces.
+            obs::ctr(obs::Counter::OpsIngested, 1);
+        }
         if self.role.is_some() {
             // Shard mode: GC and budget enforcement are epoch-coordinated
             // by the driver (a lone shard cannot compute the global GC low
@@ -585,6 +597,7 @@ impl Verifier {
     /// `gc_every` cadence — rung 1 of the overload ladder.
     pub fn force_gc(&mut self) {
         self.counters.budget.forced_gcs += 1;
+        obs::ctr(obs::Counter::ForcedGcs, 1);
         self.collect_garbage();
     }
 
@@ -623,6 +636,7 @@ impl Verifier {
             stats: self.stats,
             counters: self.counters,
             coverage,
+            obs: obs::snapshot_if_enabled(),
         }
     }
 
@@ -634,6 +648,7 @@ impl Verifier {
             self.coverage.evicted_clients.sort_unstable();
             self.coverage
                 .push_note(format!("evicted: {client} force-closed by stall timeout"));
+            obs::ctr(obs::Counter::StallEvictions, 1);
         }
     }
 
@@ -643,6 +658,7 @@ impl Verifier {
     /// is counted separately from stall-timeout evictions.
     pub fn note_budget_eviction(&mut self, client: ClientId) {
         self.counters.budget.budget_evictions += 1;
+        obs::ctr(obs::Counter::BudgetEvictions, 1);
         if !self.coverage.evicted_clients.contains(&client) {
             self.coverage.evicted_clients.push(client);
             self.coverage.evicted_clients.sort_unstable();
@@ -857,6 +873,7 @@ impl Verifier {
             None => {
                 self.coverage.demoted_reads += 1;
                 self.coverage.push_note(note);
+                obs::ctr(obs::Counter::DemotedReads, 1);
             }
             Some(_) => {
                 let k = self.cursor.next();
@@ -1531,7 +1548,9 @@ impl Verifier {
     /// Periodic pruning of structures no active transaction can still
     /// conflict with (§V complexity-analysis paragraphs; Definition 4).
     fn collect_garbage(&mut self) {
-        self.counters.peak_footprint = self.counters.peak_footprint.max(self.footprint().total());
+        let before = self.footprint().total();
+        self.counters.peak_footprint = self.counters.peak_footprint.max(before);
+        let t0 = obs::span_start();
         let mut low = self
             .txns
             .earliest_active_snapshot()
@@ -1549,6 +1568,20 @@ impl Verifier {
         self.locks.prune(low);
         self.graph.prune(low);
         self.txns.prune(low);
+        if t0.is_some() {
+            let lane = match self.role {
+                None => obs::LANE_DRIVER,
+                Some(r) => obs::shard_lane(r.shard),
+            };
+            let dur = obs::span_end(obs::Stage::GcBarrier, lane, t0);
+            obs::hist(obs::HistId::GcPauseUs, dur);
+            obs::ctr(obs::Counter::GcPasses, 1);
+            let after = self.footprint().total();
+            obs::ctr(
+                obs::Counter::GcReclaimedEntries,
+                before.saturating_sub(after) as u64,
+            );
+        }
     }
 }
 

@@ -29,6 +29,7 @@ use super::{
 use crate::budget::MemUsage;
 use crate::checkpoint::{Checkpoint, CheckpointError, ShardedCheckpoint, CHECKPOINT_VERSION};
 use crate::lockwitness::TrackedMutex;
+use crate::obs;
 use crate::preflight::QuarantineGate;
 use crate::report::{BugReport, Violation};
 use crate::stats::DeductionStats;
@@ -90,6 +91,7 @@ struct ShardHandle {
 }
 
 fn shard_worker(
+    index: usize,
     mut v: Verifier,
     rx: mpsc::Receiver<ToShard>,
     tx: mpsc::Sender<FromShard>,
@@ -98,10 +100,12 @@ fn shard_worker(
     // Busy time excludes blocking on the channel: it is the per-shard
     // critical-path cost a dedicated core would pay, the number the
     // shards bench projects scaling from.
+    let lane = obs::shard_lane(index);
     let mut busy = Duration::ZERO;
     while let Ok(msg) = rx.recv() {
-        // lint: allow(L004): observability only — busy time is reported in ShardTimings and never feeds verification state
+        // lint: allow(L004): observability only — busy time feeds the obs registry's per-shard lanes and never feeds verification state
         let t0 = Instant::now();
+        let span = obs::span_start();
         match msg {
             ToShard::Preload(items) => {
                 for &(key, value) in items.iter() {
@@ -116,6 +120,8 @@ fn shard_worker(
                 let u = v.mem_usage();
                 *usage.lock() = u;
                 busy += t0.elapsed();
+                let dur = obs::span_end(obs::Stage::ShardBatch, lane, span);
+                obs::hist(obs::HistId::ShardBatchUs, dur);
             }
             ToShard::Flush => {
                 let out = epoch_out(&mut v, None, busy);
@@ -129,12 +135,14 @@ fn shard_worker(
                 let u = v.mem_usage();
                 *usage.lock() = u;
                 busy += t0.elapsed();
+                obs::span_end(obs::Stage::GcBarrier, lane, span);
             }
             ToShard::Checkpoint => {
                 if tx.send(FromShard::Image(Box::new(v.checkpoint()))).is_err() {
                     return;
                 }
                 busy += t0.elapsed();
+                obs::span_end(obs::Stage::Checkpoint, lane, span);
             }
             ToShard::Finish => {
                 v.shard_finish_flush();
@@ -200,23 +208,6 @@ pub struct ShardedVerifier {
     /// Driver-originated effects (quarantine notes) awaiting the next
     /// barrier, keyed so they merge into the sequential emission order.
     driver_emissions: Vec<(EmitKey, Effect)>,
-    /// Last-reported cumulative busy time per shard (from epochs).
-    shard_busy: Vec<Duration>,
-    /// Cumulative driver time spent merging epochs and running the
-    /// certifier.
-    driver_busy: Duration,
-}
-
-/// Per-thread busy-time breakdown of a sharded run, for the scaling
-/// bench: on an N-core host the wall-clock floor is the slowest shard's
-/// busy time plus the driver's serial merge/certifier time.
-#[derive(Debug, Clone)]
-pub struct ShardTimings {
-    /// Cumulative busy time of each worker shard (excludes channel
-    /// blocking).
-    pub shard_busy: Vec<Duration>,
-    /// Driver-side merge + certifier + GC-coordination time.
-    pub driver_busy: Duration,
 }
 
 impl std::fmt::Debug for ShardHandle {
@@ -236,6 +227,7 @@ impl ShardedVerifier {
         let workers = (0..n)
             .map(|i| spawn_shard(Verifier::for_shard(cfg, ShardRole { shard: i, of: n }), i))
             .collect();
+        obs::gauge_set(obs::Gauge::Shards, n as u64);
         ShardedVerifier {
             cfg,
             n,
@@ -252,8 +244,6 @@ impl ShardedVerifier {
             traces_fed: 0,
             admitted: 0,
             driver_emissions: Vec::new(),
-            shard_busy: vec![Duration::ZERO; n],
-            driver_busy: Duration::ZERO,
         }
     }
 
@@ -289,6 +279,7 @@ impl ShardedVerifier {
         }
         self.batch.push(trace.clone());
         self.admitted += 1;
+        obs::ctr(obs::Counter::OpsIngested, 1);
         if self.admitted.is_multiple_of(self.cfg.gc_every) {
             self.flush_epoch(self.cfg.gc);
         } else if self.batch.len() >= BATCH_TRACES {
@@ -344,10 +335,11 @@ impl ShardedVerifier {
     }
 
     fn merge_epochs(&mut self, epochs: &[EpochOut], gc: bool) {
-        // lint: allow(L004): observability only — busy time is reported in ShardTimings and never feeds verification state
+        // lint: allow(L004): observability only — driver busy time feeds the obs registry and never feeds verification state
         let t0 = Instant::now();
+        let merge_span = obs::span_start();
         for (i, e) in epochs.iter().enumerate() {
-            self.shard_busy[i] = e.busy;
+            obs::shard_busy(i, e.busy.as_micros() as u64);
         }
         let driver = std::mem::take(&mut self.driver_emissions);
         let mut merged: Vec<(EmitKey, &Effect)> = epochs
@@ -378,8 +370,12 @@ impl ShardedVerifier {
             + self.graph.node_count()
             + self.graph.edge_count();
         self.counters.peak_footprint = self.counters.peak_footprint.max(fp);
+        let merge_dur = obs::span_end(obs::Stage::CertifierMerge, obs::LANE_DRIVER, merge_span);
+        obs::hist(obs::HistId::EpochApplyUs, merge_dur);
+        obs::ctr(obs::Counter::CertifierMerges, 1);
 
         if gc {
+            let gc_span = obs::span_start();
             let sp = epochs[0].stream_pos;
             let mut low = epochs[0].earliest_active.unwrap_or(sp).min(sp);
             if let Some(pl) = epochs.iter().filter_map(|e| e.pending_low).min() {
@@ -387,14 +383,19 @@ impl ShardedVerifier {
             }
             self.send_all(|| ToShard::Gc(low));
             self.graph.prune(low);
+            let gc_dur = obs::span_end(obs::Stage::GcBarrier, obs::LANE_DRIVER, gc_span);
+            obs::hist(obs::HistId::GcPauseUs, gc_dur);
+            obs::ctr(obs::Counter::GcPasses, 1);
         }
 
         // Budget governance at the barrier: observe the aggregate, and
         // when it exceeds the budget the watermarked GC just ran (or runs
         // next barrier) is the shard-mode rung 1; the online governor
         // escalates beyond it exactly as in the single-threaded chain.
-        self.counters.budget.observe(self.mem_usage());
-        self.driver_busy += t0.elapsed();
+        let usage = self.mem_usage();
+        self.counters.budget.observe(usage);
+        obs::gauge_set(obs::Gauge::MemBytes, usage.bytes);
+        obs::ctr(obs::Counter::DriverBusyUs, t0.elapsed().as_micros() as u64);
     }
 
     fn apply(&mut self, eff: &Effect) {
@@ -419,25 +420,23 @@ impl ShardedVerifier {
             Effect::Demoted(note) => {
                 self.coverage.demoted_reads += 1;
                 self.coverage.push_note(note.clone());
+                obs::ctr(obs::Counter::DemotedReads, 1);
             }
             Effect::Quarantined(note) => {
                 self.coverage.quarantined_traces += 1;
                 self.coverage.push_note(note.clone());
+                obs::ctr(obs::Counter::QuarantinedTraces, 1);
             }
         }
     }
 
     /// Flushes every shard's remaining deferred checks, merges the final
-    /// epoch, joins the workers and returns the outcome.
+    /// epoch, joins the workers and returns the outcome. Per-thread
+    /// busy-time breakdowns live in the [`crate::obs`] registry
+    /// (`leopard_shard_busy_us_total{shard}` / `leopard_driver_busy_us_total`)
+    /// and in [`VerifyOutcome::obs`] when recording is enabled.
     #[must_use]
-    pub fn finish(self) -> VerifyOutcome {
-        self.finish_timed().0
-    }
-
-    /// Like [`ShardedVerifier::finish`], additionally returning the
-    /// per-thread busy-time breakdown for the scaling bench.
-    #[must_use]
-    pub fn finish_timed(mut self) -> (VerifyOutcome, ShardTimings) {
+    pub fn finish(mut self) -> VerifyOutcome {
         self.dispatch_batch();
         self.send_all(|| ToShard::Finish);
         let epochs = self.collect_epochs();
@@ -454,17 +453,13 @@ impl ShardedVerifier {
             coverage.push_note(format!("indeterminate: {txn} has no terminal trace"));
         }
         coverage.indeterminate_txns = indeterminate;
-        let outcome = VerifyOutcome {
+        VerifyOutcome {
             report: self.report,
             stats: self.stats,
             counters: self.counters,
             coverage,
-        };
-        let timings = ShardTimings {
-            shard_busy: self.shard_busy,
-            driver_busy: self.driver_busy,
-        };
-        (outcome, timings)
+            obs: obs::snapshot_if_enabled(),
+        }
     }
 
     /// Images the complete sharded state under one [`ShardedCheckpoint`]
@@ -530,6 +525,7 @@ impl ShardedVerifier {
             v.assume_role(ShardRole { shard: i, of: n });
             workers.push(spawn_shard(v, i));
         }
+        obs::gauge_set(obs::Gauge::Shards, n as u64);
         Ok(ShardedVerifier {
             cfg: ckpt.config,
             n,
@@ -550,8 +546,6 @@ impl ShardedVerifier {
             traces_fed: ckpt.traces_fed,
             admitted: ckpt.counters.traces,
             driver_emissions: Vec::new(),
-            shard_busy: vec![Duration::ZERO; n],
-            driver_busy: Duration::ZERO,
         })
     }
 
@@ -565,6 +559,7 @@ impl ShardedVerifier {
     /// overload ladder): a full barrier plus a broadcast prune.
     pub fn force_gc(&mut self) {
         self.counters.budget.forced_gcs += 1;
+        obs::ctr(obs::Counter::ForcedGcs, 1);
         self.flush_epoch(true);
     }
 
@@ -593,6 +588,7 @@ impl ShardedVerifier {
             self.coverage.evicted_clients.sort_unstable();
             self.coverage
                 .push_note(format!("evicted: {client} force-closed by stall timeout"));
+            obs::ctr(obs::Counter::StallEvictions, 1);
         }
     }
 
@@ -600,6 +596,7 @@ impl ShardedVerifier {
     /// [`Verifier::note_budget_eviction`]).
     pub fn note_budget_eviction(&mut self, client: ClientId) {
         self.counters.budget.budget_evictions += 1;
+        obs::ctr(obs::Counter::BudgetEvictions, 1);
         if !self.coverage.evicted_clients.contains(&client) {
             self.coverage.evicted_clients.push(client);
             self.coverage.evicted_clients.sort_unstable();
@@ -654,7 +651,7 @@ fn spawn_shard(v: Verifier, index: usize) -> ShardHandle {
     let worker_usage = Arc::clone(&usage);
     let join = std::thread::Builder::new()
         .name(format!("leopard-shard-{index}"))
-        .spawn(move || shard_worker(v, to_rx, from_tx, worker_usage))
+        .spawn(move || shard_worker(index, v, to_rx, from_tx, worker_usage))
         // lint: allow(L001): thread spawn fails only on resource exhaustion; nothing to degrade to
         .expect("spawn shard worker");
     ShardHandle {

@@ -2,6 +2,12 @@
 //! the concurrency passes L101–L103) and exit non-zero on any violation.
 //! See the library docs for the lint table and the allow-comment escape
 //! hatch.
+//!
+//! Findings go to stdout (text or `--json`); everything else — progress,
+//! summaries, failures — is emitted on stderr as single-line JSON events
+//! (`{"tool":"leopard-lint","level":...,"event":...,"message":...}`) so
+//! wrapper scripts can grep for machine-stable markers instead of prose.
+//! `--quiet` suppresses `info` events; `error` events always print.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -10,7 +16,7 @@ const USAGE: &str = "\
 leopard-lint — Leopard workspace static analysis (L001-L004, L101-L103)
 
 USAGE:
-  leopard-lint [--root <DIR>] [--json] [--manifest-out <FILE>] [--update-baseline]
+  leopard-lint [--root <DIR>] [--json] [--manifest-out <FILE>] [--update-baseline] [--quiet]
 
 OPTIONS:
   --root <DIR>          Workspace root to scan (default: the workspace this
@@ -22,14 +28,64 @@ OPTIONS:
   --update-baseline     Rewrite crates/leopard-lint/shared_state_baseline.json
                         from the current workspace instead of diffing against
                         it (L103 findings are recomputed after the update)
+  --quiet               Suppress info-level stderr events (summaries,
+                        progress); error events always print
 
 Exits 0 when clean, 1 on violations, 2 on usage or I/O errors.";
+
+/// Severity of a stderr event. `Info` is suppressed by `--quiet`.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Level {
+    Info,
+    Error,
+}
+
+/// Emits one structured event line on stderr. Findings stay on stdout;
+/// this channel carries only tool status, JSON-framed so scripts can
+/// match on `"event":"..."` instead of prose that may be reworded.
+fn event(quiet: bool, level: Level, kind: &str, message: &str) {
+    if quiet && level == Level::Info {
+        return;
+    }
+    let lvl = match level {
+        Level::Info => "info",
+        Level::Error => "error",
+    };
+    eprintln!(
+        "{{\"tool\":\"leopard-lint\",\"level\":\"{lvl}\",\"event\":\"{kind}\",\"message\":\"{}\"}}",
+        escape_json(message)
+    );
+}
+
+/// Minimal JSON string escaping for event messages.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn usage_error(message: &str) -> ExitCode {
+    event(false, Level::Error, "usage", message);
+    eprintln!("{USAGE}");
+    ExitCode::from(2)
+}
 
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut json = false;
     let mut manifest_out: Option<PathBuf> = None;
     let mut update_baseline = false;
+    let mut quiet = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -39,24 +95,16 @@ fn main() -> ExitCode {
             }
             "--json" => json = true,
             "--update-baseline" => update_baseline = true,
+            "--quiet" => quiet = true,
             "--root" => match args.next() {
                 Some(dir) => root = Some(PathBuf::from(dir)),
-                None => {
-                    eprintln!("error: --root needs a value\n\n{USAGE}");
-                    return ExitCode::from(2);
-                }
+                None => return usage_error("--root needs a value"),
             },
             "--manifest-out" => match args.next() {
                 Some(path) => manifest_out = Some(PathBuf::from(path)),
-                None => {
-                    eprintln!("error: --manifest-out needs a value\n\n{USAGE}");
-                    return ExitCode::from(2);
-                }
+                None => return usage_error("--manifest-out needs a value"),
             },
-            other => {
-                eprintln!("error: unknown argument `{other}`\n\n{USAGE}");
-                return ExitCode::from(2);
-            }
+            other => return usage_error(&format!("unknown argument `{other}`")),
         }
     }
     // The crate lives at <workspace>/crates/leopard-lint.
@@ -68,16 +116,23 @@ fn main() -> ExitCode {
             Ok(analysis) => {
                 let path = root.join(leopard_lint::manifest::BASELINE_REL);
                 if let Err(e) = std::fs::write(&path, &analysis.manifest_json) {
-                    eprintln!("leopard-lint: writing {} failed: {e}", path.display());
+                    event(
+                        quiet,
+                        Level::Error,
+                        "io",
+                        &format!("writing {} failed: {e}", path.display()),
+                    );
                     return ExitCode::from(2);
                 }
-                eprintln!(
-                    "leopard-lint: baseline updated ({} shared-state entries)",
-                    analysis.manifest.len()
+                event(
+                    quiet,
+                    Level::Info,
+                    "baseline-updated",
+                    &format!("{} shared-state entries", analysis.manifest.len()),
                 );
             }
             Err(e) => {
-                eprintln!("leopard-lint: scan failed: {e}");
+                event(quiet, Level::Error, "scan-failed", &e.to_string());
                 return ExitCode::from(2);
             }
         }
@@ -87,7 +142,12 @@ fn main() -> ExitCode {
         Ok(analysis) => {
             if let Some(path) = &manifest_out {
                 if let Err(e) = std::fs::write(path, &analysis.manifest_json) {
-                    eprintln!("leopard-lint: writing {} failed: {e}", path.display());
+                    event(
+                        quiet,
+                        Level::Error,
+                        "io",
+                        &format!("writing {} failed: {e}", path.display()),
+                    );
                     return ExitCode::from(2);
                 }
             }
@@ -109,23 +169,46 @@ fn main() -> ExitCode {
                 }
             }
             if findings.is_empty() {
-                eprintln!(
-                    "leopard-lint: {scanned} files clean ({} shared-state entries, {} lock-order edges)",
-                    analysis.manifest.len(),
-                    analysis.lock_graph.edges.len()
+                event(
+                    quiet,
+                    Level::Info,
+                    "clean",
+                    &format!(
+                        "{scanned} files clean ({} shared-state entries, {} lock-order edges)",
+                        analysis.manifest.len(),
+                        analysis.lock_graph.edges.len()
+                    ),
                 );
                 ExitCode::SUCCESS
             } else {
-                eprintln!(
-                    "leopard-lint: {} violation(s) across {scanned} scanned files",
-                    findings.len()
+                event(
+                    quiet,
+                    Level::Error,
+                    "violations",
+                    &format!(
+                        "{} violation(s) across {scanned} scanned files",
+                        findings.len()
+                    ),
                 );
                 ExitCode::FAILURE
             }
         }
         Err(e) => {
-            eprintln!("leopard-lint: scan failed: {e}");
+            event(quiet, Level::Error, "scan-failed", &e.to_string());
             ExitCode::from(2)
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::escape_json;
+
+    #[test]
+    fn event_messages_are_json_safe() {
+        assert_eq!(escape_json("plain"), "plain");
+        assert_eq!(escape_json("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape_json("line\nbreak\ttab"), "line\\nbreak\\ttab");
+        assert_eq!(escape_json("\u{1}"), "\\u0001");
     }
 }

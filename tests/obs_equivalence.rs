@@ -1,0 +1,308 @@
+//! Observability neutrality harness: the metrics/span layer must never
+//! bend a verdict.
+//!
+//! Every committed golden-corpus capture is replayed twice — once with
+//! the global observability registry disabled, once enabled — through
+//! the sequential [`Verifier`] and the key-sharded [`ShardedVerifier`]
+//! at 4 and 8 shards, and the verdict projections are compared
+//! byte-for-byte. Mid-stream checkpoint JSON is compared the same way:
+//! instrumentation must not leak into persisted state. The `obs` field
+//! of [`VerifyOutcome`] itself is the one permitted difference (`None`
+//! off, a snapshot on) and is excluded from the projection.
+//!
+//! A public-API exporter suite rides along, pinning the Prometheus text
+//! exposition (monotone cumulative buckets, `+Inf` = `_count`, metric
+//! and label name validity, HELP escaping) and the Chrome trace-event
+//! document shape against private-detail drift.
+
+use leopard_core::obs::{self, Counter, Gauge, HistId, Registry, Stage};
+use leopard_core::{
+    CaptureReader, Key, ShardedVerifier, Trace, Value, Verifier, VerifierConfig, VerifyOutcome,
+};
+use leopard_oracle::LEVELS;
+use std::fs::File;
+use std::path::PathBuf;
+
+const SHARD_COUNTS: &[usize] = &[4, 8];
+
+/// The comparable projection of a verdict: everything the verifier
+/// deduced about the history. Excludes only the `obs` snapshot, which
+/// is the observability payload under test.
+fn comparable(o: &VerifyOutcome) -> String {
+    format!(
+        "{:?}|{:?}|{}|{}|{}|{:?}",
+        o.report, o.stats, o.counters.traces, o.counters.committed, o.counters.aborted, o.coverage
+    )
+}
+
+struct RunResult {
+    projection: String,
+    mid_checkpoint: String,
+    obs_present: bool,
+}
+
+fn run_one(
+    preload: &[(Key, Value)],
+    traces: &[Trace],
+    cfg: VerifierConfig,
+    shards: usize,
+) -> RunResult {
+    let mid = traces.len() / 2;
+    if shards > 1 {
+        let mut v = ShardedVerifier::new(cfg, shards);
+        for &(k, val) in preload {
+            v.preload(k, val);
+        }
+        for t in &traces[..mid] {
+            v.process(t);
+        }
+        let mid_checkpoint = v.checkpoint().to_json();
+        for t in &traces[mid..] {
+            v.process(t);
+        }
+        let outcome = v.finish();
+        RunResult {
+            projection: comparable(&outcome),
+            mid_checkpoint,
+            obs_present: outcome.obs.is_some(),
+        }
+    } else {
+        let mut v = Verifier::new(cfg);
+        for &(k, val) in preload {
+            v.preload(k, val);
+        }
+        for t in &traces[..mid] {
+            v.process(t);
+        }
+        let mid_checkpoint = v.checkpoint().to_json();
+        for t in &traces[mid..] {
+            v.process(t);
+        }
+        let outcome = v.finish();
+        RunResult {
+            projection: comparable(&outcome),
+            mid_checkpoint,
+            obs_present: outcome.obs.is_some(),
+        }
+    }
+}
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
+}
+
+/// Corpus × {1, 4, 8} shards × observability {off, on}: identical
+/// verdict projections and identical mid-stream checkpoints. The whole
+/// sweep lives in one test function because the registry is
+/// process-global; no other test in this binary touches it.
+#[test]
+fn observability_is_verdict_neutral_across_corpus_and_shards() {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(corpus_dir())
+        .expect("tests/corpus exists")
+        .filter_map(|e| {
+            let p = e.expect("dir entry").path();
+            (p.extension().and_then(|x| x.to_str()) == Some("jsonl")).then_some(p)
+        })
+        .collect();
+    files.sort();
+    assert!(!files.is_empty(), "no corpus captures found");
+
+    obs::set_enabled(false);
+    for path in &files {
+        let name = path.file_name().expect("file name").to_string_lossy();
+        let reader =
+            CaptureReader::new(File::open(path).expect("open capture")).expect("capture header");
+        let preload = reader.header().preload.clone();
+        let traces: Vec<Trace> = reader
+            .map(|t| t.expect("well-formed corpus trace"))
+            .collect();
+        for level in LEVELS {
+            let cfg = VerifierConfig::for_level(level);
+            for shards in std::iter::once(1usize).chain(SHARD_COUNTS.iter().copied()) {
+                let what = format!("{name} @ {level:?} x{shards}");
+                obs::set_enabled(false);
+                let off = run_one(&preload, &traces, cfg, shards);
+                assert!(
+                    !off.obs_present,
+                    "{what}: obs-off outcome carries a snapshot"
+                );
+
+                obs::reset();
+                obs::set_enabled(true);
+                let on = run_one(&preload, &traces, cfg, shards);
+                let ingested = obs::counter_value(Counter::OpsIngested);
+                obs::set_enabled(false);
+                assert!(on.obs_present, "{what}: obs-on outcome lost its snapshot");
+
+                assert_eq!(
+                    off.projection, on.projection,
+                    "{what}: enabling observability changed the verdict"
+                );
+                assert_eq!(
+                    off.mid_checkpoint, on.mid_checkpoint,
+                    "{what}: enabling observability changed the checkpoint image"
+                );
+                assert!(
+                    ingested > 0,
+                    "{what}: obs-on run recorded no ingested operations"
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Public-API exporter suite: a private Registry per test, so these run
+// concurrently without touching the global one.
+// ---------------------------------------------------------------------
+
+fn populated_registry() -> Box<Registry> {
+    let r = Box::new(Registry::new());
+    r.set_enabled(true);
+    r.ctr_add(Counter::OpsIngested, 1234);
+    r.ctr_add(Counter::GcPasses, 7);
+    r.gauge_set(Gauge::Shards, 3);
+    r.gauge_set(Gauge::WatermarkLag, 42);
+    r.shard_busy_store(0, 1_000);
+    r.shard_busy_store(1, 2_000);
+    r.shard_busy_store(2, 3_000);
+    for us in [10, 80, 300, 7_000, 2_000_000] {
+        r.hist_observe(HistId::EpochApplyUs, us);
+    }
+    r.record_span(Stage::ShardBatch, 1, 100, 50);
+    r.record_span(Stage::CertifierMerge, 0, 200, 25);
+    r
+}
+
+fn is_valid_name(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+#[test]
+fn exposition_lines_are_structurally_valid() {
+    let r = populated_registry();
+    let text = r.render_prometheus();
+    assert!(!text.is_empty());
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let name = rest.split(' ').next().expect("HELP has a name");
+            assert!(is_valid_name(name), "bad HELP name in {line:?}");
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split(' ');
+            let name = it.next().expect("TYPE has a name");
+            let kind = it.next().expect("TYPE has a kind");
+            assert!(is_valid_name(name), "bad TYPE name in {line:?}");
+            assert!(
+                ["counter", "gauge", "histogram"].contains(&kind),
+                "unknown TYPE kind in {line:?}"
+            );
+            continue;
+        }
+        // A sample: `name{labels} value` or `name value`.
+        let (head, value) = line.rsplit_once(' ').expect("sample has a value");
+        assert!(
+            value.parse::<u64>().is_ok(),
+            "non-numeric value in {line:?}"
+        );
+        let name = head.split('{').next().expect("sample has a name");
+        assert!(is_valid_name(name), "bad sample name in {line:?}");
+        if let Some(labels) = head.strip_prefix(name) {
+            if !labels.is_empty() {
+                assert!(
+                    labels.starts_with('{') && labels.ends_with('}'),
+                    "malformed label block in {line:?}"
+                );
+                for pair in labels[1..labels.len() - 1].split(',') {
+                    let (k, v) = pair.split_once('=').expect("label has =");
+                    assert!(is_valid_name(k), "bad label name in {line:?}");
+                    assert!(
+                        v.starts_with('"') && v.ends_with('"'),
+                        "unquoted label value in {line:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn histogram_buckets_are_cumulative_and_capped_by_inf() {
+    let r = populated_registry();
+    let text = r.render_prometheus();
+    let mut prev = 0u64;
+    let mut inf = None;
+    let mut count = None;
+    for line in text.lines() {
+        if line.starts_with("leopard_epoch_apply_us_bucket{le=\"+Inf\"}") {
+            inf = line.rsplit(' ').next().and_then(|v| v.parse::<u64>().ok());
+        } else if line.starts_with("leopard_epoch_apply_us_bucket") {
+            let v: u64 = line
+                .rsplit(' ')
+                .next()
+                .and_then(|v| v.parse().ok())
+                .expect("bucket value");
+            assert!(v >= prev, "bucket counts must be cumulative: {line:?}");
+            prev = v;
+        } else if line.starts_with("leopard_epoch_apply_us_count") {
+            count = line.rsplit(' ').next().and_then(|v| v.parse::<u64>().ok());
+        }
+    }
+    assert_eq!(inf, Some(5), "+Inf bucket must count every observation");
+    assert_eq!(count, inf, "_count must equal the +Inf bucket");
+    // The 2s outlier is beyond the largest finite bound, so the largest
+    // finite bucket must stay below the +Inf bucket.
+    assert!(
+        prev < 5,
+        "outlier beyond the largest bound leaked into a finite bucket"
+    );
+}
+
+#[test]
+fn counters_are_monotonic_through_the_public_api() {
+    let r = Box::new(Registry::new());
+    r.set_enabled(true);
+    let mut last = r.counter_value(Counter::Dispatched);
+    for n in [1, 10, 100] {
+        r.ctr_add(Counter::Dispatched, n);
+        let now = r.counter_value(Counter::Dispatched);
+        assert!(now > last, "counter went backwards: {last} -> {now}");
+        last = now;
+    }
+    assert_eq!(last, 111);
+}
+
+#[test]
+fn chrome_trace_document_names_every_lane() {
+    let r = populated_registry();
+    let trace = r.render_chrome_trace();
+    assert!(trace.starts_with('{') && trace.ends_with('}'));
+    assert!(trace.contains("\"traceEvents\""));
+    // Two complete events were recorded, on the driver lane and shard 0.
+    assert_eq!(trace.matches("\"ph\":\"X\"").count(), 2);
+    assert!(trace.contains("\"name\":\"shard-batch\""));
+    assert!(trace.contains("\"name\":\"certifier-merge\""));
+    assert!(trace.contains("driver/certifier"));
+    assert!(trace.contains("shard-0"));
+    // Metadata events name the lanes before any span references them.
+    assert!(trace.contains("\"thread_name\""));
+}
+
+#[test]
+fn snapshot_round_trips_counter_names() {
+    let r = populated_registry();
+    let snap = r.snapshot();
+    assert_eq!(snap.counter("leopard_ops_ingested_total"), Some(1234));
+    assert_eq!(snap.counter("leopard_gc_passes_total"), Some(7));
+    assert_eq!(snap.counter("no_such_counter"), None);
+    assert_eq!(snap.gauge("leopard_watermark_lag"), Some(42));
+    assert_eq!(snap.shard_busy_us, vec![1_000, 2_000, 3_000]);
+    let json = serde_json::to_string(&snap).expect("snapshot serializes");
+    assert!(json.contains("\"leopard_ops_ingested_total\""));
+}
