@@ -15,6 +15,10 @@ USAGE:
                                     through the online verifier
   leopard lint-history <FILE> [OPTS]  preflight a capture file (H001-H006)
   leopard oracle [OPTIONS]          run the anomaly-injection verdict matrix
+  leopard serve [OPTIONS]           run the verification daemon (many
+                                    concurrent streams over the wire protocol)
+  leopard ingest <FILE> [OPTS]      stream a capture file into a daemon
+  leopard soak [OPTIONS]            chaos-soak a daemon with wire clients
   leopard catalog                   print the DBMS mechanism catalog (Fig. 1)
   leopard help                      show this message
 
@@ -72,6 +76,8 @@ chaos options:
   --skew-magnitude <NANOS>      skew added per burst (default 0)
   --retry-attempts <N>          attempts per transaction (default 3)
   --retry-backoff-ms <MS>       base exponential backoff (default 1)
+  --retry-jitter <0..1>         jitter fraction around each backoff sleep,
+                                decorrelating retry storms (default 0)
   --evict-timeout-ms <MS>       evict a watermark-pinning client after this
                                 long without progress (default 1000)
   --checkpoint <FILE>           write online checkpoints to this path
@@ -102,8 +108,49 @@ oracle options:
   --json                        emit the verdict matrix as JSON
   --out-dir <DIR>               also write the corpus (captures + matrix.json)
 
+serve options:
+  --listen <unix:PATH|tcp:ADDR> ingest endpoint (default unix:leopard.sock)
+  --control <unix:PATH|tcp:ADDR> control endpoint: `metrics`, `streams`,
+                                `drain`, `shutdown`, plus HTTP GET /metrics
+                                for a Prometheus scraper (optional)
+  --dir <DIR>                   per-stream checkpoint + verdict directory;
+                                scanned on startup for crash recovery
+                                (default leopard-serve)
+  --checkpoint-every <N>        checkpoint each stream every N ingested
+                                traces (default 512)
+  --global-budget <BYTES>       shared admission pool across all streams
+                                (default unlimited)
+
+ingest options:
+  --to <unix:PATH|tcp:ADDR>     daemon ingest endpoint
+                                (default unix:leopard.sock)
+  --stream <NAME>               stream name at the daemon (default: the
+                                capture file name)
+  --level <rc|rr|si|sr>         level to verify (default sr)
+  --mem-budget <BYTES>          per-stream budget sent in the handshake
+  --json                        print the daemon's verdict JSON verbatim
+
+soak options:
+  --to <unix:PATH|tcp:ADDR>     daemon ingest endpoint
+                                (default unix:leopard.sock)
+  --streams <N>                 concurrent client streams (default 4)
+  --workload <NAME>             history workload per stream (default smallbank)
+  --txns <N>                    transactions per workload client (default 50)
+  --clients <N>                 workload clients per stream (default 3)
+  --level <rc|rr|si|sr>         level to verify (default sr)
+  --seed <N>                    master seed (default 1)
+  --kill-prob <0..1>            cut the connection per frame (default 0.02)
+  --dup-prob <0..1>             duplicate a frame (default 0.05)
+  --stall-prob <0..1>           stall before a frame (default 0)
+  --stall-ms <MS>               stall duration (default 3)
+  --retry-attempts <N>          reconnect attempts before giving up on a
+                                stream (default 200)
+  --retry-backoff-ms <MS>       base reconnect backoff (default 5)
+  --retry-jitter <0..1>         reconnect backoff jitter (default 0.5)
+
 exit codes: 0 clean, 1 i/o error, 2 usage error, 3 violations /
-preflight errors found, 4 verify refused (history failed preflight)";
+preflight errors found, 4 verify refused (history failed preflight);
+interrupted runs (SIGINT/SIGTERM) flush checkpoints and exit 130";
 
 /// A parsed command.
 #[derive(Debug, Clone, PartialEq)]
@@ -118,10 +165,127 @@ pub enum Command {
     LintHistory(LintHistoryConfig),
     /// `leopard oracle ...`
     Oracle(OracleConfig),
+    /// `leopard serve ...`
+    Serve(ServeCliConfig),
+    /// `leopard ingest ...`
+    Ingest(IngestConfig),
+    /// `leopard soak ...`
+    Soak(SoakCliConfig),
     /// `leopard catalog`
     Catalog,
     /// `leopard help`
     Help,
+}
+
+/// Configuration of `leopard serve`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeCliConfig {
+    /// Ingest endpoint (`unix:<path>` or `tcp:<host:port>`).
+    pub listen: String,
+    /// Optional control/metrics endpoint.
+    pub control: Option<String>,
+    /// Checkpoint + verdict directory.
+    pub dir: String,
+    /// Per-stream checkpoint cadence (ingested traces).
+    pub checkpoint_every: u64,
+    /// Shared admission pool in bytes (0 = unlimited).
+    pub global_budget: u64,
+}
+
+impl Default for ServeCliConfig {
+    fn default() -> Self {
+        ServeCliConfig {
+            listen: "unix:leopard.sock".to_string(),
+            control: None,
+            dir: "leopard-serve".to_string(),
+            checkpoint_every: 512,
+            global_budget: 0,
+        }
+    }
+}
+
+/// Configuration of `leopard ingest`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IngestConfig {
+    /// Capture file to stream.
+    pub file: String,
+    /// Daemon ingest endpoint.
+    pub to: String,
+    /// Stream name (`None` = the capture file name).
+    pub stream: Option<String>,
+    /// Isolation level to verify.
+    pub level: IsolationLevel,
+    /// Per-stream memory budget for the handshake (0 = unlimited).
+    pub mem_budget: u64,
+    /// Print the verdict JSON verbatim.
+    pub json: bool,
+}
+
+impl Default for IngestConfig {
+    fn default() -> Self {
+        IngestConfig {
+            file: String::new(),
+            to: "unix:leopard.sock".to_string(),
+            stream: None,
+            level: IsolationLevel::Serializable,
+            mem_budget: 0,
+            json: false,
+        }
+    }
+}
+
+/// Configuration of `leopard soak`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SoakCliConfig {
+    /// Daemon ingest endpoint.
+    pub to: String,
+    /// Concurrent client streams.
+    pub streams: usize,
+    /// History workload per stream.
+    pub workload: String,
+    /// Transactions per workload client.
+    pub txns: u64,
+    /// Workload clients per stream.
+    pub clients: usize,
+    /// Isolation level to verify.
+    pub level: IsolationLevel,
+    /// Master seed.
+    pub seed: u64,
+    /// Per-frame connection-cut probability.
+    pub kill_prob: f64,
+    /// Per-frame duplication probability.
+    pub dup_prob: f64,
+    /// Per-frame stall probability.
+    pub stall_prob: f64,
+    /// Stall duration in milliseconds.
+    pub stall_ms: u64,
+    /// Reconnect attempts before giving up on a stream.
+    pub retry_attempts: u32,
+    /// Base reconnect backoff in milliseconds.
+    pub retry_backoff_ms: u64,
+    /// Reconnect backoff jitter fraction.
+    pub retry_jitter: f64,
+}
+
+impl Default for SoakCliConfig {
+    fn default() -> Self {
+        SoakCliConfig {
+            to: "unix:leopard.sock".to_string(),
+            streams: 4,
+            workload: "smallbank".to_string(),
+            txns: 50,
+            clients: 3,
+            level: IsolationLevel::Serializable,
+            seed: 1,
+            kill_prob: 0.02,
+            dup_prob: 0.05,
+            stall_prob: 0.0,
+            stall_ms: 3,
+            retry_attempts: 200,
+            retry_backoff_ms: 5,
+            retry_jitter: 0.5,
+        }
+    }
 }
 
 /// Configuration of `leopard record`.
@@ -256,6 +420,8 @@ pub struct ChaosConfig {
     pub retry_attempts: u32,
     /// Base exponential backoff in milliseconds.
     pub retry_backoff_ms: u64,
+    /// Jitter fraction around each backoff sleep (0 = deterministic).
+    pub retry_jitter: f64,
     /// Watermark-stall eviction timeout in milliseconds.
     pub evict_timeout_ms: u64,
     /// Write online checkpoints to this path.
@@ -295,6 +461,7 @@ impl Default for ChaosConfig {
             skew_magnitude: 0,
             retry_attempts: 3,
             retry_backoff_ms: 1,
+            retry_jitter: 0.0,
             evict_timeout_ms: 1000,
             checkpoint: None,
             checkpoint_every: None,
@@ -500,6 +667,7 @@ pub fn parse_args(argv: &[String]) -> Result<Command, ParseError> {
                     "--skew-magnitude" => cfg.skew_magnitude = want(flag, it.next())?,
                     "--retry-attempts" => cfg.retry_attempts = want(flag, it.next())?,
                     "--retry-backoff-ms" => cfg.retry_backoff_ms = want(flag, it.next())?,
+                    "--retry-jitter" => cfg.retry_jitter = want(flag, it.next())?,
                     "--evict-timeout-ms" => cfg.evict_timeout_ms = want(flag, it.next())?,
                     "--checkpoint" => cfg.checkpoint = Some(want::<String>(flag, it.next())?),
                     "--checkpoint-every" => cfg.checkpoint_every = Some(want(flag, it.next())?),
@@ -527,6 +695,7 @@ pub fn parse_args(argv: &[String]) -> Result<Command, ParseError> {
                 ("--drop-prob", cfg.drop_prob),
                 ("--dup-prob", cfg.dup_prob),
                 ("--skew-burst-prob", cfg.skew_burst_prob),
+                ("--retry-jitter", cfg.retry_jitter),
             ] {
                 if !(0.0..=1.0).contains(&p) {
                     return Err(ParseError(format!("{name} must be within 0..1")));
@@ -570,6 +739,98 @@ pub fn parse_args(argv: &[String]) -> Result<Command, ParseError> {
             let file =
                 file.ok_or_else(|| ParseError("lint-history needs a capture file".into()))?;
             Ok(Command::LintHistory(LintHistoryConfig { file, json }))
+        }
+        "serve" => {
+            let mut cfg = ServeCliConfig::default();
+            let mut it = argv[1..].iter();
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--listen" => cfg.listen = want::<String>(flag, it.next())?,
+                    "--control" => cfg.control = Some(want::<String>(flag, it.next())?),
+                    "--dir" => cfg.dir = want::<String>(flag, it.next())?,
+                    "--checkpoint-every" => cfg.checkpoint_every = want(flag, it.next())?,
+                    "--global-budget" => cfg.global_budget = want(flag, it.next())?,
+                    other => return Err(ParseError(format!("unknown flag `{other}`"))),
+                }
+            }
+            if cfg.checkpoint_every == 0 {
+                return Err(ParseError("--checkpoint-every must be at least 1".into()));
+            }
+            for ep in std::iter::once(&cfg.listen).chain(cfg.control.as_ref()) {
+                if let Err(e) = leopard_core::Endpoint::parse(ep) {
+                    return Err(ParseError(e));
+                }
+            }
+            Ok(Command::Serve(cfg))
+        }
+        "ingest" => {
+            let mut file = None;
+            let mut cfg = IngestConfig::default();
+            let mut it = argv[1..].iter();
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--to" => cfg.to = want::<String>(arg, it.next())?,
+                    "--stream" => cfg.stream = Some(want::<String>(arg, it.next())?),
+                    "--level" => cfg.level = parse_level(&want::<String>(arg, it.next())?)?,
+                    "--mem-budget" => cfg.mem_budget = want(arg, it.next())?,
+                    "--json" => cfg.json = true,
+                    flag if flag.starts_with("--") => {
+                        return Err(ParseError(format!("unknown flag `{flag}`")))
+                    }
+                    path => {
+                        if file.replace(path.to_string()).is_some() {
+                            return Err(ParseError("more than one capture file given".into()));
+                        }
+                    }
+                }
+            }
+            cfg.file = file.ok_or_else(|| ParseError("ingest needs a capture file".into()))?;
+            if let Err(e) = leopard_core::Endpoint::parse(&cfg.to) {
+                return Err(ParseError(e));
+            }
+            Ok(Command::Ingest(cfg))
+        }
+        "soak" => {
+            let mut cfg = SoakCliConfig::default();
+            let mut it = argv[1..].iter();
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--to" => cfg.to = want::<String>(flag, it.next())?,
+                    "--streams" => cfg.streams = want(flag, it.next())?,
+                    "--workload" => cfg.workload = want::<String>(flag, it.next())?,
+                    "--txns" => cfg.txns = want(flag, it.next())?,
+                    "--clients" => cfg.clients = want(flag, it.next())?,
+                    "--level" => cfg.level = parse_level(&want::<String>(flag, it.next())?)?,
+                    "--seed" => cfg.seed = want(flag, it.next())?,
+                    "--kill-prob" => cfg.kill_prob = want(flag, it.next())?,
+                    "--dup-prob" => cfg.dup_prob = want(flag, it.next())?,
+                    "--stall-prob" => cfg.stall_prob = want(flag, it.next())?,
+                    "--stall-ms" => cfg.stall_ms = want(flag, it.next())?,
+                    "--retry-attempts" => cfg.retry_attempts = want(flag, it.next())?,
+                    "--retry-backoff-ms" => cfg.retry_backoff_ms = want(flag, it.next())?,
+                    "--retry-jitter" => cfg.retry_jitter = want(flag, it.next())?,
+                    other => return Err(ParseError(format!("unknown flag `{other}`"))),
+                }
+            }
+            if cfg.streams == 0 || cfg.clients == 0 {
+                return Err(ParseError(
+                    "--streams and --clients must be at least 1".into(),
+                ));
+            }
+            for (name, p) in [
+                ("--kill-prob", cfg.kill_prob),
+                ("--dup-prob", cfg.dup_prob),
+                ("--stall-prob", cfg.stall_prob),
+                ("--retry-jitter", cfg.retry_jitter),
+            ] {
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(ParseError(format!("{name} must be within 0..1")));
+                }
+            }
+            if let Err(e) = leopard_core::Endpoint::parse(&cfg.to) {
+                return Err(ParseError(e));
+            }
+            Ok(Command::Soak(cfg))
         }
         "oracle" => {
             let mut cfg = OracleConfig::default();
@@ -781,6 +1042,76 @@ mod tests {
         assert_eq!(cfg.out_dir.as_deref(), Some("corpus"));
         assert!(parse_args(&args("oracle --clients 0")).is_err());
         assert!(parse_args(&args("oracle --bogus")).is_err());
+    }
+
+    #[test]
+    fn chaos_retry_jitter_parses_and_validates() {
+        let cmd = parse_args(&args("chaos --retry-jitter 0.3")).unwrap();
+        let Command::Chaos(cfg) = cmd else { panic!() };
+        assert_eq!(cfg.retry_jitter, 0.3);
+        assert_eq!(ChaosConfig::default().retry_jitter, 0.0);
+        assert!(parse_args(&args("chaos --retry-jitter 1.5")).is_err());
+        assert!(parse_args(&args("chaos --retry-jitter -0.1")).is_err());
+    }
+
+    #[test]
+    fn serve_defaults_and_overrides() {
+        let cmd = parse_args(&args("serve")).unwrap();
+        assert_eq!(cmd, Command::Serve(ServeCliConfig::default()));
+        let cmd = parse_args(&args(
+            "serve --listen tcp:127.0.0.1:7878 --control unix:/tmp/c.sock --dir state \
+             --checkpoint-every 64 --global-budget 1048576",
+        ))
+        .unwrap();
+        let Command::Serve(cfg) = cmd else { panic!() };
+        assert_eq!(cfg.listen, "tcp:127.0.0.1:7878");
+        assert_eq!(cfg.control.as_deref(), Some("unix:/tmp/c.sock"));
+        assert_eq!(cfg.dir, "state");
+        assert_eq!(cfg.checkpoint_every, 64);
+        assert_eq!(cfg.global_budget, 1_048_576);
+        assert!(parse_args(&args("serve --checkpoint-every 0")).is_err());
+        assert!(parse_args(&args("serve --listen bogus")).is_err());
+        assert!(parse_args(&args("serve --control udp:x")).is_err());
+        assert!(parse_args(&args("serve --bogus")).is_err());
+    }
+
+    #[test]
+    fn ingest_requires_a_file_and_valid_endpoint() {
+        assert!(parse_args(&args("ingest")).is_err());
+        assert!(parse_args(&args("ingest a.jsonl b.jsonl")).is_err());
+        assert!(parse_args(&args("ingest a.jsonl --to bogus")).is_err());
+        let cmd = parse_args(&args(
+            "ingest cap.jsonl --to unix:/tmp/i.sock --stream t1 --level si --mem-budget 4096 --json",
+        ))
+        .unwrap();
+        let Command::Ingest(cfg) = cmd else { panic!() };
+        assert_eq!(cfg.file, "cap.jsonl");
+        assert_eq!(cfg.to, "unix:/tmp/i.sock");
+        assert_eq!(cfg.stream.as_deref(), Some("t1"));
+        assert_eq!(cfg.level, IsolationLevel::SnapshotIsolation);
+        assert_eq!(cfg.mem_budget, 4096);
+        assert!(cfg.json);
+    }
+
+    #[test]
+    fn soak_defaults_and_overrides() {
+        let cmd = parse_args(&args("soak")).unwrap();
+        assert_eq!(cmd, Command::Soak(SoakCliConfig::default()));
+        let cmd = parse_args(&args(
+            "soak --to tcp:127.0.0.1:9000 --streams 8 --workload ycsb --txns 30 --clients 2 \
+             --level rr --seed 5 --kill-prob 0.1 --dup-prob 0.1 --stall-prob 0.05 --stall-ms 1 \
+             --retry-attempts 50 --retry-backoff-ms 2 --retry-jitter 0.25",
+        ))
+        .unwrap();
+        let Command::Soak(cfg) = cmd else { panic!() };
+        assert_eq!(cfg.streams, 8);
+        assert_eq!(cfg.workload, "ycsb");
+        assert_eq!(cfg.level, IsolationLevel::RepeatableRead);
+        assert_eq!(cfg.kill_prob, 0.1);
+        assert_eq!(cfg.retry_jitter, 0.25);
+        assert!(parse_args(&args("soak --streams 0")).is_err());
+        assert!(parse_args(&args("soak --kill-prob 2.0")).is_err());
+        assert!(parse_args(&args("soak --to bogus")).is_err());
     }
 
     #[test]

@@ -1,18 +1,21 @@
 //! Implementations of the CLI subcommands.
 
-use crate::args::{ChaosConfig, LintHistoryConfig, OracleConfig, RecordConfig, VerifyConfig};
+use crate::args::{
+    ChaosConfig, IngestConfig, LintHistoryConfig, OracleConfig, RecordConfig, ServeCliConfig,
+    SoakCliConfig, VerifyConfig,
+};
 use leopard_core::obs;
 use leopard_core::{
-    Backpressure, CaptureHeader, CaptureReader, CaptureWriter, Checkpoint, CheckpointError,
-    IsolationLevel, MemBudget, OnlineLeopard, OnlineOptions, PreflightAnalyzer, PreflightConfig,
-    PreflightReport, ShardedCheckpoint, ShardedVerifier, Verifier, VerifierConfig, VerifyOutcome,
-    CAPTURE_VERSION, TRACE_APPROX_BYTES,
+    ingest_capture, Backpressure, CaptureHeader, CaptureReader, CaptureWriter, Checkpoint,
+    CheckpointError, Endpoint, IsolationLevel, MemBudget, OnlineLeopard, OnlineOptions,
+    PreflightAnalyzer, PreflightConfig, PreflightReport, ServeOptions, Server, ShardedCheckpoint,
+    ShardedVerifier, Verifier, VerifierConfig, VerifyOutcome, CAPTURE_VERSION, TRACE_APPROX_BYTES,
 };
 use leopard_db::{Database, DbConfig, FaultPlan};
 use leopard_oracle::{corpus_files, run_matrix, CleanRunSpec, Schedule};
 use leopard_workloads::{
-    bundled_workload, preload_database, run_chaos_with_sinks, run_collect, ChaosPlan, RetryPolicy,
-    RunLimit,
+    bundled_workload, preload_database, run_chaos_with_sinks_stoppable, run_collect, run_soak,
+    ChaosPlan, RetryPolicy, RunLimit, SoakOptions,
 };
 use std::io::Write;
 use std::path::{Path, PathBuf};
@@ -420,9 +423,30 @@ pub fn verify(cfg: &VerifyConfig, out: &mut dyn Write) -> i32 {
     };
 
     let ckpt_out = cfg.checkpoint.as_ref().map(PathBuf::from);
+    crate::signals::install_termination_handler();
     let mut seen = 0u64;
     let mut processed = 0u64;
     loop {
+        if crate::signals::termination_requested() {
+            // Graceful shutdown: persist the exact resume point and the
+            // metrics snapshot, then exit with the conventional 128+SIG
+            // code so wrappers can tell "interrupted" from "violations".
+            if let Some(path) = &ckpt_out {
+                if let Err(e) = verifier.write_checkpoint(path) {
+                    let _ = writeln!(out, "error: cannot checkpoint: {e}");
+                    return 1;
+                }
+                let _ = writeln!(
+                    out,
+                    "interrupted after {processed} traces; checkpoint flushed to {}",
+                    path.display()
+                );
+            } else {
+                let _ = writeln!(out, "interrupted after {processed} traces");
+            }
+            sinks.finish(out, cfg.json);
+            return 130;
+        }
         match reader.next_trace() {
             Ok(Some(trace)) => {
                 seen += 1;
@@ -559,7 +583,8 @@ pub fn chaos(cfg: &ChaosConfig, out: &mut dyn Write) -> i32 {
     let retry = RetryPolicy::with_backoff(
         cfg.retry_attempts,
         Duration::from_millis(cfg.retry_backoff_ms),
-    );
+    )
+    .with_jitter(cfg.retry_jitter);
 
     let db = Database::new(DbConfig::at(cfg.level));
     let preload = preload_database(&db, proto.as_ref());
@@ -589,8 +614,25 @@ pub fn chaos(cfg: &ChaosConfig, out: &mut dyn Write) -> i32 {
         ..OnlineOptions::default()
     };
     let ticker = sinks.spawn_ticker();
+    // SIGINT/SIGTERM flip a flag the client threads poll; the run then
+    // winds down through the normal path, so the final checkpoint and
+    // metrics snapshot are flushed before the process exits with 130.
+    crate::signals::install_termination_handler();
+    let interrupt = Arc::new(AtomicBool::new(false));
+    let watcher = {
+        let interrupt = Arc::clone(&interrupt);
+        std::thread::spawn(move || {
+            while !interrupt.load(Ordering::SeqCst) {
+                if crate::signals::termination_requested() {
+                    interrupt.store(true, Ordering::SeqCst);
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        })
+    };
     let (online, handles) = OnlineLeopard::start_opts(cfg.threads, vcfg, opts, preload);
-    let (mut stats, client_sinks) = run_chaos_with_sinks(
+    let (mut stats, client_sinks) = run_chaos_with_sinks_stoppable(
         &db,
         gens,
         handles,
@@ -598,8 +640,12 @@ pub fn chaos(cfg: &ChaosConfig, out: &mut dyn Write) -> i32 {
         cfg.seed,
         &plan,
         retry,
+        &interrupt,
     );
     drop(client_sinks); // close every client stream
+    interrupt.store(true, Ordering::SeqCst);
+    let _ = watcher.join();
+    let interrupted = crate::signals::termination_requested();
     let (outcome, pstats) = match online.finish_with_timeout(Duration::from_secs(60)) {
         Ok(x) => x,
         Err(timeout) => {
@@ -708,7 +754,7 @@ pub fn chaos(cfg: &ChaosConfig, out: &mut dyn Write) -> i32 {
         }
         let _ = write!(out, "{cov}");
     }
-    if outcome.report.is_clean() {
+    let code = if outcome.report.is_clean() {
         if !cfg.json {
             let _ = writeln!(out, "verdict: CLEAN");
         }
@@ -718,7 +764,17 @@ pub fn chaos(cfg: &ChaosConfig, out: &mut dyn Write) -> i32 {
             let _ = writeln!(out, "verdict: VIOLATIONS\n{}", outcome.report);
         }
         3
+    };
+    if interrupted {
+        if !cfg.json {
+            let _ = writeln!(
+                out,
+                "interrupted: final checkpoint and metrics snapshot flushed before exit"
+            );
+        }
+        return 130;
     }
+    code
 }
 
 /// `leopard oracle`: run the anomaly-injection differential matrix and
@@ -778,6 +834,197 @@ pub fn oracle(cfg: &OracleConfig, out: &mut dyn Write) -> i32 {
     if report.all_ok {
         0
     } else {
+        3
+    }
+}
+
+/// `leopard serve`: run the verification daemon until SIGINT/SIGTERM
+/// (or a `shutdown` control command) asks it to flush every active
+/// stream's checkpoint and exit.
+pub fn serve(cfg: &ServeCliConfig, out: &mut dyn Write) -> i32 {
+    let ingest = match Endpoint::parse(&cfg.listen) {
+        Ok(ep) => ep,
+        Err(e) => {
+            let _ = writeln!(out, "error: --listen: {e}");
+            return 2;
+        }
+    };
+    let control = match cfg.control.as_deref().map(Endpoint::parse).transpose() {
+        Ok(ep) => ep,
+        Err(e) => {
+            let _ = writeln!(out, "error: --control: {e}");
+            return 2;
+        }
+    };
+    let mut opts = ServeOptions::new(PathBuf::from(&cfg.dir));
+    opts.checkpoint_every = cfg.checkpoint_every.max(1);
+    opts.global_budget_bytes = cfg.global_budget;
+    let server = match Server::bind(&ingest, control.as_ref(), opts) {
+        Ok(s) => s,
+        Err(e) => {
+            let _ = writeln!(out, "error: cannot bind {}: {e}", cfg.listen);
+            return 1;
+        }
+    };
+    let handle = server.handle();
+    let recovered = handle.streams().len();
+    let _ = writeln!(
+        out,
+        "serving on {} (control: {}), checkpoints in {}, {} stream(s) recovered",
+        cfg.listen,
+        cfg.control.as_deref().unwrap_or("off"),
+        cfg.dir,
+        recovered
+    );
+    // The signal watcher translates SIGINT/SIGTERM into the same
+    // shutdown request the control endpoint issues, so both paths flush
+    // final checkpoints through Server::run's join-on-exit.
+    crate::signals::install_termination_handler();
+    let watcher = std::thread::spawn(move || {
+        while !handle.is_shutting_down() {
+            if crate::signals::termination_requested() {
+                handle.shutdown();
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    });
+    let code = match server.run() {
+        Ok(()) => {
+            let _ = writeln!(out, "shutdown complete; all stream checkpoints flushed");
+            if crate::signals::termination_requested() {
+                130
+            } else {
+                0
+            }
+        }
+        Err(e) => {
+            let _ = writeln!(out, "error: {e}");
+            1
+        }
+    };
+    let _ = watcher.join();
+    code
+}
+
+/// `leopard ingest`: stream a capture file to a running daemon and print
+/// its verdict. Exit 0 for a clean, complete verdict; 3 when violations
+/// were found or coverage is degraded; 1 on transport/daemon errors.
+pub fn ingest(cfg: &IngestConfig, out: &mut dyn Write) -> i32 {
+    let endpoint = match Endpoint::parse(&cfg.to) {
+        Ok(ep) => ep,
+        Err(e) => {
+            let _ = writeln!(out, "error: --to: {e}");
+            return 2;
+        }
+    };
+    let file = match std::fs::File::open(&cfg.file) {
+        Ok(f) => f,
+        Err(e) => {
+            let _ = writeln!(out, "error: cannot open {}: {e}", cfg.file);
+            return 1;
+        }
+    };
+    let mut reader = match CaptureReader::new(file) {
+        Ok(r) => r,
+        Err(e) => {
+            let _ = writeln!(out, "error: {e}");
+            return 1;
+        }
+    };
+    let stream = cfg.stream.clone().unwrap_or_else(|| {
+        Path::new(&cfg.file)
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "capture".to_string())
+    });
+    let verdict = match ingest_capture(&endpoint, &stream, cfg.level, cfg.mem_budget, &mut reader) {
+        Ok(v) => v,
+        Err(e) => {
+            let _ = writeln!(out, "error: {e}");
+            return 1;
+        }
+    };
+    if cfg.json {
+        let _ = writeln!(out, "{}", verdict.to_json());
+    } else {
+        let _ = writeln!(
+            out,
+            "stream {}: {} — {} traces, {} committed, {} violations",
+            verdict.stream, verdict.status, verdict.traces, verdict.committed, verdict.violations
+        );
+        if verdict.quarantined_traces > 0 || verdict.demoted_reads > 0 {
+            let _ = writeln!(
+                out,
+                "coverage: {} traces quarantined, {} reads demoted",
+                verdict.quarantined_traces, verdict.demoted_reads
+            );
+        }
+        let _ = writeln!(
+            out,
+            "verdict: {}",
+            if verdict.clean && verdict.complete {
+                "CLEAN"
+            } else if verdict.clean {
+                "CLEAN (incomplete coverage)"
+            } else {
+                "VIOLATIONS"
+            }
+        );
+    }
+    if verdict.clean && verdict.complete && verdict.status == "ok" {
+        0
+    } else {
+        3
+    }
+}
+
+/// `leopard soak`: hammer a running daemon with concurrent streams over
+/// the real wire under seeded chaos (connection cuts, torn frames,
+/// duplicated frames, stalls) and check that every stream still
+/// converges to a clean, complete verdict.
+pub fn soak(cfg: &SoakCliConfig, out: &mut dyn Write) -> i32 {
+    let endpoint = match Endpoint::parse(&cfg.to) {
+        Ok(ep) => ep,
+        Err(e) => {
+            let _ = writeln!(out, "error: --to: {e}");
+            return 2;
+        }
+    };
+    let mut opts = SoakOptions::new(endpoint);
+    opts.streams = cfg.streams;
+    opts.workload = cfg.workload.clone();
+    opts.txns = cfg.txns;
+    opts.clients = cfg.clients;
+    opts.level = cfg.level;
+    opts.seed = cfg.seed;
+    opts.chaos = ChaosPlan {
+        seed: cfg.seed ^ 0xC4A5_0A7E,
+        kill_prob: cfg.kill_prob,
+        dup_prob: cfg.dup_prob,
+        stall_prob: cfg.stall_prob,
+        stall: Duration::from_millis(cfg.stall_ms),
+        ..ChaosPlan::none()
+    };
+    opts.retry = RetryPolicy::with_backoff(
+        cfg.retry_attempts,
+        Duration::from_millis(cfg.retry_backoff_ms),
+    )
+    .with_jitter(cfg.retry_jitter);
+    opts.max_reconnect_attempts = cfg.retry_attempts;
+    let report = run_soak(&opts);
+    report.render(out);
+    let _ = writeln!(
+        out,
+        "soak: {} stream(s), {} fault(s) injected",
+        report.outcomes.len(),
+        report.total_faults()
+    );
+    if report.all_clean() {
+        let _ = writeln!(out, "verdict: CLEAN");
+        0
+    } else {
+        let _ = writeln!(out, "verdict: DEGRADED");
         3
     }
 }

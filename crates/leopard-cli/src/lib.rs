@@ -13,6 +13,13 @@
 //!   (client kills, stalls, dropped/duplicated trace deliveries,
 //!   clock-skew bursts) through the online verifier with watermark-stall
 //!   eviction, reporting the verdict plus a coverage breakdown;
+//! * `serve` — run the long-lived verification daemon: many concurrent
+//!   capture streams over the length-prefixed binary wire protocol,
+//!   per-stream fault isolation, periodic checkpoints, and crash
+//!   recovery with bit-identical verdicts;
+//! * `ingest` — stream a capture file to a running daemon;
+//! * `soak` — hammer a running daemon with concurrent streams under
+//!   seeded wire chaos and check convergence to clean verdicts;
 //! * `lint-history` — run only the preflight analysis, human or `--json`;
 //! * `oracle` — run the anomaly-injection differential verdict matrix
 //!   (9 anomaly classes × 4 levels × {Leopard, Cobra, cycle-search},
@@ -28,6 +35,7 @@
 
 pub mod args;
 pub mod commands;
+pub mod signals;
 
 pub use args::{parse_args, Command, ParseError};
 
@@ -38,6 +46,9 @@ pub fn run(argv: &[String], out: &mut dyn std::io::Write) -> i32 {
         Ok(Command::Record(cfg)) => commands::record(&cfg, out),
         Ok(Command::Verify(cfg)) => commands::verify(&cfg, out),
         Ok(Command::Chaos(cfg)) => commands::chaos(&cfg, out),
+        Ok(Command::Serve(cfg)) => commands::serve(&cfg, out),
+        Ok(Command::Ingest(cfg)) => commands::ingest(&cfg, out),
+        Ok(Command::Soak(cfg)) => commands::soak(&cfg, out),
         Ok(Command::LintHistory(cfg)) => commands::lint_history(&cfg, out),
         Ok(Command::Oracle(cfg)) => commands::oracle(&cfg, out),
         Ok(Command::Catalog) => commands::catalog(out),

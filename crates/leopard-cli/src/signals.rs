@@ -1,0 +1,46 @@
+//! Minimal SIGINT/SIGTERM handling for graceful shutdown, with no
+//! dependency on a libc crate (the workspace builds offline).
+//!
+//! The handler only flips an [`AtomicBool`] — the one operation that is
+//! async-signal-safe — and the long-running commands poll
+//! [`termination_requested`] at their loop boundaries to flush final
+//! checkpoints and metrics snapshots before exiting. A second Ctrl-C
+//! still kills the process the hard way: the handler is installed with
+//! the system default as fallback only once, so the OS default
+//! (terminate) is restored semantics-wise by the process simply exiting
+//! on the flushed path.
+#![allow(unsafe_code)] // the whole point of this module: one libc call
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Set by the handler; read by command loops.
+static TERM: AtomicBool = AtomicBool::new(false);
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+extern "C" {
+    /// POSIX `signal(2)` from the linked system libc.
+    fn signal(signum: i32, handler: usize) -> usize;
+}
+
+extern "C" fn on_term(_sig: i32) {
+    TERM.store(true, Ordering::SeqCst);
+}
+
+/// Installs the SIGINT/SIGTERM flag-setter. Idempotent; safe to call
+/// from every long-running command.
+pub fn install_termination_handler() {
+    // SAFETY: `signal` is the POSIX API; the handler only performs an
+    // atomic store, which is async-signal-safe.
+    unsafe {
+        signal(SIGINT, on_term as *const () as usize);
+        signal(SIGTERM, on_term as *const () as usize);
+    }
+}
+
+/// `true` once SIGINT or SIGTERM has been received.
+#[must_use]
+pub fn termination_requested() -> bool {
+    TERM.load(Ordering::SeqCst)
+}

@@ -1,0 +1,269 @@
+//! End-to-end acceptance tests for `leopard serve`, driving the real
+//! binary over the real wire:
+//!
+//! * kill -9 the daemon mid-stream, restart it on the same checkpoint
+//!   directory, replay the capture — the final verdict and the on-disk
+//!   checkpoint must be byte-identical to an uninterrupted run;
+//! * a stream whose verifier panics is quarantined into a degraded
+//!   verdict while a concurrently-ingesting healthy stream (and every
+//!   later stream) is untouched.
+
+use leopard_core::wire::{read_frame, write_frame};
+use leopard_core::{
+    control_command, ingest_capture, CaptureReader, Endpoint, Frame, Hello, IngestError,
+    IsolationLevel, RejectReason, StreamVerdict, TraceFrame, WIRE_VERSION,
+};
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_leopard"))
+}
+
+/// Fresh scratch directory under the target-aware tmp root.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("leopard-serve-{}-{}", tag, std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Records a small SmallBank capture and returns its path.
+fn record_capture(dir: &Path) -> PathBuf {
+    let out = dir.join("capture.bin");
+    let status = bin()
+        .args([
+            "record",
+            "--workload",
+            "smallbank",
+            "--threads",
+            "2",
+            "--txns",
+            "12",
+            "--seed",
+            "7",
+            "--out",
+        ])
+        .arg(&out)
+        .stdout(Stdio::null())
+        .status()
+        .unwrap();
+    assert!(status.success(), "record failed");
+    out
+}
+
+struct Daemon {
+    child: Child,
+    ingest: Endpoint,
+    control: Endpoint,
+}
+
+impl Daemon {
+    /// Spawns `leopard serve` and waits until both endpoints accept.
+    fn spawn(dir: &Path, ckpt_dir: &Path, every: u64, env: &[(&str, &str)]) -> Daemon {
+        fs::create_dir_all(dir).unwrap();
+        let ingest_path = dir.join("ingest.sock");
+        let control_path = dir.join("control.sock");
+        let mut cmd = bin();
+        cmd.args([
+            "serve",
+            "--listen",
+            &format!("unix:{}", ingest_path.display()),
+            "--control",
+            &format!("unix:{}", control_path.display()),
+            "--dir",
+            &ckpt_dir.display().to_string(),
+            "--checkpoint-every",
+            &every.to_string(),
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null());
+        for (k, v) in env {
+            cmd.env(k, v);
+        }
+        let child = cmd.spawn().unwrap();
+        let ingest = Endpoint::parse(&format!("unix:{}", ingest_path.display())).unwrap();
+        let control = Endpoint::parse(&format!("unix:{}", control_path.display())).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(20);
+        loop {
+            if control_command(&control, "streams").is_ok() {
+                break;
+            }
+            assert!(Instant::now() < deadline, "daemon did not come up");
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        Daemon {
+            child,
+            ingest,
+            control,
+        }
+    }
+
+    /// Graceful stop through the control endpoint; waits for exit.
+    fn shutdown(mut self) {
+        let _ = control_command(&self.control, "shutdown");
+        let deadline = Instant::now() + Duration::from_secs(20);
+        loop {
+            if self.child.try_wait().unwrap().is_some() {
+                return;
+            }
+            assert!(Instant::now() < deadline, "daemon did not exit");
+            std::thread::sleep(Duration::from_millis(25));
+        }
+    }
+
+    /// SIGKILL — no flush, no goodbye. The crash the recovery protocol
+    /// exists for.
+    fn kill9(mut self) {
+        self.child.kill().unwrap();
+        let _ = self.child.wait();
+    }
+}
+
+fn ingest_file(
+    endpoint: &Endpoint,
+    capture: &Path,
+    stream: &str,
+) -> Result<StreamVerdict, IngestError> {
+    let file = fs::File::open(capture).unwrap();
+    let mut reader = CaptureReader::new(file).unwrap();
+    ingest_capture(
+        endpoint,
+        stream,
+        IsolationLevel::Serializable,
+        0,
+        &mut reader,
+    )
+}
+
+#[test]
+fn kill_dash_nine_then_restart_matches_uninterrupted_run_byte_for_byte() {
+    let base = scratch("kill9");
+    let capture = record_capture(&base);
+
+    // Uninterrupted reference run.
+    let ref_dir = base.join("ref");
+    let d = Daemon::spawn(&base.join("ref-sock"), &ref_dir, 8, &[]);
+    let ref_verdict = ingest_file(&d.ingest, &capture, "t").unwrap();
+    d.shutdown();
+    assert_eq!(ref_verdict.status, "ok");
+    assert!(ref_verdict.clean && ref_verdict.complete);
+    let ref_ckpt = fs::read_to_string(ref_dir.join("t.ckpt")).unwrap();
+    let ref_verdict_json = fs::read_to_string(ref_dir.join("t.verdict.json")).unwrap();
+
+    // Interrupted run: stream 20 traces (past two checkpoint boundaries),
+    // leave the connection open, and SIGKILL the daemon.
+    let kill_dir = base.join("kill");
+    let sock_dir = base.join("kill-sock");
+    let d = Daemon::spawn(&sock_dir, &kill_dir, 8, &[]);
+    {
+        let file = fs::File::open(&capture).unwrap();
+        let mut reader = CaptureReader::new(file).unwrap();
+        let header = reader.header().clone();
+        let mut sock = d.ingest.connect().unwrap();
+        write_frame(
+            &mut sock,
+            &Frame::Hello(Hello {
+                version: WIRE_VERSION,
+                stream: "t".to_string(),
+                description: header.description,
+                level: IsolationLevel::Serializable,
+                mem_budget: 0,
+                preload: header.preload,
+            }),
+        )
+        .unwrap();
+        sock.flush().unwrap();
+        match read_frame(&mut sock).unwrap() {
+            Some(Frame::Ack { resume_from }) => assert_eq!(resume_from, 0),
+            other => panic!("expected Ack, got {other:?}"),
+        }
+        for seq in 1..=20u64 {
+            let trace = reader
+                .next_trace()
+                .unwrap()
+                .expect("capture has 20+ traces");
+            write_frame(&mut sock, &Frame::Trace(TraceFrame { seq, trace })).unwrap();
+        }
+        sock.flush().unwrap();
+        // Wait for durable progress: the first cadence checkpoint (8
+        // ingested traces) must be on disk before the crash.
+        let ckpt = kill_dir.join("t.ckpt");
+        let deadline = Instant::now() + Duration::from_secs(20);
+        while !ckpt.exists() {
+            assert!(Instant::now() < deadline, "no checkpoint before kill");
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        d.kill9();
+        // The connection is dead; drop the socket with the daemon.
+    }
+
+    // Restart on the same directory: recovery re-opens the checkpoint,
+    // the client replays, and the resume protocol skips what survived.
+    let d = Daemon::spawn(&sock_dir, &kill_dir, 8, &[]);
+    let streams = control_command(&d.control, "streams").unwrap();
+    assert!(
+        streams.contains("\"t\""),
+        "recovered stream missing from listing: {streams}"
+    );
+    let verdict = ingest_file(&d.ingest, &capture, "t").unwrap();
+    d.shutdown();
+
+    assert_eq!(verdict, ref_verdict, "verdicts diverged after crash");
+    let ckpt = fs::read_to_string(kill_dir.join("t.ckpt")).unwrap();
+    let verdict_json = fs::read_to_string(kill_dir.join("t.verdict.json")).unwrap();
+    assert_eq!(ckpt, ref_ckpt, "checkpoint not byte-identical");
+    assert_eq!(verdict_json, ref_verdict_json, "verdict not byte-identical");
+}
+
+#[test]
+fn panicking_stream_is_quarantined_without_touching_neighbours() {
+    let base = scratch("panic");
+    let capture = record_capture(&base);
+    let dir = base.join("serve");
+    // The injection hook makes the "bad" stream's verifier panic while
+    // processing its 5th trace.
+    let d = Daemon::spawn(
+        &base.join("sock"),
+        &dir,
+        8,
+        &[("LEOPARD_SERVE_PANIC_AT", "bad:5")],
+    );
+
+    // A healthy stream ingests concurrently with the panicking one.
+    let good = {
+        let endpoint = d.ingest.clone();
+        let capture = capture.clone();
+        std::thread::spawn(move || ingest_file(&endpoint, &capture, "good"))
+    };
+    let bad = ingest_file(&d.ingest, &capture, "bad");
+    match bad {
+        Err(IngestError::Rejected { reason, .. }) => {
+            assert_eq!(reason, RejectReason::Quarantined);
+        }
+        other => panic!("expected quarantine rejection, got {other:?}"),
+    }
+    let good_verdict = good.join().unwrap().unwrap();
+    assert_eq!(good_verdict.status, "ok");
+    assert!(good_verdict.clean && good_verdict.complete);
+
+    // The daemon survives the panic and serves fresh streams.
+    let later = ingest_file(&d.ingest, &capture, "later").unwrap();
+    assert!(later.clean && later.complete);
+
+    // The quarantined stream's degraded verdict is on disk and in the
+    // stream listing.
+    let streams = control_command(&d.control, "streams").unwrap();
+    assert!(
+        streams.contains("quarantined"),
+        "quarantine missing from listing: {streams}"
+    );
+    let bad_verdict: StreamVerdict =
+        StreamVerdict::from_json(&fs::read_to_string(dir.join("bad.verdict.json")).unwrap())
+            .unwrap();
+    assert_eq!(bad_verdict.status, "quarantined");
+    d.shutdown();
+}

@@ -162,9 +162,169 @@ impl BudgetCounters {
     }
 }
 
+/// Global admission control for the multi-tenant serve daemon
+/// ([`crate::serve`]): one shared byte pool that every admitted stream
+/// draws its [`MemBudget`] slice from. A stream that asks for more than
+/// the pool has left is refused at the handshake instead of being
+/// allowed to starve its neighbors at runtime — admission is the rung
+/// *above* the per-stream overload ladder.
+///
+/// Cloning shares the pool; grants release their charge on drop.
+#[derive(Clone)]
+pub struct GlobalAdmission {
+    inner: std::sync::Arc<AdmissionInner>,
+}
+
+struct AdmissionInner {
+    /// Total pool in bytes; 0 = unlimited (admission always succeeds).
+    capacity: u64,
+    /// Bytes currently granted to live streams.
+    outstanding: crate::lockwitness::TrackedMutex<u64>,
+}
+
+impl GlobalAdmission {
+    /// A pool of `capacity` bytes; `0` disables admission control.
+    #[must_use]
+    pub fn new(capacity: u64) -> GlobalAdmission {
+        GlobalAdmission {
+            inner: std::sync::Arc::new(AdmissionInner {
+                capacity,
+                outstanding: crate::lockwitness::TrackedMutex::new(
+                    "GlobalAdmission.outstanding",
+                    0,
+                ),
+            }),
+        }
+    }
+
+    /// The charge a stream request costs against the pool. A stream that
+    /// asks for an explicit budget is charged exactly that; a stream that
+    /// asks for *unlimited* (0) is charged one eighth of the pool, so a
+    /// handful of unbounded tenants cannot silently claim everything.
+    #[must_use]
+    pub fn charge_for(&self, requested_bytes: u64) -> u64 {
+        if self.inner.capacity == 0 {
+            return 0;
+        }
+        if requested_bytes == 0 {
+            (self.inner.capacity / 8).max(1)
+        } else {
+            requested_bytes
+        }
+    }
+
+    /// Tries to admit a stream requesting `requested_bytes` (0 =
+    /// unlimited). `None` means the pool cannot cover the charge.
+    #[must_use]
+    pub fn admit(&self, requested_bytes: u64) -> Option<AdmissionGrant> {
+        let charge = self.charge_for(requested_bytes);
+        if self.inner.capacity == 0 {
+            return Some(AdmissionGrant {
+                inner: std::sync::Arc::clone(&self.inner),
+                charge: 0,
+            });
+        }
+        let mut outstanding = self.inner.outstanding.lock();
+        if outstanding.saturating_add(charge) > self.inner.capacity {
+            return None;
+        }
+        *outstanding += charge;
+        Some(AdmissionGrant {
+            inner: std::sync::Arc::clone(&self.inner),
+            charge,
+        })
+    }
+
+    /// Bytes currently granted to live streams.
+    #[must_use]
+    pub fn outstanding(&self) -> u64 {
+        *self.inner.outstanding.lock()
+    }
+
+    /// The pool size (0 = unlimited).
+    #[must_use]
+    pub fn capacity(&self) -> u64 {
+        self.inner.capacity
+    }
+}
+
+impl std::fmt::Debug for GlobalAdmission {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GlobalAdmission")
+            .field("capacity", &self.inner.capacity)
+            .field("outstanding", &self.outstanding())
+            .finish()
+    }
+}
+
+/// A live stream's claim on the global pool; released on drop.
+#[derive(Debug)]
+pub struct AdmissionGrant {
+    inner: std::sync::Arc<AdmissionInner>,
+    charge: u64,
+}
+
+impl std::fmt::Debug for AdmissionInner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdmissionInner")
+            .field("capacity", &self.capacity)
+            .finish_non_exhaustive()
+    }
+}
+
+impl AdmissionGrant {
+    /// Bytes this grant holds against the pool.
+    #[must_use]
+    pub fn charge(&self) -> u64 {
+        self.charge
+    }
+}
+
+impl Drop for AdmissionGrant {
+    fn drop(&mut self) {
+        if self.charge > 0 {
+            let mut outstanding = self.inner.outstanding.lock();
+            *outstanding = outstanding.saturating_sub(self.charge);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn admission_grants_and_releases() {
+        let pool = GlobalAdmission::new(1000);
+        let a = pool.admit(400).expect("fits");
+        let b = pool.admit(400).expect("fits");
+        assert_eq!(pool.outstanding(), 800);
+        assert!(pool.admit(400).is_none(), "pool exhausted");
+        drop(a);
+        assert_eq!(pool.outstanding(), 400);
+        let c = pool.admit(600).expect("fits after release");
+        drop(b);
+        drop(c);
+        assert_eq!(pool.outstanding(), 0);
+    }
+
+    #[test]
+    fn unlimited_requests_are_charged_a_slice() {
+        let pool = GlobalAdmission::new(800);
+        assert_eq!(pool.charge_for(0), 100);
+        let grants: Vec<_> = (0..8).map(|_| pool.admit(0).expect("slice fits")).collect();
+        assert!(pool.admit(0).is_none(), "ninth unbounded tenant refused");
+        drop(grants);
+        assert_eq!(pool.outstanding(), 0);
+    }
+
+    #[test]
+    fn zero_capacity_pool_admits_everything() {
+        let pool = GlobalAdmission::new(0);
+        let g = pool.admit(u64::MAX).expect("unlimited pool");
+        assert_eq!(g.charge(), 0);
+        assert_eq!(pool.outstanding(), 0);
+    }
 
     #[test]
     fn unlimited_budget_is_never_exceeded() {

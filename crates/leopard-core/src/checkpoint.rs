@@ -135,6 +135,29 @@ impl From<std::io::Error> for CheckpointError {
     }
 }
 
+/// Writes `json` to `path` atomically *and durably*: write to a
+/// temporary sibling, fsync the file, rename over `path`, then fsync the
+/// parent directory. The directory fsync is what makes the rename itself
+/// survive a power loss — without it the new directory entry can still be
+/// sitting in the page cache when the machine dies, and the checkpoint
+/// "written" before the crash simply never existed on disk.
+pub(crate) fn write_atomic_durable(path: &Path, json: &str) -> Result<(), CheckpointError> {
+    let tmp = path.with_extension("ckpt.tmp");
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(json.as_bytes())?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    // Opening a directory read-only for fsync is the portable unix idiom.
+    fs::File::open(parent)?.sync_all()?;
+    Ok(())
+}
+
 impl Checkpoint {
     /// Serializes to one JSON document.
     #[must_use]
@@ -155,17 +178,12 @@ impl Checkpoint {
         Ok(ckpt)
     }
 
-    /// Writes the checkpoint to `path` atomically (write-to-temp, rename),
-    /// so a crash mid-write never leaves a truncated checkpoint behind.
+    /// Writes the checkpoint to `path` atomically and durably
+    /// (write-to-temp, fsync, rename, fsync parent directory), so a
+    /// crash mid-write never leaves a truncated checkpoint behind and a
+    /// power loss after the rename cannot lose the directory entry.
     pub fn write(&self, path: &Path) -> Result<(), CheckpointError> {
-        let tmp = path.with_extension("ckpt.tmp");
-        {
-            let mut f = fs::File::create(&tmp)?;
-            f.write_all(self.to_json().as_bytes())?;
-            f.sync_all()?;
-        }
-        fs::rename(&tmp, path)?;
-        Ok(())
+        write_atomic_durable(path, &self.to_json())
     }
 
     /// Reads and parses a checkpoint from `path`.
@@ -234,16 +252,10 @@ impl ShardedCheckpoint {
         Ok(ckpt)
     }
 
-    /// Writes the envelope to `path` atomically (write-to-temp, rename).
+    /// Writes the envelope to `path` atomically and durably
+    /// (write-to-temp, fsync, rename, fsync parent directory).
     pub fn write(&self, path: &Path) -> Result<(), CheckpointError> {
-        let tmp = path.with_extension("ckpt.tmp");
-        {
-            let mut f = fs::File::create(&tmp)?;
-            f.write_all(self.to_json().as_bytes())?;
-            f.sync_all()?;
-        }
-        fs::rename(&tmp, path)?;
-        Ok(())
+        write_atomic_durable(path, &self.to_json())
     }
 
     /// Reads and parses an envelope from `path`.

@@ -65,10 +65,12 @@ pub mod online;
 pub mod pipeline;
 pub mod preflight;
 pub mod report;
+pub mod serve;
 pub mod stats;
 pub mod trace;
 pub mod types;
 pub mod verify;
+pub mod wire;
 
 pub use budget::{BudgetCounters, MemBudget, MemUsage};
 pub use capture::{CaptureError, CaptureHeader, CaptureReader, CaptureWriter, CAPTURE_VERSION};
@@ -91,6 +93,10 @@ pub use preflight::{
     Severity,
 };
 pub use report::{BugReport, Mechanism, Violation};
+pub use serve::{
+    control_command, ingest_capture, Endpoint, IngestError, ServeOptions, Server, ServerHandle,
+    StreamInfo, StreamState, StreamVerdict, WireConn,
+};
 pub use stats::{DeductionStats, DepCounts, DepKind};
 pub use trace::{OpKind, Trace, TraceBuilder};
 pub use types::{ClientId, Key, Timestamp, TxnId, Value};
@@ -98,3 +104,4 @@ pub use verify::{
     Coverage, Footprint, ShardedVerifier, Verifier, VerifierConfig, VerifyCounters, VerifyOutcome,
     MAX_COVERAGE_NOTES,
 };
+pub use wire::{Frame, FrameDecoder, Hello, RejectReason, TraceFrame, WireError, WIRE_VERSION};

@@ -115,9 +115,22 @@ pub enum Counter {
     CheckpointsWritten,
     /// Cumulative driver/certifier busy time, microseconds.
     DriverBusyUs,
+    /// Wire frames decoded by the serve daemon (all streams).
+    WireFrames,
+    /// Wire payload bytes decoded by the serve daemon.
+    WireBytes,
+    /// Wire frames that failed to decode (truncated, corrupt, unknown).
+    WireDecodeErrors,
+    /// Streams admitted by the serve daemon (fresh and resumed).
+    StreamsAccepted,
+    /// Streams refused at the handshake (version, admission, draining).
+    StreamsRejected,
+    /// Streams quarantined mid-flight (malformed input or a panicking
+    /// verifier), finished with a degraded verdict.
+    StreamsQuarantined,
 }
 
-const COUNTER_COUNT: usize = 17;
+const COUNTER_COUNT: usize = 23;
 
 impl Counter {
     /// Every counter, in registry (and exposition) order.
@@ -139,6 +152,12 @@ impl Counter {
         Counter::CertifierMerges,
         Counter::CheckpointsWritten,
         Counter::DriverBusyUs,
+        Counter::WireFrames,
+        Counter::WireBytes,
+        Counter::WireDecodeErrors,
+        Counter::StreamsAccepted,
+        Counter::StreamsRejected,
+        Counter::StreamsQuarantined,
     ];
 
     fn idx(self) -> usize {
@@ -169,6 +188,12 @@ impl Counter {
             Counter::CertifierMerges => "leopard_certifier_merges_total",
             Counter::CheckpointsWritten => "leopard_checkpoints_written_total",
             Counter::DriverBusyUs => "leopard_driver_busy_us_total",
+            Counter::WireFrames => "leopard_wire_frames_total",
+            Counter::WireBytes => "leopard_wire_bytes_total",
+            Counter::WireDecodeErrors => "leopard_wire_decode_errors_total",
+            Counter::StreamsAccepted => "leopard_serve_streams_accepted_total",
+            Counter::StreamsRejected => "leopard_serve_streams_rejected_total",
+            Counter::StreamsQuarantined => "leopard_serve_streams_quarantined_total",
         }
     }
 
@@ -197,6 +222,16 @@ impl Counter {
             Counter::CertifierMerges => "Cross-shard certifier merge rounds.",
             Counter::CheckpointsWritten => "Checkpoint images serialized to disk.",
             Counter::DriverBusyUs => "Cumulative driver/certifier busy time, microseconds.",
+            Counter::WireFrames => "Wire frames decoded by the serve daemon.",
+            Counter::WireBytes => "Wire payload bytes decoded by the serve daemon.",
+            Counter::WireDecodeErrors => {
+                "Wire frames that failed to decode (truncated, corrupt, unknown)."
+            }
+            Counter::StreamsAccepted => "Streams admitted by the serve daemon.",
+            Counter::StreamsRejected => "Streams refused at the handshake.",
+            Counter::StreamsQuarantined => {
+                "Streams quarantined into a degraded verdict mid-flight."
+            }
         }
     }
 }

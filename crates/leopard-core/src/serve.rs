@@ -1,0 +1,1554 @@
+//! The `leopard serve` daemon: a long-running, fault-isolated,
+//! multi-tenant verification service (DESIGN.md §12).
+//!
+//! Many concurrent capture streams connect over the binary wire protocol
+//! ([`crate::wire`]); each stream gets its own degraded-mode
+//! [`Verifier`] on its own connection thread, so one tenant's ill-formed
+//! input — or a panic inside its verifier — is quarantined into a
+//! degraded verdict without touching its neighbors. Global admission
+//! control ([`GlobalAdmission`]) refuses handshakes the shared memory
+//! pool cannot cover. Every stream is checkpointed durably every
+//! `checkpoint_every` ingested traces and on disconnect, keyed by stream
+//! name under the checkpoint directory; on restart the daemon re-opens
+//! every checkpoint it finds, and a reconnecting client is told the
+//! resume cursor in the handshake `Ack`, so a `kill -9` mid-stream
+//! converges to a final verdict and checkpoint byte-identical to an
+//! uninterrupted run.
+//!
+//! A second (control) endpoint serves the [`crate::obs`] registry's
+//! Prometheus exposition and a tiny line protocol: `metrics`, `streams`,
+//! `drain` (stop accepting new streams), `shutdown` (flush all stream
+//! checkpoints and exit). `GET /metrics` over the same socket answers
+//! with a minimal HTTP response, so a stock Prometheus scraper can point
+//! at it directly.
+
+use crate::budget::{GlobalAdmission, MemBudget};
+use crate::capture::CaptureReader;
+use crate::catalog::{IsolationLevel, MechanismSet};
+use crate::checkpoint::{write_atomic_durable, Checkpoint, CheckpointError};
+use crate::lockwitness::TrackedMutex;
+use crate::obs;
+use crate::verify::{Verifier, VerifierConfig, VerifyOutcome};
+use crate::wire::{
+    read_frame, write_frame, Frame, FrameDecoder, Hello, RejectReason, TraceFrame, WireError,
+    WIRE_VERSION,
+};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How often blocked socket reads wake up to check the shutdown/drain
+/// flags, and how often the accept loops poll.
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// An ingest or control endpoint address.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Endpoint {
+    /// A unix-domain socket at this path.
+    Unix(PathBuf),
+    /// A TCP address in `host:port` form.
+    Tcp(String),
+}
+
+impl Endpoint {
+    /// Parses `unix:<path>` or `tcp:<host:port>`.
+    pub fn parse(s: &str) -> Result<Endpoint, String> {
+        if let Some(path) = s.strip_prefix("unix:") {
+            if path.is_empty() {
+                return Err("unix endpoint needs a path: unix:/some/path.sock".to_string());
+            }
+            Ok(Endpoint::Unix(PathBuf::from(path)))
+        } else if let Some(addr) = s.strip_prefix("tcp:") {
+            if !addr.contains(':') {
+                return Err("tcp endpoint needs host:port: tcp:127.0.0.1:7878".to_string());
+            }
+            Ok(Endpoint::Tcp(addr.to_string()))
+        } else {
+            Err(format!(
+                "endpoint must start with unix: or tcp: (got {s:?})"
+            ))
+        }
+    }
+
+    /// Connects a client socket to this endpoint.
+    pub fn connect(&self) -> std::io::Result<WireConn> {
+        match self {
+            Endpoint::Unix(path) => Ok(WireConn::Unix(UnixStream::connect(path)?)),
+            Endpoint::Tcp(addr) => Ok(WireConn::Tcp(TcpStream::connect(addr.as_str())?)),
+        }
+    }
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Endpoint::Unix(p) => write!(f, "unix:{}", p.display()),
+            Endpoint::Tcp(a) => write!(f, "tcp:{a}"),
+        }
+    }
+}
+
+/// One bidirectional wire connection (either transport).
+#[derive(Debug)]
+pub enum WireConn {
+    /// Unix-domain socket.
+    Unix(UnixStream),
+    /// TCP socket.
+    Tcp(TcpStream),
+}
+
+impl WireConn {
+    /// Sets the read timeout (used by the server to poll shutdown flags).
+    pub fn set_read_timeout(&self, dur: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            WireConn::Unix(s) => s.set_read_timeout(dur),
+            WireConn::Tcp(s) => s.set_read_timeout(dur),
+        }
+    }
+
+    /// Shuts down the write half, signalling end-of-stream to the peer.
+    pub fn shutdown_write(&self) -> std::io::Result<()> {
+        match self {
+            WireConn::Unix(s) => s.shutdown(std::net::Shutdown::Write),
+            WireConn::Tcp(s) => s.shutdown(std::net::Shutdown::Write),
+        }
+    }
+}
+
+impl Read for WireConn {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            WireConn::Unix(s) => s.read(buf),
+            WireConn::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for WireConn {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            WireConn::Unix(s) => s.write(buf),
+            WireConn::Tcp(s) => s.write(buf),
+        }
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            WireConn::Unix(s) => s.flush(),
+            WireConn::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+enum AnyListener {
+    Unix(UnixListener),
+    Tcp(TcpListener),
+}
+
+impl AnyListener {
+    fn bind(ep: &Endpoint) -> std::io::Result<AnyListener> {
+        match ep {
+            Endpoint::Unix(path) => {
+                // A stale socket file from a killed daemon would fail the
+                // bind; remove it first (crash recovery is a feature).
+                let _ = std::fs::remove_file(path);
+                let l = UnixListener::bind(path)?;
+                l.set_nonblocking(true)?;
+                Ok(AnyListener::Unix(l))
+            }
+            Endpoint::Tcp(addr) => {
+                let l = TcpListener::bind(addr.as_str())?;
+                l.set_nonblocking(true)?;
+                Ok(AnyListener::Tcp(l))
+            }
+        }
+    }
+
+    /// Non-blocking accept: `Ok(None)` when no connection is pending.
+    fn accept(&self) -> std::io::Result<Option<WireConn>> {
+        match self {
+            AnyListener::Unix(l) => match l.accept() {
+                Ok((s, _)) => Ok(Some(WireConn::Unix(s))),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => Ok(None),
+                Err(e) => Err(e),
+            },
+            AnyListener::Tcp(l) => match l.accept() {
+                Ok((s, _)) => Ok(Some(WireConn::Tcp(s))),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => Ok(None),
+                Err(e) => Err(e),
+            },
+        }
+    }
+}
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Directory holding per-stream checkpoints and verdicts. Created if
+    /// missing; scanned for existing checkpoints on startup.
+    pub checkpoint_dir: PathBuf,
+    /// Checkpoint every N ingested traces per stream (also on disconnect
+    /// and on shutdown). Checkpoints land on exact multiples of N, which
+    /// is what makes interrupted and uninterrupted runs byte-identical.
+    pub checkpoint_every: u64,
+    /// Global admission pool in bytes (0 = unlimited).
+    pub global_budget_bytes: u64,
+}
+
+impl ServeOptions {
+    /// Options with the default cadence (every 512 traces) and an
+    /// unlimited admission pool.
+    #[must_use]
+    pub fn new(checkpoint_dir: PathBuf) -> ServeOptions {
+        ServeOptions {
+            checkpoint_dir,
+            checkpoint_every: 512,
+            global_budget_bytes: 0,
+        }
+    }
+}
+
+/// Lifecycle of one stream as the registry tracks it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamState {
+    /// A connection is feeding the stream right now.
+    Active,
+    /// No live connection; a checkpoint holds the resume cursor.
+    Idle,
+    /// Finished cleanly; the verdict file is on disk.
+    Finished,
+    /// Quarantined into a degraded verdict (malformed input or panic).
+    Quarantined,
+}
+
+impl StreamState {
+    /// Lower-case label used in stream listings.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            StreamState::Active => "active",
+            StreamState::Idle => "idle",
+            StreamState::Finished => "finished",
+            StreamState::Quarantined => "quarantined",
+        }
+    }
+}
+
+/// One row of the `streams` control listing.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StreamInfo {
+    /// Stream (tenant) name from the handshake.
+    pub stream: String,
+    /// Isolation level label (`RC`/`RR`/`SI`/`SR`, `-` if unknown).
+    pub level: String,
+    /// Current state label.
+    pub state: String,
+    /// Ingest cursor: traces admitted so far.
+    pub ingested: u64,
+}
+
+/// The final verdict document for one stream — written durably next to
+/// the stream's checkpoint and returned in the `Verdict` frame. The JSON
+/// serialization of this struct is the byte-identity surface of the
+/// kill-recovery guarantee.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StreamVerdict {
+    /// Stream name.
+    pub stream: String,
+    /// Isolation level verified.
+    pub level: String,
+    /// `"ok"` for a finished verification, `"quarantined"` for a stream
+    /// aborted by malformed input or a verifier panic.
+    pub status: String,
+    /// Traces ingested.
+    pub traces: u64,
+    /// Committed transactions.
+    pub committed: u64,
+    /// Violations found.
+    pub violations: u64,
+    /// True when no violations were found.
+    pub clean: bool,
+    /// True when coverage is complete (no quarantine/demotion holes).
+    pub complete: bool,
+    /// Traces quarantined by degraded-mode admission.
+    pub quarantined_traces: u64,
+    /// Reads demoted to unverifiable in degraded mode.
+    pub demoted_reads: u64,
+}
+
+impl StreamVerdict {
+    /// Serializes to the canonical verdict JSON document.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("verdict serializes")
+    }
+
+    /// Parses a verdict JSON document.
+    pub fn from_json(json: &str) -> Result<StreamVerdict, String> {
+        serde_json::from_str(json).map_err(|e| e.to_string())
+    }
+}
+
+struct StreamEntry {
+    name: String,
+    level: String,
+    state: StreamState,
+    ingested: u64,
+}
+
+struct Shared {
+    opts: ServeOptions,
+    admission: GlobalAdmission,
+    streams: TrackedMutex<Vec<StreamEntry>>,
+    draining: AtomicBool,
+    shutdown: AtomicBool,
+    active_conns: AtomicUsize,
+}
+
+impl Shared {
+    fn update_stream(&self, name: &str, level: &str, state: StreamState, ingested: u64) {
+        let mut streams = self.streams.lock();
+        if let Some(e) = streams.iter_mut().find(|e| e.name == name) {
+            e.state = state;
+            e.ingested = ingested;
+            if level != "-" {
+                e.level = level.to_string();
+            }
+        } else {
+            streams.push(StreamEntry {
+                name: name.to_string(),
+                level: level.to_string(),
+                state,
+                ingested,
+            });
+        }
+    }
+
+    fn stream_infos(&self) -> Vec<StreamInfo> {
+        let mut rows: Vec<StreamInfo> = self
+            .streams
+            .lock()
+            .iter()
+            .map(|e| StreamInfo {
+                stream: e.name.clone(),
+                level: e.level.clone(),
+                state: e.state.label().to_string(),
+                ingested: e.ingested,
+            })
+            .collect();
+        rows.sort_by(|a, b| a.stream.cmp(&b.stream));
+        rows
+    }
+}
+
+/// A handle for poking a running [`Server`] from another thread: drain,
+/// shut down, list streams.
+#[derive(Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+}
+
+impl ServerHandle {
+    /// Stops accepting new streams; existing streams keep running.
+    pub fn drain(&self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// Asks the daemon to flush every active stream's checkpoint and
+    /// exit. [`Server::run`] returns once all connection threads have
+    /// finished their final checkpoints.
+    pub fn shutdown(&self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// True once shutdown has been requested.
+    #[must_use]
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Current stream listing, sorted by name.
+    #[must_use]
+    pub fn streams(&self) -> Vec<StreamInfo> {
+        self.shared.stream_infos()
+    }
+}
+
+/// The daemon: an ingest listener, an optional control listener, and the
+/// shared stream registry.
+pub struct Server {
+    ingest: AnyListener,
+    control: Option<AnyListener>,
+    shared: Arc<Shared>,
+}
+
+/// Maps a tenant-supplied stream name to a safe file stem: alphanumerics,
+/// `-`, `_` and interior dots survive; everything else becomes `_`, and a
+/// leading dot is masked so names cannot hide or traverse.
+#[must_use]
+pub fn sanitize_stream_name(name: &str) -> String {
+    let mut s: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '.' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if s.is_empty() {
+        s.push('_');
+    }
+    if s.starts_with('.') {
+        s.replace_range(..1, "_");
+    }
+    s
+}
+
+/// The checkpoint path for a stream name under `dir`.
+#[must_use]
+pub fn stream_checkpoint_path(dir: &Path, stream: &str) -> PathBuf {
+    dir.join(format!("{}.ckpt", sanitize_stream_name(stream)))
+}
+
+/// The verdict path for a stream name under `dir`.
+#[must_use]
+pub fn stream_verdict_path(dir: &Path, stream: &str) -> PathBuf {
+    dir.join(format!("{}.verdict.json", sanitize_stream_name(stream)))
+}
+
+/// Derives the isolation-level label back out of a checkpointed
+/// mechanism assembly (checkpoints store mechanisms, not level names).
+fn level_label_of(mechanisms: &MechanismSet) -> String {
+    for level in [
+        IsolationLevel::ReadCommitted,
+        IsolationLevel::RepeatableRead,
+        IsolationLevel::SnapshotIsolation,
+        IsolationLevel::Serializable,
+    ] {
+        if MechanismSet::postgres(level) == *mechanisms {
+            return level.to_string();
+        }
+    }
+    "-".to_string()
+}
+
+/// The verifier configuration a serve stream runs with: the handshake's
+/// level and budget, degraded mode always on (a multi-tenant daemon must
+/// absorb ill-formed input, not corrupt itself on it).
+#[must_use]
+pub fn stream_config(level: IsolationLevel, mem_budget: u64) -> VerifierConfig {
+    let mut vcfg = VerifierConfig::for_level(level);
+    vcfg.degraded = true;
+    if mem_budget != 0 {
+        vcfg.mem_budget = MemBudget::bytes(mem_budget);
+    }
+    vcfg
+}
+
+impl Server {
+    /// Binds the ingest (and optional control) endpoints, creates the
+    /// checkpoint directory, and recovers every stream checkpoint found
+    /// in it into the registry as an idle, resumable stream.
+    pub fn bind(
+        ingest: &Endpoint,
+        control: Option<&Endpoint>,
+        opts: ServeOptions,
+    ) -> std::io::Result<Server> {
+        std::fs::create_dir_all(&opts.checkpoint_dir)?;
+        let ingest_l = AnyListener::bind(ingest)?;
+        let control_l = match control {
+            Some(ep) => Some(AnyListener::bind(ep)?),
+            None => None,
+        };
+        let shared = Arc::new(Shared {
+            admission: GlobalAdmission::new(opts.global_budget_bytes),
+            opts,
+            streams: TrackedMutex::new("Server.streams", Vec::new()),
+            draining: AtomicBool::new(false),
+            shutdown: AtomicBool::new(false),
+            active_conns: AtomicUsize::new(0),
+        });
+        let server = Server {
+            ingest: ingest_l,
+            control: control_l,
+            shared,
+        };
+        server.recover_streams()?;
+        Ok(server)
+    }
+
+    /// Scans the checkpoint directory and registers every parseable
+    /// stream checkpoint as idle with its resume cursor. Unparseable or
+    /// temporary files are skipped — recovery must never refuse to start
+    /// over one bad file.
+    fn recover_streams(&self) -> std::io::Result<()> {
+        for entry in std::fs::read_dir(&self.shared.opts.checkpoint_dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            let Some(stem) = name.strip_suffix(".ckpt") else {
+                continue;
+            };
+            match Checkpoint::read(&path) {
+                Ok(ckpt) => {
+                    let level = level_label_of(&ckpt.config.mechanisms);
+                    self.shared.update_stream(
+                        stem,
+                        &level,
+                        StreamState::Idle,
+                        ckpt.traces_ingested,
+                    );
+                }
+                Err(_) => continue,
+            }
+        }
+        Ok(())
+    }
+
+    /// A control handle usable from other threads (signal watchers, the
+    /// embedding test) while [`Server::run`] blocks.
+    #[must_use]
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Runs the daemon: accepts ingest and control connections until
+    /// shutdown is requested, then waits for every connection thread to
+    /// flush its final checkpoint before returning.
+    pub fn run(self) -> std::io::Result<()> {
+        obs::set_enabled(true);
+        let mut workers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        loop {
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let mut accepted = false;
+            if let Some(conn) = self.ingest.accept()? {
+                accepted = true;
+                let shared = Arc::clone(&self.shared);
+                shared.active_conns.fetch_add(1, Ordering::SeqCst);
+                workers.push(std::thread::spawn(move || {
+                    // The connection thread owns the decrement; a panic
+                    // inside handle_stream is already caught per-trace,
+                    // and a panic elsewhere in the handler only kills
+                    // this thread, never the daemon.
+                    let _guard = ConnGuard(Arc::clone(&shared));
+                    handle_ingest_conn(&shared, conn);
+                }));
+            }
+            if let Some(ctrl) = &self.control {
+                if let Some(conn) = ctrl.accept()? {
+                    accepted = true;
+                    let shared = Arc::clone(&self.shared);
+                    handle_control_conn(&shared, conn);
+                }
+            }
+            workers.retain(|w| !w.is_finished());
+            if !accepted {
+                std::thread::sleep(POLL_INTERVAL);
+            }
+        }
+        // Shutdown: connection threads see the flag at their next poll
+        // tick, flush checkpoints, and exit; join them all.
+        for w in workers {
+            let _ = w.join();
+        }
+        Ok(())
+    }
+}
+
+struct ConnGuard(Arc<Shared>);
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.0.active_conns.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// What the framed-read loop yielded.
+enum NextFrame {
+    Frame(Frame),
+    /// Peer closed cleanly at a frame boundary.
+    Eof,
+    /// Shutdown was requested while waiting.
+    Stop,
+    /// The stream is undecodable from here on.
+    Bad(WireError),
+}
+
+/// Reads the next frame, polling the shutdown flag during quiet periods.
+fn next_frame(sock: &mut WireConn, dec: &mut FrameDecoder, shared: &Shared) -> NextFrame {
+    let mut buf = [0u8; 16 * 1024];
+    loop {
+        match dec.next_frame() {
+            Ok(Some(f)) => {
+                obs::ctr(obs::Counter::WireFrames, 1);
+                return NextFrame::Frame(f);
+            }
+            Ok(None) => {}
+            Err(e) => {
+                obs::ctr_always(obs::Counter::WireDecodeErrors, 1);
+                return NextFrame::Bad(e);
+            }
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return NextFrame::Stop;
+        }
+        match sock.read(&mut buf) {
+            Ok(0) => {
+                // A torn trailing frame is what a killed client leaves
+                // behind — indistinguishable from a crash, so it is a
+                // disconnect (checkpoint + resume), never a quarantine.
+                // Everything up to the tear was checksummed and ingested.
+                return NextFrame::Eof;
+            }
+            Ok(n) => {
+                obs::ctr(obs::Counter::WireBytes, n as u64);
+                dec.extend(&buf[..n]);
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return NextFrame::Bad(WireError::Io(e)),
+        }
+    }
+}
+
+fn send(sock: &mut WireConn, frame: &Frame) {
+    if write_frame(sock, frame).is_ok() {
+        let _ = sock.flush();
+    }
+}
+
+fn reject(sock: &mut WireConn, reason: RejectReason, message: &str) {
+    obs::ctr(obs::Counter::StreamsRejected, 1);
+    send(
+        sock,
+        &Frame::Reject {
+            reason,
+            message: message.to_string(),
+        },
+    );
+}
+
+/// Chaos hook: `LEOPARD_SERVE_PANIC_AT=<stream-substring>:<seq>` makes
+/// the verifier panic while ingesting that sequence number of matching
+/// streams — the fault-isolation tests use it to prove a panicking
+/// tenant cannot take its neighbors down.
+fn panic_injection_for(stream: &str) -> Option<u64> {
+    let spec = std::env::var("LEOPARD_SERVE_PANIC_AT").ok()?;
+    let (substr, seq) = spec.rsplit_split_once()?;
+    if stream.contains(substr) {
+        seq.parse().ok()
+    } else {
+        None
+    }
+}
+
+/// Helper trait so the hook parses `"name:7"` without unstable API.
+trait RSplitOnce {
+    fn rsplit_split_once(&self) -> Option<(&str, &str)>;
+}
+
+impl RSplitOnce for String {
+    fn rsplit_split_once(&self) -> Option<(&str, &str)> {
+        let idx = self.rfind(':')?;
+        Some((&self[..idx], &self[idx + 1..]))
+    }
+}
+
+/// Handles one ingest connection, start to finish.
+fn handle_ingest_conn(shared: &Shared, mut sock: WireConn) {
+    let _ = sock.set_read_timeout(Some(POLL_INTERVAL));
+    let mut dec = FrameDecoder::new();
+
+    // --- Handshake -----------------------------------------------------
+    let hello = match next_frame(&mut sock, &mut dec, shared) {
+        NextFrame::Frame(Frame::Hello(h)) => h,
+        NextFrame::Frame(_) => {
+            reject(&mut sock, RejectReason::Malformed, "expected Hello first");
+            return;
+        }
+        NextFrame::Bad(e) => {
+            reject(&mut sock, RejectReason::Malformed, &e.to_string());
+            return;
+        }
+        NextFrame::Eof | NextFrame::Stop => return,
+    };
+    if hello.version != WIRE_VERSION {
+        reject(
+            &mut sock,
+            RejectReason::Version,
+            &format!(
+                "wire version {} not supported (want {WIRE_VERSION})",
+                hello.version
+            ),
+        );
+        return;
+    }
+    if shared.draining.load(Ordering::SeqCst) {
+        reject(&mut sock, RejectReason::Draining, "server is draining");
+        return;
+    }
+    // One live connection per stream name.
+    {
+        let streams = shared.streams.lock();
+        if streams
+            .iter()
+            .any(|e| e.name == hello.stream && e.state == StreamState::Active)
+        {
+            drop(streams);
+            reject(
+                &mut sock,
+                RejectReason::Admission,
+                "stream is already being fed by another connection",
+            );
+            return;
+        }
+    }
+    let Some(grant) = shared.admission.admit(hello.mem_budget) else {
+        reject(
+            &mut sock,
+            RejectReason::Admission,
+            &format!(
+                "global budget exhausted ({}/{} bytes granted)",
+                shared.admission.outstanding(),
+                shared.admission.capacity()
+            ),
+        );
+        return;
+    };
+
+    // --- Build or resume the stream's verifier -------------------------
+    let vcfg = stream_config(hello.level, hello.mem_budget);
+    let ckpt_path = stream_checkpoint_path(&shared.opts.checkpoint_dir, &hello.stream);
+    let (verifier, mut cursor) = if ckpt_path.exists() {
+        match Checkpoint::read(&ckpt_path)
+            .and_then(|ckpt| Verifier::from_checkpoint(&ckpt).map(|v| (ckpt, v)))
+        {
+            Ok((ckpt, v)) => {
+                if ckpt.config != vcfg {
+                    reject(
+                        &mut sock,
+                        RejectReason::Malformed,
+                        "handshake configuration differs from the stream's checkpoint",
+                    );
+                    return;
+                }
+                (v, ckpt.traces_ingested)
+            }
+            Err(e) => {
+                reject(
+                    &mut sock,
+                    RejectReason::Malformed,
+                    &format!("cannot resume stream checkpoint: {e}"),
+                );
+                return;
+            }
+        }
+    } else {
+        let mut v = Verifier::new(vcfg);
+        for &(k, val) in &hello.preload {
+            v.preload(k, val);
+        }
+        (v, 0)
+    };
+
+    let level_label = hello.level.to_string();
+    shared.update_stream(&hello.stream, &level_label, StreamState::Active, cursor);
+    obs::ctr(obs::Counter::StreamsAccepted, 1);
+    send(
+        &mut sock,
+        &Frame::Ack {
+            resume_from: cursor,
+        },
+    );
+
+    let panic_at = panic_injection_for(&hello.stream);
+    let mut verifier = Some(verifier);
+    let every = shared.opts.checkpoint_every.max(1);
+
+    let quarantine = |shared: &Shared, sock: &mut WireConn, cursor: u64, why: &str| {
+        obs::ctr(obs::Counter::StreamsQuarantined, 1);
+        let verdict = StreamVerdict {
+            stream: hello.stream.clone(),
+            level: level_label.clone(),
+            status: "quarantined".to_string(),
+            traces: cursor,
+            committed: 0,
+            violations: 0,
+            clean: false,
+            complete: false,
+            quarantined_traces: 0,
+            demoted_reads: 0,
+        };
+        let vpath = stream_verdict_path(&shared.opts.checkpoint_dir, &hello.stream);
+        let _ = write_atomic_durable(&vpath, &verdict.to_json());
+        shared.update_stream(
+            &hello.stream,
+            &level_label,
+            StreamState::Quarantined,
+            cursor,
+        );
+        reject(sock, RejectReason::Quarantined, why);
+    };
+
+    // --- Ingest loop ---------------------------------------------------
+    loop {
+        match next_frame(&mut sock, &mut dec, shared) {
+            NextFrame::Frame(Frame::Trace(tf)) => {
+                if tf.seq <= cursor {
+                    // Duplicate delivery (chaos or a cautious resender):
+                    // idempotently dropped.
+                    continue;
+                }
+                if tf.seq != cursor + 1 {
+                    quarantine(
+                        shared,
+                        &mut sock,
+                        cursor,
+                        &format!("sequence gap: expected {} got {}", cursor + 1, tf.seq),
+                    );
+                    return;
+                }
+                let v = verifier.as_mut().map(|v| ingest_one(v, &tf, panic_at));
+                match v {
+                    Some(Ok(())) => {
+                        cursor += 1;
+                        if cursor % every == 0 {
+                            if let Some(v) = verifier.as_mut() {
+                                if let Err(e) = write_stream_checkpoint(v, cursor, &ckpt_path) {
+                                    quarantine(
+                                        shared,
+                                        &mut sock,
+                                        cursor,
+                                        &format!("checkpoint write failed: {e}"),
+                                    );
+                                    return;
+                                }
+                            }
+                        }
+                    }
+                    Some(Err(panic_msg)) => {
+                        // The verifier panicked mid-trace; its invariants
+                        // are suspect, so it is dropped, not checkpointed.
+                        quarantine(
+                            shared,
+                            &mut sock,
+                            cursor,
+                            &format!("verifier panicked: {panic_msg}"),
+                        );
+                        return;
+                    }
+                    None => return,
+                }
+            }
+            NextFrame::Frame(Frame::Bye { traces_sent }) => {
+                if traces_sent != cursor {
+                    quarantine(
+                        shared,
+                        &mut sock,
+                        cursor,
+                        &format!("client sent {traces_sent} traces, server ingested {cursor}"),
+                    );
+                    return;
+                }
+                let Some(v) = verifier.take() else { return };
+                match finalize_stream(shared, &hello.stream, &level_label, v, cursor, &ckpt_path) {
+                    Ok(verdict) => {
+                        shared.update_stream(
+                            &hello.stream,
+                            &level_label,
+                            StreamState::Finished,
+                            cursor,
+                        );
+                        send(
+                            &mut sock,
+                            &Frame::Verdict {
+                                json: verdict.to_json(),
+                            },
+                        );
+                    }
+                    Err(e) => {
+                        quarantine(shared, &mut sock, cursor, &format!("finalize failed: {e}"));
+                    }
+                }
+                drop(grant);
+                return;
+            }
+            NextFrame::Frame(_) => {
+                quarantine(shared, &mut sock, cursor, "unexpected frame mid-stream");
+                return;
+            }
+            NextFrame::Bad(e) => {
+                quarantine(shared, &mut sock, cursor, &e.to_string());
+                return;
+            }
+            NextFrame::Eof | NextFrame::Stop => {
+                // Disconnect (or daemon shutdown) without Bye: persist the
+                // cursor so a reconnect resumes exactly here.
+                if let Some(v) = verifier.as_mut() {
+                    let _ = write_stream_checkpoint(v, cursor, &ckpt_path);
+                }
+                shared.update_stream(&hello.stream, &level_label, StreamState::Idle, cursor);
+                return;
+            }
+        }
+    }
+}
+
+/// Feeds one trace, catching panics so a poisoned tenant stream cannot
+/// unwind into the daemon. Returns the panic payload text on panic.
+fn ingest_one(v: &mut Verifier, tf: &TraceFrame, panic_at: Option<u64>) -> Result<(), String> {
+    let seq = tf.seq;
+    let trace = tf.trace.clone();
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        if panic_at == Some(seq) {
+            panic!("injected fault (LEOPARD_SERVE_PANIC_AT) at seq {seq}");
+        }
+        v.process(&trace);
+    }));
+    result.map_err(|payload| {
+        payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "opaque panic payload".to_string())
+    })
+}
+
+/// Writes the stream's checkpoint with its ingest cursor patched in.
+fn write_stream_checkpoint(v: &Verifier, cursor: u64, path: &Path) -> Result<(), CheckpointError> {
+    let mut ckpt = v.checkpoint();
+    ckpt.traces_ingested = cursor;
+    ckpt.write(path)?;
+    obs::ctr(obs::Counter::CheckpointsWritten, 1);
+    Ok(())
+}
+
+/// Finishes a stream: final checkpoint at the terminal cursor, verdict
+/// document written durably, verdict returned for the `Verdict` frame.
+fn finalize_stream(
+    shared: &Shared,
+    stream: &str,
+    level_label: &str,
+    v: Verifier,
+    cursor: u64,
+    ckpt_path: &Path,
+) -> Result<StreamVerdict, CheckpointError> {
+    write_stream_checkpoint(&v, cursor, ckpt_path)?;
+    let outcome: VerifyOutcome = v.finish();
+    let verdict = StreamVerdict {
+        stream: stream.to_string(),
+        level: level_label.to_string(),
+        status: "ok".to_string(),
+        traces: outcome.counters.traces,
+        committed: outcome.counters.committed,
+        violations: outcome.report.violations.len() as u64,
+        clean: outcome.report.is_clean(),
+        complete: outcome.coverage.is_complete(),
+        quarantined_traces: outcome.coverage.quarantined_traces,
+        demoted_reads: outcome.coverage.demoted_reads,
+    };
+    let vpath = stream_verdict_path(&shared.opts.checkpoint_dir, stream);
+    write_atomic_durable(&vpath, &verdict.to_json())?;
+    Ok(verdict)
+}
+
+// -----------------------------------------------------------------------
+// Control endpoint
+// -----------------------------------------------------------------------
+
+/// Handles one control connection: one line (or HTTP request line) in,
+/// one response out, close. Runs inline on the accept loop — control
+/// traffic is tiny and must work even when every worker is busy.
+fn handle_control_conn(shared: &Shared, mut sock: WireConn) {
+    let _ = sock.set_read_timeout(Some(Duration::from_millis(500)));
+    let mut buf = [0u8; 1024];
+    let mut line = String::new();
+    loop {
+        match sock.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                line.push_str(&String::from_utf8_lossy(&buf[..n]));
+                if line.contains('\n') {
+                    break;
+                }
+                if line.len() > 4096 {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let first = line.lines().next().unwrap_or("").trim();
+    let (http, command) = if let Some(rest) = first.strip_prefix("GET ") {
+        let path = rest.split_whitespace().next().unwrap_or("/");
+        let cmd = match path {
+            "/metrics" => "metrics",
+            "/streams" => "streams",
+            _ => "",
+        };
+        (true, cmd)
+    } else {
+        (false, first)
+    };
+    let (status, body) = match command {
+        "metrics" => ("200 OK", obs::render_prometheus()),
+        "streams" => (
+            "200 OK",
+            serde_json::to_string(&shared.stream_infos()).unwrap_or_else(|_| "[]".to_string()),
+        ),
+        "drain" => {
+            shared.draining.store(true, Ordering::SeqCst);
+            ("200 OK", "ok draining\n".to_string())
+        }
+        "shutdown" => {
+            shared.draining.store(true, Ordering::SeqCst);
+            shared.shutdown.store(true, Ordering::SeqCst);
+            ("200 OK", "ok shutting down\n".to_string())
+        }
+        _ => (
+            "404 Not Found",
+            "unknown command (metrics|streams|drain|shutdown)\n".to_string(),
+        ),
+    };
+    if http {
+        let _ = write!(
+            sock,
+            "HTTP/1.0 {status}\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        );
+    } else {
+        let _ = sock.write_all(body.as_bytes());
+    }
+    let _ = sock.flush();
+}
+
+// -----------------------------------------------------------------------
+// Client side
+// -----------------------------------------------------------------------
+
+/// Why a client-side ingest failed.
+#[derive(Debug)]
+pub enum IngestError {
+    /// Socket/file I/O failure.
+    Io(std::io::Error),
+    /// A protocol decode failure.
+    Wire(WireError),
+    /// The capture file could not be read.
+    Capture(crate::capture::CaptureError),
+    /// The server refused the stream.
+    Rejected {
+        /// Typed refusal class.
+        reason: RejectReason,
+        /// Server-provided detail.
+        message: String,
+    },
+    /// The server answered out of protocol.
+    Protocol(String),
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestError::Io(e) => write!(f, "ingest i/o error: {e}"),
+            IngestError::Wire(e) => write!(f, "ingest wire error: {e}"),
+            IngestError::Capture(e) => write!(f, "ingest capture error: {e}"),
+            IngestError::Rejected { reason, message } => {
+                write!(f, "server rejected stream ({}): {message}", reason.label())
+            }
+            IngestError::Protocol(m) => write!(f, "protocol violation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+impl From<std::io::Error> for IngestError {
+    fn from(e: std::io::Error) -> Self {
+        IngestError::Io(e)
+    }
+}
+
+impl From<WireError> for IngestError {
+    fn from(e: WireError) -> Self {
+        IngestError::Wire(e)
+    }
+}
+
+impl From<crate::capture::CaptureError> for IngestError {
+    fn from(e: crate::capture::CaptureError) -> Self {
+        IngestError::Capture(e)
+    }
+}
+
+/// Streams a capture into a daemon over one connection: handshake,
+/// traces the server has not already ingested, `Bye`, verdict. The
+/// sequenced resume protocol makes calling this again after a daemon
+/// crash (or client kill) converge on the same verdict.
+pub fn ingest_capture<R: Read>(
+    endpoint: &Endpoint,
+    stream_name: &str,
+    level: IsolationLevel,
+    mem_budget: u64,
+    reader: &mut CaptureReader<R>,
+) -> Result<StreamVerdict, IngestError> {
+    let mut sock = endpoint.connect()?;
+    let header = reader.header().clone();
+    write_frame(
+        &mut sock,
+        &Frame::Hello(Hello {
+            version: WIRE_VERSION,
+            stream: stream_name.to_string(),
+            description: header.description,
+            level,
+            mem_budget,
+            preload: header.preload,
+        }),
+    )?;
+    sock.flush()?;
+    let resume_from = match read_frame(&mut sock)? {
+        Some(Frame::Ack { resume_from }) => resume_from,
+        Some(Frame::Reject { reason, message }) => {
+            return Err(IngestError::Rejected { reason, message })
+        }
+        other => {
+            return Err(IngestError::Protocol(format!(
+                "expected Ack, got {other:?}"
+            )))
+        }
+    };
+    let mut seq = 0u64;
+    while let Some(trace) = reader.next_trace()? {
+        seq += 1;
+        if seq <= resume_from {
+            continue;
+        }
+        write_frame(&mut sock, &Frame::Trace(TraceFrame { seq, trace }))?;
+    }
+    write_frame(&mut sock, &Frame::Bye { traces_sent: seq })?;
+    sock.flush()?;
+    match read_frame(&mut sock)? {
+        Some(Frame::Verdict { json }) => {
+            StreamVerdict::from_json(&json).map_err(IngestError::Protocol)
+        }
+        Some(Frame::Reject { reason, message }) => Err(IngestError::Rejected { reason, message }),
+        other => Err(IngestError::Protocol(format!(
+            "expected Verdict, got {other:?}"
+        ))),
+    }
+}
+
+/// Sends one control command (`metrics`, `streams`, `drain`, `shutdown`)
+/// and returns the raw response body.
+pub fn control_command(endpoint: &Endpoint, command: &str) -> std::io::Result<String> {
+    let mut sock = endpoint.connect()?;
+    sock.write_all(command.as_bytes())?;
+    sock.write_all(b"\n")?;
+    sock.flush()?;
+    let _ = sock.shutdown_write();
+    let mut body = String::new();
+    sock.read_to_string(&mut body)?;
+    Ok(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capture::{CaptureHeader, CaptureWriter, CAPTURE_VERSION};
+    use crate::trace::{Trace, TraceBuilder};
+    use crate::types::{Key, Value};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("leopard-serve-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample_capture_bytes(traces: &[Trace]) -> Vec<u8> {
+        let header = CaptureHeader {
+            version: CAPTURE_VERSION,
+            description: "serve unit test".to_string(),
+            preload: vec![(Key(1), Value(0))],
+        };
+        let mut bytes = Vec::new();
+        let mut w = CaptureWriter::new(&mut bytes, &header).unwrap();
+        for t in traces {
+            w.write(t).unwrap();
+        }
+        w.finish().unwrap();
+        bytes
+    }
+
+    fn clean_traces() -> Vec<Trace> {
+        let mut b = TraceBuilder::new();
+        b.write(10, 12, 0, 1, vec![(1, 42)]);
+        b.commit(13, 15, 0, 1);
+        b.read(20, 22, 1, 2, vec![(1, 42)]);
+        b.commit(23, 25, 1, 2);
+        b.build_sorted()
+    }
+
+    fn start_server(
+        dir: &Path,
+        tag: &str,
+    ) -> (Endpoint, ServerHandle, std::thread::JoinHandle<()>) {
+        let ingest = Endpoint::Unix(dir.join(format!("{tag}.sock")));
+        let server = Server::bind(&ingest, None, ServeOptions::new(dir.join("ckpt"))).unwrap();
+        let handle = server.handle();
+        let join = std::thread::spawn(move || server.run().unwrap());
+        (ingest, handle, join)
+    }
+
+    #[test]
+    fn stream_verdict_round_trips() {
+        let v = StreamVerdict {
+            stream: "s".into(),
+            level: "SI".into(),
+            status: "ok".into(),
+            traces: 4,
+            committed: 2,
+            violations: 0,
+            clean: true,
+            complete: true,
+            quarantined_traces: 0,
+            demoted_reads: 0,
+        };
+        let back = StreamVerdict::from_json(&v.to_json()).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn sanitizer_masks_hostile_names() {
+        assert_eq!(sanitize_stream_name("tenant-a.prod"), "tenant-a.prod");
+        assert_eq!(sanitize_stream_name("../../etc/passwd"), "_._.._etc_passwd");
+        assert_eq!(sanitize_stream_name(""), "_");
+        assert_eq!(sanitize_stream_name(".hidden"), "_hidden");
+    }
+
+    #[test]
+    fn endpoint_parse_and_display() {
+        assert_eq!(
+            Endpoint::parse("unix:/tmp/x.sock").unwrap().to_string(),
+            "unix:/tmp/x.sock"
+        );
+        assert_eq!(
+            Endpoint::parse("tcp:127.0.0.1:7878").unwrap().to_string(),
+            "tcp:127.0.0.1:7878"
+        );
+        assert!(Endpoint::parse("udp:1234").is_err());
+        assert!(Endpoint::parse("unix:").is_err());
+        assert!(Endpoint::parse("tcp:7878").is_err());
+    }
+
+    #[test]
+    fn end_to_end_clean_stream() {
+        let dir = temp_dir("e2e");
+        let (ingest, handle, join) = start_server(&dir, "ingest");
+        let bytes = sample_capture_bytes(&clean_traces());
+        let mut reader = CaptureReader::new(bytes.as_slice()).unwrap();
+        let verdict = ingest_capture(
+            &ingest,
+            "tenant-a",
+            IsolationLevel::Serializable,
+            0,
+            &mut reader,
+        )
+        .unwrap();
+        assert!(verdict.clean);
+        assert!(verdict.complete);
+        assert_eq!(verdict.traces, 4);
+        assert_eq!(verdict.status, "ok");
+        let listing = handle.streams();
+        assert_eq!(listing.len(), 1);
+        assert_eq!(listing[0].state, "finished");
+        assert!(dir.join("ckpt").join("tenant-a.ckpt").exists());
+        assert!(dir.join("ckpt").join("tenant-a.verdict.json").exists());
+        handle.shutdown();
+        join.join().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn draining_server_rejects_new_streams() {
+        let dir = temp_dir("drain");
+        let (ingest, handle, join) = start_server(&dir, "ingest");
+        handle.drain();
+        let bytes = sample_capture_bytes(&clean_traces());
+        let mut reader = CaptureReader::new(bytes.as_slice()).unwrap();
+        let err = ingest_capture(
+            &ingest,
+            "late",
+            IsolationLevel::Serializable,
+            0,
+            &mut reader,
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            IngestError::Rejected {
+                reason: RejectReason::Draining,
+                ..
+            }
+        ));
+        handle.shutdown();
+        join.join().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn admission_pool_refuses_oversized_streams() {
+        let dir = temp_dir("admission");
+        let ingest = Endpoint::Unix(dir.join("i.sock"));
+        let mut opts = ServeOptions::new(dir.join("ckpt"));
+        opts.global_budget_bytes = 1000;
+        let server = Server::bind(&ingest, None, opts).unwrap();
+        let handle = server.handle();
+        let join = std::thread::spawn(move || server.run().unwrap());
+        let bytes = sample_capture_bytes(&clean_traces());
+        let mut reader = CaptureReader::new(bytes.as_slice()).unwrap();
+        let err = ingest_capture(
+            &ingest,
+            "pig",
+            IsolationLevel::Serializable,
+            100_000,
+            &mut reader,
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            IngestError::Rejected {
+                reason: RejectReason::Admission,
+                ..
+            }
+        ));
+        // A modest stream still fits.
+        let mut reader = CaptureReader::new(bytes.as_slice()).unwrap();
+        let verdict = ingest_capture(
+            &ingest,
+            "ok",
+            IsolationLevel::Serializable,
+            500,
+            &mut reader,
+        )
+        .unwrap();
+        assert!(verdict.clean);
+        handle.shutdown();
+        join.join().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let dir = temp_dir("version");
+        let (ingest, handle, join) = start_server(&dir, "ingest");
+        let mut sock = ingest.connect().unwrap();
+        write_frame(
+            &mut sock,
+            &Frame::Hello(Hello {
+                version: 99,
+                stream: "future".to_string(),
+                description: String::new(),
+                level: IsolationLevel::Serializable,
+                mem_budget: 0,
+                preload: vec![],
+            }),
+        )
+        .unwrap();
+        sock.flush().unwrap();
+        match read_frame(&mut sock).unwrap() {
+            Some(Frame::Reject { reason, .. }) => assert_eq!(reason, RejectReason::Version),
+            other => panic!("expected Reject, got {other:?}"),
+        }
+        handle.shutdown();
+        join.join().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sequence_gap_quarantines_the_stream() {
+        let dir = temp_dir("gap");
+        let (ingest, handle, join) = start_server(&dir, "ingest");
+        let mut sock = ingest.connect().unwrap();
+        write_frame(
+            &mut sock,
+            &Frame::Hello(Hello {
+                version: WIRE_VERSION,
+                stream: "gappy".to_string(),
+                description: String::new(),
+                level: IsolationLevel::Serializable,
+                mem_budget: 0,
+                preload: vec![],
+            }),
+        )
+        .unwrap();
+        sock.flush().unwrap();
+        assert!(matches!(
+            read_frame(&mut sock).unwrap(),
+            Some(Frame::Ack { resume_from: 0 })
+        ));
+        let traces = clean_traces();
+        // seq 1 then seq 5: a gap.
+        write_frame(
+            &mut sock,
+            &Frame::Trace(TraceFrame {
+                seq: 1,
+                trace: traces[0].clone(),
+            }),
+        )
+        .unwrap();
+        write_frame(
+            &mut sock,
+            &Frame::Trace(TraceFrame {
+                seq: 5,
+                trace: traces[1].clone(),
+            }),
+        )
+        .unwrap();
+        sock.flush().unwrap();
+        match read_frame(&mut sock).unwrap() {
+            Some(Frame::Reject { reason, .. }) => {
+                assert_eq!(reason, RejectReason::Quarantined);
+            }
+            other => panic!("expected Reject, got {other:?}"),
+        }
+        // The quarantined verdict is on disk.
+        let vjson = std::fs::read_to_string(dir.join("ckpt").join("gappy.verdict.json")).unwrap();
+        let verdict = StreamVerdict::from_json(&vjson).unwrap();
+        assert_eq!(verdict.status, "quarantined");
+        assert!(!verdict.clean);
+        handle.shutdown();
+        join.join().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disconnect_and_resume_reaches_identical_verdict_and_checkpoint() {
+        let dir = temp_dir("resume");
+        let traces = clean_traces();
+        let bytes = sample_capture_bytes(&traces);
+
+        // Uninterrupted reference run.
+        let ref_dir = temp_dir("resume-ref");
+        let (ingest_r, handle_r, join_r) = start_server(&ref_dir, "ingest");
+        let mut reader = CaptureReader::new(bytes.as_slice()).unwrap();
+        let ref_verdict =
+            ingest_capture(&ingest_r, "t", IsolationLevel::Serializable, 0, &mut reader).unwrap();
+        handle_r.shutdown();
+        join_r.join().unwrap();
+        let ref_ckpt = std::fs::read_to_string(ref_dir.join("ckpt").join("t.ckpt")).unwrap();
+
+        // Interrupted run: send 2 traces, drop the connection, then
+        // restart the whole daemon and replay from a fresh client.
+        let (ingest, handle, join) = start_server(&dir, "ingest");
+        {
+            let mut sock = ingest.connect().unwrap();
+            write_frame(
+                &mut sock,
+                &Frame::Hello(Hello {
+                    version: WIRE_VERSION,
+                    stream: "t".to_string(),
+                    description: "serve unit test".to_string(),
+                    level: IsolationLevel::Serializable,
+                    mem_budget: 0,
+                    preload: vec![(Key(1), Value(0))],
+                }),
+            )
+            .unwrap();
+            sock.flush().unwrap();
+            assert!(matches!(
+                read_frame(&mut sock).unwrap(),
+                Some(Frame::Ack { resume_from: 0 })
+            ));
+            for (i, t) in traces.iter().take(2).enumerate() {
+                write_frame(
+                    &mut sock,
+                    &Frame::Trace(TraceFrame {
+                        seq: i as u64 + 1,
+                        trace: t.clone(),
+                    }),
+                )
+                .unwrap();
+            }
+            sock.flush().unwrap();
+            // Drop without Bye — simulates a killed client.
+        }
+        // Daemon shutdown (flushes the stream checkpoint) + restart.
+        handle.shutdown();
+        join.join().unwrap();
+        let ingest2 = Endpoint::Unix(dir.join("restart.sock"));
+        let server = Server::bind(&ingest2, None, ServeOptions::new(dir.join("ckpt"))).unwrap();
+        let recovered = server.handle().streams();
+        assert_eq!(recovered.len(), 1);
+        assert_eq!(recovered[0].state, "idle");
+        assert_eq!(recovered[0].ingested, 2);
+        let handle2 = server.handle();
+        let join2 = std::thread::spawn(move || server.run().unwrap());
+        let mut reader = CaptureReader::new(bytes.as_slice()).unwrap();
+        let verdict =
+            ingest_capture(&ingest2, "t", IsolationLevel::Serializable, 0, &mut reader).unwrap();
+        handle2.shutdown();
+        join2.join().unwrap();
+
+        assert_eq!(verdict, ref_verdict, "verdicts must be byte-identical");
+        let ckpt = std::fs::read_to_string(dir.join("ckpt").join("t.ckpt")).unwrap();
+        assert_eq!(ckpt, ref_ckpt, "final checkpoints must be byte-identical");
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&ref_dir);
+    }
+
+    #[test]
+    fn control_endpoint_serves_metrics_streams_and_shutdown() {
+        let dir = temp_dir("control");
+        let ingest = Endpoint::Unix(dir.join("i.sock"));
+        let control = Endpoint::Unix(dir.join("c.sock"));
+        let server =
+            Server::bind(&ingest, Some(&control), ServeOptions::new(dir.join("ckpt"))).unwrap();
+        let join = std::thread::spawn(move || server.run().unwrap());
+        let bytes = sample_capture_bytes(&clean_traces());
+        let mut reader = CaptureReader::new(bytes.as_slice()).unwrap();
+        ingest_capture(&ingest, "m", IsolationLevel::Serializable, 0, &mut reader).unwrap();
+
+        let metrics = control_command(&control, "metrics").unwrap();
+        assert!(
+            metrics.contains("leopard_serve_streams_accepted_total"),
+            "{metrics}"
+        );
+        let streams = control_command(&control, "streams").unwrap();
+        assert!(streams.contains("\"m\""), "{streams}");
+        // HTTP form.
+        let mut sock = control.connect().unwrap();
+        sock.write_all(b"GET /metrics HTTP/1.0\r\n\r\n").unwrap();
+        sock.flush().unwrap();
+        let _ = sock.shutdown_write();
+        let mut resp = String::new();
+        sock.read_to_string(&mut resp).unwrap();
+        assert!(resp.starts_with("HTTP/1.0 200 OK"), "{resp}");
+        assert!(resp.contains("leopard_wire_frames_total"), "{resp}");
+
+        let bye = control_command(&control, "shutdown").unwrap();
+        assert!(bye.contains("ok"), "{bye}");
+        join.join().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -361,6 +361,7 @@ fn type_of_ty(ty: &str, known: &BTreeSet<String>) -> Option<String> {
 }
 
 /// Resolves a call site to candidate function indices.
+#[allow(clippy::too_many_arguments)] // internal resolver over pre-built indices
 fn resolve_call(
     model: &Model,
     known: &BTreeSet<String>,
@@ -422,6 +423,11 @@ fn resolve_call(
     by_name.get(method).cloned().unwrap_or_default()
 }
 
+/// A direct acquisition site: (start, end, line, lock id).
+type DirectAcq = (usize, usize, usize, String);
+/// A call site: (start, end, line, candidate callee indices).
+type CallSite = (usize, usize, usize, Vec<usize>);
+
 /// Extracts this function's events. `allowed` reports whether a source
 /// line carries `lint: allow(L101)`.
 #[allow(clippy::too_many_arguments)]
@@ -433,10 +439,7 @@ fn extract_events(
     by_name: &BTreeMap<String, Vec<usize>>,
     func: &Function,
     allowed: &dyn Fn(&str, usize) -> bool,
-) -> (
-    Vec<(usize, usize, usize, String)>,
-    Vec<(usize, usize, usize, Vec<usize>)>,
-) {
+) -> (Vec<DirectAcq>, Vec<CallSite>) {
     let flat = flatten(&func.body);
     let n = flat.chars.len();
     let mut direct = Vec::new(); // (start, end, line, lock id)
@@ -654,8 +657,8 @@ pub fn analyze(model: &Model) -> (Vec<Finding>, LockGraph) {
     };
 
     // Per-function events.
-    let mut directs: Vec<Vec<(usize, usize, usize, String)>> = Vec::new();
-    let mut callsets: Vec<Vec<(usize, usize, usize, Vec<usize>)>> = Vec::new();
+    let mut directs: Vec<Vec<DirectAcq>> = Vec::new();
+    let mut callsets: Vec<Vec<CallSite>> = Vec::new();
     for func in &model.functions {
         let (d, c) = extract_events(
             model,
@@ -777,12 +780,14 @@ pub fn analyze(model: &Model) -> (Vec<Finding>, LockGraph) {
         reach[idx[e.from.as_str()]][idx[e.to.as_str()]] = true;
     }
     for k in 0..nn {
-        for i in 0..nn {
-            if reach[i][k] {
-                for j in 0..nn {
-                    if reach[k][j] {
-                        reach[i][j] = true;
-                    }
+        // Snapshot row k: it cannot change during its own iteration
+        // (reach[k][j] |= reach[k][k] && reach[k][j] is a no-op), and the
+        // copy lets row i be borrowed mutably below.
+        let via = reach[k].clone();
+        for row in reach.iter_mut() {
+            if row[k] {
+                for (cell, &v) in row.iter_mut().zip(&via) {
+                    *cell |= v;
                 }
             }
         }

@@ -342,9 +342,9 @@ fn first_path_segment_tail(s: &str) -> String {
                 name.clear();
                 last.clear();
             }
-        } else if c == '<' || c == ' ' || c == '{' || c == '(' {
-            break;
         } else {
+            // Generics, whitespace, bodies, or any other punctuation all
+            // terminate the path.
             break;
         }
         if !last.is_empty() {
@@ -419,10 +419,7 @@ fn parse_file(rel: &str, scan: &FileScan, model: &mut Model) {
         // Module-level statics holding locks/atomics are shared state too.
         if stack.is_empty() || matches!(stack.last(), Some(f) if matches!(f.ctx, Ctx::Other)) {
             let t = code.trim();
-            let decl = t
-                .strip_prefix("pub ")
-                .unwrap_or(t)
-                .trim_start_matches(|c: char| c == ' ');
+            let decl = t.strip_prefix("pub ").unwrap_or(t).trim_start_matches(' ');
             if let Some(rest) = decl.strip_prefix("static ") {
                 if let Some((name, ty)) = rest.split_once(':') {
                     let ty = ty.trim().trim_end_matches([';', '=', ' ']);

@@ -19,7 +19,7 @@ use leopard_core::Timestamp;
 use leopard_core::Trace;
 use leopard_db::{Clock, TraceSink};
 use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use rand::{Rng, RngCore, SeedableRng};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
@@ -313,13 +313,19 @@ impl<C: Clock> Clock for ChaosClock<C> {
 }
 
 /// Bounded-retry policy for aborted transaction attempts.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RetryPolicy {
     /// Total attempts per transaction (1 = no retry).
     pub max_attempts: u32,
     /// Backoff before the first retry; doubles per subsequent attempt
     /// (exponential backoff).
     pub base_backoff: Duration,
+    /// Jitter fraction in `[0, 1]`: each sleep is drawn uniformly from
+    /// `[backoff·(1−jitter), backoff·(1+jitter)]` (then re-capped at
+    /// 1 s), decorrelating retry storms where every aborted client would
+    /// otherwise wake at the same instant and collide again. `0` keeps
+    /// the classic deterministic schedule.
+    pub jitter: f64,
 }
 
 impl RetryPolicy {
@@ -330,6 +336,7 @@ impl RetryPolicy {
         RetryPolicy {
             max_attempts: 1,
             base_backoff: Duration::ZERO,
+            jitter: 0.0,
         }
     }
 
@@ -340,17 +347,45 @@ impl RetryPolicy {
         RetryPolicy {
             max_attempts: max_attempts.max(1),
             base_backoff,
+            jitter: 0.0,
         }
     }
 
-    /// The backoff before retry number `retry` (1-based): exponential,
-    /// capped at 1 s so a long attempt budget cannot sleep for minutes.
+    /// Adds a bounded jitter fraction (clamped to `[0, 1]`) to the
+    /// backoff schedule.
+    #[must_use]
+    pub fn with_jitter(mut self, jitter: f64) -> RetryPolicy {
+        self.jitter = jitter.clamp(0.0, 1.0);
+        self
+    }
+
+    /// The deterministic backoff before retry number `retry` (1-based):
+    /// exponential, capped at 1 s so a long attempt budget cannot sleep
+    /// for minutes. This is the jitter-free midpoint; the runner sleeps
+    /// [`RetryPolicy::backoff_jittered`].
     #[must_use]
     pub fn backoff(&self, retry: u32) -> Duration {
         let factor = 1u32 << retry.saturating_sub(1).min(16);
         self.base_backoff
             .saturating_mul(factor)
             .min(Duration::from_secs(1))
+    }
+
+    /// [`RetryPolicy::backoff`] perturbed by the policy's jitter using
+    /// `rng` — seeded per client, so a chaotic run still replays
+    /// bit-identically. With `jitter == 0` no random draw is made at all
+    /// and the schedule (and rng stream) is exactly the classic one.
+    #[must_use]
+    pub fn backoff_jittered(&self, retry: u32, rng: &mut SmallRng) -> Duration {
+        let base = self.backoff(retry);
+        if self.jitter <= 0.0 || base.is_zero() {
+            return base;
+        }
+        // A uniform fraction in [0, 1) from the top 53 bits, then mapped
+        // to the multiplier band [1-jitter, 1+jitter].
+        let frac = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        let mult = 1.0 - self.jitter + 2.0 * self.jitter * frac;
+        Duration::from_secs_f64(base.as_secs_f64() * mult).min(Duration::from_secs(1))
     }
 }
 
@@ -474,5 +509,36 @@ mod tests {
         assert_eq!(r.backoff(3), Duration::from_millis(40));
         assert_eq!(r.backoff(30), Duration::from_secs(1), "capped at 1 s");
         assert_eq!(RetryPolicy::none().max_attempts, 1);
+    }
+
+    #[test]
+    fn jittered_backoff_is_bounded_and_reproducible() {
+        let r = RetryPolicy::with_backoff(5, Duration::from_millis(100)).with_jitter(0.5);
+        let sample = || {
+            let mut rng = SmallRng::seed_from_u64(42);
+            (1..=4)
+                .map(|i| r.backoff_jittered(i, &mut rng))
+                .collect::<Vec<_>>()
+        };
+        let a = sample();
+        assert_eq!(a, sample(), "same seed must give the same schedule");
+        for (i, d) in a.iter().enumerate() {
+            let base = r.backoff(i as u32 + 1);
+            let lo = base.mul_f64(0.5);
+            let hi = base.mul_f64(1.5).min(Duration::from_secs(1));
+            assert!(
+                *d >= lo && *d <= hi,
+                "retry {}: {d:?} outside [{lo:?}, {hi:?}]",
+                i + 1
+            );
+        }
+        // Zero jitter never draws from the rng and returns the midpoint.
+        let plain = RetryPolicy::with_backoff(5, Duration::from_millis(100));
+        let mut rng = SmallRng::seed_from_u64(42);
+        assert_eq!(plain.backoff_jittered(2, &mut rng), plain.backoff(2));
+        let mut rng2 = SmallRng::seed_from_u64(42);
+        assert_eq!(rng.next_u64(), rng2.next_u64(), "rng stream untouched");
+        // Out-of-range jitter clamps.
+        assert_eq!(RetryPolicy::none().with_jitter(7.0).jitter, 1.0);
     }
 }

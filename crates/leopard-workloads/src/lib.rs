@@ -19,6 +19,7 @@ pub mod bundled;
 pub mod chaos;
 pub mod runner;
 pub mod smallbank;
+pub mod soak;
 pub mod spec;
 pub mod tpcc;
 pub mod ycsb;
@@ -28,10 +29,11 @@ pub use blindw::{BlindW, BlindWVariant};
 pub use bundled::{bundled_workload, bundled_workload_mini, WorkloadSet, BUNDLED_WORKLOADS};
 pub use chaos::{ChaosClock, ChaosPlan, ChaosSink, RetryPolicy};
 pub use runner::{
-    execute_txn, preload_database, run_chaos_with_sinks, run_collect, run_with_sinks, RunLimit,
-    RunOutput, RunStats,
+    execute_txn, preload_database, run_chaos_with_sinks, run_chaos_with_sinks_stoppable,
+    run_collect, run_with_sinks, RunLimit, RunOutput, RunStats,
 };
 pub use smallbank::SmallBank;
+pub use soak::{run_soak, SoakOptions, SoakReport, StreamOutcome};
 pub use spec::{TxnStep, UniqueValues, ValueRule, WorkloadGen};
 pub use tpcc::TpcC;
 pub use ycsb::YcsbA;

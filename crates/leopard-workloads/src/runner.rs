@@ -12,6 +12,7 @@ use leopard_core::{ClientId, Key, Trace, Value};
 use leopard_db::{AbortReason, Clock, Database, TraceSink, TracedSession, WallClock};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -168,6 +169,29 @@ pub fn run_chaos_with_sinks<S>(
 where
     S: TraceSink + Send + 'static,
 {
+    let interrupt = Arc::new(AtomicBool::new(false));
+    run_chaos_with_sinks_stoppable(db, gens, sinks, limit, seed, chaos, retry, &interrupt)
+}
+
+/// [`run_chaos_with_sinks`] with an external interrupt flag: when
+/// `interrupt` becomes `true` (a signal handler, a watchdog), every
+/// client finishes its current transaction attempt and returns. The run
+/// ends with all traces it produced delivered — a *graceful* early
+/// stop, not a kill.
+#[allow(clippy::too_many_arguments)] // the stoppable superset of the public runner entry point
+pub fn run_chaos_with_sinks_stoppable<S>(
+    db: &Arc<Database>,
+    gens: Vec<Box<dyn WorkloadGen>>,
+    sinks: Vec<S>,
+    limit: RunLimit,
+    seed: u64,
+    chaos: &ChaosPlan,
+    retry: RetryPolicy,
+    interrupt: &Arc<AtomicBool>,
+) -> (RunStats, Vec<S>)
+where
+    S: TraceSink + Send + 'static,
+{
     assert_eq!(gens.len(), sinks.len(), "one sink per client");
     let clock = Arc::new(WallClock::new());
     // One unique-value pool for the whole run: "uniquely written values"
@@ -181,6 +205,7 @@ where
         let unique = unique.clone();
         let sink = ChaosSink::new(chaos, i as u64, sink);
         let chaos = ClientChaos::new(chaos, i as u64);
+        let interrupt = Arc::clone(interrupt);
         joins.push(std::thread::spawn(move || {
             run_client(
                 gen,
@@ -193,6 +218,7 @@ where
                 unique,
                 chaos,
                 retry,
+                &interrupt,
             )
         }));
     }
@@ -225,8 +251,12 @@ fn run_client<C: Clock + Clone, S: TraceSink>(
     unique: UniqueValues,
     mut chaos: ClientChaos,
     retry: RetryPolicy,
+    interrupt: &AtomicBool,
 ) -> (RunStats, S) {
     let mut rng = SmallRng::seed_from_u64(seed);
+    // A separate stream for backoff jitter: drawing sleep durations must
+    // not perturb the workload's transaction stream.
+    let mut retry_rng = SmallRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
     let mut stats = RunStats::default();
     let mut session = TracedSession::new(db.session(), clock.clone(), client, sink);
     let deadline = match limit {
@@ -235,6 +265,9 @@ fn run_client<C: Clock + Clone, S: TraceSink>(
     };
     let mut attempts = 0u64;
     loop {
+        if interrupt.load(Ordering::SeqCst) {
+            break;
+        }
         match limit {
             RunLimit::Txns(n) if attempts >= n => break,
             RunLimit::Duration(_) if Instant::now() >= deadline.expect("set above") => break,
@@ -284,7 +317,7 @@ fn run_client<C: Clock + Clone, S: TraceSink>(
                                 break;
                             }
                             stats.retries += 1;
-                            let backoff = retry.backoff(attempt);
+                            let backoff = retry.backoff_jittered(attempt, &mut retry_rng);
                             if !backoff.is_zero() {
                                 std::thread::sleep(backoff);
                             }
