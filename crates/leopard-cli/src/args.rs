@@ -49,6 +49,12 @@ verify options:
   --shards <N>                  run N key-sharded verifier worker threads
                                 (default 1 = single-threaded; checkpoints use
                                 the sharded envelope when N > 1)
+  --spill-dir <DIR>             spill cold verifier state to segment files
+                                under DIR when over --mem-budget (rung 1.5:
+                                runs before forced dispatch and eviction, so
+                                coverage is never degraded by spilling)
+  --spill-cache-pages <N>       spill page-cache capacity in 4 KiB pages
+                                (default 256; needs --spill-dir)
   --json                        emit the verdict, peak memory and shed /
                                 eviction counters as JSON (plus an `obs`
                                 metrics block when observability is on)
@@ -87,6 +93,15 @@ chaos options:
                                 evicts the laggiest client
   --shards <N>                  run N key-sharded verifier worker threads
                                 (default 1 = single-threaded)
+  --spill-dir <DIR>             spill cold verifier state to segment files
+                                under DIR when over --mem-budget
+  --spill-cache-pages <N>       spill page-cache capacity in 4 KiB pages
+                                (default 256; needs --spill-dir)
+  --disk-fault-prob <0..1>      inject seeded disk faults (short/torn writes,
+                                read errors, fsync failures) into the spill
+                                tier with this probability (default 0)
+  --disk-enospc-after <BYTES>   spill tier hits ENOSPC after this many bytes
+                                (default: unlimited disk)
   --json                        emit the run summary as JSON (plus an `obs`
                                 metrics block when observability is on)
   --metrics-out <FILE>          enable observability; write Prometheus
@@ -120,6 +135,10 @@ serve options:
                                 traces (default 512)
   --global-budget <BYTES>       shared admission pool across all streams
                                 (default unlimited)
+  --spill-dir <DIR>             spill cold stream state to per-stream segment
+                                files under DIR when over a stream's budget
+  --spill-cache-pages <N>       spill page-cache capacity in 4 KiB pages per
+                                stream (default 256; needs --spill-dir)
 
 ingest options:
   --to <unix:PATH|tcp:ADDR>     daemon ingest endpoint
@@ -190,6 +209,10 @@ pub struct ServeCliConfig {
     pub checkpoint_every: u64,
     /// Shared admission pool in bytes (0 = unlimited).
     pub global_budget: u64,
+    /// Spill directory for cold stream state (`None` = in-memory only).
+    pub spill_dir: Option<String>,
+    /// Spill page-cache capacity in pages per stream (`None` = default).
+    pub spill_cache_pages: Option<usize>,
 }
 
 impl Default for ServeCliConfig {
@@ -200,6 +223,8 @@ impl Default for ServeCliConfig {
             dir: "leopard-serve".to_string(),
             checkpoint_every: 512,
             global_budget: 0,
+            spill_dir: None,
+            spill_cache_pages: None,
         }
     }
 }
@@ -353,6 +378,10 @@ pub struct VerifyConfig {
     pub mem_budget: Option<u64>,
     /// Verifier worker shards (1 = single-threaded).
     pub shards: usize,
+    /// Spill directory for cold verifier state (`None` = in-memory only).
+    pub spill_dir: Option<String>,
+    /// Spill page-cache capacity in pages (`None` = default).
+    pub spill_cache_pages: Option<usize>,
     /// Emit the verdict and resource counters as JSON.
     pub json: bool,
     /// Enable observability and write Prometheus metrics to this path.
@@ -377,6 +406,8 @@ impl Default for VerifyConfig {
             checkpoint_every: None,
             mem_budget: None,
             shards: 1,
+            spill_dir: None,
+            spill_cache_pages: None,
             json: false,
             metrics_out: None,
             trace_out: None,
@@ -432,6 +463,14 @@ pub struct ChaosConfig {
     pub mem_budget: Option<u64>,
     /// Verifier worker shards (1 = single-threaded).
     pub shards: usize,
+    /// Spill directory for cold verifier state (`None` = in-memory only).
+    pub spill_dir: Option<String>,
+    /// Spill page-cache capacity in pages (`None` = default).
+    pub spill_cache_pages: Option<usize>,
+    /// Probability of each seeded disk fault in the spill tier.
+    pub disk_fault_prob: f64,
+    /// Spill tier ENOSPC threshold in bytes (`None` = unlimited disk).
+    pub disk_enospc_after: Option<u64>,
     /// Emit the run summary as JSON.
     pub json: bool,
     /// Enable observability and write Prometheus metrics to this path.
@@ -467,6 +506,10 @@ impl Default for ChaosConfig {
             checkpoint_every: None,
             mem_budget: None,
             shards: 1,
+            spill_dir: None,
+            spill_cache_pages: None,
+            disk_fault_prob: 0.0,
+            disk_enospc_after: None,
             json: false,
             metrics_out: None,
             trace_out: None,
@@ -607,6 +650,8 @@ pub fn parse_args(argv: &[String]) -> Result<Command, ParseError> {
                     "--checkpoint-every" => cfg.checkpoint_every = Some(want(arg, it.next())?),
                     "--mem-budget" => cfg.mem_budget = Some(want(arg, it.next())?),
                     "--shards" => cfg.shards = want(arg, it.next())?,
+                    "--spill-dir" => cfg.spill_dir = Some(want::<String>(arg, it.next())?),
+                    "--spill-cache-pages" => cfg.spill_cache_pages = Some(want(arg, it.next())?),
                     "--json" => cfg.json = true,
                     "--metrics-out" => cfg.metrics_out = Some(want::<String>(arg, it.next())?),
                     "--trace-out" => cfg.trace_out = Some(want::<String>(arg, it.next())?),
@@ -644,6 +689,14 @@ pub fn parse_args(argv: &[String]) -> Result<Command, ParseError> {
                     "--metrics-interval needs --metrics-out <FILE>".into(),
                 ));
             }
+            if cfg.spill_cache_pages == Some(0) {
+                return Err(ParseError("--spill-cache-pages must be at least 1".into()));
+            }
+            if cfg.spill_cache_pages.is_some() && cfg.spill_dir.is_none() {
+                return Err(ParseError(
+                    "--spill-cache-pages needs --spill-dir <DIR>".into(),
+                ));
+            }
             Ok(Command::Verify(cfg))
         }
         "chaos" => {
@@ -673,6 +726,10 @@ pub fn parse_args(argv: &[String]) -> Result<Command, ParseError> {
                     "--checkpoint-every" => cfg.checkpoint_every = Some(want(flag, it.next())?),
                     "--mem-budget" => cfg.mem_budget = Some(want(flag, it.next())?),
                     "--shards" => cfg.shards = want(flag, it.next())?,
+                    "--spill-dir" => cfg.spill_dir = Some(want::<String>(flag, it.next())?),
+                    "--spill-cache-pages" => cfg.spill_cache_pages = Some(want(flag, it.next())?),
+                    "--disk-fault-prob" => cfg.disk_fault_prob = want(flag, it.next())?,
+                    "--disk-enospc-after" => cfg.disk_enospc_after = Some(want(flag, it.next())?),
                     "--json" => cfg.json = true,
                     "--metrics-out" => cfg.metrics_out = Some(want::<String>(flag, it.next())?),
                     "--trace-out" => cfg.trace_out = Some(want::<String>(flag, it.next())?),
@@ -696,6 +753,7 @@ pub fn parse_args(argv: &[String]) -> Result<Command, ParseError> {
                 ("--dup-prob", cfg.dup_prob),
                 ("--skew-burst-prob", cfg.skew_burst_prob),
                 ("--retry-jitter", cfg.retry_jitter),
+                ("--disk-fault-prob", cfg.disk_fault_prob),
             ] {
                 if !(0.0..=1.0).contains(&p) {
                     return Err(ParseError(format!("{name} must be within 0..1")));
@@ -715,6 +773,21 @@ pub fn parse_args(argv: &[String]) -> Result<Command, ParseError> {
             if cfg.metrics_interval.is_some() && cfg.metrics_out.is_none() {
                 return Err(ParseError(
                     "--metrics-interval needs --metrics-out <FILE>".into(),
+                ));
+            }
+            if cfg.spill_cache_pages == Some(0) {
+                return Err(ParseError("--spill-cache-pages must be at least 1".into()));
+            }
+            if cfg.spill_cache_pages.is_some() && cfg.spill_dir.is_none() {
+                return Err(ParseError(
+                    "--spill-cache-pages needs --spill-dir <DIR>".into(),
+                ));
+            }
+            if (cfg.disk_fault_prob > 0.0 || cfg.disk_enospc_after.is_some())
+                && cfg.spill_dir.is_none()
+            {
+                return Err(ParseError(
+                    "--disk-fault-prob/--disk-enospc-after need --spill-dir <DIR>".into(),
                 ));
             }
             Ok(Command::Chaos(cfg))
@@ -750,11 +823,21 @@ pub fn parse_args(argv: &[String]) -> Result<Command, ParseError> {
                     "--dir" => cfg.dir = want::<String>(flag, it.next())?,
                     "--checkpoint-every" => cfg.checkpoint_every = want(flag, it.next())?,
                     "--global-budget" => cfg.global_budget = want(flag, it.next())?,
+                    "--spill-dir" => cfg.spill_dir = Some(want::<String>(flag, it.next())?),
+                    "--spill-cache-pages" => cfg.spill_cache_pages = Some(want(flag, it.next())?),
                     other => return Err(ParseError(format!("unknown flag `{other}`"))),
                 }
             }
             if cfg.checkpoint_every == 0 {
                 return Err(ParseError("--checkpoint-every must be at least 1".into()));
+            }
+            if cfg.spill_cache_pages == Some(0) {
+                return Err(ParseError("--spill-cache-pages must be at least 1".into()));
+            }
+            if cfg.spill_cache_pages.is_some() && cfg.spill_dir.is_none() {
+                return Err(ParseError(
+                    "--spill-cache-pages needs --spill-dir <DIR>".into(),
+                ));
             }
             for ep in std::iter::once(&cfg.listen).chain(cfg.control.as_ref()) {
                 if let Err(e) = leopard_core::Endpoint::parse(ep) {

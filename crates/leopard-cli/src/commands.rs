@@ -287,10 +287,74 @@ impl VerifyEngine {
         }
     }
 
+    /// Opens the spill tier(s) under `settings` and attaches them; an
+    /// error leaves the engine fully in-memory (the caller decides
+    /// whether that is a counted fallback or fatal).
+    fn attach_spill(
+        &mut self,
+        settings: &leopard_core::SpillSettings,
+    ) -> Result<(), leopard_core::StoreError> {
+        match self {
+            VerifyEngine::Single(v) => {
+                let tier = leopard_core::SpillTier::open(settings)?;
+                v.attach_spill(tier);
+                Ok(())
+            }
+            VerifyEngine::Sharded(s) => s.attach_spill(settings),
+        }
+    }
+
+    /// Records that spilling was requested but could not be enabled:
+    /// bumps the counted-fallback tallies and a coverage note.
+    fn note_spill_unavailable(&mut self, why: &str) {
+        match self {
+            VerifyEngine::Single(v) => v.note_spill_unavailable(why),
+            VerifyEngine::Sharded(s) => s.note_spill_unavailable(why),
+        }
+    }
+
+    fn spill_attached(&self) -> bool {
+        match self {
+            VerifyEngine::Single(v) => v.spill_attached(),
+            VerifyEngine::Sharded(s) => s.spill_attached(),
+        }
+    }
+
+    /// The latched typed store fault, if any. Once set, the engine has
+    /// stopped ingesting and no verdict may be reported.
+    fn store_fault(&self) -> Option<String> {
+        match self {
+            VerifyEngine::Single(v) => v.store_fault().map(ToString::to_string),
+            VerifyEngine::Sharded(s) => s.store_fault().map(str::to_string),
+        }
+    }
+
     fn write_checkpoint(&mut self, path: &Path) -> Result<(), CheckpointError> {
         match self {
-            VerifyEngine::Single(v) => v.checkpoint().write(path),
-            VerifyEngine::Sharded(s) => s.checkpoint().write(path),
+            VerifyEngine::Single(v) => {
+                if v.spill_attached() {
+                    // Spilled records are referenced by address from the
+                    // checkpoint, so the tier must be durable first; the
+                    // chained write keeps a good prior generation in case
+                    // this one lands torn.
+                    v.sync_spill().map_err(|e| match e {
+                        leopard_core::StoreError::Io(io) => CheckpointError::Io(io),
+                        other => CheckpointError::Malformed(other.to_string()),
+                    })?;
+                    v.checkpoint().write_chained(path)
+                } else {
+                    v.checkpoint().write(path)
+                }
+            }
+            VerifyEngine::Sharded(s) => {
+                // The checkpoint barrier syncs every shard's tier in the
+                // worker before imaging, so only the write mode differs.
+                if s.spill_attached() {
+                    s.checkpoint().write_chained(path)
+                } else {
+                    s.checkpoint().write(path)
+                }
+            }
         }
     }
 
@@ -300,6 +364,20 @@ impl VerifyEngine {
             VerifyEngine::Sharded(s) => s.finish(),
         }
     }
+}
+
+/// Builds the spill-tier settings behind `--spill-dir` /
+/// `--spill-cache-pages`; `None` when spilling was not requested.
+fn spill_settings_from(
+    dir: Option<&String>,
+    cache_pages: Option<usize>,
+) -> Option<leopard_core::SpillSettings> {
+    let dir = dir?;
+    let mut settings = leopard_core::SpillSettings::new(dir);
+    if let Some(pages) = cache_pages {
+        settings.cache_pages = pages;
+    }
+    Some(settings)
 }
 
 /// `leopard verify`: audit a capture file.
@@ -359,19 +437,51 @@ pub fn verify(cfg: &VerifyConfig, out: &mut dyn Write) -> i32 {
         let _ = writeln!(out, "capture: {}", reader.header().description);
     }
 
+    let spill = spill_settings_from(cfg.spill_dir.as_ref(), cfg.spill_cache_pages);
+
     // A resumed verifier carries its configuration (and the already-applied
     // preload) inside the checkpoint; a fresh one is built from the flags.
     let mut skip = 0u64;
     let mut verifier = if let Some(ckpt_path) = &cfg.resume {
         // The shard count selects the checkpoint format: a sharded run
         // images itself as a ShardedCheckpoint envelope, a single-threaded
-        // run as a flat Checkpoint.
+        // run as a flat Checkpoint. `read_chained` transparently accepts
+        // plain pre-chain files and falls back past corrupt head
+        // generations, surfacing the fallback as a warning.
         let engine = if cfg.shards > 1 {
-            match ShardedCheckpoint::read(Path::new(ckpt_path))
-                .and_then(|ckpt| ShardedVerifier::resume(&ckpt).map(|v| (ckpt.traces_fed, v)))
-            {
-                Ok((fed, v)) => {
-                    skip = fed;
+            match ShardedCheckpoint::read_chained(Path::new(ckpt_path)).and_then(
+                |(ckpt, warning)| ShardedVerifier::resume(&ckpt).map(|v| (ckpt, warning, v)),
+            ) {
+                Ok((ckpt, warning, mut v)) => {
+                    skip = ckpt.traces_fed;
+                    if let Some(w) = &warning {
+                        let _ = writeln!(out, "warning: {w}");
+                    }
+                    let spilled: u64 = ckpt.shards.iter().map(|s| s.spill.len() as u64).sum();
+                    match (&spill, spilled) {
+                        (Some(settings), _) => {
+                            if let Err(e) = v.resume_spill(&ckpt, settings) {
+                                if spilled > 0 {
+                                    let _ = writeln!(
+                                        out,
+                                        "error: checkpoint references {spilled} spilled \
+                                         record(s) but the spill tier cannot be opened: {e}"
+                                    );
+                                    return 1;
+                                }
+                                v.note_spill_unavailable(&e.to_string());
+                            }
+                        }
+                        (None, 0) => {}
+                        (None, _) => {
+                            let _ = writeln!(
+                                out,
+                                "error: checkpoint references {spilled} spilled record(s) \
+                                 but no --spill-dir was given"
+                            );
+                            return 1;
+                        }
+                    }
                     VerifyEngine::Sharded(v)
                 }
                 Err(e) => {
@@ -380,11 +490,41 @@ pub fn verify(cfg: &VerifyConfig, out: &mut dyn Write) -> i32 {
                 }
             }
         } else {
-            match Checkpoint::read(Path::new(ckpt_path))
-                .and_then(|ckpt| Verifier::from_checkpoint(&ckpt).map(|v| (ckpt, v)))
-            {
-                Ok((ckpt, v)) => {
+            match Checkpoint::read_chained(Path::new(ckpt_path)).and_then(|(ckpt, warning)| {
+                Verifier::from_checkpoint(&ckpt).map(|v| (ckpt, warning, v))
+            }) {
+                Ok((ckpt, warning, mut v)) => {
                     skip = ckpt.traces_ingested;
+                    if let Some(w) = &warning {
+                        let _ = writeln!(out, "warning: {w}");
+                        v.note_degraded_load(w);
+                    }
+                    match (&spill, ckpt.spill.len()) {
+                        (Some(settings), _) => match leopard_core::SpillTier::open(settings) {
+                            Ok(tier) => v.resume_spill(tier, &ckpt.spill),
+                            Err(e) if ckpt.spill.is_empty() => {
+                                v.note_spill_unavailable(&e.to_string());
+                            }
+                            Err(e) => {
+                                let _ = writeln!(
+                                    out,
+                                    "error: checkpoint references {} spilled record(s) \
+                                     but the spill tier cannot be opened: {e}",
+                                    ckpt.spill.len()
+                                );
+                                return 1;
+                            }
+                        },
+                        (None, 0) => {}
+                        (None, n) => {
+                            let _ = writeln!(
+                                out,
+                                "error: checkpoint references {n} spilled record(s) \
+                                 but no --spill-dir was given"
+                            );
+                            return 1;
+                        }
+                    }
                     VerifyEngine::Single(v)
                 }
                 Err(e) => {
@@ -422,6 +562,21 @@ pub fn verify(cfg: &VerifyConfig, out: &mut dyn Write) -> i32 {
         v
     };
 
+    // Attach the spill tier unless a resume already did. Failure to open
+    // it is a counted fallback — the run proceeds fully in memory with a
+    // coverage note, never a silent change of verdict.
+    if let Some(settings) = &spill {
+        if !verifier.spill_attached() {
+            if let Err(e) = verifier.attach_spill(settings) {
+                let _ = writeln!(
+                    out,
+                    "warning: spill tier unavailable ({e}); continuing in memory"
+                );
+                verifier.note_spill_unavailable(&e.to_string());
+            }
+        }
+    }
+
     let ckpt_out = cfg.checkpoint.as_ref().map(PathBuf::from);
     crate::signals::install_termination_handler();
     let mut seen = 0u64;
@@ -455,6 +610,18 @@ pub fn verify(cfg: &VerifyConfig, out: &mut dyn Write) -> i32 {
                 }
                 verifier.process(&trace);
                 processed += 1;
+                // A latched store fault means spilled state could not be
+                // read back: the engine has stopped ingesting, and
+                // reporting a verdict would be unsound. Fail typed.
+                if let Some(fault) = verifier.store_fault() {
+                    let _ = writeln!(
+                        out,
+                        "error: {fault} after {processed} traces; no verdict is \
+                         reported (rerun from the last good checkpoint)"
+                    );
+                    sinks.finish(out, cfg.json);
+                    return 1;
+                }
                 sinks.tick();
                 if let (Some(path), Some(every)) = (&ckpt_out, cfg.checkpoint_every) {
                     if processed.is_multiple_of(every) {
@@ -485,6 +652,12 @@ pub fn verify(cfg: &VerifyConfig, out: &mut dyn Write) -> i32 {
     if !sinks.finish(out, cfg.json) {
         return 1;
     }
+    if let Some(fault) = &outcome.store_fault {
+        // Deferred checks may fault records in at finish; the same rule
+        // applies — a typed error, never a verdict over partial state.
+        let _ = writeln!(out, "error: {fault}; no verdict is reported");
+        return 1;
+    }
     if cfg.json {
         let cov = &outcome.coverage;
         let budget = &outcome.counters.budget;
@@ -498,6 +671,8 @@ pub fn verify(cfg: &VerifyConfig, out: &mut dyn Write) -> i32 {
             "{{\"level\":\"{}\",\"traces\":{},\"committed\":{},\
              \"peak_bytes\":{},\"peak_entries\":{},\"forced_gcs\":{},\
              \"forced_dispatches\":{},\"shed_traces\":{},\"budget_evictions\":{},\
+             \"spill_passes\":{},\"spilled_records\":{},\"spill_faults\":{},\
+             \"spill_fallbacks\":{},\
              \"evicted_clients\":[{}],\"quarantined_traces\":{},\"demoted_reads\":{},\
              \"violations\":{},\"clean\":{},\"complete\":{}{}}}",
             cfg.level,
@@ -509,6 +684,10 @@ pub fn verify(cfg: &VerifyConfig, out: &mut dyn Write) -> i32 {
             budget.forced_dispatches,
             budget.shed_traces,
             budget.budget_evictions,
+            budget.spill_passes,
+            budget.spilled_records,
+            budget.spill_faults,
+            budget.spill_fallbacks,
             evicted.join(","),
             cov.quarantined_traces,
             cov.demoted_reads,
@@ -531,6 +710,17 @@ pub fn verify(cfg: &VerifyConfig, out: &mut dyn Write) -> i32 {
             out,
             "resources: peak {} bytes / {} entries, {} forced gcs, {} shed",
             budget.peak_bytes, budget.peak_entries, budget.forced_gcs, budget.shed_traces
+        );
+    }
+    if spill.is_some() {
+        let budget = &outcome.counters.budget;
+        let _ = writeln!(
+            out,
+            "spill: {} pass(es), {} record(s) paged out, {} fault(s), {} fallback(s)",
+            budget.spill_passes,
+            budget.spilled_records,
+            budget.spill_faults,
+            budget.spill_fallbacks
         );
     }
     if !outcome.coverage.is_complete() {
@@ -579,7 +769,15 @@ pub fn chaos(cfg: &ChaosConfig, out: &mut dyn Write) -> i32 {
         skew_magnitude: cfg.skew_magnitude,
         // Bound total divergence so the verifier's skew bound stays finite.
         max_skew_bursts: if cfg.skew_burst_prob > 0.0 { 8 } else { 0 },
+        disk_fault_prob: cfg.disk_fault_prob,
+        disk_enospc_after_bytes: cfg.disk_enospc_after,
     };
+    // The spill tier rides under the same seeded chaos umbrella: the
+    // plan's disk knobs become the tier's fault-injection spec.
+    let spill = spill_settings_from(cfg.spill_dir.as_ref(), cfg.spill_cache_pages).map(|mut s| {
+        s.fault = plan.fault_spec();
+        s
+    });
     let retry = RetryPolicy::with_backoff(
         cfg.retry_attempts,
         Duration::from_millis(cfg.retry_backoff_ms),
@@ -611,6 +809,7 @@ pub fn chaos(cfg: &ChaosConfig, out: &mut dyn Write) -> i32 {
         checkpoint_every: cfg.checkpoint_every,
         backpressure,
         shards: cfg.shards,
+        spill: spill.clone(),
         ..OnlineOptions::default()
     };
     let ticker = sinks.spawn_ticker();
@@ -664,6 +863,13 @@ pub fn chaos(cfg: &ChaosConfig, out: &mut dyn Write) -> i32 {
     }
 
     stats.absorb_pipeline(&pstats);
+    if let Some(fault) = &outcome.store_fault {
+        // An unrecoverable spill-tier fault (after retries) is a typed
+        // terminal outcome: the verdict over partial state would be
+        // unsound, so none is reported.
+        let _ = writeln!(out, "error: {fault}; no verdict is reported");
+        return 1;
+    }
     let cov = &outcome.coverage;
     let budget = &outcome.counters.budget;
     if cfg.json {
@@ -682,6 +888,8 @@ pub fn chaos(cfg: &ChaosConfig, out: &mut dyn Write) -> i32 {
              \"peak_bytes\":{},\"forced_gcs\":{},\"forced_dispatches\":{},\
              \"shed_traces\":{},\"shed_lossy\":{},\"post_shutdown_drops\":{},\
              \"budget_evictions\":{},\
+             \"spill_passes\":{},\"spilled_records\":{},\"spill_faults\":{},\
+             \"spill_fallbacks\":{},\
              \"violations\":{},\"clean\":{},\"complete\":{}{}}}",
             cfg.workload,
             cfg.level,
@@ -707,6 +915,10 @@ pub fn chaos(cfg: &ChaosConfig, out: &mut dyn Write) -> i32 {
             shed_lossy,
             post_shutdown_drops,
             budget.budget_evictions,
+            budget.spill_passes,
+            budget.spilled_records,
+            budget.spill_faults,
+            budget.spill_fallbacks,
             outcome.report.violations.len(),
             outcome.report.is_clean(),
             cov.is_complete(),
@@ -750,6 +962,17 @@ pub fn chaos(cfg: &ChaosConfig, out: &mut dyn Write) -> i32 {
                 budget.forced_dispatches,
                 budget.shed_traces,
                 budget.budget_evictions
+            );
+        }
+        if spill.is_some() {
+            let _ = writeln!(
+                out,
+                "spill: {} pass(es), {} record(s) paged out, {} fault(s) retried or \
+                 recovered, {} fallback(s)",
+                budget.spill_passes,
+                budget.spilled_records,
+                budget.spill_faults,
+                budget.spill_fallbacks
             );
         }
         let _ = write!(out, "{cov}");
@@ -859,6 +1082,7 @@ pub fn serve(cfg: &ServeCliConfig, out: &mut dyn Write) -> i32 {
     let mut opts = ServeOptions::new(PathBuf::from(&cfg.dir));
     opts.checkpoint_every = cfg.checkpoint_every.max(1);
     opts.global_budget_bytes = cfg.global_budget;
+    opts.spill = spill_settings_from(cfg.spill_dir.as_ref(), cfg.spill_cache_pages);
     let server = match Server::bind(&ingest, control.as_ref(), opts) {
         Ok(s) => s,
         Err(e) => {

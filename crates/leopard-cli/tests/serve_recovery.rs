@@ -64,6 +64,17 @@ struct Daemon {
 impl Daemon {
     /// Spawns `leopard serve` and waits until both endpoints accept.
     fn spawn(dir: &Path, ckpt_dir: &Path, every: u64, env: &[(&str, &str)]) -> Daemon {
+        Daemon::spawn_opts(dir, ckpt_dir, every, env, &[])
+    }
+
+    /// [`Daemon::spawn`] with extra CLI flags (e.g. `--spill-dir`).
+    fn spawn_opts(
+        dir: &Path,
+        ckpt_dir: &Path,
+        every: u64,
+        env: &[(&str, &str)],
+        extra: &[&str],
+    ) -> Daemon {
         fs::create_dir_all(dir).unwrap();
         let ingest_path = dir.join("ingest.sock");
         let control_path = dir.join("control.sock");
@@ -79,6 +90,7 @@ impl Daemon {
             "--checkpoint-every",
             &every.to_string(),
         ])
+        .args(extra)
         .stdout(Stdio::null())
         .stderr(Stdio::null());
         for (k, v) in env {
@@ -217,6 +229,145 @@ fn kill_dash_nine_then_restart_matches_uninterrupted_run_byte_for_byte() {
     let verdict_json = fs::read_to_string(kill_dir.join("t.verdict.json")).unwrap();
     assert_eq!(ckpt, ref_ckpt, "checkpoint not byte-identical");
     assert_eq!(verdict_json, ref_verdict_json, "verdict not byte-identical");
+}
+
+/// Counts segment files in a stream's spill-tier directory.
+fn spill_segments(dir: &Path) -> usize {
+    fs::read_dir(dir)
+        .map(|entries| {
+            entries
+                .filter_map(|e| e.ok())
+                .filter(|e| e.path().extension().and_then(|x| x.to_str()) == Some("lps"))
+                .count()
+        })
+        .unwrap_or(0)
+}
+
+/// Kill -9 while the stream's verifier is actively spilling cold state
+/// to disk: restart on the same checkpoint + spill directories, replay
+/// the capture, and the verdict must be byte-identical to an
+/// uninterrupted spilling run — no lost records, no degraded coverage.
+#[test]
+fn kill_dash_nine_mid_spill_recovers_byte_identical_verdicts() {
+    let base = scratch("kill9spill");
+    let capture = record_capture(&base);
+    // Tight enough that the spill rung fires on this capture, loose
+    // enough that the coverage-costing rungs below it never run.
+    const BUDGET: u64 = 24 * 1024;
+
+    // Uninterrupted spilling reference run.
+    let ref_dir = base.join("ref");
+    let ref_spill = base.join("ref-spill");
+    let d = Daemon::spawn_opts(
+        &base.join("ref-sock"),
+        &ref_dir,
+        8,
+        &[],
+        &["--spill-dir", &ref_spill.display().to_string()],
+    );
+    let file = fs::File::open(&capture).unwrap();
+    let mut reader = CaptureReader::new(file).unwrap();
+    let ref_verdict = ingest_capture(
+        &d.ingest,
+        "t",
+        IsolationLevel::Serializable,
+        BUDGET,
+        &mut reader,
+    )
+    .unwrap();
+    d.shutdown();
+    assert_eq!(ref_verdict.status, "ok");
+    assert!(
+        ref_verdict.clean && ref_verdict.complete,
+        "spilling cost coverage: {ref_verdict:?}"
+    );
+    let ref_verdict_json = fs::read_to_string(ref_dir.join("t.verdict.json")).unwrap();
+    assert!(
+        spill_segments(&ref_spill.join("t")) > 0,
+        "reference run never spilled — the budget is too generous for this capture"
+    );
+
+    // Interrupted run: same budget, stream 20 traces past two checkpoint
+    // boundaries, confirm the tier has segments on disk, then SIGKILL.
+    let kill_dir = base.join("kill");
+    let kill_spill = base.join("kill-spill");
+    let sock_dir = base.join("kill-sock");
+    let spill_flag = kill_spill.display().to_string();
+    let d = Daemon::spawn_opts(&sock_dir, &kill_dir, 8, &[], &["--spill-dir", &spill_flag]);
+    {
+        let file = fs::File::open(&capture).unwrap();
+        let mut reader = CaptureReader::new(file).unwrap();
+        let header = reader.header().clone();
+        let mut sock = d.ingest.connect().unwrap();
+        write_frame(
+            &mut sock,
+            &Frame::Hello(Hello {
+                version: WIRE_VERSION,
+                stream: "t".to_string(),
+                description: header.description,
+                level: IsolationLevel::Serializable,
+                mem_budget: BUDGET,
+                preload: header.preload,
+            }),
+        )
+        .unwrap();
+        sock.flush().unwrap();
+        match read_frame(&mut sock).unwrap() {
+            Some(Frame::Ack { resume_from }) => assert_eq!(resume_from, 0),
+            other => panic!("expected Ack, got {other:?}"),
+        }
+        for seq in 1..=20u64 {
+            let trace = reader
+                .next_trace()
+                .unwrap()
+                .expect("capture has 20+ traces");
+            write_frame(&mut sock, &Frame::Trace(TraceFrame { seq, trace })).unwrap();
+        }
+        sock.flush().unwrap();
+        // Wait for durable progress: a cadence checkpoint AND spilled
+        // segments must both be on disk, so the kill lands mid-spill.
+        let ckpt = kill_dir.join("t.ckpt");
+        let deadline = Instant::now() + Duration::from_secs(20);
+        while !ckpt.exists() || spill_segments(&kill_spill.join("t")) == 0 {
+            assert!(
+                Instant::now() < deadline,
+                "no checkpoint + spill segments before kill"
+            );
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        d.kill9();
+    }
+
+    // Restart on the same directories: recovery re-opens the chained
+    // checkpoint AND the spill tier (the checkpoint references spilled
+    // record addresses), then the resume protocol skips what survived.
+    let d = Daemon::spawn_opts(&sock_dir, &kill_dir, 8, &[], &["--spill-dir", &spill_flag]);
+    let streams = control_command(&d.control, "streams").unwrap();
+    assert!(
+        streams.contains("\"t\""),
+        "recovered stream missing from listing: {streams}"
+    );
+    let file = fs::File::open(&capture).unwrap();
+    let mut reader = CaptureReader::new(file).unwrap();
+    let verdict = ingest_capture(
+        &d.ingest,
+        "t",
+        IsolationLevel::Serializable,
+        BUDGET,
+        &mut reader,
+    )
+    .unwrap();
+    d.shutdown();
+
+    assert_eq!(
+        verdict, ref_verdict,
+        "verdicts diverged after mid-spill crash"
+    );
+    let verdict_json = fs::read_to_string(kill_dir.join("t.verdict.json")).unwrap();
+    assert_eq!(
+        verdict_json, ref_verdict_json,
+        "verdict JSON not byte-identical after mid-spill crash"
+    );
 }
 
 #[test]

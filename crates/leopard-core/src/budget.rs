@@ -143,6 +143,16 @@ pub struct BudgetCounters {
     /// Traces shed by the chain: lossy backpressure, post-shutdown
     /// records, and stragglers below a forced-dispatch floor.
     pub shed_traces: u64,
+    /// Ladder rung 1.5 activations: spill passes that paged cold version
+    /// chains to disk instead of degrading coverage.
+    pub spill_passes: u64,
+    /// Records paged out across all spill passes.
+    pub spilled_records: u64,
+    /// Spilled records faulted back into memory on access.
+    pub spill_faults: u64,
+    /// Spill passes abandoned to the in-memory fallback after a write
+    /// failure (the tier stopped accepting writes).
+    pub spill_fallbacks: u64,
 }
 
 impl BudgetCounters {

@@ -19,7 +19,8 @@ use crate::report::BugReport;
 use crate::stats::DeductionStats;
 use crate::types::{ClientId, Key, Timestamp, TxnId, Value};
 use crate::verify::{
-    Coverage, KeyLocks, KeyVersions, NodeSnap, TxnSnap, VerifierConfig, VerifyCounters,
+    Coverage, KeyLocks, KeyVersions, NodeSnap, SpillIndexEntry, TxnSnap, VerifierConfig,
+    VerifyCounters,
 };
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -33,7 +34,14 @@ use std::path::Path;
 /// stream (`born_seq`, `born_elem`) instead of a private heap counter, so
 /// the order is meaningful across verifier shards; the counter field was
 /// dropped. Version 3 also introduces the [`ShardedCheckpoint`] envelope.
-pub const CHECKPOINT_VERSION: u32 = 3;
+///
+/// Version 4: checkpoints became incremental under the spill tier — the
+/// image carries a spill index (paged-out records stay in their segment
+/// files instead of being folded into the JSON) and the budget counters
+/// grew spill accounting. Written through
+/// [`crate::store::GenChain`] when spilling is enabled, with CRC'd
+/// generations and corrupt-head fallback.
+pub const CHECKPOINT_VERSION: u32 = 4;
 
 /// A deferred consistent-read check, flattened for checkpointing
 /// (mirrors the verifier's private pending-read heap entries).
@@ -96,6 +104,11 @@ pub struct Checkpoint {
     pub report: BugReport,
     /// Coverage accumulated so far.
     pub coverage: Coverage,
+    /// Spill index: records paged out to the spill tier at checkpoint
+    /// time, with their durable addresses. Empty when no tier is
+    /// attached. Resume must re-attach the same spill directory
+    /// ([`crate::verify::Verifier::resume_spill`]) when non-empty.
+    pub spill: Vec<SpillIndexEntry>,
 }
 
 /// Why a checkpoint could not be written, read or restored.
@@ -158,6 +171,44 @@ pub(crate) fn write_atomic_durable(path: &Path, json: &str) -> Result<(), Checkp
     Ok(())
 }
 
+/// Converts a spill-store failure surfaced by the generation chain into
+/// the checkpoint error taxonomy.
+fn store_to_ckpt(e: crate::store::StoreError) -> CheckpointError {
+    match e {
+        crate::store::StoreError::Io(io) => CheckpointError::Io(io),
+        other => CheckpointError::Malformed(other.to_string()),
+    }
+}
+
+/// Appends `json` as a new generation of the [`crate::store::GenChain`]
+/// rooted at `path` (manifest + CRC-verified generation files).
+fn write_chained_json(path: &Path, json: &str) -> Result<(), CheckpointError> {
+    let chain = crate::store::GenChain::new(path);
+    chain
+        .append(&crate::store::FsIo, json.as_bytes())
+        .map(|_gen| ())
+        .map_err(store_to_ckpt)
+}
+
+/// Loads the newest good generation at `path`, accepting plain (legacy)
+/// checkpoint files transparently. Returns the JSON plus a warning when
+/// the head generation was corrupt and an older one was used.
+fn read_chained_json(path: &Path) -> Result<(String, Option<String>), CheckpointError> {
+    let chain = crate::store::GenChain::new(path);
+    let load = chain
+        .load_latest(&crate::store::FsIo)
+        .map_err(store_to_ckpt)?
+        .ok_or_else(|| {
+            CheckpointError::Io(std::io::Error::new(
+                std::io::ErrorKind::NotFound,
+                format!("no checkpoint at {}", path.display()),
+            ))
+        })?;
+    let json = String::from_utf8(load.payload)
+        .map_err(|e| CheckpointError::Malformed(format!("checkpoint is not utf-8: {e}")))?;
+    Ok((json, load.warning))
+}
+
 impl Checkpoint {
     /// Serializes to one JSON document.
     #[must_use]
@@ -190,6 +241,25 @@ impl Checkpoint {
     pub fn read(path: &Path) -> Result<Checkpoint, CheckpointError> {
         let json = fs::read_to_string(path)?;
         Checkpoint::from_json(&json)
+    }
+
+    /// Writes the checkpoint as a new generation of the generation chain
+    /// rooted at `path` (see [`crate::store::GenChain`]): the image goes
+    /// to a CRC-recorded sibling generation file and the manifest at
+    /// `path` is atomically updated, keeping the previous generation as
+    /// a verified fallback.
+    pub fn write_chained(&self, path: &Path) -> Result<(), CheckpointError> {
+        write_chained_json(path, &self.to_json())
+    }
+
+    /// Reads the newest *good* checkpoint generation at `path`, falling
+    /// back generation-by-generation past truncated or corrupt heads.
+    /// Plain (pre-chain) checkpoint files are accepted transparently.
+    /// Returns the checkpoint plus a warning describing any fallback —
+    /// a degraded-but-safe load the caller should surface, not abort on.
+    pub fn read_chained(path: &Path) -> Result<(Checkpoint, Option<String>), CheckpointError> {
+        let (json, warning) = read_chained_json(path)?;
+        Ok((Checkpoint::from_json(&json)?, warning))
     }
 }
 
@@ -262,6 +332,21 @@ impl ShardedCheckpoint {
     pub fn read(path: &Path) -> Result<ShardedCheckpoint, CheckpointError> {
         let json = fs::read_to_string(path)?;
         ShardedCheckpoint::from_json(&json)
+    }
+
+    /// Writes the envelope as a new generation of the generation chain
+    /// rooted at `path` (see [`Checkpoint::write_chained`]).
+    pub fn write_chained(&self, path: &Path) -> Result<(), CheckpointError> {
+        write_chained_json(path, &self.to_json())
+    }
+
+    /// Reads the newest good envelope generation at `path`, with
+    /// corrupt-head fallback (see [`Checkpoint::read_chained`]).
+    pub fn read_chained(
+        path: &Path,
+    ) -> Result<(ShardedCheckpoint, Option<String>), CheckpointError> {
+        let (json, warning) = read_chained_json(path)?;
+        Ok((ShardedCheckpoint::from_json(&json)?, warning))
     }
 }
 

@@ -67,6 +67,7 @@ pub mod preflight;
 pub mod report;
 pub mod serve;
 pub mod stats;
+pub mod store;
 pub mod trace;
 pub mod types;
 pub mod verify;
@@ -98,6 +99,10 @@ pub use serve::{
     StreamInfo, StreamState, StreamVerdict, WireConn,
 };
 pub use stats::{DeductionStats, DepCounts, DepKind};
+pub use store::{
+    FaultIo, FaultSpec, FsIo, GenChain, GenLoad, RetryPolicy, SpillSettings, SpillStats, SpillTier,
+    StoreError, StoreIo,
+};
 pub use trace::{OpKind, Trace, TraceBuilder};
 pub use types::{ClientId, Key, Timestamp, TxnId, Value};
 pub use verify::{

@@ -128,9 +128,19 @@ pub enum Counter {
     /// Streams quarantined mid-flight (malformed input or a panicking
     /// verifier), finished with a degraded verdict.
     StreamsQuarantined,
+    /// Version-chain records spilled out to segment files.
+    SpillRecordsOut,
+    /// Spilled records faulted back into memory.
+    SpillRecordsIn,
+    /// Transient spill-I/O retries performed under the retry policy.
+    SpillRetries,
+    /// Spill writes abandoned to the in-memory fallback after retries.
+    SpillFallbacks,
+    /// Unrecoverable spill I/O or corruption errors (tier poisonings).
+    SpillIoErrors,
 }
 
-const COUNTER_COUNT: usize = 23;
+const COUNTER_COUNT: usize = 28;
 
 impl Counter {
     /// Every counter, in registry (and exposition) order.
@@ -158,6 +168,11 @@ impl Counter {
         Counter::StreamsAccepted,
         Counter::StreamsRejected,
         Counter::StreamsQuarantined,
+        Counter::SpillRecordsOut,
+        Counter::SpillRecordsIn,
+        Counter::SpillRetries,
+        Counter::SpillFallbacks,
+        Counter::SpillIoErrors,
     ];
 
     fn idx(self) -> usize {
@@ -194,6 +209,11 @@ impl Counter {
             Counter::StreamsAccepted => "leopard_serve_streams_accepted_total",
             Counter::StreamsRejected => "leopard_serve_streams_rejected_total",
             Counter::StreamsQuarantined => "leopard_serve_streams_quarantined_total",
+            Counter::SpillRecordsOut => "leopard_spill_records_out_total",
+            Counter::SpillRecordsIn => "leopard_spill_records_in_total",
+            Counter::SpillRetries => "leopard_spill_retries_total",
+            Counter::SpillFallbacks => "leopard_spill_fallbacks_total",
+            Counter::SpillIoErrors => "leopard_spill_io_errors_total",
         }
     }
 
@@ -232,6 +252,13 @@ impl Counter {
             Counter::StreamsQuarantined => {
                 "Streams quarantined into a degraded verdict mid-flight."
             }
+            Counter::SpillRecordsOut => "Version-chain records spilled to segment files.",
+            Counter::SpillRecordsIn => "Spilled records faulted back into memory.",
+            Counter::SpillRetries => "Transient spill-I/O retries under the retry policy.",
+            Counter::SpillFallbacks => {
+                "Spill writes abandoned to the in-memory fallback after retries."
+            }
+            Counter::SpillIoErrors => "Unrecoverable spill I/O or corruption errors.",
         }
     }
 }
@@ -249,9 +276,11 @@ pub enum Gauge {
     PeakMemEntries,
     /// Shard count of the active engine (0 = sequential).
     Shards,
+    /// Bytes held in spill segment files on disk.
+    SpillBytes,
 }
 
-const GAUGE_COUNT: usize = 5;
+const GAUGE_COUNT: usize = 6;
 
 impl Gauge {
     /// Every gauge, in registry (and exposition) order.
@@ -261,6 +290,7 @@ impl Gauge {
         Gauge::PeakMemBytes,
         Gauge::PeakMemEntries,
         Gauge::Shards,
+        Gauge::SpillBytes,
     ];
 
     fn idx(self) -> usize {
@@ -279,6 +309,7 @@ impl Gauge {
             Gauge::PeakMemBytes => "leopard_peak_mem_bytes",
             Gauge::PeakMemEntries => "leopard_peak_mem_entries",
             Gauge::Shards => "leopard_shards",
+            Gauge::SpillBytes => "leopard_spill_bytes",
         }
     }
 
@@ -293,6 +324,7 @@ impl Gauge {
             Gauge::PeakMemBytes => "High-water mark of estimated retained bytes.",
             Gauge::PeakMemEntries => "High-water mark of retained entries.",
             Gauge::Shards => "Shard count of the active engine (0 = sequential).",
+            Gauge::SpillBytes => "Bytes held in spill segment files on disk.",
         }
     }
 }
@@ -308,9 +340,11 @@ pub enum HistId {
     GcPauseUs,
     /// Wall time of one shard-worker batch.
     ShardBatchUs,
+    /// Wall time of one spill pass (records written out under pressure).
+    SpillPassUs,
 }
 
-const HIST_COUNT: usize = 4;
+const HIST_COUNT: usize = 5;
 
 impl HistId {
     /// Every histogram, in registry (and exposition) order.
@@ -319,6 +353,7 @@ impl HistId {
         HistId::EpochApplyUs,
         HistId::GcPauseUs,
         HistId::ShardBatchUs,
+        HistId::SpillPassUs,
     ];
 
     fn idx(self) -> usize {
@@ -336,6 +371,7 @@ impl HistId {
             HistId::EpochApplyUs => "leopard_epoch_apply_us",
             HistId::GcPauseUs => "leopard_gc_pause_us",
             HistId::ShardBatchUs => "leopard_shard_batch_us",
+            HistId::SpillPassUs => "leopard_spill_pass_us",
         }
     }
 
@@ -347,6 +383,7 @@ impl HistId {
             HistId::EpochApplyUs => "Wall time of one certifier epoch-merge round (us).",
             HistId::GcPauseUs => "Wall time of one garbage-collection pass (us).",
             HistId::ShardBatchUs => "Wall time of one shard-worker batch (us).",
+            HistId::SpillPassUs => "Wall time of one spill pass (us).",
         }
     }
 }
@@ -372,6 +409,8 @@ pub enum Stage {
     Checkpoint = 6,
     /// Final verdict assembly and reporting.
     Report = 7,
+    /// A spill pass: cold records written out under memory pressure.
+    Spill = 8,
 }
 
 impl Stage {
@@ -387,6 +426,7 @@ impl Stage {
             Stage::GcBarrier => "gc-barrier",
             Stage::Checkpoint => "checkpoint",
             Stage::Report => "report",
+            Stage::Spill => "spill",
         }
     }
 
@@ -400,6 +440,7 @@ impl Stage {
             5 => Some(Stage::GcBarrier),
             6 => Some(Stage::Checkpoint),
             7 => Some(Stage::Report),
+            8 => Some(Stage::Spill),
             _ => None,
         }
     }

@@ -69,6 +69,13 @@ pub struct OnlineOptions {
     /// written by a sharded chain use the [`crate::ShardedCheckpoint`]
     /// envelope instead of [`crate::Checkpoint`].
     pub shards: usize,
+    /// Disk-spilling backing tier for cold verifier state — rung 1.5 of
+    /// the overload ladder, between forced GC and forced dispatch. When
+    /// the tier cannot be attached or a spill write fails, the chain
+    /// falls back to the in-memory path (counted, noted in coverage);
+    /// an unrecoverable spill *read* failure latches
+    /// [`VerifyOutcome::store_fault`] instead of risking a wrong verdict.
+    pub spill: Option<crate::store::SpillSettings>,
 }
 
 /// The verification engine behind the online chain: the single-threaded
@@ -112,10 +119,26 @@ impl Engine {
         let span = obs::span_start();
         match self {
             Engine::Single(v) => {
-                let _ = v.checkpoint().write(path);
+                // Sync first so the image never references unsynced
+                // pages; sync failures are retried/counted by the tier
+                // and surface at resume as a typed corrupt-store error.
+                let _ = v.sync_spill();
+                if v.spill_attached() {
+                    // A spill-backed image is written through the
+                    // generation chain so a torn head falls back to the
+                    // previous good generation instead of aborting.
+                    let _ = v.checkpoint().write_chained(path);
+                } else {
+                    let _ = v.checkpoint().write(path);
+                }
             }
             Engine::Sharded(s) => {
-                let _ = s.checkpoint().write(path);
+                // The checkpoint barrier syncs every shard's tier.
+                if s.spill_attached() {
+                    let _ = s.checkpoint().write_chained(path);
+                } else {
+                    let _ = s.checkpoint().write(path);
+                }
             }
         }
         obs::span_end(obs::Stage::Checkpoint, obs::LANE_ONLINE, span);
@@ -169,6 +192,48 @@ impl Engine {
         match self {
             Engine::Single(v) => v.note_forced_dispatch(),
             Engine::Sharded(s) => s.note_forced_dispatch(),
+        }
+    }
+
+    /// Attaches the spill tier(s); the sharded engine receives one tier
+    /// per shard under `shard-<i>` subdirectories.
+    fn attach_spill(
+        &mut self,
+        settings: &crate::store::SpillSettings,
+    ) -> crate::store::StoreResult<()> {
+        match self {
+            Engine::Single(v) => {
+                let tier = crate::store::SpillTier::open(settings)?;
+                v.attach_spill(tier);
+                Ok(())
+            }
+            Engine::Sharded(s) => s.attach_spill(settings),
+        }
+    }
+
+    /// `true` when rung 1.5 is armed: a tier is attached, still
+    /// accepting writes, and no store fault has latched.
+    fn can_spill(&self) -> bool {
+        match self {
+            Engine::Single(v) => v.can_spill(),
+            Engine::Sharded(s) => s.spill_attached() && s.store_fault().is_none(),
+        }
+    }
+
+    /// Runs one spill pass (rung 1.5). The sharded engine runs it as a
+    /// full barrier so the usage read afterwards reflects the drain.
+    fn spill(&mut self) {
+        match self {
+            Engine::Single(v) => v.spill_pass(),
+            Engine::Sharded(s) => s.spill(),
+        }
+    }
+
+    /// Records a failed tier attachment (counted fallback).
+    fn note_spill_unavailable(&mut self, why: &str) {
+        match self {
+            Engine::Single(v) => v.note_spill_unavailable(why),
+            Engine::Sharded(s) => s.note_spill_unavailable(why),
         }
     }
 
@@ -292,6 +357,11 @@ impl OnlineLeopard {
         let worker = std::thread::spawn(move || {
             let shared = worker_shared;
             let mut verifier = Engine::new(cfg, opts.shards);
+            if let Some(settings) = opts.spill.as_ref() {
+                if let Err(e) = verifier.attach_spill(settings) {
+                    verifier.note_spill_unavailable(&e.to_string());
+                }
+            }
             for (k, v) in preload {
                 verifier.preload(k, v);
             }
@@ -332,14 +402,22 @@ impl OnlineLeopard {
                     }
                 }
                 // Resource governance: the graduated overload ladder.
-                // Rung 1 (forced GC below the watermark), rung 2 (flush the
-                // pipeline's buffers through the verifier), rung 3 (evict
-                // the laggiest client into degraded coverage). Each rung
-                // runs only if the previous one left the chain over budget.
+                // Rung 1 (forced GC below the watermark), rung 1.5 (spill
+                // cold records to disk when a tier is attached), rung 2
+                // (flush the pipeline's buffers through the verifier),
+                // rung 3 (evict the laggiest client into degraded
+                // coverage). Each rung runs only if the previous one left
+                // the chain over budget — spilling relieves pressure
+                // without losing coverage, so it always runs before the
+                // coverage-degrading rungs.
                 if !budget.is_unlimited() {
                     let mut usage = verifier.mem_usage() + tracer.mem_usage();
                     if budget.exceeded_by(usage) {
                         verifier.force_gc();
+                        usage = verifier.mem_usage() + tracer.mem_usage();
+                    }
+                    if budget.exceeded_by(usage) && verifier.can_spill() {
+                        verifier.spill();
                         usage = verifier.mem_usage() + tracer.mem_usage();
                     }
                     if budget.exceeded_by(usage) {

@@ -199,6 +199,16 @@ pub struct ServeOptions {
     pub checkpoint_every: u64,
     /// Global admission pool in bytes (0 = unlimited).
     pub global_budget_bytes: u64,
+    /// Disk-spilling backing tier for cold verifier state, one private
+    /// subdirectory per stream. `None` (the default) keeps every stream
+    /// fully in memory. When set, stream checkpoints are written through
+    /// the generation chain (manifest + CRC-verified generations with
+    /// corrupt-head fallback at resume).
+    pub spill: Option<crate::store::SpillSettings>,
+    /// Retry schedule for periodic stream-checkpoint writes: transient
+    /// I/O failures back off and retry; only repeated failure degrades
+    /// the stream.
+    pub checkpoint_retry: crate::store::RetryPolicy,
 }
 
 impl ServeOptions {
@@ -210,8 +220,21 @@ impl ServeOptions {
             checkpoint_dir,
             checkpoint_every: 512,
             global_budget_bytes: 0,
+            spill: None,
+            checkpoint_retry: crate::store::RetryPolicy::default(),
         }
     }
+}
+
+/// The per-stream spill settings: the daemon-wide configuration rooted
+/// at a private `spill/<stream>` subdirectory, so tenant tiers never
+/// share segment files.
+fn stream_spill_settings(opts: &ServeOptions, stream: &str) -> Option<crate::store::SpillSettings> {
+    opts.spill.as_ref().map(|s| {
+        let mut per = s.clone();
+        per.dir = s.dir.join(sanitize_stream_name(stream));
+        per
+    })
 }
 
 /// Lifecycle of one stream as the registry tracks it.
@@ -500,8 +523,8 @@ impl Server {
             let Some(stem) = name.strip_suffix(".ckpt") else {
                 continue;
             };
-            match Checkpoint::read(&path) {
-                Ok(ckpt) => {
+            match Checkpoint::read_chained(&path) {
+                Ok((ckpt, _warning)) => {
                     let level = level_label_of(&ckpt.config.mechanisms);
                     self.shared.update_stream(
                         stem,
@@ -739,11 +762,12 @@ fn handle_ingest_conn(shared: &Shared, mut sock: WireConn) {
     // --- Build or resume the stream's verifier -------------------------
     let vcfg = stream_config(hello.level, hello.mem_budget);
     let ckpt_path = stream_checkpoint_path(&shared.opts.checkpoint_dir, &hello.stream);
+    let spill_settings = stream_spill_settings(&shared.opts, &hello.stream);
     let (verifier, mut cursor) = if ckpt_path.exists() {
-        match Checkpoint::read(&ckpt_path)
-            .and_then(|ckpt| Verifier::from_checkpoint(&ckpt).map(|v| (ckpt, v)))
-        {
-            Ok((ckpt, v)) => {
+        match Checkpoint::read_chained(&ckpt_path).and_then(|(ckpt, warning)| {
+            Verifier::from_checkpoint(&ckpt).map(|v| (ckpt, warning, v))
+        }) {
+            Ok((ckpt, warning, mut v)) => {
                 if ckpt.config != vcfg {
                     reject(
                         &mut sock,
@@ -751,6 +775,45 @@ fn handle_ingest_conn(shared: &Shared, mut sock: WireConn) {
                         "handshake configuration differs from the stream's checkpoint",
                     );
                     return;
+                }
+                if let Some(w) = warning {
+                    // Generation fallback: degraded-but-safe — the older
+                    // image plus the resume cursor reaches the identical
+                    // verdict, so warn in coverage instead of aborting.
+                    v.note_degraded_load(&w);
+                }
+                match spill_settings.as_ref() {
+                    Some(s) => match crate::store::SpillTier::open(s) {
+                        Ok(tier) => v.resume_spill(tier, &ckpt.spill),
+                        Err(e) if ckpt.spill.is_empty() => {
+                            v.note_spill_unavailable(&e.to_string());
+                        }
+                        Err(e) => {
+                            reject(
+                                &mut sock,
+                                RejectReason::Malformed,
+                                &format!(
+                                    "checkpoint references {} spilled records but the \
+                                     spill tier cannot be opened: {e}",
+                                    ckpt.spill.len()
+                                ),
+                            );
+                            return;
+                        }
+                    },
+                    None if !ckpt.spill.is_empty() => {
+                        reject(
+                            &mut sock,
+                            RejectReason::Malformed,
+                            &format!(
+                                "checkpoint references {} spilled records but the daemon \
+                                 has no spill directory configured",
+                                ckpt.spill.len()
+                            ),
+                        );
+                        return;
+                    }
+                    None => {}
                 }
                 (v, ckpt.traces_ingested)
             }
@@ -765,6 +828,12 @@ fn handle_ingest_conn(shared: &Shared, mut sock: WireConn) {
         }
     } else {
         let mut v = Verifier::new(vcfg);
+        if let Some(s) = spill_settings.as_ref() {
+            match crate::store::SpillTier::open(s) {
+                Ok(tier) => v.attach_spill(tier),
+                Err(e) => v.note_spill_unavailable(&e.to_string()),
+            }
+        }
         for &(k, val) in &hello.preload {
             v.preload(k, val);
         }
@@ -831,10 +900,24 @@ fn handle_ingest_conn(shared: &Shared, mut sock: WireConn) {
                 let v = verifier.as_mut().map(|v| ingest_one(v, &tf, panic_at));
                 match v {
                     Some(Ok(())) => {
+                        // An unrecoverable spill-store fault latches the
+                        // verifier (the trace was refused, the cursor must
+                        // not advance): surface the typed error, never a
+                        // wrong verdict.
+                        if let Some(e) = verifier.as_ref().and_then(Verifier::store_fault) {
+                            let why = format!("spill store fault: {e}");
+                            quarantine(shared, &mut sock, cursor, &why);
+                            return;
+                        }
                         cursor += 1;
                         if cursor % every == 0 {
                             if let Some(v) = verifier.as_mut() {
-                                if let Err(e) = write_stream_checkpoint(v, cursor, &ckpt_path) {
+                                if let Err(e) = write_stream_checkpoint_retry(
+                                    v,
+                                    cursor,
+                                    &ckpt_path,
+                                    &shared.opts.checkpoint_retry,
+                                ) {
                                     quarantine(
                                         shared,
                                         &mut sock,
@@ -905,7 +988,12 @@ fn handle_ingest_conn(shared: &Shared, mut sock: WireConn) {
                 // Disconnect (or daemon shutdown) without Bye: persist the
                 // cursor so a reconnect resumes exactly here.
                 if let Some(v) = verifier.as_mut() {
-                    let _ = write_stream_checkpoint(v, cursor, &ckpt_path);
+                    let _ = write_stream_checkpoint_retry(
+                        v,
+                        cursor,
+                        &ckpt_path,
+                        &shared.opts.checkpoint_retry,
+                    );
                 }
                 shared.update_stream(&hello.stream, &level_label, StreamState::Idle, cursor);
                 return;
@@ -935,12 +1023,50 @@ fn ingest_one(v: &mut Verifier, tf: &TraceFrame, panic_at: Option<u64>) -> Resul
 }
 
 /// Writes the stream's checkpoint with its ingest cursor patched in.
+/// With a spill tier attached the tier is synced first (so the image
+/// never references unsynced pages) and the image is written through the
+/// generation chain, keeping the previous generation as a CRC-verified
+/// fallback.
 fn write_stream_checkpoint(v: &Verifier, cursor: u64, path: &Path) -> Result<(), CheckpointError> {
     let mut ckpt = v.checkpoint();
     ckpt.traces_ingested = cursor;
-    ckpt.write(path)?;
+    if v.spill_attached() {
+        v.sync_spill().map_err(|e| match e {
+            crate::store::StoreError::Io(io) => CheckpointError::Io(io),
+            other => CheckpointError::Malformed(other.to_string()),
+        })?;
+        ckpt.write_chained(path)?;
+    } else {
+        ckpt.write(path)?;
+    }
     obs::ctr(obs::Counter::CheckpointsWritten, 1);
     Ok(())
+}
+
+/// Wraps [`write_stream_checkpoint`] in the daemon's jittered
+/// [`crate::store::RetryPolicy`]: transient I/O failures back off and
+/// retry; only repeated failure (or a non-retriable error) reaches the
+/// caller and degrades the stream.
+fn write_stream_checkpoint_retry(
+    v: &Verifier,
+    cursor: u64,
+    path: &Path,
+    retry: &crate::store::RetryPolicy,
+) -> Result<(), CheckpointError> {
+    retry
+        .run(
+            |_e| (),
+            || {
+                write_stream_checkpoint(v, cursor, path).map_err(|e| match e {
+                    CheckpointError::Io(io) => crate::store::StoreError::Io(io),
+                    other => crate::store::StoreError::Corrupt(other.to_string()),
+                })
+            },
+        )
+        .map_err(|e| match e {
+            crate::store::StoreError::Io(io) => CheckpointError::Io(io),
+            other => CheckpointError::Malformed(other.to_string()),
+        })
 }
 
 /// Finishes a stream: final checkpoint at the terminal cursor, verdict
@@ -953,8 +1079,16 @@ fn finalize_stream(
     cursor: u64,
     ckpt_path: &Path,
 ) -> Result<StreamVerdict, CheckpointError> {
-    write_stream_checkpoint(&v, cursor, ckpt_path)?;
+    write_stream_checkpoint_retry(&v, cursor, ckpt_path, &shared.opts.checkpoint_retry)?;
     let outcome: VerifyOutcome = v.finish();
+    if let Some(e) = outcome.store_fault.as_ref() {
+        // Deferred checks flushed at finish may fault spilled records
+        // back in; an unrecoverable failure there must surface as a
+        // typed error, never as a verdict over partial state.
+        return Err(CheckpointError::Malformed(format!(
+            "spill store fault at finalize: {e}"
+        )));
+    }
     let verdict = StreamVerdict {
         stream: stream.to_string(),
         level: level_label.to_string(),

@@ -1,0 +1,296 @@
+//! Fixed-size page format of the spill tier: layout, CRC, codec.
+//!
+//! Every segment file is a sequence of [`PAGE_SIZE`]-byte pages. A page
+//! carries one *part* of one spilled record (records larger than a page
+//! payload are chunked over consecutive pages) behind a fixed 32-byte
+//! header whose last field is a CRC-32 over the header prefix plus the
+//! payload. The CRC is what turns a hostile disk into a typed error: a
+//! torn write, a bit flip or a short read all decode to
+//! [`PageError::Crc`]/[`PageError::Truncated`] instead of silently
+//! feeding the verifier a wrong version chain.
+//!
+//! The CRC-32 (IEEE 802.3 polynomial, the `crc32` everybody means) is
+//! hand-rolled over a 256-entry table because `leopard-core` carries no
+//! compression/hashing dependency and must not grow one for this.
+
+use std::fmt;
+
+/// Size of one spill page on disk, header included.
+pub const PAGE_SIZE: usize = 4096;
+
+/// Bytes of the fixed page header.
+pub const PAGE_HEADER: usize = 32;
+
+/// Maximum payload bytes one page carries.
+pub const PAGE_PAYLOAD: usize = PAGE_SIZE - PAGE_HEADER;
+
+/// Magic bytes opening every record page (`LPpg`).
+pub const PAGE_MAGIC: u32 = 0x4c50_7067;
+
+/// Page format version; bumped on incompatible layout change.
+pub const PAGE_VERSION: u16 = 1;
+
+/// Why a page failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PageError {
+    /// Fewer than [`PAGE_SIZE`] bytes were available (torn tail).
+    Truncated {
+        /// Bytes actually available.
+        got: usize,
+    },
+    /// The magic bytes did not match (never-written or foreign data).
+    Magic {
+        /// The first word found instead.
+        found: u32,
+    },
+    /// The format version is not supported by this build.
+    Version {
+        /// Version found in the header.
+        found: u16,
+    },
+    /// The payload length field exceeds [`PAGE_PAYLOAD`].
+    Length {
+        /// Length claimed by the header.
+        claimed: u32,
+    },
+    /// The stored CRC does not match the recomputed one: torn write,
+    /// bit rot, or a short write that zero-padded the payload.
+    Crc {
+        /// CRC stored in the header.
+        stored: u32,
+        /// CRC recomputed over header prefix + payload.
+        computed: u32,
+    },
+}
+
+impl fmt::Display for PageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PageError::Truncated { got } => {
+                write!(f, "truncated page: {got} of {PAGE_SIZE} bytes")
+            }
+            PageError::Magic { found } => write!(f, "bad page magic {found:#010x}"),
+            PageError::Version { found } => write!(f, "unsupported page version {found}"),
+            PageError::Length { claimed } => {
+                write!(f, "payload length {claimed} exceeds {PAGE_PAYLOAD}")
+            }
+            PageError::Crc { stored, computed } => {
+                write!(
+                    f,
+                    "page crc mismatch: stored {stored:#010x}, computed {computed:#010x}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for PageError {}
+
+/// Decoded header of one record page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageHeader {
+    /// Monotonic sequence number of the spilled record this page belongs
+    /// to (all parts of one record share it).
+    pub record_seq: u64,
+    /// 0-based index of this part within the record.
+    pub part: u32,
+    /// Total parts the record was chunked into.
+    pub parts: u32,
+    /// Payload bytes carried by this page.
+    pub len: u32,
+}
+
+/// CRC-32 (IEEE) lookup table, built at compile time.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xedb8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE 802.3) of `data`.
+#[must_use]
+pub fn crc32(data: &[u8]) -> u32 {
+    crc32_update(0xffff_ffff, data) ^ 0xffff_ffff
+}
+
+/// Streaming CRC-32 update (state starts at `0xffff_ffff`, finish by
+/// xoring with `0xffff_ffff`).
+#[must_use]
+pub fn crc32_update(mut state: u32, data: &[u8]) -> u32 {
+    for &b in data {
+        state = CRC_TABLE[((state ^ u32::from(b)) & 0xff) as usize] ^ (state >> 8);
+    }
+    state
+}
+
+/// Encodes one page: header, payload, zero padding to [`PAGE_SIZE`].
+///
+/// # Panics
+/// Panics if `payload` exceeds [`PAGE_PAYLOAD`] — chunking is the
+/// caller's job and a violation is a programming error, not bad data.
+#[must_use]
+pub fn encode_page(hdr: &PageHeader, payload: &[u8]) -> Vec<u8> {
+    assert!(
+        payload.len() <= PAGE_PAYLOAD,
+        "payload exceeds page capacity"
+    );
+    assert!(
+        hdr.len as usize == payload.len(),
+        "header len must match payload"
+    );
+    let mut page = vec![0u8; PAGE_SIZE];
+    page[0..4].copy_from_slice(&PAGE_MAGIC.to_le_bytes());
+    page[4..6].copy_from_slice(&PAGE_VERSION.to_le_bytes());
+    // bytes 6..8: flags, reserved zero.
+    page[8..16].copy_from_slice(&hdr.record_seq.to_le_bytes());
+    page[16..20].copy_from_slice(&hdr.part.to_le_bytes());
+    page[20..24].copy_from_slice(&hdr.parts.to_le_bytes());
+    page[24..28].copy_from_slice(&hdr.len.to_le_bytes());
+    page[PAGE_HEADER..PAGE_HEADER + payload.len()].copy_from_slice(payload);
+    let crc = crc32_of_page(&page);
+    page[28..32].copy_from_slice(&crc.to_le_bytes());
+    page
+}
+
+/// CRC over everything the header protects: bytes 0..28 (header minus
+/// the CRC field itself) plus the full padded payload area. Covering the
+/// padding means a short write that zero-filled the tail still fails.
+fn crc32_of_page(page: &[u8]) -> u32 {
+    let state = crc32_update(0xffff_ffff, &page[0..28]);
+    crc32_update(state, &page[PAGE_HEADER..PAGE_SIZE]) ^ 0xffff_ffff
+}
+
+/// Decodes and validates one page, returning the header and payload.
+pub fn decode_page(page: &[u8]) -> Result<(PageHeader, &[u8]), PageError> {
+    if page.len() < PAGE_SIZE {
+        return Err(PageError::Truncated { got: page.len() });
+    }
+    let page = &page[..PAGE_SIZE];
+    let word = |at: usize| u32::from_le_bytes([page[at], page[at + 1], page[at + 2], page[at + 3]]);
+    let magic = word(0);
+    if magic != PAGE_MAGIC {
+        return Err(PageError::Magic { found: magic });
+    }
+    let version = u16::from_le_bytes([page[4], page[5]]);
+    if version != PAGE_VERSION {
+        return Err(PageError::Version { found: version });
+    }
+    let len = word(24);
+    if len as usize > PAGE_PAYLOAD {
+        return Err(PageError::Length { claimed: len });
+    }
+    let stored = word(28);
+    let computed = crc32_of_page(page);
+    if stored != computed {
+        return Err(PageError::Crc { stored, computed });
+    }
+    let hdr = PageHeader {
+        record_seq: u64::from_le_bytes([
+            page[8], page[9], page[10], page[11], page[12], page[13], page[14], page[15],
+        ]),
+        part: word(16),
+        parts: word(20),
+        len,
+    };
+    Ok((hdr, &page[PAGE_HEADER..PAGE_HEADER + len as usize]))
+}
+
+/// Splits a record payload into per-page chunks (at least one, even for
+/// an empty payload, so every record occupies a page range).
+#[must_use]
+pub fn chunk_payload(payload: &[u8]) -> Vec<&[u8]> {
+    if payload.is_empty() {
+        return vec![&[]];
+    }
+    payload.chunks(PAGE_PAYLOAD).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Reference values for the IEEE polynomial.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414f_a339
+        );
+    }
+
+    #[test]
+    fn page_round_trip() {
+        let hdr = PageHeader {
+            record_seq: 42,
+            part: 1,
+            parts: 3,
+            len: 11,
+        };
+        let page = encode_page(&hdr, b"hello pages");
+        assert_eq!(page.len(), PAGE_SIZE);
+        let (back, payload) = decode_page(&page).expect("decodes");
+        assert_eq!(back, hdr);
+        assert_eq!(payload, b"hello pages");
+    }
+
+    #[test]
+    fn corruption_anywhere_is_detected() {
+        let hdr = PageHeader {
+            record_seq: 7,
+            part: 0,
+            parts: 1,
+            len: 5,
+        };
+        let page = encode_page(&hdr, b"abcde");
+        // Flip one bit in every byte position; every flip must fail decode
+        // (magic, version, length, or CRC — never a silent success).
+        for i in 0..PAGE_SIZE {
+            let mut bad = page.clone();
+            bad[i] ^= 0x40;
+            assert!(
+                decode_page(&bad).is_err(),
+                "flip at byte {i} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_page_is_typed() {
+        let hdr = PageHeader {
+            record_seq: 1,
+            part: 0,
+            parts: 1,
+            len: 3,
+        };
+        let page = encode_page(&hdr, b"xyz");
+        assert_eq!(
+            decode_page(&page[..PAGE_SIZE - 1]),
+            Err(PageError::Truncated { got: PAGE_SIZE - 1 })
+        );
+    }
+
+    #[test]
+    fn chunking_covers_payload_exactly() {
+        let data = vec![7u8; PAGE_PAYLOAD * 2 + 17];
+        let chunks = chunk_payload(&data);
+        assert_eq!(chunks.len(), 3);
+        assert_eq!(chunks.iter().map(|c| c.len()).sum::<usize>(), data.len());
+        assert!(chunk_payload(&[]).len() == 1);
+    }
+}

@@ -25,8 +25,8 @@ pub use lock_table::{KeyLocks, LockCheck, LockEntry, LockTable};
 pub use shard::ShardedVerifier;
 pub use txn_table::{MatchedRead, ReadRunKey, TxnInfo, TxnOutcome, TxnSnap, TxnTable};
 pub use version_store::{
-    KeyVersions, PruneBreakdown, ReadMatch, RecordVersions, VersionClass, VersionEntry,
-    VersionStore, VersionUid,
+    KeyVersions, PruneBreakdown, ReadMatch, RecordVersions, SpillIndexEntry, VersionClass,
+    VersionEntry, VersionStore, VersionUid,
 };
 
 use crate::budget::{BudgetCounters, MemBudget, MemUsage};
@@ -245,6 +245,11 @@ pub struct VerifyOutcome {
     /// verdict: with recording off this is `None` and the rest of the
     /// outcome is byte-identical (`tests/obs_equivalence.rs`).
     pub obs: Option<crate::obs::ObsSnapshot>,
+    /// The first unrecoverable spill-store failure, if one occurred.
+    /// When set, the run stopped admitting traces at the fault and the
+    /// report/coverage cover only the prefix — callers must surface this
+    /// as a typed fatal error, never as a verdict.
+    pub store_fault: Option<String>,
 }
 
 /// A deferred consistent-read check (due once the stream passes
@@ -410,6 +415,15 @@ pub struct Verifier {
     cursor: EmitCursor,
     cur_seq: u64,
     emit_buf: Vec<(EmitKey, Effect)>,
+    /// First unrecoverable spill-store failure. Once latched the
+    /// verifier refuses further work: a spilled chain that cannot be
+    /// faulted back in makes any verdict unreliable, and a typed error
+    /// beats a silent wrong one.
+    store_fault: Option<crate::store::StoreError>,
+    /// Cleared after a spill-write failure: the tier stays attached for
+    /// reads (already-spilled records must remain reachable) but no
+    /// further spill passes run — the counted in-memory fallback.
+    spill_writes_enabled: bool,
 }
 
 impl Verifier {
@@ -434,6 +448,8 @@ impl Verifier {
             cursor: EmitCursor::default(),
             cur_seq: 0,
             emit_buf: Vec::new(),
+            store_fault: None,
+            spill_writes_enabled: true,
         }
     }
 
@@ -473,6 +489,22 @@ impl Verifier {
     /// Processes one dispatched trace. Traces must arrive in
     /// non-decreasing `ts_bef` order (the pipeline guarantees this).
     pub fn process(&mut self, trace: &Trace) {
+        // A latched store fault means some spilled state is unreachable:
+        // every verdict from here on would be built on a partial store.
+        // Refuse the work; the caller surfaces the typed error.
+        if self.store_fault.is_some() {
+            return;
+        }
+        // Residency pre-fault: every record this trace (or the terminal
+        // it triggers) will touch must be in memory before dispatch, so
+        // the mechanism code below never observes a spilled chain as
+        // "no record".
+        if self.versions.spill_attached() {
+            self.fault_in_for(trace);
+            if self.store_fault.is_some() {
+                return;
+            }
+        }
         // Degraded mode: route ill-formed traces (inverted interval,
         // per-client clock regression, post-terminal operation, duplicate
         // mismatched terminal) to quarantine instead of corrupting the
@@ -590,6 +622,12 @@ impl Verifier {
             self.force_gc();
             usage = self.mem_usage();
         }
+        // Rung 1.5: page cold chains to disk before any rung that costs
+        // coverage gets a chance to run.
+        if self.cfg.mem_budget.exceeded_by(usage) && self.can_spill() {
+            self.spill_pass();
+            usage = self.mem_usage();
+        }
         self.counters.budget.observe(usage);
     }
 
@@ -599,6 +637,183 @@ impl Verifier {
         self.counters.budget.forced_gcs += 1;
         obs::ctr(obs::Counter::ForcedGcs, 1);
         self.collect_garbage();
+    }
+
+    /// `true` when a spill tier is attached and still accepting writes.
+    #[must_use]
+    pub fn can_spill(&self) -> bool {
+        self.spill_writes_enabled && self.versions.spill_attached() && self.store_fault.is_none()
+    }
+
+    /// `true` when a spill tier is attached (regardless of write state).
+    #[must_use]
+    pub fn spill_attached(&self) -> bool {
+        self.versions.spill_attached()
+    }
+
+    /// Appends a degraded-load warning to coverage — e.g. a checkpoint
+    /// generation fallback surfaced by an embedding layer at resume.
+    pub fn note_degraded_load(&mut self, note: &str) {
+        self.coverage.push_note(note.to_string());
+    }
+
+    /// Runs one spill pass — rung 1.5 of the overload ladder, between
+    /// forced GC and forced dispatch: cold fully-committed version
+    /// chains page out to the spill tier until estimated usage drops to
+    /// 3/4 of the byte budget. Write failures are *never* fatal: the
+    /// records stay resident, the pass is abandoned, further passes are
+    /// disabled, and the fallback is counted — the ladder then proceeds
+    /// exactly as it would without a spill tier.
+    pub fn spill_pass(&mut self) {
+        let target = self.spill_target_bytes();
+        let t0 = obs::span_start();
+        match self.versions.spill_cold(target) {
+            Ok(n) => {
+                self.counters.budget.spill_passes += 1;
+                self.counters.budget.spilled_records += n as u64;
+            }
+            Err(e) => {
+                self.counters.budget.spill_fallbacks += 1;
+                self.spill_writes_enabled = false;
+                self.coverage.push_note(format!(
+                    "spill disabled after write failure (records stay in memory): {e}"
+                ));
+            }
+        }
+        if t0.is_some() {
+            let lane = match self.role {
+                None => obs::LANE_DRIVER,
+                Some(r) => obs::shard_lane(r.shard),
+            };
+            let dur = obs::span_end(obs::Stage::Spill, lane, t0);
+            obs::hist(obs::HistId::SpillPassUs, dur);
+        }
+        if let Some(tier) = self.versions.spill_tier() {
+            obs::gauge_set(obs::Gauge::SpillBytes, tier.stats().bytes_on_disk);
+        }
+    }
+
+    /// The byte level a spill pass drains to: 3/4 of the byte budget,
+    /// leaving headroom so the very next trace does not re-trigger the
+    /// ladder. With no byte cap configured the pass is a no-op (entry
+    /// caps alone cannot be relieved by spilling page-cache-sized
+    /// amounts, and the ladder's other rungs handle them as before).
+    fn spill_target_bytes(&self) -> u64 {
+        let cap = self.cfg.mem_budget.max_bytes;
+        if cap == 0 {
+            u64::MAX
+        } else {
+            cap / 4 * 3
+        }
+    }
+
+    /// Faults in every record `trace` will touch. Read/write sets name
+    /// their keys directly; terminals touch the transaction's write keys
+    /// and the keys of its matched reads (replayed at commit).
+    fn fault_in_for(&mut self, trace: &Trace) {
+        match &trace.op {
+            OpKind::Read(set) | OpKind::LockedRead(set) | OpKind::Write(set) => {
+                for i in 0..set.len() {
+                    let key = set[i].0;
+                    if self.owns(key) && !self.fault_in(key) {
+                        return;
+                    }
+                }
+            }
+            OpKind::Commit | OpKind::Abort => {
+                let Some(info) = self.txns.get(trace.txn) else {
+                    return;
+                };
+                let mut keys: Vec<Key> = info
+                    .write_keys
+                    .iter()
+                    .chain(info.matched_reads.iter().map(|m| &m.key))
+                    .copied()
+                    .collect();
+                keys.sort_unstable();
+                keys.dedup();
+                for key in keys {
+                    if self.owns(key) && !self.fault_in(key) {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Faults one record back in, latching the store fault on an
+    /// unrecoverable error. Returns `false` when latched.
+    fn fault_in(&mut self, key: Key) -> bool {
+        match self.versions.ensure_resident(key) {
+            Ok(faulted) => {
+                if faulted {
+                    self.counters.budget.spill_faults += 1;
+                }
+                true
+            }
+            Err(e) => {
+                self.coverage
+                    .push_note(format!("spill store fault on {key:?}: {e}"));
+                self.store_fault = Some(e);
+                false
+            }
+        }
+    }
+
+    /// The first unrecoverable spill-store failure, if one occurred.
+    /// While set, [`Verifier::process`] refuses traces — the caller must
+    /// surface this as a typed fatal error, never report a verdict.
+    #[must_use]
+    pub fn store_fault(&self) -> Option<&crate::store::StoreError> {
+        self.store_fault.as_ref()
+    }
+
+    /// Records that a spill tier could not be attached — a clean counted
+    /// fallback to the in-memory path. Rung 1.5 stays disarmed; the
+    /// ladder's other rungs govern exactly as before.
+    pub fn note_spill_unavailable(&mut self, why: &str) {
+        self.counters.budget.spill_fallbacks += 1;
+        obs::ctr(obs::Counter::SpillFallbacks, 1);
+        self.coverage
+            .push_note(format!("spill unavailable (records stay in memory): {why}"));
+    }
+
+    /// Attaches a spill tier (rung 1.5 of the overload ladder) to the
+    /// version store. Call before feeding traces.
+    pub fn attach_spill(&mut self, tier: crate::store::SpillTier) {
+        self.versions.attach_spill(tier);
+    }
+
+    /// Resume path: re-attaches the spill tier and adopts the
+    /// checkpoint's spill index, clearing the spilled-state-unavailable
+    /// latch set by [`Verifier::from_checkpoint`].
+    pub fn resume_spill(&mut self, tier: crate::store::SpillTier, index: &[SpillIndexEntry]) {
+        self.versions.adopt_spill(tier, index);
+        if matches!(
+            self.store_fault,
+            Some(crate::store::StoreError::Unavailable(_))
+        ) {
+            self.store_fault = None;
+        }
+    }
+
+    /// Durably syncs the spill tier (no-op without one). Called before a
+    /// checkpoint is written so the image never references unsynced
+    /// pages.
+    pub fn sync_spill(&self) -> crate::store::StoreResult<()> {
+        match self.versions.spill_tier() {
+            Some(tier) => tier.sync(),
+            None => Ok(()),
+        }
+    }
+
+    /// Spill-tier activity counters (zeroes without a tier).
+    #[must_use]
+    pub fn spill_stats(&self) -> crate::store::SpillStats {
+        self.versions
+            .spill_tier()
+            .map(crate::store::SpillTier::stats)
+            .unwrap_or_default()
     }
 
     /// Folds an externally measured usage sample (e.g. verifier plus
@@ -637,6 +852,7 @@ impl Verifier {
             counters: self.counters,
             coverage,
             obs: obs::snapshot_if_enabled(),
+            store_fault: self.store_fault.as_ref().map(ToString::to_string),
         }
     }
 
@@ -731,6 +947,7 @@ impl Verifier {
             stats: self.stats,
             report: self.report.clone(),
             coverage: self.coverage.clone(),
+            spill: self.versions.spill_index(),
         }
     }
 
@@ -781,6 +998,17 @@ impl Verifier {
             cursor: EmitCursor::default(),
             cur_seq: 0,
             emit_buf: Vec::new(),
+            // A checkpoint referencing spilled records cannot verify
+            // without its spill directory: latch the typed error now;
+            // [`Verifier::resume_spill`] clears it.
+            store_fault: (!ckpt.spill.is_empty()).then(|| {
+                crate::store::StoreError::Unavailable(format!(
+                    "checkpoint references {} spilled records; reattach the spill \
+                     directory (resume_spill) before verifying",
+                    ckpt.spill.len()
+                ))
+            }),
+            spill_writes_enabled: true,
         })
     }
 
@@ -1006,6 +1234,14 @@ impl Verifier {
             .is_some_and(|Reverse(front)| front.due <= up_to)
         {
             if let Some(Reverse(check)) = self.pending_reads.pop() {
+                // The record may have been spilled since the check was
+                // deferred; fault it in, and on a latched store fault put
+                // the check back (the typed error supersedes any verdict,
+                // but state must stay consistent for diagnostics).
+                if self.versions.spill_attached() && !self.fault_in(check.key) {
+                    self.pending_reads.push(Reverse(check));
+                    return;
+                }
                 self.set_cursor([
                     self.cur_seq,
                     PH_FLUSH,

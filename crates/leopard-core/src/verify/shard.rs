@@ -23,8 +23,8 @@
 //! sequential verifier, whose rung-1 check runs per trace.
 
 use super::{
-    Coverage, DepGraph, Effect, EmitKey, Footprint, ShardRole, Verifier, VerifierConfig,
-    VerifyCounters, VerifyOutcome, PH_QUAR,
+    Coverage, DepGraph, Effect, EmitKey, Footprint, ShardRole, SpillIndexEntry, Verifier,
+    VerifierConfig, VerifyCounters, VerifyOutcome, PH_QUAR,
 };
 use crate::budget::MemUsage;
 use crate::checkpoint::{Checkpoint, CheckpointError, ShardedCheckpoint, CHECKPOINT_VERSION};
@@ -33,6 +33,7 @@ use crate::obs;
 use crate::preflight::QuarantineGate;
 use crate::report::{BugReport, Violation};
 use crate::stats::DeductionStats;
+use crate::store::{SpillSettings, SpillStats, SpillTier, StoreResult};
 use crate::trace::Trace;
 use crate::types::{ClientId, Key, Timestamp, TxnId, Value};
 use std::sync::mpsc;
@@ -54,6 +55,15 @@ enum ToShard {
     Flush,
     /// Prune per-key state up to the driver-computed low watermark.
     Gc(Timestamp),
+    /// Attach a freshly opened spill tier (the rung-1.5 backing store);
+    /// each shard receives its own tier over a private directory.
+    AttachSpill(Box<SpillTier>),
+    /// Resume path: attach the shard's tier and adopt the spill index
+    /// carried by that shard's checkpoint image.
+    ResumeSpill(Box<SpillTier>, Arc<Vec<SpillIndexEntry>>),
+    /// Barrier: run one spill pass (rung 1.5), refresh the shared usage
+    /// sample and reply with an [`EpochOut`].
+    Spill,
     /// Reply with a per-shard checkpoint image (only sent at a barrier,
     /// when the emission buffer is empty).
     Checkpoint,
@@ -81,6 +91,10 @@ struct EpochOut {
     busy: Duration,
     /// Sorted indeterminate transactions; only on [`ToShard::Finish`].
     active: Option<Vec<TxnId>>,
+    /// The shard's latched spill-store fault, if one occurred.
+    store_fault: Option<String>,
+    /// Cumulative spill-tier activity counters for this shard.
+    spill_stats: SpillStats,
 }
 
 struct ShardHandle {
@@ -137,7 +151,32 @@ fn shard_worker(
                 busy += t0.elapsed();
                 obs::span_end(obs::Stage::GcBarrier, lane, span);
             }
+            ToShard::AttachSpill(tier) => {
+                v.attach_spill(*tier);
+                busy += t0.elapsed();
+            }
+            ToShard::ResumeSpill(tier, index) => {
+                v.resume_spill(*tier, &index);
+                busy += t0.elapsed();
+            }
+            ToShard::Spill => {
+                if v.can_spill() {
+                    v.spill_pass();
+                }
+                let u = v.mem_usage();
+                *usage.lock() = u;
+                let out = epoch_out(&mut v, None, busy);
+                busy += t0.elapsed();
+                if tx.send(FromShard::Epoch(Box::new(out))).is_err() {
+                    return;
+                }
+            }
             ToShard::Checkpoint => {
+                // Sync failures are retried by the tier and counted; if
+                // pages were still lost, resuming from this image faults
+                // them in and surfaces a typed corrupt-store error — the
+                // image itself stays byte-stable either way.
+                let _ = v.sync_spill();
                 if tx.send(FromShard::Image(Box::new(v.checkpoint()))).is_err() {
                     return;
                 }
@@ -167,6 +206,8 @@ fn epoch_out(v: &mut Verifier, active: Option<Vec<TxnId>>, busy: Duration) -> Ep
         footprint: v.footprint(),
         busy,
         active,
+        store_fault: v.store_fault().map(std::string::ToString::to_string),
+        spill_stats: v.spill_stats(),
     }
 }
 
@@ -208,6 +249,18 @@ pub struct ShardedVerifier {
     /// Driver-originated effects (quarantine notes) awaiting the next
     /// barrier, keyed so they merge into the sequential emission order.
     driver_emissions: Vec<(EmitKey, Effect)>,
+    /// `true` once per-shard spill tiers are attached (rung 1.5 armed).
+    spill_attached: bool,
+    /// First unrecoverable spill-store failure reported by any shard.
+    store_fault: Option<String>,
+    /// Guards the one-shot coverage note for shard-side spill-write
+    /// fallbacks (the workers' own notes stay shard-local).
+    spill_fallback_noted: bool,
+    /// Driver-originated fallbacks (failed tier attachment), folded into
+    /// the barrier-summed worker tallies.
+    driver_spill_fallbacks: u64,
+    /// Aggregate spill-tier counters as of the last barrier.
+    spill_stats: SpillStats,
 }
 
 impl std::fmt::Debug for ShardHandle {
@@ -244,6 +297,11 @@ impl ShardedVerifier {
             traces_fed: 0,
             admitted: 0,
             driver_emissions: Vec::new(),
+            spill_attached: false,
+            store_fault: None,
+            spill_fallback_noted: false,
+            driver_spill_fallbacks: 0,
+            spill_stats: SpillStats::default(),
         }
     }
 
@@ -366,6 +424,50 @@ impl ShardedVerifier {
         self.counters.traces = self.admitted;
         self.counters.committed = epochs[0].counters.committed;
         self.counters.aborted = epochs[0].counters.aborted;
+        // Spill activity runs inside the workers; their cumulative
+        // tallies replace (not add to) the driver's aggregate each
+        // barrier, so resume double-counts nothing.
+        let b = &mut self.counters.budget;
+        b.spill_passes = epochs.iter().map(|e| e.counters.budget.spill_passes).sum();
+        b.spilled_records = epochs
+            .iter()
+            .map(|e| e.counters.budget.spilled_records)
+            .sum();
+        b.spill_faults = epochs.iter().map(|e| e.counters.budget.spill_faults).sum();
+        b.spill_fallbacks = self.driver_spill_fallbacks
+            + epochs
+                .iter()
+                .map(|e| e.counters.budget.spill_fallbacks)
+                .sum::<u64>();
+        let mut agg = SpillStats::default();
+        for e in epochs {
+            agg.records_out += e.spill_stats.records_out;
+            agg.records_in += e.spill_stats.records_in;
+            agg.retries += e.spill_stats.retries;
+            agg.fallbacks += e.spill_stats.fallbacks;
+            agg.bytes_on_disk += e.spill_stats.bytes_on_disk;
+            agg.cache_hits += e.spill_stats.cache_hits;
+            agg.cache_misses += e.spill_stats.cache_misses;
+        }
+        self.spill_stats = agg;
+        if b.spill_fallbacks > 0 && !self.spill_fallback_noted {
+            self.spill_fallback_noted = true;
+            self.coverage.push_note(
+                "spill disabled after write failure on at least one shard (records stay in memory)"
+                    .to_string(),
+            );
+        }
+        if self.store_fault.is_none() {
+            let fault = epochs
+                .iter()
+                .enumerate()
+                .find_map(|(i, e)| e.store_fault.as_ref().map(|m| (i, m.clone())));
+            if let Some((i, msg)) = fault {
+                self.coverage
+                    .push_note(format!("spill store fault on shard {i}: {msg}"));
+                self.store_fault = Some(msg);
+            }
+        }
         let fp: usize = epochs.iter().map(|e| e.footprint.total()).sum::<usize>()
             + self.graph.node_count()
             + self.graph.edge_count();
@@ -459,6 +561,7 @@ impl ShardedVerifier {
             counters: self.counters,
             coverage,
             obs: obs::snapshot_if_enabled(),
+            store_fault: self.store_fault,
         }
     }
 
@@ -546,6 +649,11 @@ impl ShardedVerifier {
             traces_fed: ckpt.traces_fed,
             admitted: ckpt.counters.traces,
             driver_emissions: Vec::new(),
+            spill_attached: false,
+            store_fault: None,
+            spill_fallback_noted: false,
+            driver_spill_fallbacks: 0,
+            spill_stats: SpillStats::default(),
         })
     }
 
@@ -561,6 +669,101 @@ impl ShardedVerifier {
         self.counters.budget.forced_gcs += 1;
         obs::ctr(obs::Counter::ForcedGcs, 1);
         self.flush_epoch(true);
+    }
+
+    /// Derives shard `i`'s private settings: the same cache size and
+    /// retry schedule over a `shard-<i>` subdirectory, so concurrent
+    /// segment writers never share files.
+    fn shard_settings(settings: &SpillSettings, i: usize) -> SpillSettings {
+        let mut s = settings.clone();
+        s.dir = settings.dir.join(format!("shard-{i}"));
+        s
+    }
+
+    /// Attaches one spill tier per shard, each rooted in a `shard-<i>`
+    /// subdirectory of `settings.dir` (rung 1.5 of the overload ladder).
+    /// Call before feeding traces. Fails fast if any tier cannot be
+    /// opened; already-attached shards keep their tier (attachment
+    /// without spilled records is harmless).
+    pub fn attach_spill(&mut self, settings: &SpillSettings) -> StoreResult<()> {
+        for (i, w) in self.workers.iter().enumerate() {
+            let tier = SpillTier::open(&ShardedVerifier::shard_settings(settings, i))?;
+            w.tx.send(ToShard::AttachSpill(Box::new(tier)))
+                .expect("shard worker alive"); // lint: allow(L001): a dead worker shard is unrecoverable
+        }
+        self.spill_attached = true;
+        Ok(())
+    }
+
+    /// Resume-path counterpart of [`ShardedVerifier::attach_spill`]:
+    /// re-opens each shard's tier under `settings.dir` and adopts the
+    /// spill index carried by that shard's checkpoint image, clearing
+    /// the spilled-state-unavailable latch the workers set in
+    /// [`ShardedVerifier::resume`]. `ckpt` must be the same envelope the
+    /// verifier resumed from.
+    pub fn resume_spill(
+        &mut self,
+        ckpt: &ShardedCheckpoint,
+        settings: &SpillSettings,
+    ) -> StoreResult<()> {
+        for (i, w) in self.workers.iter().enumerate() {
+            let tier = SpillTier::open(&ShardedVerifier::shard_settings(settings, i))?;
+            let index = Arc::new(
+                ckpt.shards
+                    .get(i)
+                    .map(|s| s.spill.clone())
+                    .unwrap_or_default(),
+            );
+            w.tx.send(ToShard::ResumeSpill(Box::new(tier), index))
+                .expect("shard worker alive"); // lint: allow(L001): a dead worker shard is unrecoverable
+        }
+        self.spill_attached = true;
+        Ok(())
+    }
+
+    /// `true` once per-shard spill tiers are attached.
+    #[must_use]
+    pub fn spill_attached(&self) -> bool {
+        self.spill_attached
+    }
+
+    /// Runs one spill pass on every shard (rung 1.5 of the overload
+    /// ladder) as a full barrier, so [`ShardedVerifier::mem_usage`]
+    /// reflects the drained state when this returns. A no-op without
+    /// attached tiers.
+    pub fn spill(&mut self) {
+        if !self.spill_attached {
+            return;
+        }
+        self.dispatch_batch();
+        self.send_all(|| ToShard::Spill);
+        let epochs = self.collect_epochs();
+        self.merge_epochs(&epochs, false);
+    }
+
+    /// The first unrecoverable spill-store failure reported by any
+    /// shard, as of the last barrier. While set, the run must surface a
+    /// typed fatal error — never a verdict.
+    #[must_use]
+    pub fn store_fault(&self) -> Option<&str> {
+        self.store_fault.as_deref()
+    }
+
+    /// Aggregate spill-tier activity counters as of the last barrier.
+    #[must_use]
+    pub fn spill_stats(&self) -> SpillStats {
+        self.spill_stats
+    }
+
+    /// Records that the spill tiers could not be attached — a clean
+    /// counted fallback to the in-memory path (see
+    /// [`Verifier::note_spill_unavailable`]).
+    pub fn note_spill_unavailable(&mut self, why: &str) {
+        self.driver_spill_fallbacks += 1;
+        self.counters.budget.spill_fallbacks += 1;
+        obs::ctr(obs::Counter::SpillFallbacks, 1);
+        self.coverage
+            .push_note(format!("spill unavailable (records stay in memory): {why}"));
     }
 
     /// Aggregate live-memory estimate: every shard's last-reported usage

@@ -14,6 +14,7 @@
 
 use crate::fxhash::{FxHashMap, FxHashSet};
 use crate::interval::Interval;
+use crate::store::{RecordAddr, SpillTier, StoreResult};
 use crate::types::{Key, Timestamp, TxnId, Value};
 use serde::{Deserialize, Serialize};
 
@@ -185,6 +186,19 @@ pub enum ReadMatch {
     },
 }
 
+/// One spilled record in a checkpoint's spill index: where its version
+/// chain lives on disk and how many versions it holds (so footprint
+/// accounting restores without reading the record).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpillIndexEntry {
+    /// The spilled record.
+    pub key: Key,
+    /// Version count of the spilled chain.
+    pub versions: u64,
+    /// Durable address of the serialized chain.
+    pub addr: RecordAddr,
+}
+
 /// Plain-data image of one record's version chain, used by checkpointing.
 /// Entry order is the (resolved) installation order and must be preserved
 /// exactly across a round-trip.
@@ -229,6 +243,14 @@ pub struct VersionStore {
     /// to revisit these (a long-running workload may accumulate millions
     /// of quiescent records).
     dirty: FxHashSet<Key>,
+    /// Disk-backed tier for cold records; `None` = everything resident.
+    spill: Option<SpillTier>,
+    /// Version counts of spilled records, so `total` (which includes
+    /// spilled versions — the verification footprint is unchanged by
+    /// *where* a version lives) stays exact without disk reads.
+    spilled_counts: FxHashMap<Key, usize>,
+    /// Sum of `spilled_counts` values, maintained incrementally.
+    spilled_total: usize,
 }
 
 impl VersionStore {
@@ -318,11 +340,13 @@ impl VersionStore {
     /// The version list of `key`, if any version was ever seen.
     #[must_use]
     pub fn record(&self, key: Key) -> Option<&RecordVersions> {
+        self.assert_resident(key);
         self.records.get(&key)
     }
 
     /// Mutable access for reader registration.
     pub fn record_mut(&mut self, key: Key) -> Option<&mut RecordVersions> {
+        self.assert_resident(key);
         self.records.get_mut(&key)
     }
 
@@ -386,6 +410,7 @@ impl VersionStore {
     /// version `uid` of `key`, for later rw derivation. No-op if the
     /// version has been pruned.
     pub fn add_reader(&mut self, key: Key, uid: VersionUid, reader: TxnId, read_op: Interval) {
+        self.assert_resident(key);
         if let Some(rec) = self.records.get_mut(&key) {
             if let Some(e) = rec.entries.iter_mut().find(|e| e.uid == uid) {
                 e.readers.push((reader, read_op));
@@ -402,6 +427,7 @@ impl VersionStore {
         key: Key,
         txn: TxnId,
     ) -> Option<(&VersionEntry, &VersionEntry)> {
+        self.assert_resident(key);
         let rec = self.records.get(&key)?;
         let pos = rec
             .entries
@@ -422,6 +448,7 @@ impl VersionStore {
         key: Key,
         txn: TxnId,
     ) -> Option<(Option<&VersionEntry>, &VersionEntry, Option<&VersionEntry>)> {
+        self.assert_resident(key);
         let rec = self.records.get(&key)?;
         let pos = rec
             .entries
@@ -441,6 +468,7 @@ impl VersionStore {
     /// installation order, if any.
     #[must_use]
     pub fn committed_successor(&self, key: Key, uid: VersionUid) -> Option<&VersionEntry> {
+        self.assert_resident(key);
         let rec = self.records.get(&key)?;
         let pos = rec.entries.iter().position(|e| e.uid == uid)?;
         rec.entries[pos + 1..]
@@ -454,6 +482,7 @@ impl VersionStore {
     /// order wrong for an overlapping pair: the chain must reflect the
     /// resolved order, or rw derivation would point backwards.
     pub fn swap_entries(&mut self, key: Key, a: VersionUid, b: VersionUid) -> bool {
+        self.assert_resident(key);
         let Some(rec) = self.records.get_mut(&key) else {
             return false;
         };
@@ -470,6 +499,7 @@ impl VersionStore {
     /// All committed versions of `key` except those installed by `txn`
     /// (the FUW conflict candidates for a committing writer).
     pub fn committed_others(&self, key: Key, txn: TxnId) -> impl Iterator<Item = &VersionEntry> {
+        self.assert_resident(key);
         self.records
             .get(&key)
             .map(|r| r.entries.as_slice())
@@ -547,11 +577,18 @@ impl VersionStore {
     pub fn mem_usage(&self) -> crate::budget::MemUsage {
         let per_version = std::mem::size_of::<VersionEntry>() + 32;
         let per_record = std::mem::size_of::<RecordVersions>() + 48;
-        crate::budget::MemUsage::per_entry(self.total, per_version)
+        // Spilled versions cost disk, not memory: count residents only,
+        // plus the tier's own footprint (page cache + index).
+        let resident = self.total - self.spilled_total;
+        let mut usage = crate::budget::MemUsage::per_entry(resident, per_version)
             + crate::budget::MemUsage {
                 bytes: (self.records.len() * per_record) as u64,
                 entries: 0,
-            }
+            };
+        if let Some(tier) = &self.spill {
+            usage = usage + tier.mem_usage();
+        }
+        usage
     }
 
     /// Total number of mirrored versions (footprint metric), O(1).
@@ -560,10 +597,12 @@ impl VersionStore {
         self.total
     }
 
-    /// Number of records with at least one version.
+    /// Number of records with at least one version, resident or spilled
+    /// (the verification footprint is independent of where a chain
+    /// lives).
     #[must_use]
     pub fn record_count(&self) -> usize {
-        self.records.len()
+        self.records.len() + self.spilled_counts.len()
     }
 
     fn fresh_uid(&mut self) -> VersionUid {
@@ -626,7 +665,176 @@ impl VersionStore {
             pending,
             total,
             dirty,
+            spill: None,
+            spilled_counts: FxHashMap::default(),
+            spilled_total: 0,
         }
+    }
+
+    /// Attaches a disk-spilling tier. Until one is attached every record
+    /// stays resident and the store behaves exactly as before.
+    pub fn attach_spill(&mut self, tier: SpillTier) {
+        self.spill = Some(tier);
+    }
+
+    /// `true` when a spill tier is attached.
+    #[must_use]
+    pub fn spill_attached(&self) -> bool {
+        self.spill.is_some()
+    }
+
+    /// The attached tier, if any (stats and sync access).
+    #[must_use]
+    pub fn spill_tier(&self) -> Option<&SpillTier> {
+        self.spill.as_ref()
+    }
+
+    /// Number of records currently paged out.
+    #[must_use]
+    pub fn spilled_records(&self) -> usize {
+        self.spilled_counts.len()
+    }
+
+    /// `true` when `key`'s chain is currently paged out.
+    #[must_use]
+    pub fn is_spilled(&self, key: Key) -> bool {
+        self.spilled_counts.contains_key(&key)
+    }
+
+    /// Debug-build safety net: key-access methods must only see resident
+    /// chains — a spilled chain would silently look like "no record",
+    /// which is exactly the silent-wrong-verdict class the store module
+    /// exists to kill. Callers fault records in first
+    /// ([`VersionStore::ensure_resident`]).
+    fn assert_resident(&self, key: Key) {
+        debug_assert!(
+            !self.is_spilled(key),
+            "access to spilled record {key:?} without ensure_resident"
+        );
+    }
+
+    /// Faults `key`'s chain back into memory if it is spilled. Returns
+    /// `true` when a disk read actually happened. Fault-in does **not**
+    /// mark the key dirty: residency is invisible to prune, so the GC
+    /// trajectory (and therefore the verdict) is byte-identical to an
+    /// unconstrained in-memory run.
+    pub fn ensure_resident(&mut self, key: Key) -> StoreResult<bool> {
+        if !self.spilled_counts.contains_key(&key) {
+            return Ok(false);
+        }
+        let tier = self.spill.as_ref().expect("spilled keys imply a tier"); // lint: allow(L001): spilled_counts is non-empty only while a tier is attached
+        let Some(snap) = tier.take(key)? else {
+            // Index said spilled but the tier lost it: accounting bug or
+            // external tampering; surface as corruption, never guess.
+            return Err(crate::store::StoreError::corrupt(format!(
+                "record {key:?} in spill accounting but absent from tier"
+            )));
+        };
+        let n = self.spilled_counts.remove(&key).unwrap_or(0);
+        self.spilled_total -= n;
+        self.records.insert(
+            key,
+            RecordVersions {
+                entries: snap.entries,
+            },
+        );
+        Ok(true)
+    }
+
+    /// Pages cold records out until estimated resident usage drops to
+    /// `target_bytes` (or no candidates remain). Cold = not touched since
+    /// the last prune (not dirty) and fully committed (no pending
+    /// version). Candidates are spilled in sorted key order so the pass
+    /// is deterministic. Returns the number of records spilled.
+    ///
+    /// On a tier write error the pass stops and the error is returned;
+    /// the record that failed stays resident (the in-memory copy is
+    /// always authoritative until a verified write succeeds), so the
+    /// caller can count the fallback and keep verifying.
+    pub fn spill_cold(&mut self, target_bytes: u64) -> StoreResult<usize> {
+        if self.spill.is_none() {
+            return Ok(0);
+        }
+        let mut candidates: Vec<Key> = self
+            .records
+            .iter()
+            .filter(|(k, rec)| {
+                !self.dirty.contains(*k)
+                    && !rec.entries.is_empty()
+                    && rec.entries.iter().all(|e| e.visibility.is_some())
+            })
+            .map(|(&k, _)| k)
+            .collect();
+        candidates.sort_unstable();
+        let mut spilled = 0usize;
+        for key in candidates {
+            if self.mem_usage().bytes <= target_bytes {
+                break;
+            }
+            let rec = self.records.get(&key).expect("candidate is resident"); // lint: allow(L001): candidates are drawn from `records` under the same borrow
+            let snap = KeyVersions {
+                key,
+                entries: rec.entries.clone(),
+            };
+            let tier = self.spill.as_ref().expect("checked above"); // lint: allow(L001): guarded by the can_spill() gate on entry
+            tier.put(&snap)?;
+            let n = snap.entries.len();
+            self.records.remove(&key);
+            self.spilled_counts.insert(key, n);
+            self.spilled_total += n;
+            spilled += 1;
+        }
+        Ok(spilled)
+    }
+
+    /// Detaches and drops the spill tier after faulting **every** spilled
+    /// record back in (finish-time path: verdict assembly walks the whole
+    /// store). Errors propagate before any state is lost.
+    pub fn unspill_all(&mut self) -> StoreResult<usize> {
+        let keys: Vec<Key> = {
+            let mut k: Vec<Key> = self.spilled_counts.keys().copied().collect();
+            k.sort_unstable();
+            k
+        };
+        let n = keys.len();
+        for key in keys {
+            self.ensure_resident(key)?;
+        }
+        Ok(n)
+    }
+
+    /// The spill index as plain data for the incremental checkpoint:
+    /// every paged-out record with its durable address and version count.
+    /// Sorted by key (byte-stable).
+    #[must_use]
+    pub fn spill_index(&self) -> Vec<SpillIndexEntry> {
+        let Some(tier) = &self.spill else {
+            return Vec::new();
+        };
+        tier.index_snapshot()
+            .into_iter()
+            .map(|(key, addr)| SpillIndexEntry {
+                key,
+                versions: self.spilled_counts.get(&key).copied().unwrap_or(0) as u64,
+                addr,
+            })
+            .collect()
+    }
+
+    /// Resume path: attaches `tier` and adopts a checkpointed spill
+    /// index. The spilled versions are added back into the footprint
+    /// totals without reading the records.
+    pub fn adopt_spill(&mut self, tier: SpillTier, index: &[SpillIndexEntry]) {
+        tier.adopt_index(
+            &index
+                .iter()
+                .map(|e| (e.key, e.addr))
+                .collect::<Vec<(Key, RecordAddr)>>(),
+        );
+        self.spilled_counts = index.iter().map(|e| (e.key, e.versions as usize)).collect();
+        self.spilled_total = index.iter().map(|e| e.versions as usize).sum();
+        self.total += self.spilled_total;
+        self.spill = Some(tier);
     }
 }
 

@@ -58,6 +58,12 @@ pub struct ChaosPlan {
     /// verifier can be configured with a sound
     /// [`ChaosPlan::skew_bound`].
     pub max_skew_bursts: u64,
+    /// Probability of each seeded disk fault (short write, torn write,
+    /// read error, fsync failure, delayed write error) injected into the
+    /// verifier's spill tier; see [`ChaosPlan::fault_spec`].
+    pub disk_fault_prob: f64,
+    /// Spill-tier ENOSPC threshold in bytes (`None` = unlimited disk).
+    pub disk_enospc_after_bytes: Option<u64>,
 }
 
 impl ChaosPlan {
@@ -76,6 +82,8 @@ impl ChaosPlan {
             skew_burst_prob: 0.0,
             skew_magnitude: 0,
             max_skew_bursts: 0,
+            disk_fault_prob: 0.0,
+            disk_enospc_after_bytes: None,
         }
     }
 
@@ -88,6 +96,27 @@ impl ChaosPlan {
             || self.dup_prob > 0.0
             || self.truncate_after.is_some()
             || (self.skew_burst_prob > 0.0 && self.skew_magnitude > 0 && self.max_skew_bursts > 0)
+            || self.disk_fault_prob > 0.0
+            || self.disk_enospc_after_bytes.is_some()
+    }
+
+    /// Maps the plan's disk-fault knobs onto the spill tier's injector
+    /// spec: one probability drives every transient shape (short write,
+    /// torn write, read error, fsync failure, delayed write error), the
+    /// ENOSPC threshold caps the virtual disk, and the injector's seed
+    /// derives from the master seed on a private lane so disk faults
+    /// replay independently of client fates and transport losses.
+    #[must_use]
+    pub fn fault_spec(&self) -> leopard_core::FaultSpec {
+        leopard_core::FaultSpec {
+            seed: self.seed ^ 0xD15C_FA17_5EED_0001,
+            enospc_after_bytes: self.disk_enospc_after_bytes,
+            short_write_prob: self.disk_fault_prob,
+            torn_write_prob: self.disk_fault_prob,
+            sync_fail_prob: self.disk_fault_prob,
+            read_err_prob: self.disk_fault_prob,
+            delayed_write_err_prob: self.disk_fault_prob,
+        }
     }
 
     /// The worst-case clock divergence any client can accumulate under
@@ -413,6 +442,10 @@ mod tests {
     fn quiet_plan_is_inactive_and_transparent() {
         let plan = ChaosPlan::none();
         assert!(!plan.is_active());
+        assert!(
+            plan.fault_spec().is_noop(),
+            "quiet plan must not fault the disk"
+        );
         assert_eq!(plan.skew_bound(), 0);
         let mut sink = ChaosSink::new(&plan, 0, Vec::new());
         for i in 0..100u64 {
@@ -421,6 +454,35 @@ mod tests {
         assert_eq!(sink.dropped(), 0);
         assert_eq!(sink.duplicated(), 0);
         assert_eq!(sink.into_inner().len(), 100);
+    }
+
+    #[test]
+    fn disk_fault_mapping_is_deterministic_and_activates_plan() {
+        let plan = ChaosPlan {
+            seed: 42,
+            disk_fault_prob: 0.25,
+            disk_enospc_after_bytes: Some(1 << 20),
+            ..ChaosPlan::none()
+        };
+        assert!(plan.is_active(), "disk faults alone must activate the plan");
+        let a = plan.fault_spec();
+        let b = plan.fault_spec();
+        assert_eq!(a, b, "mapping must be pure");
+        assert!(!a.is_noop());
+        assert_eq!(a.enospc_after_bytes, Some(1 << 20));
+        assert!((a.short_write_prob - 0.25).abs() < f64::EPSILON);
+        assert!((a.read_err_prob - 0.25).abs() < f64::EPSILON);
+        assert_ne!(
+            a.seed,
+            ChaosPlan {
+                seed: 43,
+                ..plan.clone()
+            }
+            .fault_spec()
+            .seed,
+            "injector seed must track the master seed"
+        );
+        assert_ne!(a.seed, plan.seed, "injector seed must be a private lane");
     }
 
     #[test]
